@@ -1,0 +1,43 @@
+"""Ablation bench — contribution of each Bellamy design choice.
+
+Not a paper figure: DESIGN.md calls out the design decisions the paper adopts
+without isolating (joint reconstruction loss, optional-property pooling, code
+dimensionality, context encoding itself, the staged unfreeze). This bench
+regenerates the ablation table on the non-trivial algorithms, where context
+information matters most.
+
+Expected shape: the ``no-properties`` arm (scale-out only) degrades zero-shot
+and few-shot errors relative to the reference, confirming that the property
+codes — the paper's core contribution — carry the cross-context signal.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.eval.experiments.ablations import run_ablation_experiment
+from repro.eval.reporting import ablation_summary, render_ablation
+
+
+def test_ablation_components(benchmark, c3o_dataset):
+    scale = bench_scale()
+
+    def run():
+        return run_ablation_experiment(
+            c3o_dataset,
+            scale=scale,
+            seed=0,
+            algorithms=("sgd", "kmeans"),
+            contexts_per_algorithm=min(2, scale.contexts_per_algorithm),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_components", render_ablation(result.records))
+
+    summary = ablation_summary(result.records)
+    # Context encoding is the paper's core contribution: the scale-out-only
+    # arm must not beat the reference on zero-shot extrapolation.
+    assert (
+        summary["no-properties"]["zeroshot_mre"]
+        >= summary["bellamy"]["zeroshot_mre"] * 0.9
+    )

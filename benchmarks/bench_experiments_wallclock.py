@@ -1,0 +1,54 @@
+"""Wall-clock accounting of the two experiment campaigns.
+
+Reports the end-to-end duration of the session's cross-context and
+cross-environment runs (shared with the per-figure benches) plus their
+pre-training costs. The benchmarked callable re-aggregates the records so
+pytest-benchmark has a measurable unit without re-running the campaigns.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.eval.protocol import unique_fits
+from repro.utils.tables import ascii_table
+
+
+def test_cross_context_campaign_accounting(benchmark, cross_context_result, scale):
+    result = cross_context_result
+    fits = benchmark(lambda: unique_fits(result.records))
+    rows = [
+        ["scale", scale.name],
+        ["records", len(result.records)],
+        ["unique fits", len(fits)],
+        ["campaign wall-clock [s]", f"{result.wall_seconds:.1f}"],
+    ] + [
+        [f"mean pre-training [{variant}] [s]", f"{seconds:.2f}"]
+        for variant, seconds in result.pretrain_seconds.items()
+    ]
+    emit(
+        "cross_context_wallclock",
+        ascii_table(["quantity", "value"], rows, title="[cross-context campaign]"),
+    )
+    assert result.records
+
+
+def test_cross_environment_campaign_accounting(
+    benchmark, cross_environment_result, scale
+):
+    result = cross_environment_result
+    fits = benchmark(lambda: unique_fits(result.records))
+    rows = [
+        ["scale", scale.name],
+        ["records", len(result.records)],
+        ["unique fits", len(fits)],
+        ["campaign wall-clock [s]", f"{result.wall_seconds:.1f}"],
+    ] + [
+        [f"pre-training [{algorithm}] [s]", f"{seconds:.2f}"]
+        for algorithm, seconds in result.pretrain_seconds.items()
+    ]
+    emit(
+        "cross_environment_wallclock",
+        ascii_table(["quantity", "value"], rows, title="[cross-environment campaign]"),
+    )
+    assert result.records

@@ -1,0 +1,53 @@
+"""Extension bench — cross-algorithm pre-training corpora (paper §V outlook).
+
+Compares per-algorithm, union, and pure-transfer pre-training corpora on the
+same fine-tuning protocol. Expected shape: the union corpus stays roughly on
+par with the per-algorithm reference (the job-name property separates the
+algorithms in code space), while the transfer-only corpus — which has never
+seen the target algorithm — degrades gracefully rather than collapsing,
+because scale-out behaviour is shared across algorithms (the paper's closing
+observation).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.core.cross_algorithm import (
+    PER_ALGORITHM,
+    UNION,
+    run_cross_algorithm_experiment,
+)
+from repro.eval.protocol import aggregate, mean_relative_error
+from repro.eval.reporting import render_mae_bars
+
+
+def test_cross_algorithm_corpora(benchmark, c3o_dataset):
+    scale = bench_scale()
+
+    def run():
+        return run_cross_algorithm_experiment(
+            c3o_dataset,
+            scale=scale,
+            seed=0,
+            algorithms=("grep", "sgd"),
+            contexts_per_algorithm=min(2, scale.contexts_per_algorithm),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_cross_algorithm",
+        render_mae_bars(
+            result.records,
+            task="interpolation",
+            title="[Ext | cross-algorithm] Interpolation MAE [s]",
+        ),
+    )
+
+    interp = aggregate(result.records, task="interpolation")
+    union = mean_relative_error(aggregate(interp, method=UNION))
+    reference = mean_relative_error(aggregate(interp, method=PER_ALGORITHM))
+    # The union corpus must stay in the same error regime as the reference
+    # (job-name codes keep the algorithms separable); factor 2 guards the
+    # shape without over-fitting the assertion to one seed.
+    assert union <= reference * 2.0

@@ -1,0 +1,105 @@
+"""Extension bench — dataflow-graph information (paper §V outlook).
+
+Pits plain Bellamy against the graph-as-property variant
+(:class:`~repro.core.graph_model.GraphBellamyModel`) under the usual
+protocol on the iterative algorithms, where the graph carries the iteration
+structure. Expected shape: the graph property does not hurt (it is one more
+mean-pooled optional code) and tends to help zero-shot extrapolation, since
+the graph text encodes the iteration count even for unseen contexts.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.core.finetuning import FinetuneStrategy
+from repro.core.graph_model import GraphBellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.pretraining import pretrain
+from repro.eval.experiments.common import select_target_contexts
+from repro.eval.protocol import (
+    MethodSpec,
+    ProtocolConfig,
+    aggregate,
+    evaluate_context,
+    mean_relative_error,
+)
+from repro.eval.reporting import render_mae_bars
+from repro.utils.rng import derive_seed
+
+
+def _method(base, label, scale):
+    def factory(context):
+        return BellamyRuntimeModel(
+            context,
+            base_model=base,
+            strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
+            max_epochs=scale.finetune_max_epochs,
+            variant_label=label,
+        )
+
+    return MethodSpec(name=label, factory=factory, min_train_points=0)
+
+
+def test_graph_property_variant(benchmark, c3o_dataset):
+    scale = bench_scale()
+    config = scale.bellamy_config()
+
+    def run():
+        records = []
+        for algorithm in ("sgd", "kmeans"):
+            targets = select_target_contexts(
+                c3o_dataset, algorithm, min(2, scale.contexts_per_algorithm), seed=0
+            )
+            for target in targets:
+                corpus = c3o_dataset.for_algorithm(algorithm).exclude_context(
+                    target.context_id
+                )
+                plain = pretrain(
+                    corpus,
+                    algorithm,
+                    config=config.with_overrides(
+                        seed=derive_seed(0, "graph-bench", "plain", target.context_id)
+                    ),
+                ).model
+                plain.eval()
+                graphy = pretrain(
+                    corpus,
+                    algorithm,
+                    config=config.with_overrides(
+                        seed=derive_seed(0, "graph-bench", "graph", target.context_id)
+                    ),
+                    model_factory=GraphBellamyModel,
+                ).model
+                graphy.eval()
+                methods = [
+                    _method(plain, "Bellamy", scale),
+                    _method(graphy, "Bellamy+graph", scale),
+                ]
+                protocol = ProtocolConfig(
+                    n_train_values=scale.n_train_values,
+                    max_splits=scale.max_splits,
+                    seed=derive_seed(0, "graph-bench-protocol", target.context_id),
+                )
+                records.extend(
+                    evaluate_context(
+                        methods, c3o_dataset.for_context(target.context_id), protocol
+                    )
+                )
+        return records
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_graph_property",
+        render_mae_bars(
+            records,
+            task="interpolation",
+            title="[Ext | dataflow graph] Interpolation MAE [s]",
+        ),
+    )
+
+    interp = aggregate(records, task="interpolation")
+    plain = mean_relative_error(aggregate(interp, method="Bellamy"))
+    graphy = mean_relative_error(aggregate(interp, method="Bellamy+graph"))
+    # One extra mean-pooled optional code must not break the model.
+    assert graphy <= plain * 1.5

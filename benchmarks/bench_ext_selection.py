@@ -1,0 +1,65 @@
+"""Extension bench — profiling cost of resource selection (paper §I claim).
+
+Quantifies the paper's motivation that profiling-based configuration search
+"is not always feasible due to budget constraints": CherryPick-style BO and
+Ernest's designed experiment pay real job executions per target context,
+while a pre-trained Bellamy model recommends with zero or one sample.
+
+Expected shape: Bellamy spends strictly fewer profiling runs than both
+comparators while keeping a useful success rate.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.core.pretraining import pretrain
+from repro.data.c3o import c3o_trace_generator
+from repro.selection.comparison import (
+    render_profiling_cost,
+    run_profiling_cost_experiment,
+)
+from repro.utils.rng import derive_seed
+
+
+def test_selection_profiling_cost(benchmark, c3o_dataset):
+    scale = bench_scale()
+    config = scale.bellamy_config()
+    generator = c3o_trace_generator(seed=0)
+
+    targets = []
+    pretrained = {}
+    for algorithm in ("sgd", "kmeans"):
+        contexts = c3o_dataset.for_algorithm(algorithm).contexts()
+        chosen = contexts[: min(2, scale.contexts_per_algorithm)]
+        targets.extend(chosen)
+        corpus = c3o_dataset.for_algorithm(algorithm)
+        for context in chosen:
+            corpus = corpus.exclude_context(context.context_id)
+        result = pretrain(
+            corpus,
+            algorithm,
+            config=config.with_overrides(seed=derive_seed(0, "sel-bench", algorithm)),
+        )
+        result.model.eval()
+        pretrained[algorithm] = result.model
+
+    def run():
+        return run_profiling_cost_experiment(
+            generator,
+            targets,
+            pretrained,
+            bellamy_samples=1,
+            ernest_samples=4,
+            bo_max_runs=6,
+            finetune_max_epochs=scale.finetune_max_epochs,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ext_selection_profiling_cost", render_profiling_cost(result))
+
+    bellamy = result.mean_profiling_runs("Bellamy (pre-trained)")
+    assert bellamy < result.mean_profiling_runs("CherryPick (BO)")
+    assert bellamy < result.mean_profiling_runs("Ernest (NNLS)")
+    assert result.success_rate("Bellamy (pre-trained)") >= 0.5

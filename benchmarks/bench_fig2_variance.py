@@ -1,0 +1,47 @@
+"""Fig. 2 — runtime variance across contexts.
+
+Regenerates the normalized-runtime distributions per algorithm and scale-out
+that motivate context-aware modeling. Expected shape: SGD and K-Means show a
+much wider spread across contexts than Sort/Grep (and PageRank sits closer to
+the trivial group).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.eval.experiments import run_fig2
+from repro.utils.tables import ascii_table
+
+
+def render_fig2(summaries) -> str:
+    rows = []
+    for summary in summaries:
+        for scaleout, (lo, q25, median, q75, hi) in summary.quantiles.items():
+            rows.append(
+                [summary.algorithm, scaleout, lo, q25, median, q75, hi]
+            )
+    table = ascii_table(
+        ["algorithm", "scale-out", "min", "q25", "median", "q75", "max"],
+        rows,
+        title="[Fig 2] Normalized runtime distribution across contexts",
+        digits=2,
+    )
+    spread_rows = [[s.algorithm, s.spread] for s in summaries]
+    spread = ascii_table(
+        ["algorithm", "mean IQR of normalized runtime"],
+        spread_rows,
+        title="[Fig 2] Cross-context spread per algorithm",
+        digits=3,
+    )
+    return table + "\n\n" + spread
+
+
+def test_fig2_variance(benchmark, c3o_dataset):
+    summaries = benchmark(run_fig2, c3o_dataset)
+    text = render_fig2(summaries)
+    emit("fig2_variance", text)
+    spreads = {s.algorithm: s.spread for s in summaries}
+    # Paper shape: non-trivial algorithms vary more across contexts.
+    assert spreads["sgd"] > spreads["sort"]
+    assert spreads["kmeans"] > spreads["grep"]

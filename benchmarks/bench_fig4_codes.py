@@ -1,0 +1,52 @@
+"""Fig. 4 — auto-encoder codes of two SGD execution contexts.
+
+Pre-trains on SGD executions, then encodes the paper's two showcase contexts
+(m4.2xlarge / 25 iterations / 19353 MB vs r4.2xlarge / 100 iterations /
+14540 MB). Expected shape: each property yields a dense 4-dim code and the
+two contexts are clearly distinguishable in code space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.experiments import code_distance, run_fig4
+from repro.utils.tables import ascii_table
+
+
+def render_codes(visualizations) -> str:
+    blocks = []
+    for viz in visualizations:
+        context = viz.context
+        rows = [
+            [label] + [float(v) for v in code]
+            for label, code in zip(viz.property_labels, viz.codes)
+        ]
+        title = (
+            f"[Fig 4] Codes for SGD context: {context.node_type}, "
+            f"{context.params_text}, {context.dataset_mb} MB"
+        )
+        blocks.append(
+            ascii_table(["property", "c1", "c2", "c3", "c4"], rows, title=title, digits=2)
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig4_codes(benchmark, c3o_dataset, scale):
+    visualizations = benchmark.pedantic(
+        run_fig4,
+        args=(c3o_dataset,),
+        kwargs={"epochs": scale.pretrain_epochs, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_codes(visualizations)
+    distance = code_distance(*visualizations)
+    emit("fig4_codes", text + f"\n\nmean code distance between contexts: {distance:.3f}")
+    # The two contexts must be distinguishable in code space.
+    assert distance > 0.01
+    # Codes are dense, low-dimensional, and bounded by the SELU range used.
+    for viz in visualizations:
+        assert viz.codes.shape == (4, 4)
+        assert np.isfinite(viz.codes).all()

@@ -1,0 +1,35 @@
+"""Fig. 5 (right) — extrapolation MRE vs number of training points (0..6).
+
+Expected shapes: NNLS with a single data point is unreasonable by design
+(very large MRE); Bell needs >= 3 points; a pre-trained Bellamy model can be
+applied with **zero** context samples and already yields manageable errors,
+which fine-tuning on more samples then reduces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.eval import reporting
+from repro.eval.protocol import aggregate, mean_relative_error
+
+
+def test_fig5_extrapolation(benchmark, cross_context_result):
+    records = cross_context_result.records
+    text = benchmark(reporting.render_fig5, records, "extrapolation")
+    emit("fig5_extrapolation", text)
+
+    extra = aggregate(records, task="extrapolation")
+
+    # Only the pre-trained Bellamy variants produce zero-shot records.
+    zero_shot_methods = {r.method for r in aggregate(extra, n_train=0)}
+    assert zero_shot_methods <= {"Bellamy (filtered)", "Bellamy (full)"}
+    assert zero_shot_methods
+
+    # NNLS with one data point is unreasonable by design (paper §IV-C1).
+    nnls_one = mean_relative_error(aggregate(extra, method="NNLS", n_train=1))
+    full_one = mean_relative_error(aggregate(extra, method="Bellamy (full)", n_train=1))
+    assert not math.isnan(nnls_one)
+    assert nnls_one > full_one

@@ -1,0 +1,28 @@
+"""Fig. 5 (left) — interpolation MRE vs number of training points.
+
+Regenerates the per-algorithm interpolation mean-relative-error series for
+NNLS, Bell, and the three Bellamy variants. Expected shape: the pre-trained
+Bellamy variants (filtered/full) match or beat the baselines, with the
+clearest gains on the non-trivial algorithms (SGD, K-Means); the local
+variant without pre-training is on average inferior to the pre-trained ones.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.eval import reporting
+from repro.eval.protocol import aggregate, mean_relative_error
+
+
+def test_fig5_interpolation(benchmark, cross_context_result):
+    records = cross_context_result.records
+    text = benchmark(reporting.render_fig5, records, "interpolation")
+    emit("fig5_interpolation", text)
+
+    # Shape check: pre-trained Bellamy beats the local variant on average.
+    interp = aggregate(records, task="interpolation")
+    local = mean_relative_error(aggregate(interp, method="Bellamy (local)"))
+    full = mean_relative_error(aggregate(interp, method="Bellamy (full)"))
+    filtered = mean_relative_error(aggregate(interp, method="Bellamy (filtered)"))
+    assert min(full, filtered) < local

@@ -1,0 +1,40 @@
+"""Fig. 6 — interpolation MAE per algorithm and method.
+
+Regenerates the MAE bar chart aggregated over splits, contexts, and training
+set sizes. Expected shape: pre-trained Bellamy variants are on par with or
+better than NNLS/Bell overall, clearly better than the local variant, and the
+differences are largest for the algorithms with non-trivial scale-out
+behaviour (SGD, K-Means).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.eval import reporting
+from repro.eval.protocol import aggregate, mean_absolute_error
+from repro.utils.tables import ascii_bar_chart
+
+
+def test_fig6_interpolation_mae(benchmark, cross_context_result):
+    records = cross_context_result.records
+    text = benchmark(
+        reporting.render_mae_bars,
+        records,
+        "interpolation",
+        title="[Fig 6] Interpolation MAE [s] per algorithm and method",
+    )
+    bars = reporting.mae_bars(records, "interpolation")
+    charts = [
+        ascii_bar_chart(methods, title=f"-- {algorithm} --")
+        for algorithm, methods in bars.items()
+    ]
+    emit("fig6_interpolation_mae", text + "\n\n" + "\n\n".join(charts))
+
+    interp = aggregate(records, task="interpolation")
+    local = mean_absolute_error(aggregate(interp, method="Bellamy (local)"))
+    best_pretrained = min(
+        mean_absolute_error(aggregate(interp, method="Bellamy (full)")),
+        mean_absolute_error(aggregate(interp, method="Bellamy (filtered)")),
+    )
+    assert best_pretrained < local

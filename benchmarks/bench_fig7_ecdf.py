@@ -1,0 +1,33 @@
+"""Fig. 7 — eCDF of fine-tuning epochs per algorithm and Bellamy variant.
+
+Expected shape: the pre-trained variants converge (and therefore terminate)
+in significantly fewer epochs than the local variant; algorithms with
+non-trivial scale-out behaviour need more epochs across all variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.eval import reporting
+
+
+def test_fig7_epoch_ecdf(benchmark, cross_context_result):
+    records = cross_context_result.records
+    text = benchmark(reporting.render_fig7, records)
+    emit("fig7_epoch_ecdf", text)
+
+    curves = reporting.fig7_ecdfs(records)
+    # Median fine-tuning epochs of the pre-trained variants must undercut the
+    # local variant on average across algorithms.
+    local_medians, pretrained_medians = [], []
+    for algorithm, per_method in curves.items():
+        for method, (values, _probs) in per_method.items():
+            median = float(np.percentile(values, 50))
+            if method == "Bellamy (local)":
+                local_medians.append(median)
+            else:
+                pretrained_medians.append(median)
+    assert local_medians and pretrained_medians
+    assert np.mean(pretrained_medians) < np.mean(local_medians)

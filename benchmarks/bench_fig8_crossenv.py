@@ -1,0 +1,47 @@
+"""Fig. 8 — cross-environment interpolation MAE (cloud -> private cluster).
+
+Pre-trains on C3O data and reuses the models on the Bell contexts under four
+strategies, against NNLS, Bell, and a local model. Expected shapes (paper
+§IV-C2): all models do comparably well on Grep and SGD; differences appear on
+the harder algorithm; the local and full-reset variants are among the most
+stable, i.e. naively reusing trained weights across a large environment shift
+does not necessarily win on error — its benefit is faster training.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.eval import reporting
+from repro.eval.protocol import aggregate, mean_absolute_error
+
+
+def test_fig8_cross_environment_mae(benchmark, cross_environment_result):
+    records = cross_environment_result.records
+    text = benchmark(
+        reporting.render_mae_bars,
+        records,
+        "interpolation",
+        title="[Fig 8] Cross-environment interpolation MAE [s]",
+    )
+    emit("fig8_crossenv_mae", text)
+
+    interp = aggregate(records, task="interpolation")
+    methods = {r.method for r in interp}
+    # All seven methods of the study are present.
+    assert {
+        "NNLS",
+        "Bell",
+        "Bellamy (local)",
+        "Bellamy (partial-unfreeze)",
+        "Bellamy (full-unfreeze)",
+        "Bellamy (partial-reset)",
+        "Bellamy (full-reset)",
+    } <= methods
+
+    # Every method produces finite errors on every Bell algorithm it ran on.
+    for method in methods:
+        value = mean_absolute_error(aggregate(interp, method=method))
+        assert not math.isnan(value) and value >= 0

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrates (not paper artifacts).
+
+Useful for tracking performance regressions of the NumPy NN engine, the
+property encoders, the NNLS solver, and the trace generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.nnls import nnls
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.data.schema import JobContext
+from repro.encoding.properties import PropertyEncoder
+from repro.nn.layers import FeedForward
+from repro.nn.losses import HuberLoss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def context():
+    return JobContext(
+        algorithm="sgd",
+        node_type="m4.2xlarge",
+        dataset_mb=19353,
+        dataset_characteristics="dense-features",
+        job_params=(("max_iterations", "25"),),
+    )
+
+
+def test_nn_forward_backward_step(benchmark):
+    rng = np.random.default_rng(0)
+    net = FeedForward(28, 8, 1, seed=0)
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    loss_fn = HuberLoss()
+    x = rng.normal(size=(64, 28))
+    y = rng.normal(size=(64, 1))
+
+    def step():
+        optimizer.zero_grad()
+        loss = loss_fn(net(Tensor(x)), Tensor(y))
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    benchmark(step)
+
+
+def test_bellamy_full_forward(benchmark, context):
+    model = BellamyModel(BellamyConfig(seed=0))
+    raw, props = model.featurizer.build_context_arrays(context, list(range(2, 66)))
+    model.fit_scaler(raw)
+    scaled = model.scaler.transform(raw)
+
+    benchmark(lambda: model.forward(Tensor(scaled), Tensor(props)))
+
+
+def test_property_encoding_throughput(benchmark, context):
+    encoder = PropertyEncoder(vector_size=40)
+    values = context.essential_properties() + context.optional_properties()
+    benchmark(lambda: encoder.encode_properties(values))
+
+
+def test_nnls_solve(benchmark):
+    rng = np.random.default_rng(0)
+    A = np.abs(rng.normal(size=(6, 4)))
+    b = np.abs(rng.normal(size=6)) * 100
+
+    benchmark(lambda: nnls(A, b))
+
+
+def test_trace_generation(benchmark, context):
+    generator = TraceGenerator(seed=0)
+    benchmark(
+        lambda: generator.executions_for_context(context, (2, 4, 6, 8, 10, 12), 5)
+    )
+
+
+def test_model_prediction_latency(benchmark, context):
+    model = BellamyModel(BellamyConfig(seed=0))
+    raw, _ = model.featurizer.build_context_arrays(context, [2, 4, 8, 12])
+    model.fit_scaler(raw)
+    benchmark(lambda: model.predict(context, [2, 4, 6, 8, 10, 12]))

@@ -1,0 +1,66 @@
+"""Shared fixtures of the benchmark harness.
+
+The expensive experiments (cross-context, cross-environment) run **once per
+session** at a configurable scale and are shared by the per-figure benchmark
+modules. Rendered artifacts are written to ``benchmarks/results/`` and echoed
+to stdout (visible with ``pytest -s``).
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``quick`` / ``full``
+(default ``quick``). ``full`` mirrors the paper's split/epoch counts and takes
+hours; ``quick`` finishes in minutes and preserves the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import generate_bell_dataset, generate_c3o_dataset
+from repro.eval.experiments import (
+    get_scale,
+    run_cross_context_experiment,
+    run_cross_environment_experiment,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale():
+    """The experiment scale selected via REPRO_BENCH_SCALE."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+
+
+def emit(name: str, text: str) -> None:
+    """Write a rendered artifact to results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def c3o_dataset():
+    return generate_c3o_dataset(seed=0)
+
+
+@pytest.fixture(scope="session")
+def bell_dataset():
+    return generate_bell_dataset(seed=0)
+
+
+@pytest.fixture(scope="session")
+def cross_context_result(c3o_dataset, scale):
+    """The one shared cross-context run behind Figs. 5, 6, 7 and §IV-C1."""
+    return run_cross_context_experiment(c3o_dataset, scale, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cross_environment_result(c3o_dataset, bell_dataset, scale):
+    """The one shared cross-environment run behind Fig. 8 and §IV-C2."""
+    return run_cross_environment_experiment(c3o_dataset, bell_dataset, scale, seed=0)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Cross-algorithm performance models (paper §V, future work).
+
+"Since some processing algorithms showed a similar scale-out behavior, we
+further plan to research ways of building models across algorithms." This
+example pre-trains one Bellamy model on the union corpus of all five C3O
+algorithms and compares it — per algorithm — against dedicated per-algorithm
+models, plus the pure-transfer case where the model has *never* seen the
+target algorithm.
+
+Run:  python examples/cross_algorithm_models.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import pretrain
+from repro.core.cross_algorithm import pretrain_cross_algorithm
+from repro.data import generate_c3o_dataset
+from repro.utils.tables import ascii_table
+
+PRETRAIN_EPOCHS = 300
+
+
+def zero_shot_mre(model, dataset, context) -> float:
+    """Zero-shot MRE of ``model`` on one context's mean runtime curve."""
+    data = dataset.for_context(context.context_id)
+    machines, actual = data.mean_runtime_curve()
+    predicted = model.predict(context, machines)
+    return float(np.mean(np.abs(predicted - actual) / actual))
+
+
+def main() -> None:
+    dataset = generate_c3o_dataset(seed=0)
+    algorithms = ("grep", "sort", "pagerank", "sgd", "kmeans")
+
+    print("== 1. One union model over all five algorithms ==")
+    union = pretrain_cross_algorithm(dataset, epochs=PRETRAIN_EPOCHS, seed=0)
+    union.model.eval()
+    print(
+        f"trained on {union.n_samples} executions from {union.n_contexts} "
+        f"contexts in {union.wall_seconds:.1f}s\n"
+    )
+
+    print("== 2. Per-algorithm zero-shot comparison ==")
+    rows = []
+    for algorithm in algorithms:
+        target = dataset.for_algorithm(algorithm).contexts()[1]
+        corpus = dataset.for_algorithm(algorithm).exclude_context(target.context_id)
+
+        dedicated = pretrain(corpus, algorithm, epochs=PRETRAIN_EPOCHS, seed=0).model
+        dedicated.eval()
+
+        transfer_corpus = dataset.filter(
+            lambda e, a=algorithm: e.context.algorithm != a
+        )
+        transfer = pretrain_cross_algorithm(
+            transfer_corpus, epochs=PRETRAIN_EPOCHS, seed=0
+        ).model
+        transfer.eval()
+
+        rows.append(
+            [
+                algorithm,
+                zero_shot_mre(dedicated, dataset, target),
+                zero_shot_mre(union.model, dataset, target),
+                zero_shot_mre(transfer, dataset, target),
+            ]
+        )
+    print(
+        ascii_table(
+            ["algorithm", "per-algorithm", "union", "transfer-only"],
+            rows,
+            title="zero-shot MRE on an unseen context (lower is better)",
+            digits=3,
+        )
+    )
+    print(
+        "\nThe union model stays close to the dedicated models (the job-name\n"
+        "property separates algorithms in code space); the transfer-only\n"
+        "model has never seen the target algorithm and degrades, most\n"
+        "strongly across the trivial/non-trivial divide."
+    )
+
+
+if __name__ == "__main__":
+    main()

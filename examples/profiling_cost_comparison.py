@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Profiling cost of resource selection: BO search vs model-based (paper §I).
+
+Bellamy's pitch is that pre-trained models recommend resources with little
+or no additional profiling, while iterative approaches (CherryPick-style
+Bayesian optimization) and designed-experiment approaches (Ernest) pay for
+every probe with a real job execution. This example quantifies that:
+
+1. pre-train Bellamy models for SGD and K-Means,
+2. for several unseen target contexts, ask each approach for the smallest
+   scale-out meeting a runtime target,
+3. compare profiling runs spent, success rates, and machine-count regret
+   against the noise-free oracle.
+
+Run:  python examples/profiling_cost_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core import pretrain
+from repro.data import c3o_trace_generator, generate_c3o_dataset
+from repro.selection.comparison import (
+    render_profiling_cost,
+    run_profiling_cost_experiment,
+)
+
+PRETRAIN_EPOCHS = 300
+CONTEXTS_PER_ALGORITHM = 3
+
+
+def main() -> None:
+    dataset = generate_c3o_dataset(seed=0)
+    generator = c3o_trace_generator(seed=0)
+
+    print("== 1. Pre-training base models (one per algorithm) ==")
+    pretrained = {}
+    targets = []
+    for algorithm in ("sgd", "kmeans"):
+        contexts = dataset.for_algorithm(algorithm).contexts()
+        chosen = contexts[:CONTEXTS_PER_ALGORITHM]
+        targets.extend(chosen)
+        corpus = dataset.for_algorithm(algorithm)
+        for context in chosen:  # none of the targets leaks into the corpus
+            corpus = corpus.exclude_context(context.context_id)
+        result = pretrain(corpus, algorithm, epochs=PRETRAIN_EPOCHS, seed=0)
+        result.model.eval()
+        pretrained[algorithm] = result.model
+        print(
+            f"{algorithm}: {result.n_samples} executions, "
+            f"{result.wall_seconds:.1f}s, val MAE {result.validation_mae:.0f}s"
+        )
+
+    print(f"\n== 2. Selecting resources for {len(targets)} unseen contexts ==")
+    print("target: smallest scale-out whose true runtime meets the deadline\n")
+
+    for samples, label in ((0, "zero-shot"), (1, "one profiling run")):
+        result = run_profiling_cost_experiment(
+            generator,
+            targets,
+            pretrained,
+            bellamy_samples=samples,
+            ernest_samples=4,
+            bo_max_runs=6,
+            finetune_max_epochs=400,
+            seed=0,
+        )
+        print(f"--- Bellamy budget: {label} ---")
+        print(render_profiling_cost(result))
+        print()
+
+    print(
+        "Every CherryPick/Ernest probe is a full job execution; Bellamy\n"
+        "amortizes historical executions from other contexts instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

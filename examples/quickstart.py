@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Quickstart: generate traces, pre-train a Bellamy model, predict runtimes.
+
+Walks the happy path of the library in about a minute:
+
+1. generate the synthetic C3O dataset (930 unique experiments, 5 algorithms),
+2. look at how differently SGD scales across contexts (the paper's Fig. 2),
+3. pre-train a Bellamy model on all SGD executions except one target context,
+4. predict the target context zero-shot, then fine-tune on two samples,
+5. compare against the Ernest (NNLS) baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ErnestModel
+from repro.core import BellamyConfig, finetune, pretrain
+from repro.data import generate_c3o_dataset
+from repro.eval.experiments import runtime_variance_summary
+from repro.utils.tables import ascii_table
+
+PRETRAIN_EPOCHS = 400  # paper: 2500; a few hundred suffice for the demo
+
+
+def main() -> None:
+    print("== 1. Generating the synthetic C3O dataset ==")
+    dataset = generate_c3o_dataset(seed=0)
+    summary = dataset.summary()
+    print(
+        f"{summary['executions']} executions, {summary['contexts']} contexts, "
+        f"algorithms: {', '.join(summary['algorithms'])}\n"
+    )
+
+    print("== 2. Scale-out behaviour varies across contexts (cf. paper Fig. 2) ==")
+    variance = runtime_variance_summary(dataset, "sgd")
+    rows = [
+        [scaleout, *quantile]
+        for scaleout, quantile in variance.quantiles.items()
+    ]
+    print(
+        ascii_table(
+            ["scale-out", "min", "q25", "median", "q75", "max"],
+            rows,
+            title="normalized SGD runtime across 30 contexts",
+            digits=2,
+        ),
+        "\n",
+    )
+
+    print("== 3. Pre-training on SGD executions from other contexts ==")
+    sgd = dataset.for_algorithm("sgd")
+    target_context = sgd.contexts()[5]
+    target_data = dataset.for_context(target_context.context_id)
+    corpus = dataset.exclude_context(target_context.context_id)
+    result = pretrain(
+        corpus,
+        "sgd",
+        config=BellamyConfig(learning_rate=1e-3, seed=0),
+        epochs=PRETRAIN_EPOCHS,
+    )
+    print(
+        f"pre-trained on {result.n_samples} executions from {result.n_contexts} "
+        f"contexts in {result.wall_seconds:.1f}s "
+        f"(validation MAE {result.validation_mae:.1f}s)\n"
+    )
+
+    print(f"== 4. Predicting the unseen context ==")
+    print(f"target: {target_context.node_type}, {target_context.dataset_mb} MB, "
+          f"{target_context.params_text}")
+    machines, actual = target_data.mean_runtime_curve()
+    zero_shot = result.model.predict(target_context, machines)
+
+    # Fine-tune on two observed samples (scale-outs 4 and 10).
+    sample_machines = np.array([4.0, 10.0])
+    sample_runtimes = np.array(
+        [
+            target_data.filter(lambda e: e.machines == m).runtimes_array()[0]
+            for m in sample_machines
+        ]
+    )
+    tuned = finetune(
+        result.model, target_context, sample_machines, sample_runtimes, max_epochs=800
+    )
+    fine_tuned = tuned.model.predict(target_context, machines)
+    print(
+        f"fine-tuned on {len(sample_machines)} samples in "
+        f"{tuned.epochs_trained} epochs / {tuned.wall_seconds:.2f}s "
+        f"(stop: {tuned.stop_reason})\n"
+    )
+
+    print("== 5. Comparison against the Ernest (NNLS) baseline ==")
+    ernest = ErnestModel().fit(sample_machines, sample_runtimes)
+    nnls_prediction = ernest.predict(machines)
+    rows = [
+        [int(m), a, z, f, e]
+        for m, a, z, f, e in zip(
+            machines, actual, zero_shot, fine_tuned, nnls_prediction
+        )
+    ]
+    print(
+        ascii_table(
+            ["scale-out", "actual [s]", "Bellamy 0-shot", "Bellamy tuned", "NNLS (2 pts)"],
+            rows,
+            digits=1,
+        )
+    )
+    for name, prediction in [
+        ("Bellamy zero-shot", zero_shot),
+        ("Bellamy fine-tuned", fine_tuned),
+        ("NNLS", nnls_prediction),
+    ]:
+        mre = np.mean(np.abs(prediction - actual) / actual)
+        print(f"{name:20s} MRE = {mre:.3f}")
+
+
+if __name__ == "__main__":
+    main()

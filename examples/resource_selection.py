@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Choosing cluster resources to meet a runtime target.
+
+The end-to-end use case the paper motivates (§I, §V): a user must pick a
+scale-out for an SGD job with a runtime target and a budget. We fine-tune a
+pre-trained Bellamy model on two profiling runs, then use it to pick
+
+* the smallest cluster meeting the runtime target, and
+* the cheapest cluster meeting it (using on-demand node prices),
+
+and validate the choice against the simulator's ground truth.
+
+Run:  python examples/resource_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BellamyConfig, finetune, pretrain, select_scaleout
+from repro.data import generate_c3o_dataset, c3o_trace_generator
+from repro.utils.tables import ascii_table
+
+RUNTIME_TARGET_S = 240.0
+CANDIDATES = [2, 4, 6, 8, 10, 12]
+
+
+def main() -> None:
+    dataset = generate_c3o_dataset(seed=0)
+    generator = c3o_trace_generator(seed=0)
+
+    # The job at hand: one concrete SGD context.
+    target = dataset.for_algorithm("sgd").contexts()[8]
+    target_data = dataset.for_context(target.context_id)
+    price = target.node.price_per_hour
+    print(f"job: SGD on {target.node_type} (${price}/h per node), "
+          f"{target.dataset_mb} MB, {target.params_text}")
+    print(f"runtime target: {RUNTIME_TARGET_S:.0f}s\n")
+
+    # Pre-train on every other context, fine-tune on two profiling runs.
+    corpus = dataset.exclude_context(target.context_id)
+    base = pretrain(
+        corpus, "sgd", config=BellamyConfig(learning_rate=1e-3, seed=1), epochs=400
+    ).model
+    profiling_machines = np.array([4.0, 12.0])
+    profiling_runtimes = np.array(
+        [
+            target_data.filter(lambda e: e.machines == m).runtimes_array()[0]
+            for m in profiling_machines
+        ]
+    )
+    model = finetune(
+        base, target, profiling_machines, profiling_runtimes, max_epochs=800
+    ).model
+
+    # Smallest cluster that meets the target.
+    recommendation = select_scaleout(
+        model,
+        CANDIDATES,
+        runtime_target_s=RUNTIME_TARGET_S,
+        objective="min_machines",
+        price_per_machine_hour=price,
+        context=target,
+    )
+    rows = [
+        [
+            candidate.machines,
+            candidate.predicted_runtime_s,
+            generator.expected_runtime(target, candidate.machines),
+            f"${candidate.predicted_cost:.3f}",
+            "yes" if candidate.meets_target else "no",
+        ]
+        for candidate in recommendation.candidates
+    ]
+    print(
+        ascii_table(
+            ["machines", "predicted [s]", "ground truth [s]", "cost", "meets target"],
+            rows,
+            title="candidate evaluation",
+            digits=1,
+        )
+    )
+
+    if recommendation.satisfiable:
+        chosen = recommendation.chosen
+        truth = generator.expected_runtime(target, chosen.machines)
+        print(
+            f"\nsmallest cluster meeting the target: {chosen.machines} machines "
+            f"(predicted {chosen.predicted_runtime_s:.0f}s, ground truth {truth:.0f}s)"
+        )
+        print(
+            "target actually met:" ,
+            "yes" if truth <= RUNTIME_TARGET_S * 1.05 else "no (prediction error)",
+        )
+    else:
+        print("\nno candidate meets the target — consider a larger budget")
+
+    # Cheapest cluster meeting the target.
+    cheapest = select_scaleout(
+        model,
+        CANDIDATES,
+        runtime_target_s=RUNTIME_TARGET_S,
+        objective="min_cost",
+        price_per_machine_hour=price,
+        context=target,
+    )
+    if cheapest.satisfiable:
+        print(
+            f"cheapest feasible cluster: {cheapest.chosen.machines} machines at "
+            f"${cheapest.chosen.predicted_cost:.3f} per run"
+        )
+
+
+if __name__ == "__main__":
+    main()

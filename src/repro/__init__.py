@@ -1,0 +1,73 @@
+"""repro — a full reproduction of *Bellamy: Reusing Performance Models for
+Distributed Dataflow Jobs Across Contexts* (Scheinert et al., CLUSTER 2021).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch NumPy neural-network substrate (autograd, layers, Adam,
+    cyclic LR schedules, training loop) replacing PyTorch.
+``repro.encoding``
+    Descriptive-property encoding: binary encoding of naturals, character
+    n-gram feature hashing on the unit sphere, min-max scaling.
+``repro.simulator``
+    Dataflow-runtime simulator standing in for the paper's EMR / private
+    cluster testbeds.
+``repro.data``
+    Execution schema, synthetic C3O and Bell datasets, sub-sampling
+    cross-validation splits.
+``repro.baselines``
+    Ernest (NNLS, with a from-scratch Lawson–Hanson solver) and Bell.
+``repro.core``
+    Bellamy itself: components f/g/h/z, pre-training, fine-tuning
+    strategies, persistence, resource selection.
+``repro.tune``
+    Hyperparameter search (random/grid/successive halving).
+``repro.eval``
+    Metrics, the evaluation protocol, one runner per paper figure, and the
+    ablation study.
+``repro.dataflow``
+    Dataflow-graph representation and encoders (paper §V future work).
+``repro.selection``
+    CherryPick-style Bayesian-optimization comparator for resource
+    selection and the profiling-cost experiment.
+``repro.cli``
+    The ``repro-bellamy`` command-line interface.
+
+Quickstart
+----------
+>>> from repro.data import generate_c3o_dataset
+>>> from repro.core import pretrain, finetune
+>>> dataset = generate_c3o_dataset(seed=0)
+>>> base = pretrain(dataset, "sgd", epochs=250).model
+>>> context = dataset.for_algorithm("sgd").contexts()[0]
+>>> runtime = base.predict(context, [8])  # zero-shot prediction, seconds
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    baselines,
+    core,
+    data,
+    dataflow,
+    encoding,
+    eval,
+    nn,
+    selection,
+    simulator,
+    tune,
+    utils,
+)
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "core",
+    "data",
+    "encoding",
+    "eval",
+    "nn",
+    "simulator",
+    "tune",
+    "utils",
+]

@@ -1,0 +1,16 @@
+"""Baseline runtime predictors: Ernest (NNLS) and Bell, plus the NNLS solver."""
+
+from repro.baselines.base import RuntimeModel
+from repro.baselines.bell_model import BellModel
+from repro.baselines.ernest import ErnestModel
+from repro.baselines.nnls import check_kkt, nnls
+from repro.baselines.nonparametric import InterpolationModel
+
+__all__ = [
+    "BellModel",
+    "ErnestModel",
+    "InterpolationModel",
+    "RuntimeModel",
+    "check_kkt",
+    "nnls",
+]

@@ -1,0 +1,53 @@
+"""Common interface of all runtime-prediction models.
+
+Both the baselines (Ernest/NNLS, Bell) and the Bellamy fine-tuned model
+expose ``fit(machines, runtimes)`` / ``predict(machines)`` on per-context
+data, so the evaluation protocol can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class RuntimeModel(abc.ABC):
+    """Predicts job runtimes from the horizontal scale-out."""
+
+    #: Human-readable model name, used in result tables.
+    name: str = "model"
+
+    #: Fewest training points for which the model is well-defined.
+    min_train_points: int = 1
+
+    @abc.abstractmethod
+    def fit(self, machines: np.ndarray, runtimes: np.ndarray) -> "RuntimeModel":
+        """Fit on per-context training data; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, machines: np.ndarray) -> np.ndarray:
+        """Predict runtimes (seconds) for the given scale-outs."""
+
+    def predict_one(self, machines: float) -> float:
+        """Convenience scalar prediction."""
+        return float(self.predict(np.asarray([machines], dtype=np.float64))[0])
+
+    @staticmethod
+    def _validate_training_data(
+        machines: np.ndarray, runtimes: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+        runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+        if machines.size == 0:
+            raise ValueError("fit requires at least one training point")
+        if machines.shape != runtimes.shape:
+            raise ValueError(
+                f"machines and runtimes must align, got {machines.shape} vs {runtimes.shape}"
+            )
+        if (machines <= 0).any():
+            raise ValueError("scale-outs must be positive")
+        if (runtimes <= 0).any():
+            raise ValueError("runtimes must be positive")
+        return machines, runtimes

@@ -1,0 +1,72 @@
+"""Bell: automatic selection between a parametric and a non-parametric model.
+
+Bell (Thamsen et al., IPCCC 2016) "trains two models from previous runs, and
+automatically chooses a suitable model for predictions": Ernest's parametric
+model and a non-parametric interpolator. Selection uses leave-one-out
+cross-validation on the training points, which is why Bell "requires at least
+three data points due to an internally used cross-validation" (paper §IV-C1);
+with fewer points it falls back to the parametric model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.baselines.ernest import ErnestModel
+from repro.baselines.nonparametric import InterpolationModel
+
+
+class BellModel(RuntimeModel):
+    """The Bell baseline: CV-selected parametric / non-parametric model."""
+
+    name = "Bell"
+    min_train_points = 3
+
+    def __init__(self) -> None:
+        self._selected: Optional[RuntimeModel] = None
+        self.selected_kind: Optional[str] = None
+
+    @staticmethod
+    def _loo_error(model_factory, machines: np.ndarray, runtimes: np.ndarray) -> float:
+        """Mean absolute leave-one-out error of a model family."""
+        errors = []
+        for left_out in range(machines.size):
+            mask = np.ones(machines.size, dtype=bool)
+            mask[left_out] = False
+            if np.unique(machines[mask]).size < 2:
+                continue  # cannot fit a curve on a single distinct scale-out
+            try:
+                model = model_factory().fit(machines[mask], runtimes[mask])
+                prediction = model.predict_one(machines[left_out])
+            except (ValueError, RuntimeError):
+                continue
+            errors.append(abs(prediction - runtimes[left_out]))
+        return float(np.mean(errors)) if errors else float("inf")
+
+    def fit(self, machines: np.ndarray, runtimes: np.ndarray) -> "BellModel":
+        """Fit both model families and select by leave-one-out CV."""
+        machines, runtimes = self._validate_training_data(machines, runtimes)
+        if machines.size < self.min_train_points:
+            # Degenerate regime: behave like the parametric baseline.
+            self._selected = ErnestModel().fit(machines, runtimes)
+            self.selected_kind = "parametric-fallback"
+            return self
+
+        parametric_error = self._loo_error(ErnestModel, machines, runtimes)
+        nonparametric_error = self._loo_error(InterpolationModel, machines, runtimes)
+        if parametric_error <= nonparametric_error:
+            self._selected = ErnestModel().fit(machines, runtimes)
+            self.selected_kind = "parametric"
+        else:
+            self._selected = InterpolationModel().fit(machines, runtimes)
+            self.selected_kind = "nonparametric"
+        return self
+
+    def predict(self, machines: np.ndarray) -> np.ndarray:
+        """Predict with the CV-selected model."""
+        if self._selected is None:
+            raise RuntimeError("BellModel.predict called before fit")
+        return self._selected.predict(machines)

@@ -1,0 +1,40 @@
+"""Ernest: the parametric scale-out model (Venkataraman et al., NSDI 2016).
+
+Paper Eq. 1: ``f(x) = t1 + t2 * 1/x + t3 * log(x) + t4 * x`` with non-negative
+weights fitted by NNLS. Each term models one aspect of parallel computation:
+fixed serial work, perfectly parallel work, tree-structured aggregation, and
+per-machine overhead. This is the "NNLS" baseline of the Bellamy evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.baselines.nnls import nnls
+from repro.encoding.scaleout import ernest_features
+
+
+class ErnestModel(RuntimeModel):
+    """Ernest's parametric model, fitted with non-negative least squares."""
+
+    name = "NNLS"
+    min_train_points = 1  # formally defined for 1 point (though unreasonable)
+
+    def __init__(self) -> None:
+        self.theta: Optional[np.ndarray] = None
+
+    def fit(self, machines: np.ndarray, runtimes: np.ndarray) -> "ErnestModel":
+        """Fit the four non-negative weights on (scale-out, runtime) pairs."""
+        machines, runtimes = self._validate_training_data(machines, runtimes)
+        design = ernest_features(machines)
+        self.theta, _ = nnls(design, runtimes)
+        return self
+
+    def predict(self, machines: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted parametric curve."""
+        if self.theta is None:
+            raise RuntimeError("ErnestModel.predict called before fit")
+        return ernest_features(machines) @ self.theta

@@ -1,0 +1,59 @@
+"""Non-parametric scale-out model used inside the Bell baseline.
+
+Bell (Thamsen et al., IPCCC 2016) pairs Ernest's parametric model with a
+non-parametric regressor that can follow arbitrary scale-out curves once the
+data is dense enough. We implement it as piecewise-linear interpolation over
+the per-scale-out mean runtimes, with linear extension beyond the observed
+range (clipped to stay positive).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+
+
+class InterpolationModel(RuntimeModel):
+    """Piecewise-linear mean-runtime interpolator with linear extrapolation."""
+
+    name = "interpolation"
+    min_train_points = 2
+
+    #: Runtimes are physically positive; extrapolated lines are clipped here.
+    runtime_floor: float = 1e-3
+
+    def __init__(self) -> None:
+        self._machines: Optional[np.ndarray] = None
+        self._runtimes: Optional[np.ndarray] = None
+
+    def fit(self, machines: np.ndarray, runtimes: np.ndarray) -> "InterpolationModel":
+        """Aggregate repeats per scale-out (mean) and store the curve."""
+        machines, runtimes = self._validate_training_data(machines, runtimes)
+        unique = np.unique(machines)
+        means = np.array([runtimes[machines == value].mean() for value in unique])
+        self._machines = unique
+        self._runtimes = means
+        return self
+
+    def predict(self, machines: np.ndarray) -> np.ndarray:
+        """Interpolate inside the hull, extend the boundary slope outside."""
+        if self._machines is None:
+            raise RuntimeError("InterpolationModel.predict called before fit")
+        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+        xs, ys = self._machines, self._runtimes
+        if xs.size == 1:
+            return np.full(machines.shape, ys[0])
+        out = np.interp(machines, xs, ys)
+        # np.interp clamps outside the range; replace with linear extension.
+        below = machines < xs[0]
+        if below.any():
+            slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+            out[below] = ys[0] + slope * (machines[below] - xs[0])
+        above = machines > xs[-1]
+        if above.any():
+            slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+            out[above] = ys[-1] + slope * (machines[above] - xs[-1])
+        return np.maximum(out, self.runtime_floor)

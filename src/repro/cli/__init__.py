@@ -1,0 +1,17 @@
+"""Command-line interface of the reproduction.
+
+Installed as the ``repro-bellamy`` console script (see ``pyproject.toml``);
+also runnable as ``python -m repro.cli``. Subcommands cover the end-to-end
+workflow of the paper:
+
+``dataset``     generate the synthetic C3O / Bell traces and export CSV,
+``pretrain``    pre-train a (graph-aware / cross-algorithm) model on traces,
+``predict``     predict runtimes of a described context at given scale-outs,
+``select``      pick a scale-out for a runtime target (resource selection),
+``experiment``  run a paper experiment (cross-context, cross-environment,
+                ablation, cross-algorithm) and render its tables.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,287 @@
+"""Implementations of the CLI subcommands."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.utils.tables import ascii_table
+
+
+def _load_traces(path: Optional[Path], seed: int):
+    """Traces from a CSV, or freshly generated synthetic C3O traces."""
+    if path is not None:
+        from repro.data.io import read_csv
+
+        return read_csv(path)
+    from repro.data.c3o import generate_c3o_dataset
+
+    return generate_c3o_dataset(seed=seed)
+
+
+def _context_from_args(args: argparse.Namespace):
+    from repro.data.schema import JobContext
+
+    params = []
+    for token in args.param:
+        if "=" not in token:
+            raise ValueError(f"--param expects KEY=VALUE, got {token!r}")
+        key, value = token.split("=", 1)
+        params.append((key, value))
+    return JobContext(
+        algorithm=args.algorithm,
+        node_type=args.node_type,
+        dataset_mb=args.dataset_mb,
+        dataset_characteristics=args.characteristics,
+        job_params=tuple(params),
+        environment=args.environment,
+        software=args.software,
+    )
+
+
+# --------------------------------------------------------------------- #
+# dataset
+# --------------------------------------------------------------------- #
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    """Generate synthetic traces; optionally export them as CSV."""
+    if args.which == "c3o":
+        from repro.data.c3o import generate_c3o_dataset
+
+        dataset = generate_c3o_dataset(seed=args.seed)
+    else:
+        from repro.data.bell import generate_bell_dataset
+
+        dataset = generate_bell_dataset(seed=args.seed)
+
+    summary = dataset.summary()
+    rows = [[str(key), str(value)] for key, value in summary.items()]
+    print(ascii_table(["field", "value"], rows, title=f"[dataset] {args.which}"))
+
+    if args.out is not None:
+        from repro.data.io import write_csv
+
+        write_csv(args.out, dataset)
+        print(f"wrote {len(dataset)} executions to {args.out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pretrain
+# --------------------------------------------------------------------- #
+
+
+def cmd_pretrain(args: argparse.Namespace) -> int:
+    """Pre-train a model and persist it in a model store."""
+    from repro.core.persistence import ModelStore
+
+    dataset = _load_traces(args.traces, args.seed)
+
+    if args.model_type == "gnn":
+        from repro.core.graph_model import pretrain_gnn
+
+        if args.algorithm is None:
+            raise ValueError("--model-type gnn requires --algorithm")
+        result = pretrain_gnn(
+            dataset, args.algorithm, epochs=args.epochs, seed=args.seed
+        )
+    elif args.algorithm is None:
+        from repro.core.cross_algorithm import pretrain_cross_algorithm
+
+        if args.model_type != "bellamy":
+            raise ValueError("cross-algorithm training supports --model-type bellamy")
+        result = pretrain_cross_algorithm(
+            dataset, epochs=args.epochs, seed=args.seed
+        )
+    else:
+        from repro.core.pretraining import pretrain
+
+        factory = None
+        if args.model_type == "graph":
+            from repro.core.graph_model import GraphBellamyModel
+
+            factory = GraphBellamyModel
+        result = pretrain(
+            dataset,
+            args.algorithm,
+            epochs=args.epochs,
+            seed=args.seed,
+            model_factory=factory,
+        )
+
+    store = ModelStore(args.store)
+    store.save(
+        args.name,
+        result.model,
+        metadata={
+            "algorithm": result.algorithm,
+            "variant": result.variant,
+            "n_samples": result.n_samples,
+            "n_contexts": result.n_contexts,
+            "validation_mae": result.validation_mae,
+        },
+    )
+    print(
+        f"pre-trained {type(result.model).__name__} on {result.n_samples} "
+        f"executions from {result.n_contexts} contexts "
+        f"({result.wall_seconds:.1f}s); saved as {args.name!r} in {args.store}"
+    )
+    if result.validation_mae is not None:
+        print(f"validation MAE: {result.validation_mae:.1f}s")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# predict
+# --------------------------------------------------------------------- #
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Predict runtimes of a described context at the given scale-outs."""
+    from repro.core.persistence import ModelStore
+
+    model = ModelStore(args.store).load(args.name)
+    context = _context_from_args(args)
+    predictions = model.predict(context, args.machines)
+    rows = [
+        [str(machines), f"{runtime:.1f}"]
+        for machines, runtime in zip(args.machines, predictions)
+    ]
+    print(
+        ascii_table(
+            ["machines", "predicted runtime [s]"],
+            rows,
+            title=f"[predict] {context.algorithm} on {context.node_type}",
+        )
+    )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# select
+# --------------------------------------------------------------------- #
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    """Recommend a scale-out for a runtime target."""
+    from repro.core.persistence import ModelStore
+    from repro.core.resource_selection import select_scaleout
+
+    model = ModelStore(args.store).load(args.name)
+    context = _context_from_args(args)
+    recommendation = select_scaleout(
+        model,
+        candidates=args.candidates,
+        runtime_target_s=args.target,
+        objective=args.objective,
+        price_per_machine_hour=args.price,
+        context=context,
+    )
+    rows = []
+    for candidate in recommendation.candidates:
+        cost = "-" if candidate.predicted_cost is None else f"{candidate.predicted_cost:.3f}"
+        rows.append(
+            [
+                str(candidate.machines),
+                f"{candidate.predicted_runtime_s:.1f}",
+                cost,
+                "yes" if candidate.meets_target else "no",
+            ]
+        )
+    print(
+        ascii_table(
+            ["machines", "runtime [s]", "cost [USD]", "meets target"],
+            rows,
+            title=f"[select] target {args.target:.0f}s, objective {args.objective}",
+        )
+    )
+    if recommendation.satisfiable:
+        print(f"recommendation: {recommendation.chosen.machines} machines")
+        return 0
+    print("no candidate meets the runtime target")
+    return 1
+
+
+# --------------------------------------------------------------------- #
+# experiment
+# --------------------------------------------------------------------- #
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper experiments and render its tables."""
+    from repro.data.c3o import generate_c3o_dataset
+    from repro.eval.experiments import get_scale
+    from repro.eval import reporting
+
+    scale = get_scale(args.scale)
+    dataset = generate_c3o_dataset(seed=args.seed)
+    sections: Tuple[Tuple[str, str], ...]
+
+    if args.which == "cross-context":
+        from repro.eval.experiments import run_cross_context_experiment
+
+        result = run_cross_context_experiment(
+            dataset, scale, seed=args.seed, n_workers=args.workers
+        )
+        sections = (
+            ("fig5_interpolation", reporting.render_fig5(result.records, "interpolation")),
+            ("fig5_extrapolation", reporting.render_fig5(result.records, "extrapolation")),
+            ("fig6_mae", reporting.render_mae_bars(result.records)),
+            ("fig7_epochs", reporting.render_fig7(result.records)),
+            ("training_time", reporting.render_training_time(result.records)),
+        )
+    elif args.which == "cross-environment":
+        from repro.data.bell import generate_bell_dataset
+        from repro.eval.experiments import run_cross_environment_experiment
+
+        bell = generate_bell_dataset(seed=args.seed)
+        result = run_cross_environment_experiment(dataset, bell, scale, seed=args.seed)
+        sections = (
+            (
+                "fig8_crossenv",
+                reporting.render_mae_bars(
+                    result.records,
+                    title="[Fig 8] Cross-environment interpolation MAE [s]",
+                ),
+            ),
+            ("crossenv_training_time", reporting.render_training_time(result.records)),
+        )
+    elif args.which == "ablation":
+        from repro.eval.experiments import run_ablation_experiment
+
+        result = run_ablation_experiment(
+            dataset, scale, seed=args.seed, algorithms=("sgd", "kmeans")
+        )
+        sections = (("ablation", reporting.render_ablation(result.records)),)
+    else:  # cross-algorithm
+        from repro.core.cross_algorithm import run_cross_algorithm_experiment
+
+        result = run_cross_algorithm_experiment(
+            dataset, scale, seed=args.seed, algorithms=("grep", "sgd")
+        )
+        sections = (
+            (
+                "cross_algorithm",
+                reporting.render_mae_bars(
+                    result.records,
+                    title="[Ext] Cross-algorithm interpolation MAE [s]",
+                ),
+            ),
+        )
+
+    for name, text in sections:
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if args.out is not None:
+        print(f"wrote {len(sections)} table(s) to {args.out}")
+    if args.records is not None:
+        from repro.eval.records_io import save_records
+
+        save_records(args.records, result.records)
+        print(f"wrote {len(result.records)} records to {args.records}")
+    return 0

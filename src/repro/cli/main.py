@@ -1,0 +1,157 @@
+"""Argument parsing and dispatch of the ``repro-bellamy`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bellamy",
+        description=(
+            "Reproduction of 'Bellamy: Reusing Performance Models for "
+            "Distributed Dataflow Jobs Across Contexts' (CLUSTER 2021)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------ dataset --------------------------- #
+    dataset = subparsers.add_parser(
+        "dataset", help="generate synthetic C3O/Bell traces and export CSV"
+    )
+    dataset.add_argument(
+        "--which", choices=("c3o", "bell"), default="c3o", help="trace family"
+    )
+    dataset.add_argument("--seed", type=int, default=0, help="generation seed")
+    dataset.add_argument(
+        "--out", type=Path, default=None, help="CSV output path (default: stdout summary only)"
+    )
+    dataset.set_defaults(handler=commands.cmd_dataset)
+
+    # ------------------------------ pretrain -------------------------- #
+    pretrain = subparsers.add_parser(
+        "pretrain", help="pre-train a model on historical traces"
+    )
+    pretrain.add_argument(
+        "--traces", type=Path, default=None,
+        help="CSV of historical executions (default: generated C3O traces)",
+    )
+    pretrain.add_argument("--seed", type=int, default=0, help="training seed")
+    pretrain.add_argument(
+        "--algorithm", default=None,
+        help="algorithm to pre-train on (omit for cross-algorithm training)",
+    )
+    pretrain.add_argument(
+        "--epochs", type=int, default=None, help="override pre-training epochs"
+    )
+    pretrain.add_argument(
+        "--model-type", choices=("bellamy", "graph", "gnn"), default="bellamy",
+        help="plain Bellamy, graph-as-property, or learned graph code",
+    )
+    pretrain.add_argument(
+        "--store", type=Path, required=True, help="model store directory"
+    )
+    pretrain.add_argument("--name", required=True, help="model name in the store")
+    pretrain.set_defaults(handler=commands.cmd_pretrain)
+
+    # ------------------------------ predict --------------------------- #
+    predict = subparsers.add_parser(
+        "predict", help="predict runtimes for a context at given scale-outs"
+    )
+    _add_context_arguments(predict)
+    predict.add_argument(
+        "--machines", type=int, nargs="+", required=True, help="scale-outs to predict"
+    )
+    predict.add_argument("--store", type=Path, required=True)
+    predict.add_argument("--name", required=True)
+    predict.set_defaults(handler=commands.cmd_predict)
+
+    # ------------------------------ select ---------------------------- #
+    select = subparsers.add_parser(
+        "select", help="choose a scale-out meeting a runtime target"
+    )
+    _add_context_arguments(select)
+    select.add_argument("--store", type=Path, required=True)
+    select.add_argument("--name", required=True)
+    select.add_argument(
+        "--target", type=float, required=True, help="runtime target in seconds"
+    )
+    select.add_argument(
+        "--candidates", type=int, nargs="+", default=list(range(2, 13, 2)),
+        help="candidate scale-outs (default: 2..12 step 2)",
+    )
+    select.add_argument(
+        "--objective",
+        choices=("min_machines", "min_cost", "min_runtime"),
+        default="min_machines",
+    )
+    select.add_argument(
+        "--price", type=float, default=None, help="price per machine-hour (USD)"
+    )
+    select.set_defaults(handler=commands.cmd_select)
+
+    # ------------------------------ experiment ------------------------ #
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper experiment and render its tables"
+    )
+    experiment.add_argument(
+        "which",
+        choices=("cross-context", "cross-environment", "ablation", "cross-algorithm"),
+    )
+    experiment.add_argument(
+        "--scale", choices=("smoke", "quick", "full"), default="quick"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--out", type=Path, default=None, help="directory for rendered tables"
+    )
+    experiment.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for the cross-context study "
+        "(0 = serial, -1 = all cores); results are worker-count independent",
+    )
+    experiment.add_argument(
+        "--records", type=Path, default=None,
+        help="also save the raw evaluation records as JSON (re-renderable "
+        "via repro.eval.load_records)",
+    )
+    experiment.set_defaults(handler=commands.cmd_experiment)
+
+    return parser
+
+
+def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared job-context flags of ``predict`` and ``select``."""
+    parser.add_argument("--algorithm", required=True, help="e.g. sgd")
+    parser.add_argument("--node-type", required=True, help="e.g. m4.2xlarge")
+    parser.add_argument("--dataset-mb", type=int, required=True)
+    parser.add_argument(
+        "--characteristics", default="", help="dataset characteristics label"
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="job parameter (repeatable)",
+    )
+    parser.add_argument("--environment", default="cloud")
+    parser.add_argument("--software", default="hadoop-3.2.1 spark-2.4.4")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return int(args.handler(args) or 0)
+    except (ValueError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Bellamy core: the paper's primary contribution.
+
+Architecture components (f, g, h, z), the assembled model, pre-training on
+cross-context corpora, fine-tuning strategies, model persistence, the
+``RuntimeModel`` adapter used by the evaluation, and resource selection.
+"""
+
+from repro.core.components import (
+    AutoEncoder,
+    PropertyDecoderNetwork,
+    PropertyEncoderNetwork,
+    RuntimePredictorNetwork,
+    ScaleOutNetwork,
+)
+from repro.core.cross_algorithm import (
+    CrossAlgorithmResult,
+    pretrain_cross_algorithm,
+    run_cross_algorithm_experiment,
+)
+from repro.core.config import (
+    PRETRAIN_SEARCH_SAMPLES,
+    PRETRAIN_SEARCH_SPACE,
+    BellamyConfig,
+)
+from repro.core.features import BellamyFeaturizer
+from repro.core.graph_model import (
+    GnnBellamyModel,
+    GraphBellamyModel,
+    GraphPropertyFeaturizer,
+    pretrain_gnn,
+)
+from repro.core.finetuning import (
+    FinetuneResult,
+    FinetuneStrategy,
+    finetune,
+    train_local,
+    unfreeze_epoch_for,
+)
+from repro.core.model import BellamyModel
+from repro.core.persistence import ModelStore
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.pretraining import (
+    PretrainResult,
+    filter_distinct_contexts,
+    pretrain,
+    pretrain_with_search,
+)
+from repro.core.resource_selection import (
+    CandidateEvaluation,
+    ResourceRecommendation,
+    evaluate_candidates,
+    select_scaleout,
+)
+
+__all__ = [
+    "AutoEncoder",
+    "BellamyConfig",
+    "BellamyFeaturizer",
+    "BellamyModel",
+    "BellamyRuntimeModel",
+    "CandidateEvaluation",
+    "CrossAlgorithmResult",
+    "FinetuneResult",
+    "FinetuneStrategy",
+    "GnnBellamyModel",
+    "GraphBellamyModel",
+    "GraphPropertyFeaturizer",
+    "ModelStore",
+    "PRETRAIN_SEARCH_SAMPLES",
+    "PRETRAIN_SEARCH_SPACE",
+    "PretrainResult",
+    "PropertyDecoderNetwork",
+    "PropertyEncoderNetwork",
+    "ResourceRecommendation",
+    "RuntimePredictorNetwork",
+    "ScaleOutNetwork",
+    "evaluate_candidates",
+    "filter_distinct_contexts",
+    "finetune",
+    "pretrain",
+    "pretrain_cross_algorithm",
+    "pretrain_gnn",
+    "pretrain_with_search",
+    "run_cross_algorithm_experiment",
+    "select_scaleout",
+    "train_local",
+    "unfreeze_epoch_for",
+]

@@ -1,0 +1,107 @@
+"""Bellamy's four neural components (paper §III-B..D, §IV-A).
+
+* ``f`` — scale-out modeling: ``[1/x, log x, x] -> R^F`` (3 -> 16 -> 8),
+* ``g`` — encoder: property vector ``R^N -> R^M`` codes (40 -> 8 -> 4),
+* ``h`` — decoder: ``R^M -> R^N`` reconstruction (4 -> 8 -> 40, tanh output),
+* ``z`` — runtime predictor: combined vector -> scalar (… -> 8 -> 1).
+
+All components are two-layer feed-forward networks with SELU activations;
+the auto-encoder waives biases and applies alpha-dropout between its layers.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BellamyConfig
+from repro.nn.layers import FeedForward
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_seed
+
+
+class ScaleOutNetwork(FeedForward):
+    """Component ``f``: embeds the scale-out feature vector (paper §III-B)."""
+
+    def __init__(self, config: BellamyConfig) -> None:
+        super().__init__(
+            in_features=3,
+            hidden_features=config.scaleout_hidden_dim,
+            out_features=config.scaleout_dim,
+            hidden_activation=config.activation,
+            output_activation=config.activation,
+            bias=True,
+            dropout=0.0,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "f"),
+        )
+
+
+class PropertyEncoderNetwork(FeedForward):
+    """Component ``g``: compresses property vectors to codes (paper §III-C)."""
+
+    def __init__(self, config: BellamyConfig) -> None:
+        super().__init__(
+            in_features=config.property_vector_size,
+            hidden_features=config.hidden_dim,
+            out_features=config.encoding_dim,
+            hidden_activation=config.activation,
+            output_activation=config.activation,
+            bias=False,  # "Both functions waive additional additive biases"
+            dropout=config.dropout,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "g"),
+        )
+
+
+class PropertyDecoderNetwork(FeedForward):
+    """Component ``h``: reconstructs property vectors from codes.
+
+    The output activation is tanh, "in line with the nature of our vectorized
+    properties" (bits in {0, 1} and unit-sphere coordinates in [-1, 1]).
+    """
+
+    def __init__(self, config: BellamyConfig) -> None:
+        super().__init__(
+            in_features=config.encoding_dim,
+            hidden_features=config.hidden_dim,
+            out_features=config.property_vector_size,
+            hidden_activation=config.activation,
+            output_activation="tanh",
+            bias=False,
+            dropout=config.dropout,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "h"),
+        )
+
+
+class RuntimePredictorNetwork(FeedForward):
+    """Component ``z``: maps the combined vector to the runtime (paper §III-D)."""
+
+    def __init__(self, config: BellamyConfig) -> None:
+        super().__init__(
+            in_features=config.combined_dim,
+            hidden_features=config.hidden_dim,
+            out_features=config.out_dim,
+            hidden_activation=config.activation,
+            output_activation=config.activation,
+            bias=True,
+            dropout=0.0,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "z"),
+        )
+
+
+class AutoEncoder(Module):
+    """Encoder/decoder pair with convenience round-trip helpers."""
+
+    def __init__(self, config: BellamyConfig) -> None:
+        super().__init__()
+        self.encoder = PropertyEncoderNetwork(config)
+        self.decoder = PropertyDecoderNetwork(config)
+
+    def encode(self, properties: Tensor) -> Tensor:
+        """Codes for a batch of property vectors."""
+        return self.encoder(properties)
+
+    def forward(self, properties: Tensor) -> Tensor:
+        """Reconstruction of a batch of property vectors."""
+        return self.decoder(self.encoder(properties))

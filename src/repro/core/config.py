@@ -1,0 +1,120 @@
+"""Bellamy model configuration (paper Table I).
+
+Architecture defaults mirror the prototype exactly: property vectors of size
+40 compressed to 4-dimensional codes through a hidden width of 8; the
+scale-out network maps 3 features through a hidden width of 16 to an 8-dim
+embedding; the predictor maps the combined vector through a hidden width of 8
+to 1 output. Pre-training searches dropout, learning rate, and weight decay
+over the Table I grid; fine-tuning uses Huber loss only, cyclical annealing
+in (1e-3, 1e-2), and stops at train MAE <= 5 s or after 1000 epochs without
+improvement (2500 max).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Tuple
+
+#: Table I search space for pre-training hyperparameters.
+PRETRAIN_SEARCH_SPACE: Dict[str, Tuple[float, ...]] = {
+    "dropout": (0.05, 0.10, 0.20),
+    "learning_rate": (1e-1, 1e-2, 1e-3),
+    "weight_decay": (1e-2, 1e-3, 1e-4),
+}
+
+#: Number of configurations sampled from the search space (paper: 12).
+PRETRAIN_SEARCH_SAMPLES: int = 12
+
+
+@dataclass(frozen=True)
+class BellamyConfig:
+    """All architecture and training hyperparameters of a Bellamy model."""
+
+    # ------------------------- architecture --------------------------- #
+    #: Size N of the raw property vectors ("Decoding-Dim." in Table I).
+    property_vector_size: int = 40
+    #: Size M of the auto-encoder codes ("Encoding-Dim.").
+    encoding_dim: int = 4
+    #: Hidden width of encoder/decoder/predictor ("Hidden-Dim.").
+    hidden_dim: int = 8
+    #: Hidden width of the scale-out network f (fixed to 16 in the paper).
+    scaleout_hidden_dim: int = 16
+    #: Output dimensionality F of the scale-out network f.
+    scaleout_dim: int = 8
+    #: Final output dimensionality ("Out-Dim.").
+    out_dim: int = 1
+    #: Number of essential properties m (C3O: dataset size, characteristics,
+    #: job parameters, node type).
+    n_essential: int = 4
+    #: Whether optional properties are consumed (their codes are averaged).
+    use_optional: bool = True
+    #: Hidden/output activation of all components except the decoder output.
+    activation: str = "selu"
+    #: Weight initialization scheme.
+    init: str = "he_normal"
+
+    # ------------------------- pre-training --------------------------- #
+    batch_size: int = 64
+    dropout: float = 0.10
+    #: Default learning rate: the value the Table I hyperparameter search
+    #: selects on the synthetic corpora (all three grid values are searchable
+    #: via :func:`repro.core.pretraining.pretrain_with_search`).
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-3
+    pretrain_epochs: int = 2500
+    #: Huber transition point (PyTorch default).
+    huber_delta: float = 1.0
+    #: Weight of the reconstruction MSE in the joint objective.
+    reconstruction_weight: float = 1.0
+    #: Fraction of pre-training data held out for model selection.
+    validation_fraction: float = 0.1
+
+    # ------------------------- fine-tuning ---------------------------- #
+    finetune_max_epochs: int = 2500
+    finetune_lr_min: float = 1e-3
+    finetune_lr_max: float = 1e-2
+    finetune_lr_cycle: int = 100
+    finetune_weight_decay: float = 1e-3
+    #: Stop early once the training MAE (seconds) drops to this target.
+    finetune_target_mae: float = 5.0
+    #: Stop when no improvement for this many epochs.
+    finetune_patience: int = 1000
+
+    # ------------------------- misc ----------------------------------- #
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.property_vector_size < 2:
+            raise ValueError("property_vector_size must be >= 2")
+        if self.encoding_dim <= 0 or self.hidden_dim <= 0 or self.scaleout_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.n_essential <= 0:
+            raise ValueError("n_essential must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if self.finetune_lr_min <= 0 or self.finetune_lr_max <= self.finetune_lr_min:
+            raise ValueError("need 0 < finetune_lr_min < finetune_lr_max")
+
+    @property
+    def combined_dim(self) -> int:
+        """Input width of the predictor z: ``F + (m + 1) * M`` (paper Eq. 5).
+
+        Without optional properties the mean-code block is absent.
+        """
+        blocks = self.n_essential + (1 if self.use_optional else 0)
+        return self.scaleout_dim + blocks * self.encoding_dim
+
+    def with_overrides(self, **overrides) -> "BellamyConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for JSON serialization."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "BellamyConfig":
+        """Inverse of :meth:`to_dict`."""
+        return BellamyConfig(**payload)

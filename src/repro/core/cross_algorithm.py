@@ -1,0 +1,193 @@
+"""Cross-algorithm performance models (paper §V, future work).
+
+The paper closes with: *"since some processing algorithms showed a similar
+scale-out behavior, we further plan to research ways of building models
+across algorithms."* This module implements that direction:
+
+* :func:`pretrain_cross_algorithm` trains **one** Bellamy model on the union
+  corpus of several algorithms. The job name is one of the optional
+  descriptive properties (paper §IV-B), so the model can tell algorithms
+  apart through its property codes — no architecture change is needed.
+* :func:`run_cross_algorithm_experiment` compares three pre-training corpora
+  per target context: the usual per-algorithm corpus, the cross-algorithm
+  union corpus, and a *transfer* corpus holding only the *other* algorithms
+  (zero executions of the target's algorithm — the pure cross-algorithm
+  transfer case the paper speculates about).
+
+Expected shapes: the union corpus should be roughly on par with the
+per-algorithm corpus (job-name codes separate the algorithms); the pure
+transfer corpus helps most for algorithms whose scale-out behaviour
+resembles another's (grep/sort/pagerank share near-``1/x`` curves) and
+struggles across the trivial/non-trivial divide.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy
+from repro.core.model import BellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.pretraining import PretrainResult, pretrain
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.eval.experiments.common import (
+    ExperimentScale,
+    QUICK_SCALE,
+    select_target_contexts,
+)
+from repro.eval.protocol import (
+    EvaluationRecord,
+    MethodSpec,
+    ProtocolConfig,
+    evaluate_context,
+)
+from repro.utils.rng import derive_seed
+
+
+def pretrain_cross_algorithm(
+    dataset: ExecutionDataset,
+    algorithms: Optional[Sequence[str]] = None,
+    config: Optional[BellamyConfig] = None,
+    epochs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> PretrainResult:
+    """Pre-train one model on the union corpus of several algorithms.
+
+    Parameters
+    ----------
+    dataset:
+        The historical-execution corpus.
+    algorithms:
+        Algorithms to include (default: every algorithm in the dataset).
+    config, epochs, seed:
+        Forwarded to :func:`repro.core.pretraining.pretrain`.
+    """
+    if algorithms is not None:
+        wanted = {a.lower() for a in algorithms}
+        corpus = dataset.filter(lambda e: e.context.algorithm in wanted)
+    else:
+        corpus = dataset
+    if len(corpus) == 0:
+        raise ValueError("cross-algorithm corpus is empty")
+    return pretrain(
+        corpus,
+        algorithm=None,
+        config=config,
+        variant="cross-algorithm",
+        epochs=epochs,
+        seed=seed,
+    )
+
+
+@dataclass
+class CrossAlgorithmResult:
+    """Records of one cross-algorithm study plus diagnostics."""
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+    pretrain_seconds: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    scale_name: str = ""
+
+    def methods(self) -> List[str]:
+        """Distinct method names, stable order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.method, None)
+        return list(seen)
+
+
+#: Method labels of the three corpus policies under study.
+PER_ALGORITHM = "Bellamy (per-algorithm)"
+UNION = "Bellamy (union)"
+TRANSFER_ONLY = "Bellamy (transfer-only)"
+
+
+def _method(
+    base: BellamyModel, label: str, scale: ExperimentScale
+) -> MethodSpec:
+    def factory(context: JobContext) -> BellamyRuntimeModel:
+        return BellamyRuntimeModel(
+            context,
+            base_model=base,
+            strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
+            max_epochs=scale.finetune_max_epochs,
+            variant_label=label,
+        )
+
+    return MethodSpec(name=label, factory=factory, min_train_points=0)
+
+
+def run_cross_algorithm_experiment(
+    dataset: ExecutionDataset,
+    scale: ExperimentScale = QUICK_SCALE,
+    seed: int = 0,
+    algorithms: Optional[Sequence[str]] = None,
+    contexts_per_algorithm: Optional[int] = None,
+) -> CrossAlgorithmResult:
+    """Compare per-algorithm, union, and transfer-only pre-training corpora.
+
+    For each target context the three base models are pre-trained on:
+
+    * ``per-algorithm`` — all other contexts of the *same* algorithm (the
+      paper's ``full`` variant, the reference),
+    * ``union``         — all other contexts of *every* algorithm,
+    * ``transfer-only`` — all contexts of the *other* algorithms only.
+
+    All three are fine-tuned identically on the protocol's splits.
+    """
+    started = time.perf_counter()
+    config = scale.bellamy_config()
+    algorithms = tuple(algorithms or scale.algorithms)
+    n_contexts = contexts_per_algorithm or scale.contexts_per_algorithm
+    result = CrossAlgorithmResult(scale_name=scale.name)
+
+    for algorithm in algorithms:
+        targets = select_target_contexts(dataset, algorithm, n_contexts, seed=seed)
+        for target in targets:
+            rest = dataset.exclude_context(target.context_id)
+            corpora = {
+                PER_ALGORITHM: rest.for_algorithm(algorithm),
+                UNION: rest,
+                TRANSFER_ONLY: rest.filter(
+                    lambda e: e.context.algorithm != algorithm
+                ),
+            }
+            reference_size = max(len(corpora[PER_ALGORITHM]), 1)
+            methods: List[MethodSpec] = []
+            for label, corpus in corpora.items():
+                # Equalize gradient steps across corpus sizes: the union
+                # corpus is ~5x larger, so a fixed epoch count would both
+                # quintuple the compute and bias the comparison.
+                epochs = max(
+                    50,
+                    round(config.pretrain_epochs * reference_size / len(corpus)),
+                )
+                pretrained = pretrain(
+                    corpus,
+                    algorithm=None,
+                    config=config.with_overrides(
+                        seed=derive_seed(seed, "xalg", label, target.context_id)
+                    ),
+                    variant=label,
+                    epochs=epochs,
+                )
+                pretrained.model.eval()
+                result.pretrain_seconds[label] = (
+                    result.pretrain_seconds.get(label, 0.0) + pretrained.wall_seconds
+                )
+                methods.append(_method(pretrained.model, label, scale))
+
+            context_data = dataset.for_context(target.context_id)
+            protocol = ProtocolConfig(
+                n_train_values=scale.n_train_values,
+                max_splits=scale.max_splits,
+                seed=derive_seed(seed, "xalg-protocol", target.context_id),
+            )
+            result.records.extend(evaluate_context(methods, context_data, protocol))
+
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,99 @@
+"""Featurization: executions -> (scale-out features, property matrices).
+
+Bridges the data layer and the neural model. Each execution sample yields
+
+* a raw scale-out feature vector ``[1/x, log x, x]`` (min-max scaled inside
+  the model, boundaries fixed at training time), and
+* a property matrix of shape ``(P, N)`` holding the encoded essential and
+  optional descriptive properties of its context (P = m + n_optional).
+
+Context encodings are cached by context id — they are constant per context
+and their computation (hashing, binarization) dominates featurization cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BellamyConfig
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.encoding.properties import PropertyEncoder
+from repro.encoding.scaleout import bellamy_features
+
+
+class BellamyFeaturizer:
+    """Builds model inputs from contexts and scale-outs."""
+
+    def __init__(self, config: BellamyConfig) -> None:
+        self.config = config
+        self.encoder = PropertyEncoder(vector_size=config.property_vector_size)
+        self._context_cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def properties_per_sample(self) -> int:
+        """Number of property vectors per sample (essential + optional)."""
+        return self.config.n_essential + (3 if self.config.use_optional else 0)
+
+    def property_values(self, context: JobContext) -> List[object]:
+        """Raw property values of one context, essential first.
+
+        Subclasses may append further optional properties (e.g. the dataflow
+        graph serialization in :mod:`repro.core.graph_model`); optional codes
+        are mean-pooled, so extra entries need no architecture change.
+        """
+        essential = context.essential_properties()
+        if len(essential) != self.config.n_essential:
+            raise ValueError(
+                f"context provides {len(essential)} essential properties, "
+                f"config expects {self.config.n_essential}"
+            )
+        values: List[object] = list(essential)
+        if self.config.use_optional:
+            values.extend(context.optional_properties())
+        return values
+
+    def encode_context(self, context: JobContext) -> np.ndarray:
+        """Property matrix ``(P, N)`` of one context (cached)."""
+        cached = self._context_cache.get(context.context_id)
+        if cached is not None:
+            return cached
+        matrix = self.encoder.encode_properties(self.property_values(context))
+        self._context_cache[context.context_id] = matrix
+        return matrix
+
+    def scaleout_features(self, machines: Sequence[float]) -> np.ndarray:
+        """Raw (unscaled) scale-out feature matrix ``(n, 3)``."""
+        return bellamy_features(np.asarray(machines, dtype=np.float64))
+
+    def build_arrays(
+        self, dataset: ExecutionDataset
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arrays for a whole dataset.
+
+        Returns
+        -------
+        (scaleout_raw, properties, runtimes):
+            ``(n, 3)`` raw scale-out features, ``(n, P, N)`` property
+            matrices, and ``(n,)`` runtimes in seconds.
+        """
+        if len(dataset) == 0:
+            raise ValueError("cannot featurize an empty dataset")
+        scaleout_raw = self.scaleout_features(dataset.machines_array())
+        properties = np.stack([self.encode_context(e.context) for e in dataset])
+        runtimes = dataset.runtimes_array()
+        return scaleout_raw, properties, runtimes
+
+    def build_context_arrays(
+        self, context: JobContext, machines: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Arrays for predicting one context at several scale-outs."""
+        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+        scaleout_raw = self.scaleout_features(machines)
+        matrix = self.encode_context(context)
+        properties = np.broadcast_to(
+            matrix, (machines.size,) + matrix.shape
+        ).copy()
+        return scaleout_raw, properties

@@ -1,0 +1,301 @@
+"""Fine-tuning of (pre-trained) Bellamy models on a concrete context.
+
+Implements the paper's optimization step (§III-A, §IV-A) and the four model
+reuse strategies of the cross-environment study (§IV-C2), plus the ``local``
+variant that trains from scratch on the context's few samples:
+
+* ``partial-unfreeze`` — adapt ``z`` from the start, unlock ``f`` after a
+  number of epochs that depends on the number of samples (the default
+  fine-tuning mode used in the cross-context experiments),
+* ``full-unfreeze``    — adapt ``f`` and ``z`` from the start,
+* ``partial-reset``    — re-initialize ``z``, then fine-tune,
+* ``full-reset``       — re-initialize ``f`` and ``z``, adapt both,
+* ``local``            — fresh model, no pre-training; the auto-encoder is
+  left untrained ("it bears no advantage" without a corpus).
+
+The auto-encoder parameters are never updated during fine-tuning. Training
+uses the Huber loss only, cyclical learning-rate annealing in
+``(1e-3, 1e-2)``, weight decay ``1e-3``, and stops once the training MAE
+reaches 5 seconds or no improvement was seen for 1000 epochs (2500 max).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.data.schema import JobContext
+from repro.nn.losses import HuberLoss
+from repro.nn.optim import Adam
+from repro.nn.schedulers import CyclicLR
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import TrainResult, Trainer, TrainerConfig, unfreeze_after
+from repro.utils.rng import derive_seed
+
+
+class FinetuneStrategy(str, Enum):
+    """Model-reuse strategies (paper §IV-C2)."""
+
+    PARTIAL_UNFREEZE = "partial-unfreeze"
+    FULL_UNFREEZE = "full-unfreeze"
+    PARTIAL_RESET = "partial-reset"
+    FULL_RESET = "full-reset"
+
+    def resets_z(self) -> bool:
+        """Whether the predictor z is re-initialized."""
+        return self in (FinetuneStrategy.PARTIAL_RESET, FinetuneStrategy.FULL_RESET)
+
+    def resets_f(self) -> bool:
+        """Whether the scale-out network f is re-initialized."""
+        return self is FinetuneStrategy.FULL_RESET
+
+    def delays_f(self) -> bool:
+        """Whether f stays frozen for an initial phase."""
+        return self in (FinetuneStrategy.PARTIAL_UNFREEZE, FinetuneStrategy.PARTIAL_RESET)
+
+
+@dataclass
+class FinetuneResult:
+    """A context-adapted model plus fine-tuning diagnostics."""
+
+    model: BellamyModel
+    strategy: str
+    epochs_trained: int
+    wall_seconds: float
+    final_mae: float
+    stop_reason: str
+    train_result: TrainResult
+
+
+def unfreeze_epoch_for(n_samples: int, max_epochs: int = 2500) -> int:
+    """Epoch at which ``f`` is unlocked during partial fine-tuning.
+
+    The paper makes this "dependent on the amount of data samples" without
+    giving the rule; we let more data unlock ``f`` earlier (more evidence
+    justifies touching the general scale-out understanding sooner):
+    ``max(100, 600 - 100 * n)`` at the paper's 2500-epoch budget. When the
+    budget is shorter (the quick experiment scale), the threshold scales
+    proportionally — otherwise ``f`` would never unlock at all within the
+    shrunken budget.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if max_epochs <= 0:
+        raise ValueError(f"max_epochs must be > 0, got {max_epochs}")
+    base = max(100, 600 - 100 * n_samples)
+    return max(10, round(base * min(1.0, max_epochs / 2500.0)))
+
+
+def _clone_model(model: BellamyModel) -> BellamyModel:
+    """Deep-copy a model via its full state dict.
+
+    Uses the concrete class so model subclasses (e.g. the graph-aware model
+    in :mod:`repro.core.graph_model`) survive fine-tuning cloning.
+    """
+    clone = type(model)(model.config)
+    clone.load_full_state_dict(model.full_state_dict())
+    return clone
+
+
+def _run_finetune_loop(
+    model: BellamyModel,
+    context: JobContext,
+    machines: np.ndarray,
+    runtimes: np.ndarray,
+    config: BellamyConfig,
+    callbacks,
+    max_epochs: Optional[int],
+    seed_path: Tuple,
+) -> TrainResult:
+    """Shared Huber-only optimization loop used by all strategies."""
+    # Graph-aware models route the (single) fine-tuning context to their
+    # forward pass through ``pending_contexts`` (see core.graph_model).
+    if hasattr(model, "pending_contexts"):
+        model.pending_contexts = [context]
+    scaleout_raw, properties = model.featurizer.build_context_arrays(context, machines)
+    scaled_features = model.scaler.transform(scaleout_raw)
+    scaled_targets = model.normalize_runtimes(runtimes)
+    huber = HuberLoss(delta=config.huber_delta)
+
+    def batch_loss(batch: np.ndarray) -> Tuple[Tensor, Dict[str, float]]:
+        prediction, _, _ = model.forward(
+            Tensor(scaled_features[batch]), Tensor(properties[batch])
+        )
+        loss = huber(prediction, Tensor(scaled_targets[batch]))
+        residual = model.denormalize_runtimes(prediction.data - scaled_targets[batch])
+        return loss, {"mae": float(np.abs(residual).mean())}
+
+    trainer_config = TrainerConfig(
+        max_epochs=max_epochs or config.finetune_max_epochs,
+        batch_size=config.batch_size,
+        monitor="mae",
+        target=config.finetune_target_mae,
+        patience=config.finetune_patience,
+        restore_best=True,
+        seed=derive_seed(config.seed, "finetune-loop", *seed_path),
+    )
+    optimizer = Adam(
+        model.parameters(),
+        lr=config.finetune_lr_max,
+        weight_decay=config.finetune_weight_decay,
+    )
+    scheduler = CyclicLR(
+        optimizer,
+        min_lr=config.finetune_lr_min,
+        max_lr=config.finetune_lr_max,
+        cycle_length=config.finetune_lr_cycle,
+    )
+    trainer = Trainer(model, optimizer, trainer_config, scheduler=scheduler, callbacks=callbacks)
+    model.train()
+    result = trainer.fit(machines.size, batch_loss)
+    model.eval()
+    return result
+
+
+def finetune(
+    base_model: BellamyModel,
+    context: JobContext,
+    machines: Sequence[float],
+    runtimes: Sequence[float],
+    strategy: FinetuneStrategy = FinetuneStrategy.PARTIAL_UNFREEZE,
+    max_epochs: Optional[int] = None,
+    copy: bool = True,
+) -> FinetuneResult:
+    """Optimize a pre-trained model for a concrete context.
+
+    Parameters
+    ----------
+    base_model:
+        The pre-trained model (left untouched when ``copy=True``).
+    context:
+        The new execution context.
+    machines, runtimes:
+        The available samples from the new context (>= 1 point).
+    strategy:
+        Which parameters are adapted / re-initialized.
+    max_epochs:
+        Optional override of the 2500-epoch cap (quick experiment scale).
+    copy:
+        Clone the base model first so it can be reused across splits.
+    """
+    machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+    runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+    if machines.size == 0:
+        raise ValueError("fine-tuning requires at least one sample; "
+                         "use the pre-trained model directly for zero-shot prediction")
+    if machines.shape != runtimes.shape:
+        raise ValueError("machines and runtimes must have equal length")
+
+    model = _clone_model(base_model) if copy else base_model
+    config = model.config
+    started = time.perf_counter()
+
+    # Dropout is disabled during fine-tuning (Table I: Dropout 0 %).
+    model.autoencoder.encoder.set_dropout(0.0)
+    model.autoencoder.decoder.set_dropout(0.0)
+
+    reset_seed = derive_seed(config.seed, "finetune-reset", context.context_id)
+    if strategy.resets_z():
+        model.z.reset_parameters(reset_seed)
+    if strategy.resets_f():
+        model.f.reset_parameters(derive_seed(reset_seed, "f"))
+
+    # The auto-encoder is never adapted; z always is; f depends on strategy.
+    # A graph encoder (GnnBellamyModel) is a structural prior and is frozen
+    # like the auto-encoder.
+    model.autoencoder.freeze()
+    if hasattr(model, "graph_encoder"):
+        model.graph_encoder.freeze()
+    model.z.unfreeze()
+    callbacks = []
+    if strategy.delays_f():
+        model.f.freeze()
+        budget = max_epochs or config.finetune_max_epochs
+        callbacks.append(
+            unfreeze_after(model.f, unfreeze_epoch_for(machines.size, budget))
+        )
+    else:
+        model.f.unfreeze()
+
+    result = _run_finetune_loop(
+        model,
+        context,
+        machines,
+        runtimes,
+        config,
+        callbacks,
+        max_epochs,
+        seed_path=(context.context_id, strategy.value),
+    )
+    wall = time.perf_counter() - started
+    return FinetuneResult(
+        model=model,
+        strategy=strategy.value,
+        epochs_trained=result.epochs_trained,
+        wall_seconds=wall,
+        final_mae=result.best_metric,
+        stop_reason=result.stop_reason,
+        train_result=result,
+    )
+
+
+def train_local(
+    context: JobContext,
+    machines: Sequence[float],
+    runtimes: Sequence[float],
+    config: Optional[BellamyConfig] = None,
+    max_epochs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> FinetuneResult:
+    """The ``local`` variant: train a fresh model on the context's samples.
+
+    No pre-training data exists, so the auto-encoder is not trained (its
+    random codes still give each context a stable signature); the scale-out
+    boundaries and the runtime scale are derived from the local samples.
+    """
+    machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+    runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+    if machines.size == 0:
+        raise ValueError("local training requires at least one sample")
+
+    config = config or BellamyConfig()
+    if seed is not None:
+        config = config.with_overrides(seed=seed)
+    # No corpus -> no dropout regularization target; keep fine-tune semantics.
+    config = config.with_overrides(dropout=0.0)
+
+    started = time.perf_counter()
+    model = BellamyModel(config)
+    model.fit_scaler(model.featurizer.scaleout_features(machines))
+    model.set_runtime_scale(runtimes, percentile=100.0)
+
+    model.autoencoder.freeze()
+    model.f.unfreeze()
+    model.z.unfreeze()
+
+    result = _run_finetune_loop(
+        model,
+        context,
+        machines,
+        runtimes,
+        config,
+        callbacks=(),
+        max_epochs=max_epochs,
+        seed_path=(context.context_id, "local"),
+    )
+    wall = time.perf_counter() - started
+    return FinetuneResult(
+        model=model,
+        strategy="local",
+        epochs_trained=result.epochs_trained,
+        wall_seconds=wall,
+        final_mae=result.best_metric,
+        stop_reason=result.stop_reason,
+        train_result=result,
+    )

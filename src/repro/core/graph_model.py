@@ -1,0 +1,303 @@
+"""Graph-aware Bellamy variants (paper §V, future work).
+
+Two integration levels of dataflow-graph information:
+
+``GraphBellamyModel`` (graph-as-property)
+    The canonical text serialization of the job's dataflow graph
+    (:func:`repro.dataflow.features.graph_text`) is appended as one more
+    *optional* descriptive property. Optional codes are mean-pooled
+    (paper Eq. 6), so the architecture, the training pipeline, persistence,
+    and all fine-tuning strategies work unchanged — only the featurizer
+    differs. This is the lightest-weight answer to the paper's closing
+    question of how to incorporate graph information.
+
+``GnnBellamyModel`` (learned graph code)
+    A :class:`~repro.dataflow.gnn.GraphEncoder` embeds the operator DAG into
+    a dense code that joins the combined vector next to the property codes
+    (extending paper Eq. 5 by one block). The predictor ``z`` is rebuilt with
+    the wider input; everything else is inherited. Pre-train via
+    :func:`pretrain_gnn` (the shared pipeline with the graph-aware factory).
+
+Both models resolve graphs from the job context (algorithm + parameters)
+through :func:`repro.dataflow.builders.graph_for_context`, so no new data
+plumbing is required anywhere in the evaluation stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import BellamyConfig
+from repro.core.features import BellamyFeaturizer
+from repro.core.model import BellamyModel
+from repro.core.pretraining import PretrainResult, pretrain
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.dataflow.builders import graph_for_context
+from repro.dataflow.features import graph_text
+from repro.dataflow.gnn import GraphEncoder
+from repro.nn.layers import FeedForward
+from repro.nn.tensor import Tensor, cat
+from repro.utils.rng import derive_seed
+
+
+class GraphPropertyFeaturizer(BellamyFeaturizer):
+    """Featurizer appending the dataflow-graph text as an optional property."""
+
+    def property_values(self, context: JobContext) -> List[object]:
+        """Essential + optional values + the canonical graph serialization."""
+        values = super().property_values(context)
+        if self.config.use_optional:
+            values.append(graph_text(graph_for_context(context)))
+        return values
+
+
+class GraphBellamyModel(BellamyModel):
+    """Bellamy with the dataflow graph as an additional descriptive property.
+
+    Drop-in compatible with every pipeline that handles
+    :class:`~repro.core.model.BellamyModel`: pre-training, fine-tuning
+    (cloning preserves the class), persistence, and resource selection.
+    """
+
+    def __init__(self, config: Optional[BellamyConfig] = None) -> None:
+        super().__init__(config)
+        self.featurizer = GraphPropertyFeaturizer(self.config)
+
+
+class GnnBellamyModel(BellamyModel):
+    """Bellamy with a learned graph code in the combined vector.
+
+    The combined vector (paper Eq. 5) gains one block::
+
+        r = e  ⊕  codes(essential)  ⊕  mean(codes(optional))  ⊕  gnn(graph)
+
+    and the runtime predictor ``z`` is rebuilt for the wider input. The graph
+    encoder trains end-to-end with the runtime objective; during fine-tuning
+    it is frozen together with the auto-encoder (the graph is a structural
+    prior, not context-specific evidence).
+    """
+
+    def __init__(self, config: Optional[BellamyConfig] = None) -> None:
+        super().__init__(config)
+        config = self.config
+        self.graph_encoder = GraphEncoder(
+            out_dim=config.encoding_dim,
+            hidden_dim=config.hidden_dim,
+            activation=config.activation,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "gnn"),
+        )
+        # Rebuild z for the widened combined vector.
+        self.z = FeedForward(
+            in_features=config.combined_dim + config.encoding_dim,
+            hidden_features=config.hidden_dim,
+            out_features=config.out_dim,
+            hidden_activation=config.activation,
+            output_activation=config.activation,
+            bias=True,
+            init=config.init,
+            seed=derive_seed(config.seed, "component", "z-graph"),
+        )
+        self._graph_cache: dict = {}
+        #: Contexts of the next ``forward`` batch (a single context is
+        #: broadcast); managed by predict()/pretrain_gnn()/the finetune loop.
+        self.pending_contexts: Optional[List[JobContext]] = None
+
+    # BellamyModel.forward handles (scaleout, properties); the graph-aware
+    # forward needs the contexts of the batch as well.
+    def forward_with_contexts(
+        self,
+        scaleout_scaled: Tensor,
+        properties: Tensor,
+        contexts: List[JobContext],
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Forward pass with per-sample contexts for graph resolution."""
+        batch, n_props, vec_size = properties.shape
+        if len(contexts) != batch:
+            raise ValueError(f"{len(contexts)} contexts for a batch of {batch}")
+        m = self.config.n_essential
+        embedding = self.f(scaleout_scaled)
+
+        flat = properties.reshape(batch * n_props, vec_size)
+        codes = self.autoencoder.encode(flat)
+        reconstruction = self.autoencoder.decoder(codes)
+        codes3 = codes.reshape(batch, n_props, self.config.encoding_dim)
+
+        essential = codes3[:, :m, :].reshape(batch, m * self.config.encoding_dim)
+        parts = [embedding, essential]
+        if self.config.use_optional:
+            parts.append(codes3[:, m:, :].mean(axis=1))
+
+        graphs = [self.graph_cached(c) for c in contexts]
+        parts.append(self.graph_encoder(graphs))
+
+        combined = cat(parts, axis=1)
+        prediction = self.z(combined).reshape(batch)
+        return prediction, reconstruction, flat
+
+    def graph_cached(self, context: JobContext):
+        """The context's dataflow graph (cached by context id)."""
+        graph = self._graph_cache.get(context.context_id)
+        if graph is None:
+            graph = graph_for_context(context)
+            self._graph_cache[context.context_id] = graph
+        return graph
+
+    def forward(
+        self, scaleout_scaled: Tensor, properties: Tensor
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Context-free forward: uses the single pending context, if set.
+
+        The shared training/prediction pipelines call ``forward(features,
+        properties)``; the surrounding code routes context information by
+        setting :attr:`pending_contexts` first (see :func:`pretrain_gnn` and
+        :meth:`predict`). A model used without that information raises.
+        """
+        contexts = getattr(self, "pending_contexts", None)
+        if contexts is None:
+            raise RuntimeError(
+                "GnnBellamyModel.forward needs contexts; set pending_contexts "
+                "or call forward_with_contexts"
+            )
+        batch = scaleout_scaled.shape[0]
+        if len(contexts) == 1 and batch > 1:
+            contexts = list(contexts) * batch
+        return self.forward_with_contexts(scaleout_scaled, properties, list(contexts))
+
+    def predict(self, context: JobContext, machines) -> np.ndarray:
+        """Predict runtimes (seconds) with the graph code in the loop."""
+        self.pending_contexts = [context]
+        try:
+            return super().predict(context, machines)
+        finally:
+            self.pending_contexts = None
+
+
+def pretrain_gnn(
+    dataset: ExecutionDataset,
+    algorithm: str,
+    config: Optional[BellamyConfig] = None,
+    variant: str = "gnn",
+    epochs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> PretrainResult:
+    """Pre-train a :class:`GnnBellamyModel` on one algorithm's corpus.
+
+    Mirrors :func:`repro.core.pretraining.pretrain` (joint Huber +
+    reconstruction objective, train/validation split, best-state restore)
+    with per-batch context routing for the graph encoder. Kept as a separate
+    loop because the shared pipeline's batch closure sees only array indices,
+    while the graph path needs the execution contexts behind them.
+    """
+    import time as _time
+
+    from repro.core.config import BellamyConfig as _Config
+    from repro.nn.losses import HuberLoss, JointLoss, MSELoss
+    from repro.nn.optim import Adam
+    from repro.nn.tensor import no_grad
+    from repro.nn.trainer import Trainer, TrainerConfig
+    from repro.utils.rng import new_rng
+
+    config = config or _Config()
+    if seed is not None:
+        config = config.with_overrides(seed=seed)
+    if epochs is not None:
+        config = config.with_overrides(pretrain_epochs=epochs)
+
+    corpus = dataset.for_algorithm(algorithm)
+    if len(corpus) == 0:
+        raise ValueError(f"no executions of algorithm {algorithm!r} in the corpus")
+
+    started = _time.perf_counter()
+    model = GnnBellamyModel(config)
+    contexts = [e.context for e in corpus]
+    scaleout_raw, properties, runtimes = model.featurizer.build_arrays(corpus)
+    model.fit_scaler(scaleout_raw)
+    model.set_runtime_scale(runtimes)
+    scaled_features = model.scaler.transform(scaleout_raw)
+    scaled_targets = model.normalize_runtimes(runtimes)
+
+    rng = new_rng(derive_seed(config.seed, "pretrain-split", algorithm, "gnn"))
+    permutation = rng.permutation(len(corpus))
+    n_val = int(round(config.validation_fraction * len(corpus)))
+    val_idx, train_idx = permutation[:n_val], permutation[n_val:]
+    if train_idx.size == 0:
+        raise ValueError("validation fraction leaves no training data")
+
+    joint_loss = JointLoss(
+        [
+            ("runtime", HuberLoss(delta=config.huber_delta), 1.0),
+            ("reconstruction", MSELoss(), config.reconstruction_weight),
+        ]
+    )
+
+    def batch_loss(batch: np.ndarray):
+        rows = train_idx[batch]
+        prediction, reconstruction, flat = model.forward_with_contexts(
+            Tensor(scaled_features[rows]),
+            Tensor(properties[rows]),
+            [contexts[i] for i in rows],
+        )
+        target = Tensor(scaled_targets[rows])
+        total, parts = joint_loss(
+            {
+                "runtime": (prediction, target),
+                "reconstruction": (reconstruction, flat.detach()),
+            }
+        )
+        residual = model.denormalize_runtimes(prediction.data - scaled_targets[rows])
+        return total, {
+            "mae": float(np.abs(residual).mean()),
+            "huber": parts["runtime"],
+            "reconstruction_mse": parts["reconstruction"],
+        }
+
+    evaluate = None
+    if val_idx.size:
+
+        def evaluate():
+            was_training = model.training
+            model.eval()
+            try:
+                with no_grad():
+                    prediction, _, _ = model.forward_with_contexts(
+                        Tensor(scaled_features[val_idx]),
+                        Tensor(properties[val_idx]),
+                        [contexts[i] for i in val_idx],
+                    )
+            finally:
+                model.train(was_training)
+            residual = model.denormalize_runtimes(prediction.data - scaled_targets[val_idx])
+            return {"val_mae": float(np.abs(residual).mean())}
+
+    trainer_config = TrainerConfig(
+        max_epochs=config.pretrain_epochs,
+        batch_size=config.batch_size,
+        monitor="val_mae" if val_idx.size else "mae",
+        restore_best=True,
+        seed=derive_seed(config.seed, "pretrain-loop", algorithm, "gnn"),
+    )
+    optimizer = Adam(
+        model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+    )
+    trainer = Trainer(model, optimizer, trainer_config)
+    train_result = trainer.fit(train_idx.size, batch_loss, evaluate=evaluate)
+
+    return PretrainResult(
+        model=model,
+        algorithm=algorithm,
+        variant=variant,
+        n_samples=len(corpus),
+        n_contexts=len(corpus.contexts()),
+        wall_seconds=_time.perf_counter() - started,
+        train_result=train_result,
+        validation_mae=train_result.best_metric if val_idx.size else None,
+        hyperparameters={
+            "dropout": config.dropout,
+            "learning_rate": config.learning_rate,
+            "weight_decay": config.weight_decay,
+        },
+    )

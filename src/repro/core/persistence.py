@@ -1,0 +1,111 @@
+"""Model persistence: save/load pre-trained Bellamy models.
+
+The paper's workflow pre-trains a general model once, preserves the model
+state, and later loads + fine-tunes it per context; time-to-fit measurements
+explicitly include "loading a pre-trained model from disk". The store writes
+one ``.npz`` (weights + scaler + runtime scale) and one ``.json`` (config +
+metadata) per model.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.utils.serialization import load_json, load_npz_dict, save_json, save_npz_dict
+
+PathLike = Union[str, os.PathLike]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def model_class_registry() -> Dict[str, type]:
+    """Loadable model classes by name (lazy import avoids package cycles)."""
+    from repro.core.graph_model import GnnBellamyModel, GraphBellamyModel
+
+    return {
+        "BellamyModel": BellamyModel,
+        "GraphBellamyModel": GraphBellamyModel,
+        "GnnBellamyModel": GnnBellamyModel,
+    }
+
+
+class ModelStore:
+    """A directory of named, pre-trained Bellamy models."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _paths(self, name: str) -> Tuple[Path, Path]:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"model name {name!r} must match [A-Za-z0-9._-]+ (got unsafe characters)"
+            )
+        return self.root / f"{name}.npz", self.root / f"{name}.json"
+
+    def save(
+        self,
+        name: str,
+        model: BellamyModel,
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        """Persist ``model`` under ``name`` (overwrites silently).
+
+        The concrete model class is recorded so graph-aware variants
+        round-trip (see :func:`model_class_registry`).
+        """
+        weights_path, meta_path = self._paths(name)
+        save_npz_dict(weights_path, model.full_state_dict())
+        save_json(
+            meta_path,
+            {
+                "config": model.config.to_dict(),
+                "model_class": type(model).__name__,
+                "metadata": metadata or {},
+            },
+        )
+
+    def load(self, name: str) -> BellamyModel:
+        """Load the model saved under ``name`` (restoring its concrete class)."""
+        weights_path, meta_path = self._paths(name)
+        if not weights_path.exists():
+            raise FileNotFoundError(f"no model named {name!r} in {self.root}")
+        payload = load_json(meta_path)
+        registry = model_class_registry()
+        class_name = payload.get("model_class", "BellamyModel")
+        try:
+            model_cls = registry[class_name]
+        except KeyError:
+            raise ValueError(
+                f"stored model {name!r} has unknown class {class_name!r}; "
+                f"known: {sorted(registry)}"
+            ) from None
+        model = model_cls(BellamyConfig.from_dict(payload["config"]))
+        model.load_full_state_dict(load_npz_dict(weights_path))
+        model.eval()
+        return model
+
+    def metadata(self, name: str) -> Dict:
+        """The metadata stored alongside ``name``."""
+        _, meta_path = self._paths(name)
+        return load_json(meta_path)["metadata"]
+
+    def exists(self, name: str) -> bool:
+        """Whether a model named ``name`` is stored."""
+        weights_path, _ = self._paths(name)
+        return weights_path.exists()
+
+    def names(self) -> List[str]:
+        """All stored model names (sorted)."""
+        return sorted(path.stem for path in self.root.glob("*.npz"))
+
+    def delete(self, name: str) -> None:
+        """Remove a stored model (no error if absent)."""
+        for path in self._paths(name):
+            if path.exists():
+                path.unlink()

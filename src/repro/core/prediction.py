@@ -1,0 +1,126 @@
+"""Adapter exposing Bellamy through the common ``RuntimeModel`` interface.
+
+The evaluation protocol fits every method on the same per-context samples and
+queries predictions at test scale-outs; this adapter hides whether fitting
+means fine-tuning a pre-trained model or training a local one, and supports
+the zero-sample case (directly applying a pre-trained model, paper §IV-C1
+extrapolation with 0 data points).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import (
+    FinetuneResult,
+    FinetuneStrategy,
+    finetune,
+    train_local,
+)
+from repro.core.model import BellamyModel
+from repro.data.schema import JobContext
+
+
+class BellamyRuntimeModel(RuntimeModel):
+    """Bellamy as a drop-in runtime model for one concrete context."""
+
+    min_train_points = 0  # a pre-trained model can predict with no samples
+
+    def __init__(
+        self,
+        context: JobContext,
+        base_model: Optional[BellamyModel] = None,
+        strategy: FinetuneStrategy = FinetuneStrategy.PARTIAL_UNFREEZE,
+        config: Optional[BellamyConfig] = None,
+        max_epochs: Optional[int] = None,
+        variant_label: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        context:
+            The execution context predictions are made for.
+        base_model:
+            A pre-trained model; ``None`` selects the *local* variant.
+        strategy:
+            Fine-tuning strategy when a base model is given.
+        config:
+            Configuration for the local variant (ignored with a base model).
+        max_epochs:
+            Optional cap on fine-tuning epochs (quick experiment scale).
+        variant_label:
+            Display name, e.g. ``"Bellamy (full)"``.
+        seed:
+            Seed for the local variant's initialization.
+        """
+        self.context = context
+        self.base_model = base_model
+        self.strategy = strategy
+        self.config = config
+        self.max_epochs = max_epochs
+        self.seed = seed
+        self.name = variant_label or (
+            "Bellamy (local)" if base_model is None else f"Bellamy ({strategy.value})"
+        )
+        self._fitted: Optional[BellamyModel] = base_model
+        self.last_result: Optional[FinetuneResult] = None
+        if base_model is None:
+            self.min_train_points = 1  # the local variant needs data
+
+    def fit(self, machines: np.ndarray, runtimes: np.ndarray) -> "BellamyRuntimeModel":
+        """Fine-tune (or locally train) on the context samples.
+
+        With zero samples and a pre-trained base model this is a no-op:
+        the pre-trained model is used as-is.
+        """
+        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+        runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+        if machines.size == 0:
+            if self.base_model is None:
+                raise ValueError("the local Bellamy variant requires training samples")
+            self._fitted = self.base_model
+            self.last_result = None
+            return self
+        if self.base_model is None:
+            result = train_local(
+                self.context,
+                machines,
+                runtimes,
+                config=self.config,
+                max_epochs=self.max_epochs,
+                seed=self.seed,
+            )
+        else:
+            result = finetune(
+                self.base_model,
+                self.context,
+                machines,
+                runtimes,
+                strategy=self.strategy,
+                max_epochs=self.max_epochs,
+                copy=True,
+            )
+        self._fitted = result.model
+        self.last_result = result
+        return self
+
+    def predict(self, machines: np.ndarray) -> np.ndarray:
+        """Predict runtimes (seconds) at the given scale-outs."""
+        if self._fitted is None:
+            raise RuntimeError(f"{self.name} has no fitted or pre-trained model")
+        return self._fitted.predict(self.context, np.asarray(machines, dtype=np.float64))
+
+    @property
+    def epochs_trained(self) -> int:
+        """Epochs of the most recent fit (0 for zero-shot application)."""
+        return self.last_result.epochs_trained if self.last_result else 0
+
+    @property
+    def fit_seconds(self) -> float:
+        """Wall-clock of the most recent fit (0 for zero-shot application)."""
+        return self.last_result.wall_seconds if self.last_result else 0.0

@@ -1,0 +1,271 @@
+"""Pre-training of Bellamy models on cross-context corpora (paper §III-A, IV-A).
+
+A *general* model is trained on all available executions of one processing
+algorithm — across contexts — by jointly minimizing the runtime prediction
+error (Huber) and the auto-encoder reconstruction error (MSE). The three
+corpus policies of the evaluation are provided:
+
+* ``full``      — every historical execution of the algorithm,
+* ``filtered``  — only executions from contexts *substantially different*
+  from the target context (different node type, dataset characteristics, and
+  job parameters; dataset size at least 20 % larger or smaller),
+* ``local``     — no corpus at all (no pre-training; the model is trained
+  from scratch on the target context's few samples, auto-encoder untouched).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import (
+    PRETRAIN_SEARCH_SAMPLES,
+    PRETRAIN_SEARCH_SPACE,
+    BellamyConfig,
+)
+from repro.core.model import BellamyModel
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.nn.losses import HuberLoss, JointLoss, MSELoss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.trainer import TrainResult, Trainer, TrainerConfig
+from repro.utils.rng import derive_seed, new_rng
+
+
+@dataclass
+class PretrainResult:
+    """A pre-trained model plus training diagnostics."""
+
+    model: BellamyModel
+    algorithm: str
+    variant: str
+    n_samples: int
+    n_contexts: int
+    wall_seconds: float
+    train_result: Optional[TrainResult] = None
+    validation_mae: Optional[float] = None
+    hyperparameters: Dict[str, float] = field(default_factory=dict)
+
+
+def filter_distinct_contexts(
+    dataset: ExecutionDataset,
+    target: JobContext,
+    size_margin: float = 0.20,
+) -> ExecutionDataset:
+    """The ``filtered`` corpus: contexts as different as possible from ``target``.
+
+    Keeps executions whose context differs from the target in node type,
+    dataset characteristics, *and* job parameters, and whose dataset size is
+    at least ``size_margin`` larger or smaller (paper §IV-C1).
+    """
+
+    def is_distinct(execution) -> bool:
+        context = execution.context
+        if context.context_id == target.context_id:
+            return False
+        if context.node_type == target.node_type:
+            return False
+        if context.dataset_characteristics == target.dataset_characteristics:
+            return False
+        if context.params_text == target.params_text:
+            return False
+        relative = abs(context.dataset_mb - target.dataset_mb) / target.dataset_mb
+        return relative >= size_margin
+
+    return dataset.filter(is_distinct)
+
+
+def _mae_seconds(model: BellamyModel, prediction: Tensor, target_scaled: np.ndarray) -> float:
+    residual = model.denormalize_runtimes(prediction.data - target_scaled)
+    return float(np.abs(residual).mean())
+
+
+def pretrain(
+    dataset: ExecutionDataset,
+    algorithm: Optional[str],
+    config: Optional[BellamyConfig] = None,
+    variant: str = "full",
+    epochs: Optional[int] = None,
+    seed: Optional[int] = None,
+    model_factory: Optional[Callable[[BellamyConfig], BellamyModel]] = None,
+) -> PretrainResult:
+    """Pre-train a Bellamy model on all executions of ``algorithm`` in ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The historical-execution corpus (already corpus-filtered if desired).
+    algorithm:
+        Algorithm whose executions form the corpus. ``None`` trains on the
+        whole dataset regardless of algorithm — the *cross-algorithm* mode of
+        :mod:`repro.core.cross_algorithm` (paper §V, future work), enabled by
+        the job-name property that lets the model tell algorithms apart.
+    config:
+        Model/training configuration (defaults to Table I).
+    variant:
+        Label recorded in the result ("full", "filtered", ...).
+    epochs:
+        Optional override of ``config.pretrain_epochs`` (the experiment
+        harness uses this for its quick scale).
+    seed:
+        Optional override of ``config.seed``.
+    model_factory:
+        Builds the model from the configuration (default:
+        :class:`~repro.core.model.BellamyModel`). Extension models — e.g.
+        the graph-aware variants in :mod:`repro.core.graph_model` — pass
+        their own constructor here and reuse the whole training pipeline.
+    """
+    config = config or BellamyConfig()
+    if seed is not None:
+        config = config.with_overrides(seed=seed)
+    if epochs is not None:
+        config = config.with_overrides(pretrain_epochs=epochs)
+
+    corpus = dataset.for_algorithm(algorithm) if algorithm is not None else dataset
+    if len(corpus) == 0:
+        raise ValueError(f"no executions of algorithm {algorithm!r} in the corpus")
+
+    started = time.perf_counter()
+    model = (model_factory or BellamyModel)(config)
+    scaleout_raw, properties, runtimes = model.featurizer.build_arrays(corpus)
+    model.fit_scaler(scaleout_raw)
+    model.set_runtime_scale(runtimes)
+    scaled_features = model.scaler.transform(scaleout_raw)
+    scaled_targets = model.normalize_runtimes(runtimes)
+
+    # Train/validation split for model selection / monitoring.
+    rng = new_rng(derive_seed(config.seed, "pretrain-split", str(algorithm)))
+    n = len(corpus)
+    permutation = rng.permutation(n)
+    n_val = int(round(config.validation_fraction * n))
+    val_idx = permutation[:n_val]
+    train_idx = permutation[n_val:]
+    if train_idx.size == 0:
+        raise ValueError("validation fraction leaves no training data")
+
+    joint_loss = JointLoss(
+        [
+            ("runtime", HuberLoss(delta=config.huber_delta), 1.0),
+            ("reconstruction", MSELoss(), config.reconstruction_weight),
+        ]
+    )
+
+    def batch_loss(batch: np.ndarray) -> Tuple[Tensor, Dict[str, float]]:
+        rows = train_idx[batch]
+        prediction, reconstruction, flat = model.forward(
+            Tensor(scaled_features[rows]), Tensor(properties[rows])
+        )
+        target = Tensor(scaled_targets[rows])
+        total, parts = joint_loss(
+            {
+                "runtime": (prediction, target),
+                "reconstruction": (reconstruction, flat.detach()),
+            }
+        )
+        metrics = {
+            "mae": _mae_seconds(model, prediction, scaled_targets[rows]),
+            "huber": parts["runtime"],
+            "reconstruction_mse": parts["reconstruction"],
+        }
+        return total, metrics
+
+    evaluate = None
+    if val_idx.size:
+
+        def evaluate() -> Dict[str, float]:
+            was_training = model.training
+            model.eval()
+            try:
+                with no_grad():
+                    prediction, _, _ = model.forward(
+                        Tensor(scaled_features[val_idx]), Tensor(properties[val_idx])
+                    )
+            finally:
+                model.train(was_training)
+            return {"val_mae": _mae_seconds(model, prediction, scaled_targets[val_idx])}
+
+    trainer_config = TrainerConfig(
+        max_epochs=config.pretrain_epochs,
+        batch_size=config.batch_size,
+        monitor="val_mae" if val_idx.size else "mae",
+        restore_best=True,
+        seed=derive_seed(config.seed, "pretrain-loop", str(algorithm)),
+    )
+    optimizer = Adam(
+        model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+    )
+    trainer = Trainer(model, optimizer, trainer_config)
+    train_result = trainer.fit(train_idx.size, batch_loss, evaluate=evaluate)
+
+    wall = time.perf_counter() - started
+    return PretrainResult(
+        model=model,
+        algorithm=algorithm or "*",
+        variant=variant,
+        n_samples=n,
+        n_contexts=len(corpus.contexts()),
+        wall_seconds=wall,
+        train_result=train_result,
+        validation_mae=train_result.best_metric if val_idx.size else None,
+        hyperparameters={
+            "dropout": config.dropout,
+            "learning_rate": config.learning_rate,
+            "weight_decay": config.weight_decay,
+        },
+    )
+
+
+def pretrain_with_search(
+    dataset: ExecutionDataset,
+    algorithm: str,
+    base_config: Optional[BellamyConfig] = None,
+    n_samples: int = PRETRAIN_SEARCH_SAMPLES,
+    variant: str = "full",
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> PretrainResult:
+    """Hyperparameter search over the Table I grid (paper: 12 samples).
+
+    Uses random search from :mod:`repro.tune` over dropout, learning rate,
+    and weight decay, selecting the configuration with the lowest validation
+    MAE — the offline analogue of the paper's Tune/Optuna search.
+    """
+    from repro.tune.search import RandomSearch
+    from repro.tune.space import Categorical, SearchSpace
+
+    base_config = base_config or BellamyConfig()
+    space = SearchSpace(
+        {name: Categorical(values) for name, values in PRETRAIN_SEARCH_SPACE.items()}
+    )
+    search = RandomSearch(space, seed=derive_seed(seed, "pretrain-search", algorithm))
+
+    best: Optional[PretrainResult] = None
+    for trial_index, params in enumerate(search.suggest(n_samples)):
+        config = base_config.with_overrides(
+            dropout=float(params["dropout"]),
+            learning_rate=float(params["learning_rate"]),
+            weight_decay=float(params["weight_decay"]),
+            seed=derive_seed(seed, "pretrain-trial", algorithm, trial_index),
+        )
+        result = pretrain(
+            dataset, algorithm, config=config, variant=variant, epochs=epochs
+        )
+        score = result.validation_mae
+        if score is None:
+            score = result.train_result.best_metric if result.train_result else float("inf")
+        if best is None or score < _score_of(best):
+            best = result
+    assert best is not None  # n_samples >= 1 guarantees at least one trial
+    return best
+
+
+def _score_of(result: PretrainResult) -> float:
+    if result.validation_mae is not None:
+        return result.validation_mae
+    if result.train_result is not None:
+        return result.train_result.best_metric
+    return float("inf")

@@ -1,0 +1,139 @@
+"""Resource selection from runtime predictions (paper §I, §V).
+
+"The predicted runtimes can be used to effectively choose a suitable resource
+configuration for a specific job in a particular execution context": given a
+fitted model and a runtime target, pick a scale-out — the smallest cluster
+that meets the target, the cheapest one, or the fastest within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.core.model import BellamyModel
+from repro.data.schema import JobContext
+
+#: Anything that maps scale-outs to predicted runtimes in seconds.
+PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Prediction for one candidate scale-out."""
+
+    machines: int
+    predicted_runtime_s: float
+    predicted_cost: Optional[float]
+    meets_target: bool
+
+
+@dataclass(frozen=True)
+class ResourceRecommendation:
+    """Outcome of a resource-selection query."""
+
+    chosen: Optional[CandidateEvaluation]
+    candidates: List[CandidateEvaluation]
+    objective: str
+    runtime_target_s: Optional[float]
+
+    @property
+    def satisfiable(self) -> bool:
+        """Whether any candidate met the runtime target."""
+        return self.chosen is not None
+
+
+def _as_predict_fn(
+    model: Union[RuntimeModel, BellamyModel, PredictFn],
+    context: Optional[JobContext],
+) -> PredictFn:
+    if isinstance(model, BellamyModel):
+        if context is None:
+            raise ValueError("a JobContext is required when passing a BellamyModel")
+        return lambda machines: model.predict(context, machines)
+    if isinstance(model, RuntimeModel):
+        return model.predict
+    return model
+
+
+def evaluate_candidates(
+    model: Union[RuntimeModel, BellamyModel, PredictFn],
+    candidates: Sequence[int],
+    runtime_target_s: Optional[float] = None,
+    price_per_machine_hour: Optional[float] = None,
+    context: Optional[JobContext] = None,
+) -> List[CandidateEvaluation]:
+    """Predict runtime (and cost) for every candidate scale-out."""
+    if not candidates:
+        raise ValueError("need at least one candidate scale-out")
+    machines = np.asarray(sorted(set(int(c) for c in candidates)), dtype=np.float64)
+    if (machines <= 0).any():
+        raise ValueError("candidate scale-outs must be positive")
+    predict = _as_predict_fn(model, context)
+    runtimes = np.asarray(predict(machines), dtype=np.float64).reshape(-1)
+    evaluations = []
+    for count, runtime in zip(machines, runtimes):
+        cost = None
+        if price_per_machine_hour is not None:
+            cost = float(count) * price_per_machine_hour * (runtime / 3600.0)
+        meets = runtime_target_s is None or runtime <= runtime_target_s
+        evaluations.append(
+            CandidateEvaluation(
+                machines=int(count),
+                predicted_runtime_s=float(runtime),
+                predicted_cost=cost,
+                meets_target=bool(meets),
+            )
+        )
+    return evaluations
+
+
+def select_scaleout(
+    model: Union[RuntimeModel, BellamyModel, PredictFn],
+    candidates: Sequence[int],
+    runtime_target_s: Optional[float] = None,
+    objective: str = "min_machines",
+    price_per_machine_hour: Optional[float] = None,
+    context: Optional[JobContext] = None,
+) -> ResourceRecommendation:
+    """Choose a scale-out according to ``objective``.
+
+    Objectives
+    ----------
+    ``min_machines``:
+        Smallest cluster whose predicted runtime meets the target.
+    ``min_cost``:
+        Cheapest candidate meeting the target (requires a price).
+    ``min_runtime``:
+        Fastest candidate (target, if given, still filters).
+    """
+    if objective not in ("min_machines", "min_cost", "min_runtime"):
+        raise ValueError(f"unknown objective {objective!r}")
+    if objective == "min_cost" and price_per_machine_hour is None:
+        raise ValueError("objective 'min_cost' requires price_per_machine_hour")
+
+    evaluations = evaluate_candidates(
+        model,
+        candidates,
+        runtime_target_s=runtime_target_s,
+        price_per_machine_hour=price_per_machine_hour,
+        context=context,
+    )
+    feasible = [e for e in evaluations if e.meets_target]
+    chosen: Optional[CandidateEvaluation] = None
+    if feasible:
+        if objective == "min_machines":
+            chosen = min(feasible, key=lambda e: e.machines)
+        elif objective == "min_cost":
+            chosen = min(feasible, key=lambda e: e.predicted_cost)
+        else:
+            chosen = min(feasible, key=lambda e: e.predicted_runtime_s)
+    return ResourceRecommendation(
+        chosen=chosen,
+        candidates=evaluations,
+        objective=objective,
+        runtime_target_s=runtime_target_s,
+    )

@@ -1,0 +1,70 @@
+"""Datasets: schema, containers, synthetic C3O/Bell generators, CV splits."""
+
+from repro.data.bell import (
+    BELL_CONTEXT_SPECS,
+    BELL_REPEATS,
+    BELL_SCALEOUTS,
+    BELL_SOFTWARE,
+    bell_trace_generator,
+    generate_bell_contexts,
+    generate_bell_dataset,
+)
+from repro.data.c3o import (
+    C3O_CONTEXT_COUNTS,
+    C3O_REPEATS,
+    C3O_SCALEOUTS,
+    C3O_SOFTWARE,
+    c3o_trace_generator,
+    generate_c3o_contexts,
+    generate_c3o_dataset,
+)
+from repro.data.dataset import ExecutionDataset
+from repro.data.io import read_csv, write_csv
+from repro.data.real_traces import (
+    BELL_DEFAULT_MAPPING,
+    C3O_DEFAULT_MAPPING,
+    ColumnMapping,
+    load_real_traces,
+    load_trace_directory,
+)
+from repro.data.schema import Execution, JobContext, params_to_text
+from repro.data.splits import (
+    Split,
+    sample_split,
+    split_arrays,
+    subsample_splits,
+    test_point,
+)
+
+__all__ = [
+    "BELL_CONTEXT_SPECS",
+    "BELL_REPEATS",
+    "BELL_SCALEOUTS",
+    "BELL_SOFTWARE",
+    "C3O_CONTEXT_COUNTS",
+    "C3O_REPEATS",
+    "C3O_SCALEOUTS",
+    "C3O_SOFTWARE",
+    "BELL_DEFAULT_MAPPING",
+    "C3O_DEFAULT_MAPPING",
+    "ColumnMapping",
+    "Execution",
+    "ExecutionDataset",
+    "JobContext",
+    "Split",
+    "bell_trace_generator",
+    "c3o_trace_generator",
+    "generate_bell_contexts",
+    "generate_bell_dataset",
+    "generate_c3o_contexts",
+    "generate_c3o_dataset",
+    "load_real_traces",
+    "load_trace_directory",
+    "params_to_text",
+    "read_csv",
+    "sample_split",
+    "split_arrays",
+    "subsample_splits",
+    "test_point",
+    "write_csv",
+]

@@ -1,0 +1,130 @@
+"""In-memory container for execution traces with the groupings the
+evaluation protocol needs (by algorithm, by context, by scale-out)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Execution, JobContext
+
+
+class ExecutionDataset:
+    """An ordered collection of :class:`~repro.data.schema.Execution` records."""
+
+    def __init__(self, executions: Sequence[Execution] = ()) -> None:
+        self._executions: List[Execution] = list(executions)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._executions)
+
+    def __iter__(self) -> Iterator[Execution]:
+        return iter(self._executions)
+
+    def __getitem__(self, index: int) -> Execution:
+        return self._executions[index]
+
+    def add(self, execution: Execution) -> None:
+        """Append one execution."""
+        self._executions.append(execution)
+
+    def extend(self, executions: Sequence[Execution]) -> None:
+        """Append many executions."""
+        self._executions.extend(executions)
+
+    # ------------------------------------------------------------------ #
+    # Filtering and grouping
+    # ------------------------------------------------------------------ #
+
+    def filter(self, predicate: Callable[[Execution], bool]) -> "ExecutionDataset":
+        """Subset by an arbitrary predicate."""
+        return ExecutionDataset([e for e in self._executions if predicate(e)])
+
+    def for_algorithm(self, algorithm: str) -> "ExecutionDataset":
+        """Executions of one algorithm."""
+        algorithm = algorithm.lower()
+        return self.filter(lambda e: e.context.algorithm == algorithm)
+
+    def for_context(self, context_id: str) -> "ExecutionDataset":
+        """Executions of one context."""
+        return self.filter(lambda e: e.context.context_id == context_id)
+
+    def exclude_context(self, context_id: str) -> "ExecutionDataset":
+        """Everything except one context."""
+        return self.filter(lambda e: e.context.context_id != context_id)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm names, in first-seen order."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for execution in self._executions:
+            seen.setdefault(execution.context.algorithm, None)
+        return list(seen)
+
+    def contexts(self) -> List[JobContext]:
+        """Distinct contexts, in first-seen order."""
+        seen: "OrderedDict[str, JobContext]" = OrderedDict()
+        for execution in self._executions:
+            seen.setdefault(execution.context.context_id, execution.context)
+        return list(seen.values())
+
+    def by_context(self) -> "OrderedDict[str, ExecutionDataset]":
+        """Group executions per context id (first-seen order)."""
+        groups: "OrderedDict[str, List[Execution]]" = OrderedDict()
+        for execution in self._executions:
+            groups.setdefault(execution.context.context_id, []).append(execution)
+        return OrderedDict(
+            (context_id, ExecutionDataset(items)) for context_id, items in groups.items()
+        )
+
+    def scaleouts(self) -> np.ndarray:
+        """Sorted distinct scale-outs present in the dataset."""
+        return np.array(sorted({e.machines for e in self._executions}), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Array views for modeling
+    # ------------------------------------------------------------------ #
+
+    def machines_array(self) -> np.ndarray:
+        """Scale-out of every execution, shape ``(n,)``."""
+        return np.array([e.machines for e in self._executions], dtype=np.float64)
+
+    def runtimes_array(self) -> np.ndarray:
+        """Runtime (seconds) of every execution, shape ``(n,)``."""
+        return np.array([e.runtime_s for e in self._executions], dtype=np.float64)
+
+    def select(self, indices: Sequence[int]) -> "ExecutionDataset":
+        """Subset by positional indices (preserving the given order)."""
+        return ExecutionDataset([self._executions[int(i)] for i in indices])
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by Fig. 2 and the reports
+    # ------------------------------------------------------------------ #
+
+    def runtime_by_scaleout(self) -> Dict[int, np.ndarray]:
+        """Map each scale-out to the array of observed runtimes."""
+        grouped: Dict[int, List[float]] = {}
+        for execution in self._executions:
+            grouped.setdefault(execution.machines, []).append(execution.runtime_s)
+        return {m: np.array(v) for m, v in sorted(grouped.items())}
+
+    def mean_runtime_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(scale-outs, mean runtimes) averaged over repeats."""
+        grouped = self.runtime_by_scaleout()
+        machines = np.array(sorted(grouped), dtype=np.float64)
+        means = np.array([grouped[int(m)].mean() for m in machines])
+        return machines, means
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable dataset summary (used by the examples)."""
+        return {
+            "executions": len(self),
+            "algorithms": self.algorithms(),
+            "contexts": len(self.contexts()),
+            "scaleouts": self.scaleouts().tolist(),
+        }

@@ -1,0 +1,96 @@
+"""CSV import/export of execution traces.
+
+The flat format mirrors the public C3O/Bell trace CSVs: one row per
+execution, context attributes denormalized into columns. Job parameters are
+stored in their canonical ``key=value`` text form.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import List, Union
+
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+
+PathLike = Union[str, os.PathLike]
+
+CSV_COLUMNS: List[str] = [
+    "algorithm",
+    "environment",
+    "node_type",
+    "dataset_mb",
+    "dataset_characteristics",
+    "job_params",
+    "software",
+    "machines",
+    "runtime_s",
+    "repeat",
+]
+
+
+def _params_from_text(text: str) -> tuple:
+    """Parse ``"k=10 iterations=20"`` back into an ordered tuple of pairs."""
+    pairs = []
+    for token in text.split():
+        if "=" not in token:
+            raise ValueError(f"malformed job parameter token {token!r}")
+        key, value = token.split("=", 1)
+        pairs.append((key, value))
+    return tuple(pairs)
+
+
+def write_csv(path: PathLike, dataset: ExecutionDataset) -> None:
+    """Write a dataset to ``path`` in the flat CSV format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for execution in dataset:
+            context = execution.context
+            writer.writerow(
+                [
+                    context.algorithm,
+                    context.environment,
+                    context.node_type,
+                    context.dataset_mb,
+                    context.dataset_characteristics,
+                    context.params_text,
+                    context.software,
+                    execution.machines,
+                    f"{execution.runtime_s:.6f}",
+                    execution.repeat,
+                ]
+            )
+
+
+def read_csv(path: PathLike) -> ExecutionDataset:
+    """Read a dataset previously written by :func:`write_csv`."""
+    dataset = ExecutionDataset()
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"CSV at {path} is missing columns: {sorted(missing)}")
+        for row in reader:
+            context = JobContext(
+                algorithm=row["algorithm"],
+                node_type=row["node_type"],
+                dataset_mb=int(row["dataset_mb"]),
+                dataset_characteristics=row["dataset_characteristics"],
+                job_params=_params_from_text(row["job_params"]),
+                environment=row["environment"],
+                software=row["software"],
+            )
+            dataset.add(
+                Execution(
+                    context=context,
+                    machines=int(row["machines"]),
+                    runtime_s=float(row["runtime_s"]),
+                    repeat=int(row["repeat"]),
+                )
+            )
+    return dataset

@@ -1,0 +1,236 @@
+"""Import adapters for real trace files (C3O / Bell public datasets).
+
+The evaluation in this repository runs against simulator-generated traces
+(no network access to the originals — see DESIGN.md). Users who have checked
+out the public datasets (github.com/dos-group/c3o-experiments,
+github.com/dos-group/runtime-prediction-experiments) can load them through
+this module: a :class:`ColumnMapping` declares which CSV columns hold which
+context attributes, and :func:`load_real_traces` turns a file into the same
+:class:`~repro.data.dataset.ExecutionDataset` the rest of the library
+consumes.
+
+The default mapping follows the C3O experiment CSV headers; column layouts
+shift between dataset versions, so every name is overridable rather than
+hard-coded.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+
+PathLike = Union[str, os.PathLike]
+
+#: Supported size units and their factor to MB.
+_SIZE_FACTORS: Dict[str, float] = {
+    "mb": 1.0,
+    "gb": 1024.0,
+    "kb": 1.0 / 1024.0,
+    "bytes": 1.0 / (1024.0 * 1024.0),
+}
+
+#: Supported runtime units and their factor to seconds.
+_TIME_FACTORS: Dict[str, float] = {"s": 1.0, "ms": 1e-3, "min": 60.0}
+
+
+@dataclass(frozen=True)
+class ColumnMapping:
+    """Declares how trace-file columns map onto the execution schema.
+
+    Attributes
+    ----------
+    machines / runtime:
+        Column names of the scale-out and the observed runtime.
+    runtime_unit / size_unit:
+        Units of the runtime and dataset-size columns.
+    node_type:
+        Column holding the instance/node type.
+    dataset_size:
+        Column holding the input dataset size.
+    characteristics:
+        Optional column with a dataset-characteristics label.
+    param_columns:
+        Columns folded into the job-parameters property, in order
+        (``column -> key=value`` pairs; missing/empty cells are skipped).
+    algorithm_column / algorithm:
+        Either a column holding the algorithm name, or a constant (for
+        per-algorithm files like ``sort.csv``). Exactly one must be set at
+        load time.
+    environment / software:
+        Constants stamped onto every imported context.
+    """
+
+    machines: str = "machine_count"
+    runtime: str = "gross_runtime"
+    runtime_unit: str = "s"
+    node_type: str = "instance_type"
+    dataset_size: str = "data_size_MB"
+    size_unit: str = "mb"
+    characteristics: Optional[str] = "data_characteristics"
+    param_columns: Tuple[str, ...] = ()
+    algorithm_column: Optional[str] = None
+    algorithm: Optional[str] = None
+    environment: str = "cloud"
+    software: str = "hadoop-3.2.1 spark-2.4.4"
+
+    def __post_init__(self) -> None:
+        if self.runtime_unit not in _TIME_FACTORS:
+            raise ValueError(
+                f"runtime_unit must be one of {sorted(_TIME_FACTORS)}, "
+                f"got {self.runtime_unit!r}"
+            )
+        if self.size_unit not in _SIZE_FACTORS:
+            raise ValueError(
+                f"size_unit must be one of {sorted(_SIZE_FACTORS)}, "
+                f"got {self.size_unit!r}"
+            )
+
+    def with_overrides(self, **overrides) -> "ColumnMapping":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Default mapping for the public C3O experiment CSVs.
+C3O_DEFAULT_MAPPING = ColumnMapping()
+
+#: Default mapping for the Bell (private-cluster) trace files.
+BELL_DEFAULT_MAPPING = ColumnMapping(
+    machines="scaleout",
+    runtime="duration_s",
+    node_type="node_type",
+    dataset_size="input_mb",
+    characteristics=None,
+    environment="cluster",
+    software="hadoop-2.7.1 spark-2.0.0",
+)
+
+
+def _required(row: Dict[str, str], column: str, path: Path) -> str:
+    try:
+        value = row[column]
+    except KeyError:
+        raise ValueError(
+            f"{path}: missing column {column!r}; available: {sorted(row)}"
+        ) from None
+    if value is None or value == "":
+        raise ValueError(f"{path}: empty value in required column {column!r}")
+    return value
+
+
+def load_real_traces(
+    path: PathLike,
+    mapping: ColumnMapping = C3O_DEFAULT_MAPPING,
+    algorithm: Optional[str] = None,
+    delimiter: Optional[str] = None,
+) -> ExecutionDataset:
+    """Load a real trace CSV into an :class:`ExecutionDataset`.
+
+    Parameters
+    ----------
+    path:
+        The trace file (CSV or TSV; the delimiter is sniffed unless given).
+    mapping:
+        Column mapping (defaults to the C3O layout).
+    algorithm:
+        Constant algorithm name; overrides ``mapping.algorithm`` and is
+        required unless the mapping names an ``algorithm_column``.
+    delimiter:
+        Explicit field delimiter (``,`` / ``\\t`` / ``;``).
+    """
+    path = Path(path)
+    constant_algorithm = algorithm or mapping.algorithm
+    if constant_algorithm is None and mapping.algorithm_column is None:
+        raise ValueError(
+            "provide algorithm= (constant) or a mapping with algorithm_column"
+        )
+
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        sample = handle.read(4096)
+        handle.seek(0)
+        if delimiter is None:
+            try:
+                delimiter = csv.Sniffer().sniff(sample, delimiters=",;\t").delimiter
+            except csv.Error:
+                delimiter = ","
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if not reader.fieldnames:
+            raise ValueError(f"{path}: no header row")
+
+        dataset = ExecutionDataset()
+        repeats: Dict[Tuple[str, int], int] = {}
+        for row in reader:
+            machines = int(float(_required(row, mapping.machines, path)))
+            runtime_s = (
+                float(_required(row, mapping.runtime, path))
+                * _TIME_FACTORS[mapping.runtime_unit]
+            )
+            size_mb = int(
+                round(
+                    float(_required(row, mapping.dataset_size, path))
+                    * _SIZE_FACTORS[mapping.size_unit]
+                )
+            )
+            characteristics = ""
+            if mapping.characteristics and row.get(mapping.characteristics):
+                characteristics = row[mapping.characteristics]
+            params: List[Tuple[str, str]] = []
+            for column in mapping.param_columns:
+                value = row.get(column)
+                if value not in (None, ""):
+                    params.append((column, str(value)))
+            if mapping.algorithm_column is not None:
+                algo = _required(row, mapping.algorithm_column, path)
+            else:
+                algo = constant_algorithm  # type: ignore[assignment]
+
+            context = JobContext(
+                algorithm=str(algo).lower(),
+                node_type=_required(row, mapping.node_type, path),
+                dataset_mb=size_mb,
+                dataset_characteristics=characteristics,
+                job_params=tuple(params),
+                environment=mapping.environment,
+                software=mapping.software,
+            )
+            key = (context.context_id, machines)
+            repeat = repeats.get(key, 0)
+            repeats[key] = repeat + 1
+            dataset.add(
+                Execution(
+                    context=context,
+                    machines=machines,
+                    runtime_s=runtime_s,
+                    repeat=repeat,
+                )
+            )
+    if len(dataset) == 0:
+        raise ValueError(f"{path}: no execution rows")
+    return dataset
+
+
+def load_trace_directory(
+    directory: PathLike,
+    mapping: ColumnMapping = C3O_DEFAULT_MAPPING,
+    pattern: str = "*.csv",
+) -> ExecutionDataset:
+    """Load every per-algorithm trace file in a directory.
+
+    The file stem names the algorithm (``sort.csv`` -> ``sort``), matching
+    the layout of the public C3O repository.
+    """
+    directory = Path(directory)
+    files = sorted(directory.glob(pattern))
+    if not files:
+        raise ValueError(f"no files matching {pattern!r} in {directory}")
+    dataset = ExecutionDataset()
+    for file in files:
+        dataset.extend(
+            list(load_real_traces(file, mapping=mapping, algorithm=file.stem))
+        )
+    return dataset

@@ -1,0 +1,116 @@
+"""Data schema: execution contexts and job executions.
+
+Matches the structure of the public C3O and Bell trace datasets: a *context*
+is the full descriptive configuration of a job (everything but the horizontal
+scale-out), and an *execution* is one observed (scale-out, runtime) sample in
+a context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.simulator.nodes import NodeType
+
+
+def params_to_text(params: Mapping[str, str]) -> str:
+    """Canonical single-string form of job parameters (order preserved).
+
+    The paper treats "job parameters" as one textual property; we render them
+    the way a submission tool would, e.g. ``"k=10 iterations=20"``.
+    """
+    return " ".join(f"{key}={value}" for key, value in params.items())
+
+
+@dataclass(frozen=True)
+class JobContext:
+    """A unique job-execution context (paper §IV-B).
+
+    For the C3O datasets a context is uniquely defined by the node type, job
+    parameters, target dataset size, and target dataset characteristics; we
+    additionally carry the environment and software labels so the Bell
+    (private-cluster) contexts are distinguishable.
+    """
+
+    algorithm: str
+    node_type: str
+    dataset_mb: int
+    dataset_characteristics: str
+    job_params: Tuple[Tuple[str, str], ...] = ()
+    environment: str = "cloud"
+    software: str = "hadoop-3.2.1 spark-2.4.4"
+    context_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dataset_mb <= 0:
+            raise ValueError(f"dataset_mb must be > 0, got {self.dataset_mb}")
+        if not self.context_id:
+            object.__setattr__(self, "context_id", self.descriptor())
+
+    @property
+    def params(self) -> Dict[str, str]:
+        """Job parameters as a dict."""
+        return dict(self.job_params)
+
+    @property
+    def params_text(self) -> str:
+        """Job parameters as one canonical string."""
+        return params_to_text(self.params)
+
+    @property
+    def node(self) -> "NodeType":
+        """Resolved node-type record from the catalog."""
+        from repro.simulator.nodes import get_node_type
+
+        return get_node_type(self.node_type)
+
+    def descriptor(self) -> str:
+        """Stable unique string identifying this context."""
+        return "|".join(
+            [
+                self.algorithm,
+                self.environment,
+                self.node_type,
+                str(self.dataset_mb),
+                self.dataset_characteristics,
+                self.params_text,
+                self.software,
+            ]
+        )
+
+    def essential_properties(self) -> List[object]:
+        """The four essential descriptive properties (paper §IV-B).
+
+        Order is fixed: dataset size, dataset characteristics, job
+        parameters, node type. The property *encoder* decides per value
+        whether to binarize (dataset size) or hash (the rest).
+        """
+        return [
+            int(self.dataset_mb),
+            self.dataset_characteristics,
+            self.params_text,
+            self.node_type,
+        ]
+
+    def optional_properties(self) -> List[object]:
+        """The three optional properties: memory (MB), CPU cores, job name."""
+        node = self.node
+        return [int(node.memory_mb), int(node.cores), self.algorithm]
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One observed job execution: a context, a scale-out, and a runtime."""
+
+    context: JobContext
+    machines: int
+    runtime_s: float
+    repeat: int = 0
+
+    def __post_init__(self) -> None:
+        if self.machines <= 0:
+            raise ValueError(f"machines must be > 0, got {self.machines}")
+        if self.runtime_s <= 0:
+            raise ValueError(f"runtime_s must be > 0, got {self.runtime_s}")

@@ -1,0 +1,47 @@
+"""Dataflow-graph information for runtime prediction (paper §V, future work).
+
+The paper closes with: *"In the future, we want to investigate possibilities
+of incorporating dataflow graph information into the prediction process."*
+This package implements that direction on top of the reproduction:
+
+``repro.dataflow.graph``
+    A small operator-DAG representation of a dataflow program (the logical
+    plan a Spark/Flink job compiles to), with validation and structural
+    statistics.
+``repro.dataflow.builders``
+    Canonical graphs for the five C3O algorithms, derived from the same
+    stage profiles that drive the runtime simulator — so graph structure and
+    simulated runtimes are consistent.
+``repro.dataflow.features``
+    Two graph encodings: a canonical *text* serialization that plugs into
+    Bellamy's existing property hasher as one more descriptive property, and
+    a numeric node-feature/adjacency form for the graph neural encoder.
+``repro.dataflow.gnn``
+    A two-layer message-passing graph encoder built on :mod:`repro.nn`,
+    pooling operator embeddings into a fixed-size graph code.
+
+Integration with the core model lives in :mod:`repro.core.graph_model`.
+"""
+
+from repro.dataflow.graph import DataflowGraph, Operator, OperatorKind
+from repro.dataflow.builders import graph_for_algorithm, graph_for_context
+from repro.dataflow.features import (
+    GraphFeaturizer,
+    graph_node_features,
+    graph_text,
+    normalized_adjacency,
+)
+from repro.dataflow.gnn import GraphEncoder
+
+__all__ = [
+    "DataflowGraph",
+    "GraphEncoder",
+    "GraphFeaturizer",
+    "Operator",
+    "OperatorKind",
+    "graph_for_algorithm",
+    "graph_for_context",
+    "graph_node_features",
+    "graph_text",
+    "normalized_adjacency",
+]

@@ -1,0 +1,240 @@
+"""Canonical dataflow graphs of the five C3O algorithms.
+
+Each builder derives its graph from the same algorithm profile that drives
+the runtime simulator (:mod:`repro.simulator.algorithms`), so the graph's
+cost annotations are consistent with the runtimes the traces exhibit. Graphs
+are parameterized by the job parameters (iteration counts end up in the
+graph's ``iterations`` and in the loop-body markers).
+
+The topologies follow the logical plans the respective Spark programs
+compile to (sources, per-element maps, exchange boundaries, aggregations,
+iteration bodies, sinks).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.data.schema import JobContext
+from repro.dataflow.graph import DataflowGraph, Operator, OperatorKind
+from repro.simulator.algorithms import get_algorithm_profile
+
+
+def _grep_graph(params: Mapping[str, str]) -> DataflowGraph:
+    profile = get_algorithm_profile("grep")
+    scan, collect = profile.stages
+    return DataflowGraph(
+        operators=[
+            Operator("read-text", OperatorKind.SOURCE, io_mb_per_mb=scan.io_mb_per_mb),
+            Operator(
+                "filter-pattern",
+                OperatorKind.MAP,
+                cpu_ms_per_mb=scan.cpu_ms_per_mb,
+                selectivity=0.05,
+            ),
+            Operator(
+                "collect-matches",
+                OperatorKind.AGGREGATE,
+                cpu_ms_per_mb=collect.cpu_ms_per_mb,
+                shuffle_fraction=scan.shuffle_fraction,
+            ),
+            Operator("write-matches", OperatorKind.SINK, io_mb_per_mb=0.05),
+        ],
+        edges=[
+            ("read-text", "filter-pattern"),
+            ("filter-pattern", "collect-matches"),
+            ("collect-matches", "write-matches"),
+        ],
+        name="grep",
+    )
+
+
+def _sort_graph(params: Mapping[str, str]) -> DataflowGraph:
+    profile = get_algorithm_profile("sort")
+    sample, partition, merge = profile.stages
+    return DataflowGraph(
+        operators=[
+            Operator("read-records", OperatorKind.SOURCE, io_mb_per_mb=0.5),
+            Operator(
+                "sample-keys",
+                OperatorKind.MAP,
+                cpu_ms_per_mb=sample.cpu_ms_per_mb,
+                selectivity=0.01,
+            ),
+            Operator(
+                "range-partition",
+                OperatorKind.SHUFFLE,
+                cpu_ms_per_mb=partition.cpu_ms_per_mb,
+                io_mb_per_mb=partition.io_mb_per_mb,
+                shuffle_fraction=partition.shuffle_fraction,
+            ),
+            Operator(
+                "merge-sorted",
+                OperatorKind.AGGREGATE,
+                cpu_ms_per_mb=merge.cpu_ms_per_mb,
+                io_mb_per_mb=merge.io_mb_per_mb,
+            ),
+            Operator("write-output", OperatorKind.SINK, io_mb_per_mb=1.0),
+        ],
+        edges=[
+            ("read-records", "sample-keys"),
+            ("read-records", "range-partition"),
+            ("sample-keys", "range-partition"),
+            ("range-partition", "merge-sorted"),
+            ("merge-sorted", "write-output"),
+        ],
+        name="sort",
+    )
+
+
+def _pagerank_graph(params: Mapping[str, str]) -> DataflowGraph:
+    profile = get_algorithm_profile("pagerank")
+    load = profile.stages[0]
+    update = profile.iterative_stages[0]
+    iterations = profile.iterations(params)
+    return DataflowGraph(
+        operators=[
+            Operator("read-edges", OperatorKind.SOURCE, io_mb_per_mb=load.io_mb_per_mb),
+            Operator(
+                "build-adjacency",
+                OperatorKind.SHUFFLE,
+                cpu_ms_per_mb=load.cpu_ms_per_mb,
+                shuffle_fraction=load.shuffle_fraction,
+            ),
+            Operator(
+                "join-contributions",
+                OperatorKind.JOIN,
+                cpu_ms_per_mb=update.cpu_ms_per_mb / 2,
+                shuffle_fraction=update.shuffle_fraction,
+                in_loop=True,
+            ),
+            Operator(
+                "aggregate-ranks",
+                OperatorKind.AGGREGATE,
+                cpu_ms_per_mb=update.cpu_ms_per_mb / 2,
+                in_loop=True,
+            ),
+            Operator("iterate", OperatorKind.ITERATE, in_loop=True),
+            Operator("write-ranks", OperatorKind.SINK, io_mb_per_mb=0.1),
+        ],
+        edges=[
+            ("read-edges", "build-adjacency"),
+            ("build-adjacency", "join-contributions"),
+            ("join-contributions", "aggregate-ranks"),
+            ("aggregate-ranks", "iterate"),
+            ("iterate", "write-ranks"),
+        ],
+        iterations=iterations,
+        name="pagerank",
+    )
+
+
+def _sgd_graph(params: Mapping[str, str]) -> DataflowGraph:
+    profile = get_algorithm_profile("sgd")
+    load = profile.stages[0]
+    gradient = profile.iterative_stages[0]
+    iterations = profile.iterations(params)
+    return DataflowGraph(
+        operators=[
+            Operator("read-points", OperatorKind.SOURCE, io_mb_per_mb=load.io_mb_per_mb),
+            Operator(
+                "parse-cache",
+                OperatorKind.MAP,
+                cpu_ms_per_mb=load.cpu_ms_per_mb,
+            ),
+            Operator(
+                "compute-gradients",
+                OperatorKind.MAP,
+                cpu_ms_per_mb=gradient.cpu_ms_per_mb,
+                in_loop=True,
+            ),
+            Operator(
+                "aggregate-gradient",
+                OperatorKind.AGGREGATE,
+                selectivity=0.0001,
+                in_loop=True,
+            ),
+            Operator("update-weights", OperatorKind.ITERATE, in_loop=True),
+            Operator("write-model", OperatorKind.SINK, io_mb_per_mb=0.001),
+        ],
+        edges=[
+            ("read-points", "parse-cache"),
+            ("parse-cache", "compute-gradients"),
+            ("compute-gradients", "aggregate-gradient"),
+            ("aggregate-gradient", "update-weights"),
+            ("update-weights", "write-model"),
+        ],
+        iterations=iterations,
+        name="sgd",
+    )
+
+
+def _kmeans_graph(params: Mapping[str, str]) -> DataflowGraph:
+    profile = get_algorithm_profile("kmeans")
+    load = profile.stages[0]
+    assign = profile.iterative_stages[0]
+    iterations = profile.iterations(params)
+    return DataflowGraph(
+        operators=[
+            Operator("read-points", OperatorKind.SOURCE, io_mb_per_mb=load.io_mb_per_mb),
+            Operator("parse-cache", OperatorKind.MAP, cpu_ms_per_mb=load.cpu_ms_per_mb),
+            Operator(
+                "assign-clusters",
+                OperatorKind.MAP,
+                cpu_ms_per_mb=assign.cpu_ms_per_mb,
+                in_loop=True,
+            ),
+            Operator(
+                "recompute-centroids",
+                OperatorKind.AGGREGATE,
+                selectivity=0.0001,
+                in_loop=True,
+            ),
+            Operator("broadcast-centroids", OperatorKind.ITERATE, in_loop=True),
+            Operator("write-clusters", OperatorKind.SINK, io_mb_per_mb=0.01),
+        ],
+        edges=[
+            ("read-points", "parse-cache"),
+            ("parse-cache", "assign-clusters"),
+            ("assign-clusters", "recompute-centroids"),
+            ("recompute-centroids", "broadcast-centroids"),
+            ("broadcast-centroids", "write-clusters"),
+        ],
+        iterations=iterations,
+        name="kmeans",
+    )
+
+
+_BUILDERS = {
+    "grep": _grep_graph,
+    "sort": _sort_graph,
+    "pagerank": _pagerank_graph,
+    "sgd": _sgd_graph,
+    "kmeans": _kmeans_graph,
+}
+
+
+def graph_for_algorithm(
+    algorithm: str, params: Optional[Mapping[str, str]] = None
+) -> DataflowGraph:
+    """The canonical dataflow graph of one algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the five C3O algorithm names (case-insensitive).
+    params:
+        Job parameters; iteration counts flow into the graph.
+    """
+    try:
+        builder = _BUILDERS[algorithm.lower()]
+    except KeyError:
+        raise KeyError(
+            f"no dataflow graph for algorithm {algorithm!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(dict(params or {}))
+
+
+def graph_for_context(context: JobContext) -> DataflowGraph:
+    """The dataflow graph implied by a job context (algorithm + parameters)."""
+    return graph_for_algorithm(context.algorithm, context.params)

@@ -1,0 +1,136 @@
+"""Graph encodings for the prediction model.
+
+Two complementary encodings are provided:
+
+1. :func:`graph_text` — a canonical, deterministic text serialization of the
+   graph. It plugs directly into Bellamy's existing property pipeline: the
+   hashing vectorizer treats it like any other textual descriptive property,
+   so *no architecture change* is needed to consume graph structure (this is
+   the ``graph-property`` integration in :mod:`repro.core.graph_model`).
+2. :func:`graph_node_features` + :func:`normalized_adjacency` — numeric
+   per-operator features and a symmetric-normalized adjacency matrix for the
+   message-passing encoder in :mod:`repro.dataflow.gnn`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dataflow.graph import DataflowGraph, OperatorKind
+
+#: Numeric feature layout per operator:
+#: one-hot kind (7) + [log1p cpu, log1p io, shuffle fraction, selectivity,
+#: in-loop flag, log1p graph iterations] = 13 features.
+NODE_FEATURE_DIM: int = len(OperatorKind.ordered()) + 6
+
+
+def graph_text(graph: DataflowGraph) -> str:
+    """Canonical text form of a graph (stable across runs and processes).
+
+    Operators appear in topological order as ``kind:name[xN]`` tokens (the
+    ``xN`` marker flags loop-body operators with the iteration count), and
+    edges as ``producer>consumer`` pairs. Example::
+
+        sgd i25 source:read-points map:parse-cache map:compute-gradients:x25
+        ... read-points>parse-cache ...
+    """
+    tokens: List[str] = [graph.name or "graph", f"i{graph.iterations}"]
+    for name in graph.topological_order():
+        op = graph.operator(name)
+        token = f"{op.kind.value}:{op.name}"
+        if op.in_loop:
+            token += f":x{graph.iterations}"
+        tokens.append(token)
+    for producer, consumer in sorted(graph.edges()):
+        tokens.append(f"{producer}>{consumer}")
+    return " ".join(tokens)
+
+
+def graph_node_features(graph: DataflowGraph) -> np.ndarray:
+    """Per-operator numeric features, shape ``(n_operators, NODE_FEATURE_DIM)``.
+
+    Rows follow the graph's insertion order (matching the adjacency matrix).
+    Cost annotations are log-compressed; the iteration count is shared by all
+    rows so loop costs are readable by a one-layer aggregation.
+    """
+    kinds = OperatorKind.ordered()
+    operators = graph.operators()
+    features = np.zeros((len(operators), NODE_FEATURE_DIM))
+    log_iterations = math.log1p(float(graph.iterations))
+    for row, op in enumerate(operators):
+        features[row, kinds.index(op.kind)] = 1.0
+        base = len(kinds)
+        features[row, base + 0] = math.log1p(op.cpu_ms_per_mb)
+        features[row, base + 1] = math.log1p(op.io_mb_per_mb)
+        features[row, base + 2] = op.shuffle_fraction
+        features[row, base + 3] = min(op.selectivity, 2.0)
+        features[row, base + 4] = 1.0 if op.in_loop else 0.0
+        features[row, base + 5] = log_iterations
+    return features
+
+
+def normalized_adjacency(graph: DataflowGraph) -> np.ndarray:
+    """Symmetric-normalized adjacency with self-loops (GCN convention).
+
+    ``A_hat = D^{-1/2} (A + A^T + I) D^{-1/2}`` over the undirected skeleton,
+    shape ``(n, n)``, rows/columns in the graph's insertion order.
+    """
+    names = [op.name for op in graph.operators()]
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    adjacency = np.eye(n)
+    for producer, consumer in graph.edges():
+        adjacency[index[producer], index[consumer]] = 1.0
+        adjacency[index[consumer], index[producer]] = 1.0
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(degree)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def graph_summary_vector(graph: DataflowGraph) -> np.ndarray:
+    """Hand-crafted fixed-size structural summary (baseline for the GNN).
+
+    12 features: operator-kind histogram (7), depth, width, shuffle count,
+    log1p iterations, log1p total per-MB CPU annotation.
+    """
+    counts = graph.kind_counts()
+    histogram = [float(counts[kind]) for kind in OperatorKind.ordered()]
+    totals = graph.total_cost_annotations()
+    return np.array(
+        histogram
+        + [
+            float(graph.depth()),
+            float(graph.width()),
+            float(graph.shuffle_count()),
+            math.log1p(float(graph.iterations)),
+            math.log1p(totals["cpu_ms_per_mb"]),
+        ]
+    )
+
+
+class GraphFeaturizer:
+    """Caches per-graph numeric encodings keyed by the canonical text.
+
+    Graphs are tiny (≤ ~10 operators) but featurization happens per training
+    batch; caching keeps the graph path off the profile (guides: optimize the
+    measured bottleneck, here redundant re-encoding).
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def encode(self, graph: DataflowGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """``(node_features, normalized_adjacency)`` of a graph (cached)."""
+        key = graph_text(graph)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = (graph_node_features(graph), normalized_adjacency(graph))
+            self._cache[key] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        """Number of distinct graphs encoded so far."""
+        return len(self._cache)

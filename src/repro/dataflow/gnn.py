@@ -1,0 +1,123 @@
+"""Message-passing graph encoder on :mod:`repro.nn`.
+
+A two-layer graph convolution in the GCN style::
+
+    H1 = sigma(A_hat @ X  @ W1)
+    H2 = sigma(A_hat @ H1 @ W2)
+    code = mean over operators of H2
+
+The adjacency is constant per graph (only the layer weights learn), so the
+first propagation ``A_hat @ X`` is precomputed outside the autograd graph;
+the second involves ``H1`` and runs through the 2-D matmul autograd path.
+Graphs in a batch are deduplicated: each distinct graph is embedded once and
+the result gathered per sample (contexts of the same algorithm and iteration
+count share a graph, so a training batch rarely holds more than a handful of
+distinct graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.dataflow.features import NODE_FEATURE_DIM, GraphFeaturizer, graph_text
+from repro.dataflow.graph import DataflowGraph
+from repro.nn.layers import Activation, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, stack
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+
+
+class GraphEncoder(Module):
+    """Embeds a dataflow graph into a fixed-size code.
+
+    Parameters
+    ----------
+    out_dim:
+        Embedding size (defaults to Bellamy's code size 4, so the graph code
+        joins the combined vector like one more property code).
+    hidden_dim:
+        Width of the intermediate operator embeddings.
+    in_dim:
+        Per-operator feature size (see ``features.NODE_FEATURE_DIM``).
+    activation:
+        Nonlinearity between and after the propagation steps.
+    seed:
+        Deterministic initialization seed.
+    """
+
+    def __init__(
+        self,
+        out_dim: int = 4,
+        hidden_dim: int = 8,
+        in_dim: int = NODE_FEATURE_DIM,
+        activation: str = "selu",
+        init: str = "he_normal",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if out_dim <= 0 or hidden_dim <= 0 or in_dim <= 0:
+            raise ValueError("GraphEncoder dimensions must be positive")
+        rng = new_rng(seed)
+        self.in_dim = in_dim
+        self.hidden_dim = hidden_dim
+        self.out_dim = out_dim
+        self.conv1 = Linear(
+            in_dim, hidden_dim, bias=False, init=init,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        self.conv2 = Linear(
+            hidden_dim, out_dim, bias=False, init=init,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        self.activation = Activation(activation)
+        self.featurizer = GraphFeaturizer()
+
+    def embed_arrays(self, node_features: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        """Embedding of one graph from its numeric encoding, shape ``(out_dim,)``."""
+        if node_features.ndim != 2 or node_features.shape[1] != self.in_dim:
+            raise ValueError(
+                f"node features must be (n, {self.in_dim}), got {node_features.shape}"
+            )
+        if adjacency.shape != (node_features.shape[0],) * 2:
+            raise ValueError(
+                f"adjacency {adjacency.shape} does not match {node_features.shape[0]} nodes"
+            )
+        # First propagation is constant in the parameters: precompute it.
+        propagated = Tensor(adjacency @ node_features)
+        hidden = self.activation(self.conv1(propagated))
+        hidden = Tensor(adjacency) @ hidden
+        out = self.activation(self.conv2(hidden))
+        return out.mean(axis=0)
+
+    def embed(self, graph: DataflowGraph) -> Tensor:
+        """Embedding of one :class:`DataflowGraph`, shape ``(out_dim,)``."""
+        node_features, adjacency = self.featurizer.encode(graph)
+        return self.embed_arrays(node_features, adjacency)
+
+    def forward(self, graphs: Sequence[DataflowGraph]) -> Tensor:
+        """Batch embedding, shape ``(len(graphs), out_dim)``.
+
+        Distinct graphs are embedded once; rows are gathered per sample.
+        """
+        if not graphs:
+            raise ValueError("GraphEncoder.forward needs at least one graph")
+        unique: Dict[str, int] = {}
+        embeddings: List[Tensor] = []
+        row_of: List[int] = []
+        for graph in graphs:
+            key = graph_text(graph)
+            if key not in unique:
+                unique[key] = len(embeddings)
+                embeddings.append(self.embed(graph))
+            row_of.append(unique[key])
+        table = stack(embeddings, axis=0)  # (n_unique, out_dim)
+        if len(embeddings) == len(graphs):
+            return table
+        return table[np.asarray(row_of)]
+
+    def reset_parameters(self, seed: SeedLike = None) -> None:
+        """Re-initialize both propagation weights."""
+        self.conv1.reset_parameters(derive_seed(seed, "conv1"))
+        self.conv2.reset_parameters(derive_seed(seed, "conv2"))

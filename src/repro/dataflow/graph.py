@@ -1,0 +1,254 @@
+"""Operator-DAG representation of a dataflow program.
+
+A distributed dataflow job (Spark, Flink, MapReduce) compiles to a directed
+acyclic graph of *operators* — sources, element-wise transformations,
+shuffles, aggregations, sinks — possibly with an iterative superstructure
+(Spark: a driver loop re-submitting stages; Flink: native iterations). The
+runtime-relevant structure is captured here: operator kinds, the dataflow
+edges between them, per-operator cost annotations, and which operators sit
+inside the iteration body.
+
+This representation intentionally stays framework-agnostic (matching
+Bellamy's black-box philosophy): it is what a submission tool could extract
+from any dataflow system's logical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+class OperatorKind(str, Enum):
+    """Coarse operator taxonomy shared by the major dataflow systems."""
+
+    SOURCE = "source"  # scan / read
+    MAP = "map"  # element-wise transformation, filter, projection
+    SHUFFLE = "shuffle"  # repartition / exchange boundary
+    AGGREGATE = "aggregate"  # reduce / group / combine
+    JOIN = "join"  # binary co-grouping
+    ITERATE = "iterate"  # iteration-body marker (driver loop / native)
+    SINK = "sink"  # write / collect
+
+    @classmethod
+    def ordered(cls) -> Tuple["OperatorKind", ...]:
+        """Stable kind order (one-hot feature layout depends on it)."""
+        return (
+            cls.SOURCE,
+            cls.MAP,
+            cls.SHUFFLE,
+            cls.AGGREGATE,
+            cls.JOIN,
+            cls.ITERATE,
+            cls.SINK,
+        )
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One node of a dataflow graph.
+
+    Attributes
+    ----------
+    name:
+        Unique operator label within its graph.
+    kind:
+        Coarse operator taxonomy entry.
+    cpu_ms_per_mb / io_mb_per_mb / shuffle_fraction:
+        Cost annotations per MB of operator input (mirroring the simulator's
+        :class:`~repro.simulator.algorithms.StageSpec` so builders can derive
+        graphs from the same profiles).
+    selectivity:
+        Output-to-input data ratio (1.0 = size-preserving).
+    in_loop:
+        Whether the operator executes once per iteration.
+    """
+
+    name: str
+    kind: OperatorKind
+    cpu_ms_per_mb: float = 0.0
+    io_mb_per_mb: float = 0.0
+    shuffle_fraction: float = 0.0
+    selectivity: float = 1.0
+    in_loop: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if self.cpu_ms_per_mb < 0 or self.io_mb_per_mb < 0:
+            raise ValueError(f"{self.name}: cost annotations must be >= 0")
+        if not 0.0 <= self.shuffle_fraction <= 1.0:
+            raise ValueError(f"{self.name}: shuffle_fraction must be in [0, 1]")
+        if self.selectivity < 0:
+            raise ValueError(f"{self.name}: selectivity must be >= 0")
+
+
+class DataflowGraph:
+    """A validated operator DAG.
+
+    Parameters
+    ----------
+    operators:
+        The nodes; names must be unique.
+    edges:
+        ``(producer, consumer)`` name pairs; both ends must exist, the result
+        must be acyclic.
+    iterations:
+        Iteration count of the loop body (1 = non-iterative job).
+    name:
+        Graph label (usually the algorithm name).
+    """
+
+    def __init__(
+        self,
+        operators: Sequence[Operator],
+        edges: Iterable[Tuple[str, str]],
+        iterations: int = 1,
+        name: str = "",
+    ) -> None:
+        if not operators:
+            raise ValueError("a dataflow graph needs at least one operator")
+        if iterations <= 0:
+            raise ValueError(f"iterations must be > 0, got {iterations}")
+        names = [op.name for op in operators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate operator names in {names}")
+        self.name = name
+        self.iterations = int(iterations)
+        self._operators: Dict[str, Operator] = {op.name: op for op in operators}
+        self._order: List[str] = names
+        self._successors: Dict[str, List[str]] = {n: [] for n in names}
+        self._predecessors: Dict[str, List[str]] = {n: [] for n in names}
+        for producer, consumer in edges:
+            if producer not in self._operators:
+                raise ValueError(f"edge references unknown operator {producer!r}")
+            if consumer not in self._operators:
+                raise ValueError(f"edge references unknown operator {consumer!r}")
+            if producer == consumer:
+                raise ValueError(f"self-loop on {producer!r}")
+            self._successors[producer].append(consumer)
+            self._predecessors[consumer].append(producer)
+        self._topological = self._topological_sort()  # raises on cycles
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._operators
+
+    def operator(self, name: str) -> Operator:
+        """Look up an operator by name."""
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise KeyError(f"no operator {name!r} in graph {self.name!r}") from None
+
+    def operators(self) -> List[Operator]:
+        """All operators in insertion order."""
+        return [self._operators[n] for n in self._order]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All edges as (producer, consumer) pairs, in insertion order."""
+        out: List[Tuple[str, str]] = []
+        for producer in self._order:
+            for consumer in self._successors[producer]:
+                out.append((producer, consumer))
+        return out
+
+    def successors(self, name: str) -> List[str]:
+        """Direct downstream operator names."""
+        self.operator(name)
+        return list(self._successors[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Direct upstream operator names."""
+        self.operator(name)
+        return list(self._predecessors[name])
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    def _topological_sort(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles."""
+        in_degree = {n: len(self._predecessors[n]) for n in self._order}
+        ready = [n for n in self._order if in_degree[n] == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for successor in self._successors[node]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self._order):
+            cyclic = sorted(n for n, d in in_degree.items() if d > 0)
+            raise ValueError(f"dataflow graph has a cycle through {cyclic}")
+        return order
+
+    def topological_order(self) -> List[str]:
+        """Operator names in a valid execution order."""
+        return list(self._topological)
+
+    def sources(self) -> List[str]:
+        """Operators with no predecessors."""
+        return [n for n in self._order if not self._predecessors[n]]
+
+    def sinks(self) -> List[str]:
+        """Operators with no successors."""
+        return [n for n in self._order if not self._successors[n]]
+
+    def depth(self) -> int:
+        """Length of the longest path (in operators)."""
+        longest: Dict[str, int] = {}
+        for node in self._topological:
+            preds = self._predecessors[node]
+            longest[node] = 1 + max((longest[p] for p in preds), default=0)
+        return max(longest.values())
+
+    def width(self) -> int:
+        """Maximum number of operators at the same depth level."""
+        level: Dict[str, int] = {}
+        for node in self._topological:
+            preds = self._predecessors[node]
+            level[node] = 1 + max((level[p] for p in preds), default=0)
+        counts: Dict[int, int] = {}
+        for lvl in level.values():
+            counts[lvl] = counts.get(lvl, 0) + 1
+        return max(counts.values())
+
+    def kind_counts(self) -> Dict[OperatorKind, int]:
+        """Number of operators of each kind (zero-filled)."""
+        counts = {kind: 0 for kind in OperatorKind.ordered()}
+        for op in self._operators.values():
+            counts[op.kind] += 1
+        return counts
+
+    def loop_body(self) -> List[Operator]:
+        """Operators executing once per iteration."""
+        return [op for op in self.operators() if op.in_loop]
+
+    def shuffle_count(self) -> int:
+        """Operators that move data across the network."""
+        return sum(1 for op in self._operators.values() if op.shuffle_fraction > 0)
+
+    def total_cost_annotations(self) -> Dict[str, float]:
+        """Summed per-MB cost annotations, loop body weighted by iterations."""
+        cpu = io = shuffle = 0.0
+        for op in self._operators.values():
+            weight = self.iterations if op.in_loop else 1
+            cpu += op.cpu_ms_per_mb * weight
+            io += op.io_mb_per_mb * weight
+            shuffle += op.shuffle_fraction * weight
+        return {"cpu_ms_per_mb": cpu, "io_mb_per_mb": io, "shuffle_fraction": shuffle}
+
+    def __repr__(self) -> str:
+        return (
+            f"DataflowGraph(name={self.name!r}, operators={len(self)}, "
+            f"edges={len(self.edges())}, iterations={self.iterations})"
+        )

@@ -1,0 +1,35 @@
+"""Descriptive-property encoding substrate (paper §III-C).
+
+Turns heterogeneous context properties (node types, job parameters, dataset
+sizes, software versions) into fixed-size numeric vectors: natural numbers via
+binary encoding, text via vocabulary-cleaned character n-gram feature hashing
+projected on the unit sphere, each with a method-indicator prefix.
+"""
+
+from repro.encoding.binarizer import Binarizer
+from repro.encoding.hashing import HashingVectorizer, fnv1a_64
+from repro.encoding.ngrams import extract_ngrams, ngram_counts
+from repro.encoding.properties import (
+    LAMBDA_BINARIZED,
+    LAMBDA_HASHED,
+    PropertyEncoder,
+)
+from repro.encoding.scaleout import bellamy_features, ernest_features
+from repro.encoding.scaling import MinMaxScaler
+from repro.encoding.vocabulary import DEFAULT_VOCABULARY, Vocabulary
+
+__all__ = [
+    "Binarizer",
+    "DEFAULT_VOCABULARY",
+    "HashingVectorizer",
+    "LAMBDA_BINARIZED",
+    "LAMBDA_HASHED",
+    "MinMaxScaler",
+    "PropertyEncoder",
+    "Vocabulary",
+    "bellamy_features",
+    "ernest_features",
+    "extract_ngrams",
+    "fnv1a_64",
+    "ngram_counts",
+]

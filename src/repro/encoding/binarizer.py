@@ -1,0 +1,86 @@
+"""Binary encoding of natural numbers (paper §III-C, Eq. 4, first branch).
+
+Natural-number properties (CPU cores, memory in MB, iteration counts, dataset
+sizes) are encoded as fixed-length bit vectors. This "saves the trouble of
+feature-wise scaling, while allowing for uniquely encoding any number of
+reasonable size": any ``p <= 2**L - 1`` gets a unique, bounded representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Binarizer:
+    """Encode non-negative integers as fixed-length binary vectors.
+
+    Bit order is least-significant-first, i.e. ``encode(6) = [0, 1, 1, 0, ...]``.
+
+    Parameters
+    ----------
+    length:
+        Number of bits ``L``. Values up to ``2**L - 1`` are representable.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        if length > 62:
+            raise ValueError(f"length must be <= 62 to fit in int64 arithmetic, got {length}")
+        self.length = length
+
+    @property
+    def capacity(self) -> int:
+        """Largest encodable value (inclusive)."""
+        return 2**self.length - 1
+
+    def encode(self, value: int) -> np.ndarray:
+        """Encode ``value`` into a float vector of 0.0/1.0 bits."""
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"binarizer requires values >= 0, got {value}")
+        if value > self.capacity:
+            raise ValueError(
+                f"value {value} exceeds binarizer capacity {self.capacity} (L={self.length})"
+            )
+        bits = (value >> np.arange(self.length)) & 1
+        return bits.astype(np.float64)
+
+    def decode(self, bits: np.ndarray) -> int:
+        """Inverse of :meth:`encode` (used to verify round-trips)."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.length,):
+            raise ValueError(f"expected shape ({self.length},), got {bits.shape}")
+        rounded = np.rint(bits).astype(np.int64)
+        if not np.isin(rounded, (0, 1)).all() or not np.allclose(
+            bits, rounded, atol=0.25
+        ):
+            raise ValueError("bit vector must contain only (near-)0/1 values")
+        return int((rounded << np.arange(self.length)).sum())
+
+    @staticmethod
+    def is_encodable(value: object) -> bool:
+        """Whether ``value`` is a non-negative integer (or an integer string).
+
+        Mirrors the paper's dispatch: properties in ``N_0`` go through the
+        binarizer, everything else through the hasher. Numeric *strings* such
+        as ``"25"`` (a job parameter) count as naturals; floats do not, since
+        their binary encoding would not be unique across equal magnitudes.
+        """
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, (int, np.integer)):
+            return int(value) >= 0
+        if isinstance(value, str):
+            stripped = value.strip()
+            return stripped.isdecimal()
+        return False
+
+    @staticmethod
+    def to_int(value: object) -> int:
+        """Coerce an encodable value (int or digit string) to ``int``."""
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            return int(value)
+        if isinstance(value, str) and value.strip().isdecimal():
+            return int(value.strip())
+        raise TypeError(f"value {value!r} is not binarizer-encodable")

@@ -1,0 +1,104 @@
+"""Feature hashing of textual properties (paper §III-C, Eq. 4, second branch).
+
+Replaces scikit-learn's ``HashingVectorizer``: character n-grams of the
+vocabulary-cleaned text are counted and scattered into a fixed-size vector via
+a hash function, then the vector is projected onto the Euclidean unit sphere.
+
+The hash is FNV-1a (64-bit), implemented here so the library has no hidden
+dependencies and hashing is stable across processes and Python versions
+(``hash()`` is salted; ``sklearn`` uses MurmurHash3). A second, independent
+bit of the hash decides the *sign* of each update — the same trick sklearn
+uses so that colliding terms partially cancel instead of compounding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.encoding.ngrams import ngram_counts
+from repro.encoding.vocabulary import DEFAULT_VOCABULARY, Vocabulary
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+class HashingVectorizer:
+    """Hash character n-grams of a text into a fixed-size, unit-norm vector.
+
+    Parameters
+    ----------
+    n_features:
+        Output dimensionality ``L``.
+    ngram_range:
+        Inclusive (min_n, max_n) for character n-grams; the paper uses (1, 3).
+    vocabulary:
+        Character whitelist applied before n-gram extraction.
+    signed:
+        Use one hash bit as the sign of each count update (reduces collision
+        bias). The paper's description uses plain counts; both are supported
+        and the default follows the description (unsigned).
+    normalize:
+        Project the output on the Euclidean unit sphere (paper: always).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        ngram_range: Tuple[int, int] = (1, 3),
+        vocabulary: Optional[Vocabulary] = None,
+        signed: bool = False,
+        normalize: bool = True,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be > 0, got {n_features}")
+        self.n_features = n_features
+        self.ngram_range = ngram_range
+        self.vocabulary = vocabulary if vocabulary is not None else DEFAULT_VOCABULARY
+        self.signed = signed
+        self.normalize = normalize
+
+    def index_of(self, term: str) -> int:
+        """The output index assigned to ``term`` by the hash function."""
+        return fnv1a_64(term.encode("utf-8")) % self.n_features
+
+    def sign_of(self, term: str) -> float:
+        """The sign assigned to ``term`` (always +1 when unsigned)."""
+        if not self.signed:
+            return 1.0
+        # Use an independent bit (the 33rd) of the hash for the sign so that
+        # sign and index are effectively uncorrelated.
+        return 1.0 if (fnv1a_64(term.encode("utf-8")) >> 33) & 1 else -1.0
+
+    def transform(self, text: str) -> np.ndarray:
+        """Vectorize one text into ``R^{n_features}``.
+
+        Empty inputs (or inputs whose characters are all stripped) yield the
+        zero vector, which is left unnormalized.
+        """
+        cleaned = self.vocabulary.clean(text)
+        output = np.zeros(self.n_features)
+        for term, count in ngram_counts(cleaned, self.ngram_range).items():
+            output[self.index_of(term)] += self.sign_of(term) * count
+        if self.normalize:
+            norm = float(np.linalg.norm(output))
+            if norm > 0.0:
+                output /= norm
+        return output
+
+    def transform_many(self, texts) -> np.ndarray:
+        """Vectorize a sequence of texts into a ``(len(texts), L)`` matrix."""
+        return np.stack([self.transform(text) for text in texts]) if len(texts) else np.zeros(
+            (0, self.n_features)
+        )

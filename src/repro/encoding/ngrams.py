@@ -1,0 +1,29 @@
+"""Character n-gram extraction (paper §III-C: unigrams, bigrams, trigrams)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+
+def extract_ngrams(text: str, ngram_range: Tuple[int, int] = (1, 3)) -> List[str]:
+    """Extract all character n-grams of ``text`` for n in ``ngram_range``.
+
+    Returns n-grams in order of occurrence (duplicates preserved); the
+    vectorizer counts them afterwards. An empty string yields no n-grams.
+    """
+    low, high = ngram_range
+    if low < 1 or high < low:
+        raise ValueError(f"invalid ngram_range {ngram_range!r}; need 1 <= low <= high")
+    grams: List[str] = []
+    length = len(text)
+    for n in range(low, high + 1):
+        if n > length:
+            break
+        grams.extend(text[idx : idx + n] for idx in range(length - n + 1))
+    return grams
+
+
+def ngram_counts(text: str, ngram_range: Tuple[int, int] = (1, 3)) -> Dict[str, int]:
+    """Count unique n-grams of ``text`` (the ``|t_s|`` term counts in Eq. 4)."""
+    return dict(Counter(extract_ngrams(text, ngram_range)))

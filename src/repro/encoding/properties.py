@@ -1,0 +1,100 @@
+"""Descriptive-property vectorization (paper §III-C, Eq. 3–4).
+
+Each property ``p`` of a job-execution context is transformed into a
+fixed-size vector ``p_vec in R^N``::
+
+    p_vec = [lambda, q_1, ..., q_L]   with   L = N - 1
+
+where ``q`` comes from the *binarizer* when ``p`` is a natural number and
+from the *hashing vectorizer* otherwise, and the binary prefix ``lambda``
+indicates which method was used. Hashed vectors are projected onto the
+Euclidean unit sphere (inside the vectorizer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.encoding.binarizer import Binarizer
+from repro.encoding.hashing import HashingVectorizer
+from repro.encoding.vocabulary import Vocabulary
+
+#: Prefix value marking a binarizer-encoded property.
+LAMBDA_BINARIZED: float = 1.0
+#: Prefix value marking a hashed textual property.
+LAMBDA_HASHED: float = 0.0
+
+
+class PropertyEncoder:
+    """Encode descriptive properties into ``R^N`` vectors.
+
+    Parameters
+    ----------
+    vector_size:
+        Total output size ``N`` (the paper uses 40, "to allow for encoding
+        larger numbers while also reducing the collision probability").
+    ngram_range:
+        Character n-gram range for textual properties.
+    vocabulary:
+        Character whitelist; defaults to the paper's alphanumeric + symbols.
+    signed_hashing:
+        Whether the hashing vectorizer uses signed updates.
+    """
+
+    def __init__(
+        self,
+        vector_size: int = 40,
+        ngram_range: Tuple[int, int] = (1, 3),
+        vocabulary: Optional[Vocabulary] = None,
+        signed_hashing: bool = False,
+    ) -> None:
+        if vector_size < 2:
+            raise ValueError(f"vector_size must be >= 2, got {vector_size}")
+        self.vector_size = vector_size
+        self.code_size = vector_size - 1  # L = N - 1
+        self.binarizer = Binarizer(min(self.code_size, 62))
+        self.hasher = HashingVectorizer(
+            n_features=self.code_size,
+            ngram_range=ngram_range,
+            vocabulary=vocabulary,
+            signed=signed_hashing,
+            normalize=True,
+        )
+
+    def encode_property(self, value: object) -> np.ndarray:
+        """Encode a single property value into ``R^N``.
+
+        Natural numbers (and digit strings) go through the binarizer with
+        prefix ``lambda = 1``; everything else is stringified, cleaned, and
+        hashed with prefix ``lambda = 0``.
+        """
+        out = np.zeros(self.vector_size)
+        if Binarizer.is_encodable(value):
+            out[0] = LAMBDA_BINARIZED
+            bits = self.binarizer.encode(Binarizer.to_int(value))
+            out[1 : 1 + bits.size] = bits
+        else:
+            out[0] = LAMBDA_HASHED
+            out[1:] = self.hasher.transform(str(value))
+        return out
+
+    def encode_properties(self, values: Sequence[object]) -> np.ndarray:
+        """Encode a sequence of properties into a ``(len(values), N)`` matrix."""
+        if len(values) == 0:
+            return np.zeros((0, self.vector_size))
+        return np.stack([self.encode_property(value) for value in values])
+
+    def is_binarized(self, encoded: np.ndarray) -> bool:
+        """Whether an encoded vector came from the binarizer (by its prefix)."""
+        encoded = np.asarray(encoded)
+        if encoded.shape != (self.vector_size,):
+            raise ValueError(f"expected shape ({self.vector_size},), got {encoded.shape}")
+        return bool(encoded[0] == LAMBDA_BINARIZED)
+
+    def decode_numeric(self, encoded: np.ndarray) -> int:
+        """Recover the integer from a binarizer-encoded vector (tests only)."""
+        if not self.is_binarized(encoded):
+            raise ValueError("vector was not binarizer-encoded (lambda prefix is 0)")
+        return self.binarizer.decode(encoded[1 : 1 + self.binarizer.length])

@@ -1,0 +1,32 @@
+"""Scale-out feature maps shared by Bellamy and the Ernest baseline.
+
+Ernest's parametric model (paper Eq. 1) is
+``f = t1 + t2/x + t3*log(x) + t4*x``; its design matrix therefore has columns
+``[1, 1/x, log(x), x]``. Bellamy's scale-out network consumes the same
+information minus the constant: ``[1/x, log(x), x]`` (paper §III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_scaleouts(scaleouts: np.ndarray) -> np.ndarray:
+    scaleouts = np.asarray(scaleouts, dtype=np.float64).reshape(-1)
+    if scaleouts.size == 0:
+        raise ValueError("need at least one scale-out value")
+    if (scaleouts <= 0).any():
+        raise ValueError(f"scale-outs must be positive, got {scaleouts}")
+    return scaleouts
+
+
+def bellamy_features(scaleouts) -> np.ndarray:
+    """Feature matrix ``[1/x, log(x), x]`` with shape ``(n, 3)``."""
+    x = _validate_scaleouts(scaleouts)
+    return np.column_stack([1.0 / x, np.log(x), x])
+
+
+def ernest_features(scaleouts) -> np.ndarray:
+    """Ernest design matrix ``[1, 1/x, log(x), x]`` with shape ``(n, 4)``."""
+    x = _validate_scaleouts(scaleouts)
+    return np.column_stack([np.ones_like(x), 1.0 / x, np.log(x), x])

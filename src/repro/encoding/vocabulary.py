@@ -1,0 +1,42 @@
+"""Character vocabulary used before n-gram extraction (paper §III-C).
+
+"We first utilize a simple case insensitive character-vocabulary with
+alphanumeric characters and a handful of special symbols. Characters not
+present in the vocabulary are stripped away."
+"""
+
+from __future__ import annotations
+
+import string
+from typing import FrozenSet
+
+#: Special symbols that commonly occur in node types, job parameters, and
+#: version strings (e.g. "m4.2xlarge", "--iterations=25", "spark-2.4.4").
+DEFAULT_SPECIAL_SYMBOLS: str = ".-_=/ ,:"
+
+
+class Vocabulary:
+    """Case-insensitive character whitelist with a cleaning operation."""
+
+    def __init__(self, special_symbols: str = DEFAULT_SPECIAL_SYMBOLS) -> None:
+        self.special_symbols = special_symbols
+        self._allowed: FrozenSet[str] = frozenset(
+            string.ascii_lowercase + string.digits + special_symbols
+        )
+
+    @property
+    def characters(self) -> FrozenSet[str]:
+        """The set of allowed (lowercase) characters."""
+        return self._allowed
+
+    def __contains__(self, char: str) -> bool:
+        return char.lower() in self._allowed
+
+    def clean(self, text: str) -> str:
+        """Lowercase ``text`` and strip every character not in the vocabulary."""
+        lowered = str(text).lower()
+        return "".join(char for char in lowered if char in self._allowed)
+
+
+#: Shared default instance.
+DEFAULT_VOCABULARY = Vocabulary()

@@ -1,0 +1,278 @@
+"""Ablation study over Bellamy's design choices.
+
+The paper motivates several architectural decisions without isolating their
+contributions: the joint reconstruction objective of the auto-encoder, the
+distinction between essential and optional properties, the dense code
+dimensionality, and — most fundamentally — encoding descriptive properties at
+all. This module quantifies each choice on the synthetic C3O corpus by
+training *variants* of the model that disable or resize one piece, and
+running them through the same sub-sampling evaluation protocol as the main
+experiments.
+
+Variants
+--------
+``bellamy``
+    The reference configuration (paper Table I).
+``no-reconstruction``
+    Reconstruction weight 0: the auto-encoder receives gradients only through
+    the runtime objective — measures the value of the joint loss.
+``no-optional``
+    Optional property codes are not concatenated (``use_optional=False``) —
+    measures the value of the mean-pooled optional-code block (paper Eq. 6).
+``no-properties``
+    Every descriptive property is replaced by a constant placeholder, so all
+    contexts collapse onto identical codes and the model degenerates to a
+    scale-out-only predictor — measures the value of context encoding itself,
+    the paper's core contribution.
+``codes-2`` / ``codes-8``
+    Halved / doubled auto-encoder code dimensionality (default 4).
+``full-unfreeze``
+    Fine-tuning adapts ``f`` and ``z`` from the first epoch instead of the
+    staged partial unfreeze — measures the value of the unfreeze schedule in
+    the *cross-context* setting (the paper only compares schedules across
+    environments, §IV-C2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy
+from repro.core.model import BellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.pretraining import pretrain
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+from repro.eval.experiments.common import (
+    ExperimentScale,
+    QUICK_SCALE,
+    select_target_contexts,
+)
+from repro.eval.protocol import (
+    EvaluationRecord,
+    MethodSpec,
+    ProtocolConfig,
+    evaluate_context,
+)
+from repro.utils.rng import derive_seed
+
+#: Placeholder values of the ``no-properties`` variant. Scale-out and runtime
+#: are untouched; everything the configuration encoder sees becomes constant.
+#: The node type must exist in the catalog (optional properties resolve
+#: memory/cores through it), so a fixed real type is used.
+_NEUTRAL_NODE = "m4.xlarge"
+_NEUTRAL_CHARACTERISTICS = "anon-data"
+_NEUTRAL_PARAMS: Tuple[Tuple[str, str], ...] = (("params", "anon"),)
+_NEUTRAL_DATASET_MB = 1
+
+
+def neutralize_context(context: JobContext) -> JobContext:
+    """Strip all descriptive information from a context (keep the algorithm).
+
+    Used by the ``no-properties`` ablation: with constant properties, every
+    context produces identical codes, which reduces Bellamy to a pure
+    scale-out model (its ``f`` + ``z`` path).
+    """
+    return replace(
+        context,
+        node_type=_NEUTRAL_NODE,
+        dataset_mb=_NEUTRAL_DATASET_MB,
+        dataset_characteristics=_NEUTRAL_CHARACTERISTICS,
+        job_params=_NEUTRAL_PARAMS,
+        context_id="",  # regenerate from the neutralized descriptor
+    )
+
+
+def neutralize_dataset(dataset: ExecutionDataset) -> ExecutionDataset:
+    """Apply :func:`neutralize_context` to every execution of a dataset."""
+    neutral = ExecutionDataset()
+    neutral.extend(
+        [
+            Execution(
+                context=neutralize_context(execution.context),
+                machines=execution.machines,
+                runtime_s=execution.runtime_s,
+                repeat=execution.repeat,
+            )
+            for execution in dataset
+        ]
+    )
+    return neutral
+
+
+@dataclass(frozen=True)
+class AblationVariant:
+    """One ablation arm: a config transform plus optional data/fit tweaks."""
+
+    name: str
+    description: str
+    #: Applied to the base config before pre-training.
+    config_transform: Callable[[BellamyConfig], BellamyConfig] = lambda c: c
+    #: Applied to corpus and target context (``no-properties``).
+    neutralize: bool = False
+    #: Fine-tuning strategy (default: the paper's partial unfreeze).
+    strategy: FinetuneStrategy = FinetuneStrategy.PARTIAL_UNFREEZE
+
+
+#: The ablation arms, in reporting order.
+ABLATION_VARIANTS: Tuple[AblationVariant, ...] = (
+    AblationVariant(
+        name="bellamy",
+        description="reference configuration (paper Table I)",
+    ),
+    AblationVariant(
+        name="no-reconstruction",
+        description="joint loss without the reconstruction term",
+        config_transform=lambda c: c.with_overrides(reconstruction_weight=0.0),
+    ),
+    AblationVariant(
+        name="no-optional",
+        description="optional property codes not consumed",
+        config_transform=lambda c: c.with_overrides(use_optional=False),
+    ),
+    AblationVariant(
+        name="no-properties",
+        description="all properties constant: scale-out-only model",
+        neutralize=True,
+    ),
+    AblationVariant(
+        name="codes-2",
+        description="auto-encoder code dimensionality halved",
+        config_transform=lambda c: c.with_overrides(encoding_dim=2),
+    ),
+    AblationVariant(
+        name="codes-8",
+        description="auto-encoder code dimensionality doubled",
+        config_transform=lambda c: c.with_overrides(encoding_dim=8),
+    ),
+    AblationVariant(
+        name="full-unfreeze",
+        description="fine-tuning adapts f and z from the start",
+        strategy=FinetuneStrategy.FULL_UNFREEZE,
+    ),
+)
+
+
+def get_variant(name: str) -> AblationVariant:
+    """Look up an ablation variant by name."""
+    for variant in ABLATION_VARIANTS:
+        if variant.name == name:
+            return variant
+    raise ValueError(
+        f"unknown ablation variant {name!r}; "
+        f"available: {[v.name for v in ABLATION_VARIANTS]}"
+    )
+
+
+@dataclass
+class AblationResult:
+    """All evaluation records of one ablation run, plus diagnostics."""
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+    pretrain_seconds: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    scale_name: str = ""
+
+    def variants(self) -> List[str]:
+        """Distinct variant names, stable order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.method, None)
+        return list(seen)
+
+
+def _variant_method(
+    variant: AblationVariant,
+    base_model: BellamyModel,
+    target: JobContext,
+    scale: ExperimentScale,
+) -> MethodSpec:
+    """Wrap one pre-trained variant model as an evaluation method."""
+    context = neutralize_context(target) if variant.neutralize else target
+
+    def factory(_ctx: JobContext) -> BellamyRuntimeModel:
+        return BellamyRuntimeModel(
+            context,
+            base_model=base_model,
+            strategy=variant.strategy,
+            max_epochs=scale.finetune_max_epochs,
+            variant_label=variant.name,
+        )
+
+    return MethodSpec(name=variant.name, factory=factory, min_train_points=0)
+
+
+def run_ablation_experiment(
+    dataset: ExecutionDataset,
+    scale: ExperimentScale = QUICK_SCALE,
+    seed: int = 0,
+    algorithms: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[str]] = None,
+    contexts_per_algorithm: Optional[int] = None,
+) -> AblationResult:
+    """Run the ablation study.
+
+    For each algorithm and target context, every variant is pre-trained on
+    the full cross-context corpus (minus the target context), fine-tuned on
+    the protocol's sub-sampled splits, and scored on interpolation and
+    extrapolation test points. Records carry the variant name in ``method``.
+
+    Parameters
+    ----------
+    dataset:
+        The (synthetic) C3O dataset.
+    scale:
+        Experiment sizes; ablations default to the scale's algorithm list.
+    seed:
+        Root seed for context selection, pre-training, and splits.
+    algorithms:
+        Optional algorithm subset. Ablations are most informative on the
+        non-trivial algorithms (``sgd``, ``kmeans``).
+    variants:
+        Optional subset of variant names (default: all arms).
+    contexts_per_algorithm:
+        Target contexts per algorithm (default: the scale's setting).
+    """
+    started = time.perf_counter()
+    arms = (
+        ABLATION_VARIANTS
+        if variants is None
+        else tuple(get_variant(name) for name in variants)
+    )
+    base_config = scale.bellamy_config()
+    n_contexts = contexts_per_algorithm or scale.contexts_per_algorithm
+    result = AblationResult(scale_name=scale.name)
+
+    for algorithm in algorithms or scale.algorithms:
+        targets = select_target_contexts(dataset, algorithm, n_contexts, seed=seed)
+        for target in targets:
+            corpus = dataset.for_algorithm(algorithm).exclude_context(target.context_id)
+            methods: List[MethodSpec] = []
+            for variant in arms:
+                config = variant.config_transform(base_config).with_overrides(
+                    seed=derive_seed(seed, "ablation", variant.name, target.context_id)
+                )
+                train_corpus = neutralize_dataset(corpus) if variant.neutralize else corpus
+                pretrained = pretrain(
+                    train_corpus, algorithm, config=config, variant=variant.name
+                )
+                pretrained.model.eval()
+                result.pretrain_seconds[variant.name] = (
+                    result.pretrain_seconds.get(variant.name, 0.0)
+                    + pretrained.wall_seconds
+                )
+                methods.append(_variant_method(variant, pretrained.model, target, scale))
+
+            context_data = dataset.for_context(target.context_id)
+            protocol = ProtocolConfig(
+                n_train_values=scale.n_train_values,
+                max_splits=scale.max_splits,
+                seed=derive_seed(seed, "ablation-protocol", target.context_id),
+            )
+            result.records.extend(evaluate_context(methods, context_data, protocol))
+
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,147 @@
+"""Ad hoc cross-environment learning study (paper §IV-C2; Fig. 8).
+
+Simulates migrating from the public cloud to a private cluster: for each
+algorithm present in both datasets (Grep, SGD, PageRank), a Bellamy model is
+pre-trained on the **C3O** data (all contexts of the algorithm) and then
+reused on the single **Bell** context of that algorithm under four reuse
+strategies (partial/full unfreeze, partial/full reset), compared against a
+local model, NNLS, and Bell.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.bell_model import BellModel
+from repro.baselines.ernest import ErnestModel
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy
+from repro.core.model import BellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.pretraining import pretrain
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.eval.experiments.common import ExperimentScale, QUICK_SCALE
+from repro.eval.protocol import (
+    EvaluationRecord,
+    MethodSpec,
+    ProtocolConfig,
+    evaluate_context,
+)
+from repro.utils.rng import derive_seed
+
+#: The four reuse strategies studied in Fig. 8.
+CROSS_ENV_STRATEGIES: Sequence[FinetuneStrategy] = (
+    FinetuneStrategy.PARTIAL_UNFREEZE,
+    FinetuneStrategy.FULL_UNFREEZE,
+    FinetuneStrategy.PARTIAL_RESET,
+    FinetuneStrategy.FULL_RESET,
+)
+
+
+@dataclass
+class CrossEnvironmentResult:
+    """All records of one cross-environment run."""
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+    pretrain_seconds: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    scale_name: str = ""
+
+
+def cross_environment_methods(
+    base: BellamyModel,
+    scale: ExperimentScale,
+    config: BellamyConfig,
+    seed: int = 0,
+) -> List[MethodSpec]:
+    """NNLS, Bell, local, and the four reuse strategies."""
+
+    def local_factory(context: JobContext) -> BellamyRuntimeModel:
+        return BellamyRuntimeModel(
+            context,
+            base_model=None,
+            config=config,
+            max_epochs=scale.finetune_max_epochs,
+            variant_label="Bellamy (local)",
+            seed=derive_seed(seed, "crossenv-local", context.context_id),
+        )
+
+    def strategy_factory(strategy: FinetuneStrategy):
+        def factory(context: JobContext) -> BellamyRuntimeModel:
+            return BellamyRuntimeModel(
+                context,
+                base_model=base,
+                strategy=strategy,
+                max_epochs=scale.finetune_max_epochs,
+                variant_label=f"Bellamy ({strategy.value})",
+            )
+
+        return factory
+
+    methods: List[MethodSpec] = [
+        MethodSpec(name="NNLS", factory=lambda _ctx: ErnestModel(), min_train_points=1),
+        MethodSpec(name="Bell", factory=lambda _ctx: BellModel(), min_train_points=3),
+        MethodSpec(name="Bellamy (local)", factory=local_factory, min_train_points=1),
+    ]
+    for strategy in CROSS_ENV_STRATEGIES:
+        methods.append(
+            MethodSpec(
+                name=f"Bellamy ({strategy.value})",
+                factory=strategy_factory(strategy),
+                # Reset variants must re-learn and thus need data; unfreeze
+                # variants can be applied zero-shot.
+                min_train_points=0 if not strategy.resets_z() else 1,
+            )
+        )
+    return methods
+
+
+def run_cross_environment_experiment(
+    c3o_dataset: ExecutionDataset,
+    bell_dataset: ExecutionDataset,
+    scale: ExperimentScale = QUICK_SCALE,
+    seed: int = 0,
+    base_config: Optional[BellamyConfig] = None,
+    algorithms: Optional[Sequence[str]] = None,
+) -> CrossEnvironmentResult:
+    """Run the full cross-environment study.
+
+    Pre-training uses the C3O corpus of each algorithm; evaluation runs on
+    the algorithm's single Bell context with up to
+    ``scale.max_splits_crossenv`` unique splits per training-set size.
+    """
+    started = time.perf_counter()
+    config = scale.bellamy_config(base_config)
+    result = CrossEnvironmentResult(scale_name=scale.name)
+
+    bell_algorithms = bell_dataset.algorithms()
+    for algorithm in algorithms or [a for a in scale.algorithms if a in bell_algorithms]:
+        if algorithm not in bell_algorithms:
+            continue
+        pretrain_result = pretrain(
+            c3o_dataset,
+            algorithm,
+            config=config.with_overrides(
+                seed=derive_seed(seed, "crossenv-pretrain", algorithm)
+            ),
+            variant="crossenv",
+        )
+        base = pretrain_result.model
+        base.eval()
+        result.pretrain_seconds[algorithm] = pretrain_result.wall_seconds
+
+        context_data = bell_dataset.for_algorithm(algorithm)
+        target = context_data.contexts()[0]
+        methods = cross_environment_methods(base, scale, config, seed=seed)
+        protocol = ProtocolConfig(
+            n_train_values=tuple(v for v in scale.n_train_values),
+            max_splits=scale.max_splits_crossenv,
+            seed=derive_seed(seed, "crossenv-protocol", algorithm, target.context_id),
+        )
+        result.records.extend(evaluate_context(methods, context_data, protocol))
+
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,85 @@
+"""Fig. 2: runtime variance across contexts.
+
+For every algorithm, each context's mean runtime curve is normalized by its
+own maximum; the spread of normalized runtimes at each scale-out across
+contexts visualizes how differently the same algorithm scales in different
+contexts — the motivation for context-aware models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ExecutionDataset
+
+
+@dataclass
+class VarianceSummary:
+    """Normalized-runtime distribution of one algorithm."""
+
+    algorithm: str
+    scaleouts: List[int]
+    #: scale-out -> (min, q25, median, q75, max) of normalized runtimes.
+    quantiles: Dict[int, Tuple[float, float, float, float, float]]
+    #: Normalized mean-runtime curve per context id.
+    curves: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def spread(self) -> float:
+        """Mean inter-quartile range across scale-outs (scalar variance proxy)."""
+        iqrs = [q[3] - q[1] for q in self.quantiles.values()]
+        return float(np.mean(iqrs)) if iqrs else 0.0
+
+
+def normalized_context_curves(dataset: ExecutionDataset) -> Dict[str, np.ndarray]:
+    """Per-context mean runtime curves, each normalized by its maximum."""
+    curves: Dict[str, np.ndarray] = {}
+    for context_id, context_data in dataset.by_context().items():
+        _, means = context_data.mean_runtime_curve()
+        peak = means.max()
+        if peak <= 0:
+            raise ValueError(f"context {context_id} has non-positive runtimes")
+        curves[context_id] = means / peak
+    return curves
+
+
+def runtime_variance_summary(
+    dataset: ExecutionDataset, algorithm: str
+) -> VarianceSummary:
+    """Compute the Fig. 2 distribution for one algorithm."""
+    subset = dataset.for_algorithm(algorithm)
+    if len(subset) == 0:
+        raise ValueError(f"no executions for algorithm {algorithm!r}")
+    scaleouts = [int(s) for s in subset.scaleouts()]
+    curves = normalized_context_curves(subset)
+
+    per_scaleout: Dict[int, List[float]] = {s: [] for s in scaleouts}
+    for context_id, context_data in subset.by_context().items():
+        machines, _ = context_data.mean_runtime_curve()
+        for position, machine_count in enumerate(machines):
+            per_scaleout[int(machine_count)].append(float(curves[context_id][position]))
+
+    quantiles = {
+        scaleout: tuple(
+            float(np.percentile(values, q)) for q in (0, 25, 50, 75, 100)
+        )
+        for scaleout, values in per_scaleout.items()
+        if values
+    }
+    return VarianceSummary(
+        algorithm=algorithm,
+        scaleouts=scaleouts,
+        quantiles=quantiles,  # type: ignore[arg-type]
+        curves=curves,
+    )
+
+
+def run_fig2(dataset: ExecutionDataset) -> List[VarianceSummary]:
+    """Fig. 2 summaries for every algorithm in the dataset."""
+    return [
+        runtime_variance_summary(dataset, algorithm)
+        for algorithm in dataset.algorithms()
+    ]

@@ -1,0 +1,88 @@
+"""Prediction-error metrics used in the evaluation.
+
+The paper reports mean relative errors (MRE, Fig. 5) and mean absolute
+errors (MAE, Fig. 6/8); the rest are standard companions used by the tests
+and the extended reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _validate(predictions: np.ndarray, actuals: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    actuals = np.asarray(actuals, dtype=np.float64).reshape(-1)
+    if predictions.shape != actuals.shape:
+        raise ValueError(
+            f"predictions and actuals must align, got {predictions.shape} vs {actuals.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("metrics require at least one prediction")
+    return predictions, actuals
+
+
+def absolute_errors(predictions, actuals) -> np.ndarray:
+    """Elementwise ``|pred - actual|``."""
+    predictions, actuals = _validate(predictions, actuals)
+    return np.abs(predictions - actuals)
+
+
+def relative_errors(predictions, actuals) -> np.ndarray:
+    """Elementwise ``|pred - actual| / actual`` (actuals must be nonzero)."""
+    predictions, actuals = _validate(predictions, actuals)
+    if (actuals == 0).any():
+        raise ValueError("relative error undefined for zero actuals")
+    return np.abs(predictions - actuals) / np.abs(actuals)
+
+
+def mae(predictions, actuals) -> float:
+    """Mean absolute error."""
+    return float(absolute_errors(predictions, actuals).mean())
+
+
+def mre(predictions, actuals) -> float:
+    """Mean relative error (the paper's headline metric)."""
+    return float(relative_errors(predictions, actuals).mean())
+
+
+def mape(predictions, actuals) -> float:
+    """Mean absolute percentage error (MRE * 100)."""
+    return 100.0 * mre(predictions, actuals)
+
+
+def rmse(predictions, actuals) -> float:
+    """Root mean squared error."""
+    predictions, actuals = _validate(predictions, actuals)
+    return float(np.sqrt(np.mean((predictions - actuals) ** 2)))
+
+
+def smape(predictions, actuals) -> float:
+    """Symmetric MAPE in [0, 200]."""
+    predictions, actuals = _validate(predictions, actuals)
+    denominator = (np.abs(predictions) + np.abs(actuals)) / 2.0
+    if (denominator == 0).any():
+        raise ValueError("sMAPE undefined when prediction and actual are both zero")
+    return float(100.0 * np.mean(np.abs(predictions - actuals) / denominator))
+
+
+def r_squared(predictions, actuals) -> float:
+    """Coefficient of determination."""
+    predictions, actuals = _validate(predictions, actuals)
+    total = np.sum((actuals - actuals.mean()) ** 2)
+    if total == 0:
+        raise ValueError("R^2 undefined for constant actuals")
+    residual = np.sum((actuals - predictions) ** 2)
+    return float(1.0 - residual / total)
+
+
+def summary(predictions, actuals) -> Dict[str, float]:
+    """All metrics in one dict."""
+    return {
+        "mae": mae(predictions, actuals),
+        "mre": mre(predictions, actuals),
+        "rmse": rmse(predictions, actuals),
+        "smape": smape(predictions, actuals),
+    }

@@ -1,0 +1,243 @@
+"""The evaluation protocol of the paper (§IV-C).
+
+For each concrete context, each method, and each number of available
+training points, the protocol draws random sub-sampling cross-validation
+splits (training points with pairwise-different scale-outs, one interpolation
+test point inside their range, one extrapolation test point outside), fits
+the method on the training points, and records the prediction error on the
+test points along with time-to-fit and epochs-trained diagnostics.
+
+Methods are supplied as factories so every split gets a fresh model; Bellamy
+factories close over a pre-trained base model that fine-tuning clones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import JobContext
+from repro.data.splits import Split, split_arrays, subsample_splits, test_point
+from repro.utils.rng import derive_seed
+
+#: Builds a fresh model for one (context, split) evaluation.
+MethodFactory = Callable[[JobContext], RuntimeModel]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named prediction method under evaluation."""
+
+    name: str
+    factory: MethodFactory
+    #: Methods below this many training points are skipped (NNLS needs 1,
+    #: Bell needs 3, pre-trained Bellamy variants support 0).
+    min_train_points: int = 1
+
+
+@dataclass
+class EvaluationRecord:
+    """One (method, context, split, task) outcome."""
+
+    method: str
+    algorithm: str
+    context_id: str
+    n_train: int
+    task: str  # "interpolation" | "extrapolation"
+    actual_s: float
+    predicted_s: float
+    fit_seconds: float
+    epochs_trained: int
+    #: Index of the split within its (context, n_train) group; interpolation
+    #: and extrapolation records of the same fit share it.
+    split_index: int = 0
+
+    @property
+    def absolute_error(self) -> float:
+        """|predicted - actual| in seconds."""
+        return abs(self.predicted_s - self.actual_s)
+
+    @property
+    def relative_error(self) -> float:
+        """|predicted - actual| / actual."""
+        return self.absolute_error / abs(self.actual_s)
+
+
+@dataclass
+class ProtocolConfig:
+    """Knobs of the evaluation protocol."""
+
+    #: Training-set sizes to evaluate (the paper uses 1..6 for interpolation
+    #: and 0..6 for extrapolation; 0 is only meaningful for pre-trained models).
+    n_train_values: Sequence[int] = (0, 1, 2, 3, 4, 5, 6)
+    #: Unique splits per (context, n_train) pair (paper: 200 or 500).
+    max_splits: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.n_train_values:
+            raise ValueError("n_train_values must be non-empty")
+        if any(value < 0 for value in self.n_train_values):
+            raise ValueError("n_train_values must be >= 0")
+        if self.max_splits <= 0:
+            raise ValueError("max_splits must be > 0")
+
+
+def evaluate_method_on_split(
+    method: MethodSpec,
+    context: JobContext,
+    context_data: ExecutionDataset,
+    split: Split,
+    split_index: int = 0,
+) -> List[EvaluationRecord]:
+    """Fit one method on one split and score both test tasks."""
+    machines, runtimes = split_arrays(context_data, split)
+    model = method.factory(context)
+    started = time.perf_counter()
+    model.fit(machines, runtimes)
+    fit_seconds = time.perf_counter() - started
+    epochs = int(getattr(model, "epochs_trained", 0))
+    # Bellamy adapters time their own pipeline (clone + loop); prefer it.
+    fit_seconds = float(getattr(model, "fit_seconds", 0.0)) or fit_seconds
+
+    records: List[EvaluationRecord] = []
+    for task in ("interpolation", "extrapolation"):
+        pair = test_point(context_data, split, task)
+        if pair is None:
+            continue
+        test_machines, actual = pair
+        predicted = model.predict_one(test_machines)
+        records.append(
+            EvaluationRecord(
+                method=method.name,
+                algorithm=context.algorithm,
+                context_id=context.context_id,
+                n_train=split.n_train,
+                task=task,
+                actual_s=actual,
+                predicted_s=float(predicted),
+                fit_seconds=fit_seconds,
+                epochs_trained=epochs,
+                split_index=split_index,
+            )
+        )
+    return records
+
+
+def evaluate_context(
+    methods: Sequence[MethodSpec],
+    context_data: ExecutionDataset,
+    config: ProtocolConfig,
+) -> List[EvaluationRecord]:
+    """Run the full protocol for one context.
+
+    Splits are drawn once per ``n_train`` and shared by all methods, so the
+    comparison between methods is paired (identical training/test points).
+    """
+    contexts = context_data.contexts()
+    if len(contexts) != 1:
+        raise ValueError(
+            f"evaluate_context expects data from exactly one context, got {len(contexts)}"
+        )
+    context = contexts[0]
+    records: List[EvaluationRecord] = []
+    for n_train in config.n_train_values:
+        splits = subsample_splits(
+            context_data,
+            n_train,
+            config.max_splits,
+            seed=derive_seed(config.seed, "splits", context.context_id, n_train),
+        )
+        for split_index, split in enumerate(splits):
+            for method in methods:
+                if split.n_train < method.min_train_points:
+                    continue
+                records.extend(
+                    evaluate_method_on_split(
+                        method, context, context_data, split, split_index=split_index
+                    )
+                )
+    return records
+
+
+def unique_fits(records: Sequence[EvaluationRecord]) -> List[EvaluationRecord]:
+    """One record per fit (interpolation/extrapolation pairs share a fit).
+
+    Used when aggregating per-fit quantities (epochs trained, time-to-fit) so
+    fits that produced two test records are not double-counted.
+    """
+    seen = set()
+    out: List[EvaluationRecord] = []
+    for record in records:
+        key = (record.method, record.context_id, record.n_train, record.split_index)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(record)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Aggregations over records (the numbers the figures show)
+# ---------------------------------------------------------------------- #
+
+
+def aggregate(
+    records: Sequence[EvaluationRecord],
+    *,
+    task: Optional[str] = None,
+    method: Optional[str] = None,
+    algorithm: Optional[str] = None,
+    n_train: Optional[int] = None,
+) -> List[EvaluationRecord]:
+    """Filter records by any combination of keys."""
+    out = list(records)
+    if task is not None:
+        out = [r for r in out if r.task == task]
+    if method is not None:
+        out = [r for r in out if r.method == method]
+    if algorithm is not None:
+        out = [r for r in out if r.algorithm == algorithm]
+    if n_train is not None:
+        out = [r for r in out if r.n_train == n_train]
+    return out
+
+
+def mean_relative_error(records: Sequence[EvaluationRecord]) -> float:
+    """MRE over a set of records (NaN when empty)."""
+    if not records:
+        return float("nan")
+    return float(np.mean([r.relative_error for r in records]))
+
+
+def mean_absolute_error(records: Sequence[EvaluationRecord]) -> float:
+    """MAE in seconds over a set of records (NaN when empty)."""
+    if not records:
+        return float("nan")
+    return float(np.mean([r.absolute_error for r in records]))
+
+
+def mean_fit_seconds(records: Sequence[EvaluationRecord]) -> float:
+    """Mean time-to-fit over records, counting each fit once per task pair."""
+    if not records:
+        return float("nan")
+    return float(np.mean([r.fit_seconds for r in records]))
+
+
+def epochs_distribution(records: Sequence[EvaluationRecord]) -> np.ndarray:
+    """Epoch counts of all fits (for the Fig. 7 eCDFs)."""
+    return np.array(sorted(r.epochs_trained for r in records), dtype=np.float64)
+
+
+def ecdf(values: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        return values, values
+    probabilities = np.arange(1, values.size + 1, dtype=np.float64) / values.size
+    return values, probabilities

@@ -1,0 +1,49 @@
+"""JSON persistence of evaluation records.
+
+Experiment campaigns are expensive (hours at the paper's full scale); the
+records behind every figure are therefore saveable and reloadable, so tables
+can be re-rendered, re-aggregated, or compared across runs without repeating
+the computation. The format is a versioned JSON document with one object per
+:class:`~repro.eval.protocol.EvaluationRecord`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.eval.protocol import EvaluationRecord
+
+PathLike = Union[str, os.PathLike]
+
+#: Format marker written into every records file.
+FORMAT_VERSION = 1
+
+
+def save_records(path: PathLike, records: Sequence[EvaluationRecord]) -> None:
+    """Write evaluation records to a JSON file (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-evaluation-records",
+        "version": FORMAT_VERSION,
+        "records": [asdict(record) for record in records],
+    }
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_records(path: PathLike) -> List[EvaluationRecord]:
+    """Read records previously written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("format") != "repro-evaluation-records":
+        raise ValueError(f"{path} is not a repro evaluation-records file")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has records format version {version}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    return [EvaluationRecord(**record) for record in payload["records"]]

@@ -1,0 +1,258 @@
+"""Turn evaluation records into the rows/series the paper's figures show.
+
+Each ``figN_*`` function returns structured data (dicts keyed like the
+figure's axes) plus a ``render_*`` companion producing the printable table
+the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.protocol import (
+    EvaluationRecord,
+    aggregate,
+    ecdf,
+    epochs_distribution,
+    mean_absolute_error,
+    mean_fit_seconds,
+    mean_relative_error,
+    unique_fits,
+)
+from repro.utils.tables import ascii_table, format_float
+
+
+def _ordered_unique(values: Sequence) -> List:
+    seen: Dict = {}
+    for value in values:
+        seen.setdefault(value, None)
+    return list(seen)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 5 — MRE vs number of training points (interpolation/extrapolation)
+# ---------------------------------------------------------------------- #
+
+
+def fig5_series(
+    records: Sequence[EvaluationRecord],
+    task: str,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """``algorithm -> method -> n_train -> MRE`` plus an "Total" algorithm."""
+    algorithms = _ordered_unique([r.algorithm for r in records])
+    methods = _ordered_unique([r.method for r in records])
+    n_values = sorted({r.n_train for r in records if r.task == task})
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for algorithm in algorithms + ["Total"]:
+        algo_filter = None if algorithm == "Total" else algorithm
+        out[algorithm] = {}
+        for method in methods:
+            series: Dict[int, float] = {}
+            for n_train in n_values:
+                subset = aggregate(
+                    records,
+                    task=task,
+                    method=method,
+                    algorithm=algo_filter,
+                    n_train=n_train,
+                )
+                if subset:
+                    series[n_train] = mean_relative_error(subset)
+            if series:
+                out[algorithm][method] = series
+    return out
+
+
+def render_fig5(
+    records: Sequence[EvaluationRecord], task: str, digits: int = 3
+) -> str:
+    """Printable Fig. 5 table (one block per algorithm)."""
+    series = fig5_series(records, task)
+    blocks: List[str] = []
+    for algorithm, methods in series.items():
+        n_values = sorted({n for per_method in methods.values() for n in per_method})
+        headers = ["method"] + [f"n={n}" for n in n_values]
+        rows = []
+        for method, per_n in methods.items():
+            rows.append(
+                [method]
+                + [
+                    format_float(per_n[n], digits) if n in per_n else "-"
+                    for n in n_values
+                ]
+            )
+        blocks.append(
+            ascii_table(headers, rows, title=f"[Fig 5 | {task} MRE] {algorithm}")
+        )
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 6 / Fig. 8 — MAE bars per algorithm and method
+# ---------------------------------------------------------------------- #
+
+
+def mae_bars(
+    records: Sequence[EvaluationRecord], task: str = "interpolation"
+) -> Dict[str, Dict[str, float]]:
+    """``algorithm -> method -> MAE`` (seconds), aggregated over everything else."""
+    algorithms = _ordered_unique([r.algorithm for r in records])
+    methods = _ordered_unique([r.method for r in records])
+    out: Dict[str, Dict[str, float]] = {}
+    for algorithm in algorithms:
+        out[algorithm] = {}
+        for method in methods:
+            subset = aggregate(records, task=task, method=method, algorithm=algorithm)
+            if subset:
+                out[algorithm][method] = mean_absolute_error(subset)
+    return out
+
+
+def render_mae_bars(
+    records: Sequence[EvaluationRecord],
+    task: str = "interpolation",
+    title: str = "[Fig 6] Interpolation MAE [s]",
+    digits: int = 1,
+) -> str:
+    """Printable MAE table (algorithms as rows, methods as columns)."""
+    bars = mae_bars(records, task)
+    methods = _ordered_unique([m for per_algo in bars.values() for m in per_algo])
+    headers = ["algorithm"] + methods
+    rows = []
+    for algorithm, per_method in bars.items():
+        rows.append(
+            [algorithm]
+            + [
+                format_float(per_method[m], digits) if m in per_method else "-"
+                for m in methods
+            ]
+        )
+    return ascii_table(headers, rows, title=title)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 7 — eCDF of trained epochs per algorithm and Bellamy variant
+# ---------------------------------------------------------------------- #
+
+
+def fig7_ecdfs(
+    records: Sequence[EvaluationRecord],
+    methods: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]]:
+    """``algorithm -> method -> (epochs, cumulative probability)``."""
+    bellamy_methods = methods or [
+        m for m in _ordered_unique([r.method for r in records]) if "Bellamy" in m
+    ]
+    algorithms = _ordered_unique([r.algorithm for r in records])
+    out: Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]] = {}
+    for algorithm in algorithms:
+        out[algorithm] = {}
+        for method in bellamy_methods:
+            fits = unique_fits(aggregate(records, method=method, algorithm=algorithm))
+            fits = [f for f in fits if f.n_train > 0]  # zero-shot has no epochs
+            if fits:
+                out[algorithm][method] = ecdf(epochs_distribution(fits))
+    return out
+
+
+def render_fig7(
+    records: Sequence[EvaluationRecord],
+    quantiles: Sequence[float] = (0.25, 0.50, 0.75, 0.90, 1.00),
+) -> str:
+    """Printable Fig. 7 summary: epoch quantiles per algorithm and variant."""
+    curves = fig7_ecdfs(records)
+    headers = ["algorithm", "method"] + [f"p{int(q * 100)}" for q in quantiles]
+    rows = []
+    for algorithm, per_method in curves.items():
+        for method, (values, _probs) in per_method.items():
+            row = [algorithm, method]
+            for quantile in quantiles:
+                row.append(str(int(np.percentile(values, quantile * 100))))
+            rows.append(row)
+    return ascii_table(
+        headers, rows, title="[Fig 7] Fine-tuning epochs (eCDF quantiles)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Training time (§IV-C1/2 text numbers)
+# ---------------------------------------------------------------------- #
+
+
+def training_time_table(
+    records: Sequence[EvaluationRecord],
+) -> Dict[str, float]:
+    """``method -> mean time-to-fit`` in seconds (per unique fit)."""
+    methods = _ordered_unique([r.method for r in records])
+    out: Dict[str, float] = {}
+    for method in methods:
+        fits = unique_fits(aggregate(records, method=method))
+        fits = [f for f in fits if f.n_train > 0]
+        if fits:
+            out[method] = mean_fit_seconds(fits)
+    return out
+
+
+def render_training_time(records: Sequence[EvaluationRecord], digits: int = 3) -> str:
+    """Printable time-to-fit table."""
+    table = training_time_table(records)
+    rows = [[method, format_float(seconds, digits)] for method, seconds in table.items()]
+    return ascii_table(
+        ["method", "mean time-to-fit [s]"],
+        rows,
+        title="[Training time] mean model fitting time",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Ablation study (extension, see eval.experiments.ablations)
+# ---------------------------------------------------------------------- #
+
+
+def ablation_summary(
+    records: Sequence[EvaluationRecord],
+) -> Dict[str, Dict[str, float]]:
+    """``variant -> {interp_mre, extrap_mre, zeroshot_mre, interp_mae}``.
+
+    Zero-shot MRE covers the extrapolation records with no training points
+    (the pre-trained model applied as-is).
+    """
+    variants = _ordered_unique([r.method for r in records])
+    out: Dict[str, Dict[str, float]] = {}
+    for variant in variants:
+        interp = aggregate(records, task="interpolation", method=variant)
+        extrap = aggregate(records, task="extrapolation", method=variant)
+        zeroshot = [r for r in extrap if r.n_train == 0]
+        out[variant] = {
+            "interp_mre": mean_relative_error(interp),
+            "extrap_mre": mean_relative_error(extrap),
+            "zeroshot_mre": mean_relative_error(zeroshot),
+            "interp_mae": mean_absolute_error(interp),
+        }
+    return out
+
+
+def render_ablation(records: Sequence[EvaluationRecord], digits: int = 3) -> str:
+    """Printable ablation table (variants as rows, error summaries as columns)."""
+    summary = ablation_summary(records)
+    headers = [
+        "variant",
+        "interp MRE",
+        "extrap MRE",
+        "zero-shot MRE",
+        "interp MAE [s]",
+    ]
+    rows = []
+    for variant, metrics in summary.items():
+        rows.append(
+            [
+                variant,
+                format_float(metrics["interp_mre"], digits),
+                format_float(metrics["extrap_mre"], digits),
+                format_float(metrics["zeroshot_mre"], digits),
+                format_float(metrics["interp_mae"], 1),
+            ]
+        )
+    return ascii_table(headers, rows, title="[Ablation] Bellamy design choices")

@@ -1,0 +1,109 @@
+"""From-scratch neural-network substrate (autograd, layers, optimizers).
+
+Replaces PyTorch for this reproduction: reverse-mode autograd on NumPy
+(:mod:`repro.nn.tensor`), a module system with state dicts and freezing
+(:mod:`repro.nn.module`), the layers, losses, optimizers, and LR schedules the
+Bellamy architecture requires, and a generic training loop
+(:mod:`repro.nn.trainer`).
+"""
+
+from repro.nn import functional
+from repro.nn.gradcheck import gradcheck, numerical_gradient
+from repro.nn.init import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    lecun_normal,
+    xavier_uniform,
+)
+from repro.nn.layers import (
+    Activation,
+    AlphaDropout,
+    Dropout,
+    FeedForward,
+    Identity,
+    Linear,
+    SELU,
+    Tanh,
+    mlp,
+)
+from repro.nn.losses import HuberLoss, JointLoss, MAELoss, MSELoss
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    CyclicLR,
+    LRScheduler,
+    StepLR,
+)
+from repro.nn.tensor import (
+    Tensor,
+    cat,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+from repro.nn.trainer import (
+    BatchLossFn,
+    TrainResult,
+    Trainer,
+    TrainerConfig,
+    unfreeze_after,
+)
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "AdamW",
+    "AlphaDropout",
+    "BatchLossFn",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "CyclicLR",
+    "Dropout",
+    "FeedForward",
+    "HuberLoss",
+    "Identity",
+    "JointLoss",
+    "LRScheduler",
+    "Linear",
+    "MAELoss",
+    "MSELoss",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SELU",
+    "SGD",
+    "Sequential",
+    "StepLR",
+    "Tanh",
+    "Tensor",
+    "TrainResult",
+    "Trainer",
+    "TrainerConfig",
+    "cat",
+    "functional",
+    "get_initializer",
+    "gradcheck",
+    "he_normal",
+    "he_uniform",
+    "is_grad_enabled",
+    "lecun_normal",
+    "maximum",
+    "mlp",
+    "no_grad",
+    "numerical_gradient",
+    "ones",
+    "stack",
+    "tensor",
+    "unfreeze_after",
+    "where",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,141 @@
+"""Composite differentiable functions built from tensor primitives.
+
+Everything here composes the primitives of :mod:`repro.nn.tensor`, so no
+hand-written gradients are needed — correctness reduces to the gradcheck of
+the primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, maximum, where
+
+# Constants of the SELU activation (Klambauer et al., 2017). These values make
+# activations converge to zero mean / unit variance for standard-normal inputs.
+SELU_ALPHA: float = 1.6732632423543772848170429916717
+SELU_SCALE: float = 1.0507009873554804934193349852946
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return maximum(x, 0.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    return where(x.data > 0.0, x, x * negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    return where(x.data > 0.0, x, (x.exp() - 1.0) * alpha)
+
+
+def selu(x: Tensor) -> Tensor:
+    """Self-normalizing exponential linear unit (SELU).
+
+    ``selu(x) = scale * (x if x > 0 else alpha * (exp(x) - 1))``
+    """
+    return elu(x, alpha=SELU_ALPHA) * SELU_SCALE
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def identity(x: Tensor) -> Tensor:
+    """No-op activation."""
+    return x
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically-stable softplus ``log(1 + exp(x))``."""
+    # max(x, 0) + log(1 + exp(-|x|)) avoids overflow for large |x|.
+    return relu(x) + ((-x.abs()).exp() + 1.0).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Standard (inverted) dropout.
+
+    During training, zeroes each element with probability ``p`` and rescales
+    the survivors by ``1 / (1 - p)`` so the expectation is unchanged.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * mask
+
+
+def alpha_dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Alpha dropout (Klambauer et al., 2017) for SELU networks.
+
+    Instead of zeroing units, dropped units are set to the SELU saturation
+    value ``alpha' = -scale * alpha``; an affine correction then restores zero
+    mean and unit variance. This keeps the self-normalizing property intact,
+    which plain dropout would destroy.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"alpha dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    alpha_prime = -SELU_SCALE * SELU_ALPHA
+    keep = 1.0 - p
+    # Affine correction (a, b) chosen so E[out] = 0 and Var[out] = 1 for
+    # standard-normal inputs; see the self-normalizing networks paper, eq. 4.
+    a = (keep + alpha_prime**2 * keep * (1.0 - keep)) ** -0.5
+    b = -a * (1.0 - keep) * alpha_prime
+    mask = (rng.random(x.shape) < keep).astype(np.float64)
+    dropped = x * mask + alpha_prime * (1.0 - mask)
+    return dropped * a + b
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta`` of the target, linear outside.
+
+    Matches ``torch.nn.HuberLoss``: for residual ``r``,
+    ``0.5 * r**2`` when ``|r| <= delta`` else ``delta * (|r| - 0.5 * delta)``.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    residual = prediction - target
+    abs_residual = residual.abs()
+    quadratic = residual * residual * 0.5
+    linear = abs_residual * delta - 0.5 * delta * delta
+    return where(abs_residual.data <= delta, quadratic, linear).mean()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def normalize_unit_sphere(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Project row vectors onto the Euclidean unit sphere."""
+    squared = (x * x).sum(axis=-1, keepdims=True)
+    return x / (squared + eps).sqrt()

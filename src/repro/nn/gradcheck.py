@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite (including hypothesis property tests) to verify every
+primitive and composite against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must map a list of tensors to a scalar tensor.
+    """
+    base = [np.asarray(array, dtype=np.float64).copy() for array in inputs]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for pos in range(flat.size):
+        original = flat[pos]
+        flat[pos] = original + eps
+        plus = fn([Tensor(arr) for arr in base]).item()
+        flat[pos] = original - eps
+        minus = fn([Tensor(arr) for arr in base]).item()
+        flat[pos] = original
+        grad_flat[pos] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[np.ndarray],
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare autograd gradients of ``fn`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` on success so it can be used inside ``assert gradcheck(...)``.
+    """
+    tensors = [Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True) for arr in inputs]
+    out = fn(tensors)
+    if out.size != 1:
+        raise ValueError("gradcheck requires fn to return a scalar tensor")
+    out.backward()
+    for idx, tensor_in in enumerate(tensors):
+        analytic = tensor_in.grad if tensor_in.grad is not None else np.zeros_like(tensor_in.data)
+        numeric = numerical_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for input {idx}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,81 @@
+"""Weight-initialization schemes.
+
+The paper initializes all layers with He initialization "in accordance with
+the specific properties of our activation" (SELU). We provide He (fan-in,
+normal/uniform), LeCun normal (the canonical SELU initializer), and Xavier.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight of ``shape``.
+
+    For 2-D weights in the ``(out_features, in_features)`` layout used by
+    :class:`repro.nn.layers.Linear`, fan_in is the second axis.
+    """
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        out_features, in_features = shape
+        return in_features, out_features
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def he_normal(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal: ``N(0, sqrt(2 / fan_in))``."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return new_rng(seed).normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) uniform: ``U(-sqrt(6 / fan_in), +sqrt(6 / fan_in))``."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return new_rng(seed).uniform(-bound, bound, size=shape)
+
+
+def lecun_normal(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """LeCun normal: ``N(0, sqrt(1 / fan_in))`` — canonical for SELU nets."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(1.0 / fan_in)
+    return new_rng(seed).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform: ``U(±sqrt(6 / (fan_in + fan_out)))``."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return new_rng(seed).uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    return np.zeros(shape)
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "lecun_normal": lecun_normal,
+    "xavier_uniform": xavier_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

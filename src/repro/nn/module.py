@@ -1,0 +1,199 @@
+"""Module system: parameters, containers, state dicts, freezing.
+
+Mirrors the small subset of ``torch.nn.Module`` the Bellamy implementation
+relies on: parameter registration by attribute assignment, recursive
+``named_parameters``, ``state_dict``/``load_state_dict``, train/eval modes,
+and per-component freezing (the fine-tuning strategies freeze/unfreeze and
+re-initialize individual sub-networks).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            object.__setattr__(self, name, value)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            object.__setattr__(self, name, value)
+        else:
+            # Attribute may shadow a previously-registered entry; drop it.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters as a list (recursive)."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, including ``self``."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> List["Module"]:
+        """Immediate sub-modules."""
+        return list(self._modules.values())
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        return sum(
+            param.size
+            for param in self.parameters()
+            if not trainable_only or param.requires_grad
+        )
+
+    # ------------------------------------------------------------------ #
+    # Modes and gradients
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout layers)."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Disable gradient computation for every parameter (recursive)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradient computation for every parameter (recursive)."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    def is_frozen(self) -> bool:
+        """True when no parameter requires grad."""
+        params = self.parameters()
+        return bool(params) and all(not param.requires_grad for param in params)
+
+    # ------------------------------------------------------------------ #
+    # State persistence
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        With ``strict=True`` the key sets must match exactly; shape mismatches
+        are always an error.
+        """
+        own = dict(self.named_parameters())
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(
+                    f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+                )
+        for name, array in state.items():
+            if name not in own:
+                continue
+            param = own[name]
+            array = np.asarray(array, dtype=np.float64)
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: model {param.data.shape}, "
+                    f"state {array.shape}"
+                )
+            param.data = array.copy()
+            param.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+
+    def forward(self, *args, **kwargs):
+        """Compute the module output. Subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [
+            f"  ({name}): {module!r}".replace("\n", "\n  ")
+            for name, module in self._modules.items()
+        ]
+        header = self.__class__.__name__
+        if not child_lines:
+            return f"{header}()"
+        return header + "(\n" + "\n".join(child_lines) + "\n)"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules):
+            setattr(self, str(idx), module)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102 - chained apply
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]

@@ -1,0 +1,142 @@
+"""Gradient-based optimizers: SGD (with momentum), Adam, AdamW.
+
+The paper trains every Bellamy variant with Adam plus L2 weight decay (the
+coupled variant PyTorch's ``torch.optim.Adam(weight_decay=...)`` implements).
+AdamW (decoupled decay) is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a list of parameters and a learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update. Subclasses implement :meth:`_update`."""
+        for param in self.params:
+            if not param.requires_grad or param.grad is None:
+                continue
+            self._update(param)
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError
+
+    def _state_for(self, param: Parameter) -> Dict[str, np.ndarray]:
+        return self.state.setdefault(id(param), {})
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            state = self._state_for(param)
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            state["velocity"] = velocity
+            grad = grad + self.momentum * velocity if self.nesterov else velocity
+        param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with coupled (L2) weight decay, matching ``torch.optim.Adam``."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be >= 0, got {weight_decay}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _decay_grad(self, param: Parameter) -> np.ndarray:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+    def _update(self, param: Parameter) -> None:
+        grad = self._decay_grad(param)
+        state = self._state_for(param)
+        if "m" not in state:
+            state["m"] = np.zeros_like(param.data)
+            state["v"] = np.zeros_like(param.data)
+            state["t"] = 0
+        state["t"] += 1
+        t = state["t"]
+        state["m"] = self.beta1 * state["m"] + (1.0 - self.beta1) * grad
+        state["v"] = self.beta2 * state["v"] + (1.0 - self.beta2) * grad**2
+        m_hat = state["m"] / (1.0 - self.beta1**t)
+        v_hat = state["v"] / (1.0 - self.beta2**t)
+        self._apply(param, m_hat, v_hat)
+
+    def _apply(self, param: Parameter, m_hat: np.ndarray, v_hat: np.ndarray) -> None:
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decay_grad(self, param: Parameter) -> np.ndarray:
+        return param.grad  # decay applied directly to the weights in _apply
+
+    def _apply(self, param: Parameter, m_hat: np.ndarray, v_hat: np.ndarray) -> None:
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,109 @@
+"""Learning-rate schedules.
+
+Fine-tuning in the paper uses "cyclical annealing in (1e-2, 1e-3)" — a
+triangular cyclic schedule whose amplitude decays over time. Constant, step,
+and cosine schedules are included for pre-training and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: computes the LR for an epoch and writes it to the optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        """Learning rate for ``epoch`` (0-based). Subclasses override."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed."""
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiplies the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be > 0, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+class CyclicLR(LRScheduler):
+    """Triangular cyclic learning rate oscillating in ``(min_lr, max_lr)``.
+
+    ``mode="triangular2"`` (the default) halves the cycle amplitude after each
+    full cycle — the "cyclical annealing" the paper uses for fine-tuning. The
+    floor ``min_lr`` is always respected.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        min_lr: float = 1e-3,
+        max_lr: float = 1e-2,
+        cycle_length: int = 100,
+        mode: str = "triangular2",
+    ) -> None:
+        super().__init__(optimizer)
+        if min_lr <= 0 or max_lr <= min_lr:
+            raise ValueError(f"need 0 < min_lr < max_lr, got {min_lr}, {max_lr}")
+        if cycle_length < 2:
+            raise ValueError(f"cycle_length must be >= 2, got {cycle_length}")
+        if mode not in ("triangular", "triangular2"):
+            raise ValueError(f"mode must be 'triangular' or 'triangular2', got {mode!r}")
+        self.min_lr = min_lr
+        self.max_lr = max_lr
+        self.cycle_length = cycle_length
+        self.mode = mode
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        cycle = epoch // self.cycle_length
+        position = (epoch % self.cycle_length) / self.cycle_length
+        # Triangular wave: 0 -> 1 over the first half-cycle, back to 0 over the second.
+        fraction = 1.0 - abs(2.0 * position - 1.0)
+        amplitude = self.max_lr - self.min_lr
+        if self.mode == "triangular2":
+            amplitude /= 2.0**cycle
+        return self.min_lr + amplitude * fraction

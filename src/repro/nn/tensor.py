@@ -1,0 +1,570 @@
+"""A minimal reverse-mode automatic-differentiation engine on NumPy.
+
+This module replaces PyTorch's autograd for the purposes of the Bellamy
+reproduction. A :class:`Tensor` wraps a ``numpy.ndarray`` and records the
+operations applied to it; :meth:`Tensor.backward` walks the recorded graph in
+reverse topological order and accumulates gradients into every tensor with
+``requires_grad=True``.
+
+Design notes
+------------
+* Arrays are kept in ``float64``. The networks in this project are tiny
+  (widest layer is 40 units), so numerical robustness beats the memory
+  savings of ``float32``.
+* Broadcasting follows NumPy semantics; gradients of broadcast operands are
+  reduced back to the operand's shape by :func:`_unbroadcast`.
+* A module-level switch (:func:`no_grad`) disables graph recording during
+  inference, mirroring ``torch.no_grad()``.
+
+All differentiable primitives live here; composite functions (SELU, alpha
+dropout, losses) are composed from these primitives in
+:mod:`repro.nn.functional` and therefore need no hand-written gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED: bool = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous, _GRAD_ENABLED = _GRAD_ENABLED, False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Coerce input to a float64 ndarray (no copy when already correct)."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape of a broadcast result) back to ``shape``.
+
+    Sums over the leading dimensions NumPy prepended, then over every axis
+    that was stretched from size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from 1.
+    axes = tuple(idx for idx, size in enumerate(shape) if size == 1 and grad.shape[idx] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode autograd support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    # Make NumPy defer to Tensor for `ndarray (op) Tensor` expressions.
+    __array_priority__ = 100.0
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        *,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = _parents
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = _backward_fn
+        self.name: Optional[str] = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        """Matrix transpose (alias for :meth:`transpose` with no args)."""
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return a detached *copy* of the data as an ndarray."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        """Return the single element as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    @staticmethod
+    def _item_error() -> float:
+        raise ValueError("item() only valid on tensors with exactly one element")
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph machinery
+    # ------------------------------------------------------------------ #
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add incoming gradient into ``self.grad`` (allocating on first use)."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Clear the stored gradient."""
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor. Defaults to
+            1.0, which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            seed = np.ones_like(self.data)
+        else:
+            seed = _as_array(grad)
+            if seed.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {seed.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        order = self._topological_order()
+        self._accumulate(seed)
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Return graph nodes reachable from ``self`` in topological order."""
+        order: List[Tensor] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Primitive construction helper
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result node, recording the graph only when enabled."""
+        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic primitives
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward_fn)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(
+                    _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
+                )
+
+        return Tensor._make(out_data, (self, other_t), backward_fn)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(b * log(a))")
+        exponent = float(exponent)
+        out_data = self.data**exponent
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        if self.ndim not in (1, 2) or other_t.ndim not in (1, 2):
+            raise ValueError(
+                f"matmul supports 1-D/2-D operands, got {self.ndim}-D @ {other_t.ndim}-D"
+            )
+        out_data = self.data @ other_t.data
+        a_data, b_data = self.data, other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            # Normalize every case to 2-D matrices, then squeeze back.
+            a2 = a_data if a_data.ndim == 2 else a_data.reshape(1, -1)
+            b2 = b_data if b_data.ndim == 2 else b_data.reshape(-1, 1)
+            g2 = grad.reshape(a2.shape[0], b2.shape[1])
+            if self.requires_grad:
+                self._accumulate((g2 @ b2.T).reshape(a_data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate((a2.T @ g2).reshape(b_data.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise transcendental primitives
+    # ------------------------------------------------------------------ #
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        out_data = np.sqrt(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at 0)."""
+        out_data = np.abs(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when ``axis is None``)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            expanded = np.asarray(out_data)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(expanded, axis)
+            mask = self.data == expanded
+            # Split gradient evenly across ties to keep the op well-defined.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a reshaped view of the tensor."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        """Permute dimensions (reverses them when ``axes`` is ``None``)."""
+        out_data = self.data.transpose(axes)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes is None:
+                self._accumulate(grad.transpose())
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+
+
+# ---------------------------------------------------------------------- #
+# Free functions over tensors
+# ---------------------------------------------------------------------- #
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor (convenience constructor mirroring ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of zeros."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Tensor of ones."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select: ``condition ? a : b``.
+
+    ``condition`` is treated as a constant (no gradient flows through it).
+    """
+    cond = _as_array(condition).astype(bool)
+    a_t = a if isinstance(a, Tensor) else Tensor(a)
+    b_t = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.where(cond, a_t.data, b_t.data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if a_t.requires_grad:
+            a_t._accumulate(_unbroadcast(np.where(cond, grad, 0.0), a_t.shape))
+        if b_t.requires_grad:
+            b_t._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b_t.shape))
+
+    return Tensor._make(out_data, (a_t, b_t), backward_fn)
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise maximum; on ties the gradient is split evenly."""
+    a_t = a if isinstance(a, Tensor) else Tensor(a)
+    b_t = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.maximum(a_t.data, b_t.data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        a_wins = a_t.data > b_t.data
+        ties = a_t.data == b_t.data
+        if a_t.requires_grad:
+            weight = a_wins + 0.5 * ties
+            a_t._accumulate(_unbroadcast(grad * weight, a_t.shape))
+        if b_t.requires_grad:
+            weight = (~a_wins & ~ties) + 0.5 * ties
+            b_t._accumulate(_unbroadcast(grad * weight, b_t.shape))
+
+    return Tensor._make(out_data, (a_t, b_t), backward_fn)
+
+
+def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    if not tensors:
+        raise ValueError("cat() requires at least one tensor")
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        for idx, t in enumerate(tensors):
+            if not t.requires_grad:
+                continue
+            index: List[slice] = [slice(None)] * grad.ndim
+            index[axis] = slice(int(offsets[idx]), int(offsets[idx + 1]))
+            t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward_fn)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    if not tensors:
+        raise ValueError("stack() requires at least one tensor")
+    expanded = []
+    for t in tensors:
+        t = t if isinstance(t, Tensor) else Tensor(t)
+        new_shape = list(t.shape)
+        new_shape.insert(axis if axis >= 0 else axis + t.ndim + 1, 1)
+        expanded.append(t.reshape(*new_shape))
+    return cat(expanded, axis=axis)

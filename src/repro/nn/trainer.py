@@ -1,0 +1,205 @@
+"""Generic mini-batch training loop with early stopping and best-state tracking.
+
+The loop implements the training protocol from the paper's Table I:
+
+* mini-batches of a configurable size (64 in the paper),
+* an epoch-level learning-rate scheduler (cyclic annealing for fine-tuning),
+* premature termination once a monitored metric reaches a target
+  (fine-tuning stops at train MAE <= 5 s),
+* patience-based termination when the metric stops improving
+  (1000 epochs in the paper),
+* tracking of the best model state seen so far, restored after training.
+
+The computation of the loss is supplied as a closure so the same trainer
+drives both the joint pre-training objective (Huber + reconstruction MSE) and
+the Huber-only fine-tuning objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+#: Signature of the per-batch loss closure: indices -> (loss, metrics).
+BatchLossFn = Callable[[np.ndarray], Tuple[Tensor, Dict[str, float]]]
+
+#: Signature of epoch-end callbacks: (trainer, epoch, metrics) -> None.
+EpochCallback = Callable[["Trainer", int, Dict[str, float]], None]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters of the training loop."""
+
+    max_epochs: int = 2500
+    batch_size: int = 64
+    shuffle: bool = True
+    monitor: str = "mae"
+    #: Stop as soon as the monitored metric is <= this value (None disables).
+    target: Optional[float] = None
+    #: Stop when the metric has not improved for this many epochs (None disables).
+    patience: Optional[int] = None
+    min_delta: float = 0.0
+    restore_best: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_epochs <= 0:
+            raise ValueError(f"max_epochs must be > 0, got {self.max_epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {self.batch_size}")
+        if self.patience is not None and self.patience <= 0:
+            raise ValueError(f"patience must be > 0, got {self.patience}")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    epochs_trained: int
+    best_epoch: int
+    best_metric: float
+    stop_reason: str
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    def metric_series(self, key: str) -> List[float]:
+        """Extract one metric's trajectory from the history."""
+        return [epoch_metrics[key] for epoch_metrics in self.history if key in epoch_metrics]
+
+
+class Trainer:
+    """Drives mini-batch optimization of a :class:`~repro.nn.module.Module`."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        config: TrainerConfig,
+        scheduler: Optional[LRScheduler] = None,
+        callbacks: Sequence[EpochCallback] = (),
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.config = config
+        self.scheduler = scheduler
+        self.callbacks = list(callbacks)
+        self._rng = new_rng(config.seed)
+        self.should_stop = False  # callbacks may set this to abort training
+
+    def fit(
+        self,
+        n_samples: int,
+        batch_loss: BatchLossFn,
+        evaluate: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> TrainResult:
+        """Run the training loop.
+
+        Parameters
+        ----------
+        n_samples:
+            Number of training samples; batches index into ``range(n_samples)``.
+        batch_loss:
+            Closure mapping an index array to ``(loss_tensor, metrics)``.
+        evaluate:
+            Optional closure returning end-of-epoch metrics; when given, the
+            monitored metric is read from its result instead of the batch
+            averages (used when train-time dropout would distort monitoring).
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be > 0, got {n_samples}")
+        cfg = self.config
+        best_metric = float("inf")
+        best_epoch = -1
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        history: List[Dict[str, float]] = []
+        stop_reason = "max_epochs"
+        epochs_run = 0
+
+        indices = np.arange(n_samples)
+        for epoch in range(cfg.max_epochs):
+            if self.scheduler is not None:
+                self.scheduler.step()
+            order = self._rng.permutation(indices) if cfg.shuffle else indices
+            epoch_metrics = self._run_epoch(order, batch_loss)
+            if evaluate is not None:
+                epoch_metrics.update(evaluate())
+            epoch_metrics["lr"] = self.optimizer.lr
+            history.append(epoch_metrics)
+            epochs_run = epoch + 1
+
+            monitored = epoch_metrics.get(cfg.monitor)
+            if monitored is not None and monitored < best_metric - cfg.min_delta:
+                best_metric = monitored
+                best_epoch = epoch
+                if cfg.restore_best:
+                    best_state = self.model.state_dict()
+
+            for callback in self.callbacks:
+                callback(self, epoch, epoch_metrics)
+
+            if self.should_stop:
+                stop_reason = "callback"
+                break
+            if cfg.target is not None and monitored is not None and monitored <= cfg.target:
+                stop_reason = "target"
+                break
+            if cfg.patience is not None and epoch - best_epoch >= cfg.patience:
+                stop_reason = "patience"
+                break
+
+        if cfg.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+        return TrainResult(
+            epochs_trained=epochs_run,
+            best_epoch=best_epoch,
+            best_metric=best_metric,
+            stop_reason=stop_reason,
+            history=history,
+        )
+
+    def _run_epoch(self, order: np.ndarray, batch_loss: BatchLossFn) -> Dict[str, float]:
+        """One pass over the data; returns sample-weighted mean metrics."""
+        totals: Dict[str, float] = {}
+        seen = 0
+        for start in range(0, len(order), self.config.batch_size):
+            batch = order[start : start + self.config.batch_size]
+            self.optimizer.zero_grad()
+            loss, metrics = batch_loss(batch)
+            # With every parameter frozen (e.g. before an unfreeze callback
+            # fires) the loss carries no graph; evaluating metrics is still
+            # meaningful, but there is nothing to optimize this step.
+            if loss.requires_grad:
+                loss.backward()
+                self.optimizer.step()
+            weight = len(batch)
+            seen += weight
+            totals["loss"] = totals.get("loss", 0.0) + loss.item() * weight
+            for key, value in metrics.items():
+                totals[key] = totals.get(key, 0.0) + float(value) * weight
+        return {key: value / seen for key, value in totals.items()}
+
+
+def unfreeze_after(module: Module, epoch_threshold: int) -> EpochCallback:
+    """Build a callback that unfreezes ``module`` once ``epoch >= threshold``.
+
+    Implements the fine-tuning schedule from the paper: "we first update only
+    parameters of the function z, while also allowing to update the parameters
+    of function f after a number of epochs dependent on the amount of data
+    samples".
+    """
+    if epoch_threshold < 0:
+        raise ValueError(f"epoch_threshold must be >= 0, got {epoch_threshold}")
+
+    def callback(trainer: Trainer, epoch: int, metrics: Dict[str, float]) -> None:
+        if epoch + 1 == epoch_threshold:
+            module.unfreeze()
+
+    return callback

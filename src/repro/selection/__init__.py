@@ -1,0 +1,41 @@
+"""Profiling-based configuration search (CherryPick-style comparator).
+
+The paper positions Bellamy against iterative profiling approaches such as
+CherryPick [14], which "selects near-optimal cloud configurations ... by
+accelerating the process of profiling using Bayesian Optimization". This
+package implements that comparator so the resource-selection claims can be
+quantified: how many *actual job executions* (profiling runs) does each
+approach spend before recommending a scale-out that meets a runtime target?
+
+``repro.selection.gp``
+    Minimal Gaussian-process regression (RBF kernel + observation noise)
+    with exact posterior mean/variance — the surrogate model.
+``repro.selection.bayesian``
+    Expected-improvement search over candidate scale-outs with early
+    stopping, mirroring CherryPick's stopping rule ("until a good enough
+    solution is found").
+``repro.selection.comparison``
+    The profiling-cost experiment: Bayesian search vs Ernest/NNLS profiling
+    vs a pre-trained Bellamy model applied with zero or few samples.
+"""
+
+from repro.selection.gp import GaussianProcess, RBFKernel
+from repro.selection.bayesian import (
+    BayesianScaleoutSearch,
+    SearchOutcome,
+    expected_improvement,
+)
+from repro.selection.comparison import (
+    ProfilingCostResult,
+    run_profiling_cost_experiment,
+)
+
+__all__ = [
+    "BayesianScaleoutSearch",
+    "GaussianProcess",
+    "ProfilingCostResult",
+    "RBFKernel",
+    "SearchOutcome",
+    "expected_improvement",
+    "run_profiling_cost_experiment",
+]

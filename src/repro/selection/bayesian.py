@@ -1,0 +1,188 @@
+"""CherryPick-style Bayesian optimization over candidate scale-outs.
+
+The search profiles one configuration at a time: the objective value of a
+candidate is its *cost proxy* (by default ``machines * runtime`` — the
+machine-seconds CherryPick minimizes), with candidates violating the runtime
+target penalized. An RBF-kernel Gaussian process models the objective and
+*expected improvement* picks the next configuration; the search stops early
+once the best expected improvement drops below a fraction of the incumbent —
+CherryPick's "good enough solution" rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.special import erf
+
+from repro.selection.gp import GaussianProcess, RBFKernel
+from repro.utils.rng import SeedLike, new_rng
+
+#: Runs a job at a scale-out and returns the observed runtime in seconds.
+ProfileFn = Callable[[int], float]
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """Expected improvement of a *minimization* problem.
+
+    ``EI(x) = (best - mu - xi) Phi(z) + sigma phi(z)`` with
+    ``z = (best - mu - xi) / sigma``; zero where sigma is zero.
+    """
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.asarray(std, dtype=np.float64)
+    improvement = best - mean - xi
+    out = np.zeros_like(mean)
+    positive = std > 0
+    z = improvement[positive] / std[positive]
+    cdf = 0.5 * (1.0 + erf(z / math.sqrt(2.0)))
+    pdf = np.exp(-0.5 * z**2) / math.sqrt(2.0 * math.pi)
+    out[positive] = improvement[positive] * cdf + std[positive] * pdf
+    out[~positive] = np.maximum(improvement[~positive], 0.0)
+    return out
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one Bayesian scale-out search."""
+
+    best_machines: Optional[int]
+    best_runtime_s: Optional[float]
+    profiling_runs: int
+    #: (machines, observed runtime) in profiling order.
+    history: List[tuple] = field(default_factory=list)
+    stop_reason: str = ""
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the recommendation met the runtime target."""
+        return self.best_machines is not None
+
+
+class BayesianScaleoutSearch:
+    """Sequential model-based search over a discrete scale-out grid.
+
+    Parameters
+    ----------
+    candidates:
+        The candidate scale-outs (e.g. 2..12 step 2).
+    runtime_target_s:
+        Runtime target; configurations above it pay a penalty in the
+        objective and are never recommended.
+    max_runs:
+        Profiling budget (every run is a real job execution).
+    ei_fraction:
+        Stop once max expected improvement < ``ei_fraction * |incumbent|``
+        (CherryPick uses 10 %).
+    initial_runs:
+        Random (seeded) configurations profiled before the GP takes over —
+        CherryPick bootstraps with a small quasi-random design.
+    seed:
+        Seed for the bootstrap sampling.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[int],
+        runtime_target_s: Optional[float] = None,
+        max_runs: int = 6,
+        ei_fraction: float = 0.10,
+        initial_runs: int = 2,
+        seed: SeedLike = None,
+    ) -> None:
+        cleaned = sorted(set(int(c) for c in candidates))
+        if not cleaned or cleaned[0] <= 0:
+            raise ValueError("candidates must be positive scale-outs")
+        if max_runs < 1:
+            raise ValueError(f"max_runs must be >= 1, got {max_runs}")
+        if not 1 <= initial_runs <= max_runs:
+            raise ValueError("need 1 <= initial_runs <= max_runs")
+        self.candidates = np.array(cleaned, dtype=np.float64)
+        self.runtime_target_s = runtime_target_s
+        self.max_runs = max_runs
+        self.ei_fraction = ei_fraction
+        self.initial_runs = initial_runs
+        self._rng = new_rng(seed)
+
+    def _objective(self, machines: float, runtime: float) -> float:
+        """Cost proxy: machine-seconds, with target violations penalized."""
+        cost = machines * runtime
+        if self.runtime_target_s is not None and runtime > self.runtime_target_s:
+            cost += 10.0 * machines * (runtime - self.runtime_target_s)
+        return cost
+
+    def run(self, profile: ProfileFn) -> SearchOutcome:
+        """Execute the search, calling ``profile`` once per chosen scale-out."""
+        observed: Dict[int, float] = {}
+        history: List[tuple] = []
+        stop_reason = "budget"
+
+        bootstrap = self._rng.choice(
+            self.candidates, size=min(self.initial_runs, self.candidates.size),
+            replace=False,
+        )
+        queue: List[int] = [int(m) for m in bootstrap]
+
+        while len(history) < self.max_runs:
+            if queue:
+                machines = queue.pop(0)
+            else:
+                machines = self._next_by_ei(observed)
+                if machines is None:
+                    stop_reason = "converged"
+                    break
+            if machines in observed:
+                remaining = [
+                    int(c) for c in self.candidates if int(c) not in observed
+                ]
+                if not remaining:
+                    stop_reason = "exhausted"
+                    break
+                machines = remaining[0]
+            runtime = float(profile(int(machines)))
+            observed[int(machines)] = runtime
+            history.append((int(machines), runtime))
+
+        feasible = {
+            m: r
+            for m, r in observed.items()
+            if self.runtime_target_s is None or r <= self.runtime_target_s
+        }
+        if feasible:
+            best_machines = min(feasible, key=lambda m: self._objective(m, feasible[m]))
+            best_runtime = feasible[best_machines]
+        else:
+            best_machines = best_runtime = None
+        return SearchOutcome(
+            best_machines=best_machines,
+            best_runtime_s=best_runtime,
+            profiling_runs=len(history),
+            history=history,
+            stop_reason=stop_reason,
+        )
+
+    def _next_by_ei(self, observed: Dict[int, float]) -> Optional[int]:
+        """The unprofiled candidate with the highest expected improvement."""
+        remaining = np.array(
+            [c for c in self.candidates if int(c) not in observed], dtype=np.float64
+        )
+        if remaining.size == 0:
+            return None
+        x = np.array(sorted(observed), dtype=np.float64)
+        y = np.array([self._objective(m, observed[m]) for m in sorted(observed)])
+        scale = float(np.std(y)) or 1.0
+        gp = GaussianProcess(
+            kernel=RBFKernel(length_scale=1.0, signal_variance=1.0),
+            noise_variance=1e-3,
+        )
+        gp.fit(x, y / scale)
+        mean, std = gp.predict(remaining, return_std=True)
+        best = float(np.min(y / scale))
+        ei = expected_improvement(mean, std, best)
+        if float(ei.max()) < self.ei_fraction * max(abs(best), 1e-12):
+            return None
+        return int(remaining[int(np.argmax(ei))])

@@ -1,0 +1,255 @@
+"""Profiling-cost comparison: iterative search vs model-based selection.
+
+Bellamy's motivation (paper §I): methods that "rely on profiling ... are not
+always feasible due to budget constraints", while a pre-trained model can
+recommend resources with *zero or few* additional executions. This
+experiment quantifies that trade-off on the simulator, where ground-truth
+expected runtimes are available:
+
+* **CherryPick (BO)** — profiles iteratively until converged,
+* **Ernest (NNLS)**   — profiles a fixed design of k runs, fits, selects,
+* **Bellamy (pre-trained)** — fine-tunes on 0..k runs, selects.
+
+For each approach the experiment records the number of profiling runs spent
+and whether the recommended scale-out truly meets the target under the
+noise-free runtime law (regret in machines relative to the oracle optimum).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.ernest import ErnestModel
+from repro.core.model import BellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.resource_selection import select_scaleout
+from repro.data.schema import JobContext
+from repro.selection.bayesian import BayesianScaleoutSearch
+from repro.simulator.traces import TraceGenerator
+from repro.utils.rng import derive_seed, new_rng
+
+
+@dataclass
+class SelectionTrial:
+    """One approach's outcome on one target context."""
+
+    method: str
+    context_id: str
+    profiling_runs: int
+    recommended: Optional[int]
+    truly_meets_target: bool
+    regret_machines: int  # recommended - oracle optimum (0 = optimal)
+
+
+@dataclass
+class ProfilingCostResult:
+    """All trials plus aggregate views."""
+
+    trials: List[SelectionTrial] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def methods(self) -> List[str]:
+        """Distinct method names, stable order."""
+        seen: Dict[str, None] = {}
+        for trial in self.trials:
+            seen.setdefault(trial.method, None)
+        return list(seen)
+
+    def mean_profiling_runs(self, method: str) -> float:
+        """Average profiling runs spent by ``method``."""
+        runs = [t.profiling_runs for t in self.trials if t.method == method]
+        return float(np.mean(runs)) if runs else float("nan")
+
+    def success_rate(self, method: str) -> float:
+        """Fraction of trials whose recommendation truly met the target."""
+        flags = [t.truly_meets_target for t in self.trials if t.method == method]
+        return float(np.mean(flags)) if flags else float("nan")
+
+    def mean_regret(self, method: str) -> float:
+        """Mean machine-count regret of successful recommendations."""
+        regrets = [
+            t.regret_machines
+            for t in self.trials
+            if t.method == method and t.truly_meets_target
+        ]
+        return float(np.mean(regrets)) if regrets else float("nan")
+
+
+def _oracle_optimum(
+    generator: TraceGenerator,
+    context: JobContext,
+    candidates: Sequence[int],
+    target: float,
+) -> Optional[int]:
+    """Smallest scale-out whose noise-free runtime meets the target."""
+    for machines in sorted(candidates):
+        if generator.expected_runtime(context, int(machines)) <= target:
+            return int(machines)
+    return None
+
+
+def run_profiling_cost_experiment(
+    generator: TraceGenerator,
+    contexts: Sequence[JobContext],
+    pretrained: Dict[str, BellamyModel],
+    candidates: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    target_slack: float = 1.4,
+    bellamy_samples: int = 1,
+    ernest_samples: int = 4,
+    bo_max_runs: int = 6,
+    finetune_max_epochs: Optional[int] = 400,
+    seed: int = 0,
+) -> ProfilingCostResult:
+    """Run the three-way profiling-cost comparison.
+
+    Parameters
+    ----------
+    generator:
+        The trace generator (provides noisy profiling runs and the
+        noise-free ground truth for scoring).
+    contexts:
+        Target contexts (one trial per context per method).
+    pretrained:
+        Pre-trained Bellamy base models keyed by algorithm name.
+    candidates:
+        The candidate scale-out grid.
+    target_slack:
+        Runtime target = slack x the oracle-optimal candidate's runtime at
+        the *median* candidate — a reachable but non-trivial target.
+    bellamy_samples:
+        Profiling runs granted to Bellamy fine-tuning (0 = zero-shot).
+    ernest_samples:
+        Profiling runs of the Ernest/NNLS design.
+    bo_max_runs:
+        CherryPick's profiling budget.
+    finetune_max_epochs:
+        Budget cap for Bellamy fine-tuning.
+    seed:
+        Root seed for profiling noise and design sampling.
+    """
+    if bellamy_samples < 0 or ernest_samples < 1:
+        raise ValueError("need bellamy_samples >= 0 and ernest_samples >= 1")
+    started = time.perf_counter()
+    result = ProfilingCostResult()
+    candidates = sorted(set(int(c) for c in candidates))
+
+    for context in contexts:
+        base = pretrained.get(context.algorithm)
+        if base is None:
+            raise KeyError(f"no pre-trained model for algorithm {context.algorithm!r}")
+        rng = new_rng(derive_seed(seed, "profiling", context.context_id))
+        median_candidate = candidates[len(candidates) // 2]
+        target = target_slack * generator.expected_runtime(context, median_candidate)
+        oracle = _oracle_optimum(generator, context, candidates, target)
+
+        def profile(machines: int) -> float:
+            executions = generator.executions_for_context(context, (machines,), 1)
+            return executions[0].runtime_s
+
+        def score(method: str, runs: int, recommended: Optional[int]) -> SelectionTrial:
+            if recommended is None:
+                return SelectionTrial(
+                    method=method,
+                    context_id=context.context_id,
+                    profiling_runs=runs,
+                    recommended=None,
+                    truly_meets_target=False,
+                    regret_machines=0,
+                )
+            true_runtime = generator.expected_runtime(context, recommended)
+            meets = true_runtime <= target
+            regret = recommended - oracle if (meets and oracle is not None) else 0
+            return SelectionTrial(
+                method=method,
+                context_id=context.context_id,
+                profiling_runs=runs,
+                recommended=recommended,
+                truly_meets_target=meets,
+                regret_machines=regret,
+            )
+
+        # -------------------- CherryPick (BO) ------------------------- #
+        search = BayesianScaleoutSearch(
+            candidates,
+            runtime_target_s=target,
+            max_runs=bo_max_runs,
+            seed=derive_seed(seed, "bo", context.context_id),
+        )
+        outcome = search.run(profile)
+        result.trials.append(
+            score("CherryPick (BO)", outcome.profiling_runs, outcome.best_machines)
+        )
+
+        # -------------------- Ernest (NNLS) --------------------------- #
+        design = list(
+            rng.choice(candidates, size=min(ernest_samples, len(candidates)), replace=False)
+        )
+        machines = np.array(sorted(int(m) for m in design), dtype=np.float64)
+        runtimes = np.array([profile(int(m)) for m in machines])
+        ernest = ErnestModel().fit(machines, runtimes)
+        recommendation = select_scaleout(
+            ernest, candidates, runtime_target_s=target, objective="min_machines"
+        )
+        result.trials.append(
+            score(
+                "Ernest (NNLS)",
+                int(machines.size),
+                recommendation.chosen.machines if recommendation.chosen else None,
+            )
+        )
+
+        # -------------------- Bellamy (pre-trained) ------------------- #
+        adapter = BellamyRuntimeModel(
+            context,
+            base_model=base,
+            max_epochs=finetune_max_epochs,
+            variant_label="Bellamy (pre-trained)",
+        )
+        if bellamy_samples > 0:
+            sampled = rng.choice(
+                candidates, size=min(bellamy_samples, len(candidates)), replace=False
+            )
+            fit_machines = np.array(sorted(int(m) for m in sampled), dtype=np.float64)
+            fit_runtimes = np.array([profile(int(m)) for m in fit_machines])
+        else:
+            fit_machines = np.array([])
+            fit_runtimes = np.array([])
+        adapter.fit(fit_machines, fit_runtimes)
+        recommendation = select_scaleout(
+            adapter, candidates, runtime_target_s=target, objective="min_machines"
+        )
+        result.trials.append(
+            score(
+                "Bellamy (pre-trained)",
+                int(fit_machines.size),
+                recommendation.chosen.machines if recommendation.chosen else None,
+            )
+        )
+
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def render_profiling_cost(result: ProfilingCostResult, digits: int = 2) -> str:
+    """Printable summary table of the profiling-cost comparison."""
+    from repro.utils.tables import ascii_table, format_float
+
+    rows = []
+    for method in result.methods():
+        rows.append(
+            [
+                method,
+                format_float(result.mean_profiling_runs(method), digits),
+                format_float(result.success_rate(method), digits),
+                format_float(result.mean_regret(method), digits),
+            ]
+        )
+    return ascii_table(
+        ["method", "mean profiling runs", "success rate", "mean regret [machines]"],
+        rows,
+        title="[Selection] profiling cost vs recommendation quality",
+    )

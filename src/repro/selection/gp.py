@@ -1,0 +1,115 @@
+"""Minimal exact Gaussian-process regression.
+
+The surrogate model behind the CherryPick-style search: an RBF kernel over
+(standardized) scale-outs, observation noise, and the standard closed-form
+posterior. Uses a Cholesky solve (scipy) with a jitter retry for numerical
+robustness — the training sets here are tiny (a handful of profiling runs),
+so exact inference is the right tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``s^2 * exp(-|a-b|^2 / (2 l^2))``."""
+
+    length_scale: float = 1.0
+    signal_variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0:
+            raise ValueError(f"length_scale must be > 0, got {self.length_scale}")
+        if self.signal_variance <= 0:
+            raise ValueError(f"signal_variance must be > 0, got {self.signal_variance}")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix between two point sets, shapes ``(n,)`` and ``(m,)``."""
+        a = np.asarray(a, dtype=np.float64).reshape(-1, 1)
+        b = np.asarray(b, dtype=np.float64).reshape(1, -1)
+        squared = (a - b) ** 2
+        return self.signal_variance * np.exp(-0.5 * squared / self.length_scale**2)
+
+
+class GaussianProcess:
+    """Exact GP regression with an RBF kernel and Gaussian noise.
+
+    Inputs are standardized internally (zero mean, unit variance over the
+    training points) so one default length scale behaves across scale-out
+    ranges (2..12 machines vs 4..60); targets are centered.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[RBFKernel] = None,
+        noise_variance: float = 1e-4,
+    ) -> None:
+        if noise_variance <= 0:
+            raise ValueError(f"noise_variance must be > 0, got {noise_variance}")
+        self.kernel = kernel or RBFKernel()
+        self.noise_variance = noise_variance
+        self._x: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+        self._alpha: Optional[np.ndarray] = None
+        self._cho = None
+        self._x_mean: float = 0.0
+        self._x_scale: float = 1.0
+
+    @property
+    def is_fit(self) -> bool:
+        """Whether the posterior is available."""
+        return self._alpha is not None
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=np.float64).reshape(-1) - self._x_mean) / self._x_scale
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition on observations ``(x, y)``."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.size == 0:
+            raise ValueError("GP needs at least one observation")
+        if x.shape != y.shape:
+            raise ValueError(f"x and y must match, got {x.shape} vs {y.shape}")
+        self._x_mean = float(x.mean())
+        self._x_scale = float(x.std()) or 1.0
+        self._x = self._standardize(x)
+        self._y_mean = float(y.mean())
+        centered = y - self._y_mean
+
+        gram = self.kernel(self._x, self._x)
+        jitter = self.noise_variance
+        for _ in range(6):  # escalate jitter on numerical failure
+            try:
+                self._cho = cho_factor(
+                    gram + jitter * np.eye(x.size), lower=True
+                )
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10.0
+        else:
+            raise np.linalg.LinAlgError("could not factor the GP Gram matrix")
+        self._alpha = cho_solve(self._cho, centered)
+        return self
+
+    def predict(
+        self, x: np.ndarray, return_std: bool = False
+    ) -> "np.ndarray | Tuple[np.ndarray, np.ndarray]":
+        """Posterior mean (and optionally standard deviation) at ``x``."""
+        if not self.is_fit:
+            raise RuntimeError("GP is not fit; call fit() first")
+        x = self._standardize(x)
+        cross = self.kernel(x, self._x)  # (m, n)
+        mean = cross @ self._alpha + self._y_mean
+        if not return_std:
+            return mean
+        solved = cho_solve(self._cho, cross.T)  # (n, m)
+        prior = np.diag(self.kernel(x, x))
+        variance = np.maximum(prior - np.sum(cross * solved.T, axis=1), 0.0)
+        return mean, np.sqrt(variance)

@@ -1,0 +1,63 @@
+"""Dataflow-runtime simulator: the substitute for the paper's real testbeds.
+
+The original evaluation uses traces from Amazon EMR (C3O datasets) and a
+private cluster (Bell datasets), which are not reachable offline. This
+package regenerates structurally identical traces from a stage-level runtime
+model: node-type catalog (:mod:`repro.simulator.nodes`), per-algorithm
+workload profiles (:mod:`repro.simulator.algorithms`), the runtime law with
+memory pressure, scheduling waves, synchronization, context latents and noise
+(:mod:`repro.simulator.runtime_law`), and trace generation
+(:mod:`repro.simulator.traces`).
+"""
+
+from repro.simulator.algorithms import (
+    ALGORITHM_PROFILES,
+    BELL_ALGORITHMS,
+    C3O_ALGORITHMS,
+    AlgorithmProfile,
+    StageSpec,
+    get_algorithm_profile,
+)
+from repro.simulator.nodes import (
+    ALL_NODE_TYPES,
+    CLOUD_NODE_TYPES,
+    CLUSTER_NODE_TYPES,
+    NodeType,
+    cloud_node_names,
+    get_node_type,
+)
+from repro.simulator.runtime_law import (
+    CACHE_FRACTION,
+    ContextLatents,
+    LEGACY_SOFTWARE_FACTOR,
+    SPILL_PENALTY,
+    SPLIT_MB,
+    expected_runtime,
+    sample_runtime,
+    work_factor_from_params,
+)
+from repro.simulator.traces import TraceGenerator
+
+__all__ = [
+    "ALGORITHM_PROFILES",
+    "ALL_NODE_TYPES",
+    "BELL_ALGORITHMS",
+    "C3O_ALGORITHMS",
+    "CACHE_FRACTION",
+    "CLOUD_NODE_TYPES",
+    "CLUSTER_NODE_TYPES",
+    "AlgorithmProfile",
+    "ContextLatents",
+    "LEGACY_SOFTWARE_FACTOR",
+    "NodeType",
+    "SPILL_PENALTY",
+    "SPLIT_MB",
+    "StageSpec",
+    "TraceGenerator",
+    "cloud_node_names",
+    "expected_runtime",
+    "get_algorithm_profile",
+    "get_node_type",
+    "sample_runtime",
+    "work_factor_from_params",
+]

@@ -1,0 +1,277 @@
+"""Algorithm profiles: the workload side of the runtime simulator.
+
+Each of the five C3O algorithms (Grep, Sort, PageRank, SGD, K-Means) is
+described as a sequence of dataflow *stages* plus an optional iterative
+superstructure. The profile determines how much CPU work, disk I/O, shuffle
+traffic, and synchronization a job incurs per MB of input — which, combined
+with a :class:`~repro.simulator.nodes.NodeType` and a horizontal scale-out,
+yields the runtime (see :mod:`repro.simulator.runtime_law`).
+
+The profiles are chosen so the *shape* statistics of the paper hold:
+
+* Grep, Sort, PageRank exhibit near-trivial scale-out behaviour (runtime
+  roughly proportional to ``1/x`` plus mild overhead),
+* SGD and K-Means are iteration-heavy with per-iteration synchronization,
+  giving the pronounced non-trivial (flat or U-shaped) curves of paper
+  Fig. 2 that make cross-context learning pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+#: Names of the algorithms in the C3O datasets.
+C3O_ALGORITHMS: Tuple[str, ...] = ("grep", "pagerank", "sort", "sgd", "kmeans")
+
+#: Subset of algorithms present in the Bell datasets.
+BELL_ALGORITHMS: Tuple[str, ...] = ("grep", "sgd", "pagerank")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One dataflow stage of an algorithm.
+
+    Attributes
+    ----------
+    name:
+        Stage label (diagnostics only).
+    cpu_ms_per_mb:
+        CPU milliseconds of work per MB of stage input on a 1.0-speed core.
+    io_mb_per_mb:
+        Disk traffic (read + write) per MB of stage input.
+    shuffle_fraction:
+        Fraction of the stage input that crosses the network afterwards.
+    fixed_seconds:
+        Scale-out independent stage overhead (scheduling, JVM, driver work).
+    per_machine_seconds:
+        Overhead that grows linearly with the number of machines
+        (e.g. task dispatch, heartbeats, result collection).
+    """
+
+    name: str
+    cpu_ms_per_mb: float
+    io_mb_per_mb: float = 0.0
+    shuffle_fraction: float = 0.0
+    fixed_seconds: float = 0.0
+    per_machine_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class AlgorithmProfile:
+    """Full workload description of one processing algorithm."""
+
+    name: str
+    #: Stages executed once, in order.
+    stages: Tuple[StageSpec, ...]
+    #: Stages repeated ``iterations`` times (empty for non-iterative jobs).
+    iterative_stages: Tuple[StageSpec, ...] = ()
+    #: Extract the iteration count from the job parameters.
+    iterations_from_params: Optional[Callable[[Mapping[str, str]], int]] = None
+    #: Synchronization barrier cost per iteration: ``a + b * log2(machines)``.
+    sync_fixed_seconds: float = 0.0
+    sync_log_seconds: float = 0.0
+    #: One-off job overhead (driver start, DAG submission).
+    job_fixed_seconds: float = 8.0
+    #: Multipliers applied for known dataset characteristics.
+    characteristics_factors: Mapping[str, float] = field(default_factory=dict)
+    #: In-memory blow-up of the cached working set relative to the raw input
+    #: (deserialized feature vectors / adjacency structures are larger than
+    #: their on-disk form). Iterative algorithms whose working set exceeds the
+    #: aggregate cache re-read the overflow from disk **every iteration**,
+    #: producing the memory-pressure cliffs real Spark ML jobs exhibit —
+    #: scale-out behaviour outside Ernest's parametric family, but predictable
+    #: from dataset size and node memory, i.e. from context properties.
+    cache_blowup: float = 1.0
+    #: Run-to-run lognormal noise of this algorithm (``None``: the trace
+    #: generator's default). Iterative, synchronization-heavy jobs exhibit
+    #: markedly higher repeat variance on shared cloud infrastructure (every
+    #: barrier waits for the slowest task of the round), so SGD and K-Means
+    #: carry larger values — a regime the paper's evaluation leans on: methods
+    #: that fit a handful of observations exactly (NNLS, local training)
+    #: inherit the noise of those observations, while a model pre-trained on
+    #: hundreds of cross-context observations averages it away.
+    noise_sigma: Optional[float] = None
+    #: Straggler probability of this algorithm (``None``: generator default).
+    straggler_probability: Optional[float] = None
+
+    def iterations(self, params: Mapping[str, str]) -> int:
+        """Number of iterations implied by ``params`` (1 if non-iterative)."""
+        if self.iterations_from_params is None:
+            return 1
+        value = int(self.iterations_from_params(params))
+        if value <= 0:
+            raise ValueError(f"{self.name}: iteration count must be > 0, got {value}")
+        return value
+
+    def characteristics_factor(self, characteristics: str) -> float:
+        """Work multiplier for a dataset-characteristics label (default 1.0)."""
+        return float(self.characteristics_factors.get(characteristics, 1.0))
+
+
+def _param_int(params: Mapping[str, str], key: str, default: int) -> int:
+    value = params.get(key, default)
+    return int(value)
+
+
+#: Dataset-characteristics labels per algorithm, with their work multipliers.
+#: These emulate the "target dataset characteristics" dimension of the C3O
+#: contexts (e.g. line length for text jobs, connectivity for graphs, feature
+#: dimensionality for ML jobs).
+GREP_CHARACTERISTICS = {"short-lines": 0.85, "mixed-lines": 1.0, "long-lines": 1.25}
+SORT_CHARACTERISTICS = {"uniform-keys": 1.0, "skewed-keys": 1.3, "presorted": 0.8}
+PAGERANK_CHARACTERISTICS = {"sparse-graph": 0.9, "web-graph": 1.0, "dense-graph": 1.35}
+SGD_CHARACTERISTICS = {"dense-features": 1.0, "sparse-features": 0.8, "wide-features": 1.4}
+KMEANS_CHARACTERISTICS = {"well-separated": 0.85, "overlapping": 1.0, "high-dimensional": 1.4}
+
+
+ALGORITHM_PROFILES: Dict[str, AlgorithmProfile] = {
+    "grep": AlgorithmProfile(
+        name="grep",
+        stages=(
+            StageSpec(
+                name="scan",
+                cpu_ms_per_mb=16.0,
+                io_mb_per_mb=1.05,
+                shuffle_fraction=0.01,
+                fixed_seconds=2.0,
+                per_machine_seconds=0.35,
+            ),
+            StageSpec(name="collect", cpu_ms_per_mb=0.2, fixed_seconds=1.0),
+        ),
+        job_fixed_seconds=7.0,
+        characteristics_factors=GREP_CHARACTERISTICS,
+        noise_sigma=0.06,
+        straggler_probability=0.04,
+    ),
+    "sort": AlgorithmProfile(
+        name="sort",
+        stages=(
+            StageSpec(
+                name="sample",
+                cpu_ms_per_mb=1.5,
+                io_mb_per_mb=0.15,
+                fixed_seconds=2.5,
+            ),
+            StageSpec(
+                name="map-partition",
+                cpu_ms_per_mb=16.0,
+                io_mb_per_mb=1.1,
+                shuffle_fraction=1.0,
+                fixed_seconds=2.0,
+                per_machine_seconds=0.55,
+            ),
+            StageSpec(
+                name="merge-write",
+                cpu_ms_per_mb=10.0,
+                io_mb_per_mb=1.2,
+                fixed_seconds=2.0,
+                per_machine_seconds=0.3,
+            ),
+        ),
+        job_fixed_seconds=9.0,
+        characteristics_factors=SORT_CHARACTERISTICS,
+        noise_sigma=0.05,
+        straggler_probability=0.04,
+    ),
+    "pagerank": AlgorithmProfile(
+        name="pagerank",
+        stages=(
+            StageSpec(
+                name="load-graph",
+                cpu_ms_per_mb=9.0,
+                io_mb_per_mb=1.0,
+                shuffle_fraction=0.35,
+                fixed_seconds=3.0,
+                per_machine_seconds=0.4,
+            ),
+        ),
+        iterative_stages=(
+            StageSpec(
+                name="rank-update",
+                cpu_ms_per_mb=3.2,
+                shuffle_fraction=0.16,
+                fixed_seconds=0.8,
+                per_machine_seconds=0.05,
+            ),
+        ),
+        iterations_from_params=lambda params: _param_int(params, "iterations", 10),
+        sync_fixed_seconds=0.35,
+        sync_log_seconds=0.12,
+        job_fixed_seconds=10.0,
+        characteristics_factors=PAGERANK_CHARACTERISTICS,
+        cache_blowup=1.3,
+        noise_sigma=0.07,
+        straggler_probability=0.05,
+    ),
+    "sgd": AlgorithmProfile(
+        name="sgd",
+        stages=(
+            StageSpec(
+                name="load-cache",
+                cpu_ms_per_mb=7.0,
+                io_mb_per_mb=1.0,
+                fixed_seconds=3.0,
+                per_machine_seconds=0.3,
+            ),
+        ),
+        iterative_stages=(
+            StageSpec(
+                name="gradient",
+                cpu_ms_per_mb=1.35,
+                shuffle_fraction=0.0,
+                fixed_seconds=0.35,
+                per_machine_seconds=0.12,
+            ),
+        ),
+        iterations_from_params=lambda params: _param_int(params, "max_iterations", 50),
+        sync_fixed_seconds=0.55,
+        sync_log_seconds=0.9,
+        job_fixed_seconds=9.0,
+        characteristics_factors=SGD_CHARACTERISTICS,
+        cache_blowup=2.2,
+        noise_sigma=0.13,
+        straggler_probability=0.08,
+    ),
+    "kmeans": AlgorithmProfile(
+        name="kmeans",
+        stages=(
+            StageSpec(
+                name="load-cache",
+                cpu_ms_per_mb=7.5,
+                io_mb_per_mb=1.0,
+                fixed_seconds=3.0,
+                per_machine_seconds=0.3,
+            ),
+        ),
+        iterative_stages=(
+            StageSpec(
+                name="assign-update",
+                cpu_ms_per_mb=2.1,
+                shuffle_fraction=0.0,
+                fixed_seconds=0.4,
+                per_machine_seconds=0.08,
+            ),
+        ),
+        # K-Means work per iteration scales with k; iterations until
+        # convergence are context-dependent and supplied as a parameter.
+        iterations_from_params=lambda params: _param_int(params, "iterations", 20),
+        sync_fixed_seconds=0.5,
+        sync_log_seconds=0.55,
+        job_fixed_seconds=9.0,
+        characteristics_factors=KMEANS_CHARACTERISTICS,
+        cache_blowup=2.4,
+        noise_sigma=0.12,
+        straggler_probability=0.08,
+    ),
+}
+
+
+def get_algorithm_profile(name: str) -> AlgorithmProfile:
+    """Look up an algorithm profile by (case-insensitive) name."""
+    try:
+        return ALGORITHM_PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHM_PROFILES)}"
+        ) from None

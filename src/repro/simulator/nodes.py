@@ -1,0 +1,109 @@
+"""Node-type catalog for the simulated cloud and cluster environments.
+
+The C3O experiments ran on Amazon EMR with several EC2 instance families; the
+Bell experiments ran on a private commodity cluster. Since the original
+traces cannot be downloaded in this environment, the simulator reproduces
+them from first principles, and this catalog supplies the hardware parameters
+that drive the runtime law: core count, memory, relative per-core speed, disk
+and network bandwidth, and an hourly price (used by the resource-selection
+examples).
+
+Numbers are representative of the public EC2 specifications of the era
+(2019/2020) — exact absolute values are irrelevant for the reproduction; what
+matters is that node types *differ* so that contexts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """Hardware description of a cluster node."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    #: Relative per-core compute speed (1.0 = an m4 core).
+    cpu_speed: float
+    #: Aggregate local-disk bandwidth in MB/s.
+    disk_mbps: float
+    #: Network bandwidth in MB/s.
+    network_mbps: float
+    #: On-demand hourly price in USD (for cost-aware selection examples).
+    price_per_hour: float
+    #: Environment tag: "cloud" (C3O / EMR) or "cluster" (Bell private).
+    environment: str = "cloud"
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"{self.name}: cores must be > 0")
+        if min(self.memory_gb, self.cpu_speed, self.disk_mbps, self.network_mbps) <= 0:
+            raise ValueError(f"{self.name}: hardware figures must be > 0")
+
+    @property
+    def memory_mb(self) -> float:
+        """Memory in MB (dataset sizes are expressed in MB)."""
+        return self.memory_gb * 1024.0
+
+
+def _cloud(name: str, cores: int, mem: float, speed: float, disk: float, net: float, price: float) -> NodeType:
+    return NodeType(name, cores, mem, speed, disk, net, price, environment="cloud")
+
+
+#: EC2-style node types for the simulated public-cloud (C3O) environment.
+CLOUD_NODE_TYPES: Dict[str, NodeType] = {
+    node.name: node
+    for node in [
+        # General purpose (m4/m5): balanced CPU and memory.
+        _cloud("m4.xlarge", 4, 16.0, 1.00, 160.0, 95.0, 0.20),
+        _cloud("m4.2xlarge", 8, 32.0, 1.00, 200.0, 125.0, 0.40),
+        _cloud("m5.xlarge", 4, 16.0, 1.12, 175.0, 120.0, 0.192),
+        _cloud("m5.2xlarge", 8, 32.0, 1.12, 220.0, 140.0, 0.384),
+        # Compute optimized (c4/c5): faster cores, less memory.
+        _cloud("c4.2xlarge", 8, 15.0, 1.18, 180.0, 125.0, 0.398),
+        _cloud("c5.2xlarge", 8, 16.0, 1.30, 210.0, 140.0, 0.34),
+        # Memory optimized (r4/r5): slower per dollar, lots of memory.
+        _cloud("r4.xlarge", 4, 30.5, 1.05, 170.0, 110.0, 0.266),
+        _cloud("r4.2xlarge", 8, 61.0, 1.05, 210.0, 125.0, 0.532),
+        _cloud("r5.xlarge", 4, 32.0, 1.15, 180.0, 120.0, 0.252),
+    ]
+}
+
+#: Node types of the simulated private-cluster (Bell) environment: older
+#: commodity hardware, slower network, Hadoop 2.7 / Spark 2.0 era.
+CLUSTER_NODE_TYPES: Dict[str, NodeType] = {
+    node.name: node
+    for node in [
+        NodeType(
+            name="cluster-node",
+            cores=8,
+            memory_gb=16.0,
+            cpu_speed=0.72,
+            disk_mbps=120.0,
+            network_mbps=110.0,
+            price_per_hour=0.0,  # owned hardware
+            environment="cluster",
+        )
+    ]
+}
+
+#: Union of every known node type.
+ALL_NODE_TYPES: Dict[str, NodeType] = {**CLOUD_NODE_TYPES, **CLUSTER_NODE_TYPES}
+
+
+def get_node_type(name: str) -> NodeType:
+    """Look up a node type by name."""
+    try:
+        return ALL_NODE_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown node type {name!r}; known: {sorted(ALL_NODE_TYPES)}"
+        ) from None
+
+
+def cloud_node_names() -> List[str]:
+    """Names of the cloud node types (stable order)."""
+    return sorted(CLOUD_NODE_TYPES)

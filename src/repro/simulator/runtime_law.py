@@ -1,0 +1,270 @@
+"""The runtime law: executing a simulated dataflow job.
+
+Combines an :class:`~repro.simulator.algorithms.AlgorithmProfile`, a
+:class:`~repro.simulator.nodes.NodeType`, a horizontal scale-out, and the
+dataset/parameter context into a job runtime. The model captures the effects
+the Ernest family of performance models is built around, and that the Bellamy
+evaluation depends on:
+
+* **data parallelism** — per-task work shrinks as machines are added
+  (the ``1/x`` term), quantized into scheduling *waves*
+  (``ceil(tasks / slots)``), which produces realistic runtime steps;
+* **communication** — shuffle traffic over a shared network and per-iteration
+  synchronization barriers that grow with ``log(x)``;
+* **coordination overhead** — per-machine costs growing linearly in ``x``;
+* **memory pressure** — datasets that no longer fit the aggregate cache spill
+  to disk, so small clusters can be disproportionately slow;
+* **context latents** — every execution context carries deterministic latent
+  multipliers (unmodeled environment detail), making contexts genuinely
+  different yet correlated, exactly the regime cross-context learning targets;
+* **stochastic noise** — multiplicative lognormal noise plus occasional
+  stragglers, matching the repeat-to-repeat variance of real traces.
+
+The noise-free :func:`expected_runtime` doubles as ground truth for tests and
+for validating resource selection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.simulator.algorithms import AlgorithmProfile, StageSpec
+from repro.simulator.nodes import NodeType
+from repro.utils.rng import derive_seed, new_rng
+
+#: Input split size in MB (HDFS-style block scheduling).
+SPLIT_MB: float = 128.0
+
+#: Fraction of node memory usable for caching job data.
+CACHE_FRACTION: float = 0.6
+
+#: Disk-traffic multiplier applied to spilled data.
+SPILL_PENALTY: float = 2.4
+
+#: Slowdown factor of the older software generation (Spark 2.0 vs 2.4).
+LEGACY_SOFTWARE_FACTOR: float = 1.22
+
+
+@dataclass(frozen=True)
+class ContextLatents:
+    """Deterministic latent multipliers of one execution context.
+
+    Real contexts differ in ways no catalog captures (AZ placement, tenancy,
+    JVM warmup, data layout). We model this as latent multiplicative factors
+    drawn once per context from a seeded RNG, so that:
+
+    * two executions in the same context share the same latents
+      (reproducibility), and
+    * contexts of the same algorithm stay correlated (the latents only scale
+      terms, never change the curve family), which is the premise of
+      cross-context learning.
+    """
+
+    work: float = 1.0
+    overhead: float = 1.0
+    sync: float = 1.0
+
+    @staticmethod
+    def from_descriptor(root_seed: int, descriptor: str, spread: float = 0.16) -> "ContextLatents":
+        """Draw latents deterministically from a context descriptor string."""
+        rng = new_rng(derive_seed(root_seed, "latents", descriptor))
+        return ContextLatents(
+            work=float(np.exp(rng.normal(0.0, spread))),
+            overhead=float(np.exp(rng.normal(0.0, spread))),
+            sync=float(np.exp(rng.normal(0.0, spread))),
+        )
+
+
+def work_factor_from_params(profile: AlgorithmProfile, params: Mapping[str, str]) -> float:
+    """Per-iteration work multiplier implied by algorithm parameters.
+
+    Iteration *counts* are handled by the iterative superstructure; this
+    factor covers parameters that change the work *per* unit of data:
+    K-Means' cluster count ``k``, Grep's pattern complexity. Parameters with
+    no modeled work impact contribute 1.0.
+    """
+    name = profile.name
+    if name == "kmeans":
+        k = int(params.get("k", 10))
+        if k <= 0:
+            raise ValueError(f"kmeans requires k > 0, got {k}")
+        # Distance computations scale linearly with the number of centroids.
+        return k / 10.0
+    if name == "grep":
+        pattern = str(params.get("pattern", "error"))
+        # Longer patterns / more alternations cost more per line.
+        return 0.8 + 0.04 * min(len(pattern), 30)
+    if name == "sgd":
+        # Regularization/step size do not change per-iteration work.
+        return 1.0
+    return 1.0
+
+
+def _stage_seconds(
+    stage: StageSpec,
+    *,
+    node: NodeType,
+    machines: int,
+    stage_input_mb: float,
+    cpu_work_factor: float,
+    io_factor: float,
+    latents: ContextLatents,
+    extra_io_mb_per_mb: float = 0.0,
+) -> float:
+    """Noise-free duration of one stage execution."""
+    slots = machines * node.cores
+    tasks = max(1, math.ceil(stage_input_mb / SPLIT_MB))
+    waves = math.ceil(tasks / slots)
+    task_mb = stage_input_mb / tasks
+
+    # CPU: per-MB milliseconds scaled by context factors and core speed.
+    cpu_seconds = task_mb * stage.cpu_ms_per_mb * cpu_work_factor / (1000.0 * node.cpu_speed)
+    # Disk: cores on a node share its disk bandwidth.
+    per_core_disk = node.disk_mbps / node.cores
+    io_seconds = (
+        task_mb * (stage.io_mb_per_mb * io_factor + extra_io_mb_per_mb) / per_core_disk
+    )
+    parallel_seconds = waves * (cpu_seconds + io_seconds)
+
+    # Shuffle: all-to-all traffic over the aggregate network, plus a mild
+    # coordination term that grows with the cluster size.
+    shuffle_seconds = 0.0
+    if stage.shuffle_fraction > 0.0:
+        shuffle_mb = stage_input_mb * stage.shuffle_fraction
+        shuffle_seconds = shuffle_mb / (machines * node.network_mbps)
+        shuffle_seconds += 0.05 * math.log2(machines + 1)
+
+    overhead_seconds = (
+        stage.fixed_seconds + stage.per_machine_seconds * machines
+    ) * latents.overhead
+    return parallel_seconds * latents.work + shuffle_seconds + overhead_seconds
+
+
+def expected_runtime(
+    profile: AlgorithmProfile,
+    node: NodeType,
+    machines: int,
+    dataset_mb: float,
+    params: Optional[Mapping[str, str]] = None,
+    characteristics: str = "",
+    latents: Optional[ContextLatents] = None,
+    legacy_software: bool = False,
+) -> float:
+    """Noise-free runtime in seconds of one simulated job execution.
+
+    Parameters
+    ----------
+    profile:
+        The algorithm profile (stages, iterations, sync behaviour).
+    node:
+        Node type of every worker (homogeneous clusters, as in the datasets).
+    machines:
+        Horizontal scale-out ``x``.
+    dataset_mb:
+        Target dataset size in MB.
+    params:
+        Job parameters (iteration counts, ``k``, patterns, ...).
+    characteristics:
+        Dataset-characteristics label (see the profile's factors).
+    latents:
+        Context latent multipliers; identity when omitted.
+    legacy_software:
+        Apply the older-software slowdown (the Bell environment).
+    """
+    if machines <= 0:
+        raise ValueError(f"machines must be > 0, got {machines}")
+    if dataset_mb <= 0:
+        raise ValueError(f"dataset_mb must be > 0, got {dataset_mb}")
+    params = dict(params or {})
+    latents = latents or ContextLatents()
+
+    char_factor = profile.characteristics_factor(characteristics)
+    param_factor = work_factor_from_params(profile, params)
+    cpu_work_factor = char_factor * param_factor
+    if legacy_software:
+        cpu_work_factor *= LEGACY_SOFTWARE_FACTOR
+
+    # Memory pressure: once the dataset no longer fits the aggregate cache,
+    # the overflowing fraction pays the spill penalty on disk traffic.
+    cache_mb = machines * node.memory_mb * CACHE_FRACTION
+    overflow = max(0.0, dataset_mb - cache_mb) / dataset_mb
+    io_factor = 1.0 + overflow * (SPILL_PENALTY - 1.0)
+
+    total = profile.job_fixed_seconds * latents.overhead
+
+    for stage in profile.stages:
+        total += _stage_seconds(
+            stage,
+            node=node,
+            machines=machines,
+            stage_input_mb=dataset_mb,
+            cpu_work_factor=cpu_work_factor,
+            io_factor=io_factor,
+            latents=latents,
+        )
+
+    if profile.iterative_stages:
+        iterations = profile.iterations(params)
+        # Memory-pressure cliff: the cached working set (raw data times the
+        # in-memory blow-up) that exceeds the aggregate cache is re-read from
+        # disk every iteration. Ernest's [1, 1/x, log x, x] family cannot
+        # express this piecewise behaviour, but it is fully determined by
+        # observable context properties (dataset size, node memory).
+        working_set_mb = dataset_mb * profile.cache_blowup
+        cache_overflow = max(0.0, working_set_mb - cache_mb) / working_set_mb
+        spill_io_per_mb = cache_overflow * profile.cache_blowup * 0.30
+        per_iteration = 0.0
+        for stage in profile.iterative_stages:
+            per_iteration += _stage_seconds(
+                stage,
+                node=node,
+                machines=machines,
+                stage_input_mb=dataset_mb,
+                cpu_work_factor=cpu_work_factor,
+                io_factor=1.0,
+                latents=latents,
+                extra_io_mb_per_mb=spill_io_per_mb,
+            )
+        sync = (
+            profile.sync_fixed_seconds + profile.sync_log_seconds * math.log2(machines + 1)
+        ) * latents.sync
+        if legacy_software:
+            sync *= LEGACY_SOFTWARE_FACTOR
+        total += iterations * (per_iteration + sync)
+
+    return float(total)
+
+
+def sample_runtime(
+    profile: AlgorithmProfile,
+    node: NodeType,
+    machines: int,
+    dataset_mb: float,
+    rng: np.random.Generator,
+    params: Optional[Mapping[str, str]] = None,
+    characteristics: str = "",
+    latents: Optional[ContextLatents] = None,
+    legacy_software: bool = False,
+    noise_sigma: float = 0.045,
+    straggler_probability: float = 0.04,
+) -> float:
+    """One noisy execution: expected runtime with lognormal noise + stragglers."""
+    base = expected_runtime(
+        profile,
+        node,
+        machines,
+        dataset_mb,
+        params=params,
+        characteristics=characteristics,
+        latents=latents,
+        legacy_software=legacy_software,
+    )
+    noisy = base * float(np.exp(rng.normal(0.0, noise_sigma)))
+    if rng.random() < straggler_probability:
+        # A straggler task delays the job tail by 8-30 %.
+        noisy *= 1.0 + rng.uniform(0.08, 0.30)
+    return float(noisy)

@@ -1,0 +1,119 @@
+"""Trace generation: turning contexts into observed executions.
+
+This is the glue between the runtime law and the dataset layer: given a
+:class:`~repro.data.schema.JobContext` and a scale-out grid, the generator
+produces :class:`~repro.data.schema.Execution` records with deterministic,
+seed-derived noise — the simulated counterpart of "running the experiments".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.data.schema import Execution, JobContext
+from repro.simulator.algorithms import get_algorithm_profile
+from repro.simulator.nodes import get_node_type
+from repro.simulator.runtime_law import (
+    ContextLatents,
+    expected_runtime,
+    sample_runtime,
+)
+from repro.utils.rng import derive_seed, new_rng
+
+
+class TraceGenerator:
+    """Generates execution traces for job contexts.
+
+    Parameters
+    ----------
+    seed:
+        Root seed. Latents and noise derive from it per context, so the same
+        seed always reproduces the exact same traces.
+    latent_spread:
+        Standard deviation of the log-latent context factors.
+    noise_sigma:
+        Lognormal run-to-run noise (default; an
+        :class:`~repro.simulator.algorithms.AlgorithmProfile` may override it
+        per algorithm — iterative jobs are noisier on shared infrastructure).
+    straggler_probability:
+        Chance of a straggler-delayed execution (same override rule).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latent_spread: float = 0.14,
+        noise_sigma: float = 0.07,
+        straggler_probability: float = 0.05,
+    ) -> None:
+        self.seed = seed
+        self.latent_spread = latent_spread
+        self.noise_sigma = noise_sigma
+        self.straggler_probability = straggler_probability
+
+    def latents_for(self, context: JobContext) -> ContextLatents:
+        """The deterministic latent factors of ``context``."""
+        return ContextLatents.from_descriptor(
+            self.seed, context.descriptor(), spread=self.latent_spread
+        )
+
+    def expected_runtime(self, context: JobContext, machines: int) -> float:
+        """Noise-free runtime of ``context`` at scale-out ``machines``."""
+        return expected_runtime(
+            get_algorithm_profile(context.algorithm),
+            get_node_type(context.node_type),
+            machines,
+            float(context.dataset_mb),
+            params=context.params,
+            characteristics=context.dataset_characteristics,
+            latents=self.latents_for(context),
+            legacy_software=context.environment == "cluster",
+        )
+
+    def executions_for_context(
+        self,
+        context: JobContext,
+        scaleouts: Sequence[int],
+        repeats: int,
+    ) -> List[Execution]:
+        """All executions of one context: ``len(scaleouts) * repeats`` records."""
+        if repeats <= 0:
+            raise ValueError(f"repeats must be > 0, got {repeats}")
+        profile = get_algorithm_profile(context.algorithm)
+        node = get_node_type(context.node_type)
+        latents = self.latents_for(context)
+        rng = new_rng(derive_seed(self.seed, "noise", context.descriptor()))
+        legacy = context.environment == "cluster"
+        noise_sigma = (
+            profile.noise_sigma if profile.noise_sigma is not None else self.noise_sigma
+        )
+        straggler_probability = (
+            profile.straggler_probability
+            if profile.straggler_probability is not None
+            else self.straggler_probability
+        )
+        executions: List[Execution] = []
+        for machines in scaleouts:
+            for repeat in range(repeats):
+                runtime = sample_runtime(
+                    profile,
+                    node,
+                    int(machines),
+                    float(context.dataset_mb),
+                    rng,
+                    params=context.params,
+                    characteristics=context.dataset_characteristics,
+                    latents=latents,
+                    legacy_software=legacy,
+                    noise_sigma=noise_sigma,
+                    straggler_probability=straggler_probability,
+                )
+                executions.append(
+                    Execution(
+                        context=context,
+                        machines=int(machines),
+                        runtime_s=runtime,
+                        repeat=repeat,
+                    )
+                )
+        return executions

@@ -1,0 +1,33 @@
+"""Hyperparameter search substrate (stand-in for Ray Tune + Optuna)."""
+
+from repro.tune.runner import (
+    Trial,
+    TuneResult,
+    run_search,
+    run_successive_halving,
+)
+from repro.tune.search import GridSearch, RandomSearch, Searcher
+from repro.tune.space import (
+    Categorical,
+    Domain,
+    IntRange,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+)
+
+__all__ = [
+    "Categorical",
+    "Domain",
+    "GridSearch",
+    "IntRange",
+    "LogUniform",
+    "RandomSearch",
+    "SearchSpace",
+    "Searcher",
+    "Trial",
+    "TuneResult",
+    "Uniform",
+    "run_search",
+    "run_successive_halving",
+]

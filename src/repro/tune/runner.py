@@ -1,0 +1,103 @@
+"""Trial runner: evaluate configurations and keep the best.
+
+A tiny, sequential stand-in for Ray Tune's trial executor, with optional
+successive-halving early stopping for budgeted objectives.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.tune.search import Searcher
+
+#: Objective: configuration (+ optional budget) -> score (lower is better).
+Objective = Callable[..., float]
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    config: Dict[str, Any]
+    score: float
+    wall_seconds: float
+    budget: Optional[int] = None
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a tuning run."""
+
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def best(self) -> Trial:
+        """The trial with the lowest score."""
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return min(self.trials, key=lambda trial: trial.score)
+
+    def sorted_trials(self) -> List[Trial]:
+        """Trials ordered best-first."""
+        return sorted(self.trials, key=lambda trial: trial.score)
+
+
+def run_search(
+    searcher: Searcher,
+    objective: Objective,
+    n_trials: int,
+) -> TuneResult:
+    """Evaluate ``n_trials`` configurations sequentially."""
+    result = TuneResult()
+    for config in searcher.suggest(n_trials):
+        started = time.perf_counter()
+        score = float(objective(config))
+        result.trials.append(
+            Trial(config=config, score=score, wall_seconds=time.perf_counter() - started)
+        )
+    return result
+
+
+def run_successive_halving(
+    searcher: Searcher,
+    objective: Objective,
+    n_trials: int,
+    min_budget: int,
+    max_budget: int,
+    eta: int = 3,
+) -> TuneResult:
+    """Successive halving: evaluate many configs cheaply, promote the best.
+
+    ``objective(config, budget=...)`` is called with increasing budgets;
+    after each rung, only the top ``1/eta`` fraction advances.
+    """
+    if not 0 < min_budget <= max_budget:
+        raise ValueError("need 0 < min_budget <= max_budget")
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    result = TuneResult()
+    survivors = searcher.suggest(n_trials)
+    budget = min_budget
+    while survivors:
+        rung: List[Trial] = []
+        for config in survivors:
+            started = time.perf_counter()
+            score = float(objective(config, budget=budget))
+            trial = Trial(
+                config=config,
+                score=score,
+                wall_seconds=time.perf_counter() - started,
+                budget=budget,
+            )
+            rung.append(trial)
+            result.trials.append(trial)
+        if budget >= max_budget or len(rung) == 1:
+            break
+        rung.sort(key=lambda trial: trial.score)
+        keep = max(1, math.floor(len(rung) / eta))
+        survivors = [trial.config for trial in rung[:keep]]
+        budget = min(max_budget, budget * eta)
+    return result

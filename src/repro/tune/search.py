@@ -1,0 +1,58 @@
+"""Search strategies: random search and grid search over a SearchSpace."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.tune.space import SearchSpace
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Searcher:
+    """Base class: yields candidate configurations."""
+
+    def suggest(self, n: int) -> List[Dict[str, Any]]:
+        """Return ``n`` configurations to evaluate."""
+        raise NotImplementedError
+
+
+class RandomSearch(Searcher):
+    """Independent uniform sampling from the space.
+
+    De-duplicates draws (useful for small grids like Table I's 27-point
+    grid, from which the paper samples 12 distinct configurations).
+    """
+
+    def __init__(self, space: SearchSpace, seed: SeedLike = None, dedupe: bool = True) -> None:
+        self.space = space
+        self.rng = new_rng(seed)
+        self.dedupe = dedupe
+
+    def suggest(self, n: int) -> List[Dict[str, Any]]:  # noqa: D102
+        if n <= 0:
+            raise ValueError(f"n must be > 0, got {n}")
+        configs: List[Dict[str, Any]] = []
+        seen = set()
+        attempts = 0
+        while len(configs) < n and attempts < 200 * n:
+            attempts += 1
+            config = self.space.sample(self.rng)
+            key = tuple(sorted((k, repr(v)) for k, v in config.items()))
+            if self.dedupe and key in seen:
+                continue
+            seen.add(key)
+            configs.append(config)
+        return configs
+
+
+class GridSearch(Searcher):
+    """Exhaustive enumeration of an enumerable space."""
+
+    def __init__(self, space: SearchSpace) -> None:
+        self.space = space
+
+    def suggest(self, n: Optional[int] = None) -> List[Dict[str, Any]]:  # noqa: D102
+        grid = self.space.grid()
+        if n is not None:
+            grid = grid[:n]
+        return grid

@@ -1,0 +1,139 @@
+"""Search-space primitives for hyperparameter optimization.
+
+Replaces the Ray Tune / Optuna search-space spec used by the paper's
+prototype: categorical choices (Table I uses grids), uniform and log-uniform
+continuous ranges, and integer ranges, bundled into a named
+:class:`SearchSpace`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+
+class Domain(abc.ABC):
+    """One dimension of a search space."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value."""
+
+    @abc.abstractmethod
+    def grid(self) -> List[Any]:
+        """Enumerable values (raises for continuous domains)."""
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is inside the domain (best effort)."""
+        return True
+
+
+class Categorical(Domain):
+    """Finite set of unordered choices."""
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        if not values:
+            raise ValueError("Categorical needs at least one value")
+        self.values = list(values)
+
+    def sample(self, rng: np.random.Generator) -> Any:  # noqa: D102
+        return self.values[int(rng.integers(0, len(self.values)))]
+
+    def grid(self) -> List[Any]:  # noqa: D102
+        return list(self.values)
+
+    def contains(self, value: Any) -> bool:  # noqa: D102
+        return value in self.values
+
+
+class Uniform(Domain):
+    """Continuous uniform range ``[low, high)``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high})")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:  # noqa: D102
+        return float(rng.uniform(self.low, self.high))
+
+    def grid(self) -> List[Any]:  # noqa: D102
+        raise TypeError("Uniform domains cannot be enumerated; use random search")
+
+    def contains(self, value: Any) -> bool:  # noqa: D102
+        return self.low <= value < self.high
+
+
+class LogUniform(Domain):
+    """Log-uniform range over ``[low, high)`` with ``low > 0``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 < low < high:
+            raise ValueError(f"need 0 < low < high, got [{low}, {high})")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:  # noqa: D102
+        return float(math.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+
+    def grid(self) -> List[Any]:  # noqa: D102
+        raise TypeError("LogUniform domains cannot be enumerated; use random search")
+
+    def contains(self, value: Any) -> bool:  # noqa: D102
+        return self.low <= value < self.high
+
+
+class IntRange(Domain):
+    """Integer range ``[low, high]`` inclusive."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if high < low:
+            raise ValueError(f"need high >= low, got [{low}, {high}]")
+        self.low, self.high = int(low), int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:  # noqa: D102
+        return int(rng.integers(self.low, self.high + 1))
+
+    def grid(self) -> List[Any]:  # noqa: D102
+        return list(range(self.low, self.high + 1))
+
+    def contains(self, value: Any) -> bool:  # noqa: D102
+        return self.low <= value <= self.high
+
+
+class SearchSpace:
+    """A named collection of domains."""
+
+    def __init__(self, domains: Mapping[str, Domain]) -> None:
+        if not domains:
+            raise ValueError("search space must have at least one dimension")
+        self.domains: Dict[str, Domain] = dict(domains)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        """Draw one configuration."""
+        return {name: domain.sample(rng) for name, domain in self.domains.items()}
+
+    def grid(self) -> List[Dict[str, Any]]:
+        """Full Cartesian product (requires enumerable domains)."""
+        names = list(self.domains)
+        combos: List[Dict[str, Any]] = [{}]
+        for name in names:
+            values = self.domains[name].grid()
+            combos = [dict(combo, **{name: value}) for combo in combos for value in values]
+        return combos
+
+    def size(self) -> int:
+        """Number of grid points (raises for continuous domains)."""
+        total = 1
+        for domain in self.domains.values():
+            total *= len(domain.grid())
+        return total
+
+    def contains(self, config: Mapping[str, Any]) -> bool:
+        """Whether a configuration lies inside the space."""
+        return all(
+            name in config and domain.contains(config[name])
+            for name, domain in self.domains.items()
+        )

@@ -1,0 +1,60 @@
+"""Process-based parallel mapping for the experiment harness.
+
+The evaluation experiments are embarrassingly parallel across target
+contexts (every target pre-trains and fine-tunes its own models from
+seed-derived state), so a process pool gives near-linear speed-ups on
+multi-core machines without touching any numerical code. Determinism is
+preserved by construction: all randomness is derived from per-target seeds,
+so the records are identical for any worker count — a property the tests
+assert.
+
+Processes (not threads) are the right tool here: the workload is pure
+NumPy compute holding the GIL for long stretches, and each task is seconds
+to minutes, dwarfing the fork/pickle overhead the profile shows.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(n_workers: Optional[int], n_tasks: int) -> int:
+    """The effective worker count.
+
+    ``None`` or 0 selects serial execution; negative values mean "all
+    cores"; the result never exceeds the number of tasks.
+    """
+    if n_tasks <= 0:
+        return 1
+    if n_workers is None or n_workers == 0:
+        return 1
+    if n_workers < 0:
+        n_workers = os.cpu_count() or 1
+    return max(1, min(n_workers, n_tasks))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Results come back in input order regardless of completion order. With
+    one effective worker the map runs inline (no pool, no pickling), which
+    keeps debugging and profiling simple.
+
+    ``fn`` and the items must be picklable when ``n_workers`` exceeds 1 —
+    use module-level functions, not closures.
+    """
+    items = list(items)
+    workers = resolve_workers(n_workers, len(items))
+    if workers == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

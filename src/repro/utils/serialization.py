@@ -1,0 +1,84 @@
+"""Serialization helpers for model state and experiment results.
+
+Model parameters are stored as ``.npz`` archives (one array per parameter
+name), metadata and experiment results as JSON. Both formats are stable,
+inspectable, and need no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write bytes atomically (write to temp file, then rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - stdlib override
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(path: PathLike, payload: Any, *, indent: int = 2) -> None:
+    """Serialize ``payload`` as JSON to ``path`` atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=True, cls=_NumpyJSONEncoder)
+    _atomic_write(Path(path), text.encode("utf-8"))
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz_dict(path: PathLike, arrays: Dict[str, np.ndarray]) -> None:
+    """Save a flat ``name -> array`` mapping as a compressed ``.npz``.
+
+    Parameter names may contain ``/`` and ``.`` which ``np.savez`` accepts
+    verbatim as archive member names.
+    """
+    for key, value in arrays.items():
+        if not isinstance(value, np.ndarray):
+            raise TypeError(f"value for {key!r} must be ndarray, got {type(value)!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.NamedTemporaryFile(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp", delete=False
+    ) as handle:
+        np.savez_compressed(handle, **arrays)
+        tmp = handle.name
+    os.replace(tmp, path)
+
+
+def load_npz_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive back into a plain dict of arrays."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key].copy() for key in archive.files}

@@ -1,0 +1,77 @@
+"""Plain-text rendering of result tables and bar charts.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that rendering consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_float(value: Number, digits: int = 3) -> str:
+    """Format a number compactly (fixed digits, no trailing noise for ints)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render rows as a boxed, column-aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        str_rows.append(
+            [format_float(cell, digits) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(separator)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in str_rows)
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, Number],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    digits: int = 2,
+) -> str:
+    """Render a horizontal bar chart, one bar per (label, value)."""
+    if not values:
+        return title or ""
+    label_width = max(len(label) for label in values)
+    peak = max((abs(float(v)) for v in values.values()), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(abs(float(value)) * scale)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {format_float(float(value), digits)}")
+    return "\n".join(lines)

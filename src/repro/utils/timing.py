@@ -1,0 +1,61 @@
+"""Wall-clock measurement helpers used by the training-time experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration like the paper reports them (e.g. ``"7.37s"``)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by the evaluation protocol to attribute wall-clock time to pipeline
+    stages (model preparation, fitting, inference), mirroring how the paper
+    reports "time to fit" inclusive of pipeline preparation and model loading.
+    """
+
+    laps: Dict[str, List[float]] = field(default_factory=dict)
+    _started: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str = "total") -> None:
+        """Start (or restart) the named lap."""
+        self._started[name] = time.perf_counter()
+
+    def stop(self, name: str = "total") -> float:
+        """Stop the named lap and record its duration in seconds."""
+        if name not in self._started:
+            raise KeyError(f"stopwatch lap {name!r} was never started")
+        elapsed = time.perf_counter() - self._started.pop(name)
+        self.laps.setdefault(name, []).append(elapsed)
+        return elapsed
+
+    def total(self, name: str = "total") -> float:
+        """Sum of all recorded durations for ``name``."""
+        return float(sum(self.laps.get(name, ())))
+
+    def mean(self, name: str = "total") -> float:
+        """Mean recorded duration for ``name`` (0.0 when empty)."""
+        laps = self.laps.get(name, ())
+        return float(sum(laps) / len(laps)) if laps else 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start("total")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop("total")

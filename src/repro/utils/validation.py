@@ -1,0 +1,35 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Tuple, Type, Union
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Ensure ``value`` is > 0 (or >= 0 when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Collection[Any]) -> Any:
+    """Ensure ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Ensure ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise TypeError(f"{name} must be {types!r}, got {type(value)!r}")
+    return value

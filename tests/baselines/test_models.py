@@ -1,0 +1,122 @@
+"""Tests of the Ernest and Bell baseline models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BellModel, ErnestModel, InterpolationModel
+
+
+def ernest_curve(x: np.ndarray, theta=(5.0, 120.0, 3.0, 0.4)) -> np.ndarray:
+    t1, t2, t3, t4 = theta
+    return t1 + t2 / x + t3 * np.log(x) + t4 * x
+
+
+GRID = np.array([2.0, 4.0, 6.0, 8.0, 10.0, 12.0])
+
+
+class TestErnest:
+    def test_recovers_in_family_curve(self):
+        y = ernest_curve(GRID)
+        model = ErnestModel().fit(GRID, y)
+        np.testing.assert_allclose(model.predict(GRID), y, atol=1e-8)
+
+    def test_weights_nonnegative(self):
+        rng = np.random.default_rng(0)
+        y = ernest_curve(GRID) * rng.uniform(0.9, 1.1, GRID.size)
+        model = ErnestModel().fit(GRID, y)
+        assert (model.theta >= 0).all()
+
+    def test_extrapolates_in_family(self):
+        y = ernest_curve(GRID)
+        model = ErnestModel().fit(GRID, y)
+        assert model.predict_one(20.0) == pytest.approx(ernest_curve(np.array([20.0]))[0], rel=1e-6)
+
+    def test_single_point_is_defined_but_degenerate(self):
+        model = ErnestModel().fit(np.array([4.0]), np.array([100.0]))
+        assert model.predict_one(4.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ErnestModel().predict(GRID)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErnestModel().fit(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            ErnestModel().fit(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ErnestModel().fit(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ErnestModel().fit(np.array([2.0]), np.array([-5.0]))
+
+
+class TestInterpolation:
+    def test_exact_at_training_points(self):
+        y = np.array([100.0, 60.0, 45.0, 40.0, 38.0, 37.0])
+        model = InterpolationModel().fit(GRID, y)
+        np.testing.assert_allclose(model.predict(GRID), y)
+
+    def test_linear_between_points(self):
+        model = InterpolationModel().fit(np.array([2.0, 4.0]), np.array([10.0, 20.0]))
+        assert model.predict_one(3.0) == pytest.approx(15.0)
+
+    def test_extrapolates_boundary_slope(self):
+        model = InterpolationModel().fit(
+            np.array([2.0, 4.0, 6.0]), np.array([30.0, 20.0, 10.0])
+        )
+        assert model.predict_one(8.0) == pytest.approx(0.001)  # clipped at floor
+        assert model.predict_one(1.0) == pytest.approx(35.0)
+
+    def test_repeats_averaged(self):
+        machines = np.array([2.0, 2.0, 4.0])
+        runtimes = np.array([10.0, 14.0, 20.0])
+        model = InterpolationModel().fit(machines, runtimes)
+        assert model.predict_one(2.0) == pytest.approx(12.0)
+
+    def test_never_negative(self):
+        model = InterpolationModel().fit(
+            np.array([2.0, 4.0]), np.array([100.0, 1.0])
+        )
+        assert model.predict_one(12.0) > 0.0
+
+    def test_single_distinct_scaleout_constant(self):
+        model = InterpolationModel().fit(np.array([4.0, 4.0]), np.array([10.0, 12.0]))
+        assert model.predict_one(8.0) == pytest.approx(11.0)
+
+
+class TestBell:
+    def test_selects_parametric_for_in_family_curve(self):
+        y = ernest_curve(GRID)
+        model = BellModel().fit(GRID, y)
+        assert model.selected_kind == "parametric"
+
+    def test_selects_nonparametric_for_linear_decay(self):
+        # A linearly decreasing curve is outside the non-negative Ernest
+        # family (only the 1/x term can decrease), but the piecewise-linear
+        # interpolator reproduces it exactly under leave-one-out CV.
+        y = np.array([600.0, 500.0, 400.0, 300.0, 200.0, 100.0])
+        model = BellModel().fit(GRID, y)
+        assert model.selected_kind == "nonparametric"
+
+    def test_fallback_below_three_points(self):
+        model = BellModel().fit(np.array([2.0, 4.0]), np.array([10.0, 8.0]))
+        assert model.selected_kind == "parametric-fallback"
+
+    def test_predictions_track_selected_model(self):
+        y = ernest_curve(GRID)
+        model = BellModel().fit(GRID, y)
+        reference = ErnestModel().fit(GRID, y)
+        np.testing.assert_allclose(model.predict(GRID), reference.predict(GRID))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BellModel().predict(GRID)
+
+    def test_min_train_points_constant(self):
+        assert BellModel.min_train_points == 3
+
+    def test_predict_one(self):
+        model = BellModel().fit(GRID, ernest_curve(GRID))
+        assert isinstance(model.predict_one(5.0), float)

@@ -1,0 +1,87 @@
+"""Tests of the CLI experiment subcommand (runner stubbed for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.eval.protocol import EvaluationRecord
+from repro.eval.records_io import load_records
+
+
+def _fake_records() -> list:
+    return [
+        EvaluationRecord(
+            method=method,
+            algorithm="sgd",
+            context_id="ctx",
+            n_train=2,
+            task=task,
+            actual_s=100.0,
+            predicted_s=95.0,
+            fit_seconds=0.01,
+            epochs_trained=5,
+        )
+        for method in ("NNLS", "Bellamy (full)")
+        for task in ("interpolation", "extrapolation")
+    ]
+
+
+@pytest.fixture
+def stub_cross_context(monkeypatch):
+    """Replace the expensive cross-context runner with a canned result."""
+    import repro.eval.experiments as experiments
+
+    class FakeResult:
+        records = _fake_records()
+        pretrain_seconds = {"full": 1.0}
+        wall_seconds = 0.1
+        scale_name = "quick"
+
+    calls = {}
+
+    def fake_runner(dataset, scale, seed=0, n_workers=None, **kwargs):
+        calls["scale"] = scale
+        calls["seed"] = seed
+        calls["n_workers"] = n_workers
+        return FakeResult()
+
+    monkeypatch.setattr(experiments, "run_cross_context_experiment", fake_runner)
+    return calls
+
+
+class TestExperimentCommand:
+    def test_renders_tables(self, stub_cross_context, capsys):
+        rc = main(["experiment", "cross-context", "--scale", "quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[Fig 5 | interpolation MRE]" in out
+        assert "[Fig 6]" in out
+
+    def test_scale_and_seed_forwarded(self, stub_cross_context):
+        main(["experiment", "cross-context", "--scale", "smoke", "--seed", "7"])
+        assert stub_cross_context["scale"].name == "smoke"
+        assert stub_cross_context["seed"] == 7
+
+    def test_workers_forwarded(self, stub_cross_context):
+        main(["experiment", "cross-context", "--workers", "3"])
+        assert stub_cross_context["n_workers"] == 3
+
+    def test_tables_written_to_out(self, stub_cross_context, tmp_path, capsys):
+        rc = main(
+            ["experiment", "cross-context", "--out", str(tmp_path / "reports")]
+        )
+        assert rc == 0
+        written = sorted(p.name for p in (tmp_path / "reports").glob("*.txt"))
+        assert "fig5_interpolation.txt" in written
+        assert "fig6_mae.txt" in written
+
+    def test_records_exported(self, stub_cross_context, tmp_path):
+        records_path = tmp_path / "records.json"
+        rc = main(
+            ["experiment", "cross-context", "--records", str(records_path)]
+        )
+        assert rc == 0
+        records = load_records(records_path)
+        assert len(records) == 4
+        assert {r.method for r in records} == {"NNLS", "Bellamy (full)"}

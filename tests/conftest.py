@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_bell_dataset, generate_c3o_dataset
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def c3o_dataset() -> ExecutionDataset:
+    """The full synthetic C3O dataset (expensive; generated once per session)."""
+    return generate_c3o_dataset(seed=0)
+
+
+@pytest.fixture(scope="session")
+def bell_dataset() -> ExecutionDataset:
+    """The full synthetic Bell dataset."""
+    return generate_bell_dataset(seed=0)
+
+
+@pytest.fixture()
+def sgd_context() -> JobContext:
+    """A representative SGD cloud context."""
+    return JobContext(
+        algorithm="sgd",
+        node_type="m4.2xlarge",
+        dataset_mb=19353,
+        dataset_characteristics="dense-features",
+        job_params=(("max_iterations", "25"), ("step_size", "1.0")),
+    )
+
+
+@pytest.fixture()
+def small_context_dataset(sgd_context) -> ExecutionDataset:
+    """Executions of one context over the C3O scale-out grid (3 repeats)."""
+    generator = TraceGenerator(seed=7)
+    return ExecutionDataset(
+        generator.executions_for_context(sgd_context, (2, 4, 6, 8, 10, 12), 3)
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A seeded generator for test-local randomness."""
+    return np.random.default_rng(1234)

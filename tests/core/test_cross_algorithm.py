@@ -1,0 +1,108 @@
+"""Tests for cross-algorithm pre-training (repro.core.cross_algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cross_algorithm import (
+    PER_ALGORITHM,
+    TRANSFER_ONLY,
+    UNION,
+    pretrain_cross_algorithm,
+    run_cross_algorithm_experiment,
+)
+from repro.data.c3o import generate_c3o_contexts
+from repro.data.dataset import ExecutionDataset
+from repro.eval.experiments.common import SMOKE_SCALE
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def mixed_dataset():
+    """A small grep+sgd dataset (two algorithms, three contexts each)."""
+    contexts = [
+        c
+        for c in generate_c3o_contexts(seed=4)
+        if c.algorithm in ("grep", "sgd")
+    ]
+    by_algo: dict = {}
+    for c in contexts:
+        by_algo.setdefault(c.algorithm, []).append(c)
+    generator = TraceGenerator(seed=4)
+    dataset = ExecutionDataset()
+    for algo in ("grep", "sgd"):
+        for context in by_algo[algo][:3]:
+            dataset.extend(generator.executions_for_context(context, (2, 4, 6, 8), 2))
+    return dataset
+
+
+class TestPretrainCrossAlgorithm:
+    def test_union_corpus_trains(self, mixed_dataset):
+        result = pretrain_cross_algorithm(mixed_dataset, epochs=20, seed=0)
+        assert result.variant == "cross-algorithm"
+        assert result.algorithm == "*"
+        assert result.n_samples == len(mixed_dataset)
+
+    def test_algorithm_subset(self, mixed_dataset):
+        result = pretrain_cross_algorithm(
+            mixed_dataset, algorithms=("grep",), epochs=10, seed=0
+        )
+        grep_count = len(mixed_dataset.for_algorithm("grep"))
+        assert result.n_samples == grep_count
+
+    def test_subset_case_insensitive(self, mixed_dataset):
+        result = pretrain_cross_algorithm(
+            mixed_dataset, algorithms=("GREP",), epochs=5, seed=0
+        )
+        assert result.n_samples == len(mixed_dataset.for_algorithm("grep"))
+
+    def test_empty_corpus_rejected(self, mixed_dataset):
+        with pytest.raises(ValueError, match="empty"):
+            pretrain_cross_algorithm(mixed_dataset, algorithms=("sort",), epochs=5)
+
+    def test_model_predicts_both_algorithms(self, mixed_dataset):
+        model = pretrain_cross_algorithm(mixed_dataset, epochs=25, seed=0).model
+        model.eval()
+        for algorithm in ("grep", "sgd"):
+            context = mixed_dataset.for_algorithm(algorithm).contexts()[0]
+            prediction = model.predict_one(context, 6)
+            assert np.isfinite(prediction) and prediction >= 0
+
+    def test_job_name_codes_distinguish_algorithms(self, mixed_dataset):
+        """Contexts of different algorithms receive different property codes."""
+        model = pretrain_cross_algorithm(mixed_dataset, epochs=10, seed=0).model
+        grep_ctx = mixed_dataset.for_algorithm("grep").contexts()[0]
+        sgd_ctx = mixed_dataset.for_algorithm("sgd").contexts()[0]
+        assert not np.allclose(
+            model.property_codes(grep_ctx), model.property_codes(sgd_ctx)
+        )
+
+
+class TestCrossAlgorithmExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, mixed_dataset):
+        return run_cross_algorithm_experiment(
+            mixed_dataset,
+            scale=SMOKE_SCALE,
+            seed=0,
+            algorithms=("sgd",),
+            contexts_per_algorithm=1,
+        )
+
+    def test_three_methods_evaluated(self, result):
+        assert set(result.methods()) == {PER_ALGORITHM, UNION, TRANSFER_ONLY}
+
+    def test_records_cover_both_tasks(self, result):
+        assert {r.task for r in result.records} == {"interpolation", "extrapolation"}
+
+    def test_pretrain_seconds_per_method(self, result):
+        for label in (PER_ALGORITHM, UNION, TRANSFER_ONLY):
+            assert result.pretrain_seconds[label] > 0.0
+
+    def test_wall_clock_recorded(self, result):
+        assert result.wall_seconds > 0.0
+
+    def test_zero_shot_records_exist(self, result):
+        zeroshot = [r for r in result.records if r.n_train == 0]
+        assert zeroshot, "pre-trained methods should produce zero-shot records"

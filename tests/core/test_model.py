@@ -1,0 +1,171 @@
+"""Tests of the assembled Bellamy model (components, forward, persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.components import AutoEncoder, ScaleOutNetwork
+from repro.core.config import BellamyConfig
+from repro.core.features import BellamyFeaturizer
+from repro.core.model import BellamyModel
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def model() -> BellamyModel:
+    return BellamyModel(BellamyConfig(seed=0))
+
+
+class TestComponents:
+    def test_scaleout_network_shapes(self):
+        net = ScaleOutNetwork(BellamyConfig())
+        out = net(Tensor(np.zeros((5, 3))))
+        assert out.shape == (5, 8)
+
+    def test_autoencoder_shapes(self):
+        ae = AutoEncoder(BellamyConfig())
+        ae.eval()
+        out = ae(Tensor(np.zeros((7, 40))))
+        assert out.shape == (7, 40)
+        codes = ae.encode(Tensor(np.zeros((7, 40))))
+        assert codes.shape == (7, 4)
+
+    def test_autoencoder_has_no_biases(self):
+        ae = AutoEncoder(BellamyConfig())
+        assert all("bias" not in name for name, _ in ae.named_parameters())
+
+    def test_decoder_output_bounded_by_tanh(self):
+        ae = AutoEncoder(BellamyConfig())
+        ae.eval()
+        out = ae(Tensor(np.random.default_rng(0).normal(size=(20, 40))))
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_parameter_count_is_small(self, model):
+        # The paper's architecture is tiny; sanity-bound the total.
+        assert model.num_parameters() < 2500
+
+
+class TestForward:
+    def test_forward_shapes(self, model, sgd_context):
+        featurizer = model.featurizer
+        raw, props = featurizer.build_context_arrays(sgd_context, [2, 4, 6])
+        model.fit_scaler(raw)
+        prediction, reconstruction, flat = model.forward(
+            Tensor(model.scaler.transform(raw)), Tensor(props)
+        )
+        assert prediction.shape == (3,)
+        assert reconstruction.shape == (3 * 7, 40)
+        assert flat.shape == (3 * 7, 40)
+
+    def test_forward_rejects_missing_optional(self, model):
+        with pytest.raises(ValueError):
+            model.forward(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4, 40))))
+
+    def test_predict_requires_fitted_scaler(self, model, sgd_context):
+        with pytest.raises(RuntimeError):
+            model.predict(sgd_context, [2, 4])
+
+    def test_predict_returns_seconds(self, model, sgd_context):
+        raw, _ = model.featurizer.build_context_arrays(sgd_context, [2, 4, 6, 8])
+        model.fit_scaler(raw)
+        model.runtime_scale = 100.0
+        out = model.predict(sgd_context, [2, 4])
+        assert out.shape == (2,)
+        assert np.isfinite(out).all()
+
+    def test_predict_preserves_training_mode(self, model, sgd_context):
+        raw, _ = model.featurizer.build_context_arrays(sgd_context, [2, 4])
+        model.fit_scaler(raw)
+        model.train()
+        model.predict(sgd_context, [2])
+        assert model.training
+
+    def test_predict_deterministic_in_eval(self, model, sgd_context):
+        raw, _ = model.featurizer.build_context_arrays(sgd_context, [2, 4])
+        model.fit_scaler(raw)
+        a = model.predict(sgd_context, [2, 4])
+        b = model.predict(sgd_context, [2, 4])
+        np.testing.assert_array_equal(a, b)
+
+    def test_property_codes_shape(self, model, sgd_context):
+        codes = model.property_codes(sgd_context)
+        assert codes.shape == (7, 4)  # 4 essential + 3 optional
+
+
+class TestRuntimeScaling:
+    def test_set_runtime_scale_percentile(self, model):
+        model.set_runtime_scale(np.array([10.0, 100.0, 1000.0]), percentile=100.0)
+        assert model.runtime_scale == pytest.approx(1000.0)
+
+    def test_normalize_denormalize_roundtrip(self, model):
+        model.runtime_scale = 250.0
+        values = np.array([10.0, 500.0])
+        np.testing.assert_allclose(
+            model.denormalize_runtimes(model.normalize_runtimes(values)), values
+        )
+
+    def test_empty_runtimes_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.set_runtime_scale(np.array([]))
+
+
+class TestPersistence:
+    def test_full_state_roundtrip(self, model, sgd_context):
+        raw, _ = model.featurizer.build_context_arrays(sgd_context, [2, 4, 8])
+        model.fit_scaler(raw)
+        model.set_runtime_scale(np.array([50.0, 100.0]))
+        clone = BellamyModel(model.config)
+        clone.load_full_state_dict(model.full_state_dict())
+        np.testing.assert_allclose(
+            clone.predict(sgd_context, [2, 4, 8]),
+            model.predict(sgd_context, [2, 4, 8]),
+        )
+        assert clone.runtime_scale == model.runtime_scale
+
+    def test_state_contains_scaler_and_scale(self, model):
+        model.fit_scaler(np.array([[0.1, 0.0, 2.0], [0.5, 2.0, 12.0]]))
+        state = model.full_state_dict()
+        assert "__scaler__.min" in state
+        assert "__runtime_scale__" in state
+
+    def test_weights_only_roundtrip_excludes_scaler(self, model):
+        state = model.state_dict()
+        assert all(not key.startswith("__") for key in state)
+
+
+class TestFeaturizer:
+    def test_context_arrays_broadcast_properties(self, sgd_context):
+        featurizer = BellamyFeaturizer(BellamyConfig())
+        raw, props = featurizer.build_context_arrays(sgd_context, [2, 4, 6])
+        assert raw.shape == (3, 3)
+        assert props.shape == (3, 7, 40)
+        np.testing.assert_array_equal(props[0], props[2])
+
+    def test_context_encoding_cached(self, sgd_context):
+        featurizer = BellamyFeaturizer(BellamyConfig())
+        a = featurizer.encode_context(sgd_context)
+        b = featurizer.encode_context(sgd_context)
+        assert a is b
+
+    def test_build_arrays_from_dataset(self, small_context_dataset):
+        featurizer = BellamyFeaturizer(BellamyConfig())
+        raw, props, runtimes = featurizer.build_arrays(small_context_dataset)
+        n = len(small_context_dataset)
+        assert raw.shape == (n, 3)
+        assert props.shape == (n, 7, 40)
+        assert runtimes.shape == (n,)
+
+    def test_empty_dataset_rejected(self):
+        from repro.data.dataset import ExecutionDataset
+
+        featurizer = BellamyFeaturizer(BellamyConfig())
+        with pytest.raises(ValueError):
+            featurizer.build_arrays(ExecutionDataset())
+
+    def test_properties_per_sample(self):
+        assert BellamyFeaturizer(BellamyConfig()).properties_per_sample == 7
+        assert (
+            BellamyFeaturizer(BellamyConfig(use_optional=False)).properties_per_sample
+            == 4
+        )

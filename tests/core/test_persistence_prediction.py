@@ -1,0 +1,131 @@
+"""Tests of the model store and the RuntimeModel adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.core.persistence import ModelStore
+from repro.core.prediction import BellamyRuntimeModel
+from repro.core.finetuning import FinetuneStrategy
+
+
+@pytest.fixture()
+def fitted_model(sgd_context) -> BellamyModel:
+    model = BellamyModel(BellamyConfig(seed=3))
+    raw, _ = model.featurizer.build_context_arrays(sgd_context, [2, 4, 8, 12])
+    model.fit_scaler(raw)
+    model.set_runtime_scale(np.array([100.0, 300.0]))
+    return model
+
+
+class TestModelStore:
+    def test_save_load_roundtrip(self, tmp_path, fitted_model, sgd_context):
+        store = ModelStore(tmp_path)
+        store.save("sgd-full", fitted_model, metadata={"algorithm": "sgd"})
+        loaded = store.load("sgd-full")
+        np.testing.assert_allclose(
+            loaded.predict(sgd_context, [2, 6]),
+            fitted_model.predict(sgd_context, [2, 6]),
+        )
+
+    def test_metadata_roundtrip(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model, metadata={"contexts": 29})
+        assert store.metadata("m") == {"contexts": 29}
+
+    def test_loaded_model_in_eval_mode(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        assert not store.load("m").training
+
+    def test_exists_names_delete(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        assert not store.exists("m")
+        store.save("m", fitted_model)
+        assert store.exists("m")
+        assert store.names() == ["m"]
+        store.delete("m")
+        assert store.names() == []
+
+    def test_missing_model_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelStore(tmp_path).load("ghost")
+
+    def test_unsafe_names_rejected(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save("../escape", fitted_model)
+        with pytest.raises(ValueError):
+            store.save("a/b", fitted_model)
+
+    def test_overwrite_allowed(self, tmp_path, fitted_model):
+        store = ModelStore(tmp_path)
+        store.save("m", fitted_model)
+        store.save("m", fitted_model)
+        assert store.names() == ["m"]
+
+
+class TestBellamyRuntimeModel:
+    def test_zero_shot_uses_base(self, fitted_model, sgd_context):
+        adapter = BellamyRuntimeModel(sgd_context, base_model=fitted_model)
+        adapter.fit(np.array([]), np.array([]))
+        np.testing.assert_allclose(
+            adapter.predict(np.array([4.0])),
+            fitted_model.predict(sgd_context, [4.0]),
+        )
+        assert adapter.epochs_trained == 0
+        assert adapter.fit_seconds == 0.0
+
+    def test_local_variant_requires_data(self, sgd_context):
+        adapter = BellamyRuntimeModel(sgd_context, base_model=None)
+        with pytest.raises(ValueError):
+            adapter.fit(np.array([]), np.array([]))
+
+    def test_local_variant_min_train_points(self, sgd_context):
+        adapter = BellamyRuntimeModel(sgd_context, base_model=None)
+        assert adapter.min_train_points == 1
+
+    def test_fit_finetunes_copy(self, fitted_model, sgd_context):
+        adapter = BellamyRuntimeModel(
+            sgd_context, base_model=fitted_model, max_epochs=15
+        )
+        before = {k: v.copy() for k, v in fitted_model.state_dict().items()}
+        adapter.fit(np.array([2.0, 8.0]), np.array([300.0, 120.0]))
+        for key, value in fitted_model.state_dict().items():
+            np.testing.assert_array_equal(before[key], value)
+        assert adapter.epochs_trained > 0
+        assert adapter.fit_seconds > 0
+
+    def test_variant_labels(self, fitted_model, sgd_context):
+        assert (
+            BellamyRuntimeModel(sgd_context, base_model=None).name == "Bellamy (local)"
+        )
+        assert (
+            BellamyRuntimeModel(
+                sgd_context,
+                base_model=fitted_model,
+                strategy=FinetuneStrategy.FULL_RESET,
+            ).name
+            == "Bellamy (full-reset)"
+        )
+
+    def test_predict_without_any_model_raises(self, sgd_context):
+        adapter = BellamyRuntimeModel(sgd_context, base_model=None)
+        with pytest.raises(RuntimeError):
+            adapter.predict(np.array([2.0]))
+
+    def test_local_fit_then_predict(self, sgd_context):
+        adapter = BellamyRuntimeModel(
+            sgd_context,
+            base_model=None,
+            config=BellamyConfig(seed=0),
+            max_epochs=60,
+            seed=5,
+        )
+        adapter.fit(np.array([2.0, 6.0, 12.0]), np.array([300.0, 180.0, 200.0]))
+        out = adapter.predict(np.array([4.0, 8.0]))
+        assert out.shape == (2,)
+        assert np.isfinite(out).all()

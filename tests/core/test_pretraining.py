@@ -1,0 +1,113 @@
+"""Tests of pre-training and corpus policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BellamyConfig
+from repro.core.pretraining import (
+    filter_distinct_contexts,
+    pretrain,
+    pretrain_with_search,
+)
+
+
+class TestFilterDistinctContexts:
+    def test_excludes_same_node_type(self, c3o_dataset):
+        sgd = c3o_dataset.for_algorithm("sgd")
+        target = sgd.contexts()[0]
+        filtered = filter_distinct_contexts(sgd, target)
+        assert all(
+            e.context.node_type != target.node_type for e in filtered
+        )
+
+    def test_excludes_same_characteristics_and_params(self, c3o_dataset):
+        sgd = c3o_dataset.for_algorithm("sgd")
+        target = sgd.contexts()[0]
+        filtered = filter_distinct_contexts(sgd, target)
+        for execution in filtered:
+            assert execution.context.dataset_characteristics != target.dataset_characteristics
+            assert execution.context.params_text != target.params_text
+
+    def test_dataset_size_margin(self, c3o_dataset):
+        sgd = c3o_dataset.for_algorithm("sgd")
+        target = sgd.contexts()[0]
+        filtered = filter_distinct_contexts(sgd, target, size_margin=0.20)
+        for execution in filtered:
+            relative = abs(execution.context.dataset_mb - target.dataset_mb) / target.dataset_mb
+            assert relative >= 0.20
+
+    def test_target_itself_excluded(self, c3o_dataset):
+        sgd = c3o_dataset.for_algorithm("sgd")
+        target = sgd.contexts()[0]
+        filtered = filter_distinct_contexts(sgd, target)
+        assert all(e.context.context_id != target.context_id for e in filtered)
+
+    def test_filtered_is_subset(self, c3o_dataset):
+        sgd = c3o_dataset.for_algorithm("sgd")
+        target = sgd.contexts()[0]
+        assert len(filter_distinct_contexts(sgd, target)) < len(sgd)
+
+
+class TestPretrain:
+    def test_result_metadata(self, c3o_dataset):
+        result = pretrain(c3o_dataset, "grep", epochs=10, seed=0)
+        assert result.algorithm == "grep"
+        assert result.n_samples == len(c3o_dataset.for_algorithm("grep"))
+        assert result.n_contexts == 27
+        assert result.wall_seconds > 0
+        assert result.validation_mae is not None
+
+    def test_model_is_usable_after_pretraining(self, c3o_dataset):
+        result = pretrain(c3o_dataset, "grep", epochs=10, seed=0)
+        context = c3o_dataset.for_algorithm("grep").contexts()[0]
+        predictions = result.model.predict(context, [2, 4, 8])
+        assert np.isfinite(predictions).all()
+
+    def test_scaler_fitted_and_scale_set(self, c3o_dataset):
+        result = pretrain(c3o_dataset, "grep", epochs=5, seed=0)
+        assert result.model.scaler.is_fit
+        assert result.model.runtime_scale > 1.0
+
+    def test_loss_decreases(self, c3o_dataset):
+        result = pretrain(c3o_dataset, "sgd", epochs=60, seed=0)
+        history = result.train_result.history
+        first = np.mean([h["loss"] for h in history[:5]])
+        last = np.mean([h["loss"] for h in history[-5:]])
+        assert last < first
+
+    def test_unknown_algorithm_rejected(self, c3o_dataset):
+        with pytest.raises(ValueError):
+            pretrain(c3o_dataset, "wordcount", epochs=5)
+
+    def test_deterministic_given_seed(self, c3o_dataset):
+        a = pretrain(c3o_dataset, "grep", epochs=5, seed=11)
+        b = pretrain(c3o_dataset, "grep", epochs=5, seed=11)
+        for key, value in a.model.state_dict().items():
+            np.testing.assert_array_equal(value, b.model.state_dict()[key])
+
+    def test_seed_changes_model(self, c3o_dataset):
+        a = pretrain(c3o_dataset, "grep", epochs=5, seed=1)
+        b = pretrain(c3o_dataset, "grep", epochs=5, seed=2)
+        diffs = [
+            np.abs(a.model.state_dict()[k] - b.model.state_dict()[k]).max()
+            for k in a.model.state_dict()
+        ]
+        assert max(diffs) > 0
+
+
+class TestPretrainWithSearch:
+    def test_search_returns_best_of_trials(self, c3o_dataset):
+        result = pretrain_with_search(
+            c3o_dataset, "grep", n_samples=2, epochs=5, seed=0
+        )
+        assert result.hyperparameters["dropout"] in (0.05, 0.10, 0.20)
+        assert result.hyperparameters["learning_rate"] in (1e-1, 1e-2, 1e-3)
+        assert result.hyperparameters["weight_decay"] in (1e-2, 1e-3, 1e-4)
+
+    def test_search_samples_from_table_grid(self, c3o_dataset):
+        result = pretrain_with_search(
+            c3o_dataset, "grep", n_samples=1, epochs=3, seed=4
+        )
+        assert result.validation_mae is not None

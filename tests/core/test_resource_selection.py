@@ -1,0 +1,128 @@
+"""Tests of resource selection from runtime predictions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ernest import ErnestModel
+from repro.core.resource_selection import (
+    evaluate_candidates,
+    select_scaleout,
+)
+
+
+def linear_speedup(machines: np.ndarray) -> np.ndarray:
+    """Toy predictor: runtime = 600 / x seconds."""
+    return 600.0 / np.asarray(machines, dtype=np.float64)
+
+
+CANDIDATES = [2, 4, 6, 8, 10, 12]
+
+
+class TestEvaluateCandidates:
+    def test_all_candidates_scored(self):
+        evaluations = evaluate_candidates(linear_speedup, CANDIDATES)
+        assert [e.machines for e in evaluations] == CANDIDATES
+
+    def test_duplicates_removed_and_sorted(self):
+        evaluations = evaluate_candidates(linear_speedup, [8, 2, 8, 4])
+        assert [e.machines for e in evaluations] == [2, 4, 8]
+
+    def test_cost_computation(self):
+        evaluations = evaluate_candidates(
+            linear_speedup, [2], price_per_machine_hour=3.6
+        )
+        # runtime 300 s = 1/12 h; cost = 2 machines * 3.6 $/h / 12 = 0.6 $.
+        assert evaluations[0].predicted_cost == pytest.approx(0.6)
+
+    def test_target_flag(self):
+        evaluations = evaluate_candidates(
+            linear_speedup, CANDIDATES, runtime_target_s=100.0
+        )
+        meets = {e.machines: e.meets_target for e in evaluations}
+        assert not meets[2]  # 300 s
+        assert meets[6]  # 100 s
+        assert meets[12]  # 50 s
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_candidates(linear_speedup, [])
+
+    def test_nonpositive_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_candidates(linear_speedup, [0, 2])
+
+
+class TestSelectScaleout:
+    def test_min_machines_meets_target(self):
+        recommendation = select_scaleout(
+            linear_speedup, CANDIDATES, runtime_target_s=100.0
+        )
+        assert recommendation.satisfiable
+        assert recommendation.chosen.machines == 6
+
+    def test_unsatisfiable_target(self):
+        recommendation = select_scaleout(
+            linear_speedup, CANDIDATES, runtime_target_s=10.0
+        )
+        assert not recommendation.satisfiable
+        assert recommendation.chosen is None
+        assert len(recommendation.candidates) == len(CANDIDATES)
+
+    def test_min_runtime_objective(self):
+        recommendation = select_scaleout(
+            linear_speedup, CANDIDATES, objective="min_runtime"
+        )
+        assert recommendation.chosen.machines == 12
+
+    def test_min_cost_objective(self):
+        # With a U-shaped runtime curve, cost = x * t(x) has an interior optimum.
+        def u_shaped(machines):
+            machines = np.asarray(machines, dtype=np.float64)
+            return 600.0 / machines + 10.0 * machines
+
+        recommendation = select_scaleout(
+            u_shaped,
+            CANDIDATES,
+            objective="min_cost",
+            price_per_machine_hour=1.0,
+        )
+        costs = {
+            e.machines: e.predicted_cost for e in recommendation.candidates
+        }
+        assert recommendation.chosen.predicted_cost == min(costs.values())
+
+    def test_min_cost_requires_price(self):
+        with pytest.raises(ValueError):
+            select_scaleout(linear_speedup, CANDIDATES, objective="min_cost")
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            select_scaleout(linear_speedup, CANDIDATES, objective="fastest")
+
+    def test_works_with_runtime_model(self):
+        machines = np.array([2.0, 4.0, 8.0, 12.0])
+        runtimes = 600.0 / machines + 5.0
+        model = ErnestModel().fit(machines, runtimes)
+        recommendation = select_scaleout(model, CANDIDATES, runtime_target_s=80.0)
+        assert recommendation.satisfiable
+
+    def test_works_with_bellamy_model(self, sgd_context):
+        from repro.core.config import BellamyConfig
+        from repro.core.model import BellamyModel
+
+        model = BellamyModel(BellamyConfig(seed=0))
+        raw, _ = model.featurizer.build_context_arrays(sgd_context, CANDIDATES)
+        model.fit_scaler(raw)
+        recommendation = select_scaleout(
+            model, CANDIDATES, context=sgd_context, objective="min_runtime"
+        )
+        assert recommendation.chosen is not None
+
+    def test_bellamy_model_requires_context(self):
+        from repro.core.config import BellamyConfig
+        from repro.core.model import BellamyModel
+
+        with pytest.raises(ValueError):
+            select_scaleout(BellamyModel(BellamyConfig()), CANDIDATES)

@@ -1,0 +1,112 @@
+"""Tests of the ExecutionDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+
+
+def make_dataset() -> ExecutionDataset:
+    contexts = [
+        JobContext("grep", "m4.xlarge", 1000, "mixed-lines", (("pattern", "a"),)),
+        JobContext("grep", "r4.xlarge", 2000, "long-lines", (("pattern", "b"),)),
+        JobContext("sort", "m4.xlarge", 3000, "uniform-keys"),
+    ]
+    executions = []
+    for context in contexts:
+        for machines in (2, 4):
+            for repeat in range(2):
+                executions.append(
+                    Execution(
+                        context=context,
+                        machines=machines,
+                        runtime_s=100.0 / machines + repeat,
+                        repeat=repeat,
+                    )
+                )
+    return ExecutionDataset(executions)
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        ds = make_dataset()
+        assert len(ds) == 12
+        assert ds[0].machines == 2
+        assert sum(1 for _ in ds) == 12
+
+    def test_add_extend(self):
+        ds = ExecutionDataset()
+        src = make_dataset()
+        ds.add(src[0])
+        ds.extend([src[1], src[2]])
+        assert len(ds) == 3
+
+
+class TestGrouping:
+    def test_algorithms_order(self):
+        assert make_dataset().algorithms() == ["grep", "sort"]
+
+    def test_for_algorithm(self):
+        assert len(make_dataset().for_algorithm("grep")) == 8
+
+    def test_for_algorithm_case_insensitive(self):
+        assert len(make_dataset().for_algorithm("GREP")) == 8
+
+    def test_contexts_unique(self):
+        assert len(make_dataset().contexts()) == 3
+
+    def test_by_context_partitions(self):
+        groups = make_dataset().by_context()
+        assert len(groups) == 3
+        assert sum(len(g) for g in groups.values()) == 12
+
+    def test_for_context_and_exclude(self):
+        ds = make_dataset()
+        cid = ds.contexts()[0].context_id
+        inside = ds.for_context(cid)
+        outside = ds.exclude_context(cid)
+        assert len(inside) + len(outside) == len(ds)
+        assert all(e.context.context_id == cid for e in inside)
+
+    def test_filter_predicate(self):
+        ds = make_dataset().filter(lambda e: e.machines == 4)
+        assert len(ds) == 6
+
+
+class TestArrays:
+    def test_machines_and_runtimes(self):
+        ds = make_dataset()
+        assert ds.machines_array().shape == (12,)
+        assert ds.runtimes_array().dtype == np.float64
+
+    def test_scaleouts_sorted_unique(self):
+        np.testing.assert_array_equal(make_dataset().scaleouts(), [2, 4])
+
+    def test_select_preserves_order(self):
+        ds = make_dataset()
+        subset = ds.select([3, 0])
+        assert subset[0] is ds[3]
+        assert subset[1] is ds[0]
+
+
+class TestStatistics:
+    def test_runtime_by_scaleout(self):
+        context_ds = make_dataset().by_context()
+        first = next(iter(context_ds.values()))
+        grouped = first.runtime_by_scaleout()
+        assert set(grouped) == {2, 4}
+        assert grouped[2].shape == (2,)
+
+    def test_mean_runtime_curve(self):
+        context_ds = next(iter(make_dataset().by_context().values()))
+        machines, means = context_ds.mean_runtime_curve()
+        np.testing.assert_array_equal(machines, [2, 4])
+        assert means[0] == pytest.approx(50.5)  # (50 + 51) / 2
+
+    def test_summary(self):
+        summary = make_dataset().summary()
+        assert summary["executions"] == 12
+        assert summary["contexts"] == 3

@@ -1,0 +1,125 @@
+"""Tests of the C3O/Bell dataset generators and CSV round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BELL_SCALEOUTS,
+    C3O_CONTEXT_COUNTS,
+    C3O_SCALEOUTS,
+    generate_bell_contexts,
+    generate_bell_dataset,
+    generate_c3o_contexts,
+    read_csv,
+    write_csv,
+)
+from repro.data.c3o import generate_c3o_dataset
+
+
+class TestC3OStructure:
+    def test_total_unique_experiments(self, c3o_dataset):
+        # 155 contexts x 6 scale-outs = 930 unique experiments (paper §IV-B).
+        pairs = {
+            (e.context.context_id, e.machines) for e in c3o_dataset
+        }
+        assert len(pairs) == 930
+
+    def test_record_count(self, c3o_dataset):
+        assert len(c3o_dataset) == 930 * 5
+
+    def test_context_counts_per_algorithm(self, c3o_dataset):
+        for algorithm, expected in C3O_CONTEXT_COUNTS.items():
+            assert len(c3o_dataset.for_algorithm(algorithm).contexts()) == expected
+
+    def test_scaleout_grid(self, c3o_dataset):
+        np.testing.assert_array_equal(c3o_dataset.scaleouts(), C3O_SCALEOUTS)
+
+    def test_five_repeats_each(self, c3o_dataset):
+        context_id = c3o_dataset.contexts()[0].context_id
+        subset = c3o_dataset.for_context(context_id)
+        assert len(subset) == 6 * 5
+
+    def test_contexts_unique(self):
+        contexts = generate_c3o_contexts(seed=0)
+        ids = [c.context_id for c in contexts]
+        assert len(ids) == len(set(ids))
+
+    def test_every_node_type_appears_per_algorithm(self, c3o_dataset):
+        from repro.simulator.nodes import cloud_node_names
+
+        for algorithm in ("pagerank", "sgd", "kmeans", "grep", "sort"):
+            nodes = {
+                c.node_type for c in c3o_dataset.for_algorithm(algorithm).contexts()
+            }
+            assert nodes == set(cloud_node_names())
+
+    def test_deterministic_in_seed(self):
+        a = generate_c3o_contexts(seed=3)
+        b = generate_c3o_contexts(seed=3)
+        assert [c.context_id for c in a] == [c.context_id for c in b]
+
+    def test_different_seed_changes_contexts(self):
+        a = generate_c3o_contexts(seed=3)
+        b = generate_c3o_contexts(seed=4)
+        assert [c.context_id for c in a] != [c.context_id for c in b]
+
+    def test_runtimes_positive_and_finite(self, c3o_dataset):
+        runtimes = c3o_dataset.runtimes_array()
+        assert (runtimes > 0).all()
+        assert np.isfinite(runtimes).all()
+
+    def test_environment_is_cloud(self, c3o_dataset):
+        assert all(c.environment == "cloud" for c in c3o_dataset.contexts())
+
+
+class TestBellStructure:
+    def test_three_single_context_algorithms(self, bell_dataset):
+        assert sorted(bell_dataset.algorithms()) == ["grep", "pagerank", "sgd"]
+        for algorithm in bell_dataset.algorithms():
+            assert len(bell_dataset.for_algorithm(algorithm).contexts()) == 1
+
+    def test_scaleout_grid_4_to_60(self, bell_dataset):
+        np.testing.assert_array_equal(bell_dataset.scaleouts(), BELL_SCALEOUTS)
+        assert len(BELL_SCALEOUTS) == 15
+
+    def test_seven_repeats(self, bell_dataset):
+        subset = bell_dataset.for_algorithm("grep")
+        assert len(subset) == 15 * 7
+
+    def test_environment_is_cluster(self):
+        for context in generate_bell_contexts():
+            assert context.environment == "cluster"
+            assert context.node_type == "cluster-node"
+            assert "2.0.0" in context.software
+
+    def test_total_records(self, bell_dataset):
+        assert len(bell_dataset) == 3 * 15 * 7
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path, bell_dataset):
+        path = tmp_path / "bell.csv"
+        write_csv(path, bell_dataset)
+        loaded = read_csv(path)
+        assert len(loaded) == len(bell_dataset)
+        for original, restored in zip(bell_dataset, loaded):
+            assert restored.context.context_id == original.context.context_id
+            assert restored.machines == original.machines
+            assert restored.runtime_s == pytest.approx(original.runtime_s, abs=1e-5)
+            assert restored.repeat == original.repeat
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("algorithm,machines\ngrep,2\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_malformed_params_rejected(self, tmp_path, bell_dataset):
+        path = tmp_path / "bell.csv"
+        write_csv(path, bell_dataset)
+        text = path.read_text().replace("pattern=computer", "patterncomputer")
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            read_csv(path)

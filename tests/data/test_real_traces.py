@@ -1,0 +1,140 @@
+"""Tests for the real-trace import adapters (repro.data.real_traces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.real_traces import (
+    BELL_DEFAULT_MAPPING,
+    C3O_DEFAULT_MAPPING,
+    ColumnMapping,
+    load_real_traces,
+    load_trace_directory,
+)
+
+C3O_STYLE_CSV = """\
+machine_count,instance_type,data_size_MB,data_characteristics,gross_runtime,iterations
+2,m4.xlarge,19353,dense,412.5,25
+4,m4.xlarge,19353,dense,265.0,25
+4,m4.xlarge,19353,dense,259.3,25
+8,r4.2xlarge,14540,sparse,180.1,100
+"""
+
+TSV_NO_CHARACTERISTICS = (
+    "scaleout\tnode_type\tinput_mb\tduration_s\n"
+    "4\tcluster-node\t60000\t900.0\n"
+    "8\tcluster-node\t60000\t520.0\n"
+)
+
+
+@pytest.fixture
+def c3o_file(tmp_path):
+    path = tmp_path / "sgd.csv"
+    path.write_text(C3O_STYLE_CSV, encoding="utf-8")
+    return path
+
+
+class TestColumnMapping:
+    def test_invalid_units_rejected(self):
+        with pytest.raises(ValueError, match="runtime_unit"):
+            ColumnMapping(runtime_unit="hours")
+        with pytest.raises(ValueError, match="size_unit"):
+            ColumnMapping(size_unit="tb")
+
+    def test_with_overrides(self):
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(machines="n_machines")
+        assert mapping.machines == "n_machines"
+        assert mapping.runtime == C3O_DEFAULT_MAPPING.runtime
+
+
+class TestLoadRealTraces:
+    def test_basic_load(self, c3o_file):
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(param_columns=("iterations",))
+        dataset = load_real_traces(c3o_file, mapping=mapping, algorithm="sgd")
+        assert len(dataset) == 4
+        assert dataset.algorithms() == ["sgd"]
+        assert len(dataset.contexts()) == 2
+
+    def test_repeat_numbering(self, c3o_file):
+        dataset = load_real_traces(c3o_file, algorithm="sgd")
+        at_four = [e for e in dataset if e.machines == 4]
+        assert sorted(e.repeat for e in at_four) == [0, 1]
+
+    def test_params_folded(self, c3o_file):
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(param_columns=("iterations",))
+        dataset = load_real_traces(c3o_file, mapping=mapping, algorithm="sgd")
+        assert dataset.contexts()[0].params == {"iterations": "25"}
+
+    def test_requires_algorithm(self, c3o_file):
+        with pytest.raises(ValueError, match="algorithm"):
+            load_real_traces(c3o_file)
+
+    def test_missing_column_reported(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="missing column"):
+            load_real_traces(path, algorithm="sgd")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "machine_count,instance_type,data_size_MB,gross_runtime\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="no execution rows"):
+            load_real_traces(path, algorithm="sgd")
+
+    def test_tsv_with_bell_mapping(self, tmp_path):
+        path = tmp_path / "grep.tsv"
+        path.write_text(TSV_NO_CHARACTERISTICS, encoding="utf-8")
+        dataset = load_real_traces(path, mapping=BELL_DEFAULT_MAPPING, algorithm="grep")
+        assert len(dataset) == 2
+        context = dataset.contexts()[0]
+        assert context.environment == "cluster"
+        assert context.dataset_characteristics == ""
+
+    def test_unit_conversion(self, tmp_path):
+        path = tmp_path / "gb.csv"
+        path.write_text(
+            "machine_count,instance_type,data_size_MB,gross_runtime\n"
+            "2,m4.xlarge,10,5000\n",
+            encoding="utf-8",
+        )
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(
+            size_unit="gb", runtime_unit="ms", characteristics=None
+        )
+        dataset = load_real_traces(path, mapping=mapping, algorithm="sort")
+        execution = dataset[0]
+        assert execution.context.dataset_mb == 10 * 1024
+        assert execution.runtime_s == pytest.approx(5.0)
+
+    def test_algorithm_column(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "job,machine_count,instance_type,data_size_MB,gross_runtime\n"
+            "Sort,2,m4.xlarge,1000,100\n"
+            "Grep,4,m4.xlarge,1000,50\n",
+            encoding="utf-8",
+        )
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(
+            algorithm_column="job", characteristics=None
+        )
+        dataset = load_real_traces(path, mapping=mapping)
+        assert sorted(dataset.algorithms()) == ["grep", "sort"]
+
+
+class TestLoadTraceDirectory:
+    def test_loads_per_algorithm_files(self, tmp_path):
+        for name in ("sort", "grep"):
+            (tmp_path / f"{name}.csv").write_text(
+                "machine_count,instance_type,data_size_MB,gross_runtime\n"
+                "2,m4.xlarge,1000,100\n",
+                encoding="utf-8",
+            )
+        mapping = C3O_DEFAULT_MAPPING.with_overrides(characteristics=None)
+        dataset = load_trace_directory(tmp_path, mapping=mapping)
+        assert sorted(dataset.algorithms()) == ["grep", "sort"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no files"):
+            load_trace_directory(tmp_path)

@@ -1,0 +1,88 @@
+"""Tests of the data schema (contexts, executions, parameter text form)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Execution, JobContext, params_to_text
+
+
+class TestParamsText:
+    def test_roundtrip_form(self):
+        assert params_to_text({"k": "10", "iterations": "20"}) == "k=10 iterations=20"
+
+    def test_empty(self):
+        assert params_to_text({}) == ""
+
+
+class TestJobContext:
+    def test_context_id_auto_derived(self, sgd_context):
+        assert sgd_context.context_id == sgd_context.descriptor()
+
+    def test_descriptor_unique_per_field(self, sgd_context):
+        other = JobContext(
+            algorithm=sgd_context.algorithm,
+            node_type="r4.2xlarge",  # only the node type differs
+            dataset_mb=sgd_context.dataset_mb,
+            dataset_characteristics=sgd_context.dataset_characteristics,
+            job_params=sgd_context.job_params,
+        )
+        assert other.context_id != sgd_context.context_id
+
+    def test_equal_fields_equal_ids(self, sgd_context):
+        clone = JobContext(
+            algorithm=sgd_context.algorithm,
+            node_type=sgd_context.node_type,
+            dataset_mb=sgd_context.dataset_mb,
+            dataset_characteristics=sgd_context.dataset_characteristics,
+            job_params=sgd_context.job_params,
+        )
+        assert clone.context_id == sgd_context.context_id
+
+    def test_essential_properties_order(self, sgd_context):
+        essential = sgd_context.essential_properties()
+        assert essential == [
+            19353,
+            "dense-features",
+            "max_iterations=25 step_size=1.0",
+            "m4.2xlarge",
+        ]
+
+    def test_optional_properties(self, sgd_context):
+        memory_mb, cores, name = sgd_context.optional_properties()
+        assert memory_mb == 32 * 1024
+        assert cores == 8
+        assert name == "sgd"
+
+    def test_node_lookup(self, sgd_context):
+        assert sgd_context.node.name == "m4.2xlarge"
+
+    def test_params_dict(self, sgd_context):
+        assert sgd_context.params == {"max_iterations": "25", "step_size": "1.0"}
+
+    def test_invalid_dataset_size(self):
+        with pytest.raises(ValueError):
+            JobContext(
+                algorithm="grep",
+                node_type="m4.xlarge",
+                dataset_mb=0,
+                dataset_characteristics="mixed-lines",
+            )
+
+    def test_frozen(self, sgd_context):
+        with pytest.raises(Exception):
+            sgd_context.algorithm = "other"
+
+
+class TestExecution:
+    def test_valid(self, sgd_context):
+        execution = Execution(context=sgd_context, machines=4, runtime_s=120.0)
+        assert execution.machines == 4
+
+    def test_invalid_machines(self, sgd_context):
+        with pytest.raises(ValueError):
+            Execution(context=sgd_context, machines=0, runtime_s=10.0)
+
+    def test_invalid_runtime(self, sgd_context):
+        with pytest.raises(ValueError):
+            Execution(context=sgd_context, machines=2, runtime_s=-1.0)

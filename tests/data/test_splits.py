@@ -1,0 +1,129 @@
+"""Tests (incl. property tests) of the sub-sampling CV split protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import Split, sample_split, split_arrays, subsample_splits
+from repro.data.splits import test_point as get_test_point
+
+
+class TestSampleSplit:
+    def test_train_scaleouts_pairwise_different(self, small_context_dataset, rng):
+        for _ in range(30):
+            split = sample_split(small_context_dataset, 3, rng)
+            machines, _ = split_arrays(small_context_dataset, split)
+            assert len(np.unique(machines)) == 3
+
+    def test_interpolation_point_strictly_inside(self, small_context_dataset, rng):
+        for _ in range(30):
+            split = sample_split(small_context_dataset, 3, rng)
+            if split.interpolation_index is None:
+                continue
+            machines, _ = split_arrays(small_context_dataset, split)
+            test_machines, _ = get_test_point(small_context_dataset, split, "interpolation")
+            assert machines.min() < test_machines < machines.max()
+            assert test_machines not in machines
+
+    def test_extrapolation_point_outside(self, small_context_dataset, rng):
+        for _ in range(30):
+            split = sample_split(small_context_dataset, 2, rng)
+            if split.extrapolation_index is None:
+                continue
+            machines, _ = split_arrays(small_context_dataset, split)
+            test_machines, _ = get_test_point(small_context_dataset, split, "extrapolation")
+            assert test_machines < machines.min() or test_machines > machines.max()
+
+    def test_zero_train_points(self, small_context_dataset, rng):
+        split = sample_split(small_context_dataset, 0, rng)
+        assert split.n_train == 0
+        assert split.interpolation_index is None
+        assert split.extrapolation_index is not None
+
+    def test_all_scaleouts_used_leaves_no_extrapolation(
+        self, small_context_dataset, rng
+    ):
+        split = sample_split(small_context_dataset, 6, rng)
+        assert split.extrapolation_index is None
+
+    def test_too_many_train_points_returns_none(self, small_context_dataset, rng):
+        assert sample_split(small_context_dataset, 7, rng) is None
+
+    def test_require_flags(self, small_context_dataset, rng):
+        split = sample_split(
+            small_context_dataset, 6, rng, require_extrapolation=True
+        )
+        assert split is None  # no scale-out left outside the range
+
+    def test_negative_n_train_raises(self, small_context_dataset, rng):
+        with pytest.raises(ValueError):
+            sample_split(small_context_dataset, -1, rng)
+
+
+class TestSubsampleSplits:
+    def test_unique_signatures(self, small_context_dataset):
+        splits = subsample_splits(small_context_dataset, 3, 50, seed=0)
+        signatures = [split.signature() for split in splits]
+        assert len(signatures) == len(set(signatures))
+
+    def test_respects_max_splits(self, small_context_dataset):
+        splits = subsample_splits(small_context_dataset, 2, 5, seed=0)
+        assert len(splits) <= 5
+
+    def test_deterministic_given_seed(self, small_context_dataset):
+        a = subsample_splits(small_context_dataset, 3, 10, seed=42)
+        b = subsample_splits(small_context_dataset, 3, 10, seed=42)
+        assert [s.signature() for s in a] == [s.signature() for s in b]
+
+    def test_different_seeds_differ(self, small_context_dataset):
+        a = subsample_splits(small_context_dataset, 3, 10, seed=1)
+        b = subsample_splits(small_context_dataset, 3, 10, seed=2)
+        assert [s.signature() for s in a] != [s.signature() for s in b]
+
+    def test_impossible_request_returns_empty(self, small_context_dataset):
+        assert subsample_splits(small_context_dataset, 12, 10, seed=0) == []
+
+    def test_max_splits_validation(self, small_context_dataset):
+        with pytest.raises(ValueError):
+            subsample_splits(small_context_dataset, 2, 0, seed=0)
+
+    @given(st.integers(0, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_seed(self, n_train, seed):
+        # Build a deterministic miniature dataset inline (hypothesis forbids
+        # function-scoped fixtures).
+        from repro.data.dataset import ExecutionDataset
+        from repro.data.schema import Execution, JobContext
+
+        context = JobContext("grep", "m4.xlarge", 1000, "mixed-lines")
+        executions = [
+            Execution(context=context, machines=m, runtime_s=100.0 / m + r, repeat=r)
+            for m in (2, 4, 6, 8, 10, 12)
+            for r in range(2)
+        ]
+        dataset = ExecutionDataset(executions)
+        for split in subsample_splits(dataset, n_train, 5, seed=seed):
+            machines, runtimes = split_arrays(dataset, split)
+            assert len(np.unique(machines)) == n_train
+            assert (runtimes > 0).all()
+            inter = get_test_point(dataset, split, "interpolation")
+            if inter is not None:
+                assert machines.min() < inter[0] < machines.max()
+            extra = get_test_point(dataset, split, "extrapolation")
+            if extra is not None and n_train > 0:
+                assert extra[0] < machines.min() or extra[0] > machines.max()
+
+
+class TestHelpers:
+    def test_test_point_invalid_task(self, small_context_dataset, rng):
+        split = sample_split(small_context_dataset, 2, rng)
+        with pytest.raises(ValueError):
+            get_test_point(small_context_dataset, split, "sideways")
+
+    def test_split_properties(self):
+        split = Split(train_indices=(3, 1), interpolation_index=5, extrapolation_index=None)
+        assert split.n_train == 2
+        assert split.signature() == ((1, 3), 5, None)

@@ -1,0 +1,147 @@
+"""Tests for canonical graphs and their encodings (builders + features)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import JobContext
+from repro.dataflow.builders import graph_for_algorithm, graph_for_context
+from repro.dataflow.features import (
+    NODE_FEATURE_DIM,
+    GraphFeaturizer,
+    graph_node_features,
+    graph_summary_vector,
+    graph_text,
+    normalized_adjacency,
+)
+from repro.dataflow.graph import OperatorKind
+from repro.simulator.algorithms import C3O_ALGORITHMS
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("algorithm", C3O_ALGORITHMS)
+    def test_every_algorithm_has_a_graph(self, algorithm):
+        graph = graph_for_algorithm(algorithm)
+        assert len(graph) >= 3
+        assert graph.sources() and graph.sinks()
+        assert graph.name == algorithm
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="no dataflow graph"):
+            graph_for_algorithm("wordcount")
+
+    def test_case_insensitive(self):
+        assert graph_for_algorithm("SGD").name == "sgd"
+
+    def test_iterative_algorithms_have_loops(self):
+        for algorithm in ("sgd", "kmeans", "pagerank"):
+            graph = graph_for_algorithm(algorithm)
+            assert graph.loop_body(), algorithm
+            assert graph.iterations > 1
+
+    def test_batch_algorithms_have_no_loops(self):
+        for algorithm in ("grep", "sort"):
+            graph = graph_for_algorithm(algorithm)
+            assert not graph.loop_body()
+            assert graph.iterations == 1
+
+    def test_params_flow_into_iterations(self):
+        sparse = graph_for_algorithm("sgd", {"max_iterations": "25"})
+        dense = graph_for_algorithm("sgd", {"max_iterations": "100"})
+        assert sparse.iterations == 25
+        assert dense.iterations == 100
+
+    def test_graph_for_context(self):
+        context = JobContext(
+            algorithm="pagerank",
+            node_type="m4.xlarge",
+            dataset_mb=8_000,
+            dataset_characteristics="web-graph",
+            job_params=(("damping", "0.85"), ("iterations", "15")),
+        )
+        graph = graph_for_context(context)
+        assert graph.name == "pagerank"
+        assert graph.iterations == 15
+
+    def test_sort_has_shuffle(self):
+        graph = graph_for_algorithm("sort")
+        assert graph.shuffle_count() >= 1
+        kinds = graph.kind_counts()
+        assert kinds[OperatorKind.SHUFFLE] >= 1
+
+
+class TestGraphText:
+    def test_deterministic(self):
+        a = graph_text(graph_for_algorithm("kmeans", {"iterations": "20"}))
+        b = graph_text(graph_for_algorithm("kmeans", {"iterations": "20"}))
+        assert a == b
+
+    def test_iterations_change_text(self):
+        a = graph_text(graph_for_algorithm("sgd", {"max_iterations": "25"}))
+        b = graph_text(graph_for_algorithm("sgd", {"max_iterations": "100"}))
+        assert a != b
+
+    def test_algorithms_distinct(self):
+        texts = {graph_text(graph_for_algorithm(a)) for a in C3O_ALGORITHMS}
+        assert len(texts) == len(C3O_ALGORITHMS)
+
+    def test_contains_structure(self):
+        text = graph_text(graph_for_algorithm("grep"))
+        assert "source:read-text" in text
+        assert "read-text>filter-pattern" in text
+
+
+class TestNumericFeatures:
+    @pytest.mark.parametrize("algorithm", C3O_ALGORITHMS)
+    def test_feature_shapes(self, algorithm):
+        graph = graph_for_algorithm(algorithm)
+        features = graph_node_features(graph)
+        adjacency = normalized_adjacency(graph)
+        assert features.shape == (len(graph), NODE_FEATURE_DIM)
+        assert adjacency.shape == (len(graph), len(graph))
+
+    def test_one_hot_rows(self):
+        graph = graph_for_algorithm("grep")
+        features = graph_node_features(graph)
+        n_kinds = len(OperatorKind.ordered())
+        np.testing.assert_array_equal(
+            features[:, :n_kinds].sum(axis=1), np.ones(len(graph))
+        )
+
+    def test_adjacency_symmetric_normalized(self):
+        graph = graph_for_algorithm("sort")
+        adjacency = normalized_adjacency(graph)
+        np.testing.assert_allclose(adjacency, adjacency.T)
+        eigenvalues = np.linalg.eigvalsh(adjacency)
+        assert eigenvalues.max() <= 1.0 + 1e-9  # spectral norm of GCN A_hat
+
+    def test_loop_flag_marked(self):
+        graph = graph_for_algorithm("sgd")
+        features = graph_node_features(graph)
+        loop_column = features[:, len(OperatorKind.ordered()) + 4]
+        assert loop_column.sum() == len(graph.loop_body())
+
+    def test_summary_vector(self):
+        summary = graph_summary_vector(graph_for_algorithm("pagerank"))
+        assert summary.shape == (12,)
+        assert np.all(np.isfinite(summary))
+
+    def test_featurizer_caches(self):
+        featurizer = GraphFeaturizer()
+        graph = graph_for_algorithm("sgd", {"max_iterations": "50"})
+        x1, a1 = featurizer.encode(graph)
+        x2, a2 = featurizer.encode(graph_for_algorithm("sgd", {"max_iterations": "50"}))
+        assert x1 is x2 and a1 is a2  # same canonical text -> cached arrays
+        assert featurizer.cache_size() == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(iterations=st.integers(min_value=1, max_value=200))
+    def test_iteration_monotone_in_features(self, iterations):
+        """The log-iteration feature grows with the iteration count."""
+        graph = graph_for_algorithm("kmeans", {"iterations": str(iterations)})
+        features = graph_node_features(graph)
+        column = features[:, -1]
+        np.testing.assert_allclose(column, np.log1p(float(iterations)))

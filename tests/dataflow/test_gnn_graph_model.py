@@ -1,0 +1,194 @@
+"""Tests for the graph encoder and the graph-aware Bellamy variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy, finetune
+from repro.core.graph_model import (
+    GnnBellamyModel,
+    GraphBellamyModel,
+    GraphPropertyFeaturizer,
+    pretrain_gnn,
+)
+from repro.core.pretraining import pretrain
+from repro.data.c3o import generate_c3o_contexts
+from repro.data.dataset import ExecutionDataset
+from repro.dataflow.builders import graph_for_algorithm
+from repro.dataflow.gnn import GraphEncoder
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def sgd_contexts():
+    return [c for c in generate_c3o_contexts(seed=2) if c.algorithm == "sgd"][:3]
+
+
+@pytest.fixture(scope="module")
+def sgd_dataset(sgd_contexts):
+    generator = TraceGenerator(seed=2)
+    dataset = ExecutionDataset()
+    for context in sgd_contexts:
+        dataset.extend(generator.executions_for_context(context, (2, 4, 6, 8), 2))
+    return dataset
+
+
+class TestGraphEncoder:
+    def test_embedding_shape(self):
+        encoder = GraphEncoder(out_dim=4, seed=0)
+        embedding = encoder.embed(graph_for_algorithm("sgd"))
+        assert embedding.shape == (4,)
+
+    def test_batch_gathers_duplicates(self):
+        encoder = GraphEncoder(seed=0)
+        graphs = [graph_for_algorithm("sgd")] * 3 + [graph_for_algorithm("grep")]
+        batch = encoder(graphs)
+        assert batch.shape == (4, encoder.out_dim)
+        np.testing.assert_allclose(batch.data[0], batch.data[1])
+        assert not np.allclose(batch.data[0], batch.data[3])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one graph"):
+            GraphEncoder(seed=0)([])
+
+    def test_deterministic_per_seed(self):
+        graph = graph_for_algorithm("kmeans")
+        a = GraphEncoder(seed=7).embed(graph).data
+        b = GraphEncoder(seed=7).embed(graph).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradients_flow_to_both_layers(self):
+        encoder = GraphEncoder(seed=0)
+        batch = encoder([graph_for_algorithm("sgd"), graph_for_algorithm("sort")])
+        (batch * batch).sum().backward()
+        assert np.abs(encoder.conv1.weight.grad).sum() > 0
+        assert np.abs(encoder.conv2.weight.grad).sum() > 0
+
+    def test_reset_changes_weights(self):
+        encoder = GraphEncoder(seed=0)
+        before = encoder.conv1.weight.data.copy()
+        encoder.reset_parameters(seed=123)
+        assert not np.array_equal(before, encoder.conv1.weight.data)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            GraphEncoder(out_dim=0)
+
+    def test_shape_validation(self):
+        encoder = GraphEncoder(seed=0)
+        with pytest.raises(ValueError, match="node features"):
+            encoder.embed_arrays(np.zeros((3, 5)), np.eye(3))
+        with pytest.raises(ValueError, match="adjacency"):
+            encoder.embed_arrays(np.zeros((3, encoder.in_dim)), np.eye(4))
+
+    def test_trains_on_synthetic_objective(self):
+        """The encoder can learn to separate graphs by iteration count."""
+        from repro.nn.optim import Adam
+
+        encoder = GraphEncoder(out_dim=1, seed=0)
+        graphs = [
+            graph_for_algorithm("sgd", {"max_iterations": str(n)})
+            for n in (25, 50, 75, 100)
+        ]
+        targets = np.log1p([25.0, 50.0, 75.0, 100.0])
+        targets = (targets - targets.mean()) / targets.std()
+        optimizer = Adam(encoder.parameters(), lr=1e-2)
+        first_loss = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            out = encoder(graphs).reshape(4)
+            loss = ((out - targets) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.2
+
+
+class TestGraphPropertyModel:
+    def test_featurizer_appends_graph_property(self, sgd_contexts):
+        config = BellamyConfig()
+        plain = len(
+            GraphPropertyFeaturizer(config).property_values(sgd_contexts[0])
+        )
+        base = len(
+            __import__(
+                "repro.core.features", fromlist=["BellamyFeaturizer"]
+            ).BellamyFeaturizer(config).property_values(sgd_contexts[0])
+        )
+        assert plain == base + 1
+
+    def test_no_optional_skips_graph(self, sgd_contexts):
+        config = BellamyConfig(use_optional=False)
+        values = GraphPropertyFeaturizer(config).property_values(sgd_contexts[0])
+        assert len(values) == config.n_essential
+
+    def test_pretrain_roundtrip(self, sgd_dataset, sgd_contexts):
+        result = pretrain(
+            sgd_dataset, "sgd", epochs=25, model_factory=GraphBellamyModel
+        )
+        assert isinstance(result.model, GraphBellamyModel)
+        prediction = result.model.predict_one(sgd_contexts[0], 6)
+        assert np.isfinite(prediction) and prediction >= 0
+
+    def test_finetune_preserves_class(self, sgd_dataset, sgd_contexts):
+        base = pretrain(
+            sgd_dataset, "sgd", epochs=20, model_factory=GraphBellamyModel
+        ).model
+        result = finetune(base, sgd_contexts[0], [2, 6], [300.0, 200.0], max_epochs=15)
+        assert isinstance(result.model, GraphBellamyModel)
+
+    def test_persistence_roundtrip(self, sgd_dataset, sgd_contexts, tmp_path):
+        model = pretrain(
+            sgd_dataset, "sgd", epochs=15, model_factory=GraphBellamyModel
+        ).model
+        state = model.full_state_dict()
+        clone = GraphBellamyModel(model.config)
+        clone.load_full_state_dict(state)
+        np.testing.assert_allclose(
+            clone.predict(sgd_contexts[0], [4, 8]),
+            model.predict(sgd_contexts[0], [4, 8]),
+        )
+
+
+class TestGnnModel:
+    @pytest.fixture(scope="class")
+    def pretrained(self, sgd_dataset):
+        return pretrain_gnn(sgd_dataset, "sgd", epochs=25, seed=0)
+
+    def test_pretrain_produces_gnn_model(self, pretrained):
+        assert isinstance(pretrained.model, GnnBellamyModel)
+        assert pretrained.variant == "gnn"
+
+    def test_prediction_finite(self, pretrained, sgd_contexts):
+        prediction = pretrained.model.predict(sgd_contexts[0], [2, 6, 12])
+        assert prediction.shape == (3,)
+        assert np.all(np.isfinite(prediction)) and np.all(prediction >= 0)
+
+    def test_forward_requires_contexts(self, pretrained):
+        from repro.nn.tensor import Tensor
+
+        model = pretrained.model
+        model.pending_contexts = None
+        with pytest.raises(RuntimeError, match="needs contexts"):
+            model.forward(Tensor(np.zeros((1, 3))), Tensor(np.zeros((1, 8, 40))))
+
+    def test_finetune_freezes_graph_encoder(self, pretrained, sgd_contexts):
+        result = finetune(
+            pretrained.model,
+            sgd_contexts[0],
+            [2, 6],
+            [300.0, 200.0],
+            strategy=FinetuneStrategy.FULL_UNFREEZE,
+            max_epochs=15,
+        )
+        before = dict(pretrained.model.graph_encoder.named_parameters())
+        after = dict(result.model.graph_encoder.named_parameters())
+        for name in before:
+            np.testing.assert_array_equal(before[name].data, after[name].data)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="no executions"):
+            pretrain_gnn(ExecutionDataset(), "sgd", epochs=5)

@@ -1,0 +1,149 @@
+"""Tests for the dataflow-graph representation (repro.dataflow.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.graph import DataflowGraph, Operator, OperatorKind
+
+
+def _op(name: str, kind: OperatorKind = OperatorKind.MAP, **kwargs) -> Operator:
+    return Operator(name, kind, **kwargs)
+
+
+@pytest.fixture
+def diamond() -> DataflowGraph:
+    """source -> (left, right) -> sink."""
+    return DataflowGraph(
+        operators=[
+            _op("src", OperatorKind.SOURCE),
+            _op("left"),
+            _op("right"),
+            _op("sink", OperatorKind.SINK),
+        ],
+        edges=[("src", "left"), ("src", "right"), ("left", "sink"), ("right", "sink")],
+        name="diamond",
+    )
+
+
+class TestOperator:
+    def test_valid(self):
+        op = _op("a", cpu_ms_per_mb=2.0, shuffle_fraction=0.5)
+        assert op.shuffle_fraction == 0.5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Operator("", OperatorKind.MAP)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Operator("a", OperatorKind.MAP, cpu_ms_per_mb=-1.0)
+
+    def test_shuffle_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Operator("a", OperatorKind.MAP, shuffle_fraction=1.5)
+
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            Operator("a", OperatorKind.MAP, selectivity=-0.1)
+
+    def test_kind_order_stable(self):
+        kinds = OperatorKind.ordered()
+        assert kinds[0] is OperatorKind.SOURCE
+        assert kinds[-1] is OperatorKind.SINK
+        assert len(kinds) == len(set(kinds)) == 7
+
+
+class TestGraphConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one operator"):
+            DataflowGraph(operators=[], edges=[])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataflowGraph(operators=[_op("a"), _op("a")], edges=[])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            DataflowGraph(operators=[_op("a")], edges=[("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DataflowGraph(operators=[_op("a")], edges=[("a", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            DataflowGraph(
+                operators=[_op("a"), _op("b")],
+                edges=[("a", "b"), ("b", "a")],
+            )
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            DataflowGraph(operators=[_op("a")], edges=[], iterations=0)
+
+
+class TestGraphStructure:
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "left" in diamond
+        assert "nope" not in diamond
+
+    def test_operator_lookup(self, diamond):
+        assert diamond.operator("src").kind is OperatorKind.SOURCE
+        with pytest.raises(KeyError):
+            diamond.operator("nope")
+
+    def test_edges_roundtrip(self, diamond):
+        assert ("src", "left") in diamond.edges()
+        assert len(diamond.edges()) == 4
+
+    def test_successors_predecessors(self, diamond):
+        assert set(diamond.successors("src")) == {"left", "right"}
+        assert diamond.predecessors("sink") == ["left", "right"]
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ["src"]
+        assert diamond.sinks() == ["sink"]
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for producer, consumer in diamond.edges():
+            assert position[producer] < position[consumer]
+
+    def test_depth_width(self, diamond):
+        assert diamond.depth() == 3  # src -> left/right -> sink
+        assert diamond.width() == 2  # left and right share a level
+
+    def test_kind_counts_zero_filled(self, diamond):
+        counts = diamond.kind_counts()
+        assert counts[OperatorKind.MAP] == 2
+        assert counts[OperatorKind.JOIN] == 0
+
+    def test_loop_body_and_shuffles(self):
+        graph = DataflowGraph(
+            operators=[
+                _op("s", OperatorKind.SOURCE),
+                _op("body", in_loop=True, shuffle_fraction=0.2),
+                _op("t", OperatorKind.SINK),
+            ],
+            edges=[("s", "body"), ("body", "t")],
+            iterations=10,
+        )
+        assert [op.name for op in graph.loop_body()] == ["body"]
+        assert graph.shuffle_count() == 1
+
+    def test_total_cost_weights_loop(self):
+        graph = DataflowGraph(
+            operators=[
+                _op("once", cpu_ms_per_mb=1.0),
+                _op("looped", cpu_ms_per_mb=1.0, in_loop=True),
+            ],
+            edges=[("once", "looped")],
+            iterations=10,
+        )
+        assert graph.total_cost_annotations()["cpu_ms_per_mb"] == 11.0
+
+    def test_repr(self, diamond):
+        assert "diamond" in repr(diamond)

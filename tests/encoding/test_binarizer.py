@@ -1,0 +1,95 @@
+"""Tests of the binary encoder for natural-number properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.binarizer import Binarizer
+
+
+class TestEncode:
+    def test_zero(self):
+        np.testing.assert_array_equal(Binarizer(4).encode(0), [0, 0, 0, 0])
+
+    def test_lsb_first(self):
+        np.testing.assert_array_equal(Binarizer(4).encode(6), [0, 1, 1, 0])
+
+    def test_capacity_value(self):
+        b = Binarizer(5)
+        assert b.capacity == 31
+        np.testing.assert_array_equal(b.encode(31), np.ones(5))
+
+    def test_over_capacity_raises(self):
+        with pytest.raises(ValueError):
+            Binarizer(4).encode(16)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Binarizer(4).encode(-1)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Binarizer(0)
+        with pytest.raises(ValueError):
+            Binarizer(63)
+
+    def test_output_dtype_float(self):
+        assert Binarizer(4).encode(3).dtype == np.float64
+
+    @given(st.integers(0, 2**39 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, value):
+        b = Binarizer(39)  # paper: L = N - 1 = 39
+        assert b.decode(b.encode(value)) == value
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_uniqueness(self, a, b):
+        binarizer = Binarizer(20)
+        if a != b:
+            assert not np.array_equal(binarizer.encode(a), binarizer.encode(b))
+
+
+class TestDecode:
+    def test_decode_shape_check(self):
+        with pytest.raises(ValueError):
+            Binarizer(4).decode(np.zeros(5))
+
+    def test_decode_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            Binarizer(4).decode(np.array([0.4, 0.0, 0.0, 0.0]))
+
+    def test_decode_tolerates_float_rounding(self):
+        bits = Binarizer(4).encode(9) + 1e-9
+        assert Binarizer(4).decode(bits) == 9
+
+
+class TestDispatchHelpers:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5, True),
+            (0, True),
+            (-3, False),
+            (True, False),  # booleans are not counts
+            ("25", True),
+            (" 42 ", True),
+            ("3.5", False),
+            ("m4.xlarge", False),
+            (2.0, False),
+            (np.int64(7), True),
+        ],
+    )
+    def test_is_encodable(self, value, expected):
+        assert Binarizer.is_encodable(value) is expected
+
+    def test_to_int(self):
+        assert Binarizer.to_int("25") == 25
+        assert Binarizer.to_int(7) == 7
+
+    def test_to_int_rejects_text(self):
+        with pytest.raises(TypeError):
+            Binarizer.to_int("abc")

@@ -1,0 +1,149 @@
+"""Tests of the character n-gram hashing vectorizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.hashing import HashingVectorizer, fnv1a_64
+from repro.encoding.ngrams import extract_ngrams, ngram_counts
+from repro.encoding.vocabulary import DEFAULT_VOCABULARY, Vocabulary
+
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+    max_size=40,
+)
+
+
+class TestFnv:
+    def test_known_vectors(self):
+        # Published FNV-1a 64-bit reference values.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"spark") == fnv1a_64(b"spark")
+
+    def test_different_inputs_differ(self):
+        assert fnv1a_64(b"m4.xlarge") != fnv1a_64(b"r4.xlarge")
+
+
+class TestNgrams:
+    def test_unigrams_bigrams_trigrams(self):
+        grams = extract_ngrams("abc", (1, 3))
+        assert grams == ["a", "b", "c", "ab", "bc", "abc"]
+
+    def test_short_text(self):
+        assert extract_ngrams("a", (1, 3)) == ["a"]
+
+    def test_empty_text(self):
+        assert extract_ngrams("", (1, 3)) == []
+
+    def test_counts(self):
+        counts = ngram_counts("aaa", (1, 2))
+        assert counts == {"a": 3, "aa": 2}
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            extract_ngrams("abc", (2, 1))
+        with pytest.raises(ValueError):
+            extract_ngrams("abc", (0, 2))
+
+
+class TestVocabulary:
+    def test_clean_lowercases(self):
+        assert DEFAULT_VOCABULARY.clean("M4.XLarge") == "m4.xlarge"
+
+    def test_clean_strips_unknown(self):
+        assert DEFAULT_VOCABULARY.clean("a!@#b") == "ab"
+
+    def test_special_symbols_kept(self):
+        assert DEFAULT_VOCABULARY.clean("k=10 x-y_z/a.b") == "k=10 x-y_z/a.b"
+
+    def test_contains(self):
+        assert "a" in DEFAULT_VOCABULARY
+        assert "A" in DEFAULT_VOCABULARY  # case-insensitive
+        assert "!" not in DEFAULT_VOCABULARY
+
+    def test_custom_symbols(self):
+        vocab = Vocabulary(special_symbols="+")
+        assert vocab.clean("a+b-c") == "a+bc"  # "-" is no longer whitelisted
+
+
+class TestHashingVectorizer:
+    def test_output_size(self):
+        assert HashingVectorizer(39).transform("m4.xlarge").shape == (39,)
+
+    def test_unit_norm(self):
+        out = HashingVectorizer(39).transform("spark 2.4.4")
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self):
+        out = HashingVectorizer(39).transform("")
+        np.testing.assert_array_equal(out, np.zeros(39))
+
+    def test_all_stripped_is_zero_vector(self):
+        out = HashingVectorizer(39).transform("!!!")
+        np.testing.assert_array_equal(out, np.zeros(39))
+
+    @given(texts)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, text):
+        v = HashingVectorizer(39)
+        np.testing.assert_array_equal(v.transform(text), v.transform(text))
+
+    @given(texts)
+    @settings(max_examples=50, deadline=None)
+    def test_norm_is_one_or_zero(self, text):
+        out = HashingVectorizer(39).transform(text)
+        norm = np.linalg.norm(out)
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+    def test_case_insensitive(self):
+        v = HashingVectorizer(39)
+        np.testing.assert_array_equal(v.transform("GREP"), v.transform("grep"))
+
+    def test_distinct_nodes_distinct_vectors(self):
+        v = HashingVectorizer(39)
+        assert not np.array_equal(v.transform("m4.2xlarge"), v.transform("r4.2xlarge"))
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        v = HashingVectorizer(39)
+        a = v.transform("m4.2xlarge")
+        b = v.transform("m4.xlarge")
+        c = v.transform("iterations=100 step=0.1")
+        assert np.dot(a, b) > np.dot(a, c)
+
+    def test_unsigned_counts_nonnegative(self):
+        out = HashingVectorizer(39, signed=False, normalize=False).transform("abcabc")
+        assert (out >= 0).all()
+
+    def test_signed_mode_can_go_negative(self):
+        out = HashingVectorizer(8, signed=True, normalize=False).transform(
+            "abcdefghijklmnop"
+        )
+        assert (out < 0).any()
+
+    def test_counts_without_normalization(self):
+        v = HashingVectorizer(64, ngram_range=(1, 1), normalize=False)
+        out = v.transform("aab")
+        assert out.sum() == pytest.approx(3.0)  # 3 unigrams counted
+
+    def test_transform_many(self):
+        v = HashingVectorizer(16)
+        out = v.transform_many(["a", "b", "c"])
+        assert out.shape == (3, 16)
+
+    def test_transform_many_empty(self):
+        assert HashingVectorizer(16).transform_many([]).shape == (0, 16)
+
+    def test_invalid_n_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(0)
+
+    def test_index_of_in_range(self):
+        v = HashingVectorizer(7)
+        for term in ("a", "bc", "def", "m4."):
+            assert 0 <= v.index_of(term) < 7

@@ -1,0 +1,95 @@
+"""Tests of the property encoder (lambda prefix dispatch, Eq. 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.properties import (
+    LAMBDA_BINARIZED,
+    LAMBDA_HASHED,
+    PropertyEncoder,
+)
+
+
+@pytest.fixture()
+def encoder() -> PropertyEncoder:
+    return PropertyEncoder(vector_size=40)
+
+
+class TestDispatch:
+    def test_integer_uses_binarizer(self, encoder):
+        out = encoder.encode_property(19353)
+        assert out[0] == LAMBDA_BINARIZED
+        assert encoder.decode_numeric(out) == 19353
+
+    def test_digit_string_uses_binarizer(self, encoder):
+        out = encoder.encode_property("25")
+        assert out[0] == LAMBDA_BINARIZED
+        assert encoder.decode_numeric(out) == 25
+
+    def test_text_uses_hasher(self, encoder):
+        out = encoder.encode_property("m4.2xlarge")
+        assert out[0] == LAMBDA_HASHED
+        assert np.linalg.norm(out[1:]) == pytest.approx(1.0)
+
+    def test_float_string_uses_hasher(self, encoder):
+        assert encoder.encode_property("0.85")[0] == LAMBDA_HASHED
+
+    def test_vector_size(self, encoder):
+        assert encoder.encode_property("anything").shape == (40,)
+
+    def test_is_binarized(self, encoder):
+        assert encoder.is_binarized(encoder.encode_property(7))
+        assert not encoder.is_binarized(encoder.encode_property("text"))
+
+    def test_decode_numeric_rejects_hashed(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.decode_numeric(encoder.encode_property("text"))
+
+
+class TestBatchEncoding:
+    def test_encode_properties_shape(self, encoder):
+        out = encoder.encode_properties([19353, "dense", "k=10", "m4.xlarge"])
+        assert out.shape == (4, 40)
+
+    def test_empty_sequence(self, encoder):
+        assert encoder.encode_properties([]).shape == (0, 40)
+
+    def test_rows_match_single_encoding(self, encoder):
+        values = [7, "m4.xlarge"]
+        batch = encoder.encode_properties(values)
+        for row, value in zip(batch, values):
+            np.testing.assert_array_equal(row, encoder.encode_property(value))
+
+
+class TestProperties:
+    @given(st.integers(0, 2**39 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_numeric_roundtrip(self, value):
+        encoder = PropertyEncoder(vector_size=40)
+        assert encoder.decode_numeric(encoder.encode_property(value)) == value
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_all_entries_bounded(self, text):
+        # Every coordinate lies in [-1, 1]: bits in {0,1}, hashed unit-sphere
+        # coordinates in [-1, 1] - the precondition for the tanh decoder.
+        encoder = PropertyEncoder(vector_size=40)
+        out = encoder.encode_property(text)
+        assert (np.abs(out) <= 1.0 + 1e-12).all()
+
+    def test_deterministic_across_instances(self):
+        a = PropertyEncoder(vector_size=40).encode_property("m4.2xlarge")
+        b = PropertyEncoder(vector_size=40).encode_property("m4.2xlarge")
+        np.testing.assert_array_equal(a, b)
+
+    def test_vector_size_validation(self):
+        with pytest.raises(ValueError):
+            PropertyEncoder(vector_size=1)
+
+    def test_large_vector_size_caps_binarizer(self):
+        encoder = PropertyEncoder(vector_size=100)
+        assert encoder.binarizer.length == 62

@@ -1,0 +1,161 @@
+"""Tests for the ablation study (eval.experiments.ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy
+from repro.data.c3o import generate_c3o_contexts
+from repro.data.dataset import ExecutionDataset
+from repro.data.schema import Execution, JobContext
+from repro.eval.experiments.ablations import (
+    ABLATION_VARIANTS,
+    get_variant,
+    neutralize_context,
+    neutralize_dataset,
+    run_ablation_experiment,
+)
+from repro.eval.experiments.common import SMOKE_SCALE
+from repro.eval.reporting import ablation_summary, render_ablation
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    """A small two-context SGD dataset for fast ablation smoke runs."""
+    contexts = [c for c in generate_c3o_contexts(seed=3) if c.algorithm == "sgd"][:3]
+    generator = TraceGenerator(seed=3)
+    dataset = ExecutionDataset()
+    for context in contexts:
+        dataset.extend(generator.executions_for_context(context, (2, 4, 6, 8), 2))
+    return dataset
+
+
+class TestVariants:
+    def test_reference_first(self):
+        assert ABLATION_VARIANTS[0].name == "bellamy"
+
+    def test_names_unique(self):
+        names = [v.name for v in ABLATION_VARIANTS]
+        assert len(names) == len(set(names))
+
+    def test_get_variant(self):
+        assert get_variant("no-optional").name == "no-optional"
+
+    def test_get_variant_unknown(self):
+        with pytest.raises(ValueError, match="unknown ablation variant"):
+            get_variant("nope")
+
+    def test_no_reconstruction_zeroes_weight(self):
+        config = get_variant("no-reconstruction").config_transform(BellamyConfig())
+        assert config.reconstruction_weight == 0.0
+
+    def test_no_optional_disables_flag(self):
+        config = get_variant("no-optional").config_transform(BellamyConfig())
+        assert config.use_optional is False
+
+    def test_code_dim_variants(self):
+        assert get_variant("codes-2").config_transform(BellamyConfig()).encoding_dim == 2
+        assert get_variant("codes-8").config_transform(BellamyConfig()).encoding_dim == 8
+
+    def test_full_unfreeze_strategy(self):
+        assert get_variant("full-unfreeze").strategy is FinetuneStrategy.FULL_UNFREEZE
+
+
+class TestNeutralize:
+    def test_neutral_context_keeps_algorithm(self):
+        context = JobContext(
+            algorithm="sgd",
+            node_type="r4.2xlarge",
+            dataset_mb=19_353,
+            dataset_characteristics="dense-features",
+            job_params=(("max_iterations", "100"),),
+        )
+        neutral = neutralize_context(context)
+        assert neutral.algorithm == "sgd"
+        assert neutral.node_type != context.node_type
+        assert neutral.dataset_mb == 1
+
+    def test_neutral_contexts_collapse(self):
+        contexts = [c for c in generate_c3o_contexts(seed=0) if c.algorithm == "grep"][:5]
+        ids = {neutralize_context(c).context_id for c in contexts}
+        assert len(ids) == 1
+
+    def test_neutral_id_regenerated(self):
+        context = JobContext(
+            algorithm="sgd",
+            node_type="r4.2xlarge",
+            dataset_mb=19_353,
+            dataset_characteristics="dense-features",
+        )
+        neutral = neutralize_context(context)
+        assert neutral.context_id != context.context_id
+        assert neutral.context_id == neutral.descriptor()
+
+    def test_neutral_optional_properties_resolve(self):
+        context = JobContext(
+            algorithm="kmeans",
+            node_type="c5.2xlarge",
+            dataset_mb=10_000,
+            dataset_characteristics="overlapping",
+        )
+        optional = neutralize_context(context).optional_properties()
+        assert all(isinstance(p, (int, str)) for p in optional)
+
+    def test_neutralize_dataset_preserves_runtimes(self, tiny_dataset):
+        neutral = neutralize_dataset(tiny_dataset)
+        assert len(neutral) == len(tiny_dataset)
+        np.testing.assert_array_equal(
+            neutral.runtimes_array(), tiny_dataset.runtimes_array()
+        )
+        np.testing.assert_array_equal(
+            neutral.machines_array(), tiny_dataset.machines_array()
+        )
+
+    def test_neutralize_dataset_collapses_contexts(self, tiny_dataset):
+        assert len(neutralize_dataset(tiny_dataset).contexts()) == 1
+
+
+class TestRunAblation:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        return run_ablation_experiment(
+            tiny_dataset,
+            scale=SMOKE_SCALE,
+            seed=0,
+            algorithms=("sgd",),
+            variants=("bellamy", "no-properties"),
+            contexts_per_algorithm=1,
+        )
+
+    def test_produces_records_for_each_variant(self, result):
+        assert set(result.variants()) == {"bellamy", "no-properties"}
+
+    def test_records_have_both_tasks(self, result):
+        tasks = {r.task for r in result.records}
+        assert tasks == {"interpolation", "extrapolation"}
+
+    def test_pretrain_seconds_recorded(self, result):
+        assert result.pretrain_seconds["bellamy"] > 0.0
+        assert result.pretrain_seconds["no-properties"] > 0.0
+
+    def test_predictions_non_negative(self, result):
+        assert all(r.predicted_s >= 0.0 for r in result.records)
+
+    def test_summary_and_render(self, result):
+        summary = ablation_summary(result.records)
+        assert "bellamy" in summary and "no-properties" in summary
+        assert np.isfinite(summary["bellamy"]["interp_mre"])
+        text = render_ablation(result.records)
+        assert "bellamy" in text and "no-properties" in text
+
+    def test_unknown_variant_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="unknown ablation variant"):
+            run_ablation_experiment(
+                tiny_dataset,
+                scale=SMOKE_SCALE,
+                algorithms=("sgd",),
+                variants=("bellamy", "bogus"),
+            )

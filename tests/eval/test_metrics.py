@@ -1,0 +1,91 @@
+"""Tests of the error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.metrics import (
+    absolute_errors,
+    mae,
+    mape,
+    mre,
+    r_squared,
+    relative_errors,
+    rmse,
+    smape,
+    summary,
+)
+
+PRED = np.array([110.0, 90.0, 100.0])
+ACTUAL = np.array([100.0, 100.0, 100.0])
+
+
+class TestValues:
+    def test_mae(self):
+        assert mae(PRED, ACTUAL) == pytest.approx(20.0 / 3)
+
+    def test_mre(self):
+        assert mre(PRED, ACTUAL) == pytest.approx(0.2 / 3)
+
+    def test_mape_is_percent_mre(self):
+        assert mape(PRED, ACTUAL) == pytest.approx(100 * mre(PRED, ACTUAL))
+
+    def test_rmse(self):
+        assert rmse(PRED, ACTUAL) == pytest.approx(np.sqrt(200.0 / 3))
+
+    def test_perfect_prediction(self):
+        assert mae(ACTUAL, ACTUAL) == 0.0
+        assert mre(ACTUAL, ACTUAL) == 0.0
+        assert rmse(ACTUAL, ACTUAL) == 0.0
+        assert r_squared(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_smape_bounded(self):
+        assert 0 <= smape(PRED, ACTUAL) <= 200
+
+    def test_summary_keys(self):
+        assert set(summary(PRED, ACTUAL)) == {"mae", "mre", "rmse", "smape"}
+
+    def test_elementwise_errors(self):
+        np.testing.assert_allclose(absolute_errors(PRED, ACTUAL), [10, 10, 0])
+        np.testing.assert_allclose(relative_errors(PRED, ACTUAL), [0.1, 0.1, 0.0])
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.ones(2), np.ones(3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    def test_zero_actual_relative(self):
+        with pytest.raises(ValueError):
+            mre(np.array([1.0]), np.array([0.0]))
+
+    def test_r_squared_constant_actuals(self):
+        with pytest.raises(ValueError):
+            r_squared(np.array([1.0, 2.0]), np.array([3.0, 3.0]))
+
+
+class TestProperties:
+    @given(
+        hnp.arrays(np.float64, (5,), elements=st.floats(1.0, 1e4)),
+        hnp.arrays(np.float64, (5,), elements=st.floats(1.0, 1e4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_nonnegative(self, predictions, actuals):
+        assert mae(predictions, actuals) >= 0
+        assert mre(predictions, actuals) >= 0
+        assert rmse(predictions, actuals) >= mae(predictions, actuals) - 1e-9
+
+    @given(hnp.arrays(np.float64, (6,), elements=st.floats(1.0, 1e4)))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance_of_mre(self, actuals):
+        predictions = actuals * 1.1
+        assert mre(predictions, actuals) == pytest.approx(0.1)
+        assert mre(10 * predictions, 10 * actuals) == pytest.approx(0.1)

@@ -1,0 +1,161 @@
+"""Tests of the evaluation protocol using a cheap stub method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import RuntimeModel
+from repro.baselines.ernest import ErnestModel
+from repro.eval.protocol import (
+    EvaluationRecord,
+    MethodSpec,
+    ProtocolConfig,
+    aggregate,
+    ecdf,
+    evaluate_context,
+    mean_absolute_error,
+    mean_relative_error,
+    unique_fits,
+)
+
+
+class OracleModel(RuntimeModel):
+    """Stub: memorizes a constant and predicts it (fast, deterministic)."""
+
+    name = "oracle"
+    min_train_points = 1
+
+    def fit(self, machines, runtimes):
+        self.value = float(np.mean(runtimes))
+        return self
+
+    def predict(self, machines):
+        return np.full(np.asarray(machines).shape, self.value)
+
+
+METHODS = [
+    MethodSpec(name="oracle", factory=lambda _ctx: OracleModel(), min_train_points=1),
+    MethodSpec(name="NNLS", factory=lambda _ctx: ErnestModel(), min_train_points=1),
+]
+
+
+class TestEvaluateContext:
+    def test_records_produced_for_both_tasks(self, small_context_dataset):
+        config = ProtocolConfig(n_train_values=(2, 3), max_splits=4, seed=0)
+        records = evaluate_context(METHODS, small_context_dataset, config)
+        tasks = {r.task for r in records}
+        assert tasks == {"interpolation", "extrapolation"}
+
+    def test_min_train_points_respected(self, small_context_dataset):
+        methods = [
+            MethodSpec(name="needs3", factory=lambda _c: OracleModel(), min_train_points=3)
+        ]
+        config = ProtocolConfig(n_train_values=(1, 2, 3), max_splits=3, seed=0)
+        records = evaluate_context(methods, small_context_dataset, config)
+        assert all(r.n_train >= 3 for r in records)
+
+    def test_methods_share_splits(self, small_context_dataset):
+        config = ProtocolConfig(n_train_values=(3,), max_splits=5, seed=0)
+        records = evaluate_context(METHODS, small_context_dataset, config)
+        by_method = {}
+        for record in records:
+            by_method.setdefault(record.method, []).append(
+                (record.split_index, record.task, record.actual_s)
+            )
+        assert by_method["oracle"] == by_method["NNLS"]
+
+    def test_multi_context_dataset_rejected(self, c3o_dataset):
+        config = ProtocolConfig(n_train_values=(2,), max_splits=2)
+        with pytest.raises(ValueError):
+            evaluate_context(METHODS, c3o_dataset, config)
+
+    def test_deterministic_given_seed(self, small_context_dataset):
+        config = ProtocolConfig(n_train_values=(2,), max_splits=3, seed=9)
+        a = evaluate_context(METHODS, small_context_dataset, config)
+        b = evaluate_context(METHODS, small_context_dataset, config)
+        assert [(r.actual_s, r.predicted_s) for r in a] == [
+            (r.actual_s, r.predicted_s) for r in b
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n_train_values=())
+        with pytest.raises(ValueError):
+            ProtocolConfig(n_train_values=(-1,))
+        with pytest.raises(ValueError):
+            ProtocolConfig(max_splits=0)
+
+
+class TestRecordMath:
+    def test_error_properties(self):
+        record = EvaluationRecord(
+            method="m",
+            algorithm="grep",
+            context_id="c",
+            n_train=2,
+            task="interpolation",
+            actual_s=100.0,
+            predicted_s=120.0,
+            fit_seconds=0.1,
+            epochs_trained=10,
+        )
+        assert record.absolute_error == pytest.approx(20.0)
+        assert record.relative_error == pytest.approx(0.2)
+
+
+def make_records():
+    rows = [
+        ("a", "grep", "c1", 2, "interpolation", 100.0, 110.0, 0),
+        ("a", "grep", "c1", 2, "extrapolation", 100.0, 150.0, 0),
+        ("a", "sgd", "c2", 3, "interpolation", 200.0, 100.0, 1),
+        ("b", "grep", "c1", 2, "interpolation", 100.0, 100.0, 0),
+    ]
+    return [
+        EvaluationRecord(
+            method=m,
+            algorithm=algo,
+            context_id=cid,
+            n_train=n,
+            task=task,
+            actual_s=actual,
+            predicted_s=predicted,
+            fit_seconds=0.5,
+            epochs_trained=7,
+            split_index=split,
+        )
+        for m, algo, cid, n, task, actual, predicted, split in rows
+    ]
+
+
+class TestAggregations:
+    def test_aggregate_filters(self):
+        records = make_records()
+        assert len(aggregate(records, method="a")) == 3
+        assert len(aggregate(records, task="interpolation", method="a")) == 2
+        assert len(aggregate(records, algorithm="sgd")) == 1
+        assert len(aggregate(records, n_train=2)) == 3
+
+    def test_mre_mae_on_subsets(self):
+        records = aggregate(make_records(), method="a", task="interpolation")
+        assert mean_relative_error(records) == pytest.approx((0.1 + 0.5) / 2)
+        assert mean_absolute_error(records) == pytest.approx((10 + 100) / 2)
+
+    def test_empty_aggregation_nan(self):
+        assert np.isnan(mean_relative_error([]))
+        assert np.isnan(mean_absolute_error([]))
+
+    def test_unique_fits_dedupes_task_pairs(self):
+        records = make_records()
+        fits = unique_fits(records)
+        # (a,c1,2,0) has two task records -> one fit; plus (a,c2,3,1), (b,c1,2,0).
+        assert len(fits) == 3
+
+    def test_ecdf(self):
+        values, probabilities = ecdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probabilities, [1 / 3, 2 / 3, 1.0])
+
+    def test_ecdf_empty(self):
+        values, probabilities = ecdf(np.array([]))
+        assert values.size == 0 and probabilities.size == 0

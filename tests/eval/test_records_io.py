@@ -1,0 +1,89 @@
+"""Tests for evaluation-record persistence (repro.eval.records_io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.protocol import EvaluationRecord
+from repro.eval.records_io import FORMAT_VERSION, load_records, save_records
+from repro.eval.reporting import render_mae_bars
+
+
+def make_records(n: int = 6) -> list:
+    return [
+        EvaluationRecord(
+            method="NNLS" if i % 2 else "Bellamy (full)",
+            algorithm="sgd",
+            context_id=f"ctx-{i % 3}",
+            n_train=i % 4,
+            task="interpolation" if i % 2 else "extrapolation",
+            actual_s=100.0 + i,
+            predicted_s=90.0 + 2 * i,
+            fit_seconds=0.01 * i,
+            epochs_trained=10 * i,
+            split_index=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_identity(self, tmp_path):
+        records = make_records()
+        path = tmp_path / "records.json"
+        save_records(path, records)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_records(path, [])
+        assert load_records(path) == []
+
+    def test_parent_directories_created(self, tmp_path):
+        path = tmp_path / "a" / "b" / "records.json"
+        save_records(path, make_records(2))
+        assert len(load_records(path)) == 2
+
+    def test_loaded_records_render(self, tmp_path):
+        path = tmp_path / "records.json"
+        save_records(path, make_records())
+        text = render_mae_bars(load_records(path))
+        assert "sgd" in text
+
+    def test_derived_properties_survive(self, tmp_path):
+        path = tmp_path / "records.json"
+        save_records(path, make_records(1))
+        record = load_records(path)[0]
+        assert record.absolute_error == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro evaluation-records"):
+            load_records(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-evaluation-records",
+                    "version": FORMAT_VERSION + 1,
+                    "records": [],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_records(path)
+
+    def test_rejects_list_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_records(path)

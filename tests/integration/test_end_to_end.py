@@ -1,0 +1,152 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the realistic workflows: pre-train -> persist -> load ->
+fine-tune -> predict; the full evaluation protocol with every method; and
+resource selection validated against simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BellModel, ErnestModel
+from repro.core import (
+    BellamyConfig,
+    BellamyRuntimeModel,
+    FinetuneStrategy,
+    ModelStore,
+    finetune,
+    pretrain,
+    select_scaleout,
+)
+from repro.data import generate_c3o_dataset, c3o_trace_generator
+from repro.eval.protocol import (
+    MethodSpec,
+    ProtocolConfig,
+    aggregate,
+    evaluate_context,
+    mean_relative_error,
+)
+
+
+@pytest.fixture(scope="module")
+def pretrained_grep(request):
+    dataset = request.getfixturevalue("c3o_dataset")
+    config = BellamyConfig(learning_rate=1e-3, seed=0)
+    return pretrain(dataset, "grep", config=config, epochs=120, seed=0)
+
+
+class TestPretrainPersistFinetunePredict:
+    def test_full_lifecycle(self, tmp_path, c3o_dataset, pretrained_grep):
+        store = ModelStore(tmp_path)
+        store.save("grep", pretrained_grep.model, metadata={"algorithm": "grep"})
+
+        # "Another process": load and fine-tune on a context.
+        loaded = store.load("grep")
+        context_data = next(iter(c3o_dataset.for_algorithm("grep").by_context().values()))
+        context = context_data.contexts()[0]
+        machines = np.array([2.0, 8.0, 12.0])
+        runtimes = np.array(
+            [
+                context_data.filter(lambda e: e.machines == m).runtimes_array().mean()
+                for m in machines
+            ]
+        )
+        result = finetune(loaded, context, machines, runtimes, max_epochs=200)
+        predictions = result.model.predict(context, [4, 6, 10])
+        actual = np.array(
+            [
+                context_data.filter(lambda e: e.machines == m).runtimes_array().mean()
+                for m in (4, 6, 10)
+            ]
+        )
+        mre = np.mean(np.abs(predictions - actual) / actual)
+        assert mre < 0.6  # sanity: predictions in the right ballpark
+
+    def test_zero_shot_is_finite_and_positive_scaleout_aware(
+        self, c3o_dataset, pretrained_grep
+    ):
+        context = c3o_dataset.for_algorithm("grep").contexts()[3]
+        predictions = pretrained_grep.model.predict(context, [2, 6, 12])
+        assert np.isfinite(predictions).all()
+
+
+class TestProtocolWithAllMethods:
+    def test_protocol_runs_every_method(self, c3o_dataset, pretrained_grep):
+        context_data = next(
+            iter(c3o_dataset.for_algorithm("grep").by_context().values())
+        )
+        context = context_data.contexts()[0]
+        config = BellamyConfig(seed=0)
+        methods = [
+            MethodSpec("NNLS", lambda _c: ErnestModel(), 1),
+            MethodSpec("Bell", lambda _c: BellModel(), 3),
+            MethodSpec(
+                "Bellamy (local)",
+                lambda c: BellamyRuntimeModel(
+                    c, base_model=None, config=config, max_epochs=40, seed=1
+                ),
+                1,
+            ),
+            MethodSpec(
+                "Bellamy (full)",
+                lambda c: BellamyRuntimeModel(
+                    c,
+                    base_model=pretrained_grep.model,
+                    strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
+                    max_epochs=40,
+                ),
+                0,
+            ),
+        ]
+        protocol = ProtocolConfig(n_train_values=(0, 2, 3), max_splits=2, seed=0)
+        records = evaluate_context(methods, context_data, protocol)
+        methods_seen = {r.method for r in records}
+        assert methods_seen == {"NNLS", "Bell", "Bellamy (local)", "Bellamy (full)"}
+        # Zero-shot extrapolation exists only for the pre-trained variant.
+        zero_shot = aggregate(records, n_train=0)
+        assert {r.method for r in zero_shot} == {"Bellamy (full)"}
+        # All errors are finite.
+        assert all(np.isfinite(r.relative_error) for r in records)
+
+    def test_bell_only_at_three_plus_points(self, c3o_dataset):
+        context_data = next(
+            iter(c3o_dataset.for_algorithm("grep").by_context().values())
+        )
+        methods = [MethodSpec("Bell", lambda _c: BellModel(), 3)]
+        protocol = ProtocolConfig(n_train_values=(1, 2, 3), max_splits=2, seed=0)
+        records = evaluate_context(methods, context_data, protocol)
+        assert {r.n_train for r in records} == {3}
+
+
+class TestResourceSelectionAgainstGroundTruth:
+    def test_selection_meets_target_on_ground_truth(self, c3o_dataset):
+        generator = c3o_trace_generator(seed=0)
+        context_data = next(
+            iter(c3o_dataset.for_algorithm("grep").by_context().values())
+        )
+        context = context_data.contexts()[0]
+        # Fit Ernest on the context's full mean curve (best case baseline).
+        machines, means = context_data.mean_runtime_curve()
+        model = ErnestModel().fit(machines, means)
+        # Target: achievable at the largest scale-out.
+        target_runtime = generator.expected_runtime(context, 12) * 1.3
+        recommendation = select_scaleout(
+            model, [2, 4, 6, 8, 10, 12], runtime_target_s=target_runtime
+        )
+        assert recommendation.satisfiable
+        truth = generator.expected_runtime(context, recommendation.chosen.machines)
+        assert truth <= target_runtime * 1.15  # allow modest prediction error
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, c3o_dataset):
+        config = BellamyConfig(seed=5)
+
+        def run():
+            result = pretrain(c3o_dataset, "sort", config=config, epochs=15)
+            context = c3o_dataset.for_algorithm("sort").contexts()[0]
+            return result.model.predict(context, [2, 6, 12])
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,93 @@
+"""Smoke tests of the experiment campaigns at minimal scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import reporting
+from repro.eval.experiments import (
+    SMOKE_SCALE,
+    run_cross_context_experiment,
+    run_cross_environment_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def cross_context(request):
+    c3o = request.getfixturevalue("c3o_dataset")
+    return run_cross_context_experiment(c3o, SMOKE_SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cross_environment(request):
+    c3o = request.getfixturevalue("c3o_dataset")
+    bell = request.getfixturevalue("bell_dataset")
+    return run_cross_environment_experiment(c3o, bell, SMOKE_SCALE, seed=0)
+
+
+class TestCrossContextCampaign:
+    def test_all_methods_present(self, cross_context):
+        assert set(cross_context.methods()) == {
+            "NNLS",
+            "Bell",
+            "Bellamy (local)",
+            "Bellamy (filtered)",
+            "Bellamy (full)",
+        }
+
+    def test_algorithms_match_scale(self, cross_context):
+        assert set(cross_context.algorithms()) == set(SMOKE_SCALE.algorithms)
+
+    def test_both_tasks_recorded(self, cross_context):
+        tasks = {r.task for r in cross_context.records}
+        assert tasks == {"interpolation", "extrapolation"}
+
+    def test_pretrain_seconds_recorded(self, cross_context):
+        assert set(cross_context.pretrain_seconds) == {"filtered", "full"}
+        assert all(v > 0 for v in cross_context.pretrain_seconds.values())
+
+    def test_errors_finite(self, cross_context):
+        assert all(np.isfinite(r.relative_error) for r in cross_context.records)
+
+    def test_reports_render(self, cross_context):
+        records = cross_context.records
+        for text in (
+            reporting.render_fig5(records, "interpolation"),
+            reporting.render_fig5(records, "extrapolation"),
+            reporting.render_mae_bars(records),
+            reporting.render_fig7(records),
+            reporting.render_training_time(records),
+        ):
+            assert isinstance(text, str) and text
+
+
+class TestCrossEnvironmentCampaign:
+    def test_seven_methods(self, cross_environment):
+        methods = {r.method for r in cross_environment.records}
+        assert {
+            "NNLS",
+            "Bell",
+            "Bellamy (local)",
+            "Bellamy (partial-unfreeze)",
+            "Bellamy (full-unfreeze)",
+            "Bellamy (partial-reset)",
+            "Bellamy (full-reset)",
+        } <= methods
+
+    def test_only_bell_algorithms(self, cross_environment):
+        algorithms = {r.algorithm for r in cross_environment.records}
+        assert algorithms <= {"grep", "sgd", "pagerank"}
+
+    def test_contexts_are_cluster_contexts(self, cross_environment):
+        assert all("cluster" in r.context_id for r in cross_environment.records)
+
+    def test_pretraining_per_algorithm(self, cross_environment):
+        assert all(v > 0 for v in cross_environment.pretrain_seconds.values())
+
+    def test_render_fig8(self, cross_environment):
+        text = reporting.render_mae_bars(
+            cross_environment.records,
+            title="[Fig 8] Cross-environment interpolation MAE [s]",
+        )
+        assert "Bellamy" in text

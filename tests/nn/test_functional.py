@@ -1,0 +1,201 @@
+"""Tests of composite differentiable functions (activations, losses, dropout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.nn.functional as F
+from repro.nn.gradcheck import gradcheck
+from repro.nn.tensor import Tensor
+
+
+def arrays(shape=(6,), lo=-3.0, hi=3.0):
+    return hnp.arrays(np.float64, shape, elements=st.floats(lo, hi))
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        assert gradcheck(lambda ts: F.relu(ts[0]).sum(), [np.array([-1.0, 0.5, 2.0])])
+
+    def test_selu_positive_branch_is_scaled_identity(self):
+        x = np.array([0.5, 1.0, 3.0])
+        out = F.selu(Tensor(x))
+        np.testing.assert_allclose(out.data, F.SELU_SCALE * x)
+
+    def test_selu_negative_branch(self):
+        x = np.array([-1.0])
+        out = F.selu(Tensor(x))
+        expected = F.SELU_SCALE * F.SELU_ALPHA * (np.exp(-1.0) - 1.0)
+        np.testing.assert_allclose(out.data, [expected])
+
+    def test_selu_gradient(self):
+        assert gradcheck(
+            lambda ts: F.selu(ts[0]).sum(), [np.array([-2.0, -0.3, 0.4, 1.7])]
+        )
+
+    def test_selu_fixed_point_statistics(self):
+        # Standard-normal input through SELU keeps mean ~0 and variance ~1
+        # (the self-normalizing property the constants encode).
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200_000)
+        out = F.selu(Tensor(x)).data
+        assert abs(out.mean()) < 0.02
+        assert abs(out.std() - 1.0) < 0.02
+
+    def test_elu_gradient(self):
+        assert gradcheck(lambda ts: F.elu(ts[0]).sum(), [np.array([-1.5, 0.2])])
+
+    def test_leaky_relu(self):
+        out = F.leaky_relu(Tensor([-2.0, 2.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 2.0])
+
+    def test_softplus_matches_reference(self):
+        x = np.array([-20.0, -1.0, 0.0, 1.0, 20.0])
+        out = F.softplus(Tensor(x)).data
+        np.testing.assert_allclose(out, np.logaddexp(0.0, x), rtol=1e-7)
+
+    def test_softplus_gradient(self):
+        assert gradcheck(lambda ts: F.softplus(ts[0]).sum(), [np.array([-1.0, 0.0, 2.0])])
+
+    def test_identity(self):
+        t = Tensor([1.0])
+        assert F.identity(t) is t
+
+
+class TestLosses:
+    @given(arrays(), arrays())
+    @settings(max_examples=20, deadline=None)
+    def test_mse_matches_numpy(self, a, b):
+        out = F.mse_loss(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.item(), np.mean((a - b) ** 2), atol=1e-12)
+
+    def test_mse_gradient(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([0.5, 2.5])
+        assert gradcheck(lambda ts: F.mse_loss(ts[0], Tensor(b)), [a])
+
+    def test_mae_matches_numpy(self):
+        a, b = np.array([1.0, -3.0]), np.array([2.0, 1.0])
+        out = F.mae_loss(Tensor(a), Tensor(b))
+        assert out.item() == pytest.approx(np.abs(a - b).mean())
+
+    def test_huber_quadratic_region(self):
+        # |r| <= delta: 0.5 r^2
+        out = F.huber_loss(Tensor([1.5]), Tensor([1.0]), delta=1.0)
+        assert out.item() == pytest.approx(0.5 * 0.25)
+
+    def test_huber_linear_region(self):
+        # |r| > delta: delta * (|r| - delta/2)
+        out = F.huber_loss(Tensor([4.0]), Tensor([1.0]), delta=1.0)
+        assert out.item() == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_huber_continuous_at_delta(self):
+        lo = F.huber_loss(Tensor([1.0 - 1e-9]), Tensor([0.0]), delta=1.0).item()
+        hi = F.huber_loss(Tensor([1.0 + 1e-9]), Tensor([0.0]), delta=1.0).item()
+        assert lo == pytest.approx(hi, abs=1e-6)
+
+    def test_huber_gradient_both_regions(self):
+        a = np.array([0.3, 5.0, -4.0, -0.2])
+        assert gradcheck(
+            lambda ts: F.huber_loss(ts[0], Tensor(np.zeros(4)), delta=1.0), [a]
+        )
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            F.huber_loss(Tensor([1.0]), Tensor([1.0]), delta=0.0)
+
+    def test_huber_less_sensitive_to_outliers_than_mse(self):
+        prediction = Tensor([0.0, 0.0, 0.0, 100.0])
+        target = Tensor(np.zeros(4))
+        huber = F.huber_loss(prediction, target, delta=1.0).item()
+        mse = F.mse_loss(prediction, target).item()
+        assert huber < mse
+
+
+class TestDropout:
+    def test_dropout_eval_mode_is_identity(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_zero_p_is_identity(self, rng):
+        x = Tensor(np.ones(10))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones(200_000))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng)
+
+    def test_alpha_dropout_preserves_mean_and_variance(self, rng):
+        x = Tensor(rng.normal(size=500_000))
+        out = F.alpha_dropout(x, 0.2, rng, training=True)
+        assert abs(out.data.mean()) < 0.02
+        assert abs(out.data.std() - 1.0) < 0.02
+
+    def test_alpha_dropout_sets_dropped_to_saturation(self, rng):
+        x = Tensor(np.full(10_000, 5.0))
+        out = F.alpha_dropout(x, 0.5, rng, training=True)
+        # Two distinct output levels: kept (affine of 5) and dropped (affine
+        # of alpha').
+        assert len(np.unique(np.round(out.data, 9))) == 2
+
+    def test_alpha_dropout_eval_identity(self, rng):
+        x = Tensor(np.ones(5))
+        assert F.alpha_dropout(x, 0.3, rng, training=False) is x
+
+    def test_alpha_dropout_gradient_flows_through_kept_units(self, rng):
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = F.alpha_dropout(x, 0.4, rng, training=True)
+        out.sum().backward()
+        # Dropped positions contribute zero gradient, kept ones a constant.
+        unique = np.unique(np.round(x.grad, 12))
+        assert len(unique) == 2
+        assert 0.0 in unique
+
+
+class TestLinearAndNormalize:
+    def test_linear_matches_manual(self):
+        x = np.array([[1.0, 2.0]])
+        w = np.array([[3.0, 4.0], [5.0, 6.0]])
+        b = np.array([0.5, -0.5])
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_linear_no_bias(self):
+        x = np.ones((2, 3))
+        w = np.ones((4, 3))
+        out = F.linear(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, np.full((2, 4), 3.0))
+
+    def test_linear_gradient(self):
+        x = np.random.default_rng(0).normal(size=(3, 2))
+        w = np.random.default_rng(1).normal(size=(4, 2))
+        b = np.zeros(4)
+        assert gradcheck(
+            lambda ts: (F.linear(ts[0], ts[1], ts[2]) ** 2).sum(), [x, w, b]
+        )
+
+    def test_normalize_unit_sphere(self):
+        x = np.array([[3.0, 4.0], [1.0, 0.0]])
+        out = F.normalize_unit_sphere(Tensor(x))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), [1.0, 1.0])
+
+    def test_normalize_gradient(self):
+        x = np.array([[1.0, 2.0, 2.0]])
+        assert gradcheck(
+            lambda ts: (F.normalize_unit_sphere(ts[0]) * np.array([1.0, 2.0, 3.0])).sum(),
+            [x],
+        )

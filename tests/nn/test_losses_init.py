@@ -1,0 +1,118 @@
+"""Tests of the loss modules and weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    lecun_normal,
+    xavier_uniform,
+    zeros,
+)
+from repro.nn.losses import HuberLoss, JointLoss, MAELoss, MSELoss
+from repro.nn.tensor import Tensor
+
+
+class TestInitializers:
+    def test_he_normal_statistics(self):
+        weights = he_normal((512, 256), seed=0)
+        expected_std = np.sqrt(2.0 / 256)
+        assert abs(weights.std() - expected_std) / expected_std < 0.05
+        assert abs(weights.mean()) < 0.01
+
+    def test_lecun_normal_statistics(self):
+        weights = lecun_normal((512, 256), seed=0)
+        expected_std = np.sqrt(1.0 / 256)
+        assert abs(weights.std() - expected_std) / expected_std < 0.05
+
+    def test_he_uniform_bounds(self):
+        weights = he_uniform((100, 64), seed=0)
+        bound = np.sqrt(6.0 / 64)
+        assert (np.abs(weights) <= bound).all()
+
+    def test_xavier_uniform_bounds(self):
+        weights = xavier_uniform((100, 50), seed=0)
+        bound = np.sqrt(6.0 / 150)
+        assert (np.abs(weights) <= bound).all()
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_1d_shape(self):
+        assert he_normal((10,), seed=0).shape == (10,)
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(he_normal((4, 4), seed=7), he_normal((4, 4), seed=7))
+
+    def test_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+        with pytest.raises(ValueError):
+            get_initializer("glorot_magic")
+
+
+class TestLossModules:
+    def test_mse_module(self):
+        loss = MSELoss()(Tensor([1.0, 3.0]), Tensor([1.0, 1.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_mae_module(self):
+        loss = MAELoss()(Tensor([1.0, 3.0]), Tensor([1.0, 1.0]))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_huber_module_delta(self):
+        loss = HuberLoss(delta=2.0)(Tensor([5.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(2.0 * (5.0 - 1.0))
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=-1.0)
+
+
+class TestJointLoss:
+    def make_joint(self, weight=2.0):
+        return JointLoss(
+            [("runtime", HuberLoss(delta=1.0), 1.0), ("reconstruction", MSELoss(), weight)]
+        )
+
+    def test_weighted_sum(self):
+        joint = self.make_joint(weight=2.0)
+        pairs = {
+            "runtime": (Tensor([0.5]), Tensor([0.0])),
+            "reconstruction": (Tensor([1.0]), Tensor([0.0])),
+        }
+        total, parts = joint(pairs)
+        assert parts["runtime"] == pytest.approx(0.125)
+        assert parts["reconstruction"] == pytest.approx(1.0)
+        assert total.item() == pytest.approx(0.125 + 2.0)
+
+    def test_missing_term_raises(self):
+        joint = self.make_joint()
+        with pytest.raises(KeyError):
+            joint({"runtime": (Tensor([1.0]), Tensor([1.0]))})
+
+    def test_gradients_flow_through_all_terms(self):
+        joint = self.make_joint()
+        a = Tensor([0.5], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        total, _ = joint(
+            {"runtime": (a, Tensor([0.0])), "reconstruction": (b, Tensor([0.0]))}
+        )
+        total.backward()
+        assert a.grad is not None and b.grad is not None
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            JointLoss([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            JointLoss([("x", MSELoss(), -1.0)])
+
+    def test_parameters_of_terms_registered(self):
+        joint = self.make_joint()
+        # Loss modules are parameterless but must be registered as children.
+        assert len(joint.children()) == 2

@@ -1,0 +1,206 @@
+"""Tests of the module system: registration, state dicts, freezing, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import FeedForward, Linear
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(2, 3, seed=0)
+        self.fc2 = Linear(3, 1, seed=1)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 2 * 3 + 3 + 3 * 1 + 1
+
+    def test_attribute_overwrite_removes_old_registration(self):
+        net = TinyNet()
+        net.fc2 = Linear(3, 2, seed=2)
+        assert dict(net.named_parameters())["fc2.weight"].shape == (2, 3)
+
+    def test_replacing_module_with_plain_value_unregisters(self):
+        net = TinyNet()
+        net.fc2 = None
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias"]
+
+    def test_named_modules_includes_self_and_children(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_children(self):
+        assert len(TinyNet().children()) == 2
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.training
+        assert not net.fc1.training
+        net.train()
+        assert net.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestFreezing:
+    def test_freeze_unfreeze(self):
+        net = TinyNet()
+        net.freeze()
+        assert net.is_frozen()
+        assert all(not p.requires_grad for p in net.parameters())
+        net.unfreeze()
+        assert not net.is_frozen()
+
+    def test_partial_freeze(self):
+        net = TinyNet()
+        net.fc1.freeze()
+        assert net.fc1.is_frozen()
+        assert not net.is_frozen()
+
+    def test_frozen_params_receive_no_gradient(self):
+        net = TinyNet()
+        net.fc1.freeze()
+        out = net(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is None
+        assert net.fc2.weight.grad is not None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(), TinyNet()
+        b.load_state_dict(a.state_dict())
+        for (name_a, pa), (name_b, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_strict_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_non_strict_ignores_extras(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        net.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_load_resets_gradients(self):
+        net = TinyNet()
+        net(Tensor(np.ones((1, 2)))).sum().backward()
+        net.load_state_dict(net.state_dict())
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        seq = Sequential(Linear(2, 3, seed=0), Linear(3, 1, seed=1))
+        out = seq(Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+
+    def test_len_iter_getitem(self):
+        layers = [Linear(2, 2, seed=i) for i in range(3)]
+        seq = Sequential(*layers)
+        assert len(seq) == 3
+        assert list(seq) == layers
+        assert seq[1] is layers[1]
+
+    def test_parameters_collected(self):
+        seq = Sequential(Linear(2, 3, seed=0), Linear(3, 1, seed=1))
+        assert len(seq.parameters()) == 4
+
+
+class TestFeedForward:
+    def test_output_shape(self):
+        net = FeedForward(3, 16, 8, seed=0)
+        assert net(Tensor(np.ones((5, 3)))).shape == (5, 8)
+
+    def test_bias_waived(self):
+        net = FeedForward(4, 8, 2, bias=False, seed=0)
+        names = [name for name, _ in net.named_parameters()]
+        assert all("bias" not in name for name in names)
+
+    def test_reset_parameters_changes_weights(self):
+        net = FeedForward(3, 4, 2, seed=0)
+        before = net.layer1.weight.data.copy()
+        net.reset_parameters(seed=123)
+        assert not np.allclose(before, net.layer1.weight.data)
+
+    def test_set_dropout_disables(self):
+        net = FeedForward(3, 4, 2, dropout=0.2, seed=0)
+        net.set_dropout(0.0)
+        x = Tensor(np.ones((100, 3)))
+        out1 = net(x)
+        out2 = net(x)
+        np.testing.assert_allclose(out1.data, out2.data)
+
+    def test_dropout_active_in_training(self):
+        net = FeedForward(3, 32, 8, dropout=0.5, seed=0)
+        x = Tensor(np.ones((20, 3)))
+        out1 = net(x).data.copy()
+        out2 = net(x).data.copy()
+        assert not np.allclose(out1, out2)
+
+    def test_dropout_inactive_in_eval(self):
+        net = FeedForward(3, 32, 8, dropout=0.5, seed=0)
+        net.eval()
+        x = Tensor(np.ones((20, 3)))
+        np.testing.assert_allclose(net(x).data, net(x).data)
+
+    def test_deterministic_init_given_seed(self):
+        a = FeedForward(3, 4, 2, seed=42)
+        b = FeedForward(3, 4, 2, seed=42)
+        np.testing.assert_array_equal(a.layer1.weight.data, b.layer1.weight.data)

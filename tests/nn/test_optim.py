@@ -1,0 +1,135 @@
+"""Tests of the optimizers: update rules, weight decay, convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW
+
+
+def quadratic_step(param: Parameter) -> None:
+    """Set the gradient of f(w) = 0.5 ||w||^2, i.e. grad = w."""
+    param.grad = param.data.copy()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.8)
+
+    def test_weight_decay_adds_l2_gradient(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        plain, momentum = SGD([p1], lr=0.01), SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(p1)
+            plain.step()
+            quadratic_step(p2)
+            momentum.step()
+        assert abs(p2.data[0]) < abs(p1.data[0])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_frozen_parameters(self):
+        p = Parameter(np.array([1.0]))
+        p.requires_grad = False
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the very first Adam step is ~lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([7.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            quadratic_step(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-3)
+
+    def test_coupled_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.1)
+        for _ in range(200):
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_per_parameter_state_is_independent(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([1.0])
+        opt.step()  # only p1 has a gradient
+        assert id(p2) not in opt.state
+        assert opt.state[id(p1)]["t"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, eps=0.0)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, weight_decay=-0.1)
+
+
+class TestAdamW:
+    def test_decoupled_decay_independent_of_gradient_scale(self):
+        # AdamW's decay shrinks weights by lr*wd*w regardless of gradients.
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_differs_from_adam_under_decay(self):
+        pa, pw = Parameter(np.array([2.0])), Parameter(np.array([2.0]))
+        adam = Adam([pa], lr=0.05, weight_decay=0.2)
+        adamw = AdamW([pw], lr=0.05, weight_decay=0.2)
+        for _ in range(10):
+            pa.grad = np.array([0.3])
+            pw.grad = np.array([0.3])
+            adam.step()
+            adamw.step()
+        assert pa.data[0] != pytest.approx(pw.data[0])

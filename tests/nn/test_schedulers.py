@@ -1,0 +1,106 @@
+"""Tests of the learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    CyclicLR,
+    StepLR,
+)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstantAndStep:
+    def test_constant(self):
+        sched = ConstantLR(make_optimizer(0.05))
+        assert [sched.step() for _ in range(3)] == [0.05, 0.05, 0.05]
+
+    def test_step_decay(self):
+        sched = StepLR(make_optimizer(1.0), step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_step_writes_to_optimizer(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(make_optimizer(1.0), t_max=10, eta_min=0.1)
+        first = sched.step()
+        for _ in range(10):
+            last = sched.step()
+        assert first == pytest.approx(1.0)
+        assert last == pytest.approx(0.1)
+
+    def test_monotone_decrease(self):
+        sched = CosineAnnealingLR(make_optimizer(1.0), t_max=20)
+        lrs = [sched.step() for _ in range(21)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+
+class TestCyclic:
+    def test_range_respected(self):
+        sched = CyclicLR(make_optimizer(), min_lr=1e-3, max_lr=1e-2, cycle_length=10)
+        lrs = [sched.step() for _ in range(50)]
+        assert min(lrs) >= 1e-3 - 1e-12
+        assert max(lrs) <= 1e-2 + 1e-12
+
+    def test_peak_at_mid_cycle(self):
+        sched = CyclicLR(
+            make_optimizer(), min_lr=1e-3, max_lr=1e-2, cycle_length=10, mode="triangular"
+        )
+        lrs = [sched.step() for _ in range(10)]
+        assert np.argmax(lrs) == 5
+        assert lrs[5] == pytest.approx(1e-2)
+
+    def test_starts_at_min(self):
+        sched = CyclicLR(make_optimizer(), min_lr=1e-3, max_lr=1e-2, cycle_length=10)
+        assert sched.step() == pytest.approx(1e-3)
+
+    def test_triangular2_amplitude_halves_per_cycle(self):
+        sched = CyclicLR(
+            make_optimizer(), min_lr=1e-3, max_lr=1e-2, cycle_length=4, mode="triangular2"
+        )
+        lrs = [sched.step() for _ in range(12)]
+        peak0 = max(lrs[0:4])
+        peak1 = max(lrs[4:8])
+        peak2 = max(lrs[8:12])
+        assert (peak0 - 1e-3) == pytest.approx(2 * (peak1 - 1e-3))
+        assert (peak1 - 1e-3) == pytest.approx(2 * (peak2 - 1e-3))
+
+    def test_triangular_repeats(self):
+        sched = CyclicLR(
+            make_optimizer(), min_lr=1e-3, max_lr=1e-2, cycle_length=6, mode="triangular"
+        )
+        lrs = [sched.step() for _ in range(12)]
+        np.testing.assert_allclose(lrs[:6], lrs[6:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicLR(make_optimizer(), min_lr=0.0, max_lr=0.01)
+        with pytest.raises(ValueError):
+            CyclicLR(make_optimizer(), min_lr=0.01, max_lr=0.001)
+        with pytest.raises(ValueError):
+            CyclicLR(make_optimizer(), cycle_length=1)
+        with pytest.raises(ValueError):
+            CyclicLR(make_optimizer(), mode="sawtooth")

@@ -1,0 +1,333 @@
+"""Unit and property tests of the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import (
+    Tensor,
+    cat,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+from repro.nn.gradcheck import gradcheck
+
+
+def small_arrays(shape=(3, 4)):
+    """Hypothesis strategy: well-conditioned float arrays."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).item() == 3.5
+
+    def test_item_on_vector_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_numpy_returns_copy(self):
+        a = Tensor([1.0, 2.0])
+        view = a.numpy()
+        view[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([[1.0], [2.0], [3.0]])) == 3
+
+
+class TestBackwardMechanics:
+    def test_backward_scalar_only_without_grad(self):
+        t = Tensor([[1.0, 2.0]], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        (a * 3.0).sum().backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_zero_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_grad_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones((3,)))
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = a*a + a*a has gradient 4a.
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a
+        (b + b).sum().backward()
+        assert a.grad[0] == pytest.approx(12.0)
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    @given(small_arrays(), small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_add_matches_numeric(self, a, b):
+        assert gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    @given(small_arrays(), small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_mul_matches_numeric(self, a, b):
+        assert gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    @given(small_arrays(), small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_sub_matches_numeric(self, a, b):
+        assert gradcheck(lambda ts: (ts[0] - ts[1]).sum(), [a, b])
+
+    def test_div_gradient(self):
+        a = np.array([[1.0, -2.0], [0.5, 3.0]])
+        b = np.array([[2.0, 4.0], [8.0, 1.5]])
+        assert gradcheck(lambda ts: (ts[0] / ts[1]).sum(), [a, b])
+
+    def test_pow_gradient(self):
+        a = np.array([1.5, 2.0, 0.3])
+        assert gradcheck(lambda ts: (ts[0] ** 3).sum(), [a])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_neg_gradient(self):
+        assert gradcheck(lambda ts: (-ts[0]).sum(), [np.array([1.0, -2.0])])
+
+    def test_radd_rsub_rmul_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (3.0 + a) * 2.0
+        out = (10.0 - out) / 2.0
+        out = (8.0 / a) + out
+        out.sum().backward()
+        # d/da [ (10 - 2(3+a))/2 + 8/a ] = -1 - 8/a^2 = -1 - 2 = -3
+        assert a.grad[0] == pytest.approx(-3.0)
+
+    def test_broadcasting_row_vector(self):
+        a = np.ones((3, 4))
+        b = np.arange(4.0)
+        assert gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_broadcasting_column_vector(self):
+        a = np.ones((3, 4))
+        b = np.arange(3.0).reshape(3, 1)
+        assert gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_broadcast_scalar_constant(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+
+class TestMatmulGradients:
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-2, 2)),
+        hnp.arrays(np.float64, (4, 2), elements=st.floats(-2, 2)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_2d_matmul(self, a, b):
+        assert gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_vector_matrix(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.arange(6.0).reshape(3, 2)
+        assert gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matrix_vector(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.array([1.0, -1.0, 0.5])
+        assert gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones((2, 2, 2))) @ Tensor(np.ones((2, 2)))
+
+    def test_matmul_values(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+
+class TestTranscendentalGradients:
+    def test_exp(self):
+        assert gradcheck(lambda ts: ts[0].exp().sum(), [np.array([0.0, 1.0, -1.0])])
+
+    def test_log(self):
+        assert gradcheck(lambda ts: ts[0].log().sum(), [np.array([0.5, 1.0, 3.0])])
+
+    def test_sqrt(self):
+        assert gradcheck(lambda ts: ts[0].sqrt().sum(), [np.array([0.5, 1.0, 4.0])])
+
+    def test_tanh(self):
+        assert gradcheck(lambda ts: ts[0].tanh().sum(), [np.array([-2.0, 0.1, 2.0])])
+
+    def test_sigmoid(self):
+        assert gradcheck(lambda ts: ts[0].sigmoid().sum(), [np.array([-2.0, 0.1, 2.0])])
+
+    def test_abs_away_from_zero(self):
+        assert gradcheck(lambda ts: ts[0].abs().sum(), [np.array([-2.0, 0.5, 3.0])])
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self):
+        assert gradcheck(lambda ts: ts[0].sum(), [np.arange(6.0).reshape(2, 3)])
+
+    def test_sum_axis0(self):
+        assert gradcheck(
+            lambda ts: (ts[0].sum(axis=0) ** 2).sum(), [np.arange(6.0).reshape(2, 3)]
+        )
+
+    def test_sum_axis1_keepdims(self):
+        assert gradcheck(
+            lambda ts: (ts[0].sum(axis=1, keepdims=True) ** 2).sum(),
+            [np.arange(6.0).reshape(2, 3)],
+        )
+
+    def test_mean_all(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        assert gradcheck(
+            lambda ts: (ts[0].mean(axis=1) ** 2).sum(), [np.arange(6.0).reshape(2, 3)]
+        )
+
+    def test_mean_middle_axis_3d(self):
+        a = np.arange(24.0).reshape(2, 3, 4)
+        assert gradcheck(lambda ts: (ts[0].mean(axis=1) ** 2).sum(), [a])
+
+    def test_max_gradient_unique(self):
+        a = np.array([1.0, 5.0, 3.0])
+        assert gradcheck(lambda ts: ts[0].max(), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([2.0, 2.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+    def test_reshape(self):
+        assert gradcheck(
+            lambda ts: (ts[0].reshape(3, 2) ** 2).sum(), [np.arange(6.0).reshape(2, 3)]
+        )
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default(self):
+        assert gradcheck(
+            lambda ts: (ts[0].T ** 2).sum(), [np.arange(6.0).reshape(2, 3)]
+        )
+
+    def test_transpose_axes(self):
+        a = np.arange(24.0).reshape(2, 3, 4)
+        assert gradcheck(
+            lambda ts: (ts[0].transpose((2, 0, 1)) ** 2).sum(), [a]
+        )
+
+    def test_getitem_slice(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert gradcheck(lambda ts: (ts[0][1:, :2] ** 2).sum(), [a])
+
+    def test_getitem_3d_component_slice(self):
+        a = np.arange(24.0).reshape(2, 3, 4)
+        assert gradcheck(lambda ts: (ts[0][:, :2, :] ** 2).sum(), [a])
+
+
+class TestFreeFunctions:
+    def test_where_gradient(self):
+        a = np.array([1.0, -2.0, 3.0])
+        b = np.array([4.0, 5.0, -6.0])
+        cond = np.array([True, False, True])
+        assert gradcheck(lambda ts: where(cond, ts[0], ts[1]).sum(), [a, b])
+
+    def test_maximum_gradient(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([2.0, 3.0])
+        assert gradcheck(lambda ts: maximum(ts[0], ts[1]).sum(), [a, b])
+
+    def test_maximum_tie_splits(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        maximum(a, b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+    def test_cat_axis0(self):
+        a = np.ones((2, 3))
+        b = np.full((1, 3), 2.0)
+        assert gradcheck(lambda ts: (cat(ts, axis=0) ** 2).sum(), [a, b])
+
+    def test_cat_axis1(self):
+        a = np.ones((2, 2))
+        b = np.full((2, 3), 2.0)
+        assert gradcheck(lambda ts: (cat(ts, axis=1) ** 2).sum(), [a, b])
+
+    def test_cat_empty_raises(self):
+        with pytest.raises(ValueError):
+            cat([])
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        (out**2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones(3))
+
+    def test_constructors(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert tensor([1.0]).data[0] == 1.0

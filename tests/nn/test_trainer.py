@@ -1,0 +1,249 @@
+"""Tests of the training loop: stopping criteria, best-state restore, callbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.optim import Adam, SGD
+from repro.nn.schedulers import CyclicLR, StepLR
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import TrainResult, Trainer, TrainerConfig, unfreeze_after
+
+
+class LineModel(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.fc = Linear(1, 1, seed=seed)
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+def make_problem(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 1))
+    Y = 3.0 * X + 0.5
+    return X, Y
+
+
+def batch_loss_fn(model, X, Y):
+    def batch_loss(indices):
+        prediction = model(Tensor(X[indices]))
+        loss = F.mse_loss(prediction, Tensor(Y[indices]))
+        mae = float(np.abs(prediction.data - Y[indices]).mean())
+        return loss, {"mae": mae}
+
+    return batch_loss
+
+
+class TestBasicTraining:
+    def test_converges_on_linear_problem(self):
+        model = LineModel()
+        X, Y = make_problem()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=1e-2),
+            TrainerConfig(max_epochs=400, batch_size=16, monitor="mae", seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert result.best_metric < 0.05
+
+    def test_history_recorded_per_epoch(self):
+        model = LineModel()
+        X, Y = make_problem()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-2),
+            TrainerConfig(max_epochs=7, batch_size=32, seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert len(result.history) == 7
+        assert all("loss" in h and "mae" in h and "lr" in h for h in result.history)
+
+    def test_metric_series_helper(self):
+        result = TrainResult(
+            epochs_trained=2,
+            best_epoch=1,
+            best_metric=0.5,
+            stop_reason="max_epochs",
+            history=[{"mae": 1.0}, {"mae": 0.5}],
+        )
+        assert result.metric_series("mae") == [1.0, 0.5]
+
+    def test_invalid_n_samples(self):
+        model = LineModel()
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.1), TrainerConfig(max_epochs=1)
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(0, lambda idx: None)
+
+
+class TestStoppingCriteria:
+    def test_target_stop(self):
+        model = LineModel()
+        X, Y = make_problem()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=5e-2),
+            TrainerConfig(max_epochs=2000, batch_size=64, monitor="mae", target=0.2, seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert result.stop_reason == "target"
+        assert result.epochs_trained < 2000
+
+    def test_patience_stop(self):
+        model = LineModel()
+        X, Y = make_problem()
+        # A tiny LR improves the metric by less than min_delta each epoch,
+        # so patience must terminate the run.
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-12),
+            TrainerConfig(
+                max_epochs=500, monitor="mae", patience=10, min_delta=0.01, seed=0
+            ),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert result.stop_reason == "patience"
+        assert result.epochs_trained <= 15
+
+    def test_max_epochs_stop(self):
+        model = LineModel()
+        X, Y = make_problem()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-3),
+            TrainerConfig(max_epochs=3, seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert result.stop_reason == "max_epochs"
+
+    def test_callback_stop(self):
+        model = LineModel()
+        X, Y = make_problem()
+
+        def stop_at_five(trainer, epoch, metrics):
+            if epoch == 4:
+                trainer.should_stop = True
+
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-3),
+            TrainerConfig(max_epochs=100, seed=0),
+            callbacks=[stop_at_five],
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        assert result.stop_reason == "callback"
+        assert result.epochs_trained == 5
+
+
+class TestBestStateRestore:
+    def test_best_state_restored(self):
+        model = LineModel()
+        X, Y = make_problem()
+
+        # Monitor via the end-of-epoch evaluate hook so the monitored value
+        # corresponds exactly to the state that gets snapshotted.
+        def evaluate():
+            prediction = model(Tensor(X)).data
+            return {"val_mae": float(np.abs(prediction - Y).mean())}
+
+        # Huge LR makes late epochs diverge; restore must pick the best.
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=2.5),
+            TrainerConfig(max_epochs=60, monitor="val_mae", restore_best=True, seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y), evaluate=evaluate)
+        final_pred = model(Tensor(X)).data
+        final_mae = float(np.abs(final_pred - Y).mean())
+        assert final_mae == pytest.approx(result.best_metric, rel=1e-9)
+
+    def test_no_restore_keeps_last_state(self):
+        model = LineModel()
+        X, Y = make_problem()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-2),
+            TrainerConfig(max_epochs=5, monitor="mae", restore_best=False, seed=0),
+        )
+        trainer.fit(len(X), batch_loss_fn(model, X, Y))  # should not raise
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_steps_each_epoch(self):
+        model = LineModel()
+        X, Y = make_problem()
+        optimizer = SGD(model.parameters(), lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        trainer = Trainer(
+            model, optimizer, TrainerConfig(max_epochs=4, seed=0), scheduler=scheduler
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        lrs = result.metric_series("lr")
+        np.testing.assert_allclose(lrs, [1.0, 1.0, 0.1, 0.1])
+
+    def test_cyclic_lr_recorded(self):
+        model = LineModel()
+        X, Y = make_problem()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        scheduler = CyclicLR(optimizer, min_lr=1e-3, max_lr=1e-2, cycle_length=10)
+        trainer = Trainer(
+            model, optimizer, TrainerConfig(max_epochs=10, seed=0), scheduler=scheduler
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        lrs = result.metric_series("lr")
+        assert max(lrs) <= 1e-2 + 1e-12
+        assert min(lrs) >= 1e-3 - 1e-12
+
+
+class TestEvaluateHook:
+    def test_monitor_uses_evaluate_metrics(self):
+        model = LineModel()
+        X, Y = make_problem()
+        calls = []
+
+        def evaluate():
+            calls.append(1)
+            return {"val_mae": 123.0}
+
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-3),
+            TrainerConfig(max_epochs=3, monitor="val_mae", seed=0),
+        )
+        result = trainer.fit(len(X), batch_loss_fn(model, X, Y), evaluate=evaluate)
+        assert len(calls) == 3
+        assert result.best_metric == 123.0
+
+
+class TestUnfreezeCallback:
+    def test_unfreezes_at_threshold(self):
+        model = LineModel()
+        X, Y = make_problem()
+        model.fc.freeze()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-2),
+            TrainerConfig(max_epochs=6, seed=0),
+            callbacks=[unfreeze_after(model.fc, 3)],
+        )
+        weights = []
+
+        def spy(trainer, epoch, metrics):
+            weights.append(model.fc.weight.data.copy())
+
+        trainer.callbacks.append(spy)
+        trainer.fit(len(X), batch_loss_fn(model, X, Y))
+        # Frozen during the first 3 epochs, trained afterwards.
+        np.testing.assert_array_equal(weights[0], weights[2])
+        assert not np.array_equal(weights[2], weights[5])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            unfreeze_after(LineModel(), -1)

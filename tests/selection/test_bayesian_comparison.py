@@ -1,0 +1,178 @@
+"""Tests for the BO search and the profiling-cost comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pretraining import pretrain
+from repro.data.c3o import generate_c3o_contexts
+from repro.data.dataset import ExecutionDataset
+from repro.selection.bayesian import (
+    BayesianScaleoutSearch,
+    expected_improvement,
+)
+from repro.selection.comparison import (
+    render_profiling_cost,
+    run_profiling_cost_experiment,
+)
+from repro.simulator.traces import TraceGenerator
+
+#: A deterministic U-shaped runtime curve over the candidate grid.
+CURVE = {2: 400.0, 4: 210.0, 6: 150.0, 8: 140.0, 10: 150.0, 12: 165.0}
+
+
+class TestExpectedImprovement:
+    def test_zero_sigma_clamps(self):
+        ei = expected_improvement(np.array([5.0]), np.array([0.0]), best=4.0)
+        assert ei[0] == 0.0
+
+    def test_improvement_direction(self):
+        """Lower predicted mean (minimization) yields higher EI."""
+        ei = expected_improvement(
+            np.array([1.0, 3.0]), np.array([1.0, 1.0]), best=2.0
+        )
+        assert ei[0] > ei[1]
+
+    def test_uncertainty_raises_ei(self):
+        ei = expected_improvement(
+            np.array([2.0, 2.0]), np.array([0.1, 2.0]), best=2.0
+        )
+        assert ei[1] > ei[0]
+
+    def test_non_negative(self):
+        ei = expected_improvement(
+            np.linspace(-5, 5, 11), np.linspace(0, 2, 11), best=0.0
+        )
+        assert np.all(ei >= 0.0)
+
+
+class TestBayesianSearch:
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            BayesianScaleoutSearch([])
+        with pytest.raises(ValueError):
+            BayesianScaleoutSearch([0, 2])
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            BayesianScaleoutSearch([2, 4], max_runs=0)
+        with pytest.raises(ValueError):
+            BayesianScaleoutSearch([2, 4], max_runs=2, initial_runs=3)
+
+    def test_respects_budget(self):
+        calls = []
+
+        def profile(machines: int) -> float:
+            calls.append(machines)
+            return CURVE[machines]
+
+        search = BayesianScaleoutSearch(
+            sorted(CURVE), runtime_target_s=200.0, max_runs=3, seed=0
+        )
+        outcome = search.run(profile)
+        assert outcome.profiling_runs == len(calls) <= 3
+
+    def test_finds_feasible_configuration(self):
+        search = BayesianScaleoutSearch(
+            sorted(CURVE), runtime_target_s=200.0, max_runs=6, seed=1
+        )
+        outcome = search.run(lambda machines: CURVE[machines])
+        assert outcome.meets_target
+        assert CURVE[outcome.best_machines] <= 200.0
+
+    def test_infeasible_target(self):
+        search = BayesianScaleoutSearch(
+            sorted(CURVE), runtime_target_s=50.0, max_runs=6, seed=0
+        )
+        outcome = search.run(lambda machines: CURVE[machines])
+        assert not outcome.meets_target
+        assert outcome.best_machines is None
+
+    def test_never_profiles_same_config_twice(self):
+        calls = []
+
+        def profile(machines: int) -> float:
+            calls.append(machines)
+            return CURVE[machines]
+
+        search = BayesianScaleoutSearch(sorted(CURVE), max_runs=6, seed=2)
+        search.run(profile)
+        assert len(calls) == len(set(calls))
+
+    def test_deterministic_per_seed(self):
+        outcome_a = BayesianScaleoutSearch(sorted(CURVE), max_runs=4, seed=5).run(
+            lambda m: CURVE[m]
+        )
+        outcome_b = BayesianScaleoutSearch(sorted(CURVE), max_runs=4, seed=5).run(
+            lambda m: CURVE[m]
+        )
+        assert outcome_a.history == outcome_b.history
+
+
+class TestProfilingCostExperiment:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        contexts = [c for c in generate_c3o_contexts(seed=8) if c.algorithm == "sgd"][:4]
+        generator = TraceGenerator(seed=8)
+        dataset = ExecutionDataset()
+        for context in contexts:
+            dataset.extend(
+                generator.executions_for_context(context, (2, 4, 6, 8, 10, 12), 2)
+            )
+        base = pretrain(dataset, "sgd", epochs=40, seed=0).model
+        base.eval()
+        return generator, contexts[:2], {"sgd": base}
+
+    def test_runs_all_methods(self, setup):
+        generator, contexts, pretrained = setup
+        result = run_profiling_cost_experiment(
+            generator, contexts, pretrained, finetune_max_epochs=60, seed=0
+        )
+        assert set(result.methods()) == {
+            "CherryPick (BO)",
+            "Ernest (NNLS)",
+            "Bellamy (pre-trained)",
+        }
+        assert len(result.trials) == 3 * len(contexts)
+
+    def test_bellamy_uses_fewest_runs(self, setup):
+        generator, contexts, pretrained = setup
+        result = run_profiling_cost_experiment(
+            generator, contexts, pretrained,
+            bellamy_samples=1, ernest_samples=4, finetune_max_epochs=60, seed=0,
+        )
+        assert result.mean_profiling_runs("Bellamy (pre-trained)") == 1.0
+        assert result.mean_profiling_runs("Ernest (NNLS)") == 4.0
+        assert (
+            result.mean_profiling_runs("Bellamy (pre-trained)")
+            < result.mean_profiling_runs("CherryPick (BO)")
+        )
+
+    def test_zero_shot_mode(self, setup):
+        generator, contexts, pretrained = setup
+        result = run_profiling_cost_experiment(
+            generator, contexts, pretrained,
+            bellamy_samples=0, finetune_max_epochs=60, seed=0,
+        )
+        assert result.mean_profiling_runs("Bellamy (pre-trained)") == 0.0
+
+    def test_missing_model_rejected(self, setup):
+        generator, contexts, _ = setup
+        with pytest.raises(KeyError, match="no pre-trained model"):
+            run_profiling_cost_experiment(generator, contexts, {}, seed=0)
+
+    def test_invalid_sample_counts(self, setup):
+        generator, contexts, pretrained = setup
+        with pytest.raises(ValueError):
+            run_profiling_cost_experiment(
+                generator, contexts, pretrained, bellamy_samples=-1
+            )
+
+    def test_render(self, setup):
+        generator, contexts, pretrained = setup
+        result = run_profiling_cost_experiment(
+            generator, contexts, pretrained, finetune_max_epochs=60, seed=0
+        )
+        text = render_profiling_cost(result)
+        assert "CherryPick (BO)" in text and "success rate" in text

@@ -1,0 +1,111 @@
+"""Tests for the Gaussian-process surrogate (repro.selection.gp)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.gp import GaussianProcess, RBFKernel
+
+
+class TestRBFKernel:
+    def test_diagonal_is_signal_variance(self):
+        kernel = RBFKernel(length_scale=2.0, signal_variance=3.0)
+        x = np.array([1.0, 5.0, 9.0])
+        np.testing.assert_allclose(np.diag(kernel(x, x)), 3.0)
+
+    def test_symmetry(self):
+        kernel = RBFKernel()
+        x = np.array([0.0, 1.0, 4.0])
+        gram = kernel(x, x)
+        np.testing.assert_allclose(gram, gram.T)
+
+    def test_decay_with_distance(self):
+        kernel = RBFKernel(length_scale=1.0)
+        values = kernel(np.array([0.0]), np.array([0.5, 1.0, 3.0])).ravel()
+        assert values[0] > values[1] > values[2]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ValueError):
+            RBFKernel(signal_variance=-1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_gram_positive_semidefinite(self, points):
+        gram = RBFKernel()(np.array(points), np.array(points))
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+
+class TestGaussianProcess:
+    def test_unfit_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fit"):
+            GaussianProcess().predict([1.0])
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit([1.0, 2.0], [1.0])
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise_variance=0.0)
+
+    def test_interpolates_training_points(self):
+        x = np.array([2.0, 4.0, 8.0, 12.0])
+        y = np.array([100.0, 60.0, 45.0, 50.0])
+        gp = GaussianProcess(noise_variance=1e-8).fit(x, y)
+        np.testing.assert_allclose(gp.predict(x), y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self):
+        gp = GaussianProcess(noise_variance=1e-6).fit([2.0, 4.0], [10.0, 8.0])
+        _, std = gp.predict([3.0, 40.0], return_std=True)
+        assert std[1] > std[0]
+
+    def test_zero_variance_at_training_points(self):
+        gp = GaussianProcess(noise_variance=1e-8).fit([2.0, 6.0], [5.0, 3.0])
+        _, std = gp.predict([2.0, 6.0], return_std=True)
+        assert np.all(std < 1e-2)
+
+    def test_far_extrapolation_reverts_to_mean(self):
+        """Away from the data, the posterior reverts to the target mean."""
+        gp = GaussianProcess().fit([2.0, 4.0, 6.0], [10.0, 20.0, 30.0])
+        far = gp.predict([1e6])
+        np.testing.assert_allclose(far, 20.0, rtol=1e-6)
+
+    def test_single_point_fit(self):
+        gp = GaussianProcess().fit([5.0], [42.0])
+        np.testing.assert_allclose(gp.predict([5.0]), 42.0, atol=1e-2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=100),
+                st.floats(min_value=-1000, max_value=1000),
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_posterior_variance_never_negative(self, points):
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        gp = GaussianProcess().fit(x, y)
+        _, std = gp.predict(np.linspace(0.0, 120.0, 30), return_std=True)
+        assert np.all(np.isfinite(std)) and np.all(std >= 0.0)

@@ -1,0 +1,170 @@
+"""Tests of the runtime law: scaling behaviour, memory cliffs, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.algorithms import get_algorithm_profile
+from repro.simulator.nodes import get_node_type
+from repro.simulator.runtime_law import (
+    ContextLatents,
+    expected_runtime,
+    sample_runtime,
+    work_factor_from_params,
+)
+
+
+def runtime_curve(algorithm, node="m4.xlarge", dataset_mb=10_000, params=None, **kwargs):
+    profile = get_algorithm_profile(algorithm)
+    node_type = get_node_type(node)
+    return np.array(
+        [
+            expected_runtime(profile, node_type, x, dataset_mb, params=params, **kwargs)
+            for x in (2, 4, 6, 8, 10, 12)
+        ]
+    )
+
+
+class TestBasicProperties:
+    def test_positive_runtimes(self):
+        for algorithm in ("grep", "sort", "pagerank", "sgd", "kmeans"):
+            assert (runtime_curve(algorithm) > 0).all()
+
+    def test_grep_is_near_embarrassingly_parallel(self):
+        curve = runtime_curve("grep", dataset_mb=30_000)
+        # Strictly decreasing over the small-cluster range.
+        assert curve[0] > curve[1] > curve[2]
+
+    def test_more_data_takes_longer(self):
+        small = runtime_curve("sort", dataset_mb=5_000)
+        large = runtime_curve("sort", dataset_mb=40_000)
+        assert (large > small).all()
+
+    def test_faster_nodes_are_faster(self):
+        slow = runtime_curve("grep", node="m4.xlarge")
+        fast = runtime_curve("grep", node="c5.2xlarge")
+        assert (fast < slow).all()
+
+    def test_invalid_arguments(self):
+        profile = get_algorithm_profile("grep")
+        node = get_node_type("m4.xlarge")
+        with pytest.raises(ValueError):
+            expected_runtime(profile, node, 0, 1000)
+        with pytest.raises(ValueError):
+            expected_runtime(profile, node, 2, -5)
+
+
+class TestIterationScaling:
+    def test_sgd_iterations_increase_runtime(self):
+        base = runtime_curve("sgd", params={"max_iterations": "25"})
+        more = runtime_curve("sgd", params={"max_iterations": "100"})
+        assert (more > base).all()
+
+    def test_kmeans_k_increases_runtime(self):
+        small_k = runtime_curve("kmeans", params={"k": "5", "iterations": "20"})
+        large_k = runtime_curve("kmeans", params={"k": "25", "iterations": "20"})
+        assert (large_k > small_k).all()
+
+    def test_work_factor_dispatch(self):
+        assert work_factor_from_params(get_algorithm_profile("kmeans"), {"k": "20"}) == 2.0
+        assert work_factor_from_params(get_algorithm_profile("sgd"), {}) == 1.0
+        grep = get_algorithm_profile("grep")
+        short = work_factor_from_params(grep, {"pattern": "err"})
+        long = work_factor_from_params(grep, {"pattern": "a-very-long-regex-pattern"})
+        assert long > short
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            work_factor_from_params(get_algorithm_profile("kmeans"), {"k": "0"})
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            get_algorithm_profile("sgd").iterations({"max_iterations": "0"})
+
+
+class TestMemoryCliff:
+    def test_sgd_large_dataset_on_small_memory_has_cliff(self):
+        # 30 GB * blowup 2.2 = 66 GB working set; m4.xlarge offers
+        # 16 GB * 0.6 = 9.6 GB cache per machine, so small clusters spill.
+        curve = runtime_curve("sgd", node="m4.xlarge", dataset_mb=30_000,
+                              params={"max_iterations": "50"})
+        # Massive drop (not Ernest-like 1/x) somewhere in the range.
+        ratios = curve[:-1] / curve[1:]
+        assert ratios.max() > 1.6
+
+    def test_memory_rich_nodes_avoid_the_cliff(self):
+        lean = runtime_curve("sgd", node="m4.xlarge", dataset_mb=30_000)
+        rich = runtime_curve("sgd", node="r4.2xlarge", dataset_mb=30_000)
+        # r4.2xlarge (61 GB) caches the working set at small scale-outs.
+        assert rich[0] < lean[0]
+
+    def test_small_dataset_no_cliff(self):
+        curve = runtime_curve("sgd", node="r4.2xlarge", dataset_mb=2_000)
+        ratios = curve[:-1] / np.maximum(curve[1:], 1e-9)
+        assert ratios.max() < 1.5
+
+    def test_batch_jobs_unaffected_by_blowup(self):
+        assert get_algorithm_profile("grep").cache_blowup == 1.0
+        assert get_algorithm_profile("sort").cache_blowup == 1.0
+
+
+class TestLatentsAndEnvironment:
+    def test_latents_deterministic(self):
+        a = ContextLatents.from_descriptor(42, "ctx-1")
+        b = ContextLatents.from_descriptor(42, "ctx-1")
+        assert a == b
+
+    def test_latents_differ_across_descriptors(self):
+        a = ContextLatents.from_descriptor(42, "ctx-1")
+        b = ContextLatents.from_descriptor(42, "ctx-2")
+        assert a != b
+
+    def test_latents_scale_runtime(self):
+        heavy = ContextLatents(work=2.0, overhead=1.0, sync=1.0)
+        base = runtime_curve("grep")
+        scaled = runtime_curve("grep", latents=heavy)
+        assert (scaled > base).all()
+
+    def test_legacy_software_slower(self):
+        modern = runtime_curve("sgd")
+        legacy = runtime_curve("sgd", legacy_software=True)
+        assert (legacy > modern).all()
+
+
+class TestSampling:
+    def test_noise_is_multiplicative_and_bounded(self):
+        profile = get_algorithm_profile("grep")
+        node = get_node_type("m4.xlarge")
+        rng = np.random.default_rng(0)
+        base = expected_runtime(profile, node, 4, 10_000)
+        samples = np.array(
+            [
+                sample_runtime(profile, node, 4, 10_000, rng, noise_sigma=0.03,
+                               straggler_probability=0.0)
+                for _ in range(500)
+            ]
+        )
+        assert samples.mean() == pytest.approx(base, rel=0.02)
+        assert ((samples > 0.8 * base) & (samples < 1.25 * base)).all()
+
+    def test_stragglers_add_positive_tail(self):
+        profile = get_algorithm_profile("grep")
+        node = get_node_type("m4.xlarge")
+        rng = np.random.default_rng(0)
+        base = expected_runtime(profile, node, 4, 10_000)
+        samples = np.array(
+            [
+                sample_runtime(profile, node, 4, 10_000, rng, noise_sigma=0.0,
+                               straggler_probability=1.0)
+                for _ in range(100)
+            ]
+        )
+        assert (samples > base * 1.05).all()
+
+    def test_sampling_deterministic_given_rng(self):
+        profile = get_algorithm_profile("sort")
+        node = get_node_type("m5.xlarge")
+        a = sample_runtime(profile, node, 4, 5_000, np.random.default_rng(9))
+        b = sample_runtime(profile, node, 4, 5_000, np.random.default_rng(9))
+        assert a == b

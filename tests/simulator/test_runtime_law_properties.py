@@ -1,0 +1,159 @@
+"""Property-based tests of the runtime law's physical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.algorithms import ALGORITHM_PROFILES, get_algorithm_profile
+from repro.simulator.nodes import CLOUD_NODE_TYPES, get_node_type
+from repro.simulator.runtime_law import (
+    ContextLatents,
+    expected_runtime,
+    work_factor_from_params,
+)
+
+ALGORITHMS = sorted(ALGORITHM_PROFILES)
+NODES = sorted(CLOUD_NODE_TYPES)
+
+algorithm_st = st.sampled_from(ALGORITHMS)
+node_st = st.sampled_from(NODES)
+machines_st = st.integers(min_value=1, max_value=64)
+dataset_st = st.integers(min_value=500, max_value=80_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(algorithm=algorithm_st, node=node_st, machines=machines_st, mb=dataset_st)
+def test_runtime_positive_and_finite(algorithm, node, machines, mb):
+    runtime = expected_runtime(
+        get_algorithm_profile(algorithm), get_node_type(node), machines, float(mb)
+    )
+    assert np.isfinite(runtime) and runtime > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(algorithm=algorithm_st, node=node_st, machines=machines_st, mb=dataset_st)
+def test_runtime_monotone_in_dataset_size(algorithm, node, machines, mb):
+    """More data never runs faster (all other things equal)."""
+    profile = get_algorithm_profile(algorithm)
+    node_type = get_node_type(node)
+    small = expected_runtime(profile, node_type, machines, float(mb))
+    large = expected_runtime(profile, node_type, machines, float(mb) * 2.0)
+    assert large >= small - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    algorithm=st.sampled_from(("grep", "sort")),
+    node=node_st,
+    mb=st.integers(min_value=10_000, max_value=80_000),
+)
+def test_batch_jobs_benefit_from_machines_when_work_dominates(algorithm, node, mb):
+    """In the work-dominated regime (batch jobs, >= 10 GB), 8 machines beat 1.
+
+    The inverse is *deliberately* not universal: iterative jobs on small
+    datasets are synchronization-dominated and slow down with more machines —
+    the paper's "non-trivial scale-out behaviour" (Fig. 2).
+    """
+    profile = get_algorithm_profile(algorithm)
+    node_type = get_node_type(node)
+    one = expected_runtime(profile, node_type, 1, float(mb))
+    eight = expected_runtime(profile, node_type, 8, float(mb))
+    assert eight < one
+
+
+def test_sync_dominated_jobs_slow_down_with_machines():
+    """The non-trivial regime exists: tiny iterative jobs prefer few machines."""
+    profile = get_algorithm_profile("kmeans")
+    node_type = get_node_type("c4.2xlarge")
+    params = {"iterations": "30", "k": "10"}
+    two = expected_runtime(profile, node_type, 2, 500.0, params=params)
+    twelve = expected_runtime(profile, node_type, 12, 500.0, params=params)
+    assert twelve > two
+
+
+@settings(max_examples=40, deadline=None)
+@given(algorithm=algorithm_st, node=node_st, machines=machines_st, mb=dataset_st)
+def test_legacy_software_is_slower(algorithm, node, machines, mb):
+    profile = get_algorithm_profile(algorithm)
+    node_type = get_node_type(node)
+    modern = expected_runtime(profile, node_type, machines, float(mb))
+    legacy = expected_runtime(
+        profile, node_type, machines, float(mb), legacy_software=True
+    )
+    assert legacy >= modern
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    algorithm=algorithm_st,
+    node=node_st,
+    machines=machines_st,
+    mb=dataset_st,
+    spread=st.floats(min_value=0.01, max_value=0.5),
+    salt=st.integers(min_value=0, max_value=10_000),
+)
+def test_latents_scale_runtime_smoothly(algorithm, node, machines, mb, spread, salt):
+    """Latents multiply terms; runtime stays within the latents' envelope."""
+    profile = get_algorithm_profile(algorithm)
+    node_type = get_node_type(node)
+    latents = ContextLatents.from_descriptor(salt, f"ctx-{salt}", spread=spread)
+    base = expected_runtime(profile, node_type, machines, float(mb))
+    scaled = expected_runtime(
+        profile, node_type, machines, float(mb), latents=latents
+    )
+    # Shuffle time carries no latent factor, so the envelope includes 1.0.
+    bound = max(1.0, latents.work, latents.overhead, latents.sync)
+    floor = min(1.0, latents.work, latents.overhead, latents.sync)
+    assert floor * base - 1e-6 <= scaled <= bound * base + 1e-6
+
+
+class TestWorkFactors:
+    def test_kmeans_scales_with_k(self):
+        profile = get_algorithm_profile("kmeans")
+        assert work_factor_from_params(profile, {"k": "20"}) == pytest.approx(2.0)
+        assert work_factor_from_params(profile, {"k": "5"}) == pytest.approx(0.5)
+
+    def test_kmeans_invalid_k(self):
+        with pytest.raises(ValueError):
+            work_factor_from_params(get_algorithm_profile("kmeans"), {"k": "0"})
+
+    def test_grep_pattern_length(self):
+        profile = get_algorithm_profile("grep")
+        short = work_factor_from_params(profile, {"pattern": "a"})
+        long = work_factor_from_params(profile, {"pattern": "a" * 40})
+        assert long > short
+        # Pattern cost is capped at 30 characters.
+        assert long == work_factor_from_params(profile, {"pattern": "b" * 31})
+
+    def test_sgd_params_neutral(self):
+        profile = get_algorithm_profile("sgd")
+        assert work_factor_from_params(profile, {"step_size": "1.0"}) == 1.0
+
+
+class TestValidation:
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError, match="machines"):
+            expected_runtime(
+                get_algorithm_profile("grep"), get_node_type("m4.xlarge"), 0, 1000.0
+            )
+
+    def test_zero_dataset_rejected(self):
+        with pytest.raises(ValueError, match="dataset_mb"):
+            expected_runtime(
+                get_algorithm_profile("grep"), get_node_type("m4.xlarge"), 2, 0.0
+            )
+
+    def test_iterative_cliff_depends_on_memory(self):
+        """The SGD cliff hits low-memory nodes harder than high-memory ones."""
+        profile = get_algorithm_profile("sgd")
+        params = {"max_iterations": "50"}
+        low_memory = expected_runtime(
+            profile, get_node_type("c4.2xlarge"), 2, 40_000.0, params=params
+        )
+        high_memory = expected_runtime(
+            profile, get_node_type("r4.2xlarge"), 2, 40_000.0, params=params
+        )
+        assert low_memory > high_memory * 1.5

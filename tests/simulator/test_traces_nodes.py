@@ -1,0 +1,150 @@
+"""Tests of the node catalog, algorithm profiles, and trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ExecutionDataset
+from repro.simulator import (
+    ALGORITHM_PROFILES,
+    ALL_NODE_TYPES,
+    BELL_ALGORITHMS,
+    C3O_ALGORITHMS,
+    CLOUD_NODE_TYPES,
+    CLUSTER_NODE_TYPES,
+    TraceGenerator,
+    cloud_node_names,
+    get_algorithm_profile,
+    get_node_type,
+)
+
+
+class TestNodeCatalog:
+    def test_all_is_union(self):
+        assert set(ALL_NODE_TYPES) == set(CLOUD_NODE_TYPES) | set(CLUSTER_NODE_TYPES)
+
+    def test_lookup(self):
+        node = get_node_type("m4.2xlarge")
+        assert node.cores == 8
+        assert node.memory_gb == 32.0
+        assert node.environment == "cloud"
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            get_node_type("z9.mega")
+
+    def test_cloud_names_sorted(self):
+        names = cloud_node_names()
+        assert names == sorted(names)
+        assert len(names) >= 8
+
+    def test_memory_mb(self):
+        assert get_node_type("m4.xlarge").memory_mb == 16 * 1024
+
+    def test_cluster_node_is_legacy_environment(self):
+        node = get_node_type("cluster-node")
+        assert node.environment == "cluster"
+        assert node.price_per_hour == 0.0
+
+    def test_node_families_differ_in_memory(self):
+        assert get_node_type("r4.2xlarge").memory_gb > get_node_type("c4.2xlarge").memory_gb
+
+    def test_invalid_node_spec_rejected(self):
+        from repro.simulator.nodes import NodeType
+
+        with pytest.raises(ValueError):
+            NodeType("bad", 0, 16.0, 1.0, 100.0, 100.0, 0.1)
+        with pytest.raises(ValueError):
+            NodeType("bad", 4, -1.0, 1.0, 100.0, 100.0, 0.1)
+
+
+class TestAlgorithmProfiles:
+    def test_all_c3o_algorithms_present(self):
+        assert set(C3O_ALGORITHMS) == set(ALGORITHM_PROFILES)
+
+    def test_bell_subset(self):
+        assert set(BELL_ALGORITHMS) <= set(C3O_ALGORITHMS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm_profile("SGD").name == "sgd"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            get_algorithm_profile("wordcount")
+
+    def test_iterative_vs_batch(self):
+        assert get_algorithm_profile("sgd").iterative_stages
+        assert not get_algorithm_profile("grep").iterative_stages
+
+    def test_iterations_from_params(self):
+        profile = get_algorithm_profile("pagerank")
+        assert profile.iterations({"iterations": "15"}) == 15
+        assert profile.iterations({}) == 10  # default
+
+    def test_non_iterative_iterations_is_one(self):
+        assert get_algorithm_profile("sort").iterations({}) == 1
+
+    def test_characteristics_factor_default(self):
+        profile = get_algorithm_profile("grep")
+        assert profile.characteristics_factor("unknown-label") == 1.0
+        assert profile.characteristics_factor("long-lines") > 1.0
+
+
+class TestTraceGenerator:
+    def test_execution_counts(self, sgd_context):
+        generator = TraceGenerator(seed=0)
+        executions = generator.executions_for_context(sgd_context, (2, 4, 6), 4)
+        assert len(executions) == 12
+        assert {e.machines for e in executions} == {2, 4, 6}
+        assert {e.repeat for e in executions} == {0, 1, 2, 3}
+
+    def test_deterministic_per_seed(self, sgd_context):
+        a = TraceGenerator(seed=5).executions_for_context(sgd_context, (2, 4), 3)
+        b = TraceGenerator(seed=5).executions_for_context(sgd_context, (2, 4), 3)
+        assert [e.runtime_s for e in a] == [e.runtime_s for e in b]
+
+    def test_seed_changes_traces(self, sgd_context):
+        a = TraceGenerator(seed=5).executions_for_context(sgd_context, (2, 4), 3)
+        b = TraceGenerator(seed=6).executions_for_context(sgd_context, (2, 4), 3)
+        assert [e.runtime_s for e in a] != [e.runtime_s for e in b]
+
+    def test_repeats_vary(self, sgd_context):
+        executions = TraceGenerator(seed=0).executions_for_context(sgd_context, (4,), 5)
+        runtimes = [e.runtime_s for e in executions]
+        assert len(set(runtimes)) == 5  # noise makes repeats distinct
+
+    def test_noise_moderate(self, sgd_context):
+        generator = TraceGenerator(seed=0)
+        executions = generator.executions_for_context(sgd_context, (6,), 50)
+        runtimes = np.array([e.runtime_s for e in executions])
+        expected = generator.expected_runtime(sgd_context, 6)
+        # SGD is the noisiest profile (sync-heavy, sigma 0.13 + stragglers);
+        # its repeat-to-repeat coefficient of variation stays below ~25 %.
+        assert runtimes.std() / runtimes.mean() < 0.25
+        assert abs(runtimes.mean() - expected) / expected < 0.15
+
+    def test_profile_noise_overrides_generator_default(self, sgd_context):
+        # SGD's per-algorithm sigma (0.13) dominates a tiny generator default.
+        quiet = TraceGenerator(seed=0, noise_sigma=0.001)
+        executions = quiet.executions_for_context(sgd_context, (6,), 50)
+        runtimes = np.array([e.runtime_s for e in executions])
+        assert runtimes.std() / runtimes.mean() > 0.05
+
+    def test_latents_deterministic_per_context(self, sgd_context):
+        generator = TraceGenerator(seed=0)
+        assert generator.latents_for(sgd_context) == generator.latents_for(sgd_context)
+
+    def test_invalid_repeats(self, sgd_context):
+        with pytest.raises(ValueError):
+            TraceGenerator(seed=0).executions_for_context(sgd_context, (2,), 0)
+
+    def test_mean_curve_close_to_expected(self, sgd_context):
+        generator = TraceGenerator(seed=1)
+        dataset = ExecutionDataset(
+            generator.executions_for_context(sgd_context, (2, 4, 6, 8, 10, 12), 20)
+        )
+        machines, means = dataset.mean_runtime_curve()
+        for m, observed in zip(machines, means):
+            expected = generator.expected_runtime(sgd_context, int(m))
+            assert abs(observed - expected) / expected < 0.12

@@ -1,0 +1,181 @@
+"""Extended tests for search spaces and the trial runner (repro.tune)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tune.runner import TuneResult, run_search, run_successive_halving
+from repro.tune.search import GridSearch, RandomSearch
+from repro.tune.space import (
+    Categorical,
+    IntRange,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+)
+from repro.utils.rng import new_rng
+
+
+class TestDomains:
+    def test_categorical_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+
+    def test_categorical_contains(self):
+        domain = Categorical([1e-1, 1e-2])
+        assert domain.contains(1e-2) and not domain.contains(5e-3)
+
+    def test_uniform_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+    def test_uniform_not_enumerable(self):
+        with pytest.raises(TypeError, match="cannot be enumerated"):
+            Uniform(0.0, 1.0).grid()
+
+    def test_loguniform_requires_positive_low(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+
+    def test_int_range_inclusive(self):
+        assert IntRange(2, 4).grid() == [2, 3, 4]
+
+    def test_int_range_single_point(self):
+        assert IntRange(7, 7).grid() == [7]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_samples_inside_domains(self, seed):
+        rng = new_rng(seed)
+        for domain in (
+            Categorical(["a", "b"]),
+            Uniform(-1.0, 1.0),
+            LogUniform(1e-4, 1e-1),
+            IntRange(3, 9),
+        ):
+            assert domain.contains(domain.sample(rng))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_loguniform_spans_decades(self, seed):
+        """Log-uniform sampling is roughly uniform in log space."""
+        rng = new_rng(seed)
+        domain = LogUniform(1e-4, 1e0)
+        draws = np.array([domain.sample(rng) for _ in range(200)])
+        logs = np.log10(draws)
+        assert logs.min() < -2.5 and logs.max() > -1.5  # hits both halves
+
+
+class TestSearchSpace:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+
+    def test_grid_is_cartesian_product(self):
+        space = SearchSpace(
+            {"a": Categorical([1, 2]), "b": Categorical(["x", "y", "z"])}
+        )
+        grid = space.grid()
+        assert len(grid) == space.size() == 6
+        assert {tuple(sorted(c.items())) for c in grid} == {
+            (("a", a), ("b", b)) for a in (1, 2) for b in ("x", "y", "z")
+        }
+
+    def test_contains_requires_all_dimensions(self):
+        space = SearchSpace({"a": Categorical([1]), "b": IntRange(0, 5)})
+        assert space.contains({"a": 1, "b": 3})
+        assert not space.contains({"a": 1})
+        assert not space.contains({"a": 1, "b": 9})
+
+
+class TestSearchers:
+    def test_grid_search_covers_grid(self):
+        space = SearchSpace({"lr": Categorical([1e-1, 1e-2, 1e-3])})
+        configs = GridSearch(space).suggest(3)
+        assert [c["lr"] for c in configs] == [1e-1, 1e-2, 1e-3]
+
+    def test_random_search_deterministic(self):
+        space = SearchSpace({"x": Uniform(0.0, 1.0)})
+        a = RandomSearch(space, seed=3).suggest(5)
+        b = RandomSearch(space, seed=3).suggest(5)
+        assert a == b
+
+    def test_random_search_inside_space(self):
+        space = SearchSpace({"x": LogUniform(1e-3, 1e-1), "k": IntRange(1, 4)})
+        for config in RandomSearch(space, seed=0).suggest(20):
+            assert space.contains(config)
+
+
+class TestRunner:
+    @pytest.fixture
+    def space(self):
+        return SearchSpace({"x": Categorical([0.0, 1.0, 2.0, 3.0, 4.0])})
+
+    def test_run_search_finds_minimum(self, space):
+        result = run_search(GridSearch(space), lambda c: (c["x"] - 2.0) ** 2, 5)
+        assert result.best.config["x"] == 2.0
+        assert len(result.trials) == 5
+
+    def test_sorted_trials(self, space):
+        result = run_search(GridSearch(space), lambda c: c["x"], 5)
+        scores = [t.score for t in result.sorted_trials()]
+        assert scores == sorted(scores)
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError, match="no trials"):
+            TuneResult().best
+
+    def test_successive_halving_promotes_best(self, space):
+        budgets_seen: dict = {}
+
+        def objective(config, budget):
+            budgets_seen.setdefault(config["x"], []).append(budget)
+            return (config["x"] - 2.0) ** 2 + 1.0 / budget
+
+        result = run_successive_halving(
+            GridSearch(space), objective, n_trials=5, min_budget=1, max_budget=9, eta=3
+        )
+        assert result.best.config["x"] == 2.0
+        # The winner advanced to a higher budget; once it is the only
+        # survivor the rung loop stops (no competition left to resolve).
+        assert budgets_seen[2.0] == [1, 3]
+        assert budgets_seen[4.0] == [1]
+
+    def test_successive_halving_total_cost_below_full_grid(self, space):
+        calls = []
+
+        def objective(config, budget):
+            calls.append(budget)
+            return config["x"]
+
+        run_successive_halving(
+            GridSearch(space), objective, n_trials=5, min_budget=1, max_budget=9, eta=3
+        )
+        # Full evaluation would cost 5 * 9 = 45 budget units.
+        assert sum(calls) < 45
+
+    def test_successive_halving_validation(self, space):
+        with pytest.raises(ValueError):
+            run_successive_halving(
+                GridSearch(space), lambda c, budget: 0.0, 2, min_budget=0, max_budget=4
+            )
+        with pytest.raises(ValueError):
+            run_successive_halving(
+                GridSearch(space), lambda c, budget: 0.0, 2,
+                min_budget=1, max_budget=4, eta=1,
+            )
+
+    def test_budget_capped_at_max(self, space):
+        budgets = set()
+
+        def objective(config, budget):
+            budgets.add(budget)
+            return config["x"]
+
+        run_successive_halving(
+            GridSearch(space), objective, n_trials=5, min_budget=4, max_budget=10, eta=3
+        )
+        assert max(budgets) <= 10

@@ -1,0 +1,158 @@
+"""Tests of the hyperparameter-search substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tune import (
+    Categorical,
+    GridSearch,
+    IntRange,
+    LogUniform,
+    RandomSearch,
+    SearchSpace,
+    Uniform,
+    run_search,
+    run_successive_halving,
+)
+
+
+@pytest.fixture()
+def table1_space() -> SearchSpace:
+    return SearchSpace(
+        {
+            "dropout": Categorical([0.05, 0.10, 0.20]),
+            "learning_rate": Categorical([1e-1, 1e-2, 1e-3]),
+            "weight_decay": Categorical([1e-2, 1e-3, 1e-4]),
+        }
+    )
+
+
+class TestDomains:
+    def test_categorical_sample_and_grid(self):
+        domain = Categorical([1, 2, 3])
+        assert domain.grid() == [1, 2, 3]
+        assert domain.sample(np.random.default_rng(0)) in (1, 2, 3)
+        assert domain.contains(2) and not domain.contains(9)
+
+    def test_categorical_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+
+    def test_uniform_bounds(self):
+        domain = Uniform(0.0, 1.0)
+        rng = np.random.default_rng(0)
+        samples = [domain.sample(rng) for _ in range(100)]
+        assert all(0.0 <= s < 1.0 for s in samples)
+        with pytest.raises(TypeError):
+            domain.grid()
+
+    def test_loguniform_spans_decades(self):
+        domain = LogUniform(1e-4, 1e-1)
+        rng = np.random.default_rng(0)
+        samples = np.array([domain.sample(rng) for _ in range(500)])
+        assert samples.min() < 1e-3 and samples.max() > 1e-2
+
+    def test_loguniform_validation(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+
+    def test_int_range(self):
+        domain = IntRange(2, 5)
+        assert domain.grid() == [2, 3, 4, 5]
+        assert domain.contains(3) and not domain.contains(6)
+
+
+class TestSearchSpace:
+    def test_grid_size(self, table1_space):
+        # Table I: 3 x 3 x 3 = 27 grid points.
+        assert table1_space.size() == 27
+        assert len(table1_space.grid()) == 27
+
+    def test_sample_within_space(self, table1_space):
+        config = table1_space.sample(np.random.default_rng(0))
+        assert table1_space.contains(config)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+
+
+class TestSearchers:
+    def test_random_search_dedupes(self, table1_space):
+        # Sampling 12 distinct configs from a 27-point grid (the paper's setup).
+        configs = RandomSearch(table1_space, seed=0).suggest(12)
+        assert len(configs) == 12
+        keys = {tuple(sorted(c.items())) for c in configs}
+        assert len(keys) == 12
+
+    def test_random_search_deterministic(self, table1_space):
+        a = RandomSearch(table1_space, seed=5).suggest(6)
+        b = RandomSearch(table1_space, seed=5).suggest(6)
+        assert a == b
+
+    def test_random_search_invalid_n(self, table1_space):
+        with pytest.raises(ValueError):
+            RandomSearch(table1_space, seed=0).suggest(0)
+
+    def test_grid_search_enumerates_all(self, table1_space):
+        assert len(GridSearch(table1_space).suggest()) == 27
+
+    def test_grid_search_truncates(self, table1_space):
+        assert len(GridSearch(table1_space).suggest(5)) == 5
+
+
+class TestRunners:
+    def test_run_search_finds_minimum(self, table1_space):
+        def objective(config):
+            return config["dropout"] + config["learning_rate"]
+
+        result = run_search(GridSearch(table1_space), objective, 27)
+        assert result.best.config["dropout"] == 0.05
+        assert result.best.config["learning_rate"] == 1e-3
+
+    def test_trials_recorded(self, table1_space):
+        result = run_search(RandomSearch(table1_space, seed=0), lambda c: 1.0, 4)
+        assert len(result.trials) == 4
+        assert all(t.wall_seconds >= 0 for t in result.trials)
+
+    def test_sorted_trials(self, table1_space):
+        def objective(config):
+            return config["dropout"]
+
+        result = run_search(GridSearch(table1_space), objective, 9)
+        scores = [t.score for t in result.sorted_trials()]
+        assert scores == sorted(scores)
+
+    def test_empty_result_best_raises(self):
+        from repro.tune.runner import TuneResult
+
+        with pytest.raises(ValueError):
+            TuneResult().best
+
+    def test_successive_halving_promotes_best(self, table1_space):
+        calls = []
+
+        def objective(config, budget):
+            calls.append(budget)
+            return config["dropout"] * 100 / budget
+
+        result = run_successive_halving(
+            RandomSearch(table1_space, seed=0),
+            objective,
+            n_trials=9,
+            min_budget=1,
+            max_budget=9,
+            eta=3,
+        )
+        # Rung budgets increase geometrically.
+        assert min(calls) == 1 and max(calls) == 9
+        assert result.best.budget == 9
+
+    def test_successive_halving_validation(self, table1_space):
+        search = RandomSearch(table1_space, seed=0)
+        with pytest.raises(ValueError):
+            run_successive_halving(search, lambda c, budget: 0.0, 3, 0, 10)
+        with pytest.raises(ValueError):
+            run_successive_halving(search, lambda c, budget: 0.0, 3, 1, 10, eta=1)

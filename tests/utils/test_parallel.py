@@ -1,0 +1,87 @@
+"""Tests for the parallel mapping helper and experiment determinism."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.parallel import parallel_map, resolve_workers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None, 10) == 1
+
+    def test_zero_is_serial(self):
+        assert resolve_workers(0, 10) == 1
+
+    def test_negative_means_all_cores(self):
+        assert resolve_workers(-1, 1000) == (os.cpu_count() or 1)
+
+    def test_capped_by_tasks(self):
+        assert resolve_workers(16, 3) == 3
+
+    def test_no_tasks(self):
+        assert resolve_workers(8, 0) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_order_preserved_across_processes(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, n_workers=4) == [x * x for x in items]
+
+    def test_serial_equals_parallel(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, n_workers=1) == parallel_map(
+            _square, items, n_workers=3
+        )
+
+
+class TestExperimentDeterminismAcrossWorkers:
+    @pytest.mark.slow
+    def test_cross_context_records_identical(self):
+        """The cross-context study is bit-identical for any worker count."""
+        from repro.data.c3o import generate_c3o_contexts
+        from repro.data.dataset import ExecutionDataset
+        from repro.eval.experiments.common import SMOKE_SCALE
+        from repro.eval.experiments.cross_context import (
+            run_cross_context_experiment,
+        )
+        from repro.simulator.traces import TraceGenerator
+
+        contexts = [
+            c for c in generate_c3o_contexts(seed=5) if c.algorithm in ("grep", "sgd")
+        ]
+        generator = TraceGenerator(seed=5)
+        dataset = ExecutionDataset()
+        per_algo: dict = {}
+        for context in contexts:
+            kept = per_algo.setdefault(context.algorithm, [])
+            if len(kept) < 3:
+                kept.append(context)
+                dataset.extend(
+                    generator.executions_for_context(context, (2, 4, 6, 8), 2)
+                )
+
+        serial = run_cross_context_experiment(dataset, SMOKE_SCALE, seed=0)
+        parallel = run_cross_context_experiment(
+            dataset, SMOKE_SCALE, seed=0, n_workers=2
+        )
+        assert len(serial.records) == len(parallel.records)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.method == b.method
+            assert a.context_id == b.context_id
+            assert a.n_train == b.n_train
+            assert a.task == b.task
+            assert a.predicted_s == pytest.approx(b.predicted_s, rel=1e-12)

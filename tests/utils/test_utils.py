@@ -1,0 +1,173 @@
+"""Tests of the shared utilities (rng, timing, serialization, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, derive_seed, new_rng, spawn_rngs
+from repro.utils.serialization import (
+    load_json,
+    load_npz_dict,
+    save_json,
+    save_npz_dict,
+)
+from repro.utils.tables import ascii_bar_chart, ascii_table, format_float
+from repro.utils.timing import Stopwatch, format_duration
+from repro.utils.validation import (
+    check_in,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_derive_seed_path_sensitive(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, "a", "b") != derive_seed(42, "ab")
+
+    def test_derive_seed_root_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_seed_in_range(self):
+        for i in range(20):
+            assert 0 <= derive_seed(i, "name") < 2**63 - 1
+
+    def test_new_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_new_rng_from_int_reproducible(self):
+        assert new_rng(7).random() == new_rng(7).random()
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, ["x", "y"])
+        assert a.random() != b.random()
+
+    def test_mixin_lazy_and_reseedable(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self.seed = seed
+
+        thing = Thing(5)
+        first = thing.rng.random()
+        thing.reseed(5)
+        assert thing.rng.random() == first
+
+
+class TestTiming:
+    def test_format_duration_units(self):
+        assert format_duration(5e-7).endswith("us")
+        assert format_duration(0.05).endswith("ms")
+        assert format_duration(7.37) == "7.37s"
+        assert format_duration(300).endswith("min")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_stopwatch_laps(self):
+        watch = Stopwatch()
+        watch.start("fit")
+        watch.stop("fit")
+        watch.start("fit")
+        watch.stop("fit")
+        assert len(watch.laps["fit"]) == 2
+        assert watch.total("fit") >= 0
+        assert watch.mean("fit") >= 0
+
+    def test_stopwatch_unknown_lap(self):
+        with pytest.raises(KeyError):
+            Stopwatch().stop("ghost")
+
+    def test_stopwatch_context_manager(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.total("total") >= 0
+
+
+class TestSerialization:
+    def test_json_roundtrip_with_numpy(self, tmp_path):
+        payload = {"a": np.int64(3), "b": np.float64(1.5), "c": np.array([1, 2])}
+        path = tmp_path / "x.json"
+        save_json(path, payload)
+        assert load_json(path) == {"a": 3, "b": 1.5, "c": [1, 2]}
+
+    def test_npz_roundtrip(self, tmp_path):
+        arrays = {"w.1": np.arange(6.0).reshape(2, 3), "b": np.zeros(4)}
+        path = tmp_path / "m.npz"
+        save_npz_dict(path, arrays)
+        loaded = load_npz_dict(path)
+        assert set(loaded) == {"w.1", "b"}
+        np.testing.assert_array_equal(loaded["w.1"], arrays["w.1"])
+
+    def test_npz_rejects_non_arrays(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_npz_dict(tmp_path / "m.npz", {"x": [1, 2, 3]})
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "f.json"
+        save_json(path, {"ok": True})
+        assert load_json(path) == {"ok": True}
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_float(3) == "3"
+        assert format_float(3.14159, 2) == "3.14"
+        assert format_float(float("nan")) == "nan"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = table.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "name" in table and "22.0" in table
+
+    def test_ascii_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [["x", "y"]])
+
+    def test_ascii_table_title(self):
+        assert ascii_table(["h"], [["v"]], title="T").startswith("T\n")
+
+    def test_bar_chart_scales(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert ascii_bar_chart({}) == ""
+
+    def test_bar_chart_zero_values(self):
+        chart = ascii_bar_chart({"a": 0.0})
+        assert "#" not in chart
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", {"a", "b"}) == "a"
+        with pytest.raises(ValueError):
+            check_in("mode", "c", {"a", "b"})
+
+    def test_check_type(self):
+        assert check_type("n", 3, int) == 3
+        with pytest.raises(TypeError):
+            check_type("n", "3", int)
