@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from conftest import bench_scale, emit
 
-from repro.core.finetuning import FinetuneStrategy
 from repro.core.graph_model import GraphBellamyModel
-from repro.core.prediction import BellamyRuntimeModel
 from repro.core.pretraining import pretrain
 from repro.eval.experiments.common import select_target_contexts
 from repro.eval.protocol import (
@@ -29,16 +27,13 @@ from repro.utils.rng import derive_seed
 
 
 def _method(base, label, scale):
-    def factory(context):
-        return BellamyRuntimeModel(
-            context,
-            base_model=base,
-            strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
-            max_epochs=scale.finetune_max_epochs,
-            variant_label=label,
-        )
-
-    return MethodSpec(name=label, factory=factory, min_train_points=0)
+    return MethodSpec.from_registry(
+        "bellamy-ft",
+        name=label,
+        base_model=base,
+        max_epochs=scale.finetune_max_epochs,
+        label=label,
+    )
 
 
 def test_graph_property_variant(benchmark, c3o_dataset):

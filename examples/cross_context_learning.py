@@ -5,7 +5,9 @@ Reproduces the core comparison of the paper's §IV-C1 on a single K-Means
 context: how much does pre-training on historical executions from *other*
 contexts help when only a handful of samples from the context at hand exist?
 
-For each training-set size the three Bellamy variants and the two baselines
+All five methods come from the unified estimator API: a ``repro.api.Session``
+pre-trains the leave-one-out base models (full and filtered corpora) and
+hands back registry-resolved ``MethodSpec``s; for each training-set size they
 are fitted on the same sub-sampled splits and scored on interpolation test
 points.
 
@@ -16,14 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import BellModel, ErnestModel
-from repro.core import (
-    BellamyConfig,
-    BellamyRuntimeModel,
-    FinetuneStrategy,
-    filter_distinct_contexts,
-    pretrain,
-)
+from repro.api import Session
+from repro.core import BellamyConfig
 from repro.data import subsample_splits, split_arrays, test_point
 from repro.data import generate_c3o_dataset
 from repro.utils.tables import ascii_table
@@ -41,68 +37,55 @@ def main() -> None:
     print(f"target context: {target.node_type}, {target.dataset_mb} MB, "
           f"{target.params_text}\n")
 
-    config = BellamyConfig(learning_rate=1e-3, seed=0)
+    session = Session(
+        dataset,
+        config=BellamyConfig(learning_rate=1e-3, seed=0).with_overrides(
+            pretrain_epochs=PRETRAIN_EPOCHS,
+            finetune_max_epochs=FINETUNE_EPOCHS,
+        ),
+        seed=7,
+    )
 
-    # Corpus policies (paper §IV-C1).
-    corpus_full = dataset.for_algorithm(ALGORITHM).exclude_context(target.context_id)
-    corpus_filtered = filter_distinct_contexts(corpus_full, target)
+    # Corpus policies (paper §IV-C1) — the session excludes the target's own
+    # executions from both pre-training corpora.
+    corpus_full = session.corpus_for(ALGORITHM, "full", target)
+    corpus_filtered = session.corpus_for(ALGORITHM, "filtered", target)
     print(
         f"pre-training corpora: full = {len(corpus_full)} executions, "
         f"filtered (substantially different contexts only) = "
         f"{len(corpus_filtered)} executions"
     )
-    base_full = pretrain(corpus_full, ALGORITHM, config=config, epochs=PRETRAIN_EPOCHS).model
-    base_filtered = pretrain(
-        corpus_filtered, ALGORITHM, config=config, epochs=PRETRAIN_EPOCHS
-    ).model
+    # method_specs pre-trains (and caches) both base models.
+    specs = session.method_specs(target, max_epochs=FINETUNE_EPOCHS)
     print("pre-training done\n")
-
-    def bellamy(base, label):
-        return lambda: BellamyRuntimeModel(
-            target,
-            base_model=base,
-            strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
-            max_epochs=FINETUNE_EPOCHS,
-            variant_label=label,
-        )
-
-    methods = {
-        "NNLS": lambda: ErnestModel(),
-        "Bell": lambda: BellModel(),
-        "Bellamy (local)": lambda: BellamyRuntimeModel(
-            target, base_model=None, config=config, max_epochs=FINETUNE_EPOCHS, seed=7
-        ),
-        "Bellamy (filtered)": bellamy(base_filtered, "Bellamy (filtered)"),
-        "Bellamy (full)": bellamy(base_full, "Bellamy (full)"),
-    }
 
     rows = []
     for n_train in (1, 2, 3, 4):
         splits = subsample_splits(context_data, n_train, SPLITS_PER_SIZE, seed=n_train)
-        errors: dict = {name: [] for name in methods}
+        errors: dict = {spec.name: [] for spec in specs}
         for split in splits:
             machines, runtimes = split_arrays(context_data, split)
             pair = test_point(context_data, split, "interpolation")
             if pair is None:
                 continue
             test_machines, actual = pair
-            for name, factory in methods.items():
-                if name == "Bell" and n_train < 3:
+            for spec in specs:
+                if n_train < spec.min_train_points:
                     continue
-                model = factory().fit(machines, runtimes)
+                model = spec.build(target).fit(target, machines, runtimes)
                 predicted = model.predict_one(test_machines)
-                errors[name].append(abs(predicted - actual) / actual)
+                errors[spec.name].append(abs(predicted - actual) / actual)
         rows.append(
             [n_train]
             + [
-                f"{np.mean(errors[name]):.3f}" if errors[name] else "-"
-                for name in methods
+                f"{np.mean(errors[spec.name]):.3f}" if errors[spec.name] else "-"
+                for spec in specs
             ]
         )
 
     print(
         ascii_table(
-            ["#samples"] + list(methods),
+            ["#samples"] + [spec.name for spec in specs],
             rows,
             title=f"interpolation MRE on the target {ALGORITHM} context",
         )

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: generate traces, pre-train a Bellamy model, predict runtimes.
 
-Walks the happy path of the library in about a minute:
+Walks the happy path of the unified estimator API (``repro.api``) in about a
+minute:
 
 1. generate the synthetic C3O dataset (930 unique experiments, 5 algorithms),
 2. look at how differently SGD scales across contexts (the paper's Fig. 2),
-3. pre-train a Bellamy model on all SGD executions except one target context,
+3. open a ``Session`` over all SGD executions except one target context and
+   pre-train its base model,
 4. predict the target context zero-shot, then fine-tune on two samples,
-5. compare against the Ernest (NNLS) baseline.
+5. compare against the NNLS baseline — resolved from the same model
+   registry by name.
 
 Run:  python examples/quickstart.py
 """
@@ -16,8 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import ErnestModel
-from repro.core import BellamyConfig, finetune, pretrain
+from repro.api import Session, make_estimator
+from repro.core import BellamyConfig
 from repro.data import generate_c3o_dataset
 from repro.eval.experiments import runtime_variance_summary
 from repro.utils.tables import ascii_table
@@ -50,17 +53,15 @@ def main() -> None:
         "\n",
     )
 
-    print("== 3. Pre-training on SGD executions from other contexts ==")
+    print("== 3. A Session over SGD executions from other contexts ==")
     sgd = dataset.for_algorithm("sgd")
     target_context = sgd.contexts()[5]
     target_data = dataset.for_context(target_context.context_id)
-    corpus = dataset.exclude_context(target_context.context_id)
-    result = pretrain(
-        corpus,
-        "sgd",
+    session = Session(
+        dataset.exclude_context(target_context.context_id),
         config=BellamyConfig(learning_rate=1e-3, seed=0),
-        epochs=PRETRAIN_EPOCHS,
     )
+    result = session.pretrain(algorithm="sgd", epochs=PRETRAIN_EPOCHS)
     print(
         f"pre-trained on {result.n_samples} executions from {result.n_contexts} "
         f"contexts in {result.wall_seconds:.1f}s "
@@ -71,7 +72,8 @@ def main() -> None:
     print(f"target: {target_context.node_type}, {target_context.dataset_mb} MB, "
           f"{target_context.params_text}")
     machines, actual = target_data.mean_runtime_curve()
-    zero_shot = result.model.predict(target_context, machines)
+    # The session reuses the cached base model — no re-training happens here.
+    zero_shot = session.predict(target_context, machines)
 
     # Fine-tune on two observed samples (scale-outs 4 and 10).
     sample_machines = np.array([4.0, 10.0])
@@ -81,18 +83,19 @@ def main() -> None:
             for m in sample_machines
         ]
     )
-    tuned = finetune(
-        result.model, target_context, sample_machines, sample_runtimes, max_epochs=800
+    tuned = session.finetune(
+        target_context, sample_machines, sample_runtimes, max_epochs=800
     )
-    fine_tuned = tuned.model.predict(target_context, machines)
+    fine_tuned = tuned.predict(machines)
     print(
         f"fine-tuned on {len(sample_machines)} samples in "
-        f"{tuned.epochs_trained} epochs / {tuned.wall_seconds:.2f}s "
-        f"(stop: {tuned.stop_reason})\n"
+        f"{tuned.epochs_trained} epochs / {tuned.fit_seconds:.2f}s\n"
     )
 
-    print("== 5. Comparison against the Ernest (NNLS) baseline ==")
-    ernest = ErnestModel().fit(sample_machines, sample_runtimes)
+    print("== 5. Comparison against the NNLS baseline (same registry) ==")
+    ernest = make_estimator("nnls").fit(
+        target_context, sample_machines, sample_runtimes
+    )
     nnls_prediction = ernest.predict(machines)
     rows = [
         [int(m), a, z, f, e]

@@ -2,8 +2,9 @@
 """Choosing cluster resources to meet a runtime target.
 
 The end-to-end use case the paper motivates (§I, §V): a user must pick a
-scale-out for an SGD job with a runtime target and a budget. We fine-tune a
-pre-trained Bellamy model on two profiling runs, then use it to pick
+scale-out for an SGD job with a runtime target and a budget. A
+``repro.api.Session`` owns the whole pipeline — it pre-trains the base model
+once, fine-tunes on two profiling runs per request, and picks
 
 * the smallest cluster meeting the runtime target, and
 * the cheapest cluster meeting it (using on-demand node prices),
@@ -17,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import BellamyConfig, finetune, pretrain, select_scaleout
+from repro.api import Session
+from repro.core import BellamyConfig, select_scaleout
 from repro.data import generate_c3o_dataset, c3o_trace_generator
 from repro.utils.tables import ascii_table
 
@@ -37,11 +39,14 @@ def main() -> None:
           f"{target.dataset_mb} MB, {target.params_text}")
     print(f"runtime target: {RUNTIME_TARGET_S:.0f}s\n")
 
-    # Pre-train on every other context, fine-tune on two profiling runs.
-    corpus = dataset.exclude_context(target.context_id)
-    base = pretrain(
-        corpus, "sgd", config=BellamyConfig(learning_rate=1e-3, seed=1), epochs=400
-    ).model
+    # A Session over every other context: it pre-trains the base model once
+    # and fine-tunes per request on the two profiling runs.
+    session = Session(
+        dataset.exclude_context(target.context_id),
+        config=BellamyConfig(learning_rate=1e-3, seed=1).with_overrides(
+            pretrain_epochs=400
+        ),
+    )
     profiling_machines = np.array([4.0, 12.0])
     profiling_runtimes = np.array(
         [
@@ -49,18 +54,19 @@ def main() -> None:
             for m in profiling_machines
         ]
     )
-    model = finetune(
-        base, target, profiling_machines, profiling_runtimes, max_epochs=800
-    ).model
+    # Fine-tune once; both selection objectives below reuse the fitted
+    # estimator instead of re-running the 800-epoch fine-tune per call.
+    model = session.finetune(
+        target, profiling_machines, profiling_runtimes, max_epochs=800
+    )
 
     # Smallest cluster that meets the target.
     recommendation = select_scaleout(
-        model,
+        model.predict,
         CANDIDATES,
         runtime_target_s=RUNTIME_TARGET_S,
         objective="min_machines",
         price_per_machine_hour=price,
-        context=target,
     )
     rows = [
         [
@@ -95,14 +101,13 @@ def main() -> None:
     else:
         print("\nno candidate meets the target — consider a larger budget")
 
-    # Cheapest cluster meeting the target.
+    # Cheapest cluster meeting the target — same fitted estimator.
     cheapest = select_scaleout(
-        model,
+        model.predict,
         CANDIDATES,
         runtime_target_s=RUNTIME_TARGET_S,
         objective="min_cost",
         price_per_machine_hour=price,
-        context=target,
     )
     if cheapest.satisfiable:
         print(

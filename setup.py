@@ -1,3 +1,30 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-bellamy",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Bellamy: Reusing Performance Models for "
+        "Distributed Dataflow Jobs Across Contexts' (IEEE CLUSTER 2021)"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="repro-bellamy contributors",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    install_requires=["numpy>=1.20"],
+    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+    entry_points={"console_scripts": ["repro-bellamy=repro.cli.main:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

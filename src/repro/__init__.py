@@ -3,6 +3,11 @@ Distributed Dataflow Jobs Across Contexts* (Scheinert et al., CLUSTER 2021).
 
 Subpackages
 -----------
+``repro.api``
+    The unified estimator API: the :class:`~repro.api.Estimator` protocol,
+    the string-keyed model registry (``make_estimator("bellamy-ft")``), and
+    the lifecycle :class:`~repro.api.Session` (corpus → pre-train with
+    caching → fine-tune → batched prediction → resource selection).
 ``repro.nn``
     From-scratch NumPy neural-network substrate (autograd, layers, Adam,
     cyclic LR schedules, training loop) replacing PyTorch.
@@ -35,17 +40,20 @@ Subpackages
 
 Quickstart
 ----------
+>>> from repro.api import Session
 >>> from repro.data import generate_c3o_dataset
->>> from repro.core import pretrain, finetune
 >>> dataset = generate_c3o_dataset(seed=0)
->>> base = pretrain(dataset, "sgd", epochs=250).model
+>>> session = Session(dataset)
 >>> context = dataset.for_algorithm("sgd").contexts()[0]
->>> runtime = base.predict(context, [8])  # zero-shot prediction, seconds
+>>> runtime = session.predict(context, [8])  # zero-shot prediction, seconds
+>>> est = session.finetune(context, [4, 10], [310.0, 150.0])
+>>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import (
+    api,
     baselines,
     core,
     data,
@@ -61,12 +69,15 @@ from repro import (
 
 __all__ = [
     "__version__",
+    "api",
     "baselines",
     "core",
     "data",
+    "dataflow",
     "encoding",
     "eval",
     "nn",
+    "selection",
     "simulator",
     "tune",
     "utils",

@@ -1,0 +1,64 @@
+"""Unified estimator API: the facade over every runtime-prediction model.
+
+Three pieces (see the module docstrings for detail):
+
+:class:`~repro.api.estimator.Estimator`
+    The protocol all models speak — ``fit(context, machines, runtimes)`` /
+    ``predict(machines)`` / ``predict_batch`` plus ``get_params`` /
+    ``set_params`` / ``clone``.
+:mod:`repro.api.registry`
+    String-keyed construction: ``make_estimator("bellamy-ft", ...)``,
+    ``available_estimators()``, ``@register``.
+:class:`~repro.api.session.Session`
+    Lifecycle owner: corpus → pre-train (cached via ``ModelStore``) →
+    fine-tune → batched prediction → resource selection.
+"""
+
+from repro.api.estimator import (
+    Estimator,
+    LegacyModelEstimator,
+    PredictionRequest,
+    as_estimator,
+)
+from repro.api.registry import (
+    UnknownEstimatorError,
+    available_estimators,
+    estimator_class,
+    is_registered,
+    make_estimator,
+    register,
+)
+from repro.api import estimators as _estimators  # noqa: F401  (registers all)
+from repro.api.estimators import (
+    BellamyFinetunedEstimator,
+    BellamyLocalEstimator,
+    BellamyZeroShotEstimator,
+    BellEstimator,
+    GnnBellamyEstimator,
+    GraphBellamyEstimator,
+    InterpolationEstimator,
+    NNLSEstimator,
+)
+from repro.api.session import Session
+
+__all__ = [
+    "BellEstimator",
+    "BellamyFinetunedEstimator",
+    "BellamyLocalEstimator",
+    "BellamyZeroShotEstimator",
+    "Estimator",
+    "GnnBellamyEstimator",
+    "GraphBellamyEstimator",
+    "InterpolationEstimator",
+    "LegacyModelEstimator",
+    "NNLSEstimator",
+    "PredictionRequest",
+    "Session",
+    "UnknownEstimatorError",
+    "as_estimator",
+    "available_estimators",
+    "estimator_class",
+    "is_registered",
+    "make_estimator",
+    "register",
+]

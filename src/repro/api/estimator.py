@@ -1,0 +1,208 @@
+"""The :class:`Estimator` protocol — one surface for every runtime model.
+
+The paper's central claim is that a single pre-trained model can be *reused*
+across contexts; this module gives the codebase a single abstraction to match.
+Every prediction method — the Ernest/NNLS and Bell baselines, plain
+interpolation, and all Bellamy variants (local, zero-shot, fine-tuned,
+graph-aware) — implements the same lifecycle:
+
+``fit(context, machines, runtimes) -> self``
+    Adapt to one concrete execution context from (possibly zero) samples.
+``predict(machines) -> ndarray``
+    Predict runtimes (seconds) for scale-outs in the fitted context.
+``predict_batch(requests) -> list[ndarray]``
+    Serve many (context, scale-out) requests from one estimator.
+``get_params() / set_params() / clone()``
+    Uniform hyperparameter plumbing so tuning, evaluation, and model
+    selection never special-case model families.
+
+Estimators are *string-registered* (see :mod:`repro.api.registry`) and
+*lifecycle-managed* (see :mod:`repro.api.session`), so consumers resolve
+models by name instead of wiring pretrain→finetune→predict by hand.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import RuntimeModel
+from repro.data.schema import JobContext
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One unit of batched prediction work.
+
+    When ``train_machines``/``train_runtimes`` are given (or a context is
+    supplied at all), the serving estimator is cloned and fitted for the
+    request; otherwise the already-fitted estimator answers directly.
+    """
+
+    machines: Sequence[float]
+    context: Optional[JobContext] = None
+    train_machines: Optional[Sequence[float]] = None
+    train_runtimes: Optional[Sequence[float]] = None
+
+
+class Estimator(abc.ABC):
+    """Base class of all runtime estimators (the ``repro.api`` surface)."""
+
+    #: Registry key (set by :func:`repro.api.registry.register`).
+    registry_name: str = ""
+
+    #: Human-readable name used in result tables.
+    name: str = "estimator"
+
+    #: Fewest training points for which ``fit`` is well-defined
+    #: (0 for pre-trained variants that support zero-shot application).
+    min_train_points: int = 1
+
+    #: Constructor-parameter names captured by ``get_params`` — every
+    #: concrete estimator stores each as an attribute of the same name.
+    _param_names: Tuple[str, ...] = ()
+
+    #: The execution context of the most recent ``fit``.
+    context: Optional[JobContext] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        context: Optional[JobContext],
+        machines: Sequence[float],
+        runtimes: Sequence[float],
+    ) -> "Estimator":
+        """Fit on samples from one concrete context; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, machines: Sequence[float]) -> np.ndarray:
+        """Predict runtimes (seconds) at the given scale-outs."""
+
+    def predict_one(self, machine_count: float) -> float:
+        """Convenience scalar prediction for a single scale-out."""
+        return float(self.predict(np.asarray([machine_count], dtype=np.float64))[0])
+
+    def predict_batch(self, requests: Sequence[PredictionRequest]) -> List[np.ndarray]:
+        """Serve a batch of requests; per-context requests get a fresh clone."""
+        out: List[np.ndarray] = []
+        for request in requests:
+            if request.context is not None:
+                model = self.clone().fit(
+                    request.context,
+                    request.train_machines if request.train_machines is not None else (),
+                    request.train_runtimes if request.train_runtimes is not None else (),
+                )
+            else:
+                model = self
+            out.append(np.asarray(model.predict(request.machines), dtype=np.float64))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Parameter plumbing
+    # ------------------------------------------------------------------ #
+
+    def get_params(self) -> Dict[str, Any]:
+        """Constructor parameters, suitable for ``make_estimator(name, **p)``."""
+        return {name: getattr(self, name) for name in self._param_names}
+
+    def set_params(self, **params: Any) -> "Estimator":
+        """Update constructor parameters in place; returns ``self``."""
+        unknown = set(params) - set(self._param_names)
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} has no parameter(s) {sorted(unknown)}; "
+                f"valid: {sorted(self._param_names)}"
+            )
+        for key, value in params.items():
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "Estimator":
+        """A fresh, unfitted estimator with identical parameters."""
+        return type(self)(**self.get_params())
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics (the evaluation protocol reads these per fit)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epochs_trained(self) -> int:
+        """Training epochs of the most recent fit (0 for closed-form fits)."""
+        return 0
+
+    @property
+    def fit_seconds(self) -> float:
+        """Wall-clock of the most recent fit as measured by the estimator
+        itself (0.0 means: let the caller's stopwatch stand)."""
+        return 0.0
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class LegacyModelEstimator(Estimator):
+    """Adapter presenting a plain :class:`RuntimeModel` as an estimator.
+
+    Used by the evaluation protocol so hand-written ``MethodFactory``
+    closures (the pre-registry API) keep working unchanged.
+    """
+
+    def __init__(self, model: RuntimeModel) -> None:
+        self.model = model
+        self.name = getattr(model, "name", type(model).__name__)
+        self.min_train_points = getattr(model, "min_train_points", 1)
+
+    _param_names = ("model",)
+
+    def clone(self) -> "LegacyModelEstimator":
+        """A copy whose wrapped model is independent of this one.
+
+        The wrapped model carries its own fitted state, so sharing the
+        instance (the default ``clone``) would let a clone's refit leak
+        into the original — e.g. during ``predict_batch``.
+        """
+        return LegacyModelEstimator(copy.deepcopy(self.model))
+
+    def fit(self, context, machines, runtimes) -> "LegacyModelEstimator":
+        self.context = context
+        self.model.fit(
+            np.asarray(machines, dtype=np.float64),
+            np.asarray(runtimes, dtype=np.float64),
+        )
+        return self
+
+    def predict(self, machines) -> np.ndarray:
+        return self.model.predict(np.asarray(machines, dtype=np.float64))
+
+    @property
+    def epochs_trained(self) -> int:
+        return int(getattr(self.model, "epochs_trained", 0))
+
+    @property
+    def fit_seconds(self) -> float:
+        return float(getattr(self.model, "fit_seconds", 0.0))
+
+
+def as_estimator(model: Any) -> Estimator:
+    """Coerce a legacy :class:`RuntimeModel` (or estimator) to the new API.
+
+    Anything exposing ``fit(machines, runtimes)`` / ``predict(machines)`` is
+    accepted, so duck-typed models from pre-registry factories keep working.
+    """
+    if isinstance(model, Estimator):
+        return model
+    if callable(getattr(model, "fit", None)) and callable(getattr(model, "predict", None)):
+        return LegacyModelEstimator(model)
+    raise TypeError(
+        f"cannot adapt {type(model).__name__} to the Estimator API; "
+        "expected an Estimator or a RuntimeModel-like object with fit/predict"
+    )

@@ -1,0 +1,280 @@
+"""Registered estimators: every baseline and Bellamy variant by name.
+
+==================  ==========================================================
+registry name       model
+==================  ==========================================================
+``nnls``            Ernest's parametric model fitted with NNLS (alias
+                    ``ernest``)
+``bell``            Bell's CV-selected parametric / non-parametric model
+``interpolation``   piecewise-linear mean-runtime interpolation
+``bellamy-local``   Bellamy trained from scratch on the context's samples
+``bellamy-zeroshot``  a pre-trained Bellamy model applied as-is (no
+                    fine-tuning)
+``bellamy-ft``      a pre-trained Bellamy model fine-tuned on the context's
+                    samples (default reuse mode of the paper)
+``bellamy-graph``   ``bellamy-ft`` over the graph-as-property model
+``bellamy-gnn``     ``bellamy-ft`` over the learned-graph-code (GNN) model
+==================  ==========================================================
+
+Estimators needing a pre-trained ``base_model`` accept ``None`` at
+construction (so registry round-trips work) and fail with a pointer to
+:class:`repro.api.session.Session` — the lifecycle owner that pre-trains,
+caches, and injects base models — only when fitted without one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type, Union
+
+import numpy as np
+
+from repro.api.estimator import Estimator
+from repro.api.registry import register
+from repro.baselines.base import RuntimeModel
+from repro.baselines.bell_model import BellModel
+from repro.baselines.ernest import ErnestModel
+from repro.baselines.nonparametric import InterpolationModel
+from repro.core.config import BellamyConfig
+from repro.core.finetuning import FinetuneStrategy
+from repro.core.model import BellamyModel
+from repro.core.prediction import BellamyRuntimeModel
+from repro.data.schema import JobContext
+from repro.utils.rng import derive_seed
+
+
+class ScaleOutEstimator(Estimator):
+    """Estimator over a context-free scale-out model family.
+
+    The wrapped :class:`RuntimeModel` only sees (machines, runtimes) pairs;
+    the context is recorded for bookkeeping. A fresh model is built per
+    ``fit`` so one estimator can serve many splits via ``clone``-free reuse.
+    """
+
+    model_cls: Type[RuntimeModel] = RuntimeModel
+
+    def __init__(self) -> None:
+        self._model: Optional[RuntimeModel] = None
+
+    def fit(self, context, machines, runtimes) -> "ScaleOutEstimator":
+        self.context = context
+        self._model = self.model_cls()
+        self._model.fit(
+            np.asarray(machines, dtype=np.float64),
+            np.asarray(runtimes, dtype=np.float64),
+        )
+        return self
+
+    def predict(self, machines) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError(f"{type(self).__name__}.predict called before fit")
+        return self._model.predict(np.asarray(machines, dtype=np.float64))
+
+
+@register("nnls", aliases=("ernest",))
+class NNLSEstimator(ScaleOutEstimator):
+    """Ernest's parametric scale-out model, fitted with NNLS."""
+
+    name = "NNLS"
+    min_train_points = 1
+    model_cls = ErnestModel
+
+
+@register("bell")
+class BellEstimator(ScaleOutEstimator):
+    """Bell: leave-one-out-CV selection between Ernest and interpolation."""
+
+    name = "Bell"
+    min_train_points = 3
+    model_cls = BellModel
+
+
+@register("interpolation")
+class InterpolationEstimator(ScaleOutEstimator):
+    """Piecewise-linear mean-runtime interpolation with linear extension."""
+
+    name = "interpolation"
+    min_train_points = 2
+    model_cls = InterpolationModel
+
+
+class BellamyEstimatorBase(Estimator):
+    """Shared plumbing of the Bellamy variants (wraps the runtime adapter)."""
+
+    #: Whether :class:`~repro.api.session.Session` must inject a pre-trained
+    #: ``base_model`` before this estimator can fit.
+    needs_base_model: bool = False
+    #: Concrete model class a Session pre-trains for this estimator.
+    model_class: str = "BellamyModel"
+
+    _runtime_model: Optional[BellamyRuntimeModel] = None
+
+    def predict(self, machines) -> np.ndarray:
+        if self._runtime_model is None:
+            raise RuntimeError(f"{type(self).__name__}.predict called before fit")
+        return self._runtime_model.predict(np.asarray(machines, dtype=np.float64))
+
+    @property
+    def epochs_trained(self) -> int:
+        return self._runtime_model.epochs_trained if self._runtime_model else 0
+
+    @property
+    def fit_seconds(self) -> float:
+        return self._runtime_model.fit_seconds if self._runtime_model else 0.0
+
+
+@register("bellamy-local")
+class BellamyLocalEstimator(BellamyEstimatorBase):
+    """Bellamy trained from scratch on the context's few samples."""
+
+    name = "Bellamy (local)"
+    min_train_points = 1
+
+    _param_names = ("config", "max_epochs", "seed", "seed_salt", "label")
+
+    def __init__(
+        self,
+        config: Optional[BellamyConfig] = None,
+        max_epochs: Optional[int] = None,
+        seed: Optional[int] = None,
+        seed_salt: str = "local",
+        label: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.max_epochs = max_epochs
+        #: Root seed; the per-context training seed is derived from it (and
+        #: ``seed_salt``) at fit time, so one estimator spec covers many
+        #: contexts deterministically. ``None`` keeps the config's seed.
+        self.seed = seed
+        self.seed_salt = seed_salt
+        self.name = label or self.name
+        self.label = label
+
+    def fit(self, context, machines, runtimes) -> "BellamyLocalEstimator":
+        if context is None:
+            raise ValueError("bellamy-local requires a JobContext to fit")
+        self.context = context
+        seed = None
+        if self.seed is not None:
+            seed = derive_seed(self.seed, self.seed_salt, context.context_id)
+        self._runtime_model = BellamyRuntimeModel(
+            context,
+            base_model=None,
+            config=self.config,
+            max_epochs=self.max_epochs,
+            variant_label=self.name,
+            seed=seed,
+        )
+        self._runtime_model.fit(
+            np.asarray(machines, dtype=np.float64),
+            np.asarray(runtimes, dtype=np.float64),
+        )
+        return self
+
+
+@register("bellamy-zeroshot")
+class BellamyZeroShotEstimator(BellamyEstimatorBase):
+    """A pre-trained Bellamy model applied as-is (paper §IV-C1, 0 points)."""
+
+    name = "Bellamy (zero-shot)"
+    min_train_points = 0
+    needs_base_model = True
+
+    _param_names = ("base_model", "label")
+
+    def __init__(
+        self,
+        base_model: Optional[BellamyModel] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.base_model = base_model
+        self.name = label or self.name
+        self.label = label
+
+    def fit(self, context, machines, runtimes) -> "BellamyZeroShotEstimator":
+        """Bind the pre-trained model to ``context``; samples are ignored."""
+        if self.base_model is None:
+            raise RuntimeError(
+                "bellamy-zeroshot has no base_model; pre-train one via "
+                "repro.api.Session (or pass base_model=...)"
+            )
+        if context is None:
+            raise ValueError("bellamy-zeroshot requires a JobContext to fit")
+        self.context = context
+        self._runtime_model = BellamyRuntimeModel(
+            context, base_model=self.base_model, variant_label=self.name
+        )
+        return self
+
+
+@register("bellamy-ft", aliases=("bellamy", "bellamy-finetuned"))
+class BellamyFinetunedEstimator(BellamyEstimatorBase):
+    """A pre-trained Bellamy model fine-tuned on the context's samples.
+
+    With zero samples the pre-trained model is applied as-is, which is why
+    ``min_train_points`` is 0 — the paper's extrapolation study includes the
+    0-points case for pre-trained variants.
+    """
+
+    name = "Bellamy (fine-tuned)"
+    min_train_points = 0
+    needs_base_model = True
+
+    _param_names = ("base_model", "strategy", "max_epochs", "label", "context_override")
+
+    def __init__(
+        self,
+        base_model: Optional[BellamyModel] = None,
+        strategy: Union[str, FinetuneStrategy] = FinetuneStrategy.PARTIAL_UNFREEZE,
+        max_epochs: Optional[int] = None,
+        label: Optional[str] = None,
+        context_override: Optional[JobContext] = None,
+    ) -> None:
+        self.base_model = base_model
+        self.strategy = strategy
+        self.max_epochs = max_epochs
+        self.name = label or self.name
+        self.label = label
+        #: Fit/predict against this context instead of the one passed to
+        #: ``fit`` — the ablation study uses it to neutralize descriptive
+        #: properties while evaluating on the real context's samples.
+        self.context_override = context_override
+
+    def fit(self, context, machines, runtimes) -> "BellamyFinetunedEstimator":
+        if self.base_model is None:
+            raise RuntimeError(
+                f"{self.registry_name or 'bellamy-ft'} has no base_model; "
+                "pre-train one via repro.api.Session (or pass base_model=...)"
+            )
+        if self.context_override is not None:
+            context = self.context_override
+        if context is None:
+            raise ValueError("fine-tuned Bellamy requires a JobContext to fit")
+        self.context = context
+        self._runtime_model = BellamyRuntimeModel(
+            context,
+            base_model=self.base_model,
+            strategy=FinetuneStrategy(self.strategy),
+            max_epochs=self.max_epochs,
+            variant_label=self.name,
+        )
+        self._runtime_model.fit(
+            np.asarray(machines, dtype=np.float64),
+            np.asarray(runtimes, dtype=np.float64),
+        )
+        return self
+
+
+@register("bellamy-graph")
+class GraphBellamyEstimator(BellamyFinetunedEstimator):
+    """Fine-tuned Bellamy over the graph-as-property model."""
+
+    name = "Bellamy (graph)"
+    model_class = "GraphBellamyModel"
+
+
+@register("bellamy-gnn")
+class GnnBellamyEstimator(BellamyFinetunedEstimator):
+    """Fine-tuned Bellamy over the learned-graph-code (GNN) model."""
+
+    name = "Bellamy (gnn)"
+    model_class = "GnnBellamyModel"

@@ -1,0 +1,87 @@
+"""String-keyed registry of estimator classes.
+
+The registry is the seam between model implementations and their consumers:
+the CLI, the evaluation protocol, the benchmarks, and hyperparameter tuning
+all resolve models by name (``make_estimator("bellamy-ft", ...)``) instead of
+importing concrete classes. New model families plug in with one decorator::
+
+    @register("my-model", aliases=("mm",))
+    class MyEstimator(Estimator):
+        ...
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, List, Type
+
+from repro.api.estimator import Estimator
+
+#: name (or alias) -> estimator class.
+_REGISTRY: Dict[str, Type[Estimator]] = {}
+#: primary names only, in registration order.
+_PRIMARY: List[str] = []
+
+
+class UnknownEstimatorError(KeyError):
+    """Raised for unregistered estimator names; message lists alternatives."""
+
+    def __init__(self, name: str) -> None:
+        available = available_estimators()
+        close = difflib.get_close_matches(name, list(_REGISTRY), n=3, cutoff=0.5)
+        hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+        super().__init__(
+            f"unknown estimator {name!r}{hint}; available: {', '.join(available)}"
+        )
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+def register(
+    name: str, aliases: tuple = ()
+) -> Callable[[Type[Estimator]], Type[Estimator]]:
+    """Class decorator registering an :class:`Estimator` under ``name``."""
+
+    def decorator(cls: Type[Estimator]) -> Type[Estimator]:
+        if not (isinstance(cls, type) and issubclass(cls, Estimator)):
+            raise TypeError(f"@register expects an Estimator subclass, got {cls!r}")
+        for key in (name, *aliases):
+            existing = _REGISTRY.get(key)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"estimator name {key!r} already registered to "
+                    f"{existing.__name__}"
+                )
+            _REGISTRY[key] = cls
+        if name not in _PRIMARY:
+            _PRIMARY.append(name)
+        cls.registry_name = name
+        return cls
+
+    return decorator
+
+
+def estimator_class(name: str) -> Type[Estimator]:
+    """The estimator class registered under ``name`` (or an alias)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownEstimatorError(name) from None
+
+
+def make_estimator(name: str, **params) -> Estimator:
+    """Construct a fresh estimator by registry name."""
+    return estimator_class(name)(**params)
+
+
+def available_estimators() -> List[str]:
+    """All registered primary estimator names (sorted)."""
+    return sorted(_PRIMARY)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves in the registry (aliases included)."""
+    return name in _REGISTRY

@@ -30,17 +30,23 @@ class RuntimeModel(abc.ABC):
     def predict(self, machines: np.ndarray) -> np.ndarray:
         """Predict runtimes (seconds) for the given scale-outs."""
 
-    def predict_one(self, machines: float) -> float:
-        """Convenience scalar prediction."""
-        return float(self.predict(np.asarray([machines], dtype=np.float64))[0])
+    def predict_one(self, machine_count: float) -> float:
+        """Convenience scalar prediction for a single scale-out."""
+        return float(self.predict(np.asarray([machine_count], dtype=np.float64))[0])
 
     @staticmethod
     def _validate_training_data(
-        machines: np.ndarray, runtimes: np.ndarray
+        machines: np.ndarray, runtimes: np.ndarray, allow_empty: bool = False
     ) -> "tuple[np.ndarray, np.ndarray]":
+        """Coerce and sanity-check per-context training pairs.
+
+        Shared by every ``fit`` implementation (baselines and the Bellamy
+        adapter) so validation behaves identically across model families.
+        ``allow_empty`` admits the zero-sample case of pre-trained models.
+        """
         machines = np.asarray(machines, dtype=np.float64).reshape(-1)
         runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
-        if machines.size == 0:
+        if machines.size == 0 and not allow_empty:
             raise ValueError("fit requires at least one training point")
         if machines.shape != runtimes.shape:
             raise ValueError(

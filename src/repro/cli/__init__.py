@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Installed as the ``repro-bellamy`` console script (see ``pyproject.toml``);
+Installed as the ``repro-bellamy`` console script (see ``setup.py``);
 also runnable as ``python -m repro.cli``. Subcommands cover the end-to-end
 workflow of the paper:
 
@@ -8,8 +8,13 @@ workflow of the paper:
 ``pretrain``    pre-train a (graph-aware / cross-algorithm) model on traces,
 ``predict``     predict runtimes of a described context at given scale-outs,
 ``select``      pick a scale-out for a runtime target (resource selection),
+``models``      list registered estimators and stored models,
 ``experiment``  run a paper experiment (cross-context, cross-environment,
                 ablation, cross-algorithm) and render its tables.
+
+All model resolution goes through the unified estimator API
+(:mod:`repro.api`): ``pretrain``/``predict``/``select`` operate a
+:class:`repro.api.Session` over a :class:`~repro.core.persistence.ModelStore`.
 """
 
 from repro.cli.main import build_parser, main

@@ -73,55 +73,40 @@ def cmd_dataset(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 
 
+#: CLI ``--model-type`` choice -> estimator registry name.
+MODEL_TYPE_TO_ESTIMATOR = {
+    "bellamy": "bellamy-ft",
+    "graph": "bellamy-graph",
+    "gnn": "bellamy-gnn",
+}
+
+
+def _session(args: argparse.Namespace, corpus=None):
+    """A :class:`repro.api.Session` bound to the CLI's store and seed."""
+    from repro.api import Session
+
+    return Session(
+        corpus,
+        store=getattr(args, "store", None),
+        seed=getattr(args, "seed", 0),
+    )
+
+
 def cmd_pretrain(args: argparse.Namespace) -> int:
-    """Pre-train a model and persist it in a model store."""
-    from repro.core.persistence import ModelStore
-
+    """Pre-train a model via a :class:`repro.api.Session` and persist it."""
     dataset = _load_traces(args.traces, args.seed)
+    estimator = MODEL_TYPE_TO_ESTIMATOR[args.model_type]
+    if args.algorithm is None and args.model_type == "gnn":
+        raise ValueError("--model-type gnn requires --algorithm")
+    if args.algorithm is None and args.model_type != "bellamy":
+        raise ValueError("cross-algorithm training supports --model-type bellamy")
 
-    if args.model_type == "gnn":
-        from repro.core.graph_model import pretrain_gnn
-
-        if args.algorithm is None:
-            raise ValueError("--model-type gnn requires --algorithm")
-        result = pretrain_gnn(
-            dataset, args.algorithm, epochs=args.epochs, seed=args.seed
-        )
-    elif args.algorithm is None:
-        from repro.core.cross_algorithm import pretrain_cross_algorithm
-
-        if args.model_type != "bellamy":
-            raise ValueError("cross-algorithm training supports --model-type bellamy")
-        result = pretrain_cross_algorithm(
-            dataset, epochs=args.epochs, seed=args.seed
-        )
-    else:
-        from repro.core.pretraining import pretrain
-
-        factory = None
-        if args.model_type == "graph":
-            from repro.core.graph_model import GraphBellamyModel
-
-            factory = GraphBellamyModel
-        result = pretrain(
-            dataset,
-            args.algorithm,
-            epochs=args.epochs,
-            seed=args.seed,
-            model_factory=factory,
-        )
-
-    store = ModelStore(args.store)
-    store.save(
-        args.name,
-        result.model,
-        metadata={
-            "algorithm": result.algorithm,
-            "variant": result.variant,
-            "n_samples": result.n_samples,
-            "n_contexts": result.n_contexts,
-            "validation_mae": result.validation_mae,
-        },
+    session = _session(args, corpus=dataset)
+    result = session.pretrain(
+        algorithm=args.algorithm,
+        estimator=estimator,
+        epochs=args.epochs,
+        save_as=args.name,
     )
     print(
         f"pre-trained {type(result.model).__name__} on {result.n_samples} "
@@ -140,11 +125,9 @@ def cmd_pretrain(args: argparse.Namespace) -> int:
 
 def cmd_predict(args: argparse.Namespace) -> int:
     """Predict runtimes of a described context at the given scale-outs."""
-    from repro.core.persistence import ModelStore
-
-    model = ModelStore(args.store).load(args.name)
+    session = _session(args)
     context = _context_from_args(args)
-    predictions = model.predict(context, args.machines)
+    predictions = session.predict(context, args.machines, model=args.name)
     rows = [
         [str(machines), f"{runtime:.1f}"]
         for machines, runtime in zip(args.machines, predictions)
@@ -166,18 +149,15 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 def cmd_select(args: argparse.Namespace) -> int:
     """Recommend a scale-out for a runtime target."""
-    from repro.core.persistence import ModelStore
-    from repro.core.resource_selection import select_scaleout
-
-    model = ModelStore(args.store).load(args.name)
+    session = _session(args)
     context = _context_from_args(args)
-    recommendation = select_scaleout(
-        model,
+    recommendation = session.select_scaleout(
+        context,
         candidates=args.candidates,
         runtime_target_s=args.target,
         objective=args.objective,
         price_per_machine_hour=args.price,
-        context=context,
+        model=args.name,
     )
     rows = []
     for candidate in recommendation.candidates:
@@ -202,6 +182,41 @@ def cmd_select(args: argparse.Namespace) -> int:
         return 0
     print("no candidate meets the runtime target")
     return 1
+
+
+# --------------------------------------------------------------------- #
+# models
+# --------------------------------------------------------------------- #
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List registered estimators (and, with ``--store``, stored models)."""
+    from repro.api import available_estimators, estimator_class
+
+    rows = []
+    for name in available_estimators():
+        cls = estimator_class(name)
+        doc = next(iter((cls.__doc__ or "").strip().splitlines()), "")
+        rows.append([name, str(cls.min_train_points), doc])
+    print(
+        ascii_table(
+            ["estimator", "min points", "description"],
+            rows,
+            title="[models] registered estimators",
+        )
+    )
+    if args.store is not None:
+        session = _session(args)
+        names = session.models()
+        print()
+        print(
+            ascii_table(
+                ["stored model"],
+                [[name] for name in names] or [["(none)"]],
+                title=f"[models] store {args.store}",
+            )
+        )
+    return 0
 
 
 # --------------------------------------------------------------------- #

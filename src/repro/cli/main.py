@@ -96,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.set_defaults(handler=commands.cmd_select)
 
+    # ------------------------------ models ---------------------------- #
+    models = subparsers.add_parser(
+        "models", help="list registered estimators and stored models"
+    )
+    models.add_argument(
+        "--store", type=Path, default=None, help="also list this model store's contents"
+    )
+    models.set_defaults(handler=commands.cmd_models)
+
     # ------------------------------ experiment ------------------------ #
     experiment = subparsers.add_parser(
         "experiment", help="run a paper experiment and render its tables"

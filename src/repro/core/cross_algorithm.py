@@ -28,12 +28,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import BellamyConfig
-from repro.core.finetuning import FinetuneStrategy
 from repro.core.model import BellamyModel
-from repro.core.prediction import BellamyRuntimeModel
 from repro.core.pretraining import PretrainResult, pretrain
 from repro.data.dataset import ExecutionDataset
-from repro.data.schema import JobContext
 from repro.eval.experiments.common import (
     ExperimentScale,
     QUICK_SCALE,
@@ -109,16 +106,14 @@ TRANSFER_ONLY = "Bellamy (transfer-only)"
 def _method(
     base: BellamyModel, label: str, scale: ExperimentScale
 ) -> MethodSpec:
-    def factory(context: JobContext) -> BellamyRuntimeModel:
-        return BellamyRuntimeModel(
-            context,
-            base_model=base,
-            strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
-            max_epochs=scale.finetune_max_epochs,
-            variant_label=label,
-        )
-
-    return MethodSpec(name=label, factory=factory, min_train_points=0)
+    """A fine-tuned-Bellamy spec resolved through the estimator registry."""
+    return MethodSpec.from_registry(
+        "bellamy-ft",
+        name=label,
+        base_model=base,
+        max_epochs=scale.finetune_max_epochs,
+        label=label,
+    )
 
 
 def run_cross_algorithm_experiment(

@@ -78,8 +78,9 @@ class BellamyRuntimeModel(RuntimeModel):
         With zero samples and a pre-trained base model this is a no-op:
         the pre-trained model is used as-is.
         """
-        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
-        runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+        machines, runtimes = self._validate_training_data(
+            machines, runtimes, allow_empty=True
+        )
         if machines.size == 0:
             if self.base_model is None:
                 raise ValueError("the local Bellamy variant requires training samples")

@@ -68,10 +68,15 @@ class PropertyEncoder:
 
         Natural numbers (and digit strings) go through the binarizer with
         prefix ``lambda = 1``; everything else is stringified, cleaned, and
-        hashed with prefix ``lambda = 0``.
+        hashed with prefix ``lambda = 0``. Naturals beyond the binarizer's
+        bit capacity (``2^(N-1) - 1``) cannot be represented exactly and
+        fall back to the hasher like any other text.
         """
         out = np.zeros(self.vector_size)
-        if Binarizer.is_encodable(value):
+        if (
+            Binarizer.is_encodable(value)
+            and Binarizer.to_int(value) <= self.binarizer.capacity
+        ):
             out[0] = LAMBDA_BINARIZED
             bits = self.binarizer.encode(Binarizer.to_int(value))
             out[1 : 1 + bits.size] = bits

@@ -42,7 +42,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import BellamyConfig
 from repro.core.finetuning import FinetuneStrategy
 from repro.core.model import BellamyModel
-from repro.core.prediction import BellamyRuntimeModel
 from repro.core.pretraining import pretrain
 from repro.data.dataset import ExecutionDataset
 from repro.data.schema import Execution, JobContext
@@ -190,19 +189,17 @@ def _variant_method(
     target: JobContext,
     scale: ExperimentScale,
 ) -> MethodSpec:
-    """Wrap one pre-trained variant model as an evaluation method."""
+    """Wrap one pre-trained variant model as a registry-resolved method."""
     context = neutralize_context(target) if variant.neutralize else target
-
-    def factory(_ctx: JobContext) -> BellamyRuntimeModel:
-        return BellamyRuntimeModel(
-            context,
-            base_model=base_model,
-            strategy=variant.strategy,
-            max_epochs=scale.finetune_max_epochs,
-            variant_label=variant.name,
-        )
-
-    return MethodSpec(name=variant.name, factory=factory, min_train_points=0)
+    return MethodSpec.from_registry(
+        "bellamy-ft",
+        name=variant.name,
+        base_model=base_model,
+        strategy=variant.strategy,
+        max_epochs=scale.finetune_max_epochs,
+        label=variant.name,
+        context_override=context if variant.neutralize else None,
+    )
 
 
 def run_ablation_experiment(

@@ -9,16 +9,12 @@ scale produced the reported numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
+from repro.api.session import Session
 from repro.core.config import BellamyConfig
-from repro.core.finetuning import FinetuneStrategy
 from repro.core.model import BellamyModel
-from repro.core.prediction import BellamyRuntimeModel
-from repro.core.pretraining import filter_distinct_contexts, pretrain
-from repro.baselines.bell_model import BellModel
-from repro.baselines.ernest import ErnestModel
 from repro.data.dataset import ExecutionDataset
 from repro.data.schema import JobContext
 from repro.eval.protocol import MethodSpec
@@ -142,12 +138,15 @@ def select_target_contexts(
 
 
 class PretrainedModelCache:
-    """Caches pre-trained base models per (algorithm, variant, target context).
+    """Deprecated shim: pre-trained base models per (algorithm, variant,
+    target context), now backed by :class:`repro.api.Session`.
 
     The corpus policies follow the paper: *full* uses every execution of the
     algorithm except the target context's own, *filtered* additionally keeps
     only substantially different contexts. Pre-training is by far the most
-    expensive step of the experiments, so results are memoized.
+    expensive step of the experiments, so results are memoized. New code
+    should construct a :class:`~repro.api.session.Session` directly — this
+    wrapper only preserves the historical constructor and key layout.
     """
 
     def __init__(
@@ -159,46 +158,27 @@ class PretrainedModelCache:
         self.dataset = dataset
         self.config = config
         self.seed = seed
-        self._models: Dict[Tuple[str, str, str], BellamyModel] = {}
-        self.pretrain_seconds: Dict[Tuple[str, str, str], float] = {}
+        self.session = Session(dataset, config=config, seed=seed)
+
+    @property
+    def pretrain_seconds(self) -> Dict[Tuple[str, str, str], float]:
+        """Wall-clock per pre-training run, keyed (algorithm, variant, ctx)."""
+        return self.session.pretrain_seconds
 
     def corpus_for(self, variant: str, target: JobContext) -> ExecutionDataset:
         """The pre-training corpus implied by ``variant`` for ``target``.
 
         On very small datasets the ``filtered`` policy (different node type,
         characteristics, and parameters; ≥20 % size difference) can remove
-        every execution; the cache then falls back to the ``full`` corpus so
-        the study still runs — real corpora (27-47 contexts per algorithm)
-        never trigger this.
+        every execution; the session then falls back to the ``full`` corpus
+        so the study still runs — real corpora (27-47 contexts per
+        algorithm) never trigger this.
         """
-        full = self.dataset.for_algorithm(target.algorithm).exclude_context(
-            target.context_id
-        )
-        if variant == "full":
-            return full
-        if variant != "filtered":
-            raise ValueError(f"unknown pre-training variant {variant!r}")
-        filtered = filter_distinct_contexts(full, target)
-        return filtered if len(filtered) else full
+        return self.session.corpus_for(target.algorithm, variant, target)
 
     def get(self, variant: str, target: JobContext) -> BellamyModel:
         """The pre-trained base model for ``(variant, target)`` (memoized)."""
-        key = (target.algorithm, variant, target.context_id)
-        if key not in self._models:
-            corpus = self.corpus_for(variant, target)
-            result = pretrain(
-                corpus,
-                target.algorithm,
-                config=self.config.with_overrides(
-                    seed=derive_seed(self.seed, "pretrain", *key)
-                ),
-                variant=variant,
-            )
-            model = result.model
-            model.eval()
-            self._models[key] = model
-            self.pretrain_seconds[key] = result.wall_seconds
-        return self._models[key]
+        return self.session.base_model(target.algorithm, variant=variant, target=target)
 
 
 def cross_context_methods(
@@ -209,48 +189,40 @@ def cross_context_methods(
 ) -> List[MethodSpec]:
     """The five methods of the cross-context study (paper Fig. 5/6/7).
 
-    Pre-trained base models are resolved eagerly (outside the split loop) so
-    their cost is not attributed to time-to-fit — matching the paper, where
-    time-to-fit covers pipeline preparation, model loading, and fine-tuning.
+    All methods are resolved through the estimator registry
+    (:mod:`repro.api`); pre-trained base models are resolved eagerly
+    (outside the split loop) so their cost is not attributed to
+    time-to-fit — matching the paper, where time-to-fit covers pipeline
+    preparation, model loading, and fine-tuning.
     """
     config = scale.bellamy_config()
     filtered_base = cache.get("filtered", target)
     full_base = cache.get("full", target)
 
-    def local_factory(context: JobContext) -> BellamyRuntimeModel:
-        return BellamyRuntimeModel(
-            context,
-            base_model=None,
+    specs = [
+        MethodSpec.from_registry("nnls", name="NNLS"),
+        MethodSpec.from_registry("bell", name="Bell"),
+        MethodSpec.from_registry(
+            "bellamy-local",
+            name="Bellamy (local)",
             config=config,
             max_epochs=scale.finetune_max_epochs,
-            variant_label="Bellamy (local)",
-            seed=derive_seed(seed, "local", context.context_id),
-        )
-
-    def finetuned_factory(base: BellamyModel, label: str):
-        def factory(context: JobContext) -> BellamyRuntimeModel:
-            return BellamyRuntimeModel(
-                context,
-                base_model=base,
-                strategy=FinetuneStrategy.PARTIAL_UNFREEZE,
-                max_epochs=scale.finetune_max_epochs,
-                variant_label=label,
-            )
-
-        return factory
-
-    return [
-        MethodSpec(name="NNLS", factory=lambda _ctx: ErnestModel(), min_train_points=1),
-        MethodSpec(name="Bell", factory=lambda _ctx: BellModel(), min_train_points=3),
-        MethodSpec(name="Bellamy (local)", factory=local_factory, min_train_points=1),
-        MethodSpec(
-            name="Bellamy (filtered)",
-            factory=finetuned_factory(filtered_base, "Bellamy (filtered)"),
-            min_train_points=0,
-        ),
-        MethodSpec(
-            name="Bellamy (full)",
-            factory=finetuned_factory(full_base, "Bellamy (full)"),
-            min_train_points=0,
+            seed=seed,
+            seed_salt="local",
+            label="Bellamy (local)",
         ),
     ]
+    for label, base in (
+        ("Bellamy (filtered)", filtered_base),
+        ("Bellamy (full)", full_base),
+    ):
+        specs.append(
+            MethodSpec.from_registry(
+                "bellamy-ft",
+                name=label,
+                base_model=base,
+                max_epochs=scale.finetune_max_epochs,
+                label=label,
+            )
+        )
+    return specs

@@ -14,15 +14,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.bell_model import BellModel
-from repro.baselines.ernest import ErnestModel
 from repro.core.config import BellamyConfig
 from repro.core.finetuning import FinetuneStrategy
 from repro.core.model import BellamyModel
-from repro.core.prediction import BellamyRuntimeModel
 from repro.core.pretraining import pretrain
 from repro.data.dataset import ExecutionDataset
-from repro.data.schema import JobContext
 from repro.eval.experiments.common import ExperimentScale, QUICK_SCALE
 from repro.eval.protocol import (
     EvaluationRecord,
@@ -57,40 +53,32 @@ def cross_environment_methods(
     config: BellamyConfig,
     seed: int = 0,
 ) -> List[MethodSpec]:
-    """NNLS, Bell, local, and the four reuse strategies."""
+    """NNLS, Bell, local, and the four reuse strategies — all resolved
+    through the estimator registry (:mod:`repro.api`)."""
 
-    def local_factory(context: JobContext) -> BellamyRuntimeModel:
-        return BellamyRuntimeModel(
-            context,
-            base_model=None,
+    methods: List[MethodSpec] = [
+        MethodSpec.from_registry("nnls", name="NNLS"),
+        MethodSpec.from_registry("bell", name="Bell"),
+        MethodSpec.from_registry(
+            "bellamy-local",
+            name="Bellamy (local)",
             config=config,
             max_epochs=scale.finetune_max_epochs,
-            variant_label="Bellamy (local)",
-            seed=derive_seed(seed, "crossenv-local", context.context_id),
-        )
-
-    def strategy_factory(strategy: FinetuneStrategy):
-        def factory(context: JobContext) -> BellamyRuntimeModel:
-            return BellamyRuntimeModel(
-                context,
+            seed=seed,
+            seed_salt="crossenv-local",
+            label="Bellamy (local)",
+        ),
+    ]
+    for strategy in CROSS_ENV_STRATEGIES:
+        label = f"Bellamy ({strategy.value})"
+        methods.append(
+            MethodSpec.from_registry(
+                "bellamy-ft",
+                name=label,
                 base_model=base,
                 strategy=strategy,
                 max_epochs=scale.finetune_max_epochs,
-                variant_label=f"Bellamy ({strategy.value})",
-            )
-
-        return factory
-
-    methods: List[MethodSpec] = [
-        MethodSpec(name="NNLS", factory=lambda _ctx: ErnestModel(), min_train_points=1),
-        MethodSpec(name="Bell", factory=lambda _ctx: BellModel(), min_train_points=3),
-        MethodSpec(name="Bellamy (local)", factory=local_factory, min_train_points=1),
-    ]
-    for strategy in CROSS_ENV_STRATEGIES:
-        methods.append(
-            MethodSpec(
-                name=f"Bellamy ({strategy.value})",
-                factory=strategy_factory(strategy),
+                label=label,
                 # Reset variants must re-learn and thus need data; unfreeze
                 # variants can be applied zero-shot.
                 min_train_points=0 if not strategy.resets_z() else 1,

@@ -7,37 +7,82 @@ test point inside their range, one extrapolation test point outside), fits
 the method on the training points, and records the prediction error on the
 test points along with time-to-fit and epochs-trained diagnostics.
 
-Methods are supplied as factories so every split gets a fresh model; Bellamy
-factories close over a pre-trained base model that fine-tuning clones.
+Methods are named :class:`MethodSpec` entries that resolve a fresh model per
+(context, split) — preferably by **registry name**
+(:meth:`MethodSpec.from_registry`, see :mod:`repro.api`), with legacy
+``MethodFactory`` closures still accepted for unregistered ad hoc models
+(e.g. the component-ablated variants of the ablation study).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.estimator import Estimator, as_estimator
 from repro.baselines.base import RuntimeModel
 from repro.data.dataset import ExecutionDataset
 from repro.data.schema import JobContext
 from repro.data.splits import Split, split_arrays, subsample_splits, test_point
 from repro.utils.rng import derive_seed
 
-#: Builds a fresh model for one (context, split) evaluation.
+#: Builds a fresh model for one (context, split) evaluation (legacy API;
+#: prefer registry names via :meth:`MethodSpec.from_registry`).
 MethodFactory = Callable[[JobContext], RuntimeModel]
 
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """A named prediction method under evaluation."""
+    """A named prediction method under evaluation.
+
+    ``factory`` is either an estimator registry name (a string, constructed
+    with ``params`` via :func:`repro.api.make_estimator`) or a legacy
+    callable ``JobContext -> RuntimeModel``.
+    """
 
     name: str
-    factory: MethodFactory
+    factory: Union[str, MethodFactory]
     #: Methods below this many training points are skipped (NNLS needs 1,
     #: Bell needs 3, pre-trained Bellamy variants support 0).
     min_train_points: int = 1
+    #: Constructor parameters for registry-name factories.
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        estimator: str,
+        name: Optional[str] = None,
+        min_train_points: Optional[int] = None,
+        **params: Any,
+    ) -> "MethodSpec":
+        """A spec resolving ``estimator`` from the model registry.
+
+        ``min_train_points`` defaults to the estimator class's own value;
+        display ``name`` defaults to the registry name.
+        """
+        from repro.api import estimator_class
+
+        est_cls = estimator_class(estimator)  # validates the name eagerly
+        if min_train_points is None:
+            min_train_points = est_cls.min_train_points
+        return cls(
+            name=name or estimator,
+            factory=estimator,
+            min_train_points=min_train_points,
+            params=params,
+        )
+
+    def build(self, context: JobContext) -> Union[Estimator, RuntimeModel]:
+        """A fresh model for one (context, split) evaluation."""
+        if isinstance(self.factory, str):
+            from repro.api import make_estimator
+
+            return make_estimator(self.factory, **self.params)
+        return self.factory(context)
 
 
 @dataclass
@@ -97,9 +142,9 @@ def evaluate_method_on_split(
 ) -> List[EvaluationRecord]:
     """Fit one method on one split and score both test tasks."""
     machines, runtimes = split_arrays(context_data, split)
-    model = method.factory(context)
+    model = as_estimator(method.build(context))
     started = time.perf_counter()
-    model.fit(machines, runtimes)
+    model.fit(context, machines, runtimes)
     fit_seconds = time.perf_counter() - started
     epochs = int(getattr(model, "epochs_trained", 0))
     # Bellamy adapters time their own pipeline (clone + loop); prefer it.

@@ -3,8 +3,10 @@
 from repro.tune.runner import (
     Trial,
     TuneResult,
+    estimator_objective,
     run_search,
     run_successive_halving,
+    tune_estimator,
 )
 from repro.tune.search import GridSearch, RandomSearch, Searcher
 from repro.tune.space import (
@@ -28,6 +30,8 @@ __all__ = [
     "Trial",
     "TuneResult",
     "Uniform",
+    "estimator_objective",
     "run_search",
     "run_successive_halving",
+    "tune_estimator",
 ]

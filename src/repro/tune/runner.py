@@ -1,7 +1,12 @@
 """Trial runner: evaluate configurations and keep the best.
 
 A tiny, sequential stand-in for Ray Tune's trial executor, with optional
-successive-halving early stopping for budgeted objectives.
+successive-halving early stopping for budgeted objectives. Model
+hyperparameters are tuned against the unified estimator API: build an
+objective with :func:`estimator_objective` (models resolved by registry name,
+base models injected by a :class:`repro.api.Session`) and hand it to
+:func:`run_search` / :func:`run_successive_halving`, or use the
+:func:`tune_estimator` convenience wrapper.
 """
 
 from __future__ import annotations
@@ -9,7 +14,9 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.tune.search import Searcher
 
@@ -43,6 +50,100 @@ class TuneResult:
     def sorted_trials(self) -> List[Trial]:
         """Trials ordered best-first."""
         return sorted(self.trials, key=lambda trial: trial.score)
+
+
+def estimator_objective(
+    name: str,
+    context,
+    machines: Sequence[float],
+    runtimes: Sequence[float],
+    test_machines: Sequence[float],
+    test_runtimes: Sequence[float],
+    session=None,
+    base_params: Optional[Dict[str, Any]] = None,
+    metric: str = "mae",
+) -> Objective:
+    """An objective evaluating registry-estimator hyperparameters.
+
+    Each trial constructs a fresh estimator by ``name`` through the model
+    registry — fits it on the training samples, and scores held-out
+    predictions. When a :class:`repro.api.Session` is given, estimators
+    that need a pre-trained base model receive the session's cached
+    **leave-one-out** base for the target context (its own executions are
+    excluded from the pre-training corpus, so the objective's test points
+    never leak into pre-training — matching the paper's protocol).
+
+    Parameters
+    ----------
+    name:
+        Estimator registry name (e.g. ``"bellamy-ft"``, ``"bellamy-local"``).
+    context:
+        The :class:`~repro.data.schema.JobContext` being tuned for.
+    machines, runtimes:
+        Training samples from the context.
+    test_machines, test_runtimes:
+        Held-out samples scored by the objective.
+    session:
+        Optional session owning pre-trained base models.
+    base_params:
+        Fixed constructor parameters merged under every trial's config.
+    metric:
+        ``"mae"`` (seconds) or ``"mre"`` (relative).
+    """
+    if metric not in ("mae", "mre"):
+        raise ValueError(f"unknown metric {metric!r}; use 'mae' or 'mre'")
+    test_machines = np.asarray(test_machines, dtype=np.float64).reshape(-1)
+    test_runtimes = np.asarray(test_runtimes, dtype=np.float64).reshape(-1)
+
+    def objective(config: Dict[str, Any], budget: Optional[int] = None) -> float:
+        from repro.api import estimator_class, make_estimator
+
+        params = {**(base_params or {}), **config}
+        needs_base = getattr(estimator_class(name), "needs_base_model", False)
+        if session is not None and needs_base and "base_model" not in params:
+            params["base_model"] = session.base_model(
+                context.algorithm, target=context, estimator=name
+            )
+        estimator = make_estimator(name, **params)
+        if budget is not None and "max_epochs" in estimator.get_params():
+            estimator.set_params(max_epochs=int(budget))
+        estimator.fit(context, machines, runtimes)
+        predicted = estimator.predict(test_machines)
+        from repro.eval.metrics import mae, mre
+
+        return mae(predicted, test_runtimes) if metric == "mae" else mre(
+            predicted, test_runtimes
+        )
+
+    return objective
+
+
+def tune_estimator(
+    searcher: Searcher,
+    name: str,
+    context,
+    machines: Sequence[float],
+    runtimes: Sequence[float],
+    test_machines: Sequence[float],
+    test_runtimes: Sequence[float],
+    n_trials: int,
+    session=None,
+    base_params: Optional[Dict[str, Any]] = None,
+    metric: str = "mae",
+) -> TuneResult:
+    """Search estimator hyperparameters through the registry/Session."""
+    objective = estimator_objective(
+        name,
+        context,
+        machines,
+        runtimes,
+        test_machines,
+        test_runtimes,
+        session=session,
+        base_params=base_params,
+        metric=metric,
+    )
+    return run_search(searcher, objective, n_trials)
 
 
 def run_search(

@@ -1,0 +1,176 @@
+"""Tests of the estimator registry and the Estimator protocol surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Estimator,
+    LegacyModelEstimator,
+    PredictionRequest,
+    UnknownEstimatorError,
+    as_estimator,
+    available_estimators,
+    estimator_class,
+    is_registered,
+    make_estimator,
+    register,
+)
+from repro.baselines.ernest import ErnestModel
+
+EXPECTED_NAMES = {
+    "nnls",
+    "bell",
+    "interpolation",
+    "bellamy-local",
+    "bellamy-zeroshot",
+    "bellamy-ft",
+    "bellamy-graph",
+    "bellamy-gnn",
+}
+
+
+class TestRegistryContents:
+    def test_all_expected_names_registered(self):
+        assert EXPECTED_NAMES <= set(available_estimators())
+
+    def test_every_registered_name_constructs(self):
+        for name in available_estimators():
+            estimator = make_estimator(name)
+            assert isinstance(estimator, Estimator)
+            assert estimator.registry_name == name
+
+    def test_aliases_resolve_to_primary_class(self):
+        assert estimator_class("ernest") is estimator_class("nnls")
+        assert estimator_class("bellamy") is estimator_class("bellamy-ft")
+        # Aliases are resolvable but not listed as primary names.
+        assert "ernest" not in available_estimators()
+        assert is_registered("ernest")
+
+    def test_min_train_points_match_paper(self):
+        assert estimator_class("nnls").min_train_points == 1
+        assert estimator_class("bell").min_train_points == 3
+        assert estimator_class("bellamy-ft").min_train_points == 0
+        assert estimator_class("bellamy-zeroshot").min_train_points == 0
+        assert estimator_class("bellamy-local").min_train_points == 1
+
+
+class TestParamsRoundTrip:
+    def test_get_params_reconstructs_every_estimator(self):
+        for name in available_estimators():
+            estimator = make_estimator(name)
+            rebuilt = make_estimator(name, **estimator.get_params())
+            assert type(rebuilt) is type(estimator)
+            assert rebuilt.get_params() == estimator.get_params()
+
+    def test_clone_is_fresh_and_equal(self):
+        estimator = make_estimator("bellamy-ft", max_epochs=50)
+        clone = estimator.clone()
+        assert clone is not estimator
+        assert clone.get_params() == estimator.get_params()
+
+    def test_set_params_rejects_unknown(self):
+        estimator = make_estimator("bellamy-local")
+        with pytest.raises(ValueError, match="no parameter"):
+            estimator.set_params(bogus=1)
+
+    def test_set_params_updates(self):
+        estimator = make_estimator("bellamy-ft").set_params(max_epochs=7)
+        assert estimator.get_params()["max_epochs"] == 7
+
+
+class TestUnknownNames:
+    def test_error_lists_alternatives(self):
+        with pytest.raises(UnknownEstimatorError) as excinfo:
+            make_estimator("does-not-exist")
+        message = str(excinfo.value)
+        for name in sorted(EXPECTED_NAMES):
+            assert name in message
+
+    def test_error_suggests_close_matches(self):
+        with pytest.raises(UnknownEstimatorError, match="did you mean"):
+            make_estimator("belamy-ft")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register("nnls")
+            class Impostor(Estimator):  # pragma: no cover - never constructed
+                def fit(self, context, machines, runtimes):
+                    return self
+
+                def predict(self, machines):
+                    return np.zeros(0)
+
+
+class TestEstimatorSurface:
+    def test_fit_predict_predict_one(self, sgd_context):
+        estimator = make_estimator("nnls")
+        machines = np.array([2.0, 4.0, 8.0])
+        runtimes = np.array([400.0, 220.0, 130.0])
+        assert estimator.fit(sgd_context, machines, runtimes) is estimator
+        predictions = estimator.predict([2, 4, 8])
+        assert predictions.shape == (3,)
+        assert estimator.predict_one(4) == pytest.approx(predictions[1])
+        assert estimator.context is sgd_context
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            make_estimator("bell").predict([2])
+
+    def test_predict_batch_contextless_uses_fitted_state(self, sgd_context):
+        estimator = make_estimator("interpolation")
+        estimator.fit(sgd_context, [2.0, 4.0, 8.0], [400.0, 220.0, 130.0])
+        out = estimator.predict_batch(
+            [PredictionRequest(machines=[2, 4]), PredictionRequest(machines=[8])]
+        )
+        assert len(out) == 2
+        assert out[0].shape == (2,) and out[1].shape == (1,)
+
+    def test_predict_batch_with_context_refits_clone(self, sgd_context):
+        estimator = make_estimator("nnls")
+        request = PredictionRequest(
+            machines=[4],
+            context=sgd_context,
+            train_machines=[2.0, 4.0, 8.0],
+            train_runtimes=[400.0, 220.0, 130.0],
+        )
+        (prediction,) = estimator.predict_batch([request])
+        assert prediction.shape == (1,)
+        # The serving estimator itself stays unfitted.
+        with pytest.raises(RuntimeError):
+            estimator.predict([4])
+
+    def test_zeroshot_without_base_points_to_session(self, sgd_context):
+        with pytest.raises(RuntimeError, match="Session"):
+            make_estimator("bellamy-zeroshot").fit(sgd_context, [], [])
+
+    def test_finetuned_without_base_points_to_session(self, sgd_context):
+        with pytest.raises(RuntimeError, match="Session"):
+            make_estimator("bellamy-ft").fit(sgd_context, [2.0], [100.0])
+
+
+class TestLegacyAdapter:
+    def test_runtime_model_adapts(self, sgd_context):
+        adapted = as_estimator(ErnestModel())
+        assert isinstance(adapted, LegacyModelEstimator)
+        adapted.fit(sgd_context, [2.0, 4.0], [400.0, 230.0])
+        assert adapted.predict([8]).shape == (1,)
+        assert adapted.name == "NNLS"
+
+    def test_estimator_passes_through(self):
+        estimator = make_estimator("bell")
+        assert as_estimator(estimator) is estimator
+
+    def test_clone_does_not_share_wrapped_model(self, sgd_context):
+        adapted = as_estimator(ErnestModel())
+        adapted.fit(sgd_context, [2.0, 4.0], [400.0, 230.0])
+        before = adapted.predict([8.0])[0]
+        # Refitting a clone must not leak into the original's fitted state.
+        adapted.clone().fit(sgd_context, [2.0, 4.0], [40.0, 23.0])
+        assert adapted.predict([8.0])[0] == pytest.approx(before)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot adapt"):
+            as_estimator(object())

@@ -1,0 +1,251 @@
+"""Tests of the lifecycle Session: pre-train caching, serving, selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionRequest, Session, make_estimator
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.core.persistence import ModelStore
+from repro.eval.protocol import MethodSpec
+
+#: Tiny budgets — these tests exercise plumbing, not model quality.
+FAST = BellamyConfig(
+    pretrain_epochs=3,
+    finetune_max_epochs=8,
+    finetune_patience=5,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def sgd_slice(request):
+    """A 3-context SGD slice of the C3O data (module-scoped for speed)."""
+    c3o_dataset = request.getfixturevalue("c3o_dataset")
+    contexts = c3o_dataset.for_algorithm("sgd").contexts()[:3]
+    wanted = {c.context_id for c in contexts}
+    return c3o_dataset.filter(lambda e: e.context.context_id in wanted)
+
+
+@pytest.fixture()
+def session(sgd_slice) -> Session:
+    return Session(sgd_slice, config=FAST, seed=0)
+
+
+class TestCorpusPolicies:
+    def test_full_excludes_target(self, session, sgd_slice):
+        target = sgd_slice.contexts()[0]
+        corpus = session.corpus_for("sgd", "full", target)
+        assert all(e.context.context_id != target.context_id for e in corpus)
+
+    def test_unknown_variant_rejected(self, session):
+        with pytest.raises(ValueError, match="variant"):
+            session.corpus_for("sgd", "everything")
+
+    def test_corpusless_session_rejects(self):
+        with pytest.raises(ValueError, match="no corpus"):
+            Session().corpus_for("sgd")
+
+
+class TestPretrainCache:
+    def test_memory_memoization(self, session):
+        a = session.base_model("sgd")
+        b = session.base_model("sgd")
+        assert a is b
+        sources = [source for source, _ in session.cache_log]
+        assert sources == ["train", "memory"]
+        assert len(session.pretrain_seconds) == 1
+
+    def test_store_cache_hit_across_sessions(self, sgd_slice, tmp_path):
+        store = tmp_path / "models"
+        first = Session(sgd_slice, config=FAST, store=store, seed=0)
+        trained = first.base_model("sgd")
+        assert first.cache_log[-1][0] == "train"
+        assert ModelStore(store).names()  # persisted
+
+        second = Session(sgd_slice, config=FAST, store=store, seed=0)
+        loaded = second.base_model("sgd")
+        assert second.cache_log == [("store", first.cache_log[-1][1])]
+        assert not second.pretrain_seconds  # nothing was trained
+        np.testing.assert_allclose(
+            loaded.full_state_dict()["f.layer1.weight"],
+            trained.full_state_dict()["f.layer1.weight"],
+        )
+
+    def test_explicit_pretrain_seeds_the_cache(self, session):
+        result = session.pretrain(algorithm="sgd", epochs=2)
+        assert session.base_model("sgd") is result.model
+        assert session.cache_log[-1][0] == "memory"
+
+    def test_save_as_still_hits_store_cache_later(self, sgd_slice, tmp_path):
+        store = tmp_path / "models"
+        first = Session(sgd_slice, config=FAST, store=store, seed=0)
+        first.pretrain(algorithm="sgd", save_as="prod")
+        assert "prod" in ModelStore(store).names()
+
+        second = Session(sgd_slice, config=FAST, store=store, seed=0)
+        second.base_model("sgd")
+        assert second.cache_log[-1][0] == "store"  # no silent retraining
+        assert not second.pretrain_seconds
+
+    def test_variants_cached_separately(self, session, sgd_slice):
+        target = sgd_slice.contexts()[0]
+        full = session.base_model("sgd", variant="full", target=target)
+        filtered = session.base_model("sgd", variant="filtered", target=target)
+        assert full is not filtered
+        assert len(session.pretrain_seconds) == 2
+
+    def test_pretrain_rejects_baseline_estimators(self, session):
+        with pytest.raises(ValueError, match="does not use a pre-trained"):
+            session.pretrain(algorithm="sgd", estimator="nnls")
+
+    def test_save_as_without_store_rejected(self, session):
+        with pytest.raises(ValueError, match="no\\s+ModelStore"):
+            session.pretrain(algorithm="sgd", save_as="prod")
+
+    def test_different_corpus_never_serves_stale_store_model(self, c3o_dataset, tmp_path):
+        store = tmp_path / "models"
+        contexts = c3o_dataset.for_algorithm("sgd").contexts()[:3]
+        wanted = {c.context_id for c in contexts}
+        corpus = c3o_dataset.filter(lambda e: e.context.context_id in wanted)
+
+        first = Session(corpus.exclude_context(contexts[0].context_id),
+                        config=FAST, store=store, seed=0)
+        first.base_model("sgd")
+
+        # Same config, same store, but a different leave-one-out slice: the
+        # corpus fingerprint must force fresh training, not a store hit on a
+        # model whose corpus includes this slice's held-out context.
+        second = Session(corpus.exclude_context(contexts[1].context_id),
+                         config=FAST, store=store, seed=0)
+        second.base_model("sgd")
+        assert second.cache_log[-1][0] == "train"
+
+    def test_different_config_never_serves_stale_store_model(self, sgd_slice, tmp_path):
+        store = tmp_path / "models"
+        Session(sgd_slice, config=FAST, store=store, seed=0).base_model("sgd")
+
+        other_config = FAST.with_overrides(pretrain_epochs=5)
+        second = Session(sgd_slice, config=other_config, store=store, seed=0)
+        second.base_model("sgd")
+        # The config fingerprint in the store key forces a fresh training
+        # run instead of silently serving the 3-epoch model.
+        assert second.cache_log[-1][0] == "train"
+
+
+class TestServing:
+    def test_zero_shot_predict(self, session, sgd_slice):
+        context = sgd_slice.contexts()[0]
+        predictions = session.predict(context, [2, 4, 8])
+        assert predictions.shape == (3,)
+        assert (predictions > 0).all()
+
+    def test_few_shot_predict(self, session, sgd_slice):
+        context = sgd_slice.contexts()[0]
+        data = sgd_slice.for_context(context.context_id)
+        machines, runtimes = data.machines_array()[:2], data.runtimes_array()[:2]
+        predictions = session.predict(
+            context, [4], samples=(machines, runtimes), max_epochs=5
+        )
+        assert predictions.shape == (1,)
+
+    def test_finetune_with_filtered_variant(self, session, sgd_slice):
+        # The filtered corpus policy needs a target; finetune must pass the
+        # context through instead of crashing in corpus_for.
+        context = sgd_slice.contexts()[0]
+        data = sgd_slice.for_context(context.context_id)
+        est = session.finetune(
+            context,
+            data.machines_array()[:2],
+            data.runtimes_array()[:2],
+            variant="filtered",
+            max_epochs=4,
+        )
+        assert est.predict([6]).shape == (1,)
+
+    def test_finetune_returns_fitted_estimator(self, session, sgd_slice):
+        context = sgd_slice.contexts()[1]
+        data = sgd_slice.for_context(context.context_id)
+        est = session.finetune(
+            context,
+            data.machines_array()[:3],
+            data.runtimes_array()[:3],
+            max_epochs=5,
+        )
+        assert est.context is context
+        assert est.predict([6]).shape == (1,)
+        assert est.epochs_trained >= 1
+
+    def test_predict_batch(self, session, sgd_slice):
+        contexts = sgd_slice.contexts()[:2]
+        requests = [
+            PredictionRequest(machines=[2, 4], context=contexts[0]),
+            PredictionRequest(machines=[8], context=contexts[1]),
+        ]
+        out = session.predict_batch(requests)
+        assert [o.shape for o in out] == [(2,), (1,)]
+        # Both requests share one cached per-algorithm base model.
+        assert len(session.pretrain_seconds) == 1
+
+    def test_predict_batch_requires_context(self, session):
+        with pytest.raises(ValueError, match="context"):
+            session.predict_batch([PredictionRequest(machines=[2])])
+
+    def test_predict_batch_with_numpy_samples(self, session, sgd_slice):
+        # Regression: multi-element numpy sample arrays must not hit a
+        # truthiness check while being unpacked.
+        context = sgd_slice.contexts()[0]
+        data = sgd_slice.for_context(context.context_id)
+        request = PredictionRequest(
+            machines=[6],
+            context=context,
+            train_machines=data.machines_array()[:2],
+            train_runtimes=data.runtimes_array()[:2],
+        )
+        out = session.predict_batch([request], max_epochs=4)
+        assert out[0].shape == (1,)
+
+    def test_predict_with_explicit_model(self, session, sgd_slice):
+        context = sgd_slice.contexts()[0]
+        base = session.base_model("sgd")
+        assert isinstance(base, BellamyModel)
+        predictions = session.predict(context, [4], model=base)
+        assert predictions.shape == (1,)
+
+    def test_select_scaleout(self, session, sgd_slice):
+        context = sgd_slice.contexts()[0]
+        recommendation = session.select_scaleout(
+            context, [2, 4, 6, 8], runtime_target_s=1e9
+        )
+        assert recommendation.satisfiable
+        assert recommendation.chosen.machines == 2  # min_machines objective
+
+
+class TestEstimatorIntegration:
+    def test_estimator_injects_base_model(self, session):
+        est = session.estimator("bellamy-ft", algorithm="sgd")
+        assert est.base_model is session.base_model("sgd")
+
+    def test_estimator_without_base_need(self, session):
+        est = session.estimator("nnls")
+        assert est.get_params() == {}
+
+    def test_method_specs_cover_paper_methods(self, session, sgd_slice):
+        target = sgd_slice.contexts()[0]
+        specs = session.method_specs(target, max_epochs=5)
+        names = [spec.name for spec in specs]
+        assert names == [
+            "NNLS",
+            "Bell",
+            "Bellamy (local)",
+            "Bellamy (filtered)",
+            "Bellamy (full)",
+        ]
+        assert all(isinstance(spec, MethodSpec) for spec in specs)
+        # Pre-trained variants support the paper's zero-sample case.
+        assert specs[-1].min_train_points == 0
+        model = specs[-1].build(target)
+        model.fit(target, [], [])
+        assert model.predict([4]).shape == (1,)

@@ -38,6 +38,13 @@ class TestDispatch:
     def test_float_string_uses_hasher(self, encoder):
         assert encoder.encode_property("0.85")[0] == LAMBDA_HASHED
 
+    def test_over_capacity_natural_falls_back_to_hasher(self, encoder):
+        # 2^39 exceeds the 39-bit capacity of a 40-wide vector; such values
+        # cannot be represented exactly and must hash instead of raising.
+        assert encoder.encode_property(2**39)[0] == LAMBDA_HASHED
+        assert encoder.encode_property("550000000000")[0] == LAMBDA_HASHED
+        assert encoder.encode_property(2**39 - 1)[0] == LAMBDA_BINARIZED
+
     def test_vector_size(self, encoder):
         assert encoder.encode_property("anything").shape == (40,)
 

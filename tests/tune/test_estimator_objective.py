@@ -1,0 +1,95 @@
+"""Tests of registry/Session-backed tuning objectives (repro.tune.runner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.tune import GridSearch, SearchSpace, Categorical, estimator_objective, tune_estimator
+
+TRAIN_MACHINES = np.array([2.0, 4.0, 8.0])
+TRAIN_RUNTIMES = np.array([400.0, 220.0, 130.0])
+TEST_MACHINES = np.array([6.0])
+TEST_RUNTIMES = np.array([160.0])
+
+
+class TestEstimatorObjective:
+    def test_registry_objective_scores(self, sgd_context):
+        objective = estimator_objective(
+            "nnls",
+            sgd_context,
+            TRAIN_MACHINES,
+            TRAIN_RUNTIMES,
+            TEST_MACHINES,
+            TEST_RUNTIMES,
+        )
+        score = objective({})
+        assert score >= 0.0 and np.isfinite(score)
+
+    def test_metric_validation(self, sgd_context):
+        with pytest.raises(ValueError, match="metric"):
+            estimator_objective(
+                "nnls",
+                sgd_context,
+                TRAIN_MACHINES,
+                TRAIN_RUNTIMES,
+                TEST_MACHINES,
+                TEST_RUNTIMES,
+                metric="rmse",
+            )
+
+    def test_mre_scales_by_actual(self, sgd_context):
+        common = (sgd_context, TRAIN_MACHINES, TRAIN_RUNTIMES, TEST_MACHINES, TEST_RUNTIMES)
+        mae = estimator_objective("nnls", *common)({})
+        mre = estimator_objective("nnls", *common, metric="mre")({})
+        assert mre == pytest.approx(mae / TEST_RUNTIMES[0])
+
+    def test_budget_maps_to_max_epochs(self, sgd_context):
+        objective = estimator_objective(
+            "bellamy-local",
+            sgd_context,
+            TRAIN_MACHINES,
+            TRAIN_RUNTIMES,
+            TEST_MACHINES,
+            TEST_RUNTIMES,
+            base_params={
+                "config": BellamyConfig(
+                    finetune_max_epochs=5, finetune_patience=3, seed=0
+                )
+            },
+        )
+        score = objective({}, budget=2)
+        assert np.isfinite(score)
+
+    def test_tune_estimator_with_session(self, c3o_dataset):
+        config = BellamyConfig(
+            pretrain_epochs=2, finetune_max_epochs=3, finetune_patience=2, seed=0
+        )
+        contexts = c3o_dataset.for_algorithm("sgd").contexts()[:3]
+        wanted = {c.context_id for c in contexts}
+        corpus = c3o_dataset.filter(lambda e: e.context.context_id in wanted)
+        target = contexts[0]
+        session = Session(corpus, config=config, seed=0)
+        space = SearchSpace({"max_epochs": Categorical([2, 3])})
+        result = tune_estimator(
+            GridSearch(space),
+            "bellamy-ft",
+            target,
+            TRAIN_MACHINES,
+            TRAIN_RUNTIMES,
+            TEST_MACHINES,
+            TEST_RUNTIMES,
+            n_trials=2,
+            session=session,
+        )
+        assert len(result.trials) == 2
+        assert result.best.score >= 0.0
+        # The session pre-trained the base model exactly once for both
+        # trials, leave-one-out: the target's executions left the corpus.
+        assert len(session.pretrain_seconds) == 1
+        (key,) = session.pretrain_seconds
+        assert key == ("sgd", "full", target.context_id)
+        loo_corpus = session.corpus_for("sgd", "full", target)
+        assert all(e.context.context_id != target.context_id for e in loo_corpus)
