@@ -50,6 +50,50 @@ def test_nn_forward_backward_step(benchmark):
     benchmark(step)
 
 
+def test_nn_forward_backward_step_compiled(benchmark):
+    """The same workload on the compiled tape (records once, replays)."""
+    from repro.nn.tape import GraphCompiler
+
+    rng = np.random.default_rng(0)
+    net = FeedForward(28, 8, 1, seed=0)
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    loss_fn = HuberLoss()
+    x = rng.normal(size=(64, 28))
+    y = rng.normal(size=(64, 1))
+    compiler = GraphCompiler(
+        lambda x_t, y_t: (loss_fn(net(x_t), y_t),), params=net.parameters, enabled=True
+    )
+
+    def step():
+        compiler.run(x, y)
+        optimizer.zero_grad()
+        compiler.loss_handle.backward()
+        optimizer.step()
+        return compiler.loss_handle.item()
+
+    step()  # record the tape outside the measurement
+    benchmark(step)
+
+
+def test_fused_linear_selu_kernel(benchmark):
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(64, 40)))
+    w = Tensor(rng.normal(size=(8, 40)))
+    b = Tensor(rng.normal(size=8))
+    benchmark(lambda: F.linear_act(x, w, b, "selu"))
+
+
+def test_fused_huber_kernel(benchmark):
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(0)
+    p = Tensor(rng.normal(size=(64, 1)) * 2)
+    t = Tensor(rng.normal(size=(64, 1)))
+    benchmark(lambda: F.huber_loss(p, t))
+
+
 def test_bellamy_full_forward(benchmark, context):
     model = BellamyModel(BellamyConfig(seed=0))
     raw, props = model.featurizer.build_context_arrays(context, list(range(2, 66)))

@@ -1,0 +1,86 @@
+"""CI regression gate over ``BENCH_micro.json``.
+
+Compares a freshly measured benchmark file against the committed baseline
+and fails (exit 1) on a >2x performance regression. Absolute timings are
+**not** compared across machines — CI runners are arbitrarily slower than
+the machine that produced the baseline. Instead the gate compares
+*same-machine speedup ratios* (optimized path vs. the in-tree seed-engine
+baseline, both measured in the current run): those are machine-independent,
+so a drop of more than the allowed factor means the optimization genuinely
+degraded (e.g. the tape silently stopped engaging), not that the runner is
+slow or noisy.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json [--factor 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Same-machine speedup ratios gated against the committed baseline: the
+#: current ratio must not fall below baseline_ratio / factor.
+GATED_RATIOS = (
+    ("op_level", "linear_selu_speedup"),
+    ("op_level", "huber_speedup"),
+    ("step_level", "speedup_vs_seed"),
+)
+
+#: Hard floors: the optimized path must stay at least this much faster
+#: than the seed engine on the current machine, whatever the baseline says.
+RATIO_FLOORS = ((("step_level", "speedup_vs_seed"), 1.5),)
+
+
+def _lookup(payload: dict, path) -> float:
+    node = payload
+    for key in path:
+        node = node[key]
+    return float(node)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--factor", type=float, default=2.0)
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+
+    failures = []
+    for section, metric in GATED_RATIOS:
+        base = _lookup(baseline, (section, metric))
+        now = _lookup(current, (section, metric))
+        floor = base / args.factor
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"{section}.{metric}: baseline {base:.2f}x -> current {now:.2f}x "
+            f"(floor {floor:.2f}x) [{status}]"
+        )
+        if status != "ok":
+            failures.append(
+                f"{section}.{metric} fell from {base:.2f}x to {now:.2f}x "
+                f"(> {args.factor}x regression)"
+            )
+
+    for path, floor in RATIO_FLOORS:
+        now = _lookup(current, path)
+        status = "ok" if now >= floor else "REGRESSION"
+        print(f"{'.'.join(path)}: {now:.2f}x (hard floor {floor}x) [{status}]")
+        if status != "ok":
+            failures.append(f"{'.'.join(path)} fell to {now:.2f}x (< {floor}x)")
+
+    if failures:
+        print("\n".join(["", "FAILED:"] + failures), file=sys.stderr)
+        return 1
+    print("no performance regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,425 @@
+"""Before/after performance harness — writes ``BENCH_micro.json``.
+
+Measures the three optimization layers of the engine against their
+pre-optimization equivalents, which remain runnable in-tree:
+
+* **op level** — fused kernels (``selu``, ``linear_act``, ``huber_loss``)
+  vs. their composed ``*_reference`` implementations;
+* **step level** — the ``test_nn_forward_backward_step`` workload
+  (FeedForward 28-8-1, batch 64, Huber + Adam) three ways: composed
+  kernels + eager autograd ("before", the seed implementation), fused
+  kernels + eager, and fused kernels + compiled tape ("after");
+* **experiment level** — a smoke-scale cross-context campaign and a single
+  fine-tune with ``REPRO_NO_TAPE=1`` vs. compiled tapes, asserting the
+  records/weights are **bit-identical** before reporting any speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out PATH]
+
+``--quick`` shrinks repetition counts for the CI smoke run. CI compares the
+fresh numbers against the committed ``BENCH_micro.json`` with
+``benchmarks/check_regression.py`` and fails on a >2x regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _best_of(fn, repeats: int, inner: int) -> float:
+    """Best mean seconds/call over ``repeats`` runs of ``inner`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - started) / inner)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# Op level
+# --------------------------------------------------------------------- #
+
+
+def bench_ops(repeats: int, inner: int) -> dict:
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 40))
+    w = rng.normal(size=(8, 40))
+    b = rng.normal(size=8)
+    p = rng.normal(size=(64, 1)) * 2
+    t = rng.normal(size=(64, 1))
+    x_t, w_t, b_t = Tensor(x), Tensor(w), Tensor(b)
+    p_t, t_t = Tensor(p), Tensor(t)
+
+    out = {
+        "selu_reference_us": _best_of(lambda: F.selu_reference(x_t), repeats, inner) * 1e6,
+        "selu_fused_us": _best_of(lambda: F.selu(x_t), repeats, inner) * 1e6,
+        "linear_selu_composed_us": _best_of(
+            lambda: F.selu_reference(F.linear(x_t, w_t, b_t)), repeats, inner
+        )
+        * 1e6,
+        "linear_selu_fused_us": _best_of(
+            lambda: F.linear_act(x_t, w_t, b_t, "selu"), repeats, inner
+        )
+        * 1e6,
+        "huber_reference_us": _best_of(
+            lambda: F.huber_loss_reference(p_t, t_t), repeats, inner
+        )
+        * 1e6,
+        "huber_fused_us": _best_of(lambda: F.huber_loss(p_t, t_t), repeats, inner) * 1e6,
+    }
+    out["linear_selu_speedup"] = out["linear_selu_composed_us"] / out["linear_selu_fused_us"]
+    out["huber_speedup"] = out["huber_reference_us"] / out["huber_fused_us"]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Step level (the bench_micro test_nn_forward_backward_step workload)
+# --------------------------------------------------------------------- #
+
+
+def _legacy(on: bool) -> None:
+    """Toggle the seed-equivalent engine (composed kernels, allocating Adam,
+    no tapes). The flag is read at model/optimizer construction, so every
+    benchmark closure builds its network after the toggle."""
+    if on:
+        os.environ["REPRO_LEGACY_ENGINE"] = "1"
+    else:
+        os.environ.pop("REPRO_LEGACY_ENGINE", None)
+
+
+def _make_step(mode: str):
+    """The forward/backward/step closure in one of three engine modes:
+    ``legacy`` (seed implementation), ``eager`` (fused kernels, no tape),
+    ``compiled`` (fused kernels + tape)."""
+    from repro.nn import Adam, FeedForward, GraphCompiler, HuberLoss, Tensor
+
+    _legacy(mode == "legacy")
+    try:
+        net = FeedForward(28, 8, 1, seed=0)
+        optimizer = Adam(net.parameters(), lr=1e-3)
+        loss_fn = HuberLoss()
+    finally:
+        _legacy(False)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 28))
+    y = rng.normal(size=(64, 1))
+
+    if mode == "legacy":
+
+        def step() -> float:
+            optimizer.zero_grad()
+            loss = loss_fn(net(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+            return loss.item()
+
+        return step
+
+    compiler = GraphCompiler(
+        lambda x_t, y_t: (loss_fn(net(x_t), y_t),),
+        params=net.parameters,
+        enabled=(mode == "compiled"),
+    )
+
+    def step() -> float:
+        compiler.run(x, y)
+        optimizer.zero_grad()
+        compiler.loss_handle.backward()
+        optimizer.step()
+        return compiler.loss_handle.item()
+
+    return step
+
+
+def bench_step(repeats: int, inner: int) -> dict:
+    out = {}
+    for mode, key in (
+        ("legacy", "seed_engine_us"),
+        ("eager", "eager_fused_us"),
+        ("compiled", "compiled_tape_us"),
+    ):
+        step = _make_step(mode)
+        step()  # warm up (records the tape in compiled mode)
+        out[key] = _best_of(step, repeats, inner) * 1e6
+    out["speedup_vs_seed"] = out["seed_engine_us"] / out["compiled_tape_us"]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Experiment level
+# --------------------------------------------------------------------- #
+
+
+def _finetune_once() -> tuple:
+    """One pretrain + fine-tune on the synthetic C3O data; returns
+    (pretrain_seconds, finetune_seconds, full_state_dict)."""
+    from repro.core.config import BellamyConfig
+    from repro.core.finetuning import finetune
+    from repro.core.pretraining import pretrain
+    from repro.data.c3o import generate_c3o_dataset
+
+    dataset = generate_c3o_dataset(seed=0)
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=60, finetune_max_epochs=300, finetune_patience=150
+    )
+    started = time.perf_counter()
+    pretrained = pretrain(dataset, "sgd", config=config)
+    pretrain_seconds = time.perf_counter() - started
+    target = dataset.for_algorithm("sgd").contexts()[0]
+    samples = dataset.for_context(target.context_id)
+    machines = samples.machines_array()[:4]
+    runtimes = samples.runtimes_array()[:4]
+    started = time.perf_counter()
+    result = finetune(pretrained.model, target, machines, runtimes, max_epochs=300)
+    finetune_seconds = time.perf_counter() - started
+    return pretrain_seconds, finetune_seconds, result.model.full_state_dict()
+
+
+def _cross_context_smoke() -> tuple:
+    """Smoke-scale single-algorithm cross-context run; returns
+    (wall_seconds, record_keys)."""
+    from repro.data import generate_c3o_dataset
+    from repro.eval.experiments import run_cross_context_experiment
+    from repro.eval.experiments.common import SMOKE_SCALE
+
+    dataset = generate_c3o_dataset(seed=0)
+    result = run_cross_context_experiment(
+        dataset, SMOKE_SCALE, seed=0, algorithms=("grep",), n_workers=0
+    )
+    keys = [
+        (r.method, r.context_id, r.n_train, r.task, r.actual_s, r.predicted_s,
+         r.epochs_trained, r.split_index)
+        for r in result.records
+    ]
+    return result.wall_seconds, keys
+
+
+def _evaluation_phase() -> tuple:
+    """The splits loop of the cross-context study (its dominant cost at
+    paper scale): pre-trained bases are prepared *outside* the timing, then
+    every method is fitted/scored over all protocol splits. Returns
+    (wall_seconds, record_keys)."""
+    from repro.api import Session
+    from repro.data import generate_c3o_dataset
+    from repro.eval.experiments.common import (
+        QUICK_SCALE,
+        PretrainedModelCache,
+        cross_context_methods,
+        select_target_contexts,
+    )
+    from repro.eval.protocol import ProtocolConfig, evaluate_context
+    from repro.utils.rng import derive_seed
+
+    dataset = generate_c3o_dataset(seed=0)
+    scale = QUICK_SCALE
+    target = select_target_contexts(dataset, "sgd", 1, seed=0)[0]
+    cache = PretrainedModelCache(dataset, scale.bellamy_config(), seed=0)
+    methods = cross_context_methods(cache, target, scale, seed=0)  # pre-trains here
+    protocol = ProtocolConfig(
+        n_train_values=(1, 2, 3, 4, 6),
+        max_splits=4,
+        seed=derive_seed(0, "protocol", target.algorithm, target.context_id),
+    )
+    context_data = dataset.for_context(target.context_id)
+    started = time.perf_counter()
+    records = evaluate_context(methods, context_data, protocol)
+    wall = time.perf_counter() - started
+    keys = [
+        (r.method, r.context_id, r.n_train, r.task, r.actual_s, r.predicted_s,
+         r.epochs_trained, r.split_index)
+        for r in records
+    ]
+    return wall, keys
+
+
+def bench_experiments(timing_runs: int = 2) -> dict:
+    """Experiment-level before/after. Wall-clock numbers are the best of
+    ``timing_runs`` runs — the workloads are deterministic (bit-identical
+    results every run), so min is the right noise filter."""
+    out = {}
+
+    _legacy(True)
+    try:
+        runs = [_finetune_once() for _ in range(timing_runs)]
+        pre_before = min(r[0] for r in runs)
+        ft_before = min(r[1] for r in runs)
+        wall_before = min(_cross_context_smoke()[0] for _ in range(timing_runs))
+        eval_before = min(_evaluation_phase()[0] for _ in range(timing_runs))
+    finally:
+        _legacy(False)
+
+    # Bit-identity is asserted against the *eager fused* path (same kernels,
+    # tape off) — the legacy engine is a speed baseline, not a numeric one.
+    os.environ["REPRO_NO_TAPE"] = "1"
+    try:
+        pre_eager, ft_eager, state_eager = _finetune_once()
+        _, keys_eager = _cross_context_smoke()
+    finally:
+        os.environ.pop("REPRO_NO_TAPE", None)
+
+    runs = [_finetune_once() for _ in range(timing_runs)]
+    pre_after = min(r[0] for r in runs)
+    ft_after = min(r[1] for r in runs)
+    state_after = runs[-1][2]
+    wall_runs = [_cross_context_smoke() for _ in range(timing_runs)]
+    wall_after = min(r[0] for r in wall_runs)
+    keys_after = wall_runs[-1][1]
+    eval_after = min(_evaluation_phase()[0] for _ in range(timing_runs))
+
+    identical_weights = set(state_eager) == set(state_after) and all(
+        np.array_equal(state_eager[k], state_after[k]) for k in state_eager
+    )
+    out["finetune"] = {
+        "seed_engine_s": ft_before,
+        "eager_fused_s": ft_eager,
+        "compiled_s": ft_after,
+        "speedup_vs_seed": ft_before / ft_after,
+        "weights_bit_identical_vs_eager": bool(identical_weights),
+    }
+    out["pretrain"] = {
+        "seed_engine_s": pre_before,
+        "eager_fused_s": pre_eager,
+        "compiled_s": pre_after,
+        "speedup_vs_seed": pre_before / pre_after,
+    }
+    out["cross_context_smoke"] = {
+        "seed_engine_s": wall_before,
+        "compiled_serial_s": wall_after,
+        "speedup_vs_seed": wall_before / wall_after,
+        "records_bit_identical_vs_eager": keys_eager == keys_after,
+        "n_records": len(keys_after),
+    }
+    out["cross_context_evaluation_phase"] = {
+        "seed_engine_s": eval_before,
+        "compiled_s": eval_after,
+        "speedup_vs_seed": eval_before / eval_after,
+    }
+    if not identical_weights or keys_eager != keys_after:
+        raise SystemExit("FATAL: compiled path is not bit-identical to eager")
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Serving level
+# --------------------------------------------------------------------- #
+
+
+def bench_serving() -> dict:
+    from repro.api import Session
+    from repro.api.estimator import PredictionRequest
+    from repro.core.config import BellamyConfig
+    from repro.data import generate_c3o_dataset
+
+    dataset = generate_c3o_dataset(seed=0)
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=30, finetune_max_epochs=120, finetune_patience=60
+    )
+    session = Session(dataset, config=config)
+    context = dataset.for_algorithm("sgd").contexts()[0]
+    requests = [
+        PredictionRequest(
+            machines=[4, 8, 16],
+            context=context,
+            train_machines=[2, 6],
+            train_runtimes=[500.0, 300.0],
+        )
+        for _ in range(8)
+    ]
+    session.base_model(context.algorithm)  # pre-train outside the timing
+
+    started = time.perf_counter()
+    ungrouped = [
+        session.predict(r.context, r.machines, samples=(r.train_machines, r.train_runtimes))
+        for r in requests
+    ]
+    per_request_s = time.perf_counter() - started
+    started = time.perf_counter()
+    grouped = session.predict_batch(requests)
+    grouped_s = time.perf_counter() - started
+    close = all(np.allclose(a, b, rtol=1e-9) for a, b in zip(ungrouped, grouped))
+    return {
+        "batch_of_8_same_context": {
+            "per_request_s": per_request_s,
+            "grouped_s": grouped_s,
+            "speedup": per_request_s / grouped_s,
+            "finetune_fits": session.last_batch_stats["finetune_fits"],
+            "outputs_match": bool(close),
+        }
+    }
+
+
+# --------------------------------------------------------------------- #
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repetitions (CI smoke run)"
+    )
+    parser.add_argument(
+        "--skip-experiments", action="store_true",
+        help="op/step sections only (no training campaigns)",
+    )
+    args = parser.parse_args()
+
+    repeats, inner = (3, 200) if args.quick else (5, 1000)
+    payload = {
+        "schema": 1,
+        "note": (
+            "All numbers measured by benchmarks/run_bench.py on this machine. "
+            "'seed_engine' numbers run the pre-optimization implementation "
+            "kept in-tree behind REPRO_LEGACY_ENGINE=1 (composed kernels, "
+            "allocating per-parameter Adam, no tapes); compiled numbers are "
+            "only reported after asserting results bit-identical to the "
+            "eager fused path."
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "op_level": bench_ops(repeats, inner),
+        "step_level": bench_step(repeats, max(50, inner // 2)),
+    }
+    if not args.skip_experiments:
+        payload["experiment_level"] = bench_experiments(timing_runs=2 if args.quick else 3)
+        payload["serving_level"] = bench_serving()
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    step = payload["step_level"]
+    print(
+        f"step: seed {step['seed_engine_us']:.0f}us -> "
+        f"compiled {step['compiled_tape_us']:.0f}us "
+        f"({step['speedup_vs_seed']:.2f}x)"
+    )
+    if "experiment_level" in payload:
+        experiment = payload["experiment_level"]
+        print(
+            f"finetune: {experiment['finetune']['speedup_vs_seed']:.2f}x  "
+            f"pretrain: {experiment['pretrain']['speedup_vs_seed']:.2f}x  "
+            f"cross-context smoke: {experiment['cross_context_smoke']['speedup_vs_seed']:.2f}x  "
+            f"evaluation phase: {experiment['cross_context_evaluation_phase']['speedup_vs_seed']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,6 +106,8 @@ class Session:
         self.pretrain_seconds: Dict[Tuple[str, str, str], float] = {}
         #: (source, key) pairs: where each requested base model came from.
         self.cache_log: List[Tuple[str, str]] = []
+        #: Grouping diagnostics of the most recent :meth:`predict_batch`.
+        self.last_batch_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Corpus policies
@@ -463,37 +465,89 @@ class Session:
         est = self._serving_estimator(context, base, samples, max_epochs)
         return est.predict(machines)
 
+    @staticmethod
+    def _request_samples(
+        request: PredictionRequest,
+    ) -> Optional[Tuple[Sequence[float], Sequence[float]]]:
+        if request.train_machines is None:
+            return None
+        return (
+            request.train_machines,
+            request.train_runtimes if request.train_runtimes is not None else (),
+        )
+
+    @staticmethod
+    def _group_fingerprint(request: PredictionRequest) -> Tuple:
+        """Requests with equal fingerprints share one fitted estimator."""
+        samples = Session._request_samples(request)
+        if samples is None:
+            samples_key = None
+        else:
+            samples_key = (
+                tuple(float(m) for m in samples[0]),
+                tuple(float(r) for r in samples[1]),
+            )
+        return (request.context.context_id, samples_key)
+
     def predict_batch(
         self,
         requests: Sequence[PredictionRequest],
         model: Union[None, str, BellamyModel] = None,
         max_epochs: Optional[int] = None,
     ) -> List[np.ndarray]:
-        """Serve many prediction requests; base models come from the cache."""
+        """Serve many prediction requests; base models come from the cache.
+
+        Requests are grouped by ``(context, training samples)`` fingerprint
+        and each group is fitted **once** — a batch carrying N requests for
+        the same context fine-tunes one estimator instead of N. Zero-shot
+        requests (no samples) for the same base model are additionally
+        answered by a single vectorized forward pass across contexts
+        (:meth:`BellamyModel.predict_batch`). Results keep request order;
+        :attr:`last_batch_stats` records the grouping for observability.
+        """
         if isinstance(model, str):
             model = self.load(model)  # one disk read for the whole batch
-        out: List[np.ndarray] = []
         for request in requests:
             if request.context is None:
                 raise ValueError("Session.predict_batch requests need a context")
-            samples = None
-            if request.train_machines is not None:
-                samples = (
-                    request.train_machines,
-                    request.train_runtimes
-                    if request.train_runtimes is not None
-                    else (),
-                )
-            out.append(
-                self.predict(
-                    request.context,
-                    request.machines,
-                    model=model,
-                    samples=samples,
-                    max_epochs=max_epochs,
-                )
-            )
-        return out
+
+        groups: Dict[Tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(self._group_fingerprint(request), []).append(index)
+
+        out: List[Optional[np.ndarray]] = [None] * len(requests)
+        fits = 0
+        #: Zero-shot work per base model id: (base, [(index, context, machines)]).
+        zero_shot: Dict[int, Tuple[BellamyModel, List[Tuple[int, JobContext, Sequence[float]]]]]
+        zero_shot = {}
+        for indices in groups.values():
+            lead = requests[indices[0]]
+            samples = self._request_samples(lead)
+            base = self._resolve_base(lead.context, model)
+            # Vectorized zero-shot path only for models with the vanilla
+            # predict pipeline (graph/GNN variants thread per-context state
+            # through predict() and must go through it).
+            if samples is None and type(base).predict is BellamyModel.predict:
+                pending = zero_shot.setdefault(id(base), (base, []))[1]
+                for index in indices:
+                    pending.append((index, lead.context, requests[index].machines))
+                continue
+            estimator = self._serving_estimator(lead.context, base, samples, max_epochs)
+            if samples is not None:  # zero-shot binds are not fine-tunes
+                fits += 1
+            for index in indices:
+                out[index] = estimator.predict(requests[index].machines)
+        for base, pending in zero_shot.values():
+            predictions = base.predict_batch([(ctx, m) for _, ctx, m in pending])
+            for (index, _, _), prediction in zip(pending, predictions):
+                out[index] = prediction
+        self.last_batch_stats = {
+            "requests": len(requests),
+            "groups": len(groups),
+            "finetune_fits": fits,
+            "zero_shot_batches": len(zero_shot),
+        }
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # Resource selection

@@ -252,7 +252,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         from repro.eval.experiments import run_cross_environment_experiment
 
         bell = generate_bell_dataset(seed=args.seed)
-        result = run_cross_environment_experiment(dataset, bell, scale, seed=args.seed)
+        result = run_cross_environment_experiment(
+            dataset, bell, scale, seed=args.seed, n_workers=args.workers
+        )
         sections = (
             (
                 "fig8_crossenv",
@@ -267,14 +269,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         from repro.eval.experiments import run_ablation_experiment
 
         result = run_ablation_experiment(
-            dataset, scale, seed=args.seed, algorithms=("sgd", "kmeans")
+            dataset, scale, seed=args.seed, algorithms=("sgd", "kmeans"),
+            n_workers=args.workers,
         )
         sections = (("ablation", reporting.render_ablation(result.records)),)
     else:  # cross-algorithm
         from repro.core.cross_algorithm import run_cross_algorithm_experiment
 
         result = run_cross_algorithm_experiment(
-            dataset, scale, seed=args.seed, algorithms=("grep", "sgd")
+            dataset, scale, seed=args.seed, algorithms=("grep", "sgd"),
+            n_workers=args.workers,
         )
         sections = (
             (

@@ -121,9 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="directory for rendered tables"
     )
     experiment.add_argument(
-        "--workers", type=int, default=0,
-        help="process-pool size for the cross-context study "
-        "(0 = serial, -1 = all cores); results are worker-count independent",
+        "--jobs", "--workers", dest="workers", type=int, default=None,
+        help="process-pool size for the experiment's work units "
+        "(0 = serial, -1 = all cores; default: the REPRO_JOBS environment "
+        "variable, else serial); results are worker-count independent",
     )
     experiment.add_argument(
         "--records", type=Path, default=None,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
@@ -122,6 +122,7 @@ def run_cross_algorithm_experiment(
     seed: int = 0,
     algorithms: Optional[Sequence[str]] = None,
     contexts_per_algorithm: Optional[int] = None,
+    n_workers: Optional[int] = None,
 ) -> CrossAlgorithmResult:
     """Compare per-algorithm, union, and transfer-only pre-training corpora.
 
@@ -133,56 +134,85 @@ def run_cross_algorithm_experiment(
     * ``transfer-only`` — all contexts of the *other* algorithms only.
 
     All three are fine-tuned identically on the protocol's splits.
+    ``n_workers`` fans the per-target units over a process pool (0 = serial,
+    negative = all cores, ``None`` = the ``REPRO_JOBS`` default); records
+    are identical for every worker count.
     """
+    from repro.eval.parallel import experiment_map
+
     started = time.perf_counter()
-    config = scale.bellamy_config()
-    algorithms = tuple(algorithms or scale.algorithms)
     n_contexts = contexts_per_algorithm or scale.contexts_per_algorithm
     result = CrossAlgorithmResult(scale_name=scale.name)
 
-    for algorithm in algorithms:
+    tasks: List[_CrossAlgorithmTask] = []
+    for algorithm in tuple(algorithms or scale.algorithms):
         targets = select_target_contexts(dataset, algorithm, n_contexts, seed=seed)
-        for target in targets:
-            rest = dataset.exclude_context(target.context_id)
-            corpora = {
-                PER_ALGORITHM: rest.for_algorithm(algorithm),
-                UNION: rest,
-                TRANSFER_ONLY: rest.filter(
-                    lambda e: e.context.algorithm != algorithm
-                ),
-            }
-            reference_size = max(len(corpora[PER_ALGORITHM]), 1)
-            methods: List[MethodSpec] = []
-            for label, corpus in corpora.items():
-                # Equalize gradient steps across corpus sizes: the union
-                # corpus is ~5x larger, so a fixed epoch count would both
-                # quintuple the compute and bias the comparison.
-                epochs = max(
-                    50,
-                    round(config.pretrain_epochs * reference_size / len(corpus)),
-                )
-                pretrained = pretrain(
-                    corpus,
-                    algorithm=None,
-                    config=config.with_overrides(
-                        seed=derive_seed(seed, "xalg", label, target.context_id)
-                    ),
-                    variant=label,
-                    epochs=epochs,
-                )
-                pretrained.model.eval()
-                result.pretrain_seconds[label] = (
-                    result.pretrain_seconds.get(label, 0.0) + pretrained.wall_seconds
-                )
-                methods.append(_method(pretrained.model, label, scale))
+        tasks.extend((dataset, algorithm, target, scale, seed) for target in targets)
 
-            context_data = dataset.for_context(target.context_id)
-            protocol = ProtocolConfig(
-                n_train_values=scale.n_train_values,
-                max_splits=scale.max_splits,
-                seed=derive_seed(seed, "xalg-protocol", target.context_id),
+    for records, pretrain_seconds in experiment_map(
+        _evaluate_cross_algorithm_target, tasks, jobs=n_workers
+    ):
+        result.records.extend(records)
+        for label, seconds in pretrain_seconds.items():
+            result.pretrain_seconds[label] = (
+                result.pretrain_seconds.get(label, 0.0) + seconds
             )
-            result.records.extend(evaluate_context(methods, context_data, protocol))
 
     result.wall_seconds = time.perf_counter() - started
     return result
+
+
+#: One parallel work unit: the three corpus policies for one target.
+_CrossAlgorithmTask = Tuple[ExecutionDataset, str, "JobContext", ExperimentScale, int]
+
+
+def _evaluate_cross_algorithm_target(
+    task: _CrossAlgorithmTask,
+) -> Tuple[List, Dict[str, float]]:
+    """Pre-train the three corpus policies and evaluate one target context.
+
+    Module-level (picklable) and self-contained; all randomness derives
+    from per-(policy, target) seeds, so results are bit-identical
+    regardless of which process runs the task.
+    """
+    dataset, algorithm, target, scale, seed = task
+    config = scale.bellamy_config()
+    rest = dataset.exclude_context(target.context_id)
+    corpora = {
+        PER_ALGORITHM: rest.for_algorithm(algorithm),
+        UNION: rest,
+        TRANSFER_ONLY: rest.filter(lambda e: e.context.algorithm != algorithm),
+    }
+    reference_size = max(len(corpora[PER_ALGORITHM]), 1)
+    methods: List[MethodSpec] = []
+    pretrain_seconds: Dict[str, float] = {}
+    for label, corpus in corpora.items():
+        # Equalize gradient steps across corpus sizes: the union corpus is
+        # ~5x larger, so a fixed epoch count would both quintuple the
+        # compute and bias the comparison.
+        epochs = max(
+            50,
+            round(config.pretrain_epochs * reference_size / len(corpus)),
+        )
+        pretrained = pretrain(
+            corpus,
+            algorithm=None,
+            config=config.with_overrides(
+                seed=derive_seed(seed, "xalg", label, target.context_id)
+            ),
+            variant=label,
+            epochs=epochs,
+        )
+        pretrained.model.eval()
+        pretrain_seconds[label] = (
+            pretrain_seconds.get(label, 0.0) + pretrained.wall_seconds
+        )
+        methods.append(_method(pretrained.model, label, scale))
+
+    context_data = dataset.for_context(target.context_id)
+    protocol = ProtocolConfig(
+        n_train_values=scale.n_train_values,
+        max_splits=scale.max_splits,
+        seed=derive_seed(seed, "xalg-protocol", target.context_id),
+    )
+    return evaluate_context(methods, context_data, protocol), pretrain_seconds

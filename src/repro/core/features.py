@@ -93,7 +93,8 @@ class BellamyFeaturizer:
         machines = np.asarray(machines, dtype=np.float64).reshape(-1)
         scaleout_raw = self.scaleout_features(machines)
         matrix = self.encode_context(context)
-        properties = np.broadcast_to(
-            matrix, (machines.size,) + matrix.shape
-        ).copy()
+        # A read-only broadcast view: every sample shares the cached context
+        # matrix, so no (n, P, N) copy is materialized here — downstream
+        # consumers only read (or fancy-index, which copies).
+        properties = np.broadcast_to(matrix, (machines.size,) + matrix.shape)
         return scaleout_raw, properties

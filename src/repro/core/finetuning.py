@@ -34,6 +34,7 @@ from repro.data.schema import JobContext
 from repro.nn.losses import HuberLoss
 from repro.nn.optim import Adam
 from repro.nn.schedulers import CyclicLR
+from repro.nn.tape import GraphCompiler
 from repro.nn.tensor import Tensor
 from repro.nn.trainer import TrainResult, Trainer, TrainerConfig, unfreeze_after
 from repro.utils.rng import derive_seed
@@ -123,13 +124,21 @@ def _run_finetune_loop(
     scaled_targets = model.normalize_runtimes(runtimes)
     huber = HuberLoss(delta=config.huber_delta)
 
-    def batch_loss(batch: np.ndarray) -> Tuple[Tensor, Dict[str, float]]:
-        prediction, _, _ = model.forward(
-            Tensor(scaled_features[batch]), Tensor(properties[batch])
+    # The per-batch graph is structurally identical across epochs, so it is
+    # recorded once and replayed (see repro.nn.tape); unfreeze callbacks
+    # change the parameter signature and transparently trigger re-recording.
+    def build(features_t: Tensor, properties_t: Tensor, targets_t: Tensor):
+        prediction, _, _ = model.forward(features_t, properties_t)
+        return huber(prediction, targets_t), prediction
+
+    compiler = GraphCompiler(build, params=model.parameters)
+
+    def batch_loss(batch: np.ndarray):
+        _, prediction = compiler.run(
+            scaled_features[batch], properties[batch], scaled_targets[batch]
         )
-        loss = huber(prediction, Tensor(scaled_targets[batch]))
         residual = model.denormalize_runtimes(prediction.data - scaled_targets[batch])
-        return loss, {"mae": float(np.abs(residual).mean())}
+        return compiler.loss_handle, {"mae": float(np.abs(residual).mean())}
 
     trainer_config = TrainerConfig(
         max_epochs=max_epochs or config.finetune_max_epochs,

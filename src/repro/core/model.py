@@ -22,7 +22,7 @@ persisted with them:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -153,6 +153,38 @@ class BellamyModel(Module):
     def predict_one(self, context: JobContext, machines: float) -> float:
         """Scalar convenience wrapper around :meth:`predict`."""
         return float(self.predict(context, [machines])[0])
+
+    def predict_batch(
+        self, items: Sequence[Tuple[JobContext, Sequence[float]]]
+    ) -> List[np.ndarray]:
+        """Predict runtimes for many ``(context, machines)`` requests at once.
+
+        All requests are stacked into a single batched forward pass — one
+        matmul sweep instead of one Python-level forward per request — and
+        the flat prediction vector is split back per request. The serving
+        layer (:meth:`repro.api.session.Session.predict_batch`) uses this to
+        answer grouped zero-shot traffic.
+        """
+        if not items:
+            return []
+        raw_blocks: List[np.ndarray] = []
+        property_blocks: List[np.ndarray] = []
+        lengths: List[int] = []
+        for context, machines in items:
+            machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+            raw, properties = self.featurizer.build_context_arrays(context, machines)
+            raw_blocks.append(raw)
+            property_blocks.append(properties)
+            lengths.append(machines.size)
+        predictions = self._predict_arrays(
+            np.concatenate(raw_blocks, axis=0), np.concatenate(property_blocks, axis=0)
+        )
+        out: List[np.ndarray] = []
+        offset = 0
+        for length in lengths:
+            out.append(predictions[offset : offset + length])
+            offset += length
+        return out
 
     def property_codes(self, context: JobContext) -> np.ndarray:
         """The auto-encoder codes of a context's properties (paper Fig. 4)."""

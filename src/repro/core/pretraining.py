@@ -29,8 +29,9 @@ from repro.core.config import (
 from repro.core.model import BellamyModel
 from repro.data.dataset import ExecutionDataset
 from repro.data.schema import JobContext
-from repro.nn.losses import HuberLoss, JointLoss, MSELoss
+from repro.nn.losses import HuberLoss, MSELoss
 from repro.nn.optim import Adam
+from repro.nn.tape import GraphCompiler
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn.trainer import TrainResult, Trainer, TrainerConfig
 from repro.utils.rng import derive_seed, new_rng
@@ -147,42 +148,50 @@ def pretrain(
     if train_idx.size == 0:
         raise ValueError("validation fraction leaves no training data")
 
-    joint_loss = JointLoss(
-        [
-            ("runtime", HuberLoss(delta=config.huber_delta), 1.0),
-            ("reconstruction", MSELoss(), config.reconstruction_weight),
-        ]
-    )
+    huber = HuberLoss(delta=config.huber_delta)
+    mse = MSELoss()
+    reconstruction_weight = config.reconstruction_weight
 
-    def batch_loss(batch: np.ndarray) -> Tuple[Tensor, Dict[str, float]]:
+    # The joint objective as a compiled graph (see repro.nn.tape): the term
+    # tensors are returned so per-term metrics stay fresh on tape replays.
+    def build(features_t: Tensor, properties_t: Tensor, targets_t: Tensor):
+        prediction, reconstruction, flat = model.forward(features_t, properties_t)
+        runtime_term = huber(prediction, targets_t)
+        reconstruction_term = mse(reconstruction, flat.detach())
+        total = runtime_term * 1.0 + reconstruction_term * reconstruction_weight
+        return total, prediction, runtime_term, reconstruction_term
+
+    compiler = GraphCompiler(build, params=model.parameters)
+
+    def batch_loss(batch: np.ndarray):
         rows = train_idx[batch]
-        prediction, reconstruction, flat = model.forward(
-            Tensor(scaled_features[rows]), Tensor(properties[rows])
-        )
-        target = Tensor(scaled_targets[rows])
-        total, parts = joint_loss(
-            {
-                "runtime": (prediction, target),
-                "reconstruction": (reconstruction, flat.detach()),
-            }
+        _, prediction, runtime_term, reconstruction_term = compiler.run(
+            scaled_features[rows], properties[rows], scaled_targets[rows]
         )
         metrics = {
             "mae": _mae_seconds(model, prediction, scaled_targets[rows]),
-            "huber": parts["runtime"],
-            "reconstruction_mse": parts["reconstruction"],
+            "huber": runtime_term.item(),
+            "reconstruction_mse": reconstruction_term.item(),
         }
-        return total, metrics
+        return compiler.loss_handle, metrics
 
     evaluate = None
     if val_idx.size:
+        # The validation forward replays a (gradient-free) compiled graph of
+        # its own; it is recorded in eval mode, so dropout stays disabled.
+        def build_eval(features_t: Tensor, properties_t: Tensor):
+            prediction, _, _ = model.forward(features_t, properties_t)
+            return (prediction,)
+
+        eval_compiler = GraphCompiler(build_eval, params=model.parameters)
 
         def evaluate() -> Dict[str, float]:
             was_training = model.training
             model.eval()
             try:
                 with no_grad():
-                    prediction, _, _ = model.forward(
-                        Tensor(scaled_features[val_idx]), Tensor(properties[val_idx])
+                    (prediction,) = eval_compiler.run(
+                        scaled_features[val_idx], properties[val_idx]
                     )
             finally:
                 model.train(was_training)

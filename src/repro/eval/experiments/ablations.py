@@ -50,6 +50,7 @@ from repro.eval.experiments.common import (
     QUICK_SCALE,
     select_target_contexts,
 )
+from repro.eval.parallel import experiment_map
 from repro.eval.protocol import (
     EvaluationRecord,
     MethodSpec,
@@ -202,6 +203,51 @@ def _variant_method(
     )
 
 
+#: One parallel work unit: all ablation arms for one (algorithm, target).
+#: Variant arms travel by *name* — the AblationVariant dataclass carries
+#: config-transform lambdas, which do not pickle across processes.
+_AblationTask = Tuple[ExecutionDataset, str, JobContext, Tuple[str, ...],
+                      ExperimentScale, int]
+
+
+def _evaluate_ablation_target(
+    task: _AblationTask,
+) -> Tuple[List[EvaluationRecord], Dict[str, float]]:
+    """Pre-train every ablation arm and evaluate one target context.
+
+    Module-level (picklable) and self-contained; all randomness derives
+    from per-(variant, target) seeds, so results are bit-identical
+    regardless of which process runs the task.
+    """
+    dataset, algorithm, target, variant_names, scale, seed = task
+    arms = tuple(get_variant(name) for name in variant_names)
+    base_config = scale.bellamy_config()
+    corpus = dataset.for_algorithm(algorithm).exclude_context(target.context_id)
+    methods: List[MethodSpec] = []
+    pretrain_seconds: Dict[str, float] = {}
+    for variant in arms:
+        config = variant.config_transform(base_config).with_overrides(
+            seed=derive_seed(seed, "ablation", variant.name, target.context_id)
+        )
+        train_corpus = neutralize_dataset(corpus) if variant.neutralize else corpus
+        pretrained = pretrain(
+            train_corpus, algorithm, config=config, variant=variant.name
+        )
+        pretrained.model.eval()
+        pretrain_seconds[variant.name] = (
+            pretrain_seconds.get(variant.name, 0.0) + pretrained.wall_seconds
+        )
+        methods.append(_variant_method(variant, pretrained.model, target, scale))
+
+    context_data = dataset.for_context(target.context_id)
+    protocol = ProtocolConfig(
+        n_train_values=scale.n_train_values,
+        max_splits=scale.max_splits,
+        seed=derive_seed(seed, "ablation-protocol", target.context_id),
+    )
+    return evaluate_context(methods, context_data, protocol), pretrain_seconds
+
+
 def run_ablation_experiment(
     dataset: ExecutionDataset,
     scale: ExperimentScale = QUICK_SCALE,
@@ -209,6 +255,7 @@ def run_ablation_experiment(
     algorithms: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
     contexts_per_algorithm: Optional[int] = None,
+    n_workers: Optional[int] = None,
 ) -> AblationResult:
     """Run the ablation study.
 
@@ -232,44 +279,36 @@ def run_ablation_experiment(
         Optional subset of variant names (default: all arms).
     contexts_per_algorithm:
         Target contexts per algorithm (default: the scale's setting).
+    n_workers:
+        Process-pool size over (algorithm, target) units (0 = serial,
+        negative = all cores, ``None`` = the ``REPRO_JOBS`` default);
+        records are identical for every worker count.
     """
     started = time.perf_counter()
-    arms = (
-        ABLATION_VARIANTS
+    variant_names = (
+        tuple(v.name for v in ABLATION_VARIANTS)
         if variants is None
-        else tuple(get_variant(name) for name in variants)
+        else tuple(get_variant(name).name for name in variants)
     )
-    base_config = scale.bellamy_config()
     n_contexts = contexts_per_algorithm or scale.contexts_per_algorithm
     result = AblationResult(scale_name=scale.name)
 
+    tasks: List[_AblationTask] = []
     for algorithm in algorithms or scale.algorithms:
         targets = select_target_contexts(dataset, algorithm, n_contexts, seed=seed)
-        for target in targets:
-            corpus = dataset.for_algorithm(algorithm).exclude_context(target.context_id)
-            methods: List[MethodSpec] = []
-            for variant in arms:
-                config = variant.config_transform(base_config).with_overrides(
-                    seed=derive_seed(seed, "ablation", variant.name, target.context_id)
-                )
-                train_corpus = neutralize_dataset(corpus) if variant.neutralize else corpus
-                pretrained = pretrain(
-                    train_corpus, algorithm, config=config, variant=variant.name
-                )
-                pretrained.model.eval()
-                result.pretrain_seconds[variant.name] = (
-                    result.pretrain_seconds.get(variant.name, 0.0)
-                    + pretrained.wall_seconds
-                )
-                methods.append(_variant_method(variant, pretrained.model, target, scale))
+        tasks.extend(
+            (dataset, algorithm, target, variant_names, scale, seed)
+            for target in targets
+        )
 
-            context_data = dataset.for_context(target.context_id)
-            protocol = ProtocolConfig(
-                n_train_values=scale.n_train_values,
-                max_splits=scale.max_splits,
-                seed=derive_seed(seed, "ablation-protocol", target.context_id),
+    for records, pretrain_seconds in experiment_map(
+        _evaluate_ablation_target, tasks, jobs=n_workers
+    ):
+        result.records.extend(records)
+        for name, seconds in pretrain_seconds.items():
+            result.pretrain_seconds[name] = (
+                result.pretrain_seconds.get(name, 0.0) + seconds
             )
-            result.records.extend(evaluate_context(methods, context_data, protocol))
 
     result.wall_seconds = time.perf_counter() - started
     return result

@@ -29,7 +29,7 @@ from repro.eval.protocol import (
     ProtocolConfig,
     evaluate_context,
 )
-from repro.utils.parallel import parallel_map
+from repro.eval.parallel import experiment_map
 from repro.utils.rng import derive_seed
 
 
@@ -112,8 +112,9 @@ def run_cross_context_experiment(
         Optional subset of algorithms (defaults to the scale's list).
     n_workers:
         Process-pool size for evaluating target contexts in parallel
-        (``None``/0 = serial, negative = all cores). Results are identical
-        for every worker count — randomness is seed-derived per target.
+        (0 = serial, negative = all cores, ``None`` = the ``REPRO_JOBS``
+        environment default). Results are identical for every worker
+        count — randomness is seed-derived per target.
     """
     started = time.perf_counter()
     tasks: List[_TargetTask] = []
@@ -123,7 +124,7 @@ def run_cross_context_experiment(
         )
         tasks.extend((dataset, target, scale, seed, base_config) for target in targets)
 
-    outcomes = parallel_map(_evaluate_target, tasks, n_workers=n_workers)
+    outcomes = experiment_map(_evaluate_target, tasks, jobs=n_workers)
 
     result = CrossContextResult(scale_name=scale.name)
     by_variant: Dict[str, List[float]] = {}

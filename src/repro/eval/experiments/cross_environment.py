@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BellamyConfig
 from repro.core.finetuning import FinetuneStrategy
@@ -20,6 +20,7 @@ from repro.core.model import BellamyModel
 from repro.core.pretraining import pretrain
 from repro.data.dataset import ExecutionDataset
 from repro.eval.experiments.common import ExperimentScale, QUICK_SCALE
+from repro.eval.parallel import experiment_map
 from repro.eval.protocol import (
     EvaluationRecord,
     MethodSpec,
@@ -87,6 +88,45 @@ def cross_environment_methods(
     return methods
 
 
+#: One parallel work unit: everything a worker needs for one algorithm.
+_AlgorithmTask = Tuple[ExecutionDataset, ExecutionDataset, str, ExperimentScale,
+                       int, Optional[BellamyConfig]]
+
+
+def _evaluate_algorithm(
+    task: _AlgorithmTask,
+) -> Tuple[str, float, List[EvaluationRecord]]:
+    """Pre-train on C3O and evaluate the Bell context of one algorithm.
+
+    Module-level (picklable) and self-contained; all randomness derives
+    from per-algorithm seeds, so results are bit-identical regardless of
+    which process runs the task.
+    """
+    c3o_dataset, bell_dataset, algorithm, scale, seed, base_config = task
+    config = scale.bellamy_config(base_config)
+    pretrain_result = pretrain(
+        c3o_dataset,
+        algorithm,
+        config=config.with_overrides(
+            seed=derive_seed(seed, "crossenv-pretrain", algorithm)
+        ),
+        variant="crossenv",
+    )
+    base = pretrain_result.model
+    base.eval()
+
+    context_data = bell_dataset.for_algorithm(algorithm)
+    target = context_data.contexts()[0]
+    methods = cross_environment_methods(base, scale, config, seed=seed)
+    protocol = ProtocolConfig(
+        n_train_values=tuple(v for v in scale.n_train_values),
+        max_splits=scale.max_splits_crossenv,
+        seed=derive_seed(seed, "crossenv-protocol", algorithm, target.context_id),
+    )
+    records = evaluate_context(methods, context_data, protocol)
+    return algorithm, pretrain_result.wall_seconds, records
+
+
 def run_cross_environment_experiment(
     c3o_dataset: ExecutionDataset,
     bell_dataset: ExecutionDataset,
@@ -94,42 +134,34 @@ def run_cross_environment_experiment(
     seed: int = 0,
     base_config: Optional[BellamyConfig] = None,
     algorithms: Optional[Sequence[str]] = None,
+    n_workers: Optional[int] = None,
 ) -> CrossEnvironmentResult:
     """Run the full cross-environment study.
 
     Pre-training uses the C3O corpus of each algorithm; evaluation runs on
     the algorithm's single Bell context with up to
     ``scale.max_splits_crossenv`` unique splits per training-set size.
+    ``n_workers`` fans the per-algorithm units over a process pool
+    (0 = serial, negative = all cores, ``None`` = the ``REPRO_JOBS``
+    default); records are identical for every worker count.
     """
     started = time.perf_counter()
-    config = scale.bellamy_config(base_config)
     result = CrossEnvironmentResult(scale_name=scale.name)
 
     bell_algorithms = bell_dataset.algorithms()
-    for algorithm in algorithms or [a for a in scale.algorithms if a in bell_algorithms]:
-        if algorithm not in bell_algorithms:
-            continue
-        pretrain_result = pretrain(
-            c3o_dataset,
-            algorithm,
-            config=config.with_overrides(
-                seed=derive_seed(seed, "crossenv-pretrain", algorithm)
-            ),
-            variant="crossenv",
+    tasks: List[_AlgorithmTask] = [
+        (c3o_dataset, bell_dataset, algorithm, scale, seed, base_config)
+        for algorithm in (
+            algorithms or [a for a in scale.algorithms if a in bell_algorithms]
         )
-        base = pretrain_result.model
-        base.eval()
-        result.pretrain_seconds[algorithm] = pretrain_result.wall_seconds
+        if algorithm in bell_algorithms
+    ]
 
-        context_data = bell_dataset.for_algorithm(algorithm)
-        target = context_data.contexts()[0]
-        methods = cross_environment_methods(base, scale, config, seed=seed)
-        protocol = ProtocolConfig(
-            n_train_values=tuple(v for v in scale.n_train_values),
-            max_splits=scale.max_splits_crossenv,
-            seed=derive_seed(seed, "crossenv-protocol", algorithm, target.context_id),
-        )
-        result.records.extend(evaluate_context(methods, context_data, protocol))
+    for algorithm, pretrain_seconds, records in experiment_map(
+        _evaluate_algorithm, tasks, jobs=n_workers
+    ):
+        result.pretrain_seconds[algorithm] = pretrain_seconds
+        result.records.extend(records)
 
     result.wall_seconds = time.perf_counter() - started
     return result

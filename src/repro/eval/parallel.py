@@ -1,0 +1,73 @@
+"""Parallel execution of experiment tasks (the ``--jobs`` knob).
+
+The paper experiments are embarrassingly parallel across their work units:
+cross-context and ablation studies fan out over target contexts, the
+cross-environment study over algorithms. Every unit derives all of its
+randomness from per-unit seeds (:func:`repro.utils.rng.derive_seed`), so the
+records are **bit-identical for any worker count** — a property
+``tests/eval/test_parallel_determinism.py`` asserts.
+
+Job-count resolution, in priority order:
+
+1. an explicit ``jobs=`` argument (``--jobs`` on the CLI),
+2. the ``REPRO_JOBS`` environment variable,
+3. serial execution (the default — existing results stay reproducible
+   without any configuration).
+
+``0`` (or ``None`` everywhere) means serial, negative values mean "all
+cores". The heavy lifting is a process pool
+(:func:`repro.utils.parallel.parallel_map`): the workload is long-running
+GIL-holding NumPy compute, so threads would not help.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.utils.parallel import parallel_map, resolve_workers
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable supplying the default experiment job count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def jobs_from_env(default: Optional[int] = None) -> Optional[int]:
+    """The job count configured via ``REPRO_JOBS`` (``default`` if unset).
+
+    Unparsable values are ignored rather than raised — a misconfigured
+    environment must not break a long experiment run, only serialize it.
+    """
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
+    """Effective worker count for ``n_tasks`` units (env-aware)."""
+    if jobs is None:
+        jobs = jobs_from_env()
+    return resolve_workers(jobs, n_tasks)
+
+
+def experiment_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Map one experiment worker over its task list, possibly in parallel.
+
+    Results come back in task order regardless of completion order, which
+    keeps the concatenated record stream identical to a serial run. ``fn``
+    and the tasks must be picklable when more than one worker is used —
+    module-level functions, not closures.
+    """
+    if jobs is None:
+        jobs = jobs_from_env()
+    return parallel_map(fn, tasks, n_workers=jobs)

@@ -37,13 +37,16 @@ from repro.nn.schedulers import (
     LRScheduler,
     StepLR,
 )
+from repro.nn.tape import CompiledLoss, GraphCompiler, Tape, tape_enabled
 from repro.nn.tensor import (
     Tensor,
+    active_tape,
     cat,
     is_grad_enabled,
     maximum,
     no_grad,
     ones,
+    recording,
     stack,
     tensor,
     where,
@@ -63,11 +66,13 @@ __all__ = [
     "AdamW",
     "AlphaDropout",
     "BatchLossFn",
+    "CompiledLoss",
     "ConstantLR",
     "CosineAnnealingLR",
     "CyclicLR",
     "Dropout",
     "FeedForward",
+    "GraphCompiler",
     "HuberLoss",
     "Identity",
     "JointLoss",
@@ -83,10 +88,12 @@ __all__ = [
     "Sequential",
     "StepLR",
     "Tanh",
+    "Tape",
     "Tensor",
     "TrainResult",
     "Trainer",
     "TrainerConfig",
+    "active_tape",
     "cat",
     "functional",
     "get_initializer",
@@ -100,7 +107,9 @@ __all__ = [
     "no_grad",
     "numerical_gradient",
     "ones",
+    "recording",
     "stack",
+    "tape_enabled",
     "tensor",
     "unfreeze_after",
     "where",

@@ -19,6 +19,21 @@ Design notes
 All differentiable primitives live here; composite functions (SELU, alpha
 dropout, losses) are composed from these primitives in
 :mod:`repro.nn.functional` and therefore need no hand-written gradients.
+
+Compiled tapes
+--------------
+Training loops replay a structurally identical graph every step, so every
+primitive also knows how to *recompute its forward in place*: when a
+:class:`repro.nn.tape.Tape` is recording (see :func:`active_tape`), each op
+registers a forward thunk that rewrites ``out.data`` from its parents'
+current ``.data`` buffers. Replaying those thunks — without rebuilding
+Tensor objects, closures, or the topological order — is what makes the
+compiled training step fast. Backward closures read parent ``.data``
+attributes at call time (or arrays the thunks refresh in place), so the
+recorded closures stay correct across replays. Ops whose gradients depend
+on values captured at trace time that cannot be refreshed (``where`` with a
+data-dependent condition, ``max``) mark the tape unsafe, and the caller
+falls back to eager execution.
 """
 
 from __future__ import annotations
@@ -31,6 +46,9 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED: bool = True
+
+#: The tape currently recording forward thunks (None outside recording).
+_ACTIVE_TAPE = None
 
 
 @contextlib.contextmanager
@@ -47,6 +65,28 @@ def no_grad() -> Iterator[None]:
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autograd graph."""
     return _GRAD_ENABLED
+
+
+def active_tape():
+    """The tape currently recording ops, or ``None``."""
+    return _ACTIVE_TAPE
+
+
+@contextlib.contextmanager
+def recording(tape) -> Iterator[None]:
+    """Route every op built inside the block onto ``tape``.
+
+    Recording does not change eager semantics — the graph is built exactly
+    as usual; the tape additionally collects (tensor, forward-thunk) pairs
+    so the same graph can later be replayed in place for new input values.
+    Nested recording is not supported (the inner tape wins).
+    """
+    global _ACTIVE_TAPE
+    previous, _ACTIVE_TAPE = _ACTIVE_TAPE, tape
+    try:
+        yield
+    finally:
+        _ACTIVE_TAPE = previous
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -78,7 +118,15 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An n-dimensional array with reverse-mode autograd support."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "_grad_buf",
+        "name",
+    )
 
     # Make NumPy defer to Tensor for `ndarray (op) Tensor` expressions.
     __array_priority__ = 100.0
@@ -97,6 +145,7 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = _parents
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = _backward_fn
+        self._grad_buf: Optional[np.ndarray] = None
         self.name: Optional[str] = name
 
     # ------------------------------------------------------------------ #
@@ -152,14 +201,28 @@ class Tensor:
     # ------------------------------------------------------------------ #
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add incoming gradient into ``self.grad`` (allocating on first use)."""
+        """Add incoming gradient into ``self.grad``.
+
+        The first contribution is copied (one pass instead of the classic
+        zeros-then-add two passes), preferably into the buffer stashed by
+        :meth:`zero_grad` — so steady-state training accumulates into
+        preallocated memory instead of reallocating every step.
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            buf = self._grad_buf
+            if buf is not None and buf.shape == grad.shape:
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = np.array(grad, dtype=np.float64)
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
-        """Clear the stored gradient."""
-        self.grad = None
+        """Clear the stored gradient (its buffer is kept for reuse)."""
+        if self.grad is not None:
+            self._grad_buf = self.grad
+            self.grad = None
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -217,12 +280,26 @@ class Tensor:
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
+        forward_fn: Optional[Callable[["Tensor"], None]] = None,
+        tape_safe: bool = True,
+        op: str = "op",
     ) -> "Tensor":
-        """Create a result node, recording the graph only when enabled."""
+        """Create a result node, recording the graph only when enabled.
+
+        ``forward_fn(out)`` recomputes ``out.data`` in place from the
+        parents' current ``.data`` buffers; it is collected by the active
+        tape (if any) for compiled replay. Ops that cannot be replayed
+        (``forward_fn is None`` or ``tape_safe=False``) poison the tape,
+        which makes the compiler fall back to eager execution.
+        """
         requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
-        if not requires:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+        if requires:
+            out = Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+        else:
+            out = Tensor(data)
+        if _ACTIVE_TAPE is not None:
+            _ACTIVE_TAPE.add(out, forward_fn, safe=tape_safe, op=op)
+        return out
 
     # ------------------------------------------------------------------ #
     # Arithmetic primitives
@@ -238,7 +315,10 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(grad, other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.add(self.data, other_t.data, out=out.data)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, forward_fn, op="add")
 
     __radd__ = __add__
 
@@ -247,7 +327,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.negative(self.data, out=out.data)
+
+        return Tensor._make(-self.data, (self,), backward_fn, forward_fn, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
@@ -259,7 +342,10 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(-grad, other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.subtract(self.data, other_t.data, out=out.data)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, forward_fn, op="sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__sub__(self)
@@ -274,7 +360,10 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.multiply(self.data, other_t.data, out=out.data)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, forward_fn, op="mul")
 
     __rmul__ = __mul__
 
@@ -290,7 +379,10 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
                 )
 
-        return Tensor._make(out_data, (self, other_t), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.divide(self.data, other_t.data, out=out.data)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, forward_fn, op="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__truediv__(self)
@@ -305,7 +397,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.power(self.data, exponent, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="pow")
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
@@ -326,7 +421,17 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate((a2.T @ g2).reshape(b_data.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward_fn)
+        if np.ndim(out_data) == 0:
+            # 1-D @ 1-D yields a 0-d result; np.matmul rejects 0-d out=.
+            def forward_fn(out: "Tensor") -> None:
+                np.copyto(out.data, self.data @ other_t.data)
+
+        else:
+
+            def forward_fn(out: "Tensor") -> None:
+                np.matmul(self.data, other_t.data, out=out.data)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, forward_fn, op="matmul")
 
     # ------------------------------------------------------------------ #
     # Elementwise transcendental primitives
@@ -340,7 +445,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.exp(self.data, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="exp")
 
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
@@ -350,7 +458,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.log(self.data, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="log")
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
@@ -360,7 +471,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * 0.5 / out_data)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.sqrt(self.data, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="sqrt")
 
     def tanh(self) -> "Tensor":
         """Elementwise hyperbolic tangent."""
@@ -370,7 +484,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.tanh(self.data, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         """Elementwise logistic sigmoid."""
@@ -380,7 +497,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.copyto(out.data, 1.0 / (1.0 + np.exp(-self.data)))
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="sigmoid")
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value (subgradient 0 at 0)."""
@@ -390,7 +510,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.abs(self.data, out=out.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="abs")
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -408,7 +531,12 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.copyto(out.data, self.data.sum(axis=axis, keepdims=keepdims))
+
+        return Tensor._make(
+            np.asarray(out_data, dtype=np.float64), (self,), backward_fn, forward_fn, op="sum"
+        )
 
     def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         """Arithmetic mean over ``axis``."""
@@ -432,7 +560,16 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * g / counts)
 
-        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+        # The backward mask compares against `out_data`, which a replay
+        # would need to refresh before the comparison; keep max() eager.
+        return Tensor._make(
+            np.asarray(out_data, dtype=np.float64),
+            (self,),
+            backward_fn,
+            forward_fn=None,
+            tape_safe=False,
+            op="max",
+        )
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -444,12 +581,18 @@ class Tensor:
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
         original = self.shape
+        out_shape = out_data.shape
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            # When the record-time reshape returned a view, out.data aliases
+            # the (in-place refreshed) parent and this copy is the identity.
+            np.copyto(out.data, self.data.reshape(out_shape))
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="reshape")
 
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
         """Permute dimensions (reverses them when ``axes`` is ``None``)."""
@@ -464,7 +607,10 @@ class Tensor:
                 inverse = np.argsort(axes)
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.copyto(out.data, self.data.transpose(axes))
+
+        return Tensor._make(out_data, (self,), backward_fn, forward_fn, op="transpose")
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
@@ -476,7 +622,12 @@ class Tensor:
             np.add.at(full, key, grad)
             self._accumulate(full)
 
-        return Tensor._make(np.asarray(out_data, dtype=np.float64), (self,), backward_fn)
+        def forward_fn(out: "Tensor") -> None:
+            np.copyto(out.data, self.data[key])
+
+        return Tensor._make(
+            np.asarray(out_data, dtype=np.float64), (self,), backward_fn, forward_fn, op="getitem"
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -515,7 +666,11 @@ def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
         if b_t.requires_grad:
             b_t._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b_t.shape))
 
-    return Tensor._make(out_data, (a_t, b_t), backward_fn)
+    # `cond` is captured by value at trace time; a data-dependent condition
+    # (the common case) would go stale on replay, so where() poisons tapes.
+    return Tensor._make(
+        out_data, (a_t, b_t), backward_fn, forward_fn=None, tape_safe=False, op="where"
+    )
 
 
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -534,7 +689,11 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
             weight = (~a_wins & ~ties) + 0.5 * ties
             b_t._accumulate(_unbroadcast(grad * weight, b_t.shape))
 
-    return Tensor._make(out_data, (a_t, b_t), backward_fn)
+    def forward_fn(out: Tensor) -> None:
+        np.maximum(a_t.data, b_t.data, out=out.data)
+
+    # Safe on tape: the backward recomputes its masks from live .data.
+    return Tensor._make(out_data, (a_t, b_t), backward_fn, forward_fn, op="maximum")
 
 
 def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -554,7 +713,10 @@ def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(int(offsets[idx]), int(offsets[idx + 1]))
             t._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tuple(tensors), backward_fn)
+    def forward_fn(out: Tensor) -> None:
+        np.concatenate([t.data for t in tensors], axis=axis, out=out.data)
+
+    return Tensor._make(out_data, tuple(tensors), backward_fn, forward_fn, op="cat")
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

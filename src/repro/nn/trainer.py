@@ -18,7 +18,7 @@ the Huber-only fine-tuning objective.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,8 +28,10 @@ from repro.nn.schedulers import LRScheduler
 from repro.nn.tensor import Tensor
 from repro.utils.rng import new_rng
 
-#: Signature of the per-batch loss closure: indices -> (loss, metrics).
-BatchLossFn = Callable[[np.ndarray], Tuple[Tensor, Dict[str, float]]]
+#: Signature of the per-batch loss closure: indices -> (loss, metrics). The
+#: loss may be a Tensor or any duck-typed stand-in exposing requires_grad /
+#: backward() / item() — e.g. :class:`repro.nn.tape.CompiledLoss`.
+BatchLossFn = Callable[[np.ndarray], Tuple[Any, Dict[str, float]]]
 
 #: Signature of epoch-end callbacks: (trainer, epoch, metrics) -> None.
 EpochCallback = Callable[["Trainer", int, Dict[str, float]], None]

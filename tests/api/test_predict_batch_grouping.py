@@ -1,0 +1,105 @@
+"""Session.predict_batch request grouping and the vectorized zero-shot path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.api.estimator import PredictionRequest
+from repro.core.config import BellamyConfig
+from repro.data import generate_c3o_dataset
+
+
+@pytest.fixture(scope="module")
+def session():
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=20, finetune_max_epochs=60, finetune_patience=40
+    )
+    return Session(generate_c3o_dataset(seed=0), config=config)
+
+
+@pytest.fixture(scope="module")
+def contexts(session):
+    return session.corpus.for_algorithm("sgd").contexts()[:3]
+
+
+class TestGrouping:
+    def test_same_context_same_samples_fits_once(self, session, contexts):
+        request = PredictionRequest(
+            machines=[4, 8],
+            context=contexts[0],
+            train_machines=[2, 6],
+            train_runtimes=[500.0, 300.0],
+        )
+        out = session.predict_batch([request] * 5)
+        stats = session.last_batch_stats
+        assert stats["requests"] == 5
+        assert stats["groups"] == 1
+        assert stats["finetune_fits"] == 1
+        for result in out[1:]:
+            np.testing.assert_array_equal(out[0], result)
+
+    def test_distinct_samples_fit_separately(self, session, contexts):
+        shared = dict(machines=[4], context=contexts[0])
+        requests = [
+            PredictionRequest(train_machines=[2], train_runtimes=[500.0], **shared),
+            PredictionRequest(train_machines=[2], train_runtimes=[400.0], **shared),
+            PredictionRequest(train_machines=[2], train_runtimes=[500.0], **shared),
+        ]
+        session.predict_batch(requests)
+        assert session.last_batch_stats["groups"] == 2
+        assert session.last_batch_stats["finetune_fits"] == 2
+
+    def test_zero_shot_requests_share_one_batched_forward(self, session, contexts):
+        requests = [
+            PredictionRequest(machines=[2, 4, 8], context=context)
+            for context in contexts
+        ] * 2
+        out = session.predict_batch(requests)
+        stats = session.last_batch_stats
+        assert stats["finetune_fits"] == 0
+        assert stats["zero_shot_batches"] == 1
+        # Matches per-request serving.
+        for request, result in zip(requests, out):
+            reference = session.predict(request.context, request.machines)
+            np.testing.assert_allclose(result, reference, rtol=1e-9, atol=1e-9)
+
+    def test_mixed_batch_preserves_request_order(self, session, contexts):
+        requests = [
+            PredictionRequest(machines=[4], context=contexts[0]),
+            PredictionRequest(
+                machines=[4],
+                context=contexts[1],
+                train_machines=[2, 6],
+                train_runtimes=[500.0, 300.0],
+            ),
+            PredictionRequest(machines=[4], context=contexts[2]),
+        ]
+        out = session.predict_batch(requests)
+        assert len(out) == 3
+        for request, result in zip(requests, out):
+            samples = None
+            if request.train_machines is not None:
+                samples = (request.train_machines, request.train_runtimes)
+            reference = session.predict(request.context, request.machines, samples=samples)
+            np.testing.assert_allclose(result, reference, rtol=1e-9, atol=1e-9)
+
+    def test_requests_without_context_rejected(self, session):
+        with pytest.raises(ValueError, match="need a context"):
+            session.predict_batch([PredictionRequest(machines=[2])])
+
+
+class TestModelPredictBatch:
+    def test_batched_forward_matches_individual_predicts(self, session, contexts):
+        model = session.base_model("sgd")
+        items = [(context, [2, 4, 8]) for context in contexts] + [(contexts[0], [16])]
+        batched = model.predict_batch(items)
+        assert [len(b) for b in batched] == [3, 3, 3, 1]
+        for (context, machines), result in zip(items, batched):
+            np.testing.assert_allclose(
+                result, model.predict(context, machines), rtol=1e-9, atol=1e-9
+            )
+
+    def test_empty_batch(self, session):
+        assert session.base_model("sgd").predict_batch([]) == []

@@ -1,0 +1,213 @@
+"""Compiled-tape and fused-kernel correctness.
+
+The contract under test: the fused kernels (`selu`, `linear_act`,
+`huber_loss`) agree with their composed reference implementations and with
+finite differences, and a training loop driven through a compiled tape is
+**bit-identical** to the same loop run eagerly — including dropout (mask
+replay), staged unfreezing (re-recording), and weight-decayed Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, FeedForward, GraphCompiler, HuberLoss, Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import gradcheck
+from repro.nn.tape import Tape
+from repro.nn.tensor import recording, where
+
+
+class TestFusedKernels:
+    def test_selu_matches_reference_forward(self):
+        x = np.random.default_rng(0).normal(size=(5, 7)) * 3
+        fused = F.selu(Tensor(x)).data
+        reference = F.selu_reference(Tensor(x)).data
+        assert np.array_equal(fused, reference)
+
+    def test_selu_gradient_matches_reference(self):
+        x = np.random.default_rng(1).normal(size=(4, 6))
+        a = Tensor(x, requires_grad=True)
+        F.selu(a).sum().backward()
+        b = Tensor(x, requires_grad=True)
+        F.selu_reference(b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.grad, atol=1e-12, rtol=0)
+
+    def test_selu_gradcheck(self):
+        x = np.array([-2.0, -0.3, 0.4, 1.7])
+        assert gradcheck(lambda ts: F.selu(ts[0]).sum(), [x])
+
+    @pytest.mark.parametrize("activation", ["selu", "tanh", "identity"])
+    @pytest.mark.parametrize("use_bias", [True, False])
+    def test_linear_act_gradcheck(self, activation, use_bias):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 5))
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=3)
+        if use_bias:
+            fn = lambda ts: F.linear_act(ts[0], ts[1], ts[2], activation).sum()
+            assert gradcheck(fn, [x, w, b])
+        else:
+            fn = lambda ts: F.linear_act(ts[0], ts[1], None, activation).sum()
+            assert gradcheck(fn, [x, w])
+
+    def test_linear_act_matches_composition(self):
+        rng = np.random.default_rng(4)
+        x, w, b = rng.normal(size=(6, 5)), rng.normal(size=(3, 5)), rng.normal(size=3)
+        fused = F.linear_act(Tensor(x), Tensor(w), Tensor(b), "selu").data
+        composed = F.selu_reference(F.linear(Tensor(x), Tensor(w), Tensor(b))).data
+        assert np.array_equal(fused, composed)
+
+    def test_linear_act_rejects_unfusable_activation(self):
+        with pytest.raises(ValueError, match="cannot fuse"):
+            F.linear_act(Tensor(np.zeros((2, 2))), Tensor(np.zeros((2, 2))), None, "relu")
+
+    def test_huber_matches_reference(self):
+        rng = np.random.default_rng(5)
+        p, t = rng.normal(size=9) * 2, rng.normal(size=9)
+        fused = F.huber_loss(Tensor(p), Tensor(t)).item()
+        reference = F.huber_loss_reference(Tensor(p), Tensor(t)).item()
+        assert fused == pytest.approx(reference, abs=1e-15)
+
+    def test_huber_gradient_matches_reference(self):
+        rng = np.random.default_rng(6)
+        p, t = rng.normal(size=(8, 1)) * 2, rng.normal(size=(8, 1))
+        a = Tensor(p, requires_grad=True)
+        F.huber_loss(a, Tensor(t)).backward()
+        b = Tensor(p, requires_grad=True)
+        F.huber_loss_reference(b, Tensor(t)).backward()
+        np.testing.assert_allclose(a.grad, b.grad, atol=1e-8, rtol=0)
+
+    def test_huber_gradcheck_both_regions(self):
+        values = np.array([-3.0, -0.5, 0.2, 2.5])
+        assert gradcheck(
+            lambda ts: F.huber_loss(ts[0], Tensor(np.zeros(4)), delta=1.0), [values]
+        )
+
+    def test_huber_target_gradient(self):
+        rng = np.random.default_rng(7)
+        p, t = rng.normal(size=5), rng.normal(size=5)
+        assert gradcheck(lambda ts: F.huber_loss(Tensor(p), ts[0], delta=0.8), [t])
+
+
+def _train(enabled: bool, *, dropout: float = 0.0, unfreeze_at: int = -1, steps: int = 25):
+    """One deterministic training run; returns the final state dict."""
+    net = FeedForward(6, 4, 1, seed=0, dropout=dropout)
+    if unfreeze_at >= 0:
+        net.layer1.freeze()
+    optimizer = Adam(net.parameters(), lr=1e-2, weight_decay=1e-3)
+    loss_fn = HuberLoss()
+    rng = np.random.default_rng(7)
+    x_all = rng.normal(size=(32, 6))
+    y_all = rng.normal(size=(32, 1))
+    compiler = GraphCompiler(
+        lambda x_t, y_t: (loss_fn(net(x_t), y_t),), params=net.parameters, enabled=enabled
+    )
+    for step in range(steps):
+        if step == unfreeze_at:
+            net.layer1.unfreeze()
+        batch = np.random.default_rng(100 + step).permutation(32)[:16]
+        compiler.run(x_all[batch], y_all[batch])
+        optimizer.zero_grad()
+        compiler.loss_handle.backward()
+        optimizer.step()
+    return net.state_dict(), compiler
+
+
+class TestCompiledTape:
+    def test_replay_is_bit_identical_to_eager(self):
+        eager, _ = _train(False)
+        taped, compiler = _train(True)
+        assert compiler.n_tapes == 1
+        for key in eager:
+            assert np.array_equal(eager[key], taped[key]), key
+
+    def test_dropout_masks_replay_from_the_same_stream(self):
+        eager, _ = _train(False, dropout=0.25)
+        taped, compiler = _train(True, dropout=0.25)
+        assert compiler.n_tapes == 1  # dropout recorded as a refresh op
+        for key in eager:
+            assert np.array_equal(eager[key], taped[key]), key
+
+    def test_unfreeze_triggers_rerecord(self):
+        eager, _ = _train(False, unfreeze_at=12)
+        taped, compiler = _train(True, unfreeze_at=12)
+        assert compiler.n_tapes == 2  # one tape per parameter signature
+        for key in eager:
+            assert np.array_equal(eager[key], taped[key]), key
+
+    def test_shape_change_gets_its_own_tape(self):
+        net = FeedForward(3, 4, 1, seed=1)
+        loss_fn = HuberLoss()
+        compiler = GraphCompiler(
+            lambda x_t, y_t: (loss_fn(net(x_t), y_t),), params=net.parameters, enabled=True
+        )
+        rng = np.random.default_rng(0)
+        for batch_size in (8, 8, 3, 8, 3):
+            compiler.run(rng.normal(size=(batch_size, 3)), rng.normal(size=(batch_size, 1)))
+        assert compiler.n_tapes == 2
+
+    def test_unsafe_op_falls_back_to_eager(self):
+        # where() with a data-dependent condition cannot replay; the
+        # compiler must detect it and keep producing correct eager results.
+        weight = Tensor(np.array([[2.0]]), requires_grad=True)
+
+        def build(x_t):
+            h = x_t @ weight
+            return (where(h.data > 0.0, h, h * 0.1).sum(),)
+
+        compiler = GraphCompiler(build, enabled=True)
+        for value in (1.0, -1.0, 2.0):
+            (loss,) = compiler.run(np.array([[value]]))
+            weight.zero_grad()
+            compiler.loss_handle.backward()
+            expected = value if value * 2.0 > 0 else value * 0.1
+            assert loss.item() == pytest.approx(2.0 * value if value * 2.0 > 0 else 0.2 * value)
+            assert weight.grad[0, 0] == pytest.approx(expected)
+        assert compiler.n_tapes == 0  # never compiled
+        assert not compiler.compiled
+
+    def test_recording_collects_forward_thunks(self):
+        tape = Tape()
+        with recording(tape):
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+            ((a * 2.0) + 1.0).sum()
+        assert len(tape.steps) == 3  # mul, add, sum
+        assert not tape.unsafe
+
+    def test_replayed_aux_tensors_are_refreshed(self):
+        net = FeedForward(4, 3, 1, seed=2)
+        compiler = GraphCompiler(
+            lambda x_t: (net(x_t).sum(), net(x_t)), params=net.parameters, enabled=True
+        )
+        rng = np.random.default_rng(1)
+        x1, x2 = rng.normal(size=(5, 4)), rng.normal(size=(5, 4))
+        _, out_first = compiler.run(x1)
+        first = out_first.data.copy()
+        _, out_second = compiler.run(x2)
+        assert out_first is out_second  # same tensor object, new buffer values
+        assert not np.array_equal(first, out_second.data)
+
+    def test_tape_vs_eager_gradients_close(self):
+        # The satellite contract: tape and eager gradients agree to 1e-8.
+        net = FeedForward(5, 4, 2, seed=3)
+        loss_fn = HuberLoss()
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(10, 5)), rng.normal(size=(10, 2))
+
+        def grads(enabled):
+            compiler = GraphCompiler(
+                lambda x_t, y_t: (loss_fn(net(x_t), y_t),),
+                params=net.parameters,
+                enabled=enabled,
+            )
+            for _ in range(2):  # second run exercises the replay path
+                compiler.run(x, y)
+                for param in net.parameters():
+                    param.zero_grad()
+                compiler.loss_handle.backward()
+            return [param.grad.copy() for param in net.parameters()]
+
+        for eager_grad, taped_grad in zip(grads(False), grads(True)):
+            np.testing.assert_allclose(eager_grad, taped_grad, atol=1e-8, rtol=0)
