@@ -362,6 +362,96 @@ def bench_serving() -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Serve level (the repro.serve online prediction service)
+# --------------------------------------------------------------------- #
+
+
+def bench_serve(concurrency: int = 200) -> dict:
+    """Throughput/latency of the HTTP prediction service under concurrency.
+
+    Fires ``concurrency`` simultaneous zero-shot requests (20 contexts x a
+    few scale-out lists) at a :class:`repro.serve.PredictionServer` and
+    asserts, before reporting anything, that (a) the micro-batcher coalesced
+    traffic — >= 2 requests per ``predict_batch`` call on average — and
+    (b) every response is **bit-identical** to serial ``Session.predict``.
+    """
+    import threading
+
+    from repro.api import Session
+    from repro.core.config import BellamyConfig
+    from repro.data import generate_c3o_dataset
+    from repro.serve import HttpServeClient, PredictionServer
+
+    dataset = generate_c3o_dataset(seed=0)
+    config = BellamyConfig(seed=0).with_overrides(pretrain_epochs=30)
+    session = Session(dataset, config=config)
+    contexts = dataset.for_algorithm("sgd").contexts()[:20]
+    machine_lists = ([2, 4, 8], [4, 8], [6, 10, 12], [8])
+    workload = [
+        (contexts[i % len(contexts)], machine_lists[i % len(machine_lists)])
+        for i in range(concurrency)
+    ]
+    session.base_model("sgd")  # pre-train outside the timing
+
+    server = PredictionServer(
+        session, port=0, batch_max=256, batch_wait_ms=10.0, cache_size=8
+    ).start()
+    client = HttpServeClient(server.url)
+    client.healthz()  # warm the listener
+    results = [None] * concurrency
+    latencies = [0.0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def fire(index: int, context, machines) -> None:
+        barrier.wait()
+        started = time.perf_counter()
+        results[index] = client.predict(context, machines)
+        latencies[index] = time.perf_counter() - started
+
+    threads = [
+        threading.Thread(target=fire, args=(i, ctx, machines))
+        for i, (ctx, machines) in enumerate(workload)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    stats = server.app.stats()
+    server.close()
+
+    serial_started = time.perf_counter()
+    serial = [session.predict(ctx, machines) for ctx, machines in workload]
+    serial_wall = time.perf_counter() - serial_started
+    identical = all(np.array_equal(a, b) for a, b in zip(results, serial))
+    batcher = stats["batcher"]
+    if not identical:
+        raise SystemExit("FATAL: served responses are not bit-identical to serial predict")
+    if batcher["mean_batch_size"] < 2.0 or batcher["largest_group"] < 2:
+        raise SystemExit(
+            f"FATAL: micro-batching did not engage under load: {batcher}"
+        )
+    ordered = sorted(latencies)
+    return {
+        "concurrent_zero_shot": {
+            "concurrency": concurrency,
+            "wall_s": wall,
+            "requests_per_s": concurrency / wall,
+            "latency_p50_ms": ordered[len(ordered) // 2] * 1e3,
+            "latency_p95_ms": ordered[int(len(ordered) * 0.95)] * 1e3,
+            "serial_predict_s": serial_wall,
+            "predict_batch_calls": batcher["batches"],
+            "mean_batch_size": batcher["mean_batch_size"],
+            "largest_group": batcher["largest_group"],
+            "bit_identical_to_serial": bool(identical),
+            "cache": stats["cache"],
+        }
+    }
+
+
+# --------------------------------------------------------------------- #
 
 
 def main() -> int:
@@ -401,6 +491,7 @@ def main() -> int:
     if not args.skip_experiments:
         payload["experiment_level"] = bench_experiments(timing_runs=2 if args.quick else 3)
         payload["serving_level"] = bench_serving()
+        payload["serve_level"] = bench_serve(concurrency=200)
 
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     step = payload["step_level"]
@@ -416,6 +507,14 @@ def main() -> int:
             f"pretrain: {experiment['pretrain']['speedup_vs_seed']:.2f}x  "
             f"cross-context smoke: {experiment['cross_context_smoke']['speedup_vs_seed']:.2f}x  "
             f"evaluation phase: {experiment['cross_context_evaluation_phase']['speedup_vs_seed']:.2f}x"
+        )
+    if "serve_level" in payload:
+        serve = payload["serve_level"]["concurrent_zero_shot"]
+        print(
+            f"serve: {serve['concurrency']} concurrent requests at "
+            f"{serve['requests_per_s']:.0f} req/s "
+            f"(p95 {serve['latency_p95_ms']:.0f} ms, "
+            f"mean batch {serve['mean_batch_size']:.1f}, bit-identical)"
         )
     print(f"wrote {args.out}")
     return 0

@@ -1,0 +1,96 @@
+"""Shared plumbing of the runnable examples.
+
+Three things every example gets from here, so they behave consistently:
+
+``optional_import(name, purpose)``
+    One uniform guard for optional dependencies (e.g. ``matplotlib`` for
+    plotting extras). Returns the module or ``None`` — after printing a
+    one-line notice, so a missing extra visibly skips its feature instead
+    of silently changing what the script does.
+
+``demo_epochs(default)``
+    The training budget, overridable via the ``REPRO_EXAMPLE_EPOCHS``
+    environment variable. The CI smoke pass sets it to a tiny value so
+    every example runs in seconds; interactively you get the demo default.
+
+``run_main(main)``
+    The ``if __name__ == "__main__"`` entry point. It fails loudly (exit
+    code 1) if the example produced **no output** — an example that prints
+    nothing has silently broken, and the smoke pass treats it as a failure
+    rather than a pass.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from typing import Callable, Optional
+
+
+def optional_import(name: str, purpose: str = ""):
+    """Import an optional dependency, or return ``None`` with a notice.
+
+    >>> optional_import("json") is not None
+    True
+    """
+    try:
+        return importlib.import_module(name)
+    except ImportError:
+        note = f" ({purpose})" if purpose else ""
+        print(f"[skip] optional dependency {name!r} not installed{note}")
+        return None
+
+
+def demo_epochs(default: int) -> int:
+    """Training epochs for the demo, honoring ``REPRO_EXAMPLE_EPOCHS``.
+
+    >>> demo_epochs(300) if "REPRO_EXAMPLE_EPOCHS" not in __import__("os").environ else 300
+    300
+    """
+    raw = os.environ.get("REPRO_EXAMPLE_EPOCHS", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+class _CountingStdout:
+    """Wraps stdout and counts the bytes written through it."""
+
+    def __init__(self, wrapped) -> None:
+        self._wrapped = wrapped
+        self.written = 0
+
+    def write(self, text: str) -> int:
+        self.written += len(text)
+        return self._wrapped.write(text)
+
+    def __getattr__(self, name: str):
+        return getattr(self._wrapped, name)
+
+
+def run_main(main: Callable[[], Optional[int]]) -> None:
+    """Run an example's ``main`` and exit non-zero on silent success.
+
+    Usage, replacing the bare ``main()`` call::
+
+        if __name__ == "__main__":
+            run_main(main)
+    """
+    counter = _CountingStdout(sys.stdout)
+    sys.stdout = counter
+    try:
+        status = main() or 0
+    finally:
+        sys.stdout = counter._wrapped
+    if status == 0 and counter.written == 0:
+        print(
+            f"error: {getattr(main, '__module__', 'example')} produced no "
+            "output — the example silently did nothing",
+            file=sys.stderr,
+        )
+        status = 1
+    raise SystemExit(status)

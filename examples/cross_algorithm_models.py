@@ -20,7 +20,9 @@ from repro.core.cross_algorithm import pretrain_cross_algorithm
 from repro.data import generate_c3o_dataset
 from repro.utils.tables import ascii_table
 
-PRETRAIN_EPOCHS = 300
+from _util import demo_epochs, run_main
+
+PRETRAIN_EPOCHS = demo_epochs(300)
 
 
 def zero_shot_mre(model, dataset, context) -> float:
@@ -85,4 +87,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

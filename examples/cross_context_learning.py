@@ -24,9 +24,11 @@ from repro.data import subsample_splits, split_arrays, test_point
 from repro.data import generate_c3o_dataset
 from repro.utils.tables import ascii_table
 
+from _util import demo_epochs, run_main
+
 ALGORITHM = "kmeans"
-PRETRAIN_EPOCHS = 400
-FINETUNE_EPOCHS = 400
+PRETRAIN_EPOCHS = demo_epochs(400)
+FINETUNE_EPOCHS = demo_epochs(400)
 SPLITS_PER_SIZE = 5
 
 
@@ -98,4 +100,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

@@ -26,6 +26,8 @@ from repro.core import (
 from repro.data import generate_bell_dataset, generate_c3o_dataset
 from repro.utils.tables import ascii_table
 
+from _util import demo_epochs, run_main
+
 ALGORITHM = "pagerank"
 N_SAMPLES = 4
 
@@ -36,7 +38,7 @@ def main() -> None:
 
     config = BellamyConfig(learning_rate=1e-3, seed=0)
     print(f"pre-training a {ALGORITHM} model on the cloud (C3O) corpus ...")
-    base = pretrain(c3o, ALGORITHM, config=config, epochs=400).model
+    base = pretrain(c3o, ALGORITHM, config=config, epochs=demo_epochs(400)).model
 
     context_data = bell.for_algorithm(ALGORITHM)
     target = context_data.contexts()[0]
@@ -62,7 +64,7 @@ def main() -> None:
     for strategy in FinetuneStrategy:
         result = finetune(
             base, target, sample_machines, sample_runtimes,
-            strategy=strategy, max_epochs=800,
+            strategy=strategy, max_epochs=demo_epochs(800),
         )
         predicted = result.model.predict(target, machines)
         mre = np.mean(np.abs(predicted - actual) / actual)
@@ -73,7 +75,7 @@ def main() -> None:
 
     local = train_local(
         target, sample_machines, sample_runtimes, config=config,
-        max_epochs=800, seed=3,
+        max_epochs=demo_epochs(800), seed=3,
     )
     predicted = local.model.predict(target, machines)
     mre = np.mean(np.abs(predicted - actual) / actual)
@@ -98,4 +100,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

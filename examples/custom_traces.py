@@ -30,6 +30,8 @@ from repro.data import (
 )
 from repro.simulator.traces import TraceGenerator
 
+from _util import demo_epochs, run_main
+
 
 def build_history() -> ExecutionDataset:
     """Stand-in for your organization's job history: three grep contexts."""
@@ -68,7 +70,7 @@ def main() -> None:
 
     # 2. Pre-train and persist.
     result = pretrain(
-        loaded, "grep", config=BellamyConfig(learning_rate=1e-3, seed=0), epochs=300
+        loaded, "grep", config=BellamyConfig(learning_rate=1e-3, seed=0), epochs=demo_epochs(300)
     )
     store = ModelStore(store_dir)
     store.save(
@@ -107,4 +109,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

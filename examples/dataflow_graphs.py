@@ -29,7 +29,9 @@ from repro.dataflow import (
 from repro.dataflow.features import graph_node_features, graph_summary_vector
 from repro.utils.tables import ascii_table
 
-PRETRAIN_EPOCHS = 300
+from _util import demo_epochs, run_main
+
+PRETRAIN_EPOCHS = demo_epochs(300)
 
 
 def main() -> None:
@@ -120,4 +122,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

@@ -19,6 +19,8 @@ from repro.core import pretrain
 from repro.data import C3O_DEFAULT_MAPPING, load_real_traces
 from repro.utils.tables import ascii_table
 
+from _util import demo_epochs, run_main
+
 #: A miniature trace file in the C3O CSV layout (values synthetic).
 SAMPLE_CSV = """\
 machine_count,instance_type,data_size_MB,data_characteristics,gross_runtime,max_iterations,step_size
@@ -63,7 +65,7 @@ def main() -> None:
         )
 
         print("== 2. Training on the imported traces ==")
-        result = pretrain(dataset, "sgd", epochs=200, seed=0)
+        result = pretrain(dataset, "sgd", epochs=demo_epochs(200), seed=0)
         result.model.eval()
         context = dataset.contexts()[0]
         prediction = result.model.predict(context, [2, 4, 6, 8])
@@ -83,4 +85,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

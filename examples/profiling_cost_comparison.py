@@ -24,7 +24,9 @@ from repro.selection.comparison import (
     run_profiling_cost_experiment,
 )
 
-PRETRAIN_EPOCHS = 300
+from _util import demo_epochs, run_main
+
+PRETRAIN_EPOCHS = demo_epochs(300)
 CONTEXTS_PER_ALGORITHM = 3
 
 
@@ -75,4 +77,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

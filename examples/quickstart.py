@@ -25,7 +25,9 @@ from repro.data import generate_c3o_dataset
 from repro.eval.experiments import runtime_variance_summary
 from repro.utils.tables import ascii_table
 
-PRETRAIN_EPOCHS = 400  # paper: 2500; a few hundred suffice for the demo
+from _util import demo_epochs, run_main
+
+PRETRAIN_EPOCHS = demo_epochs(400)  # paper: 2500; a few hundred suffice for the demo
 
 
 def main() -> None:
@@ -84,7 +86,7 @@ def main() -> None:
         ]
     )
     tuned = session.finetune(
-        target_context, sample_machines, sample_runtimes, max_epochs=800
+        target_context, sample_machines, sample_runtimes, max_epochs=demo_epochs(800)
     )
     fine_tuned = tuned.predict(machines)
     print(
@@ -120,4 +122,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

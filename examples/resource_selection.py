@@ -23,6 +23,8 @@ from repro.core import BellamyConfig, select_scaleout
 from repro.data import generate_c3o_dataset, c3o_trace_generator
 from repro.utils.tables import ascii_table
 
+from _util import demo_epochs, run_main
+
 RUNTIME_TARGET_S = 240.0
 CANDIDATES = [2, 4, 6, 8, 10, 12]
 
@@ -44,7 +46,7 @@ def main() -> None:
     session = Session(
         dataset.exclude_context(target.context_id),
         config=BellamyConfig(learning_rate=1e-3, seed=1).with_overrides(
-            pretrain_epochs=400
+            pretrain_epochs=demo_epochs(400)
         ),
     )
     profiling_machines = np.array([4.0, 12.0])
@@ -57,7 +59,7 @@ def main() -> None:
     # Fine-tune once; both selection objectives below reuse the fitted
     # estimator instead of re-running the 800-epoch fine-tune per call.
     model = session.finetune(
-        target, profiling_machines, profiling_runtimes, max_epochs=800
+        target, profiling_machines, profiling_runtimes, max_epochs=demo_epochs(800)
     )
 
     # Smallest cluster that meets the target.
@@ -117,4 +119,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    run_main(main)

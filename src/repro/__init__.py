@@ -35,6 +35,9 @@ Subpackages
 ``repro.selection``
     CherryPick-style Bayesian-optimization comparator for resource
     selection and the profiling-cost experiment.
+``repro.serve``
+    The online prediction service: threaded HTTP endpoint, request
+    micro-batching, warm-model LRU/TTL cache, in-process + HTTP clients.
 ``repro.cli``
     The ``repro-bellamy`` command-line interface.
 
@@ -62,6 +65,7 @@ from repro import (
     eval,
     nn,
     selection,
+    serve,
     simulator,
     tune,
     utils,
@@ -78,6 +82,7 @@ __all__ = [
     "eval",
     "nn",
     "selection",
+    "serve",
     "simulator",
     "tune",
     "utils",

@@ -41,6 +41,12 @@ class PredictionRequest:
     When ``train_machines``/``train_runtimes`` are given (or a context is
     supplied at all), the serving estimator is cloned and fitted for the
     request; otherwise the already-fitted estimator answers directly.
+
+    >>> from repro.data.schema import JobContext
+    >>> ctx = JobContext("sgd", "m4.xlarge", 1000, "dense")
+    >>> request = PredictionRequest(machines=[4, 8], context=ctx)
+    >>> request.train_machines is None      # no samples: zero-shot
+    True
     """
 
     machines: Sequence[float]
@@ -50,7 +56,19 @@ class PredictionRequest:
 
 
 class Estimator(abc.ABC):
-    """Base class of all runtime estimators (the ``repro.api`` surface)."""
+    """Base class of all runtime estimators (the ``repro.api`` surface).
+
+    Every model family implements one lifecycle — fit on samples from a
+    context, predict runtimes at scale-outs, clone for a fresh fit:
+
+    >>> from repro.api import make_estimator
+    >>> est = make_estimator("nnls")                  # by registry name
+    >>> est = est.fit(None, [2, 4, 8], [400.0, 220.0, 130.0])
+    >>> est.predict([4]).shape
+    (1,)
+    >>> est.clone().get_params() == est.get_params()
+    True
+    """
 
     #: Registry key (set by :func:`repro.api.registry.register`).
     registry_name: str = ""
@@ -154,6 +172,12 @@ class LegacyModelEstimator(Estimator):
 
     Used by the evaluation protocol so hand-written ``MethodFactory``
     closures (the pre-registry API) keep working unchanged.
+
+    >>> from repro.baselines.ernest import ErnestModel
+    >>> est = LegacyModelEstimator(ErnestModel())
+    >>> est = est.fit(None, [2, 4, 8], [400.0, 220.0, 130.0])
+    >>> float(est.predict([6])[0]) > 0.0
+    True
     """
 
     def __init__(self, model: RuntimeModel) -> None:
@@ -197,6 +221,13 @@ def as_estimator(model: Any) -> Estimator:
 
     Anything exposing ``fit(machines, runtimes)`` / ``predict(machines)`` is
     accepted, so duck-typed models from pre-registry factories keep working.
+
+    >>> from repro.baselines.ernest import ErnestModel
+    >>> type(as_estimator(ErnestModel())).__name__
+    'LegacyModelEstimator'
+    >>> est = as_estimator(ErnestModel())
+    >>> as_estimator(est) is est            # estimators pass through
+    True
     """
     if isinstance(model, Estimator):
         return model

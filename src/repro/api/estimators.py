@@ -72,7 +72,13 @@ class ScaleOutEstimator(Estimator):
 
 @register("nnls", aliases=("ernest",))
 class NNLSEstimator(ScaleOutEstimator):
-    """Ernest's parametric scale-out model, fitted with NNLS."""
+    """Ernest's parametric scale-out model, fitted with NNLS.
+
+    >>> from repro.api import make_estimator
+    >>> est = make_estimator("nnls").fit(None, [2, 4, 8], [400.0, 220.0, 130.0])
+    >>> bool(est.predict([16])[0] < est.predict([2])[0])   # more machines: faster
+    True
+    """
 
     name = "NNLS"
     min_train_points = 1
@@ -81,7 +87,14 @@ class NNLSEstimator(ScaleOutEstimator):
 
 @register("bell")
 class BellEstimator(ScaleOutEstimator):
-    """Bell: leave-one-out-CV selection between Ernest and interpolation."""
+    """Bell: leave-one-out-CV selection between Ernest and interpolation.
+
+    >>> from repro.api import make_estimator
+    >>> est = make_estimator("bell")
+    >>> est = est.fit(None, [2, 4, 6, 8], [400.0, 220.0, 160.0, 130.0])
+    >>> est.predict([5]).shape
+    (1,)
+    """
 
     name = "Bell"
     min_train_points = 3
@@ -90,7 +103,13 @@ class BellEstimator(ScaleOutEstimator):
 
 @register("interpolation")
 class InterpolationEstimator(ScaleOutEstimator):
-    """Piecewise-linear mean-runtime interpolation with linear extension."""
+    """Piecewise-linear mean-runtime interpolation with linear extension.
+
+    >>> from repro.api import make_estimator
+    >>> est = make_estimator("interpolation").fit(None, [2, 4], [300.0, 200.0])
+    >>> float(est.predict([3])[0])      # halfway between the two samples
+    250.0
+    """
 
     name = "interpolation"
     min_train_points = 2
@@ -124,7 +143,15 @@ class BellamyEstimatorBase(Estimator):
 
 @register("bellamy-local")
 class BellamyLocalEstimator(BellamyEstimatorBase):
-    """Bellamy trained from scratch on the context's few samples."""
+    """Bellamy trained from scratch on the context's few samples.
+
+    No pre-trained base is involved — this is the paper's "local" ablation
+    showing what reuse adds. Train budgets come from ``config``::
+
+        est = make_estimator("bellamy-local", config=BellamyConfig(seed=0))
+        est = est.fit(context, [2, 4, 8], [400.0, 220.0, 130.0])
+        runtime = est.predict([6])
+    """
 
     name = "Bellamy (local)"
     min_train_points = 1
@@ -173,7 +200,15 @@ class BellamyLocalEstimator(BellamyEstimatorBase):
 
 @register("bellamy-zeroshot")
 class BellamyZeroShotEstimator(BellamyEstimatorBase):
-    """A pre-trained Bellamy model applied as-is (paper §IV-C1, 0 points)."""
+    """A pre-trained Bellamy model applied as-is (paper §IV-C1, 0 points).
+
+    ``fit`` only binds the target context — no training happens, so the
+    estimator answers from cross-context knowledge alone. The ``Session``
+    injects the base model::
+
+        est = session.estimator("bellamy-zeroshot", target=context)
+        runtime = est.fit(context, (), ()).predict([8])
+    """
 
     name = "Bellamy (zero-shot)"
     min_train_points = 0
@@ -213,6 +248,12 @@ class BellamyFinetunedEstimator(BellamyEstimatorBase):
     With zero samples the pre-trained model is applied as-is, which is why
     ``min_train_points`` is 0 — the paper's extrapolation study includes the
     0-points case for pre-trained variants.
+
+    The default reuse mode of the paper; the ``Session`` resolves and
+    injects the pre-trained base model::
+
+        est = session.finetune(context, [4, 10], [310.0, 150.0])
+        runtime = est.predict([8])
     """
 
     name = "Bellamy (fine-tuned)"
@@ -266,7 +307,14 @@ class BellamyFinetunedEstimator(BellamyEstimatorBase):
 
 @register("bellamy-graph")
 class GraphBellamyEstimator(BellamyFinetunedEstimator):
-    """Fine-tuned Bellamy over the graph-as-property model."""
+    """Fine-tuned Bellamy over the graph-as-property model.
+
+    The dataflow graph is rendered to a text property and encoded next to
+    the other descriptive properties (paper §V outlook)::
+
+        session.pretrain("sgd", estimator="bellamy-graph")
+        est = session.estimator("bellamy-graph", algorithm="sgd")
+    """
 
     name = "Bellamy (graph)"
     model_class = "GraphBellamyModel"
@@ -274,7 +322,14 @@ class GraphBellamyEstimator(BellamyFinetunedEstimator):
 
 @register("bellamy-gnn")
 class GnnBellamyEstimator(BellamyFinetunedEstimator):
-    """Fine-tuned Bellamy over the learned-graph-code (GNN) model."""
+    """Fine-tuned Bellamy over the learned-graph-code (GNN) model.
+
+    Graph codes come from a message-passing encoder trained with the
+    model (paper §V outlook)::
+
+        session.pretrain("sgd", estimator="bellamy-gnn")
+        est = session.estimator("bellamy-gnn", algorithm="sgd")
+    """
 
     name = "Bellamy (gnn)"
     model_class = "GnnBellamyModel"

@@ -24,7 +24,15 @@ _PRIMARY: List[str] = []
 
 
 class UnknownEstimatorError(KeyError):
-    """Raised for unregistered estimator names; message lists alternatives."""
+    """Raised for unregistered estimator names; message lists alternatives.
+
+    >>> from repro.api import make_estimator, UnknownEstimatorError
+    >>> try:
+    ...     make_estimator("bellamy-tf")
+    ... except UnknownEstimatorError as error:
+    ...     error.name
+    'bellamy-tf'
+    """
 
     def __init__(self, name: str) -> None:
         available = available_estimators()
@@ -43,7 +51,15 @@ class UnknownEstimatorError(KeyError):
 def register(
     name: str, aliases: tuple = ()
 ) -> Callable[[Type[Estimator]], Type[Estimator]]:
-    """Class decorator registering an :class:`Estimator` under ``name``."""
+    """Class decorator registering an :class:`Estimator` under ``name``.
+
+    Registration makes the class constructible by name everywhere — the
+    CLI, ``MethodSpec.from_registry``, tuning, and ``Session``::
+
+        @register("my-model", aliases=("mm",))
+        class MyEstimator(Estimator):
+            ...
+    """
 
     def decorator(cls: Type[Estimator]) -> Type[Estimator]:
         if not (isinstance(cls, type) and issubclass(cls, Estimator)):
@@ -65,7 +81,12 @@ def register(
 
 
 def estimator_class(name: str) -> Type[Estimator]:
-    """The estimator class registered under ``name`` (or an alias)."""
+    """The estimator class registered under ``name`` (or an alias).
+
+    >>> from repro.api import estimator_class
+    >>> estimator_class("ernest").__name__     # "ernest" aliases "nnls"
+    'NNLSEstimator'
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -73,15 +94,31 @@ def estimator_class(name: str) -> Type[Estimator]:
 
 
 def make_estimator(name: str, **params) -> Estimator:
-    """Construct a fresh estimator by registry name."""
+    """Construct a fresh estimator by registry name.
+
+    >>> from repro.api import make_estimator
+    >>> est = make_estimator("nnls").fit(None, [2, 4, 8], [400.0, 220.0, 130.0])
+    >>> float(est.predict([6])[0]) > 0.0
+    True
+    """
     return estimator_class(name)(**params)
 
 
 def available_estimators() -> List[str]:
-    """All registered primary estimator names (sorted)."""
+    """All registered primary estimator names (sorted).
+
+    >>> from repro.api import available_estimators
+    >>> {"nnls", "bell", "bellamy-ft"} <= set(available_estimators())
+    True
+    """
     return sorted(_PRIMARY)
 
 
 def is_registered(name: str) -> bool:
-    """Whether ``name`` resolves in the registry (aliases included)."""
+    """Whether ``name`` resolves in the registry (aliases included).
+
+    >>> from repro.api import is_registered
+    >>> (is_registered("ernest"), is_registered("nope"))
+    (True, False)
+    """
     return name in _REGISTRY

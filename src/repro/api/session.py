@@ -51,7 +51,20 @@ def _safe(token: str) -> str:
 
 
 class Session:
-    """Owns corpus, pre-training cache, fine-tuning, and serving."""
+    """Owns corpus, pre-training cache, fine-tuning, and serving.
+
+    Example (small training budget so the demo finishes in seconds)::
+
+        from repro.api import Session
+        from repro.core import BellamyConfig
+        from repro.data import generate_c3o_dataset
+
+        dataset = generate_c3o_dataset(seed=0)
+        config = BellamyConfig(seed=0).with_overrides(pretrain_epochs=30)
+        session = Session(dataset, config=config)
+        context = dataset.for_algorithm("sgd").contexts()[0]
+        runtime = session.predict(context, [8])       # zero-shot, seconds
+    """
 
     def __init__(
         self,
@@ -59,6 +72,7 @@ class Session:
         config: Optional[BellamyConfig] = None,
         store: Optional[Union[ModelStore, PathLike]] = None,
         seed: Optional[int] = None,
+        model_cache=None,
     ) -> None:
         """
         Parameters
@@ -89,6 +103,14 @@ class Session:
         seed:
             Root seed; per-model training seeds are derived from it.
             Defaults to the config's seed.
+        model_cache:
+            Optional bounded cache governing base-model lifetime (e.g.
+            :class:`repro.serve.LruTtlCache`). When set, :meth:`base_model`
+            and :meth:`load` route through ``model_cache.get_or_load(key,
+            loader)`` instead of the session's unbounded in-memory memo, so
+            an LRU/TTL policy (and its hit/miss counters) decides which
+            warm models stay resident; evicted or expired entries are
+            re-fetched from the :class:`ModelStore` on next use.
         """
         self.corpus = corpus
         self.config = config or BellamyConfig()
@@ -96,6 +118,7 @@ class Session:
             store = ModelStore(store)
         self.store = store
         self.seed = self.config.seed if seed is None else seed
+        self.model_cache = model_cache
         self._models: Dict[_CacheKey, BellamyModel] = {}
         #: Store name each in-memory model was trained/loaded under — may
         #: differ from the default-config name when ``pretrain(epochs=...)``
@@ -105,9 +128,23 @@ class Session:
         #: keyed ``(algorithm, variant, context)`` like the legacy cache.
         self.pretrain_seconds: Dict[Tuple[str, str, str], float] = {}
         #: (source, key) pairs: where each requested base model came from.
+        #: Bounded (newest kept) so a long-lived serving session cannot
+        #: grow it without limit — one entry lands here per base-model
+        #: resolution, i.e. per served batch group.
         self.cache_log: List[Tuple[str, str]] = []
         #: Grouping diagnostics of the most recent :meth:`predict_batch`.
         self.last_batch_stats: Dict[str, int] = {}
+        #: Callables invoked with the stats dict after every
+        #: :meth:`predict_batch` (the serving layer's observability hook).
+        self.batch_hooks: List = []
+
+    #: Newest cache_log entries kept (observability, not an audit trail).
+    _CACHE_LOG_LIMIT = 10_000
+
+    def _log_cache(self, source: str, name: str) -> None:
+        self.cache_log.append((source, name))
+        if len(self.cache_log) > self._CACHE_LOG_LIMIT:
+            del self.cache_log[: len(self.cache_log) - self._CACHE_LOG_LIMIT]
 
     # ------------------------------------------------------------------ #
     # Corpus policies
@@ -297,7 +334,7 @@ class Session:
         self._models[key] = model
         self._model_names[key] = self._store_name(key, config, corpus)
         self.pretrain_seconds[self._timing_key(key)] = result.wall_seconds
-        self.cache_log.append(("train", self._model_names[key]))
+        self._log_cache("train", self._model_names[key])
         if self.store is not None:
             metadata = {
                 "algorithm": result.algorithm,
@@ -316,6 +353,32 @@ class Session:
                 self.store.save(name, model, metadata=metadata)
         return result
 
+    def _fetch_base_model(
+        self,
+        key: _CacheKey,
+        algorithm: Optional[str],
+        variant: str,
+        target: Optional[JobContext],
+        estimator: str,
+    ) -> Tuple[str, str, BellamyModel]:
+        """Resolve a base model *without* memoizing it in the session.
+
+        Used as the loader of the ``model_cache`` path, so entry lifetime is
+        governed by the cache policy alone: an existing in-memory memo entry
+        is promoted (popped) into the cache, otherwise the model is loaded
+        from the store, otherwise pre-trained. Returns
+        ``(source, store_name, model)``.
+        """
+        if key in self._models:
+            return ("memory", self._model_names.pop(key), self._models.pop(key))
+        config = self._effective_config(key, target)
+        corpus = self.corpus_for(algorithm, variant, target)
+        name = self._store_name(key, config, corpus)
+        if self.store is not None and self.store.exists(name):
+            return ("store", name, self.store.load(name))
+        self.pretrain(algorithm, variant=variant, target=target, estimator=estimator)
+        return ("train", self._model_names.pop(key), self._models.pop(key))
+
     def base_model(
         self,
         algorithm: Optional[str],
@@ -326,16 +389,34 @@ class Session:
         """The pre-trained base model for the given slice, cached.
 
         Resolution order: in-memory memo → :class:`ModelStore` (when the
-        session has one) → fresh pre-training (which populates both).
+        session has one) → fresh pre-training (which populates both). With a
+        ``model_cache`` installed, the cache replaces the unbounded memo and
+        its LRU/TTL policy decides residency::
+
+            from repro.serve import LruTtlCache
+            session = Session(corpus, store="models/",
+                              model_cache=LruTtlCache(capacity=8, ttl_s=600))
+            base = session.base_model("sgd")   # miss: store load or pretrain
+            base = session.base_model("sgd")   # hit: served warm
         """
         cls = estimator_class(estimator)
         model_class = getattr(cls, "model_class", "BellamyModel")
         key = self._cache_key(algorithm, variant, target, model_class)
+        if self.model_cache is not None:
+            (source, name, model), hit = self.model_cache.get_or_load(
+                key,
+                lambda: self._fetch_base_model(key, algorithm, variant, target, estimator),
+            )
+            if hit:
+                self._log_cache("cache", name)
+            elif source != "train":  # pretrain() already logged its "train"
+                self._log_cache(source, name)
+            return model
         if key in self._models:
             # Memo hit: no fingerprint to compute — the recorded name (which
             # may carry an overridden budget's digest when an explicit
             # pretrain(epochs=...) seeded this slice) serves the log.
-            self.cache_log.append(("memory", self._model_names[key]))
+            self._log_cache("memory", self._model_names[key])
             return self._models[key]
         if self.store is not None:
             store_name = self._store_name(
@@ -347,7 +428,7 @@ class Session:
                 model = self.store.load(store_name)
                 self._models[key] = model
                 self._model_names[key] = store_name
-                self.cache_log.append(("store", store_name))
+                self._log_cache("store", store_name)
                 return model
         self.pretrain(algorithm, variant=variant, target=target, estimator=estimator)
         return self._models[key]
@@ -366,8 +447,20 @@ class Session:
         self._require_store().save(name, model, metadata=metadata)
 
     def load(self, name: str) -> BellamyModel:
-        """Load a stored model by name."""
-        return self._require_store().load(name)
+        """Load a stored model by name.
+
+        With a ``model_cache`` installed the load is memoized under
+        ``("named", name)`` — repeated serving traffic against a named model
+        costs one disk read per cache lifetime instead of one per call.
+        """
+        store = self._require_store()
+        if self.model_cache is not None:
+            (_, _, model), hit = self.model_cache.get_or_load(
+                ("named", name), lambda: ("store", name, store.load(name))
+            )
+            self._log_cache("cache" if hit else "store", name)
+            return model
+        return store.load(name)
 
     def models(self) -> List[str]:
         """Names of all stored models (empty without a store)."""
@@ -423,14 +516,26 @@ class Session:
         est = self.estimator(name, target=context, variant=variant, **params)
         return est.fit(context, machines, runtimes)
 
-    def _resolve_base(
-        self, context: JobContext, model: Union[None, str, BellamyModel]
+    def resolve_base(
+        self, context: JobContext, model: Union[None, str, BellamyModel] = None
     ) -> BellamyModel:
+        """The base model serving ``context``: ``None`` resolves (pre-training
+        if necessary) the session's per-algorithm model, a string loads from
+        the store, and a :class:`BellamyModel` passes through unchanged.
+        This is the resolution rule of every serving entry point
+        (:meth:`predict`, :meth:`predict_batch`, :meth:`select_scaleout`)::
+
+            base = session.resolve_base(context)            # per-algorithm
+            base = session.resolve_base(context, "sgd-v2")  # stored by name
+        """
         if isinstance(model, BellamyModel):
             return model
         if isinstance(model, str):
             return self.load(model)
         return self.base_model(context.algorithm)
+
+    # Backwards-compatible private alias (pre-serve callers).
+    _resolve_base = resolve_base
 
     def _serving_estimator(
         self,
@@ -477,8 +582,21 @@ class Session:
         )
 
     @staticmethod
-    def _group_fingerprint(request: PredictionRequest) -> Tuple:
-        """Requests with equal fingerprints share one fitted estimator."""
+    def group_fingerprint(request: PredictionRequest) -> Tuple:
+        """The ``(context, training samples)`` coalescing key of a request.
+
+        Requests with equal fingerprints share one fitted estimator in
+        :meth:`predict_batch`; the serving micro-batcher uses the same key
+        to decide which in-flight requests can ride one fit.
+
+        >>> from repro.api import PredictionRequest, Session
+        >>> from repro.data.schema import JobContext
+        >>> ctx = JobContext("sgd", "m4.xlarge", 1000, "dense")
+        >>> a = PredictionRequest(machines=[4], context=ctx)
+        >>> b = PredictionRequest(machines=[8], context=ctx)
+        >>> Session.group_fingerprint(a) == Session.group_fingerprint(b)
+        True
+        """
         samples = Session._request_samples(request)
         if samples is None:
             samples_key = None
@@ -489,11 +607,15 @@ class Session:
             )
         return (request.context.context_id, samples_key)
 
+    # Backwards-compatible private alias (pre-serve callers).
+    _group_fingerprint = group_fingerprint
+
     def predict_batch(
         self,
         requests: Sequence[PredictionRequest],
         model: Union[None, str, BellamyModel] = None,
         max_epochs: Optional[int] = None,
+        exact: bool = False,
     ) -> List[np.ndarray]:
         """Serve many prediction requests; base models come from the cache.
 
@@ -503,7 +625,18 @@ class Session:
         requests (no samples) for the same base model are additionally
         answered by a single vectorized forward pass across contexts
         (:meth:`BellamyModel.predict_batch`). Results keep request order;
-        :attr:`last_batch_stats` records the grouping for observability.
+        :attr:`last_batch_stats` records the grouping for observability, and
+        every callable in :attr:`batch_hooks` is invoked with that dict.
+
+        With ``exact=True`` the vectorized zero-shot path is disabled and
+        every group answers through the same per-group estimator code path
+        as :meth:`predict` — results are then **bit-identical** to serial
+        serving (the vectorized path agrees only to ~1e-12, since one
+        concatenated matmul may round differently than several small ones).
+        The online serving layer (:mod:`repro.serve`) defaults to exact
+        mode so batching composition can never change a response::
+
+            answers = session.predict_batch(requests, exact=True)
         """
         if isinstance(model, str):
             model = self.load(model)  # one disk read for the whole batch
@@ -527,7 +660,7 @@ class Session:
             # Vectorized zero-shot path only for models with the vanilla
             # predict pipeline (graph/GNN variants thread per-context state
             # through predict() and must go through it).
-            if samples is None and type(base).predict is BellamyModel.predict:
+            if samples is None and not exact and type(base).predict is BellamyModel.predict:
                 pending = zero_shot.setdefault(id(base), (base, []))[1]
                 for index in indices:
                     pending.append((index, lead.context, requests[index].machines))
@@ -547,6 +680,8 @@ class Session:
             "finetune_fits": fits,
             "zero_shot_batches": len(zero_shot),
         }
+        for hook in self.batch_hooks:
+            hook(self.last_batch_stats)
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #

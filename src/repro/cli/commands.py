@@ -220,6 +220,91 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------- #
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online prediction service (see ``docs/serving.md``).
+
+    Builds a :class:`repro.api.Session` over the given traces/store, wraps
+    it in a :class:`repro.serve.PredictionServer` (micro-batching + warm
+    -model cache), optionally pre-warms per-algorithm base models, and
+    serves until interrupted — draining the batch queue on shutdown.
+    """
+    from repro.api import Session
+    from repro.serve import HttpServeClient, PredictionServer
+
+    dataset = _load_traces(args.traces, args.seed)
+    config = None
+    if args.pretrain_epochs is not None:
+        from repro.core.config import BellamyConfig
+
+        config = BellamyConfig(seed=args.seed).with_overrides(
+            pretrain_epochs=args.pretrain_epochs
+        )
+    session = Session(dataset, config=config, store=args.store, seed=args.seed)
+    for algorithm in args.warm:
+        print(f"warming base model for {algorithm!r} ...")
+        session.base_model(algorithm)
+
+    log_stream = None
+    if args.log is not None:
+        # Line-buffered so `tail -f` (and a crash) see every request.
+        log_stream = args.log.open("a", encoding="utf-8", buffering=1)
+    server = PredictionServer(
+        session,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        batch_wait_ms=args.batch_window_ms,
+        exact=not args.vectorized,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        log_stream=log_stream,
+    )
+    try:
+        if args.smoke:
+            server.start()
+            client = HttpServeClient(server.url)
+            health = client.healthz()
+            context = dataset.contexts()[0]
+            prediction = client.predict(context, [4, 8])
+            print(
+                f"smoke ok: {server.url} status={health['status']} "
+                f"predicted {[round(p, 1) for p in prediction.tolist()]}s "
+                f"for {context.algorithm}"
+            )
+            return 0
+        print(f"serving on {server.url}  (Ctrl-C to stop)")
+        print(
+            f"batching: <= {args.batch_max} requests / "
+            f"{args.batch_window_ms:.1f} ms window; cache: "
+            f"{args.cache_size} models"
+            + (f", TTL {args.cache_ttl:.0f}s" if args.cache_ttl else "")
+        )
+        # SIGTERM (the container-orchestrator stop signal) drains exactly
+        # like Ctrl-C instead of killing in-flight requests.
+        import signal
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down (draining batch queue) ...")
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        return 0
+    finally:
+        server.close()
+        if log_stream is not None:
+            log_stream.close()
+
+
+# --------------------------------------------------------------------- #
 # experiment
 # --------------------------------------------------------------------- #
 

@@ -105,6 +105,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     models.set_defaults(handler=commands.cmd_models)
 
+    # ------------------------------ serve ------------------------------ #
+    serve = subparsers.add_parser(
+        "serve", help="run the online prediction HTTP service"
+    )
+    serve.add_argument(
+        "--traces", type=Path, default=None,
+        help="CSV of historical executions backing the session "
+        "(default: generated C3O traces)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="session seed")
+    serve.add_argument(
+        "--store", type=Path, default=None,
+        help="model store directory (pre-trained models persist across runs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8265, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--warm", action="append", default=[], metavar="ALGORITHM",
+        help="resolve this algorithm's base model before accepting traffic "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--pretrain-epochs", type=int, default=None,
+        help="override the pre-training budget of models this server trains",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=64,
+        help="flush a micro-batch at this many queued requests",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="flush a micro-batch at latest this long after its first request",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=16,
+        help="warm-model cache capacity (LRU beyond it)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="warm-model TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--vectorized", action="store_true",
+        help="enable the vectorized zero-shot batch path (~1e-12 agreement "
+        "with serial serving instead of bit-identical)",
+    )
+    serve.add_argument(
+        "--log", type=Path, default=None,
+        help="append one JSON line per request to this file",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="start, self-check /healthz and one prediction, then exit "
+        "(used by CI)",
+    )
+    serve.set_defaults(handler=commands.cmd_serve)
+
     # ------------------------------ experiment ------------------------ #
     experiment = subparsers.add_parser(
         "experiment", help="run a paper experiment and render its tables"

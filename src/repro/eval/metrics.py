@@ -25,13 +25,21 @@ def _validate(predictions: np.ndarray, actuals: np.ndarray) -> "tuple[np.ndarray
 
 
 def absolute_errors(predictions, actuals) -> np.ndarray:
-    """Elementwise ``|pred - actual|``."""
+    """Elementwise ``|pred - actual|``.
+
+    >>> absolute_errors([110.0, 190.0], [100.0, 200.0]).tolist()
+    [10.0, 10.0]
+    """
     predictions, actuals = _validate(predictions, actuals)
     return np.abs(predictions - actuals)
 
 
 def relative_errors(predictions, actuals) -> np.ndarray:
-    """Elementwise ``|pred - actual| / actual`` (actuals must be nonzero)."""
+    """Elementwise ``|pred - actual| / actual`` (actuals must be nonzero).
+
+    >>> relative_errors([110.0, 150.0], [100.0, 200.0]).tolist()
+    [0.1, 0.25]
+    """
     predictions, actuals = _validate(predictions, actuals)
     if (actuals == 0).any():
         raise ValueError("relative error undefined for zero actuals")
@@ -39,28 +47,48 @@ def relative_errors(predictions, actuals) -> np.ndarray:
 
 
 def mae(predictions, actuals) -> float:
-    """Mean absolute error."""
+    """Mean absolute error.
+
+    >>> mae([110.0, 180.0], [100.0, 200.0])
+    15.0
+    """
     return float(absolute_errors(predictions, actuals).mean())
 
 
 def mre(predictions, actuals) -> float:
-    """Mean relative error (the paper's headline metric)."""
+    """Mean relative error (the paper's headline metric).
+
+    >>> mre([110.0, 150.0], [100.0, 200.0])
+    0.175
+    """
     return float(relative_errors(predictions, actuals).mean())
 
 
 def mape(predictions, actuals) -> float:
-    """Mean absolute percentage error (MRE * 100)."""
+    """Mean absolute percentage error (MRE * 100).
+
+    >>> round(mape([110.0, 150.0], [100.0, 200.0]), 6)
+    17.5
+    """
     return 100.0 * mre(predictions, actuals)
 
 
 def rmse(predictions, actuals) -> float:
-    """Root mean squared error."""
+    """Root mean squared error.
+
+    >>> rmse([103.0, 196.0], [100.0, 200.0])
+    3.5355339059327378
+    """
     predictions, actuals = _validate(predictions, actuals)
     return float(np.sqrt(np.mean((predictions - actuals) ** 2)))
 
 
 def smape(predictions, actuals) -> float:
-    """Symmetric MAPE in [0, 200]."""
+    """Symmetric MAPE in [0, 200].
+
+    >>> round(smape([110.0], [90.0]), 6)
+    20.0
+    """
     predictions, actuals = _validate(predictions, actuals)
     denominator = (np.abs(predictions) + np.abs(actuals)) / 2.0
     if (denominator == 0).any():
@@ -69,7 +97,11 @@ def smape(predictions, actuals) -> float:
 
 
 def r_squared(predictions, actuals) -> float:
-    """Coefficient of determination."""
+    """Coefficient of determination.
+
+    >>> r_squared([100.0, 200.0], [100.0, 200.0])
+    1.0
+    """
     predictions, actuals = _validate(predictions, actuals)
     total = np.sum((actuals - actuals.mean()) ** 2)
     if total == 0:
@@ -79,7 +111,11 @@ def r_squared(predictions, actuals) -> float:
 
 
 def summary(predictions, actuals) -> Dict[str, float]:
-    """All metrics in one dict."""
+    """All metrics in one dict.
+
+    >>> sorted(summary([110.0], [100.0]))
+    ['mae', 'mre', 'rmse', 'smape']
+    """
     return {
         "mae": mae(predictions, actuals),
         "mre": mre(predictions, actuals),

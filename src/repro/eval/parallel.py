@@ -39,6 +39,14 @@ def jobs_from_env(default: Optional[int] = None) -> Optional[int]:
 
     Unparsable values are ignored rather than raised — a misconfigured
     environment must not break a long experiment run, only serialize it.
+
+    >>> import os
+    >>> os.environ["REPRO_JOBS"] = "3"
+    >>> jobs_from_env()
+    3
+    >>> del os.environ["REPRO_JOBS"]
+    >>> jobs_from_env(default=0)
+    0
     """
     raw = os.environ.get(JOBS_ENV, "").strip()
     if not raw:
@@ -50,7 +58,13 @@ def jobs_from_env(default: Optional[int] = None) -> Optional[int]:
 
 
 def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
-    """Effective worker count for ``n_tasks`` units (env-aware)."""
+    """Effective worker count for ``n_tasks`` units (env-aware).
+
+    >>> resolve_jobs(None, n_tasks=10)  # unset everywhere: serial
+    1
+    >>> resolve_jobs(8, n_tasks=3)      # never more workers than tasks
+    3
+    """
     if jobs is None:
         jobs = jobs_from_env()
     return resolve_workers(jobs, n_tasks)
@@ -67,6 +81,9 @@ def experiment_map(
     keeps the concatenated record stream identical to a serial run. ``fn``
     and the tasks must be picklable when more than one worker is used —
     module-level functions, not closures.
+
+    >>> experiment_map(len, ["ab", "c"], jobs=0)
+    [2, 1]
     """
     if jobs is None:
         jobs = jobs_from_env()

@@ -41,6 +41,10 @@ class MethodSpec:
     ``factory`` is either an estimator registry name (a string, constructed
     with ``params`` via :func:`repro.api.make_estimator`) or a legacy
     callable ``JobContext -> RuntimeModel``.
+
+    >>> spec = MethodSpec.from_registry("nnls", name="NNLS")
+    >>> (spec.name, spec.min_train_points)
+    ('NNLS', 1)
     """
 
     name: str
@@ -87,7 +91,14 @@ class MethodSpec:
 
 @dataclass
 class EvaluationRecord:
-    """One (method, context, split, task) outcome."""
+    """One (method, context, split, task) outcome.
+
+    >>> record = EvaluationRecord("NNLS", "sgd", "ctx", 2, "interpolation",
+    ...                           actual_s=200.0, predicted_s=220.0,
+    ...                           fit_seconds=0.01, epochs_trained=0)
+    >>> (record.absolute_error, record.relative_error)
+    (20.0, 0.1)
+    """
 
     method: str
     algorithm: str
@@ -115,7 +126,12 @@ class EvaluationRecord:
 
 @dataclass
 class ProtocolConfig:
-    """Knobs of the evaluation protocol."""
+    """Knobs of the evaluation protocol.
+
+    >>> config = ProtocolConfig(n_train_values=(1, 2, 3), max_splits=10, seed=0)
+    >>> config.max_splits
+    10
+    """
 
     #: Training-set sizes to evaluate (the paper uses 1..6 for interpolation
     #: and 0..6 for extrapolation; 0 is only meaningful for pre-trained models).
@@ -140,7 +156,14 @@ def evaluate_method_on_split(
     split: Split,
     split_index: int = 0,
 ) -> List[EvaluationRecord]:
-    """Fit one method on one split and score both test tasks."""
+    """Fit one method on one split and score both test tasks.
+
+    One split yields up to two records — the interpolation and the
+    extrapolation test point of the same fit::
+
+        records = evaluate_method_on_split(spec, context, context_data, split)
+        [r.task for r in records]     # ["interpolation", "extrapolation"]
+    """
     machines, runtimes = split_arrays(context_data, split)
     model = as_estimator(method.build(context))
     started = time.perf_counter()
@@ -182,7 +205,12 @@ def evaluate_context(
     """Run the full protocol for one context.
 
     Splits are drawn once per ``n_train`` and shared by all methods, so the
-    comparison between methods is paired (identical training/test points).
+    comparison between methods is paired (identical training/test points)::
+
+        specs = [MethodSpec.from_registry("nnls"), MethodSpec.from_registry("bell")]
+        context_data = dataset.for_context(context.context_id)
+        records = evaluate_context(specs, context_data,
+                                   ProtocolConfig(max_splits=10, seed=0))
     """
     contexts = context_data.contexts()
     if len(contexts) != 1:
@@ -215,6 +243,13 @@ def unique_fits(records: Sequence[EvaluationRecord]) -> List[EvaluationRecord]:
 
     Used when aggregating per-fit quantities (epochs trained, time-to-fit) so
     fits that produced two test records are not double-counted.
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, 0, split_index=0)
+    >>> twin = EvaluationRecord("m", "sgd", "ctx", 2, "extrapolation",
+    ...                         300.0, 330.0, 0.01, 0, split_index=0)
+    >>> len(unique_fits([record, twin]))
+    1
     """
     seen = set()
     out: List[EvaluationRecord] = []
@@ -240,7 +275,15 @@ def aggregate(
     algorithm: Optional[str] = None,
     n_train: Optional[int] = None,
 ) -> List[EvaluationRecord]:
-    """Filter records by any combination of keys."""
+    """Filter records by any combination of keys.
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, 0)
+    >>> len(aggregate([record], task="extrapolation"))
+    0
+    >>> len(aggregate([record], method="m", n_train=2))
+    1
+    """
     out = list(records)
     if task is not None:
         out = [r for r in out if r.task == task]
@@ -254,33 +297,62 @@ def aggregate(
 
 
 def mean_relative_error(records: Sequence[EvaluationRecord]) -> float:
-    """MRE over a set of records (NaN when empty)."""
+    """MRE over a set of records (NaN when empty).
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, 0)
+    >>> mean_relative_error([record])
+    0.1
+    """
     if not records:
         return float("nan")
     return float(np.mean([r.relative_error for r in records]))
 
 
 def mean_absolute_error(records: Sequence[EvaluationRecord]) -> float:
-    """MAE in seconds over a set of records (NaN when empty)."""
+    """MAE in seconds over a set of records (NaN when empty).
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, 0)
+    >>> mean_absolute_error([record])
+    20.0
+    """
     if not records:
         return float("nan")
     return float(np.mean([r.absolute_error for r in records]))
 
 
 def mean_fit_seconds(records: Sequence[EvaluationRecord]) -> float:
-    """Mean time-to-fit over records, counting each fit once per task pair."""
+    """Mean time-to-fit over records, counting each fit once per task pair.
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, fit_seconds=0.5, epochs_trained=0)
+    >>> mean_fit_seconds(unique_fits([record]))
+    0.5
+    """
     if not records:
         return float("nan")
     return float(np.mean([r.fit_seconds for r in records]))
 
 
 def epochs_distribution(records: Sequence[EvaluationRecord]) -> np.ndarray:
-    """Epoch counts of all fits (for the Fig. 7 eCDFs)."""
+    """Epoch counts of all fits (for the Fig. 7 eCDFs).
+
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, epochs_trained=40)
+    >>> epochs_distribution([record]).tolist()
+    [40.0]
+    """
     return np.array(sorted(r.epochs_trained for r in records), dtype=np.float64)
 
 
 def ecdf(values: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    """Empirical CDF: returns (sorted values, cumulative probabilities).
+
+    >>> xs, ps = ecdf([3.0, 1.0])
+    >>> (xs.tolist(), ps.tolist())
+    ([1.0, 3.0], [0.5, 1.0])
+    """
     values = np.sort(np.asarray(values, dtype=np.float64))
     if values.size == 0:
         return values, values

@@ -24,7 +24,13 @@ FORMAT_VERSION = 1
 
 
 def save_records(path: PathLike, records: Sequence[EvaluationRecord]) -> None:
-    """Write evaluation records to a JSON file (parents created)."""
+    """Write evaluation records to a JSON file (parents created).
+
+    Round-trips losslessly with :func:`load_records`::
+
+        save_records("out/records.json", result.records)
+        records = load_records("out/records.json")
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -36,7 +42,16 @@ def save_records(path: PathLike, records: Sequence[EvaluationRecord]) -> None:
 
 
 def load_records(path: PathLike) -> List[EvaluationRecord]:
-    """Read records previously written by :func:`save_records`."""
+    """Read records previously written by :func:`save_records`.
+
+    >>> import tempfile, os
+    >>> record = EvaluationRecord("m", "sgd", "ctx", 2, "interpolation",
+    ...                           200.0, 220.0, 0.01, 0)
+    >>> path = os.path.join(tempfile.mkdtemp(), "records.json")
+    >>> save_records(path, [record])
+    >>> load_records(path) == [record]
+    True
+    """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     if not isinstance(payload, dict) or payload.get("format") != "repro-evaluation-records":
         raise ValueError(f"{path} is not a repro evaluation-records file")

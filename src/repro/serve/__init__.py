@@ -1,0 +1,64 @@
+"""Online prediction serving: the system layer over :mod:`repro.api`.
+
+The library predicts runtimes; this package *serves* those predictions to
+concurrent callers as a long-lived service — the deployment shape the
+paper's cross-context reuse story implies (pre-train once, keep the model
+warm, answer per-context requests as they arrive):
+
+:class:`PredictionServer` / :class:`ServeApp`
+    A threaded stdlib HTTP JSON endpoint (``POST /predict``,
+    ``GET /healthz``, ``GET /stats``) and the transport-independent service
+    behind it, with a structured request log and graceful drain-on-close.
+:class:`MicroBatcher`
+    Coalesces in-flight requests by ``(context, samples)`` fingerprint onto
+    one :meth:`Session.predict_batch <repro.api.session.Session.predict_batch>`
+    call per time/size window — concurrent traffic shares fits.
+:class:`LruTtlCache`
+    Bounded warm-model residency (LRU + TTL, hit/miss/eviction counters,
+    stampede-protected loads) layered over the
+    :class:`~repro.core.persistence.ModelStore`.
+:class:`ServeClient` / :class:`HttpServeClient`
+    In-process and HTTP clients sharing one surface.
+
+End-to-end, in-process (see ``docs/serving.md`` for HTTP deployment)::
+
+    from repro.api import Session
+    from repro.serve import ServeApp, ServeClient
+
+    app = ServeApp(Session(corpus, store="models/"))
+    client = ServeClient(app)
+    runtimes = client.predict(context, [2, 4, 8])     # zero-shot
+    app.close()                                       # drains the queue
+
+Start the same service from the command line with
+``repro-bellamy serve --store models/``.
+"""
+
+from repro.serve.batcher import BatcherClosedError, MicroBatcher
+from repro.serve.cache import FakeClock, LruTtlCache
+from repro.serve.client import HttpServeClient, ServeClient, ServeError
+from repro.serve.schemas import (
+    SchemaError,
+    context_from_payload,
+    context_to_payload,
+    parse_predict_payload,
+    predict_payload,
+)
+from repro.serve.server import PredictionServer, ServeApp
+
+__all__ = [
+    "BatcherClosedError",
+    "FakeClock",
+    "HttpServeClient",
+    "LruTtlCache",
+    "MicroBatcher",
+    "PredictionServer",
+    "SchemaError",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "context_from_payload",
+    "context_to_payload",
+    "parse_predict_payload",
+    "predict_payload",
+]

@@ -1,0 +1,219 @@
+"""Warm-model cache: bounded LRU + TTL residency with stampede protection.
+
+A long-lived prediction server cannot keep every pre-trained base model in
+memory forever (the :class:`~repro.api.Session` memo is unbounded by design —
+it lives for one job, not one deployment). :class:`LruTtlCache` bounds
+residency two ways:
+
+* **capacity** — at most ``capacity`` entries stay warm; the least recently
+  *used* entry is evicted first;
+* **ttl** — an entry older than ``ttl_s`` seconds is expired on access and
+  reloaded (for base models: re-fetched from the
+  :class:`~repro.core.persistence.ModelStore`), so a redeployed store is
+  picked up without a restart.
+
+Concurrent misses for the same key are **coalesced**: one caller runs the
+loader while the others block on its result, so a traffic spike against a
+cold model triggers exactly one store read / pre-training run (no cache
+stampede). All counters are exposed for the server's ``/stats`` endpoint.
+
+The cache is generic — values are whatever the loader returns:
+
+>>> clock = FakeClock()
+>>> cache = LruTtlCache(capacity=2, ttl_s=10.0, clock=clock)
+>>> cache.get_or_load("a", lambda: "alpha")
+('alpha', False)
+>>> cache.get_or_load("a", lambda: "alpha")     # warm: loader not called
+('alpha', True)
+>>> clock.advance(11.0)                         # past the TTL
+>>> cache.get_or_load("a", lambda: "alpha2")    # expired: reloaded
+('alpha2', False)
+>>> stats = cache.stats()
+>>> (stats["hits"], stats["misses"], stats["expirations"])
+(1, 2, 1)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic TTL tests.
+
+    >>> clock = FakeClock()
+    >>> clock.advance(2.5); clock()
+    2.5
+    """
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds``."""
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _InFlight:
+    """One loader execution other threads can wait on."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class LruTtlCache:
+    """Thread-safe LRU + TTL cache with per-key load coalescing.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident entries (least recently used evicted).
+    ttl_s:
+        Seconds an entry stays valid; ``None`` disables expiry.
+    clock:
+        Monotonic time source (injectable for tests, e.g. :class:`FakeClock`).
+
+    Example::
+
+        cache = LruTtlCache(capacity=8, ttl_s=600.0)
+        model, hit = cache.get_or_load(("sgd", "full"), load_from_store)
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive (or None), got {ttl_s}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, loaded_at)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
+        self._loading: Dict[Hashable, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._coalesced = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _expired(self, loaded_at: float) -> bool:
+        return self.ttl_s is not None and self._clock() - loaded_at > self.ttl_s
+
+    def get_or_load(
+        self, key: Hashable, loader: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """The cached value for ``key``, loading it on miss/expiry.
+
+        Returns ``(value, hit)``. Concurrent callers missing on the same key
+        share a single ``loader`` call (counted under ``coalesced_loads``);
+        a loader exception is propagated to every waiter and nothing is
+        cached. This is the interface
+        :class:`~repro.api.Session` expects of its ``model_cache`` hook.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, loaded_at = entry
+                if not self._expired(loaded_at):
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return value, True
+                del self._entries[key]
+                self._expirations += 1
+            in_flight = self._loading.get(key)
+            if in_flight is None:
+                in_flight = _InFlight()
+                self._loading[key] = in_flight
+                self._misses += 1
+                owner = True
+            else:
+                self._coalesced += 1
+                owner = False
+        if not owner:
+            # Coalesced waiter: adopt the owner's result as-is (it is at
+            # most one load old — no TTL re-check, no retry loop).
+            in_flight.done.wait()
+            if in_flight.error is not None:
+                raise in_flight.error
+            return in_flight.value, False
+        try:
+            value = loader()
+        except BaseException as error:  # propagate to every waiter
+            in_flight.error = error
+            raise
+        finally:
+            with self._lock:
+                del self._loading[key]
+                if in_flight.error is None:
+                    in_flight.value = value
+                    self._insert(key, value)
+            in_flight.done.set()
+        return in_flight.value, False
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        """Insert under the lock, evicting LRU entries beyond capacity."""
+        self._entries[key] = (value, self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was resident."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> List[Hashable]:
+        """Resident keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry[1])
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot (the server's ``/stats`` cache section).
+
+        Keys: ``size``, ``capacity``, ``ttl_s``, ``hits``, ``misses``,
+        ``evictions``, ``expirations``, ``coalesced_loads``.
+        """
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "ttl_s": self.ttl_s,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "coalesced_loads": self._coalesced,
+            }

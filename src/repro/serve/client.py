@@ -1,0 +1,157 @@
+"""Clients of the prediction service: in-process and HTTP.
+
+Both speak the same surface — ``predict`` / ``healthz`` / ``stats`` — so a
+test written against the in-process :class:`ServeClient` exercises exactly
+the request path a production :class:`HttpServeClient` would:
+
+:class:`ServeClient`
+    Drives a :class:`~repro.serve.server.ServeApp` directly (no sockets).
+    This is the client tests and notebooks should use.
+:class:`HttpServeClient`
+    ``urllib``-based client of a running
+    :class:`~repro.serve.server.PredictionServer`.
+
+Non-2xx responses raise :class:`ServeError` carrying the structured body::
+
+    client = ServeClient(app)
+    try:
+        client.predict(context, [0])      # invalid scale-out
+    except ServeError as error:
+        error.status                      # 400
+        error.payload["field"]            # "machines"
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import JobContext
+from repro.serve.schemas import predict_payload
+from repro.serve.server import ServeApp
+
+
+class ServeError(RuntimeError):
+    """A non-2xx service response; carries ``status`` and the JSON body.
+
+    >>> error = ServeError(400, {"error": "bad_request", "field": "machines"})
+    >>> (error.status, error.payload["field"])
+    (400, 'machines')
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+def _samples_payload(
+    samples: Optional[Tuple[Sequence[float], Sequence[float]]],
+) -> Optional[Dict[str, Sequence[float]]]:
+    if samples is None:
+        return None
+    return {"machines": samples[0], "runtimes": samples[1]}
+
+
+class _BaseClient:
+    """Shared request surface; subclasses provide ``_request``."""
+
+    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        raise NotImplementedError
+
+    def _checked(self, method: str, path: str, payload: Any = None) -> Dict[str, Any]:
+        status, body = self._request(method, path, payload)
+        if status >= 300:
+            raise ServeError(status, body)
+        return body
+
+    def predict(
+        self,
+        context: JobContext,
+        machines: Sequence[float],
+        samples: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        model: Optional[str] = None,
+    ) -> np.ndarray:
+        """Predict runtimes for ``context`` at the given scale-outs.
+
+        ``samples=(machines, runtimes)`` requests a few-shot fine-tune;
+        ``model`` selects a stored model by name. Mirrors
+        :meth:`repro.api.Session.predict`, served remotely::
+
+            runtimes = client.predict(context, [2, 4, 8])
+        """
+        body = self._checked(
+            "POST",
+            "/predict",
+            predict_payload(context, machines, _samples_payload(samples), model),
+        )
+        return np.asarray(body["predictions_s"], dtype=np.float64)
+
+    def predict_response(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a raw predict body and return the raw JSON response."""
+        return self._checked("POST", "/predict", payload)
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness summary (``GET /healthz``)."""
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's counter snapshot (``GET /stats``)."""
+        return self._checked("GET", "/stats")
+
+
+class ServeClient(_BaseClient):
+    """In-process client: calls the app's ``handle`` directly (no sockets).
+
+    Example::
+
+        app = ServeApp(session)
+        client = ServeClient(app)
+        runtimes = client.predict(context, [4, 8])
+        client.healthz()["status"]          # "ok"
+    """
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+
+    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        return self.app.handle(method, path, payload)
+
+
+class HttpServeClient(_BaseClient):
+    """HTTP client of a running :class:`PredictionServer` (stdlib only).
+
+    Example::
+
+        with PredictionServer(session, port=0) as server:
+            client = HttpServeClient(server.url)
+            runtimes = client.predict(context, [4, 8])
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                payload = {"error": "non_json_response", "detail": body}
+            return error.code, payload

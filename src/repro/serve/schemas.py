@@ -1,0 +1,243 @@
+"""Wire schemas of the online prediction service.
+
+One place defines how JSON requests become :class:`~repro.api.PredictionRequest`
+objects and how predictions/errors go back out, so the HTTP server, the
+in-process test client, and the CLI agree byte-for-byte on the protocol.
+
+A predict payload carries a context, the scale-outs to predict, and optional
+few-shot training samples:
+
+>>> payload = {
+...     "context": {"algorithm": "sgd", "node_type": "m4.2xlarge",
+...                 "dataset_mb": 19353, "dataset_characteristics": "dense"},
+...     "machines": [2, 4, 8],
+...     "samples": {"machines": [2, 6], "runtimes": [500.0, 300.0]},
+... }
+>>> request = parse_predict_payload(payload)
+>>> request.context.algorithm
+'sgd'
+>>> list(request.machines)
+[2.0, 4.0, 8.0]
+
+Malformed payloads raise :class:`SchemaError` with the offending field, which
+the server renders as a structured 400:
+
+>>> try:
+...     parse_predict_payload({"machines": []})
+... except SchemaError as error:
+...     (error.field, str(error))
+('machines', 'machines must be a non-empty list of positive numbers')
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.estimator import PredictionRequest
+from repro.data.schema import JobContext
+
+
+class SchemaError(ValueError):
+    """A malformed request payload; ``field`` names the offending key.
+
+    Servers map this to a structured 400 response::
+
+        {"error": "bad_request", "field": "machines", "detail": "..."}
+
+    >>> SchemaError("machines", "must be a list").field
+    'machines'
+    """
+
+    def __init__(self, field: str, detail: str) -> None:
+        super().__init__(detail)
+        self.field = field
+        self.detail = detail
+
+    def payload(self) -> Dict[str, str]:
+        """The JSON body a server should answer with (status 400)."""
+        return {"error": "bad_request", "field": self.field, "detail": self.detail}
+
+
+#: Context keys the wire protocol accepts, with (required, converter).
+_CONTEXT_FIELDS = {
+    "algorithm": (True, str),
+    "node_type": (True, str),
+    "dataset_mb": (True, int),
+    "dataset_characteristics": (False, str),
+    "environment": (False, str),
+    "software": (False, str),
+}
+
+
+def context_from_payload(payload: Any) -> JobContext:
+    """Build a :class:`JobContext` from a JSON-decoded ``context`` object.
+
+    Required keys: ``algorithm``, ``node_type``, ``dataset_mb``. Optional:
+    ``dataset_characteristics``, ``environment``, ``software``, and
+    ``job_params`` (a string-to-string object, order preserved).
+
+    >>> ctx = context_from_payload({"algorithm": "sgd", "node_type": "m4",
+    ...                             "dataset_mb": 100, "job_params": {"k": "10"}})
+    >>> ctx.params_text
+    'k=10'
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("context", "context must be a JSON object")
+    kwargs: Dict[str, Any] = {}
+    for key, (required, convert) in _CONTEXT_FIELDS.items():
+        if key not in payload:
+            if required:
+                raise SchemaError(f"context.{key}", f"context.{key} is required")
+            continue
+        try:
+            kwargs[key] = convert(payload[key])
+        except (TypeError, ValueError):
+            raise SchemaError(
+                f"context.{key}",
+                f"context.{key} must be {convert.__name__}-coercible, "
+                f"got {payload[key]!r}",
+            ) from None
+    params = payload.get("job_params", {})
+    if not isinstance(params, dict) or not all(
+        isinstance(k, str) for k in params
+    ):
+        raise SchemaError("context.job_params", "job_params must be a string-keyed object")
+    kwargs["job_params"] = tuple((k, str(v)) for k, v in params.items())
+    kwargs.setdefault("dataset_characteristics", "")
+    unknown = set(payload) - set(_CONTEXT_FIELDS) - {"job_params"}
+    if unknown:
+        raise SchemaError("context", f"unknown context key(s): {sorted(unknown)}")
+    try:
+        return JobContext(**kwargs)
+    except ValueError as error:
+        raise SchemaError("context", str(error)) from None
+
+
+def context_to_payload(context: JobContext) -> Dict[str, Any]:
+    """The wire form of a context (inverse of :func:`context_from_payload`).
+
+    >>> ctx = JobContext("sgd", "m4", 100, "dense")
+    >>> context_from_payload(context_to_payload(ctx)) == ctx
+    True
+    """
+    return {
+        "algorithm": context.algorithm,
+        "node_type": context.node_type,
+        "dataset_mb": context.dataset_mb,
+        "dataset_characteristics": context.dataset_characteristics,
+        "job_params": dict(context.job_params),
+        "environment": context.environment,
+        "software": context.software,
+    }
+
+
+def _machines_list(value: Any, field: str) -> List[float]:
+    if (
+        not isinstance(value, (list, tuple))
+        or not value
+        or not all(isinstance(m, (int, float)) and not isinstance(m, bool) and m > 0 for m in value)
+    ):
+        raise SchemaError(field, f"{field} must be a non-empty list of positive numbers")
+    return [float(m) for m in value]
+
+
+def parse_predict_payload(payload: Any) -> PredictionRequest:
+    """A :class:`~repro.api.PredictionRequest` from a JSON predict body.
+
+    Expected shape (``samples`` optional — omit it for zero-shot)::
+
+        {"context": {...}, "machines": [2, 4, 8],
+         "samples": {"machines": [...], "runtimes": [...]}}
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("body", "request body must be a JSON object")
+    unknown = set(payload) - {"context", "machines", "samples", "model"}
+    if unknown:
+        raise SchemaError("body", f"unknown request key(s): {sorted(unknown)}")
+    machines = _machines_list(payload.get("machines"), "machines")
+    context = context_from_payload(payload.get("context"))
+    train_machines: Optional[List[float]] = None
+    train_runtimes: Optional[List[float]] = None
+    if payload.get("samples") is not None:
+        samples = payload["samples"]
+        if not isinstance(samples, dict):
+            raise SchemaError("samples", "samples must be an object with machines/runtimes")
+        train_machines = _machines_list(samples.get("machines"), "samples.machines")
+        runtimes = samples.get("runtimes")
+        if (
+            not isinstance(runtimes, (list, tuple))
+            or not all(isinstance(r, (int, float)) and not isinstance(r, bool) and r > 0 for r in runtimes)
+        ):
+            raise SchemaError(
+                "samples.runtimes", "samples.runtimes must be a list of positive numbers"
+            )
+        train_runtimes = [float(r) for r in runtimes]
+        if len(train_machines) != len(train_runtimes):
+            raise SchemaError(
+                "samples",
+                f"samples.machines ({len(train_machines)}) and samples.runtimes "
+                f"({len(train_runtimes)}) must have equal length",
+            )
+    return PredictionRequest(
+        machines=machines,
+        context=context,
+        train_machines=train_machines,
+        train_runtimes=train_runtimes,
+    )
+
+
+def parse_model_name(payload: Any) -> Optional[str]:
+    """The optional ``model`` field (a :class:`ModelStore` name) of a body.
+
+    >>> parse_model_name({"model": "sgd-base"})
+    'sgd-base'
+    >>> parse_model_name({}) is None
+    True
+    """
+    if not isinstance(payload, dict):
+        return None
+    model = payload.get("model")
+    if model is None:
+        return None
+    if not isinstance(model, str) or not model:
+        raise SchemaError("model", "model must be a non-empty store-name string")
+    return model
+
+
+def predict_payload(
+    context: JobContext,
+    machines: Sequence[float],
+    samples: Optional[Dict[str, Sequence[float]]] = None,
+    model: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble a predict body (the client-side inverse of the parser).
+
+    >>> ctx = JobContext("sgd", "m4", 100, "dense")
+    >>> body = predict_payload(ctx, [4, 8])
+    >>> sorted(body)
+    ['context', 'machines']
+    """
+    body: Dict[str, Any] = {
+        "context": context_to_payload(context),
+        "machines": [float(m) for m in machines],
+    }
+    if samples is not None:
+        body["samples"] = {
+            "machines": [float(m) for m in samples["machines"]],
+            "runtimes": [float(r) for r in samples["runtimes"]],
+        }
+    if model is not None:
+        body["model"] = model
+    return body
+
+
+def prediction_to_payload(prediction: np.ndarray, request: PredictionRequest) -> Dict[str, Any]:
+    """The 200 response body for one served prediction."""
+    return {
+        "predictions_s": [float(p) for p in np.asarray(prediction).reshape(-1)],
+        "machines": [float(m) for m in request.machines],
+        "context_id": request.context.context_id if request.context else None,
+        "zero_shot": request.train_machines is None,
+    }

@@ -1,0 +1,385 @@
+"""The online prediction service: transport-independent app + HTTP server.
+
+Two layers, so tests and the CLI share one request path:
+
+:class:`ServeApp`
+    The service itself — routing, schema validation, micro-batching, the
+    warm-model cache, counters, and the structured request log. It speaks
+    ``handle(method, path, payload) -> (status, body)`` and knows nothing
+    about sockets; the in-process :class:`~repro.serve.client.ServeClient`
+    drives it directly.
+:class:`PredictionServer`
+    A stdlib :class:`http.server.ThreadingHTTPServer` front-end: one thread
+    per connection, JSON in/out, delegating every request to the app.
+    ``close()`` is graceful — the listener stops, then the batcher drains,
+    so every accepted request is answered.
+
+Endpoints:
+
+=========  ==========  ====================================================
+method     path        body / response
+=========  ==========  ====================================================
+``POST``   /predict    predict body (see :mod:`repro.serve.schemas`) →
+                       ``{"predictions_s": [...], ...}``
+``GET``    /healthz    liveness: ``{"status": "ok", ...}``
+``GET``    /stats      counters: requests, cache, batcher sections
+=========  ==========  ====================================================
+
+Responses are deterministic under a fixed session seed: batching runs in
+``exact`` mode by default, so a prediction's bytes do not depend on which
+requests happened to share its batch.
+
+In-process example (no sockets; see ``docs/serving.md`` for the HTTP way)::
+
+    app = ServeApp(session)
+    status, body = app.handle("POST", "/predict", payload)
+    app.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, IO, Optional, Tuple
+
+from repro.api.session import Session
+from repro.serve.batcher import BatcherClosedError, MicroBatcher
+from repro.serve.cache import LruTtlCache
+from repro.serve.schemas import (
+    SchemaError,
+    parse_model_name,
+    parse_predict_payload,
+    prediction_to_payload,
+)
+
+JsonDict = Dict[str, Any]
+
+
+class ServeApp:
+    """The prediction service, independent of any transport.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.api.Session` answering predictions.
+    batcher:
+        A :class:`~repro.serve.batcher.MicroBatcher`; built from
+        ``batch_max``/``batch_wait_ms``/``exact`` when omitted.
+    cache:
+        A :class:`~repro.serve.cache.LruTtlCache` installed as the session's
+        warm-model cache; built from ``cache_size``/``cache_ttl_s`` when
+        omitted. Pass ``cache=False`` to leave the session's own unbounded
+        memo in charge.
+    log_stream:
+        Optional text stream receiving one JSON line per request (the
+        structured request log); the newest ``log_size`` entries are always
+        kept in memory for ``/stats`` debugging either way.
+
+    Example::
+
+        app = ServeApp(session, batch_max=64, batch_wait_ms=2.0,
+                       cache_size=8, cache_ttl_s=600.0)
+        status, body = app.handle("GET", "/healthz", None)
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        batcher: Optional[MicroBatcher] = None,
+        cache: Any = None,
+        batch_max: int = 64,
+        batch_wait_ms: float = 2.0,
+        exact: bool = True,
+        cache_size: int = 16,
+        cache_ttl_s: Optional[float] = None,
+        log_stream: Optional[IO[str]] = None,
+        log_size: int = 1000,
+    ) -> None:
+        self.session = session
+        if cache is None:
+            cache = LruTtlCache(capacity=cache_size, ttl_s=cache_ttl_s)
+        if cache is not False and session.model_cache is None:
+            session.model_cache = cache
+        self.cache = session.model_cache if cache is not False else None
+        self.batcher = batcher or MicroBatcher(
+            session, max_batch=batch_max, max_wait_ms=batch_wait_ms, exact=exact
+        )
+        self._log_stream = log_stream
+        self._log: "deque[JsonDict]" = deque(maxlen=log_size)
+        self._log_lock = threading.Lock()
+        self._seq = 0
+        self._started = time.monotonic()
+        self._counts = {"served": 0, "client_errors": 0, "server_errors": 0}
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def handle(
+        self, method: str, path: str, payload: Any
+    ) -> Tuple[int, JsonDict]:
+        """Serve one request; returns ``(status, response_body)``.
+
+        Unknown routes give 404, wrong methods 405, malformed bodies a
+        structured 400, serving after :meth:`close` 503 — every outcome is
+        JSON and lands in the request log.
+        """
+        started = time.perf_counter()
+        path = path.partition("?")[0].partition("#")[0]  # probes may add queries
+        route = (method.upper(), path.rstrip("/") or "/")
+        if route == ("POST", "/predict"):
+            status, body, context_id = self._predict(payload)
+        elif route == ("GET", "/healthz"):
+            status, body, context_id = (200, self.healthz(), None)
+        elif route == ("GET", "/stats"):
+            status, body, context_id = (200, self.stats(), None)
+        elif path.rstrip("/") in ("/predict", "/healthz", "/stats"):
+            status, body, context_id = (
+                405,
+                {"error": "method_not_allowed", "detail": f"{method} {path}"},
+                None,
+            )
+        else:
+            status, body, context_id = (
+                404,
+                {"error": "not_found", "detail": f"no route {path!r}"},
+                None,
+            )
+        self._record(method, path, status, started, context_id)
+        return status, body
+
+    def _bump(self, key: str) -> None:
+        with self._log_lock:
+            self._counts[key] += 1
+
+    def _predict(self, payload: Any) -> Tuple[int, JsonDict, Optional[str]]:
+        try:
+            request = parse_predict_payload(payload)
+            model = parse_model_name(payload)
+        except SchemaError as error:
+            self._bump("client_errors")
+            return 400, error.payload(), None
+        context_id = request.context.context_id if request.context else None
+        try:
+            if model is not None:
+                # Named-model requests skip the batcher (it serves the
+                # session's default base); drain semantics still apply.
+                if self.batcher.closed:
+                    raise BatcherClosedError("server is draining")
+                base = self.session.load(model)
+                prediction = self.session.predict_batch(
+                    [request], model=base, exact=self.batcher.exact
+                )[0]
+            else:
+                prediction = self.batcher.submit(request)
+        except BatcherClosedError:
+            self._bump("server_errors")
+            return 503, {"error": "shutting_down", "detail": "server is draining"}, context_id
+        except FileNotFoundError as error:
+            self._bump("client_errors")
+            return 404, {"error": "unknown_model", "detail": str(error)}, context_id
+        except ValueError as error:
+            self._bump("client_errors")
+            return 400, {"error": "bad_request", "field": "body", "detail": str(error)}, context_id
+        except Exception as error:  # the service must never die on a request
+            self._bump("server_errors")
+            return 500, {"error": "internal", "detail": f"{type(error).__name__}: {error}"}, context_id
+        self._bump("served")
+        return 200, prediction_to_payload(prediction, request), context_id
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> JsonDict:
+        """Liveness summary (the ``/healthz`` body)."""
+        return {
+            "status": "draining" if self.batcher.closed else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "served": self._counts["served"],
+        }
+
+    def stats(self) -> JsonDict:
+        """Counter snapshot (the ``/stats`` body): requests, cache, batcher."""
+        return {
+            "requests": dict(self._counts),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "batcher": self.batcher.stats(),
+            "session": dict(self.session.last_batch_stats),
+        }
+
+    def _record(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        started: float,
+        context_id: Optional[str],
+    ) -> None:
+        entry: JsonDict = {
+            "seq": 0,
+            "method": method.upper(),
+            "path": path,
+            "status": status,
+            "latency_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        if context_id is not None:
+            entry["context_id"] = context_id
+        with self._log_lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            self._log.append(entry)
+            if self._log_stream is not None:
+                self._log_stream.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def request_log(self) -> Tuple[JsonDict, ...]:
+        """The newest structured request-log entries (oldest first)."""
+        with self._log_lock:
+            return tuple(dict(entry) for entry in self._log)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain the batch queue and stop serving predictions.
+
+        Requests already submitted are answered; later predicts get 503.
+        """
+        self.batcher.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON plumbing between one HTTP connection and the :class:`ServeApp`."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, body: JsonDict) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, payload: Any) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        status, body = app.handle(self.command, self.path, payload)
+        self._respond(status, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(None)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._respond(
+                400,
+                {"error": "bad_request", "field": "body", "detail": f"invalid JSON: {error}"},
+            )
+            return
+        self._dispatch(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the stderr access log; the app keeps a structured one."""
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    """Threaded server tuned for bursty traffic.
+
+    The stdlib default listen backlog (5) resets connections when hundreds
+    of clients connect in the same instant; a deeper backlog lets the
+    kernel queue the burst while handler threads spin up.
+    """
+
+    daemon_threads = True
+    request_queue_size = 512
+
+
+class PredictionServer:
+    """Threaded HTTP front-end of a :class:`ServeApp`.
+
+    Accepts concurrent connections (one thread each — stdlib
+    ``ThreadingHTTPServer``); all requests funnel into the app's
+    micro-batcher, which is what turns concurrency into batched fits.
+
+    Usable as a context manager; ``port=0`` picks a free port::
+
+        with PredictionServer(session, port=0) as server:
+            print(server.url)          # e.g. http://127.0.0.1:40931
+            ...                        # point HttpServeClient at it
+    """
+
+    def __init__(
+        self,
+        session_or_app: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **app_kwargs: Any,
+    ) -> None:
+        if isinstance(session_or_app, ServeApp):
+            if app_kwargs:
+                raise ValueError("pass app options to ServeApp, not PredictionServer")
+            self.app = session_or_app
+        else:
+            self.app = ServeApp(session_or_app, **app_kwargs)
+        self._httpd = _ThreadingServer((host, port), _Handler)
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even for ``port=0``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PredictionServer":
+        """Serve in a background thread; returns ``self``."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (CLI mode)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, then drain the batch queue."""
+        if self._serving:
+            # Only sensible when a serve loop ran: BaseServer.shutdown()
+            # waits on an event that serve_forever sets on exit, so calling
+            # it on a never-served server would block forever.
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

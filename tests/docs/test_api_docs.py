@@ -1,0 +1,68 @@
+"""The generated API reference must match the live docstrings."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_generator():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    return gen_api_docs
+
+
+def test_api_md_is_fresh():
+    """`docs/api.md` equals a fresh render (what CI's --check enforces)."""
+    generator = _load_generator()
+    on_disk = (REPO_ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    assert on_disk == generator.render(), (
+        "docs/api.md is stale; regenerate with "
+        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+    )
+
+
+def test_api_md_covers_all_public_symbols():
+    import importlib
+
+    generator = _load_generator()
+    text = (REPO_ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    for package in generator.PACKAGES:
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert f"`{name}" in text or f"{package}.{name}" in text, (
+                f"{package}.{name} missing from docs/api.md"
+            )
+
+
+def test_check_mode_detects_staleness(tmp_path):
+    """--check exits 1 against a stale copy and 0 against a fresh one."""
+    stale = tmp_path / "api.md"
+    stale.write_text("# stale\n", encoding="utf-8")
+    script = REPO_ROOT / "tools" / "gen_api_docs.py"
+    env_path = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, str(script), "--check", "--out", str(stale)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1
+    assert "stale" in result.stderr
+    result = subprocess.run(
+        [sys.executable, str(script), "--out", str(stale)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    result = subprocess.run(
+        [sys.executable, str(script), "--check", "--out", str(stale)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0

@@ -1,0 +1,81 @@
+"""Docstring quality gates for the consumer-facing packages.
+
+Two guarantees over ``repro.api``, ``repro.serve``, and ``repro.eval``:
+
+1. every public symbol (``__all__``) has a non-empty, example-bearing
+   docstring — an example is a doctest (``>>>``) or a literal code block
+   (a line ending in ``::``);
+2. every doctest in those packages passes (so the examples in the
+   generated ``docs/api.md`` are executable truth, not decoration).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import inspect
+import pkgutil
+import re
+
+import pytest
+
+PACKAGES = ("repro.api", "repro.serve", "repro.eval")
+
+_EXAMPLE_RE = re.compile(r"::\s*$", re.M)
+
+
+def _has_example(doc: str) -> bool:
+    return ">>>" in doc or _EXAMPLE_RE.search(doc) is not None
+
+
+def _public_symbols():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        assert module.__all__, f"{package} must declare __all__"
+        for name in module.__all__:
+            yield package, name, getattr(module, name)
+
+
+def _all_modules():
+    names = []
+    for package in PACKAGES:
+        pkg = importlib.import_module(package)
+        names.append(package)
+        for info in pkgutil.walk_packages(pkg.__path__, prefix=package + "."):
+            names.append(info.name)
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize(
+    "package, name, obj",
+    [pytest.param(p, n, o, id=f"{p}.{n}") for p, n, o in _public_symbols()],
+)
+def test_public_symbol_has_example_bearing_docstring(package, name, obj):
+    if not (inspect.isclass(obj) or inspect.isfunction(obj) or inspect.ismodule(obj)):
+        return  # constants (e.g. JOBS_ENV) cannot carry their own docstring
+    doc = inspect.getdoc(obj) or ""
+    assert doc.strip(), f"{package}.{name} has a missing/empty docstring"
+    if inspect.ismodule(obj):
+        return  # submodules document themselves symbol by symbol
+    assert _has_example(doc), (
+        f"{package}.{name} has no usage example in its docstring "
+        "(add a '>>> ' doctest or a '::' literal block)"
+    )
+
+
+def test_package_modules_have_docstrings():
+    for name in _all_modules():
+        module = importlib.import_module(name)
+        doc = (module.__doc__ or "").strip()
+        assert doc, f"module {name} has no docstring"
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_doctests_pass(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert result.failed == 0, (
+        f"{result.failed} doctest example(s) failed in {module_name}"
+    )

@@ -1,0 +1,51 @@
+"""Smoke pass over ``examples/``: every script runs and produces output.
+
+Gated behind ``REPRO_RUN_EXAMPLES=1`` (the CI docs job sets it) because
+even at the tiny ``REPRO_EXAMPLE_EPOCHS`` budget the full pass costs
+minutes, not seconds. Each example must exit 0 **and** print something —
+``examples/_util.run_main`` turns an example that silently does nothing
+into a failure, and this harness asserts the same from the outside.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = sorted(
+    path for path in (REPO_ROOT / "examples").glob("*.py")
+    if not path.name.startswith("_")
+)
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_EXAMPLES") != "1",
+    reason="examples smoke pass is opt-in: set REPRO_RUN_EXAMPLES=1",
+)
+
+
+def test_examples_are_discovered():
+    assert len(EXAMPLES) >= 9
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_and_prints(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.setdefault("REPRO_EXAMPLE_EPOCHS", "3")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,  # examples may write scratch files
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed ({result.returncode}):\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"

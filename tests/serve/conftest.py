@@ -1,0 +1,38 @@
+"""Shared fixtures of the serving tests: one small warm session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+
+
+def _small_config(seed: int = 0) -> BellamyConfig:
+    return BellamyConfig(seed=seed).with_overrides(
+        pretrain_epochs=20, finetune_max_epochs=60, finetune_patience=30
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config() -> BellamyConfig:
+    """A training budget small enough for sub-second pre-training."""
+    return _small_config()
+
+
+@pytest.fixture(scope="session")
+def serve_session(c3o_dataset) -> Session:
+    """A session over the C3O corpus with the SGD base model warm.
+
+    Shared across serving tests (read-mostly); tests that install caches or
+    mutate session state build their own session instead.
+    """
+    session = Session(c3o_dataset, config=_small_config())
+    session.base_model("sgd")
+    return session
+
+
+@pytest.fixture()
+def fresh_session(c3o_dataset) -> Session:
+    """A session safe to mutate (cache installation, store wiring)."""
+    return Session(c3o_dataset, config=_small_config())

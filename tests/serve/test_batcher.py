@@ -1,0 +1,220 @@
+"""Micro-batching: coalescing, exactness, draining, failure propagation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionRequest, Session
+from repro.data.schema import JobContext
+from repro.serve import BatcherClosedError, MicroBatcher
+
+
+class StubSession:
+    """A predict_batch-shaped double recording the calls it serves."""
+
+    def __init__(self, delay_s: float = 0.0, fail: bool = False) -> None:
+        self.calls = []
+        self.delay_s = delay_s
+        self.fail = fail
+        self.last_batch_stats = {}
+
+    def predict_batch(self, requests, model=None, max_epochs=None, exact=False):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("backend exploded")
+        self.calls.append([r.machines for r in requests])
+        groups = {Session.group_fingerprint(r) for r in requests}
+        self.last_batch_stats = {
+            "requests": len(requests),
+            "groups": len(groups),
+            "finetune_fits": 0,
+            "zero_shot_batches": 0,
+        }
+        return [np.asarray(r.machines, dtype=np.float64) * 2.0 for r in requests]
+
+
+def _context(tag: str = "a") -> JobContext:
+    return JobContext("sgd", f"m4.{tag}", 1000, "dense")
+
+
+def _submit_concurrently(batcher, requests):
+    results = [None] * len(requests)
+    errors = [None] * len(requests)
+    barrier = threading.Barrier(len(requests))
+
+    def worker(index):
+        barrier.wait()
+        try:
+            results[index] = batcher.submit(requests[index])
+        except BaseException as error:  # collected for assertions
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(len(requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+def test_concurrent_requests_ride_one_batch():
+    stub = StubSession()
+    batcher = MicroBatcher(stub, max_batch=16, max_wait_ms=150.0)
+    try:
+        requests = [
+            PredictionRequest(machines=[float(i + 1)], context=_context())
+            for i in range(8)
+        ]
+        results, errors = _submit_concurrently(batcher, requests)
+        assert errors == [None] * 8
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result, [(i + 1) * 2.0])
+        stats = batcher.stats()
+        assert stats["batches"] == 1
+        assert stats["largest_batch"] == 8
+        assert stats["largest_group"] == 8  # all share the fingerprint
+        assert stats["mean_batch_size"] == 8.0
+    finally:
+        batcher.close()
+
+
+def test_max_batch_splits_flushes():
+    stub = StubSession()
+    batcher = MicroBatcher(stub, max_batch=3, max_wait_ms=150.0)
+    try:
+        requests = [
+            PredictionRequest(machines=[1.0], context=_context(str(i)))
+            for i in range(7)
+        ]
+        _, errors = _submit_concurrently(batcher, requests)
+        assert errors == [None] * 7
+        assert all(len(call) <= 3 for call in stub.calls)
+        assert sum(len(call) for call in stub.calls) == 7
+    finally:
+        batcher.close()
+
+
+def test_idle_batcher_serves_single_request_within_window():
+    stub = StubSession()
+    batcher = MicroBatcher(stub, max_batch=64, max_wait_ms=10.0)
+    try:
+        result = batcher.submit(PredictionRequest(machines=[4.0], context=_context()))
+        np.testing.assert_array_equal(result, [8.0])
+    finally:
+        batcher.close()
+
+
+def test_close_drains_queued_requests():
+    """Requests accepted before close() are answered, not dropped."""
+    stub = StubSession(delay_s=0.03)
+    batcher = MicroBatcher(stub, max_batch=2, max_wait_ms=5000.0)
+    requests = [
+        PredictionRequest(machines=[float(i + 1)], context=_context(str(i)))
+        for i in range(6)
+    ]
+    results = [None] * 6
+    threads = [
+        threading.Thread(
+            target=lambda i=i: results.__setitem__(i, batcher.submit(requests[i]))
+        )
+        for i in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let every request enqueue (windows are 5s)
+    batcher.close()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert all(result is not None for result in results)
+    assert batcher.stats()["batched_requests"] == 6
+    with pytest.raises(BatcherClosedError):
+        batcher.submit(requests[0])
+
+
+def test_backend_failure_propagates_to_every_waiter():
+    stub = StubSession(fail=True)
+    batcher = MicroBatcher(stub, max_batch=8, max_wait_ms=50.0)
+    try:
+        requests = [
+            PredictionRequest(machines=[1.0], context=_context()) for _ in range(3)
+        ]
+        results, errors = _submit_concurrently(batcher, requests)
+        assert results == [None] * 3
+        assert all(isinstance(error, RuntimeError) for error in errors)
+        assert batcher.stats()["errors"] == 3
+    finally:
+        batcher.close()
+
+
+def test_request_without_context_rejected():
+    batcher = MicroBatcher(StubSession(), max_wait_ms=1.0)
+    try:
+        with pytest.raises(ValueError):
+            batcher.submit(PredictionRequest(machines=[2.0]))
+    finally:
+        batcher.close()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(StubSession(), max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(StubSession(), max_wait_ms=-1.0)
+
+
+# --------------------------------------------------------------------- #
+# Against a real session: exactness and single fine-tune per group
+# --------------------------------------------------------------------- #
+
+
+def test_batched_results_bit_identical_to_serial_predict(serve_session):
+    contexts = serve_session.corpus.for_algorithm("sgd").contexts()[:3]
+    batcher = MicroBatcher(serve_session, max_batch=32, max_wait_ms=100.0)
+    try:
+        requests = [
+            PredictionRequest(machines=[2.0 + i, 8.0], context=contexts[i % 3])
+            for i in range(9)
+        ]
+        results, errors = _submit_concurrently(batcher, requests)
+        assert errors == [None] * 9
+        for request, result in zip(requests, results):
+            serial = serve_session.predict(request.context, request.machines)
+            np.testing.assert_array_equal(result, serial)
+    finally:
+        batcher.close()
+
+
+def test_same_context_samples_finetuned_once(serve_session):
+    """The stampede case: N concurrent few-shot requests for one context
+    produce exactly one fine-tune."""
+    context = serve_session.corpus.for_algorithm("sgd").contexts()[0]
+    batcher = MicroBatcher(serve_session, max_batch=32, max_wait_ms=200.0)
+    try:
+        requests = [
+            PredictionRequest(
+                machines=[4.0 + i],
+                context=context,
+                train_machines=[2.0, 6.0],
+                train_runtimes=[500.0, 300.0],
+            )
+            for i in range(6)
+        ]
+        results, errors = _submit_concurrently(batcher, requests)
+        assert errors == [None] * 6
+        stats = batcher.stats()
+        assert stats["batches"] == 1
+        assert stats["finetune_fits"] == 1, "grouping failed: more than one fine-tune"
+        assert stats["largest_group"] == 6
+        serial = serve_session.predict(
+            context, [4.0], samples=([2.0, 6.0], [500.0, 300.0])
+        )
+        np.testing.assert_array_equal(results[0], serial)
+    finally:
+        batcher.close()

@@ -1,0 +1,169 @@
+"""LRU + TTL warm-model cache: policy, counters, stampede protection."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.serve import FakeClock, LruTtlCache
+
+
+
+def test_lru_eviction_order_and_counters():
+    cache = LruTtlCache(capacity=2)
+    cache.get_or_load("a", lambda: 1)
+    cache.get_or_load("b", lambda: 2)
+    cache.get_or_load("a", lambda: None)  # refresh a's recency
+    cache.get_or_load("c", lambda: 3)  # evicts b (least recently used)
+    assert set(cache.keys()) == {"a", "c"}
+    assert "b" not in cache
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 3
+    value, hit = cache.get_or_load("b", lambda: 20)  # reload after eviction
+    assert (value, hit) == (20, False)
+
+
+def test_ttl_expiry_reloads():
+    clock = FakeClock()
+    cache = LruTtlCache(capacity=4, ttl_s=10.0, clock=clock)
+    assert cache.get_or_load("k", lambda: "old") == ("old", False)
+    clock.advance(9.0)
+    assert cache.get_or_load("k", lambda: "miss") == ("old", True)  # still warm
+    clock.advance(2.0)  # 11s since load: expired
+    assert cache.get_or_load("k", lambda: "new") == ("new", False)
+    assert cache.stats()["expirations"] == 1
+
+
+def test_loader_error_not_cached_and_propagates():
+    cache = LruTtlCache(capacity=4)
+    calls = []
+
+    def boom():
+        calls.append(1)
+        raise RuntimeError("load failed")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_load("k", boom)
+    assert "k" not in cache
+    assert cache.get_or_load("k", lambda: "ok") == ("ok", False)
+    assert len(calls) == 1
+
+
+def test_concurrent_misses_coalesce_to_one_load():
+    cache = LruTtlCache(capacity=4)
+    loads = []
+    barrier = threading.Barrier(8)
+    results = []
+
+    def loader():
+        loads.append(1)
+        time.sleep(0.05)  # hold the load open so every thread piles up
+        return "value"
+
+    def worker():
+        barrier.wait()
+        results.append(cache.get_or_load("k", loader))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(loads) == 1, "cache stampede: loader ran more than once"
+    assert all(value == "value" for value, _ in results)
+    assert cache.stats()["coalesced_loads"] == 7
+
+
+def test_invalidate_and_clear():
+    cache = LruTtlCache(capacity=4)
+    cache.get_or_load("k", lambda: 1)
+    assert cache.invalidate("k") is True
+    assert cache.invalidate("k") is False
+    cache.get_or_load("a", lambda: 1)
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        LruTtlCache(capacity=0)
+    with pytest.raises(ValueError):
+        LruTtlCache(ttl_s=0.0)
+
+
+# --------------------------------------------------------------------- #
+# Session integration: the model_cache hook
+# --------------------------------------------------------------------- #
+
+
+def test_session_ttl_expiry_refetches_from_model_store(c3o_dataset, tmp_path, small_config):
+    """After TTL expiry the base model comes back from the ModelStore, not
+    from a fresh pre-training run."""
+    clock = FakeClock()
+    cache = LruTtlCache(capacity=4, ttl_s=60.0, clock=clock)
+    session = Session(
+        c3o_dataset, config=small_config, store=tmp_path / "models",
+        model_cache=cache,
+    )
+    session.base_model("sgd")  # miss -> pre-train (persists to the store)
+    assert [source for source, _ in session.cache_log] == ["train"]
+
+    session.base_model("sgd")  # warm
+    assert session.cache_log[-1][0] == "cache"
+
+    clock.advance(61.0)
+    session.base_model("sgd")  # expired -> store fetch, NOT a new training
+    assert session.cache_log[-1][0] == "store"
+    assert [source for source, _ in session.cache_log].count("train") == 1
+    assert cache.stats()["expirations"] == 1
+
+
+def test_session_concurrent_base_model_trains_once(fresh_session):
+    """Concurrent cold requests for one algorithm trigger one pre-training."""
+    fresh_session.model_cache = LruTtlCache(capacity=4)
+    barrier = threading.Barrier(4)
+    models = []
+
+    def worker():
+        barrier.wait()
+        models.append(fresh_session.base_model("grep"))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len({id(model) for model in models}) == 1
+    sources = [source for source, _ in fresh_session.cache_log]
+    assert sources.count("train") == 1
+    assert fresh_session.model_cache.stats()["coalesced_loads"] == 3
+
+
+def test_session_lru_eviction_retrains_or_reloads(c3o_dataset, tmp_path, small_config):
+    """Evicted base models are transparently restored from the store."""
+    cache = LruTtlCache(capacity=1)
+    session = Session(
+        c3o_dataset, config=small_config, store=tmp_path / "models",
+        model_cache=cache,
+    )
+    session.base_model("sgd")
+    session.base_model("grep")  # evicts sgd (capacity 1)
+    assert cache.stats()["evictions"] == 1
+    session.base_model("sgd")  # back from the store
+    assert session.cache_log[-1][0] == "store"
+    assert [source for source, _ in session.cache_log].count("train") == 2
+
+
+def test_session_named_load_is_cached(c3o_dataset, tmp_path, small_config):
+    session = Session(c3o_dataset, config=small_config, store=tmp_path / "models")
+    session.pretrain("sgd", save_as="sgd-base")
+    session.model_cache = LruTtlCache(capacity=4)
+    first = session.load("sgd-base")
+    second = session.load("sgd-base")
+    assert first is second
+    assert session.cache_log[-1][0] == "cache"

@@ -1,0 +1,113 @@
+"""Wire-schema parsing and its structured failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import JobContext
+from repro.serve import (
+    SchemaError,
+    context_from_payload,
+    context_to_payload,
+    parse_predict_payload,
+    predict_payload,
+)
+from repro.serve.schemas import parse_model_name
+
+
+CONTEXT = {
+    "algorithm": "sgd",
+    "node_type": "m4.2xlarge",
+    "dataset_mb": 19353,
+    "dataset_characteristics": "dense-features",
+    "job_params": {"max_iterations": "25"},
+}
+
+
+def test_context_round_trip():
+    context = context_from_payload(CONTEXT)
+    assert isinstance(context, JobContext)
+    assert context.algorithm == "sgd"
+    assert context.params_text == "max_iterations=25"
+    assert context_from_payload(context_to_payload(context)) == context
+
+
+def test_predict_payload_round_trip():
+    context = context_from_payload(CONTEXT)
+    body = predict_payload(
+        context, [2, 4], {"machines": [2, 6], "runtimes": [500.0, 300.0]}, model="m"
+    )
+    request = parse_predict_payload(body)
+    assert request.context == context
+    assert list(request.machines) == [2.0, 4.0]
+    assert list(request.train_machines) == [2.0, 6.0]
+    assert list(request.train_runtimes) == [500.0, 300.0]
+    assert parse_model_name(body) == "m"
+
+
+def test_zero_shot_payload_has_no_samples():
+    request = parse_predict_payload({"context": CONTEXT, "machines": [8]})
+    assert request.train_machines is None and request.train_runtimes is None
+
+
+@pytest.mark.parametrize(
+    "payload, field",
+    [
+        ([1, 2], "body"),
+        ({"context": CONTEXT}, "machines"),
+        ({"context": CONTEXT, "machines": []}, "machines"),
+        ({"context": CONTEXT, "machines": [0]}, "machines"),
+        ({"context": CONTEXT, "machines": ["a"]}, "machines"),
+        ({"context": CONTEXT, "machines": [True]}, "machines"),
+        ({"machines": [2], "context": "nope"}, "context"),
+        ({"machines": [2], "context": {}}, "context.algorithm"),
+        (
+            {"machines": [2], "context": {"algorithm": "sgd", "node_type": "m4"}},
+            "context.dataset_mb",
+        ),
+        (
+            {
+                "machines": [2],
+                "context": {"algorithm": "sgd", "node_type": "m4", "dataset_mb": "x"},
+            },
+            "context.dataset_mb",
+        ),
+        ({"machines": [2], "context": CONTEXT, "samples": []}, "samples"),
+        (
+            {"machines": [2], "context": CONTEXT, "samples": {"machines": [2]}},
+            "samples.runtimes",
+        ),
+        (
+            {
+                "machines": [2],
+                "context": CONTEXT,
+                "samples": {"machines": [2, 4], "runtimes": [100.0]},
+            },
+            "samples",
+        ),
+        ({"machines": [2], "context": CONTEXT, "model": ""}, "model"),
+        ({"machines": [2], "context": CONTEXT, "banana": 1}, "body"),
+    ],
+)
+def test_malformed_payloads_name_the_field(payload, field):
+    with pytest.raises(SchemaError) as excinfo:
+        parse_predict_payload(payload)
+        parse_model_name(payload)
+    assert excinfo.value.field == field
+    body = excinfo.value.payload()
+    assert body["error"] == "bad_request"
+    assert body["field"] == field
+    assert body["detail"]
+
+
+def test_unknown_context_keys_rejected():
+    bad = dict(CONTEXT, typo_key=1)
+    with pytest.raises(SchemaError) as excinfo:
+        context_from_payload(bad)
+    assert "typo_key" in str(excinfo.value)
+
+
+def test_invalid_dataset_mb_value():
+    bad = dict(CONTEXT, dataset_mb=-5)
+    with pytest.raises(SchemaError):
+        context_from_payload(bad)

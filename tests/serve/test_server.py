@@ -1,0 +1,246 @@
+"""The prediction service end to end: app routing, HTTP transport, shutdown."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.serve import (
+    HttpServeClient,
+    PredictionServer,
+    ServeApp,
+    ServeClient,
+    ServeError,
+    predict_payload,
+)
+
+
+
+@pytest.fixture()
+def app(serve_session):
+    app = ServeApp(serve_session, batch_wait_ms=5.0, cache=False)
+    yield app
+    app.close()
+
+
+@pytest.fixture()
+def sgd_serving_context(serve_session):
+    return serve_session.corpus.for_algorithm("sgd").contexts()[0]
+
+
+# --------------------------------------------------------------------- #
+# In-process app behaviour
+# --------------------------------------------------------------------- #
+
+
+def test_zero_shot_prediction_matches_session(app, serve_session, sgd_serving_context):
+    client = ServeClient(app)
+    served = client.predict(sgd_serving_context, [2, 4, 8])
+    serial = serve_session.predict(sgd_serving_context, [2, 4, 8])
+    np.testing.assert_array_equal(served, serial)
+
+
+def test_few_shot_prediction_matches_session(app, serve_session, sgd_serving_context):
+    client = ServeClient(app)
+    samples = ([2.0, 6.0], [500.0, 300.0])
+    served = client.predict(sgd_serving_context, [4, 8], samples=samples)
+    serial = serve_session.predict(sgd_serving_context, [4, 8], samples=samples)
+    np.testing.assert_array_equal(served, serial)
+
+
+def test_schema_error_is_structured_400(app, sgd_serving_context):
+    client = ServeClient(app)
+    with pytest.raises(ServeError) as excinfo:
+        client.predict_response({"machines": [0], "context": {"algorithm": "sgd"}})
+    assert excinfo.value.status == 400
+    assert excinfo.value.payload["error"] == "bad_request"
+    assert excinfo.value.payload["field"] == "machines"
+
+
+def test_unknown_route_and_method(app):
+    status, body = app.handle("GET", "/nope", None)
+    assert (status, body["error"]) == (404, "not_found")
+    status, body = app.handle("GET", "/predict", None)
+    assert (status, body["error"]) == (405, "method_not_allowed")
+
+
+def test_healthz_stats_and_request_log(app, sgd_serving_context):
+    client = ServeClient(app)
+    client.predict(sgd_serving_context, [4])
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["served"] == 1
+    stats = client.stats()
+    assert stats["requests"]["served"] == 1
+    assert stats["batcher"]["submitted"] == 1
+    entries = app.request_log()
+    assert [entry["path"] for entry in entries][:2] == ["/predict", "/healthz"]
+    predict_entry = entries[0]
+    assert predict_entry["status"] == 200
+    assert predict_entry["context_id"] == sgd_serving_context.context_id
+    assert predict_entry["latency_ms"] >= 0.0
+
+
+def test_request_log_streams_json_lines(serve_session, sgd_serving_context, tmp_path):
+    log_path = tmp_path / "requests.jsonl"
+    with log_path.open("w", encoding="utf-8") as stream:
+        app = ServeApp(serve_session, batch_wait_ms=5.0, cache=False, log_stream=stream)
+        ServeClient(app).predict(sgd_serving_context, [4])
+        app.close()
+    lines = log_path.read_text(encoding="utf-8").strip().splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    assert entry["path"] == "/predict" and entry["status"] == 200
+
+
+def test_named_model_predict_and_unknown_model_404(c3o_dataset, tmp_path, small_config):
+    session = Session(c3o_dataset, config=small_config, store=tmp_path / "models")
+    session.pretrain("sgd", save_as="sgd-base")
+    app = ServeApp(session, batch_wait_ms=5.0)
+    client = ServeClient(app)
+    context = c3o_dataset.for_algorithm("sgd").contexts()[0]
+    try:
+        served = client.predict(context, [4, 8], model="sgd-base")
+        serial = session.predict(context, [4, 8], model="sgd-base")
+        np.testing.assert_array_equal(served, serial)
+        with pytest.raises(ServeError) as excinfo:
+            client.predict(context, [4], model="no-such-model")
+        assert excinfo.value.status == 404
+        assert excinfo.value.payload["error"] == "unknown_model"
+    finally:
+        app.close()
+
+
+def test_predict_after_close_is_503(app, sgd_serving_context):
+    client = ServeClient(app)
+    app.close()
+    with pytest.raises(ServeError) as excinfo:
+        client.predict(sgd_serving_context, [4])
+    assert excinfo.value.status == 503
+    assert client.healthz()["status"] == "draining"
+
+
+# --------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------- #
+
+
+def test_http_round_trip_bit_identical(serve_session, sgd_serving_context):
+    with PredictionServer(serve_session, port=0, batch_wait_ms=5.0, cache=False) as server:
+        client = HttpServeClient(server.url)
+        assert client.healthz()["status"] == "ok"
+        served = client.predict(sgd_serving_context, [2, 4, 8])
+        stats = client.stats()
+    serial = serve_session.predict(sgd_serving_context, [2, 4, 8])
+    np.testing.assert_array_equal(served, serial)
+    assert stats["requests"]["served"] == 1
+
+
+def test_http_malformed_json_body_is_structured_400(serve_session):
+    with PredictionServer(serve_session, port=0, batch_wait_ms=5.0, cache=False) as server:
+        request = urllib.request.Request(
+            server.url + "/predict",
+            data=b"{not json!",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+    assert body["error"] == "bad_request"
+    assert body["field"] == "body"
+    assert "invalid JSON" in body["detail"]
+
+
+def test_http_concurrent_requests_are_batched_and_exact(
+    serve_session, sgd_serving_context
+):
+    contexts = serve_session.corpus.for_algorithm("sgd").contexts()[:4]
+    with PredictionServer(serve_session, port=0, batch_wait_ms=30.0, cache=False) as server:
+        client = HttpServeClient(server.url)
+        client.healthz()
+        results = [None] * 12
+        barrier = threading.Barrier(12)
+
+        def fire(index):
+            barrier.wait()
+            results[index] = client.predict(contexts[index % 4], [4, 8])
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = client.stats()
+    for index, result in enumerate(results):
+        serial = serve_session.predict(contexts[index % 4], [4, 8])
+        np.testing.assert_array_equal(result, serial)
+    batcher = stats["batcher"]
+    assert batcher["mean_batch_size"] >= 2.0, "micro-batching did not coalesce"
+    assert batcher["largest_group"] >= 2
+
+
+def test_close_without_serving_does_not_hang(serve_session):
+    """close() on a never-started server must return, not deadlock on the
+    stdlib shutdown() handshake that only serve_forever answers."""
+    server = PredictionServer(serve_session, port=0, batch_wait_ms=5.0, cache=False)
+    done = threading.Event()
+
+    def closer():
+        server.close()
+        done.set()
+
+    thread = threading.Thread(target=closer, daemon=True)
+    thread.start()
+    assert done.wait(timeout=5.0), "PredictionServer.close() hung without start()"
+
+
+def test_routes_ignore_query_strings(app):
+    """Health probes configured with query parameters must not 404."""
+    status, body = app.handle("GET", "/healthz?probe=1", None)
+    assert (status, body["status"]) == (200, "ok")
+    status, _ = app.handle("GET", "/stats?verbose=1", None)
+    assert status == 200
+
+
+def test_named_model_predict_after_close_is_503(c3o_dataset, tmp_path, small_config):
+    session = Session(c3o_dataset, config=small_config, store=tmp_path / "models")
+    session.pretrain("sgd", save_as="sgd-base")
+    app = ServeApp(session, batch_wait_ms=5.0)
+    client = ServeClient(app)
+    context = c3o_dataset.for_algorithm("sgd").contexts()[0]
+    app.close()
+    with pytest.raises(ServeError) as excinfo:
+        client.predict(context, [4], model="sgd-base")
+    assert excinfo.value.status == 503
+
+
+def test_server_shutdown_drains_in_flight_requests(serve_session, sgd_serving_context):
+    """Requests accepted before close() still get 200s (graceful drain)."""
+    server = PredictionServer(
+        serve_session, port=0, batch_max=4, batch_wait_ms=2000.0, cache=False
+    ).start()
+    client = HttpServeClient(server.url)
+    client.healthz()
+    results = [None] * 3
+
+    def fire(index):
+        results[index] = client.predict(sgd_serving_context, [4.0 + index])
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(3)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.3)  # requests are now queued behind the 2s batch window
+    server.close()  # must flush them, not drop them
+    for thread in threads:
+        thread.join(timeout=10.0)
+    for index, result in enumerate(results):
+        serial = serve_session.predict(sgd_serving_context, [4.0 + index])
+        np.testing.assert_array_equal(result, serial)
