@@ -452,6 +452,85 @@ def bench_serve(concurrency: int = 200) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Online level (the repro.online drift-aware lifecycle)
+# --------------------------------------------------------------------- #
+
+
+def bench_online() -> dict:
+    """Refresh latency + prediction error before/after refresh under drift.
+
+    Streams a step-drifted workload (+90 % runtime) through an
+    :class:`repro.online.OnlineSession` and measures (a) how many
+    observations it takes to flag the drift, (b) the wall-clock of the
+    refresh (fine-tune + atomic store swap + cache invalidation), and
+    (c) the MRE of the stale vs. refreshed model on the post-drift ground
+    truth. Asserts, before reporting anything, that the refreshed model
+    actually beats the stale one.
+    """
+    import tempfile
+
+    from repro.api import Session
+    from repro.core.config import BellamyConfig
+    from repro.data.dataset import ExecutionDataset
+    from repro.eval.metrics import mre
+    from repro.online import OnlineSession, RefreshPolicy
+    from repro.serve import LruTtlCache
+    from repro.simulator import DriftSpec, generate_drift_scenario
+
+    spec = DriftSpec(kind="step", magnitude=0.9, start=0.0)
+    scenario = generate_drift_scenario(spec, seed=0, n_stream=24)
+    corpus = ExecutionDataset(list(scenario.history))
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+    with tempfile.TemporaryDirectory() as store_dir:
+        session = Session(
+            corpus, config=config, store=store_dir,
+            model_cache=LruTtlCache(capacity=8),
+        )
+        stale_base = session.base_model(scenario.context.algorithm)
+        online = OnlineSession(
+            session,
+            RefreshPolicy(min_observations=3, window=6,
+                          refresh_samples=8, max_epochs=250),
+        )
+
+        observations_to_flag = 0
+        refresh_walls = []
+        started = time.perf_counter()
+        for position, (machines, runtime) in enumerate(scenario.stream):
+            outcome = online.observe(scenario.context, machines, runtime)
+            if outcome.refreshed is not None:
+                refresh_walls.append(outcome.refreshed.wall_seconds)
+                if observations_to_flag == 0:
+                    observations_to_flag = position + 1
+        stream_wall = time.perf_counter() - started
+
+        machines, truths = scenario.evaluation_set([2, 4, 6, 8, 10, 12])
+        stale_mre = mre(session.predict(scenario.context, machines, model=stale_base), truths)
+        refreshed_mre = mre(session.predict(scenario.context, machines), truths)
+        if not refresh_walls:
+            raise SystemExit("FATAL: the drifted workload was never refreshed")
+        if refreshed_mre >= stale_mre:
+            raise SystemExit(
+                f"FATAL: refresh did not improve post-drift error "
+                f"(stale {stale_mre:.3f}, refreshed {refreshed_mre:.3f})"
+            )
+        return {
+            "step_drift": {
+                "n_stream": len(scenario.stream),
+                "observations_to_flag": observations_to_flag,
+                "refreshes": len(refresh_walls),
+                "refresh_latency_s": max(refresh_walls),
+                "stream_wall_s": stream_wall,
+                "stale_mre": stale_mre,
+                "refreshed_mre": refreshed_mre,
+                "improvement": stale_mre - refreshed_mre,
+            }
+        }
+
+
+# --------------------------------------------------------------------- #
 
 
 def main() -> int:
@@ -492,6 +571,7 @@ def main() -> int:
         payload["experiment_level"] = bench_experiments(timing_runs=2 if args.quick else 3)
         payload["serving_level"] = bench_serving()
         payload["serve_level"] = bench_serve(concurrency=200)
+        payload["online_level"] = bench_online()
 
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     step = payload["step_level"]
@@ -515,6 +595,13 @@ def main() -> int:
             f"{serve['requests_per_s']:.0f} req/s "
             f"(p95 {serve['latency_p95_ms']:.0f} ms, "
             f"mean batch {serve['mean_batch_size']:.1f}, bit-identical)"
+        )
+    if "online_level" in payload:
+        online = payload["online_level"]["step_drift"]
+        print(
+            f"online: drift flagged after {online['observations_to_flag']} "
+            f"observations, refresh {online['refresh_latency_s'] * 1e3:.0f} ms, "
+            f"MRE {online['stale_mre']:.3f} -> {online['refreshed_mre']:.3f}"
         )
     print(f"wrote {args.out}")
     return 0

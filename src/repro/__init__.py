@@ -38,6 +38,9 @@ Subpackages
 ``repro.serve``
     The online prediction service: threaded HTTP endpoint, request
     micro-batching, warm-model LRU/TTL cache, in-process + HTTP clients.
+``repro.online``
+    Drift-aware online learning: observation intake, rolling-residual
+    drift detection, and atomic model refresh over a live session.
 ``repro.cli``
     The ``repro-bellamy`` command-line interface.
 
@@ -53,7 +56,7 @@ Quickstart
 >>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import (
     api,
@@ -64,6 +67,7 @@ from repro import (
     encoding,
     eval,
     nn,
+    online,
     selection,
     serve,
     simulator,
@@ -81,6 +85,7 @@ __all__ = [
     "encoding",
     "eval",
     "nn",
+    "online",
     "selection",
     "serve",
     "simulator",

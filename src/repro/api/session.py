@@ -137,6 +137,15 @@ class Session:
         #: Callables invoked with the stats dict after every
         #: :meth:`predict_batch` (the serving layer's observability hook).
         self.batch_hooks: List = []
+        #: Per-context serving overrides: ``context_id -> store name (str) or
+        #: BellamyModel``. When a serving call passes ``model=None``,
+        #: :meth:`resolve_base` consults this map before falling back to the
+        #: per-algorithm base model — the hook :class:`repro.online.OnlineSession`
+        #: uses to atomically swap a refreshed model into the serving path.
+        #: One dict assignment flips the serving model (atomic under the GIL),
+        #: so every entry point (predict / predict_batch / select_scaleout)
+        #: switches together.
+        self.serving_overrides: Dict[str, Union[str, BellamyModel]] = {}
 
     #: Newest cache_log entries kept (observability, not an audit trail).
     _CACHE_LOG_LIMIT = 10_000
@@ -519,15 +528,19 @@ class Session:
     def resolve_base(
         self, context: JobContext, model: Union[None, str, BellamyModel] = None
     ) -> BellamyModel:
-        """The base model serving ``context``: ``None`` resolves (pre-training
-        if necessary) the session's per-algorithm model, a string loads from
-        the store, and a :class:`BellamyModel` passes through unchanged.
-        This is the resolution rule of every serving entry point
-        (:meth:`predict`, :meth:`predict_batch`, :meth:`select_scaleout`)::
+        """The base model serving ``context``: ``None`` resolves the
+        context's :attr:`serving_overrides` entry if one is installed, else
+        the session's per-algorithm model (pre-training if necessary); a
+        string loads from the store, and a :class:`BellamyModel` passes
+        through unchanged. This is the resolution rule of every serving
+        entry point (:meth:`predict`, :meth:`predict_batch`,
+        :meth:`select_scaleout`)::
 
-            base = session.resolve_base(context)            # per-algorithm
+            base = session.resolve_base(context)            # override or per-algorithm
             base = session.resolve_base(context, "sgd-v2")  # stored by name
         """
+        if model is None:
+            model = self.serving_overrides.get(context.context_id)
         if isinstance(model, BellamyModel):
             return model
         if isinstance(model, str):

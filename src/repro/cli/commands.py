@@ -248,6 +248,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"warming base model for {algorithm!r} ...")
         session.base_model(algorithm)
 
+    online = None
+    if args.online:
+        from repro.online import ObservationBuffer, OnlineSession, RefreshPolicy
+
+        policy = RefreshPolicy(
+            tolerance=args.drift_tolerance,
+            refresh_samples=args.refresh_samples,
+            max_epochs=args.refresh_epochs,
+        )
+        buffer = ObservationBuffer(
+            capacity_per_group=policy.buffer_capacity, path=args.observations
+        )
+        online = OnlineSession(session, policy, buffer=buffer)
+        print(
+            f"online learning on: drift tolerance {policy.tolerance:.2f}, "
+            f"refresh from newest {policy.refresh_samples} observations"
+            + (f", buffer {args.observations}" if args.observations else "")
+        )
+
     log_stream = None
     if args.log is not None:
         # Line-buffered so `tail -f` (and a crash) see every request.
@@ -262,6 +281,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl,
         log_stream=log_stream,
+        online=online,
     )
     try:
         if args.smoke:
@@ -305,6 +325,117 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# observe / refresh (the online-learning lifecycle)
+# --------------------------------------------------------------------- #
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """Report one completed job to the online-learning lifecycle.
+
+    With ``--url`` the observation goes to a running ``repro-bellamy serve
+    --online`` server (``POST /observe``) and the drift verdict is printed.
+    With ``--buffer`` it is appended to a local JSONL observation buffer for
+    a later ``repro-bellamy refresh`` sweep.
+    """
+    context = _context_from_args(args)
+    if args.url is not None:
+        from repro.serve import HttpServeClient, ServeError
+
+        try:
+            outcome = HttpServeClient(args.url).observe(
+                context, args.machines, args.runtime
+            )
+        except ServeError as error:
+            # Map non-2xx replies onto the CLI's structured error path
+            # (ServeError is a RuntimeError, which main() does not catch).
+            raise ValueError(
+                f"server rejected the observation (HTTP {error.status}): "
+                f"{error.payload.get('detail', error.payload)}"
+            ) from None
+        refreshed = outcome.get("refreshed")
+        print(
+            f"recorded {context.algorithm} x{args.machines} = {args.runtime:.1f}s "
+            f"(predicted {outcome['predicted_s']:.1f}s, "
+            f"error {100 * outcome['relative_error']:.1f}%)"
+        )
+        if refreshed:
+            print(
+                f"drift refresh: {refreshed['model_name']} "
+                f"(stale {100 * refreshed['stale_error']:.1f}% -> "
+                f"{100 * refreshed['refreshed_error']:.1f}%)"
+            )
+        elif outcome["drifted"]:
+            print("group flagged as drifted (auto-refresh disabled or pending)")
+        return 0
+    if args.buffer is None:
+        raise ValueError("observe needs either --url (live server) or --buffer (JSONL)")
+    from repro.online import Observation, ObservationBuffer
+
+    buffer = ObservationBuffer(path=args.buffer)
+    buffer.add(Observation(context, float(args.machines), float(args.runtime)))
+    print(
+        f"buffered {context.algorithm} x{args.machines} = {args.runtime:.1f}s "
+        f"in {args.buffer} ({buffer.total_recorded} total)"
+    )
+    return 0
+
+
+def cmd_refresh(args: argparse.Namespace) -> int:
+    """Scan a JSONL observation buffer and refresh drifted model groups."""
+    from repro.api import Session
+    from repro.online import ObservationBuffer, OnlineSession, RefreshPolicy
+
+    dataset = _load_traces(args.traces, args.seed)
+    config = None
+    if args.pretrain_epochs is not None:
+        from repro.core.config import BellamyConfig
+
+        config = BellamyConfig(seed=args.seed).with_overrides(
+            pretrain_epochs=args.pretrain_epochs
+        )
+    session = Session(dataset, config=config, store=args.store, seed=args.seed)
+    if args.store is None:
+        print("note: no --store given; refreshed models stay in-memory only")
+    policy = RefreshPolicy(
+        tolerance=args.tolerance,
+        refresh_samples=args.refresh_samples,
+        max_epochs=args.epochs,
+    )
+    buffer = ObservationBuffer(capacity_per_group=policy.buffer_capacity, path=args.buffer)
+    if not len(buffer):
+        print(f"no observations in {args.buffer}; nothing to do")
+        return 0
+    online = OnlineSession(session, policy, buffer=buffer)
+    reports = online.scan(refresh=not args.dry_run, force=args.force)
+    rows = []
+    for report in reports:
+        refreshed = report.refreshed
+        rows.append(
+            [
+                report.group[:48],
+                str(report.observations),
+                f"{report.status.envelope:.3f}",
+                "-" if report.status.recent_error != report.status.recent_error
+                else f"{report.status.recent_error:.3f}",
+                "yes" if report.status.drifted else "no",
+                "-" if refreshed is None else refreshed.model_name or "(in-memory)",
+                "-" if refreshed is None
+                else f"{100 * refreshed.stale_error:.1f}% -> {100 * refreshed.refreshed_error:.1f}%",
+            ]
+        )
+    print(
+        ascii_table(
+            ["group", "obs", "envelope", "recent err", "drifted", "refreshed model", "error"],
+            rows,
+            title=f"[refresh] {args.buffer}",
+        )
+    )
+    refreshed_count = sum(1 for report in reports if report.refreshed is not None)
+    print(f"refreshed {refreshed_count} of {len(reports)} group(s)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # experiment
 # --------------------------------------------------------------------- #
 
@@ -316,7 +447,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import reporting
 
     scale = get_scale(args.scale)
-    dataset = generate_c3o_dataset(seed=args.seed)
+    # online-drift builds its own scenario corpora; don't pay for a full
+    # C3O generation it never reads.
+    dataset = None if args.which == "online-drift" else generate_c3o_dataset(seed=args.seed)
     sections: Tuple[Tuple[str, str], ...]
 
     if args.which == "cross-context":
@@ -349,6 +482,36 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 ),
             ),
             ("crossenv_training_time", reporting.render_training_time(result.records)),
+        )
+    elif args.which == "online-drift":
+        from repro.eval.experiments import run_online_drift_experiment
+
+        result = run_online_drift_experiment(
+            seed=args.seed,
+            pretrain_epochs=scale.pretrain_epochs,
+            refresh_epochs=scale.finetune_max_epochs,
+        )
+        rows = [
+            [
+                record.kind,
+                str(record.refreshes),
+                str(record.first_flag_at) if record.first_flag_at else "-",
+                f"{100 * record.stale_mre:.1f}%",
+                f"{100 * record.refreshed_mre:.1f}%",
+                f"{record.refresh_wall_seconds:.2f}",
+            ]
+            for record in result.records
+        ]
+        sections = (
+            (
+                "online_drift",
+                ascii_table(
+                    ["drift kind", "refreshes", "flagged at", "stale MRE",
+                     "refreshed MRE", "refresh wall [s]"],
+                    rows,
+                    title="[Online] stale vs refreshed models under drift",
+                ),
+            ),
         )
     elif args.which == "ablation":
         from repro.eval.experiments import run_ablation_experiment
@@ -384,8 +547,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.out is not None:
         print(f"wrote {len(sections)} table(s) to {args.out}")
     if args.records is not None:
-        from repro.eval.records_io import save_records
+        if args.which == "online-drift":
+            print("--records applies to protocol experiments only; skipped")
+        else:
+            from repro.eval.records_io import save_records
 
-        save_records(args.records, result.records)
-        print(f"wrote {len(result.records)} records to {args.records}")
+            save_records(args.records, result.records)
+            print(f"wrote {len(result.records)} records to {args.records}")
     return 0

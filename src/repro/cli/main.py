@@ -162,7 +162,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="start, self-check /healthz and one prediction, then exit "
         "(used by CI)",
     )
+    serve.add_argument(
+        "--online", action="store_true",
+        help="enable the drift-aware online-learning lifecycle "
+        "(POST /observe + automatic model refresh)",
+    )
+    serve.add_argument(
+        "--observations", type=Path, default=None,
+        help="JSONL file persisting observations across restarts "
+        "(with --online)",
+    )
+    serve.add_argument(
+        "--drift-tolerance", type=float, default=2.0,
+        help="flag a group once its rolling median error exceeds this "
+        "multiple of the fit-time residual envelope",
+    )
+    serve.add_argument(
+        "--refresh-samples", type=int, default=8,
+        help="newest buffered observations a drift refresh fine-tunes on",
+    )
+    serve.add_argument(
+        "--refresh-epochs", type=int, default=None,
+        help="fine-tuning epoch cap of drift refreshes",
+    )
     serve.set_defaults(handler=commands.cmd_serve)
+
+    # ------------------------------ observe ---------------------------- #
+    observe = subparsers.add_parser(
+        "observe", help="report a completed job to the online-learning lifecycle"
+    )
+    _add_context_arguments(observe)
+    observe.add_argument(
+        "--machines", type=int, required=True, help="scale-out the job ran at"
+    )
+    observe.add_argument(
+        "--runtime", type=float, required=True, help="observed runtime in seconds"
+    )
+    observe.add_argument(
+        "--url", default=None,
+        help="base URL of a running `repro-bellamy serve --online` server",
+    )
+    observe.add_argument(
+        "--buffer", type=Path, default=None,
+        help="append to this local JSONL observation buffer instead "
+        "(for a later `repro-bellamy refresh`)",
+    )
+    observe.set_defaults(handler=commands.cmd_observe)
+
+    # ------------------------------ refresh ---------------------------- #
+    refresh = subparsers.add_parser(
+        "refresh", help="scan an observation buffer and refresh drifted models"
+    )
+    refresh.add_argument(
+        "--buffer", type=Path, required=True,
+        help="JSONL observation buffer (see `repro-bellamy observe --buffer`)",
+    )
+    refresh.add_argument(
+        "--traces", type=Path, default=None,
+        help="CSV of historical executions backing the session "
+        "(default: generated C3O traces)",
+    )
+    refresh.add_argument("--seed", type=int, default=0, help="session seed")
+    refresh.add_argument(
+        "--store", type=Path, default=None,
+        help="model store refreshed models are saved into",
+    )
+    refresh.add_argument(
+        "--pretrain-epochs", type=int, default=None,
+        help="override the pre-training budget of base models trained here",
+    )
+    refresh.add_argument(
+        "--epochs", type=int, default=None,
+        help="fine-tuning epoch cap of each refresh",
+    )
+    refresh.add_argument(
+        "--refresh-samples", type=int, default=8,
+        help="newest buffered observations each refresh fine-tunes on",
+    )
+    refresh.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="drift tolerance (multiple of the fit-time residual envelope)",
+    )
+    refresh.add_argument(
+        "--force", action="store_true",
+        help="refresh every group with observations, drifted or not",
+    )
+    refresh.add_argument(
+        "--dry-run", action="store_true",
+        help="report drift verdicts without refreshing anything",
+    )
+    refresh.set_defaults(handler=commands.cmd_refresh)
 
     # ------------------------------ experiment ------------------------ #
     experiment = subparsers.add_parser(
@@ -170,7 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "which",
-        choices=("cross-context", "cross-environment", "ablation", "cross-algorithm"),
+        choices=(
+            "cross-context",
+            "cross-environment",
+            "ablation",
+            "cross-algorithm",
+            "online-drift",
+        ),
     )
     experiment.add_argument(
         "--scale", choices=("smoke", "quick", "full"), default="quick"
@@ -217,7 +312,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
         return int(args.handler(args) or 0)
-    except (ValueError, FileNotFoundError, KeyError) as error:
+    except (ValueError, KeyError, OSError) as error:
+        # OSError covers FileNotFoundError plus the network failures of
+        # `observe --url` against a server that is not running.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

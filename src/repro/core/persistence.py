@@ -3,16 +3,26 @@
 The paper's workflow pre-trains a general model once, preserves the model
 state, and later loads + fine-tunes it per context; time-to-fit measurements
 explicitly include "loading a pre-trained model from disk". The store writes
-one ``.npz`` (weights + scaler + runtime scale) and one ``.json`` (config +
-metadata) per model.
+one ``.npz`` (weights + scaler + runtime scale + an embedded copy of the
+config/metadata JSON) and one ``.json`` sidecar (the same config + metadata,
+kept human-readable) per model.
+
+Saves are **crash-safe**: the ``.npz`` is self-contained and written via
+temp-file + ``os.replace``, and it is the single commit point — a model
+exists exactly when its ``.npz`` does, and any ``.npz`` that exists loads to
+a complete, consistent model. An interruption at any instant leaves either
+the previous model (fully intact) or the new one, never a torn mix.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
@@ -32,6 +42,10 @@ def model_class_registry() -> Dict[str, type]:
         "GraphBellamyModel": GraphBellamyModel,
         "GnnBellamyModel": GnnBellamyModel,
     }
+
+
+#: Reserved ``.npz`` member holding the embedded config/metadata JSON.
+_META_KEY = "__meta_json__"
 
 
 class ModelStore:
@@ -54,28 +68,48 @@ class ModelStore:
         model: BellamyModel,
         metadata: Optional[Dict] = None,
     ) -> None:
-        """Persist ``model`` under ``name`` (overwrites silently).
+        """Persist ``model`` under ``name`` (overwrites silently, atomically).
 
         The concrete model class is recorded so graph-aware variants
-        round-trip (see :func:`model_class_registry`).
+        round-trip (see :func:`model_class_registry`). The config/metadata
+        JSON is embedded *inside* the ``.npz``, which is written via
+        temp-file + ``os.replace`` — the single atomic commit point. The
+        ``.json`` sidecar is written afterwards purely for human inspection;
+        a crash between the two replaces still leaves a loadable,
+        self-consistent model (the online refresh path relies on this to
+        swap models under live traffic).
         """
         weights_path, meta_path = self._paths(name)
-        save_npz_dict(weights_path, model.full_state_dict())
-        save_json(
-            meta_path,
-            {
-                "config": model.config.to_dict(),
-                "model_class": type(model).__name__,
-                "metadata": metadata or {},
-            },
-        )
+        payload = {
+            "config": model.config.to_dict(),
+            "model_class": type(model).__name__,
+            "metadata": metadata or {},
+        }
+        state = dict(model.full_state_dict())
+        if _META_KEY in state:
+            raise ValueError(f"model state may not use the reserved key {_META_KEY!r}")
+        state[_META_KEY] = np.array(json.dumps(payload, sort_keys=True))
+        save_npz_dict(weights_path, state)
+        save_json(meta_path, payload)
+
+    @staticmethod
+    def _split_state(state: Dict, meta_path: Path) -> Tuple[Dict, Dict]:
+        """(weights, config/metadata payload) of a loaded ``.npz`` state.
+
+        Stores written before the embedded-metadata format fall back to the
+        ``.json`` sidecar.
+        """
+        meta_array = state.pop(_META_KEY, None)
+        if meta_array is not None:
+            return state, json.loads(str(meta_array))
+        return state, load_json(meta_path)
 
     def load(self, name: str) -> BellamyModel:
         """Load the model saved under ``name`` (restoring its concrete class)."""
         weights_path, meta_path = self._paths(name)
         if not weights_path.exists():
             raise FileNotFoundError(f"no model named {name!r} in {self.root}")
-        payload = load_json(meta_path)
+        state, payload = self._split_state(load_npz_dict(weights_path), meta_path)
         registry = model_class_registry()
         class_name = payload.get("model_class", "BellamyModel")
         try:
@@ -86,13 +120,26 @@ class ModelStore:
                 f"known: {sorted(registry)}"
             ) from None
         model = model_cls(BellamyConfig.from_dict(payload["config"]))
-        model.load_full_state_dict(load_npz_dict(weights_path))
+        model.load_full_state_dict(state)
         model.eval()
         return model
 
     def metadata(self, name: str) -> Dict:
-        """The metadata stored alongside ``name``."""
-        _, meta_path = self._paths(name)
+        """The metadata stored alongside ``name``.
+
+        Read from the ``.npz`` (the committed source of truth), falling back
+        to the ``.json`` sidecar for stores written by older versions. The
+        archive is read lazily — only the embedded metadata member is
+        decompressed, never the weights.
+        """
+        weights_path, meta_path = self._paths(name)
+        if weights_path.exists():
+            with np.load(weights_path, allow_pickle=False) as archive:
+                if _META_KEY in archive.files:
+                    return json.loads(str(archive[_META_KEY]))["metadata"]
+            return load_json(meta_path)["metadata"]
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no model named {name!r} in {self.root}")
         return load_json(meta_path)["metadata"]
 
     def exists(self, name: str) -> bool:

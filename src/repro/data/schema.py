@@ -100,6 +100,53 @@ class JobContext:
         return [int(node.memory_mb), int(node.cores), self.algorithm]
 
 
+def context_to_dict(context: JobContext) -> Dict[str, object]:
+    """The canonical JSON form of a context (inverse of
+    :func:`context_from_dict`).
+
+    This is the single wire shape shared by every serializer in the system
+    (the serve payloads, the online observation JSONL) — a new
+    :class:`JobContext` field is added here once, not per consumer.
+
+    >>> ctx = JobContext("sgd", "m4", 100, "dense")
+    >>> context_from_dict(context_to_dict(ctx)) == ctx
+    True
+    """
+    return {
+        "algorithm": context.algorithm,
+        "node_type": context.node_type,
+        "dataset_mb": context.dataset_mb,
+        "dataset_characteristics": context.dataset_characteristics,
+        "job_params": dict(context.job_params),
+        "environment": context.environment,
+        "software": context.software,
+    }
+
+
+def context_from_dict(payload: Mapping) -> JobContext:
+    """Rebuild a :class:`JobContext` from its canonical JSON form.
+
+    Lenient on optional keys (defaults applied); raises ``KeyError`` on
+    missing required keys and ``ValueError`` on invalid values — wire-level
+    parsers that need structured errors validate before calling this.
+
+    >>> context_from_dict({"algorithm": "sgd", "node_type": "m4",
+    ...                    "dataset_mb": 100}).algorithm
+    'sgd'
+    """
+    return JobContext(
+        algorithm=str(payload["algorithm"]),
+        node_type=str(payload["node_type"]),
+        dataset_mb=int(payload["dataset_mb"]),
+        dataset_characteristics=str(payload.get("dataset_characteristics", "")),
+        job_params=tuple(
+            (str(k), str(v)) for k, v in dict(payload.get("job_params", {})).items()
+        ),
+        environment=str(payload.get("environment", "cloud")),
+        software=str(payload.get("software", "hadoop-3.2.1 spark-2.4.4")),
+    )
+
+
 @dataclass(frozen=True)
 class Execution:
     """One observed job execution: a context, a scale-out, and a runtime."""

@@ -30,6 +30,11 @@ from repro.eval.experiments.cross_environment import (
     cross_environment_methods,
     run_cross_environment_experiment,
 )
+from repro.eval.experiments.online_drift import (
+    OnlineDriftRecord,
+    OnlineDriftResult,
+    run_online_drift_experiment,
+)
 from repro.eval.experiments.fig2_variance import (
     VarianceSummary,
     normalized_context_curves,
@@ -54,6 +59,8 @@ __all__ = [
     "CrossEnvironmentResult",
     "ExperimentScale",
     "FULL_SCALE",
+    "OnlineDriftRecord",
+    "OnlineDriftResult",
     "PAPER_EXAMPLE_CONTEXTS",
     "PretrainedModelCache",
     "QUICK_SCALE",
@@ -73,6 +80,7 @@ __all__ = [
     "run_cross_context_experiment",
     "run_cross_environment_experiment",
     "run_fig2",
+    "run_online_drift_experiment",
     "run_fig4",
     "runtime_variance_summary",
     "select_target_contexts",

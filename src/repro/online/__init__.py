@@ -1,0 +1,61 @@
+"""Drift-aware online learning: keep serving models fresh as workloads shift.
+
+The paper's premise is that pretrained runtime models transfer across
+contexts and adapt from a handful of observations. This package closes the
+remaining loop for a *long-lived* predictor: live observations flow back in,
+drift against the training distribution is detected, and affected models are
+re-fitted and swapped without interrupting — or changing the bytes of —
+serving:
+
+:class:`ObservationBuffer` / :class:`Observation`
+    Bounded per-group intake of ``(context, scale-out, runtime)``
+    ground truth, with JSONL persistence for restart replay.
+:class:`DriftDetector` / :class:`DriftStatus`
+    Rolling residual monitor: live prediction error vs. the fit-time
+    residual envelope, flagged per model group.
+:class:`RefreshPolicy` / :class:`OnlineSession` / :class:`RefreshResult`
+    The lifecycle wrapper over :class:`repro.api.Session`: observe, detect,
+    re-fit flagged groups from buffer + history, atomically swap the model
+    into the :class:`~repro.core.persistence.ModelStore`, and invalidate
+    the serve layer's warm-cache entry.
+
+Drive it directly, over HTTP (``POST /observe`` on :class:`repro.serve.ServeApp`),
+or from the CLI (``repro-bellamy observe`` / ``repro-bellamy refresh``)::
+
+    from repro.api import Session
+    from repro.online import OnlineSession
+
+    online = OnlineSession(Session(corpus, store="models/"))
+    outcome = online.observe(context, machines=8, runtime_s=412.0)
+    outcome.status.drifted            # was the group flagged?
+    online.stats()["refreshes"]       # lifetime refresh count
+"""
+
+from repro.online.drift import DriftDetector, DriftStatus
+from repro.online.observations import (
+    Observation,
+    ObservationBuffer,
+    context_from_dict,
+    context_to_dict,
+)
+from repro.online.session import (
+    GroupReport,
+    ObservationOutcome,
+    OnlineSession,
+    RefreshPolicy,
+    RefreshResult,
+)
+
+__all__ = [
+    "DriftDetector",
+    "DriftStatus",
+    "GroupReport",
+    "Observation",
+    "ObservationBuffer",
+    "ObservationOutcome",
+    "OnlineSession",
+    "RefreshPolicy",
+    "RefreshResult",
+    "context_from_dict",
+    "context_to_dict",
+]

@@ -1,0 +1,298 @@
+"""Drift detection: a rolling residual monitor per model group.
+
+The detector compares **live** prediction error against the **fit-time
+residual envelope** of the serving model. At fit (or refresh) time the
+model's relative errors on its reference data define an envelope — the
+error level the model is *known* to have when the workload matches its
+training distribution. Live observations append their relative error to a
+rolling window; a group is flagged as drifted once the window's median
+error exceeds ``tolerance x envelope`` with at least ``min_observations``
+in the window.
+
+Median-over-window (not single errors) makes the monitor robust to
+stragglers and noise bursts: one slow run does not trigger a refresh, a
+sustained shift does.
+
+>>> detector = DriftDetector(window=4, min_observations=3, tolerance=1.5)
+>>> detector.set_baseline("g", [0.04, 0.06, 0.05])   # fit-time residuals
+0.05
+>>> for error in (0.05, 0.06, 0.04):
+...     status = detector.observe("g", error)
+>>> status.drifted                                   # in-envelope traffic
+False
+>>> for error in (0.4, 0.5, 0.45):
+...     status = detector.observe("g", error)
+>>> status.drifted                                   # sustained shift
+True
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """One group's drift verdict at a point in time.
+
+    >>> status = DriftStatus("g", observations=5, envelope=0.1,
+    ...                      recent_error=0.3, ratio=3.0, drifted=True)
+    >>> status.drifted
+    True
+    """
+
+    group: str
+    #: Live errors currently in the rolling window.
+    observations: int
+    #: Fit-time residual envelope (the tolerated relative error).
+    envelope: float
+    #: Median relative error of the rolling window (NaN when empty).
+    recent_error: float
+    #: ``recent_error / envelope`` (NaN when empty).
+    ratio: float
+    drifted: bool
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form (the ``/stats`` drift section)."""
+        def _num(value: float) -> Optional[float]:
+            return None if math.isnan(value) else round(float(value), 6)
+
+        return {
+            "group": self.group,
+            "observations": self.observations,
+            "envelope": round(float(self.envelope), 6),
+            "recent_error": _num(self.recent_error),
+            "ratio": _num(self.ratio),
+            "drifted": self.drifted,
+        }
+
+
+class DriftDetector:
+    """Rolling residual monitor over model groups (thread-safe).
+
+    Parameters
+    ----------
+    window:
+        Live errors kept per group (rolling).
+    min_observations:
+        Fewest windowed errors before a drift verdict is possible.
+    quantile:
+        Which quantile of the fit-time residuals defines the envelope.
+    tolerance:
+        The windowed median must exceed ``tolerance * envelope`` to flag.
+    default_envelope:
+        Envelope assumed for groups whose baseline was never set (no
+        fit-time residuals available).
+    envelope_floor:
+        Lower bound on any envelope — a model that happened to fit its
+        reference data near-perfectly must not flag on harmless noise.
+    max_groups:
+        Most groups tracked in memory; the least recently touched group's
+        window and envelope are dropped beyond it (a client inventing a
+        fresh context per observation must not grow the monitor without
+        limit).
+
+    Example::
+
+        detector = DriftDetector(window=12, tolerance=1.5)
+        detector.set_baseline(group, fit_time_relative_errors)
+        status = detector.observe(group, live_relative_error)
+        if status.drifted:
+            ...  # refresh the group's model
+    """
+
+    def __init__(
+        self,
+        window: int = 12,
+        min_observations: int = 4,
+        quantile: float = 0.5,
+        tolerance: float = 2.0,
+        default_envelope: float = 0.15,
+        envelope_floor: float = 0.02,
+        max_groups: int = 4096,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be >= 1, got {min_observations}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0, got {tolerance}")
+        if max_groups < 1:
+            raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+        self.window = window
+        self.min_observations = min_observations
+        self.quantile = quantile
+        self.tolerance = tolerance
+        self.default_envelope = default_envelope
+        self.envelope_floor = envelope_floor
+        self.max_groups = max_groups
+        self._lock = threading.Lock()
+        self._errors: Dict[str, Deque[float]] = {}
+        self._envelopes: Dict[str, float] = {}
+        #: Recency order of tracked groups (shared by windows + envelopes).
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+        self._flags = 0
+
+    def _touch_locked(self, group: str) -> None:
+        """Mark ``group`` recently used and evict the stalest beyond the cap."""
+        self._order[group] = None
+        self._order.move_to_end(group)
+        while len(self._order) > self.max_groups:
+            stale, _ = self._order.popitem(last=False)
+            self._errors.pop(stale, None)
+            self._envelopes.pop(stale, None)
+
+    # ------------------------------------------------------------------ #
+    # Baselines
+    # ------------------------------------------------------------------ #
+
+    def set_baseline(self, group: str, residual_errors: Sequence[float]) -> float:
+        """Install a group's fit-time envelope from its residual errors.
+
+        The envelope is the configured quantile of the absolute relative
+        errors, floored at ``envelope_floor``; with no residuals the
+        ``default_envelope`` applies. Returns the installed envelope.
+        """
+        errors = np.abs(np.asarray(list(residual_errors), dtype=np.float64))
+        if errors.size:
+            envelope = float(np.quantile(errors, self.quantile))
+        else:
+            envelope = self.default_envelope
+        envelope = max(envelope, self.envelope_floor)
+        with self._lock:
+            self._envelopes[group] = envelope
+            self._touch_locked(group)
+        return envelope
+
+    def has_baseline(self, group: str) -> bool:
+        """Whether ``group`` has an explicit fit-time envelope."""
+        with self._lock:
+            return group in self._envelopes
+
+    def envelope(self, group: str) -> float:
+        """The group's envelope (``default_envelope`` when never set)."""
+        with self._lock:
+            return self._envelopes.get(group, self.default_envelope)
+
+    # ------------------------------------------------------------------ #
+    # Live monitoring
+    # ------------------------------------------------------------------ #
+
+    def _status_locked(self, group: str) -> DriftStatus:
+        errors = self._errors.get(group, ())
+        envelope = self._envelopes.get(group, self.default_envelope)
+        if errors:
+            recent = float(np.median(np.asarray(errors)))
+            ratio = recent / envelope
+        else:
+            recent = float("nan")
+            ratio = float("nan")
+        drifted = (
+            len(errors) >= self.min_observations
+            and recent > self.tolerance * envelope
+        )
+        return DriftStatus(
+            group=group,
+            observations=len(errors),
+            envelope=envelope,
+            recent_error=recent,
+            ratio=ratio,
+            drifted=drifted,
+        )
+
+    def observe(self, group: str, relative_error: float) -> DriftStatus:
+        """Record one live relative error; returns the group's fresh status."""
+        relative_error = abs(float(relative_error))
+        if not math.isfinite(relative_error):
+            raise ValueError(f"relative_error must be finite, got {relative_error}")
+        with self._lock:
+            errors = self._errors.setdefault(group, deque(maxlen=self.window))
+            errors.append(relative_error)
+            self._touch_locked(group)
+            status = self._status_locked(group)
+            if status.drifted:
+                self._flags += 1
+        return status
+
+    def evaluate(self, group: str, relative_errors: Sequence[float]) -> DriftStatus:
+        """A drift verdict over explicit errors, without mutating the window.
+
+        Used by the offline ``repro-bellamy refresh`` scan, which recomputes
+        a group's errors from its buffered observations in one pass.
+        """
+        errors = [abs(float(e)) for e in relative_errors][-self.window:]
+        with self._lock:
+            envelope = self._envelopes.get(group, self.default_envelope)
+        if errors:
+            recent = float(np.median(np.asarray(errors)))
+            ratio = recent / envelope
+        else:
+            recent = float("nan")
+            ratio = float("nan")
+        return DriftStatus(
+            group=group,
+            observations=len(errors),
+            envelope=envelope,
+            recent_error=recent,
+            ratio=ratio,
+            drifted=len(errors) >= self.min_observations
+            and recent > self.tolerance * envelope,
+        )
+
+    def status(self, group: str) -> DriftStatus:
+        """The group's current verdict (no mutation)."""
+        with self._lock:
+            return self._status_locked(group)
+
+    def reset(self, group: str) -> None:
+        """Clear a group's rolling window (after its model was refreshed)."""
+        with self._lock:
+            self._errors.pop(group, None)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def groups(self) -> List[str]:
+        """Groups with at least one windowed error or an envelope."""
+        with self._lock:
+            return sorted(set(self._errors) | set(self._envelopes))
+
+    def flagged(self) -> List[str]:
+        """Groups currently judged drifted."""
+        return [g for g in self.groups() if self.status(g).drifted]
+
+    #: Most per-group entries a :meth:`stats` snapshot lists (worst first);
+    #: the aggregate counters always cover every tracked group.
+    STATS_GROUP_LIMIT = 50
+
+    def stats(self) -> Dict:
+        """Counter snapshot (feeds the server's ``/stats`` online section).
+
+        ``by_group`` lists at most :attr:`STATS_GROUP_LIMIT` groups, highest
+        error-to-envelope ratio first, so the endpoint stays cheap however
+        many groups a long-lived server has tracked.
+        """
+        with self._lock:
+            groups = sorted(set(self._errors) | set(self._envelopes))
+            statuses = [self._status_locked(group) for group in groups]
+            flags = self._flags
+        worst_first = sorted(
+            statuses,
+            key=lambda s: (not s.drifted, -(s.ratio if s.ratio == s.ratio else -1.0)),
+        )
+        return {
+            "groups": len(statuses),
+            "drifted": sum(1 for s in statuses if s.drifted),
+            "drift_flags": flags,
+            "by_group": [s.to_dict() for s in worst_first[: self.STATS_GROUP_LIMIT]],
+            "by_group_truncated": max(0, len(statuses) - self.STATS_GROUP_LIMIT),
+        }

@@ -1,0 +1,225 @@
+"""Live observation intake: bounded per-group buffers with JSONL persistence.
+
+A long-lived predictor sees a stream of ``(context, scale-out, runtime)``
+ground-truth observations — the completed jobs it predicted for earlier. The
+:class:`ObservationBuffer` accumulates that stream per **model group** (one
+group per context id, the same key :meth:`repro.api.Session.group_fingerprint`
+batches on), keeping memory bounded (newest ``capacity_per_group`` entries
+per group) and optionally appending every observation to a JSONL file so a
+restarted process replays its history.
+
+>>> from repro.data.schema import JobContext
+>>> ctx = JobContext("sgd", "m4.xlarge", 1000, "dense")
+>>> buffer = ObservationBuffer(capacity_per_group=2)
+>>> for runtime in (310.0, 295.0, 288.0):
+...     buffer.add(Observation(ctx, machines=8, runtime_s=runtime))
+>>> len(buffer)                      # bounded: oldest entry dropped
+2
+>>> machines, runtimes = buffer.samples(ctx.context_id)
+>>> runtimes.tolist()
+[295.0, 288.0]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.schema import JobContext, context_from_dict, context_to_dict
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = [
+    "Observation",
+    "ObservationBuffer",
+    "context_from_dict",
+    "context_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observed job completion: a context, a scale-out, and a runtime.
+
+    ``predicted_s`` carries what the serving model predicted when the job
+    was submitted (``None`` when the observation arrived without one, e.g.
+    through the offline CLI buffer).
+
+    >>> from repro.data.schema import JobContext
+    >>> obs = Observation(JobContext("sgd", "m4", 100, ""), 8, 240.0)
+    >>> obs.group
+    'sgd|cloud|m4|100|||hadoop-3.2.1 spark-2.4.4'
+    """
+
+    context: JobContext
+    machines: float
+    runtime_s: float
+    predicted_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (float(self.machines) > 0 and math.isfinite(float(self.machines))):
+            raise ValueError(f"machines must be a positive finite number, got {self.machines}")
+        if not (float(self.runtime_s) > 0 and math.isfinite(float(self.runtime_s))):
+            raise ValueError(f"runtime_s must be a positive finite number, got {self.runtime_s}")
+
+    @property
+    def group(self) -> str:
+        """The model-group key this observation belongs to (the context id)."""
+        return self.context.context_id
+
+    def to_dict(self) -> Dict:
+        """The JSONL record form (inverse of :meth:`from_dict`)."""
+        payload: Dict = {
+            "context": context_to_dict(self.context),
+            "machines": float(self.machines),
+            "runtime_s": float(self.runtime_s),
+        }
+        if self.predicted_s is not None:
+            payload["predicted_s"] = float(self.predicted_s)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Observation":
+        """Rebuild an observation from its JSONL record.
+
+        >>> from repro.data.schema import JobContext
+        >>> obs = Observation(JobContext("sgd", "m4", 100, ""), 8, 240.0, 250.0)
+        >>> Observation.from_dict(obs.to_dict()) == obs
+        True
+        """
+        predicted = payload.get("predicted_s")
+        return cls(
+            context=context_from_dict(payload["context"]),
+            machines=float(payload["machines"]),
+            runtime_s=float(payload["runtime_s"]),
+            predicted_s=None if predicted is None else float(predicted),
+        )
+
+
+class ObservationBuffer:
+    """Bounded per-group observation store with optional JSONL persistence.
+
+    Parameters
+    ----------
+    capacity_per_group:
+        Newest observations kept in memory per model group.
+    max_groups:
+        Most distinct groups kept in memory — the least recently *updated*
+        group is dropped beyond it, so a client inventing a fresh context
+        per request cannot grow a long-lived server without limit.
+    path:
+        Optional JSONL file. Every :meth:`add` appends one line; existing
+        lines are replayed (streamed) at construction, so a restarted
+        service resumes with its observation history (the newest
+        ``capacity_per_group`` per group survive the replay).
+
+    Example::
+
+        buffer = ObservationBuffer(capacity_per_group=256, path="observations.jsonl")
+        buffer.add(Observation(context, machines=8, runtime_s=312.0))
+        machines, runtimes = buffer.samples(context.context_id, newest=8)
+    """
+
+    def __init__(
+        self,
+        capacity_per_group: int = 256,
+        max_groups: int = 1024,
+        path: Optional[PathLike] = None,
+    ) -> None:
+        if capacity_per_group < 1:
+            raise ValueError(
+                f"capacity_per_group must be >= 1, got {capacity_per_group}"
+            )
+        if max_groups < 1:
+            raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+        self.capacity_per_group = capacity_per_group
+        self.max_groups = max_groups
+        self.path = None if path is None else Path(path)
+        self._groups: "OrderedDict[str, Deque[Observation]]" = OrderedDict()
+        #: Total observations ever recorded (replayed ones included).
+        self.total_recorded = 0
+        #: Lines the replay could not decode (e.g. a torn final line after
+        #: a crash mid-append). Skipped, never fatal: a restarted service
+        #: must always come back up with whatever history is readable.
+        self.skipped_lines = 0
+        if self.path is not None and self.path.exists():
+            # Streamed, not read_text(): months of appended history must not
+            # be materialized as one giant string just to keep the newest
+            # few entries per group.
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        self._append(Observation.from_dict(json.loads(line)))
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        self.skipped_lines += 1
+
+    def _append(self, observation: Observation) -> None:
+        group = self._groups.setdefault(
+            observation.group, deque(maxlen=self.capacity_per_group)
+        )
+        group.append(observation)
+        # Most-recently-updated group last; drop the stalest beyond the cap.
+        self._groups.move_to_end(observation.group)
+        while len(self._groups) > self.max_groups:
+            self._groups.popitem(last=False)
+        self.total_recorded += 1
+
+    def add(self, observation: Observation) -> None:
+        """Record one observation (and append it to the JSONL file, if any)."""
+        self._append(observation)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(observation.to_dict(), sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def group_ids(self) -> List[str]:
+        """Model groups with at least one buffered observation (first-seen order)."""
+        return list(self._groups)
+
+    def for_group(self, group: str) -> List[Observation]:
+        """Buffered observations of one group, oldest first."""
+        return list(self._groups.get(group, ()))
+
+    def context_for(self, group: str) -> Optional[JobContext]:
+        """The context of a buffered group (``None`` if the group is unknown)."""
+        observations = self._groups.get(group)
+        return observations[-1].context if observations else None
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered observation count per group."""
+        return {group: len(items) for group, items in self._groups.items()}
+
+    def samples(
+        self, group: str, newest: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(machines, runtimes)`` training arrays from a group's buffer.
+
+        ``newest`` keeps only the most recent N observations — the refresh
+        policy's window onto the drifted regime.
+        """
+        observations = self.for_group(group)
+        if newest is not None:
+            observations = observations[-int(newest):]
+        machines = np.array([o.machines for o in observations], dtype=np.float64)
+        runtimes = np.array([o.runtime_s for o in observations], dtype=np.float64)
+        return machines, runtimes
+
+    def __len__(self) -> int:
+        return sum(len(items) for items in self._groups.values())
+
+    def __contains__(self, group: str) -> bool:
+        return group in self._groups

@@ -1,0 +1,431 @@
+"""The online-learning lifecycle: observe → detect drift → refresh → swap.
+
+:class:`OnlineSession` wraps a :class:`repro.api.Session` with the loop a
+production predictor needs once training data stops being frozen:
+
+1. **observe** — every completed job reports ``(context, scale-out,
+   runtime)``; the wrapper predicts what the *current* serving model would
+   have said, records the observation (bounded buffer + optional JSONL),
+   and feeds the relative error to the :class:`~repro.online.DriftDetector`.
+2. **detect** — each group's live error is compared against its fit-time
+   residual envelope; a sustained exceedance flags the group as drifted.
+3. **refresh** — a flagged group is re-fitted from buffer + history: the
+   history-pretrained base model is fine-tuned on the group's newest
+   buffered observations (the paper's few-samples adaptation, applied to
+   the drifted regime).
+4. **swap** — the refreshed model is saved to the
+   :class:`~repro.core.persistence.ModelStore` under a versioned name
+   (atomic save), the session's per-context serving override flips to it in
+   one assignment, and the previous version's warm-cache entry is
+   invalidated — in-flight traffic keeps its model, the next resolution
+   serves the refreshed one, and serving stays bit-identical to serial
+   :meth:`Session.predict <repro.api.session.Session.predict>`.
+
+Example (tiny budgets so it runs in seconds)::
+
+    from repro.api import Session
+    from repro.online import OnlineSession, RefreshPolicy
+
+    session = Session(corpus, config=config, store="models/")
+    online = OnlineSession(session, RefreshPolicy(tolerance=1.5))
+    outcome = online.observe(context, machines=8, runtime_s=412.0)
+    if outcome.refreshed is not None:
+        print("swapped in", outcome.refreshed.model_name)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.session import Session, _safe
+from repro.core.finetuning import finetune
+from repro.data.schema import JobContext
+from repro.eval.metrics import mre, relative_errors
+from repro.online.drift import DriftDetector, DriftStatus
+from repro.online.observations import Observation, ObservationBuffer
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """Knobs of the observe/detect/refresh loop.
+
+    >>> policy = RefreshPolicy(tolerance=2.0, refresh_samples=6)
+    >>> policy.tolerance
+    2.0
+    """
+
+    #: Fewest windowed live errors before a group can be flagged.
+    min_observations: int = 4
+    #: Rolling live-error window per group.
+    window: int = 12
+    #: Quantile of fit-time residuals defining the envelope. The default
+    #: (the median) matches the live statistic the detector compares it to
+    #: (a windowed median), so the verdict is median-vs-median.
+    quantile: float = 0.5
+    #: Windowed median error must exceed ``tolerance * envelope`` to flag.
+    tolerance: float = 2.0
+    #: Envelope assumed for groups without fit-time residuals.
+    default_envelope: float = 0.15
+    #: Newest buffered observations a refresh fine-tunes on.
+    refresh_samples: int = 8
+    #: Optional fine-tuning epoch cap for refreshes (``None`` = config's).
+    max_epochs: Optional[int] = None
+    #: Refresh immediately when :meth:`OnlineSession.observe` flags a group
+    #: (``False`` leaves refreshing to an explicit :meth:`scan`/CLI sweep).
+    auto_refresh: bool = True
+    #: In-memory observations retained per group.
+    buffer_capacity: int = 256
+
+    def detector(self) -> DriftDetector:
+        """A :class:`DriftDetector` configured by this policy."""
+        return DriftDetector(
+            window=self.window,
+            min_observations=self.min_observations,
+            quantile=self.quantile,
+            tolerance=self.tolerance,
+            default_envelope=self.default_envelope,
+        )
+
+
+@dataclass(frozen=True)
+class RefreshResult:
+    """Outcome of one model refresh (the swap already happened).
+
+    >>> RefreshResult("g", "online--g--v1", 1, 8, 0.4, 0.41, 0.05).improved
+    True
+    """
+
+    group: str
+    #: Store name of the refreshed model (``None`` without a ModelStore —
+    #: the model object itself is installed as the serving override).
+    model_name: Optional[str]
+    version: int
+    n_samples: int
+    #: MRE of the *previous* serving model on the refresh samples.
+    stale_error: float
+    wall_seconds: float
+    #: MRE of the refreshed model on the refresh samples.
+    refreshed_error: float
+
+    @property
+    def improved(self) -> bool:
+        """Whether the refreshed model beats the stale one on its samples."""
+        return self.refreshed_error < self.stale_error
+
+
+@dataclass(frozen=True)
+class ObservationOutcome:
+    """What one :meth:`OnlineSession.observe` call did.
+
+    >>> fields = ObservationOutcome.__dataclass_fields__
+    >>> "refreshed" in fields and "status" in fields
+    True
+    """
+
+    group: str
+    machines: float
+    runtime_s: float
+    #: What the serving model predicted for this scale-out.
+    predicted_s: float
+    #: ``|predicted - runtime| / runtime``.
+    relative_error: float
+    status: DriftStatus
+    #: Set when this observation triggered an auto-refresh.
+    refreshed: Optional[RefreshResult] = None
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """One group's verdict from an offline :meth:`OnlineSession.scan`.
+
+    >>> "refreshed" in GroupReport.__dataclass_fields__
+    True
+    """
+
+    group: str
+    observations: int
+    status: DriftStatus
+    refreshed: Optional[RefreshResult] = None
+
+
+class OnlineSession:
+    """Drift-aware wrapper owning the observe → refresh lifecycle.
+
+    Parameters
+    ----------
+    session:
+        The serving :class:`~repro.api.Session`. Refreshed models are
+        installed into its :attr:`~repro.api.Session.serving_overrides`, so
+        *every* consumer of the session (direct predicts, the serve layer's
+        micro-batcher) switches to a refreshed model together.
+    policy:
+        The :class:`RefreshPolicy` (defaults are conservative).
+    buffer:
+        An :class:`~repro.online.ObservationBuffer`; built from the policy
+        (no persistence) when omitted.
+    detector:
+        A :class:`~repro.online.DriftDetector`; built from the policy when
+        omitted.
+
+    Example::
+
+        online = OnlineSession(session, RefreshPolicy(refresh_samples=6))
+        for machines, runtime in completed_jobs:
+            outcome = online.observe(context, machines, runtime)
+        online.stats()["refreshes"]
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        policy: Optional[RefreshPolicy] = None,
+        buffer: Optional[ObservationBuffer] = None,
+        detector: Optional[DriftDetector] = None,
+    ) -> None:
+        self.session = session
+        self.policy = policy if policy is not None else RefreshPolicy()
+        # Explicit None checks: an *empty* ObservationBuffer is falsy
+        # (``__len__`` == 0), and a caller-supplied buffer must be kept
+        # whether or not it already holds observations.
+        self.buffer = (
+            buffer
+            if buffer is not None
+            else ObservationBuffer(capacity_per_group=self.policy.buffer_capacity)
+        )
+        self.detector = detector if detector is not None else self.policy.detector()
+        self._versions: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._counts = {"observations": 0, "refreshes": 0, "failed_refreshes": 0}
+
+    # ------------------------------------------------------------------ #
+    # Baselines
+    # ------------------------------------------------------------------ #
+
+    def _ensure_baseline(self, context: JobContext) -> None:
+        """Install the group's fit-time envelope from its corpus history.
+
+        The envelope is the quantile of the serving model's relative errors
+        on the context's *historical* executions — exactly the residual
+        level the model showed on the distribution it was fitted for. A
+        context with no history keeps the policy's default envelope.
+        """
+        group = context.context_id
+        if self.detector.has_baseline(group):
+            return
+        corpus = self.session.corpus
+        history = corpus.for_context(group) if corpus is not None else None
+        if history is None or not len(history):
+            self.detector.set_baseline(group, ())
+            return
+        machines = history.machines_array()
+        actuals = history.runtimes_array()
+        predictions = self.session.predict(context, machines)
+        self.detector.set_baseline(group, relative_errors(predictions, actuals))
+
+    # ------------------------------------------------------------------ #
+    # The lifecycle
+    # ------------------------------------------------------------------ #
+
+    def predict(self, context: JobContext, machines) -> np.ndarray:
+        """Serve a prediction (refreshed overrides apply automatically)."""
+        return self.session.predict(context, machines)
+
+    def observe(
+        self,
+        context: JobContext,
+        machines: float,
+        runtime_s: float,
+        predicted_s: Optional[float] = None,
+    ) -> ObservationOutcome:
+        """Ingest one completed job; may trigger an auto-refresh.
+
+        ``predicted_s`` is what the serving model forecast when the job was
+        submitted; when omitted it is recomputed from the current serving
+        model (identical under a fixed seed, since serving is
+        deterministic).
+        """
+        observation = Observation(context, float(machines), float(runtime_s))
+        with self._lock:
+            self._ensure_baseline(context)
+            if predicted_s is None:
+                predicted_s = float(self.session.predict(context, [observation.machines])[0])
+            error = abs(predicted_s - observation.runtime_s) / observation.runtime_s
+            self.buffer.add(
+                Observation(
+                    context, observation.machines, observation.runtime_s, predicted_s
+                )
+            )
+            self._counts["observations"] += 1
+            # The outcome carries the verdict *this* observation produced —
+            # a refresh resets the detector window, but the caller should
+            # still see drifted=True on the observation that triggered it.
+            status = self.detector.observe(observation.group, error)
+            refreshed = None
+            if status.drifted and self.policy.auto_refresh:
+                refreshed = self._refresh_locked(context)
+        return ObservationOutcome(
+            group=observation.group,
+            machines=observation.machines,
+            runtime_s=observation.runtime_s,
+            predicted_s=predicted_s,
+            relative_error=error,
+            status=status,
+            refreshed=refreshed,
+        )
+
+    def refresh(self, context: JobContext) -> RefreshResult:
+        """Re-fit a group from buffer + history and swap the model in.
+
+        The history lives in the pre-trained base model; the buffer supplies
+        the newest ``policy.refresh_samples`` observations of the drifted
+        regime. The refreshed model is saved atomically, the serving
+        override flips, and the previous version's warm-cache entry is
+        invalidated. Raises ``ValueError`` when the group has no buffered
+        observations.
+        """
+        with self._lock:
+            return self._refresh_locked(context)
+
+    def _refresh_locked(self, context: JobContext) -> RefreshResult:
+        group = context.context_id
+        machines, runtimes = self.buffer.samples(group, newest=self.policy.refresh_samples)
+        if machines.size == 0:
+            raise ValueError(f"group {group!r} has no buffered observations to refresh from")
+
+        stale_predictions = self.session.predict(context, machines)
+        stale_error = mre(stale_predictions, runtimes)
+
+        started = time.perf_counter()
+        base = self.session.base_model(context.algorithm)
+        try:
+            result = finetune(
+                base, context, machines, runtimes, max_epochs=self.policy.max_epochs
+            )
+        except Exception:
+            self._counts["failed_refreshes"] += 1
+            raise
+        model = result.model
+        version = self._versions.get(group, 0) + 1
+
+        previous = self.session.serving_overrides.get(group)
+        model_name: Optional[str] = None
+        if self.session.store is not None:
+            # Readable prefix + digest of the *full* group key: two groups
+            # agreeing on the first characters must not share a store name
+            # (truncation alone would let one overwrite the other's model).
+            digest = hashlib.sha256(group.encode("utf-8")).hexdigest()[:8]
+            model_name = f"online--{_safe(group)[:64]}--{digest}--v{version}"
+            self.session.save(
+                model_name,
+                model,
+                metadata={
+                    "group": group,
+                    "version": version,
+                    "n_samples": int(machines.size),
+                    "stale_mre": round(stale_error, 6),
+                    "epochs_trained": result.epochs_trained,
+                },
+            )
+            self.session.serving_overrides[group] = model_name
+        else:
+            self.session.serving_overrides[group] = model
+        # The swapped-out version must not keep serving from the warm cache.
+        if self.session.model_cache is not None and isinstance(previous, str):
+            self.session.model_cache.invalidate(("named", previous))
+        # wall_seconds covers the whole refresh a caller waits on:
+        # fine-tune + atomic store save + override swap + cache invalidation.
+        wall = time.perf_counter() - started
+        self._versions[group] = version
+        self._counts["refreshes"] += 1
+
+        refreshed_predictions = self.session.predict(context, machines)
+        refreshed_error = mre(refreshed_predictions, runtimes)
+        # Re-baseline: the refreshed model's residuals on its own fit
+        # samples define the new envelope; the live window restarts.
+        self.detector.set_baseline(group, relative_errors(refreshed_predictions, runtimes))
+        self.detector.reset(group)
+        return RefreshResult(
+            group=group,
+            model_name=model_name,
+            version=version,
+            n_samples=int(machines.size),
+            stale_error=stale_error,
+            wall_seconds=wall,
+            refreshed_error=refreshed_error,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Offline reconciliation (the CLI's `refresh` subcommand)
+    # ------------------------------------------------------------------ #
+
+    def scan(self, refresh: bool = False, force: bool = False) -> List[GroupReport]:
+        """Judge every buffered group in one pass; optionally refresh.
+
+        Recomputes each group's live errors against the *current* serving
+        model (buffered ``predicted_s`` values may predate a swap), asks the
+        detector for a verdict without touching its rolling windows, and —
+        with ``refresh=True`` — refreshes every drifted group (``force=True``
+        refreshes all groups with observations, drifted or not)::
+
+            reports = online.scan(refresh=True)
+            drifted = [r.group for r in reports if r.status.drifted]
+        """
+        reports: List[GroupReport] = []
+        with self._lock:
+            for group in self.buffer.group_ids():
+                context = self.buffer.context_for(group)
+                observations = self.buffer.for_group(group)
+                if context is None or not observations:
+                    continue
+                self._ensure_baseline(context)
+                machines = np.array([o.machines for o in observations])
+                actuals = np.array([o.runtime_s for o in observations])
+                predictions = self.session.predict(context, machines)
+                errors = relative_errors(predictions, actuals)
+                status = self.detector.evaluate(group, errors)
+                result = None
+                if refresh and (status.drifted or force):
+                    result = self._refresh_locked(context)
+                reports.append(
+                    GroupReport(
+                        group=group,
+                        observations=len(observations),
+                        status=status,
+                        refreshed=result,
+                    )
+                )
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def versions(self) -> Dict[str, int]:
+        """Refresh version per group (groups never refreshed are absent)."""
+        with self._lock:
+            return dict(self._versions)
+
+    def stats(self) -> Dict:
+        """Counter snapshot (the server's ``/stats`` online section)."""
+        drift = self.detector.stats()
+        with self._lock:
+            # Buffer reads stay under the lock: a concurrent observe() may
+            # be inserting a first-seen group, and iterating the group dict
+            # during that insertion would raise.
+            counts = dict(self._counts)
+            versions = dict(self._versions)
+            buffered = len(self.buffer)
+            by_group = self.buffer.counts()
+        return {
+            **counts,
+            "buffered": buffered,
+            "buffered_by_group": by_group,
+            "versions": versions,
+            "drift": drift,
+        }

@@ -7,8 +7,10 @@ warm, answer per-context requests as they arrive):
 
 :class:`PredictionServer` / :class:`ServeApp`
     A threaded stdlib HTTP JSON endpoint (``POST /predict``,
-    ``GET /healthz``, ``GET /stats``) and the transport-independent service
-    behind it, with a structured request log and graceful drain-on-close.
+    ``POST /observe``, ``GET /healthz``, ``GET /stats``) and the
+    transport-independent service behind it, with a structured request log
+    and graceful drain-on-close. ``/observe`` feeds the drift-aware
+    online-learning lifecycle (:mod:`repro.online`) when one is attached.
 :class:`MicroBatcher`
     Coalesces in-flight requests by ``(context, samples)`` fingerprint onto
     one :meth:`Session.predict_batch <repro.api.session.Session.predict_batch>`
@@ -41,6 +43,8 @@ from repro.serve.schemas import (
     SchemaError,
     context_from_payload,
     context_to_payload,
+    observe_payload,
+    parse_observe_payload,
     parse_predict_payload,
     predict_payload,
 )
@@ -59,6 +63,8 @@ __all__ = [
     "ServeError",
     "context_from_payload",
     "context_to_payload",
+    "observe_payload",
+    "parse_observe_payload",
     "parse_predict_payload",
     "predict_payload",
 ]

@@ -31,7 +31,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.schema import JobContext
-from repro.serve.schemas import predict_payload
+from repro.serve.schemas import observe_payload, predict_payload
 from repro.serve.server import ServeApp
 
 
@@ -94,6 +94,20 @@ class _BaseClient:
     def predict_response(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """POST a raw predict body and return the raw JSON response."""
         return self._checked("POST", "/predict", payload)
+
+    def observe(
+        self, context: JobContext, machines: float, runtime_s: float
+    ) -> Dict[str, Any]:
+        """Report one completed job (``POST /observe``).
+
+        Feeds the server's drift-aware online-learning lifecycle (requires
+        a server started with it, e.g. ``repro-bellamy serve --online``);
+        the response says whether the group was flagged and/or refreshed::
+
+            outcome = client.observe(context, machines=8, runtime_s=412.5)
+            outcome["drifted"], outcome["refreshed"]
+        """
+        return self._checked("POST", "/observe", observe_payload(context, machines, runtime_s))
 
     def healthz(self) -> Dict[str, Any]:
         """The server's liveness summary (``GET /healthz``)."""

@@ -26,17 +26,26 @@ the server renders as a structured 400:
 ...     parse_predict_payload({"machines": []})
 ... except SchemaError as error:
 ...     (error.field, str(error))
-('machines', 'machines must be a non-empty list of positive numbers')
+('machines', 'machines must be a non-empty list of positive finite numbers')
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.estimator import PredictionRequest
-from repro.data.schema import JobContext
+from repro.data.schema import JobContext, context_to_dict
+
+#: Hard cap on any numeric list in a request body (machines, runtimes) —
+#: a malicious or buggy client must get a structured 400, not an
+#: out-of-memory server.
+MAX_LIST_ITEMS = 4096
+
+#: Hard cap on ``job_params`` entries per context.
+MAX_JOB_PARAMS = 256
 
 
 class SchemaError(ValueError):
@@ -93,7 +102,7 @@ def context_from_payload(payload: Any) -> JobContext:
             continue
         try:
             kwargs[key] = convert(payload[key])
-        except (TypeError, ValueError):
+        except (TypeError, ValueError, OverflowError):
             raise SchemaError(
                 f"context.{key}",
                 f"context.{key} must be {convert.__name__}-coercible, "
@@ -104,6 +113,11 @@ def context_from_payload(payload: Any) -> JobContext:
         isinstance(k, str) for k in params
     ):
         raise SchemaError("context.job_params", "job_params must be a string-keyed object")
+    if len(params) > MAX_JOB_PARAMS:
+        raise SchemaError(
+            "context.job_params",
+            f"job_params may carry at most {MAX_JOB_PARAMS} entries, got {len(params)}",
+        )
     kwargs["job_params"] = tuple((k, str(v)) for k, v in params.items())
     kwargs.setdefault("dataset_characteristics", "")
     unknown = set(payload) - set(_CONTEXT_FIELDS) - {"job_params"}
@@ -118,28 +132,41 @@ def context_from_payload(payload: Any) -> JobContext:
 def context_to_payload(context: JobContext) -> Dict[str, Any]:
     """The wire form of a context (inverse of :func:`context_from_payload`).
 
+    Delegates to the canonical converter in :mod:`repro.data.schema`, so
+    the HTTP payloads and the online observation JSONL share one shape.
+
     >>> ctx = JobContext("sgd", "m4", 100, "dense")
     >>> context_from_payload(context_to_payload(ctx)) == ctx
     True
     """
-    return {
-        "algorithm": context.algorithm,
-        "node_type": context.node_type,
-        "dataset_mb": context.dataset_mb,
-        "dataset_characteristics": context.dataset_characteristics,
-        "job_params": dict(context.job_params),
-        "environment": context.environment,
-        "software": context.software,
-    }
+    return context_to_dict(context)
+
+
+def _finite_positive(value: Any) -> bool:
+    """Whether ``value`` is a positive, finite JSON number (bools excluded)."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(float(value))
+        and value > 0
+    )
 
 
 def _machines_list(value: Any, field: str) -> List[float]:
-    if (
-        not isinstance(value, (list, tuple))
-        or not value
-        or not all(isinstance(m, (int, float)) and not isinstance(m, bool) and m > 0 for m in value)
-    ):
-        raise SchemaError(field, f"{field} must be a non-empty list of positive numbers")
+    if not isinstance(value, (list, tuple)) or not value:
+        raise SchemaError(
+            field, f"{field} must be a non-empty list of positive finite numbers"
+        )
+    # Length guard first: the cap protects the server, so it must cost O(1),
+    # not a full walk of an arbitrarily long payload.
+    if len(value) > MAX_LIST_ITEMS:
+        raise SchemaError(
+            field, f"{field} may carry at most {MAX_LIST_ITEMS} entries, got {len(value)}"
+        )
+    if not all(_finite_positive(m) for m in value):
+        raise SchemaError(
+            field, f"{field} must be a non-empty list of positive finite numbers"
+        )
     return [float(m) for m in value]
 
 
@@ -166,12 +193,21 @@ def parse_predict_payload(payload: Any) -> PredictionRequest:
             raise SchemaError("samples", "samples must be an object with machines/runtimes")
         train_machines = _machines_list(samples.get("machines"), "samples.machines")
         runtimes = samples.get("runtimes")
-        if (
-            not isinstance(runtimes, (list, tuple))
-            or not all(isinstance(r, (int, float)) and not isinstance(r, bool) and r > 0 for r in runtimes)
-        ):
+        if not isinstance(runtimes, (list, tuple)):
             raise SchemaError(
-                "samples.runtimes", "samples.runtimes must be a list of positive numbers"
+                "samples.runtimes",
+                "samples.runtimes must be a list of positive finite numbers",
+            )
+        if len(runtimes) > MAX_LIST_ITEMS:
+            raise SchemaError(
+                "samples.runtimes",
+                f"samples.runtimes may carry at most {MAX_LIST_ITEMS} entries, "
+                f"got {len(runtimes)}",
+            )
+        if not all(_finite_positive(r) for r in runtimes):
+            raise SchemaError(
+                "samples.runtimes",
+                "samples.runtimes must be a list of positive finite numbers",
             )
         train_runtimes = [float(r) for r in runtimes]
         if len(train_machines) != len(train_runtimes):
@@ -231,6 +267,51 @@ def predict_payload(
     if model is not None:
         body["model"] = model
     return body
+
+
+def parse_observe_payload(payload: Any) -> Tuple[JobContext, float, float]:
+    """``(context, machines, runtime_s)`` from a JSON observe body.
+
+    An observation reports one *completed* job: the context it ran in, the
+    scale-out it ran at, and the runtime it actually took. Expected shape::
+
+        {"context": {...}, "machines": 8, "runtime_s": 412.5}
+
+    >>> payload = {"context": {"algorithm": "sgd", "node_type": "m4",
+    ...                        "dataset_mb": 100}, "machines": 8, "runtime_s": 412.5}
+    >>> context, machines, runtime = parse_observe_payload(payload)
+    >>> (context.algorithm, machines, runtime)
+    ('sgd', 8.0, 412.5)
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("body", "request body must be a JSON object")
+    unknown = set(payload) - {"context", "machines", "runtime_s"}
+    if unknown:
+        raise SchemaError("body", f"unknown request key(s): {sorted(unknown)}")
+    context = context_from_payload(payload.get("context"))
+    machines = payload.get("machines")
+    if not _finite_positive(machines):
+        raise SchemaError("machines", "machines must be one positive finite number")
+    runtime = payload.get("runtime_s")
+    if not _finite_positive(runtime):
+        raise SchemaError("runtime_s", "runtime_s must be one positive finite number")
+    return context, float(machines), float(runtime)
+
+
+def observe_payload(
+    context: JobContext, machines: float, runtime_s: float
+) -> Dict[str, Any]:
+    """Assemble an observe body (the client-side inverse of the parser).
+
+    >>> ctx = JobContext("sgd", "m4", 100, "dense")
+    >>> sorted(observe_payload(ctx, 8, 412.5))
+    ['context', 'machines', 'runtime_s']
+    """
+    return {
+        "context": context_to_payload(context),
+        "machines": float(machines),
+        "runtime_s": float(runtime_s),
+    }
 
 
 def prediction_to_payload(prediction: np.ndarray, request: PredictionRequest) -> Dict[str, Any]:

@@ -21,8 +21,11 @@ method     path        body / response
 =========  ==========  ====================================================
 ``POST``   /predict    predict body (see :mod:`repro.serve.schemas`) →
                        ``{"predictions_s": [...], ...}``
+``POST``   /observe    observe body ``{"context": ..., "machines": 8,
+                       "runtime_s": 412.5}`` → drift/refresh outcome
+                       (requires the app's online-learning lifecycle)
 ``GET``    /healthz    liveness: ``{"status": "ok", ...}``
-``GET``    /stats      counters: requests, cache, batcher sections
+``GET``    /stats      counters: requests, cache, batcher, online sections
 =========  ==========  ====================================================
 
 Responses are deterministic under a fixed session seed: batching runs in
@@ -51,6 +54,7 @@ from repro.serve.cache import LruTtlCache
 from repro.serve.schemas import (
     SchemaError,
     parse_model_name,
+    parse_observe_payload,
     parse_predict_payload,
     prediction_to_payload,
 )
@@ -77,6 +81,11 @@ class ServeApp:
         Optional text stream receiving one JSON line per request (the
         structured request log); the newest ``log_size`` entries are always
         kept in memory for ``/stats`` debugging either way.
+    online:
+        Optional :class:`repro.online.OnlineSession` enabling the
+        ``POST /observe`` endpoint and the ``/stats`` drift counters. It
+        must wrap the same ``session`` this app serves, so a drift-triggered
+        refresh swaps the model every request path sees.
 
     Example::
 
@@ -97,8 +106,12 @@ class ServeApp:
         cache_ttl_s: Optional[float] = None,
         log_stream: Optional[IO[str]] = None,
         log_size: int = 1000,
+        online: Any = None,
     ) -> None:
         self.session = session
+        if online is not None and online.session is not session:
+            raise ValueError("the OnlineSession must wrap the session this app serves")
+        self.online = online
         if cache is None:
             cache = LruTtlCache(capacity=cache_size, ttl_s=cache_ttl_s)
         if cache is not False and session.model_cache is None:
@@ -132,11 +145,13 @@ class ServeApp:
         route = (method.upper(), path.rstrip("/") or "/")
         if route == ("POST", "/predict"):
             status, body, context_id = self._predict(payload)
+        elif route == ("POST", "/observe"):
+            status, body, context_id = self._observe(payload)
         elif route == ("GET", "/healthz"):
             status, body, context_id = (200, self.healthz(), None)
         elif route == ("GET", "/stats"):
             status, body, context_id = (200, self.stats(), None)
-        elif path.rstrip("/") in ("/predict", "/healthz", "/stats"):
+        elif path.rstrip("/") in ("/predict", "/observe", "/healthz", "/stats"):
             status, body, context_id = (
                 405,
                 {"error": "method_not_allowed", "detail": f"{method} {path}"},
@@ -190,6 +205,61 @@ class ServeApp:
         self._bump("served")
         return 200, prediction_to_payload(prediction, request), context_id
 
+    def _observe(self, payload: Any) -> Tuple[int, JsonDict, Optional[str]]:
+        if self.online is None:
+            self._bump("client_errors")
+            return (
+                404,
+                {
+                    "error": "online_disabled",
+                    "detail": "this server runs without the online-learning "
+                    "lifecycle (start with --online)",
+                },
+                None,
+            )
+        try:
+            context, machines, runtime_s = parse_observe_payload(payload)
+        except SchemaError as error:
+            self._bump("client_errors")
+            return 400, error.payload(), None
+        context_id = context.context_id
+        if self.batcher.closed:
+            self._bump("server_errors")
+            return 503, {"error": "shutting_down", "detail": "server is draining"}, context_id
+        try:
+            outcome = self.online.observe(context, machines, runtime_s)
+        except ValueError as error:
+            self._bump("client_errors")
+            return 400, {"error": "bad_request", "field": "body", "detail": str(error)}, context_id
+        except Exception as error:  # the service must never die on a request
+            self._bump("server_errors")
+            return 500, {"error": "internal", "detail": f"{type(error).__name__}: {error}"}, context_id
+        self._bump("served")
+        refreshed = None
+        if outcome.refreshed is not None:
+            refreshed = {
+                "model_name": outcome.refreshed.model_name,
+                "version": outcome.refreshed.version,
+                "n_samples": outcome.refreshed.n_samples,
+                "stale_error": round(outcome.refreshed.stale_error, 6),
+                "refreshed_error": round(outcome.refreshed.refreshed_error, 6),
+                "wall_seconds": round(outcome.refreshed.wall_seconds, 6),
+            }
+        return (
+            200,
+            {
+                "recorded": True,
+                "group": outcome.group,
+                "machines": outcome.machines,
+                "runtime_s": outcome.runtime_s,
+                "predicted_s": outcome.predicted_s,
+                "relative_error": round(outcome.relative_error, 6),
+                "drifted": outcome.status.drifted,
+                "refreshed": refreshed,
+            },
+            context_id,
+        )
+
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
@@ -203,12 +273,15 @@ class ServeApp:
         }
 
     def stats(self) -> JsonDict:
-        """Counter snapshot (the ``/stats`` body): requests, cache, batcher."""
+        """Counter snapshot (the ``/stats`` body): requests, cache, batcher,
+        session, and — when online learning is enabled — the drift/refresh
+        counters."""
         return {
             "requests": dict(self._counts),
             "cache": self.cache.stats() if self.cache is not None else None,
             "batcher": self.batcher.stats(),
             "session": dict(self.session.last_batch_stats),
+            "online": self.online.stats() if self.online is not None else None,
         }
 
     def _record(

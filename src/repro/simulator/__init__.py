@@ -10,6 +10,12 @@ memory pressure, scheduling waves, synchronization, context latents and noise
 (:mod:`repro.simulator.traces`).
 """
 
+from repro.simulator.drift import (
+    DRIFT_KINDS,
+    DriftScenario,
+    DriftSpec,
+    generate_drift_scenario,
+)
 from repro.simulator.algorithms import (
     ALGORITHM_PROFILES,
     BELL_ALGORITHMS,
@@ -46,8 +52,11 @@ __all__ = [
     "CACHE_FRACTION",
     "CLOUD_NODE_TYPES",
     "CLUSTER_NODE_TYPES",
+    "DRIFT_KINDS",
     "AlgorithmProfile",
     "ContextLatents",
+    "DriftScenario",
+    "DriftSpec",
     "LEGACY_SOFTWARE_FACTOR",
     "NodeType",
     "SPILL_PENALTY",
@@ -56,6 +65,7 @@ __all__ = [
     "TraceGenerator",
     "cloud_node_names",
     "expected_runtime",
+    "generate_drift_scenario",
     "get_algorithm_profile",
     "get_node_type",
     "sample_runtime",

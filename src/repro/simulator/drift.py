@@ -1,0 +1,224 @@
+"""Drift scenarios: reproducible shifts of the runtime law over a stream.
+
+The online-learning lifecycle (:mod:`repro.online`) needs workloads whose
+runtime behaviour *changes* while a model is serving — otherwise drift
+detection and model refresh cannot be tested end-to-end. This module turns
+the deterministic runtime law into a **drifted observation stream**: a
+history of executions sampled under the original law (pre-training corpus),
+followed by a stream of observations whose expected runtime is shifted by a
+parameterized drift profile.
+
+Three drift families cover the shifts real deployments see:
+
+``slope``
+    Gradual drift — the law's level rises linearly over the stream (e.g.
+    slow dataset growth, creeping contention). The factor at stream position
+    ``i`` of ``n`` is ``1 + magnitude * (i + 1) / n``.
+``step``
+    A sudden level change at ``start`` (an environment swap: new cluster,
+    new software generation). Factor ``1`` before, ``1 + magnitude`` after.
+``noise-burst``
+    The mean stays put but run-to-run noise multiplies by ``1 + magnitude``
+    inside the burst window — a healthy model should *not* be refreshed.
+
+Everything is seed-derived: the same ``(seed, spec)`` pair reproduces the
+exact same stream, which is what makes drift behaviour testable.
+
+>>> spec = DriftSpec(kind="step", magnitude=0.5, start=0.5)
+>>> scenario = generate_drift_scenario(spec, seed=0, n_stream=8)
+>>> len(scenario.stream)
+8
+>>> scenario.drift_factor(0), scenario.drift_factor(7)
+(1.0, 1.5)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Execution, JobContext
+from repro.simulator.traces import TraceGenerator
+from repro.utils.rng import derive_seed, new_rng
+
+#: Drift families understood by :func:`generate_drift_scenario`.
+DRIFT_KINDS = ("slope", "step", "noise-burst")
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Parameters of one drift profile.
+
+    >>> DriftSpec(kind="slope", magnitude=0.4).kind
+    'slope'
+    """
+
+    #: One of :data:`DRIFT_KINDS`.
+    kind: str = "step"
+    #: Relative size of the shift (0.5 = +50 % runtime at full drift).
+    magnitude: float = 0.5
+    #: Fraction of the stream at which the shift begins (``step`` jumps
+    #: here; ``noise-burst`` starts here; ``slope`` ignores it).
+    start: float = 0.5
+    #: Fraction of the stream at which a ``noise-burst`` ends.
+    end: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ValueError(f"unknown drift kind {self.kind!r}; known: {DRIFT_KINDS}")
+        if self.magnitude < 0:
+            raise ValueError(f"magnitude must be >= 0, got {self.magnitude}")
+        if not 0.0 <= self.start <= 1.0 or not 0.0 <= self.end <= 1.0:
+            raise ValueError("start/end must be fractions in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A reproducible drifted workload: history, stream, and ground truth.
+
+    ``history`` is sampled under the original runtime law (the pre-training
+    corpus); ``stream`` is the post-fit observation sequence with the drift
+    profile applied. :meth:`evaluation_set` gives the noise-free runtimes at
+    full drift — the ground truth a refreshed model is scored against::
+
+        scenario = generate_drift_scenario(DriftSpec("step"), seed=0)
+        corpus = ExecutionDataset(scenario.history)
+        machines, truths = scenario.evaluation_set([4, 8])
+    """
+
+    context: JobContext
+    spec: DriftSpec
+    seed: int
+    #: Executions under the original law (use as the pre-training corpus).
+    history: Tuple[Execution, ...]
+    #: Post-drift observations, in arrival order: ``(machines, runtime_s)``.
+    stream: Tuple[Tuple[int, float], ...]
+    #: The generator (and hence latents) behind both phases.
+    generator: TraceGenerator = field(repr=False)
+
+    def drift_factor(self, position: int) -> float:
+        """Multiplier applied to the expected runtime at stream ``position``.
+
+        For ``noise-burst`` the *mean* is unshifted, so the factor is 1.
+        """
+        n = len(self.stream)
+        return _mean_factor(self.spec, position, n)
+
+    def noise_sigma(self, position: int, base_sigma: float) -> float:
+        """Effective lognormal sigma at stream ``position``."""
+        return base_sigma * _noise_factor(self.spec, position, len(self.stream))
+
+    def expected_runtime(self, machines: int, position: Optional[int] = None) -> float:
+        """Noise-free runtime at ``machines``; drifted when ``position`` is
+        given (``None`` = the original, pre-drift law)."""
+        base = self.generator.expected_runtime(self.context, int(machines))
+        if position is None:
+            return base
+        return base * self.drift_factor(position)
+
+    def evaluation_set(
+        self, machines: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(machines, true runtimes)`` at the *end-of-stream* drift state.
+
+        This is the post-drift ground truth used to compare a stale model
+        against a refreshed one.
+        """
+        machines = np.asarray(list(machines), dtype=np.float64)
+        truths = np.array(
+            [self.expected_runtime(int(m), position=len(self.stream) - 1) for m in machines]
+        )
+        return machines, truths
+
+
+def _mean_factor(spec: DriftSpec, position: int, n: int) -> float:
+    """Expected-runtime multiplier of ``spec`` at stream ``position``."""
+    if n <= 0:
+        return 1.0
+    if spec.kind == "slope":
+        return 1.0 + spec.magnitude * (position + 1) / n
+    if spec.kind == "step":
+        return 1.0 + spec.magnitude if position >= math.floor(spec.start * n) else 1.0
+    return 1.0  # noise-burst: the mean is unshifted
+
+
+def _noise_factor(spec: DriftSpec, position: int, n: int) -> float:
+    """Noise-sigma multiplier of ``spec`` at stream ``position``."""
+    if spec.kind != "noise-burst" or n <= 0:
+        return 1.0
+    inside = math.floor(spec.start * n) <= position < math.ceil(spec.end * n)
+    return 1.0 + spec.magnitude if inside else 1.0
+
+
+def generate_drift_scenario(
+    spec: DriftSpec,
+    seed: int = 0,
+    context: Optional[JobContext] = None,
+    history_scaleouts: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    history_repeats: int = 3,
+    stream_scaleouts: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    n_stream: int = 24,
+    noise_sigma: float = 0.02,
+) -> DriftScenario:
+    """Build a :class:`DriftScenario`: history + drifted observation stream.
+
+    Parameters
+    ----------
+    spec:
+        The drift profile (kind, magnitude, timing).
+    seed:
+        Root seed; latents, history noise, and stream noise all derive from
+        it, so the scenario is bit-reproducible.
+    context:
+        The served context; a representative SGD cloud context by default.
+    history_scaleouts, history_repeats:
+        Scale-out grid and repeats of the pre-drift corpus.
+    stream_scaleouts:
+        Scale-outs the stream cycles through (arrival order).
+    n_stream:
+        Number of post-drift observations.
+    noise_sigma:
+        Base lognormal run-to-run noise of the stream (kept small so drift —
+        not noise — dominates the signal; ``noise-burst`` multiplies it).
+
+    >>> scenario = generate_drift_scenario(DriftSpec("slope", 0.4), seed=1, n_stream=6)
+    >>> scenario2 = generate_drift_scenario(DriftSpec("slope", 0.4), seed=1, n_stream=6)
+    >>> scenario.stream == scenario2.stream
+    True
+    """
+    if n_stream <= 0:
+        raise ValueError(f"n_stream must be > 0, got {n_stream}")
+    if context is None:
+        context = JobContext(
+            algorithm="sgd",
+            node_type="m4.2xlarge",
+            dataset_mb=19353,
+            dataset_characteristics="dense-features",
+            job_params=(("max_iterations", "25"), ("step_size", "1.0")),
+        )
+    generator = TraceGenerator(seed=derive_seed(seed, "drift-history", spec.kind))
+    history = tuple(
+        generator.executions_for_context(context, tuple(history_scaleouts), history_repeats)
+    )
+
+    rng = new_rng(derive_seed(seed, "drift-stream", spec.kind, context.descriptor()))
+    stream: List[Tuple[int, float]] = []
+    for position in range(n_stream):
+        machines = int(stream_scaleouts[position % len(stream_scaleouts)])
+        expected = generator.expected_runtime(context, machines)
+        drifted = expected * _mean_factor(spec, position, n_stream)
+        sigma = noise_sigma * _noise_factor(spec, position, n_stream)
+        runtime = drifted * float(np.exp(rng.normal(0.0, sigma)))
+        stream.append((machines, float(runtime)))
+
+    return DriftScenario(
+        context=context,
+        spec=spec,
+        seed=seed,
+        history=history,
+        stream=tuple(stream),
+        generator=generator,
+    )

@@ -73,8 +73,13 @@ def save_npz_dict(path: PathLike, arrays: Dict[str, np.ndarray]) -> None:
     with tempfile.NamedTemporaryFile(
         dir=str(path.parent), prefix=path.name, suffix=".tmp", delete=False
     ) as handle:
-        np.savez_compressed(handle, **arrays)
         tmp = handle.name
+        try:
+            np.savez_compressed(handle, **arrays)
+        except BaseException:
+            handle.close()
+            os.unlink(tmp)
+            raise
     os.replace(tmp, path)
 
 

@@ -1,0 +1,97 @@
+"""Session.serving_overrides: the atomic swap point of model refresh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PredictionRequest, Session
+from repro.core.config import BellamyConfig
+from repro.data.dataset import ExecutionDataset
+from repro.simulator.traces import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    """A small session plus a distinct second model stored under a name."""
+    from repro.data.schema import JobContext
+
+    context = JobContext(
+        algorithm="sgd", node_type="m4.2xlarge", dataset_mb=19353,
+        dataset_characteristics="dense-features",
+        job_params=(("max_iterations", "25"), ("step_size", "1.0")),
+    )
+    generator = TraceGenerator(seed=7)
+    corpus = ExecutionDataset(
+        generator.executions_for_context(context, (2, 4, 6, 8, 10, 12), 2)
+    )
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=60, finetune_max_epochs=80, finetune_patience=40
+    )
+    store = tmp_path_factory.mktemp("override-store")
+    session = Session(corpus, config=config, store=store)
+    base = session.base_model("sgd")
+    est = session.finetune(context, [4.0, 10.0], [500.0, 300.0], max_epochs=80)
+    session.save("adapted", est._runtime_model._fitted)
+    return session, context, base
+
+
+def test_override_by_name_changes_predictions(setup):
+    session, context, base = setup
+    before = session.predict(context, [4, 8])
+    session.serving_overrides[context.context_id] = "adapted"
+    try:
+        after = session.predict(context, [4, 8])
+        assert not np.array_equal(before, after)
+        # resolve_base follows the same rule: it now loads the named model.
+        resolved = session.resolve_base(context)
+        adapted = session.load("adapted")
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(
+                resolved.full_state_dict().values(),
+                adapted.full_state_dict().values(),
+            )
+        )
+    finally:
+        session.serving_overrides.clear()
+    assert np.array_equal(session.predict(context, [4, 8]), before)
+
+
+def test_explicit_model_argument_beats_the_override(setup):
+    session, context, base = setup
+    session.serving_overrides[context.context_id] = "adapted"
+    try:
+        explicit = session.predict(context, [4, 8], model=base)
+        assert np.array_equal(
+            explicit, session.predict(context, [4, 8], model=base)
+        )
+        # The override applies only to model=None resolution.
+        assert not np.array_equal(explicit, session.predict(context, [4, 8]))
+    finally:
+        session.serving_overrides.clear()
+
+
+def test_predict_batch_resolves_overrides_per_group(setup):
+    session, context, base = setup
+    requests = [PredictionRequest(machines=[4, 8], context=context)]
+    plain = session.predict_batch(requests, exact=True)[0]
+    session.serving_overrides[context.context_id] = "adapted"
+    try:
+        swapped = session.predict_batch(requests, exact=True)[0]
+        serial = session.predict(context, [4, 8])
+        assert not np.array_equal(plain, swapped)
+        assert np.array_equal(swapped, serial)  # batched == serial, post-swap
+    finally:
+        session.serving_overrides.clear()
+
+
+def test_override_with_model_object(setup):
+    session, context, base = setup
+    adapted = session.load("adapted")
+    session.serving_overrides[context.context_id] = adapted
+    try:
+        assert session.resolve_base(context) is adapted
+    finally:
+        session.serving_overrides.clear()
+    assert session.resolve_base(context) is base

@@ -1,0 +1,139 @@
+"""Golden regression fixtures for the classical baselines (nnls/ernest/bell).
+
+Each case fits a model family on a frozen synthetic dataset and compares its
+predictions on a fixed query grid against values checked into
+``tests/baselines/golden/golden.json`` — within 1e-10, so a numeric refactor
+(solver rewrite, vectorization, operand reordering) cannot silently shift
+baseline results.
+
+Regenerate after an *intentional* numeric change::
+
+    PYTHONPATH=src python tests/baselines/test_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.bell_model import BellModel
+from repro.baselines.ernest import ErnestModel
+from repro.baselines.nnls import nnls
+from repro.baselines.nonparametric import InterpolationModel
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden.json"
+
+TOLERANCE = 1e-10
+
+#: The frozen query grid every fitted model predicts on.
+QUERY_MACHINES = [1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 12.0, 16.0, 24.0]
+
+#: Frozen training sets. Literal values — regenerating the suite's synthetic
+#: datasets must not move these.
+TRAINING_SETS = {
+    "clean_curve": {
+        "machines": [2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+        "runtimes": [612.5, 342.8, 261.4, 224.9, 209.3, 203.8],
+    },
+    "noisy_curve": {
+        "machines": [2.0, 2.0, 4.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+        "runtimes": [598.1, 645.2, 330.7, 355.9, 270.2, 219.6, 215.8, 197.4],
+    },
+    "three_points": {
+        "machines": [2.0, 6.0, 12.0],
+        "runtimes": [540.0, 250.0, 190.0],
+    },
+}
+
+MODEL_FACTORIES = {
+    "nnls": ErnestModel,      # the paper's "NNLS" baseline (Ernest's model)
+    "bell": BellModel,
+    "interpolation": InterpolationModel,
+}
+
+
+def compute_golden() -> dict:
+    """Fit every (model, training set) pair and predict the query grid."""
+    out: dict = {"tolerance": TOLERANCE, "query_machines": QUERY_MACHINES, "cases": {}}
+    for dataset_name, data in TRAINING_SETS.items():
+        machines = np.asarray(data["machines"], dtype=np.float64)
+        runtimes = np.asarray(data["runtimes"], dtype=np.float64)
+        for model_name, factory in MODEL_FACTORIES.items():
+            model = factory().fit(machines, runtimes)
+            predictions = model.predict(np.asarray(QUERY_MACHINES, dtype=np.float64))
+            case: dict = {"predictions": [float(p) for p in predictions]}
+            if model_name == "bell":
+                case["selected_kind"] = model.selected_kind
+            out["cases"][f"{model_name}/{dataset_name}"] = case
+    # The raw NNLS solver itself, on a fixed ill-conditioned system.
+    A = np.array(
+        [
+            [1.0, 0.5, 1.0, 2.0],
+            [1.0, 0.25, 2.0, 4.0],
+            [1.0, 0.125, 3.0, 8.0],
+            [1.0, 0.1, 3.32, 10.0],
+            [1.0, 0.0625, 4.0, 16.0],
+        ]
+    )
+    b = np.array([400.0, 230.0, 160.0, 150.0, 120.0])
+    x, rnorm = nnls(A, b)
+    out["cases"]["nnls_solver/fixed_system"] = {
+        "x": [float(v) for v in x],
+        "rnorm": float(rnorm),
+    }
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; generate it with "
+        "`PYTHONPATH=src python tests/baselines/test_golden.py --regen`"
+    )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_golden_covers_every_case(golden):
+    assert set(golden["cases"]) == set(compute_golden()["cases"])
+
+
+@pytest.mark.parametrize(
+    "case_name",
+    [f"{m}/{d}" for m in MODEL_FACTORIES for d in TRAINING_SETS],
+)
+def test_model_predictions_match_golden(golden, case_name):
+    fresh = compute_golden()["cases"][case_name]
+    frozen = golden["cases"][case_name]
+    fresh_pred = np.asarray(fresh["predictions"])
+    frozen_pred = np.asarray(frozen["predictions"])
+    drift = np.abs(fresh_pred - frozen_pred).max()
+    assert drift <= TOLERANCE, (
+        f"{case_name} drifted by {drift:.3e} (> {TOLERANCE}); if the numeric "
+        "change is intentional, regenerate tests/baselines/golden/golden.json"
+    )
+    if "selected_kind" in frozen:
+        assert fresh["selected_kind"] == frozen["selected_kind"]
+
+
+def test_nnls_solver_matches_golden(golden):
+    fresh = compute_golden()["cases"]["nnls_solver/fixed_system"]
+    frozen = golden["cases"]["nnls_solver/fixed_system"]
+    assert np.abs(np.asarray(fresh["x"]) - np.asarray(frozen["x"])).max() <= TOLERANCE
+    assert abs(fresh["rnorm"] - frozen["rnorm"]) <= TOLERANCE
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(compute_golden(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

@@ -1,0 +1,134 @@
+"""CLI observe/refresh subcommands and the online-drift experiment entry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.data.io import write_csv
+from repro.data.dataset import ExecutionDataset
+from repro.simulator import DriftSpec, generate_drift_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0, n_stream=12
+    )
+
+
+def _context_args(scenario):
+    context = scenario.context
+    args = [
+        "--algorithm", context.algorithm,
+        "--node-type", context.node_type,
+        "--dataset-mb", str(context.dataset_mb),
+        "--characteristics", context.dataset_characteristics,
+        "--environment", context.environment,
+        "--software", context.software,
+    ]
+    for key, value in context.job_params:
+        args += ["--param", f"{key}={value}"]
+    return args
+
+
+def test_observe_appends_to_local_buffer(tmp_path, scenario, capsys):
+    buffer_path = tmp_path / "observations.jsonl"
+    for machines, runtime in scenario.stream[:3]:
+        code = main(
+            ["observe", *_context_args(scenario),
+             "--machines", str(int(machines)), "--runtime", str(runtime),
+             "--buffer", str(buffer_path)]
+        )
+        assert code == 0
+    lines = [json.loads(line) for line in buffer_path.read_text().splitlines()]
+    assert len(lines) == 3
+    assert lines[0]["context"]["algorithm"] == "sgd"
+    assert capsys.readouterr().out.count("buffered") == 3
+
+
+def test_observe_needs_a_destination(scenario, capsys):
+    code = main(
+        ["observe", *_context_args(scenario), "--machines", "4", "--runtime", "100"]
+    )
+    assert code == 2
+    assert "either --url" in capsys.readouterr().err
+
+
+def test_refresh_scans_buffer_and_refreshes_drifted_group(tmp_path, scenario, capsys):
+    # The session corpus == the scenario history, via the --traces CSV path.
+    traces = tmp_path / "traces.csv"
+    write_csv(traces, ExecutionDataset(list(scenario.history)))
+    buffer_path = tmp_path / "observations.jsonl"
+    for machines, runtime in scenario.stream:
+        main(
+            ["observe", *_context_args(scenario),
+             "--machines", str(int(machines)), "--runtime", str(runtime),
+             "--buffer", str(buffer_path)]
+        )
+    capsys.readouterr()
+
+    store = tmp_path / "store"
+    code = main(
+        ["refresh", "--buffer", str(buffer_path), "--traces", str(traces),
+         "--store", str(store), "--pretrain-epochs", "300", "--epochs", "200"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "refreshed 1 of 1 group(s)" in out
+    assert "yes" in out  # the drifted column
+    # The refreshed model landed in the store.
+    assert any(p.name.startswith("online--") for p in store.glob("*.npz"))
+
+
+def test_refresh_dry_run_touches_nothing(tmp_path, scenario, capsys):
+    traces = tmp_path / "traces.csv"
+    write_csv(traces, ExecutionDataset(list(scenario.history)))
+    buffer_path = tmp_path / "observations.jsonl"
+    for machines, runtime in scenario.stream[:6]:
+        main(
+            ["observe", *_context_args(scenario),
+             "--machines", str(int(machines)), "--runtime", str(runtime),
+             "--buffer", str(buffer_path)]
+        )
+    capsys.readouterr()
+    store = tmp_path / "store"
+    code = main(
+        ["refresh", "--buffer", str(buffer_path), "--traces", str(traces),
+         "--store", str(store), "--pretrain-epochs", "300", "--dry-run"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "refreshed 0 of 1 group(s)" in out
+    assert not any(p.name.startswith("online--") for p in store.glob("*.npz"))
+
+
+def test_refresh_empty_buffer_is_a_noop(tmp_path, capsys):
+    buffer_path = tmp_path / "empty.jsonl"
+    buffer_path.write_text("")
+    code = main(["refresh", "--buffer", str(buffer_path)])
+    assert code == 0
+    assert "nothing to do" in capsys.readouterr().out
+
+
+def test_serve_parser_accepts_online_flags():
+    from repro.cli.main import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--online", "--observations", "obs.jsonl",
+         "--drift-tolerance", "1.8", "--refresh-samples", "6",
+         "--refresh-epochs", "100"]
+    )
+    assert args.online is True
+    assert args.drift_tolerance == 1.8
+    assert args.refresh_samples == 6
+    assert args.refresh_epochs == 100
+
+
+def test_experiment_parser_accepts_online_drift():
+    from repro.cli.main import build_parser
+
+    args = build_parser().parse_args(["experiment", "online-drift", "--scale", "smoke"])
+    assert args.which == "online-drift"

@@ -74,13 +74,16 @@ class TestRegistry:
         model = BellamyModel(BellamyConfig())
         model.fit_scaler(model.featurizer.scaleout_features([2.0, 12.0]))
         store.save("weird", model)
-        # Corrupt the stored class name.
+        # Corrupt the stored class name (inside the committed .npz payload).
         import json
 
-        meta_path = tmp_path / "weird.json"
-        payload = json.loads(meta_path.read_text())
+        from repro.utils.serialization import load_npz_dict, save_npz_dict
+
+        state = load_npz_dict(tmp_path / "weird.npz")
+        payload = json.loads(str(state["__meta_json__"]))
         payload["model_class"] = "EvilModel"
-        meta_path.write_text(json.dumps(payload))
+        state["__meta_json__"] = np.array(json.dumps(payload))
+        save_npz_dict(tmp_path / "weird.npz", state)
         with pytest.raises(ValueError, match="unknown class"):
             store.load("weird")
 
@@ -88,11 +91,15 @@ class TestRegistry:
         """Stores written before the registry load as plain BellamyModel."""
         store = ModelStore(tmp_path)
         model = pretrain(sgd_dataset, "sgd", epochs=5, seed=0).model
-        store.save("legacy", model)
         import json
 
-        meta_path = tmp_path / "legacy.json"
-        payload = json.loads(meta_path.read_text())
-        del payload["model_class"]
-        meta_path.write_text(json.dumps(payload))
+        from repro.utils.serialization import save_json, save_npz_dict
+
+        # Reproduce the pre-registry, pre-atomic layout: a plain state .npz
+        # and a sidecar .json with no model_class.
+        save_npz_dict(tmp_path / "legacy.npz", model.full_state_dict())
+        save_json(
+            tmp_path / "legacy.json",
+            {"config": model.config.to_dict(), "metadata": {}},
+        )
         assert type(store.load("legacy")) is BellamyModel

@@ -19,7 +19,7 @@ import re
 
 import pytest
 
-PACKAGES = ("repro.api", "repro.serve", "repro.eval")
+PACKAGES = ("repro.api", "repro.serve", "repro.online", "repro.eval")
 
 _EXAMPLE_RE = re.compile(r"::\s*$", re.M)
 

@@ -1,0 +1,47 @@
+"""The online-drift experiment: stale vs refreshed across drift families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import run_online_drift_experiment
+from repro.simulator import DRIFT_KINDS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_online_drift_experiment(seed=0)
+
+
+def test_covers_every_drift_kind(result):
+    assert tuple(record.kind for record in result.records) == DRIFT_KINDS
+    assert result.wall_seconds > 0
+
+
+def test_mean_shifts_are_refreshed_and_improve(result):
+    by_kind = {record.kind: record for record in result.records}
+    for kind in ("slope", "step"):
+        record = by_kind[kind]
+        assert record.refreshes >= 1, f"{kind} never refreshed"
+        assert record.first_flag_at > 0
+        assert record.refreshed_mre < record.stale_mre
+        assert record.improvement > 0.1  # a big drift, a big win
+    # The step drift ends far off the training distribution; the refreshed
+    # model should land close to the post-drift law.
+    assert by_kind["step"].refreshed_mre < 0.1
+
+
+def test_noise_burst_does_not_trigger_refresh(result):
+    record = {r.kind: r for r in result.records}["noise-burst"]
+    assert record.refreshes == 0
+    assert record.first_flag_at == 0
+    assert record.refreshed_mre == record.stale_mre  # nothing swapped
+
+
+def test_experiment_is_deterministic(result):
+    again = run_online_drift_experiment(seed=0)
+    assert [
+        (r.kind, r.refreshes, r.stale_mre, r.refreshed_mre) for r in again.records
+    ] == [
+        (r.kind, r.refreshes, r.stale_mre, r.refreshed_mre) for r in result.records
+    ]

@@ -1,0 +1,129 @@
+"""DriftDetector: envelopes, rolling verdicts, reset, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import DriftDetector
+
+
+def test_envelope_is_the_configured_quantile_of_baseline_errors():
+    detector = DriftDetector(quantile=0.5, envelope_floor=0.0)
+    envelope = detector.set_baseline("g", [0.02, 0.04, 0.1, 0.06, 0.08])
+    assert envelope == pytest.approx(0.06)
+    assert detector.envelope("g") == pytest.approx(0.06)
+    detector_q95 = DriftDetector(quantile=0.95, envelope_floor=0.0)
+    assert detector_q95.set_baseline("g", [0.1] * 19 + [1.0]) > 0.1
+
+
+def test_envelope_floor_and_default():
+    detector = DriftDetector(default_envelope=0.2, envelope_floor=0.05)
+    assert detector.set_baseline("tiny", [0.0001, 0.0002]) == 0.05
+    assert detector.set_baseline("empty", []) == 0.2
+    assert detector.envelope("never-seen") == 0.2
+    assert not detector.has_baseline("never-seen")
+
+
+def test_flags_on_sustained_exceedance_only():
+    detector = DriftDetector(window=4, min_observations=3, tolerance=2.0)
+    detector.set_baseline("g", [0.05, 0.06, 0.04])  # envelope 0.05
+    # In-envelope traffic never flags.
+    for error in (0.05, 0.07, 0.06, 0.05):
+        assert not detector.observe("g", error).drifted
+    # One outlier is absorbed by the median.
+    assert not detector.observe("g", 0.9).drifted
+    # A sustained shift flags once the window median crosses 2 x envelope.
+    detector.observe("g", 0.4)
+    status = detector.observe("g", 0.45)
+    assert status.drifted
+    assert status.ratio > 2.0
+    assert detector.flagged() == ["g"]
+
+
+def test_min_observations_gate():
+    detector = DriftDetector(window=8, min_observations=4, tolerance=1.0)
+    detector.set_baseline("g", [0.05])
+    for _ in range(3):
+        assert not detector.observe("g", 5.0).drifted  # huge but too few
+    assert detector.observe("g", 5.0).drifted  # the 4th crosses the gate
+
+
+def test_reset_clears_the_window_but_keeps_the_envelope():
+    detector = DriftDetector(window=4, min_observations=2, tolerance=1.5)
+    detector.set_baseline("g", [0.1])
+    detector.observe("g", 2.0)
+    assert detector.observe("g", 2.0).drifted
+    detector.reset("g")
+    status = detector.status("g")
+    assert status.observations == 0
+    assert not status.drifted
+    assert detector.envelope("g") == pytest.approx(0.1)
+
+
+def test_evaluate_is_pure():
+    detector = DriftDetector(window=4, min_observations=2, tolerance=1.5)
+    detector.set_baseline("g", [0.1])
+    verdict = detector.evaluate("g", [0.5, 0.6, 0.7])
+    assert verdict.drifted
+    assert detector.status("g").observations == 0  # nothing recorded
+
+
+def test_rejects_bad_parameters_and_values():
+    with pytest.raises(ValueError):
+        DriftDetector(window=0)
+    with pytest.raises(ValueError):
+        DriftDetector(min_observations=0)
+    with pytest.raises(ValueError):
+        DriftDetector(quantile=0.0)
+    with pytest.raises(ValueError):
+        DriftDetector(tolerance=0.0)
+    detector = DriftDetector()
+    with pytest.raises(ValueError):
+        detector.observe("g", float("inf"))
+
+
+def test_group_tracking_is_bounded():
+    detector = DriftDetector(max_groups=3)
+    for i in range(6):
+        detector.set_baseline(f"g{i}", [0.1])
+        detector.observe(f"g{i}", 0.1)
+    assert detector.groups() == ["g3", "g4", "g5"]
+    assert not detector.has_baseline("g0")
+    # Touching a survivor keeps it alive through further churn.
+    detector.observe("g3", 0.1)
+    detector.observe("g9", 0.1)
+    assert "g3" in detector.groups() and "g4" not in detector.groups()
+
+
+def test_stats_listing_is_capped_worst_first():
+    detector = DriftDetector(window=4, min_observations=1, tolerance=1.0)
+    limit = DriftDetector.STATS_GROUP_LIMIT
+    for i in range(limit + 10):
+        detector.set_baseline(f"g{i}", [0.1])
+        # Give later groups larger errors; make the last few clearly drifted.
+        detector.observe(f"g{i}", 0.001 * i + (1.0 if i >= limit else 0.0))
+    stats = detector.stats()
+    assert stats["groups"] == limit + 10
+    assert len(stats["by_group"]) == limit
+    assert stats["by_group_truncated"] == 10
+    # Drifted groups lead the listing.
+    assert all(entry["drifted"] for entry in stats["by_group"][:10])
+
+
+def test_stats_snapshot():
+    detector = DriftDetector(window=4, min_observations=1, tolerance=1.0)
+    detector.set_baseline("a", [0.1])
+    detector.observe("a", 0.5)
+    detector.observe("b", 0.01)
+    stats = detector.stats()
+    assert stats["groups"] == 2
+    assert stats["drifted"] == 1
+    assert stats["drift_flags"] == 1
+    by_group = {entry["group"]: entry for entry in stats["by_group"]}
+    assert by_group["a"]["drifted"] is True
+    assert by_group["b"]["drifted"] is False
+    assert by_group["a"]["recent_error"] == pytest.approx(0.5)
+    # NaN-free JSON form for empty windows.
+    detector.set_baseline("c", [0.2])
+    assert {e["group"]: e for e in detector.stats()["by_group"]}["c"]["recent_error"] is None

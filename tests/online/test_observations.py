@@ -1,0 +1,131 @@
+"""ObservationBuffer: bounding, grouping, and JSONL persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.schema import JobContext
+from repro.online import Observation, ObservationBuffer, context_from_dict, context_to_dict
+
+
+@pytest.fixture()
+def ctx() -> JobContext:
+    return JobContext("sgd", "m4.xlarge", 1000, "dense", (("k", "10"),))
+
+
+@pytest.fixture()
+def other_ctx() -> JobContext:
+    return JobContext("kmeans", "c3.4xlarge", 500, "sparse")
+
+
+def test_context_round_trips_through_dict(ctx):
+    assert context_from_dict(context_to_dict(ctx)) == ctx
+
+
+def test_observation_round_trips_and_validates(ctx):
+    obs = Observation(ctx, 8, 240.0, predicted_s=230.0)
+    assert Observation.from_dict(obs.to_dict()) == obs
+    assert obs.group == ctx.context_id
+    with pytest.raises(ValueError):
+        Observation(ctx, 0, 240.0)
+    with pytest.raises(ValueError):
+        Observation(ctx, 8, float("nan"))
+    with pytest.raises(ValueError):
+        Observation(ctx, 8, -1.0)
+
+
+def test_buffer_groups_and_bounds(ctx, other_ctx):
+    buffer = ObservationBuffer(capacity_per_group=3)
+    for runtime in (100.0, 110.0, 120.0, 130.0):
+        buffer.add(Observation(ctx, 4, runtime))
+    buffer.add(Observation(other_ctx, 8, 50.0))
+
+    assert buffer.group_ids() == [ctx.context_id, other_ctx.context_id]
+    assert buffer.counts() == {ctx.context_id: 3, other_ctx.context_id: 1}
+    assert len(buffer) == 4
+    assert buffer.total_recorded == 5  # the dropped one still counted
+    # Bounded: the oldest observation of the hot group was dropped.
+    machines, runtimes = buffer.samples(ctx.context_id)
+    assert runtimes.tolist() == [110.0, 120.0, 130.0]
+    # newest=N window
+    _, newest = buffer.samples(ctx.context_id, newest=2)
+    assert newest.tolist() == [120.0, 130.0]
+    assert buffer.context_for(ctx.context_id) == ctx
+    assert buffer.context_for("unknown") is None
+    assert ctx.context_id in buffer and "unknown" not in buffer
+
+
+def test_jsonl_persistence_and_replay(tmp_path, ctx, other_ctx):
+    path = tmp_path / "observations.jsonl"
+    buffer = ObservationBuffer(capacity_per_group=8, path=path)
+    buffer.add(Observation(ctx, 4, 100.0, predicted_s=95.0))
+    buffer.add(Observation(other_ctx, 8, 50.0))
+
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["runtime_s"] == 100.0
+    assert lines[0]["predicted_s"] == 95.0
+    assert "predicted_s" not in lines[1]
+
+    # A restarted process replays the file.
+    replayed = ObservationBuffer(capacity_per_group=8, path=path)
+    assert replayed.counts() == buffer.counts()
+    machines, runtimes = replayed.samples(ctx.context_id)
+    assert machines.tolist() == [4.0] and runtimes.tolist() == [100.0]
+    assert replayed.for_group(ctx.context_id)[0].predicted_s == 95.0
+
+    # Replay respects the bound: only the newest N per group survive.
+    for runtime in np.linspace(100, 200, 11):
+        buffer.add(Observation(ctx, 4, float(runtime)))
+    small = ObservationBuffer(capacity_per_group=3, path=path)
+    assert small.counts()[ctx.context_id] == 3
+    _, runtimes = small.samples(ctx.context_id)
+    assert runtimes.tolist() == [180.0, 190.0, 200.0]
+
+
+def test_replay_skips_torn_or_invalid_lines(tmp_path, ctx):
+    """A crash mid-append must never prevent the service from restarting."""
+    path = tmp_path / "observations.jsonl"
+    buffer = ObservationBuffer(path=path)
+    buffer.add(Observation(ctx, 4, 100.0))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"context": {"algorithm": "sgd", "node_ty')  # torn line
+    replayed = ObservationBuffer(path=path)
+    assert len(replayed) == 1
+    assert replayed.skipped_lines == 1
+    # An invalid-but-decodable record (negative runtime) is skipped too.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("\n" + json.dumps(
+            {"context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+             "machines": 4, "runtime_s": -5.0}
+        ) + "\n")
+    replayed = ObservationBuffer(path=path)
+    assert len(replayed) == 1
+    assert replayed.skipped_lines == 2
+
+
+def test_group_count_is_bounded(ctx):
+    """A fresh context per observation must not grow the buffer unboundedly."""
+    buffer = ObservationBuffer(capacity_per_group=4, max_groups=3)
+    contexts = [
+        JobContext("sgd", "m4", 100 + i, "dense") for i in range(6)
+    ]
+    for context in contexts:
+        buffer.add(Observation(context, 4, 100.0))
+    assert len(buffer.group_ids()) == 3
+    # Least recently updated groups were dropped; the newest survive.
+    assert buffer.group_ids() == [c.context_id for c in contexts[3:]]
+    # Updating an old survivor keeps it alive through further churn.
+    buffer.add(Observation(contexts[3], 4, 101.0))
+    buffer.add(Observation(JobContext("sgd", "m4", 999, "dense"), 4, 100.0))
+    assert contexts[3].context_id in buffer
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ObservationBuffer(capacity_per_group=0)
+    with pytest.raises(ValueError):
+        ObservationBuffer(max_groups=0)

@@ -1,0 +1,205 @@
+"""OnlineSession end-to-end: drift is flagged, refreshed, and swapped.
+
+Covers the acceptance criteria of the online-learning lifecycle: on a
+generated drift scenario the session flags the drifted group, refreshes it,
+the refreshed model's MRE on post-drift data beats the stale model's, and
+serving stays bit-identical to serial ``Session.predict`` after a
+cache-invalidating refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.data.dataset import ExecutionDataset
+from repro.eval.metrics import mre
+from repro.online import ObservationBuffer, OnlineSession, RefreshPolicy
+from repro.serve import LruTtlCache, PredictionServer, ServeApp, ServeClient
+from repro.simulator import DriftSpec, generate_drift_scenario
+
+EVAL_SCALEOUTS = (2, 4, 6, 8, 10, 12)
+
+
+def _config(seed: int = 0) -> BellamyConfig:
+    return BellamyConfig(seed=seed).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+
+
+def _policy(**overrides) -> RefreshPolicy:
+    defaults = dict(min_observations=3, window=6, refresh_samples=8, max_epochs=250)
+    defaults.update(overrides)
+    return RefreshPolicy(**defaults)
+
+
+@pytest.fixture(scope="module")
+def step_scenario():
+    return generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0, n_stream=12
+    )
+
+
+@pytest.fixture()
+def drifted_setup(step_scenario, tmp_path):
+    """(scenario, session, online) over the scenario's pre-drift history."""
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(
+        corpus, config=_config(), store=tmp_path / "store",
+        model_cache=LruTtlCache(capacity=8),
+    )
+    return step_scenario, session, OnlineSession(session, _policy())
+
+
+def test_end_to_end_drift_flag_refresh_and_improvement(drifted_setup):
+    """The ISSUE's acceptance test, part 1: flag → refresh → better MRE."""
+    scenario, session, online = drifted_setup
+    stale_base = session.base_model(scenario.context.algorithm)
+
+    refreshed_results = []
+    for machines, runtime in scenario.stream:
+        outcome = online.observe(scenario.context, machines, runtime)
+        if outcome.refreshed is not None:
+            refreshed_results.append(outcome.refreshed)
+
+    # The drifted group was flagged and refreshed.
+    assert refreshed_results, "drift was never flagged/refreshed"
+    first = refreshed_results[0]
+    assert first.group == scenario.context.context_id
+    assert first.improved
+    assert first.model_name in session.models()
+    assert online.stats()["refreshes"] == len(refreshed_results)
+    assert session.serving_overrides[scenario.context.context_id] == refreshed_results[-1].model_name
+
+    # The refreshed model beats the stale one on post-drift ground truth.
+    machines, truths = scenario.evaluation_set(EVAL_SCALEOUTS)
+    stale_mre = mre(session.predict(scenario.context, machines, model=stale_base), truths)
+    refreshed_mre = mre(session.predict(scenario.context, machines), truths)
+    assert refreshed_mre < stale_mre
+    assert refreshed_mre < 0.15  # adapted to the drifted regime
+
+
+def test_serving_stays_bit_identical_after_cache_invalidating_refresh(drifted_setup):
+    """The ISSUE's acceptance test, part 2: served bytes == serial bytes."""
+    scenario, session, online = drifted_setup
+    app = ServeApp(session, cache=False, online=online)  # session keeps its LruTtlCache
+    client = ServeClient(app)
+    try:
+        # Serve traffic before the drift: warms the cache path.
+        before = client.predict(scenario.context, list(EVAL_SCALEOUTS))
+        for machines, runtime in scenario.stream:
+            outcome = client.observe(scenario.context, machines, runtime)
+        assert online.stats()["refreshes"] >= 1
+        after = client.predict(scenario.context, list(EVAL_SCALEOUTS))
+    finally:
+        app.close()
+
+    # The refresh actually changed what is served ...
+    assert not np.array_equal(before, after)
+    # ... and the served answer is bit-identical to serial Session.predict.
+    serial = session.predict(scenario.context, np.asarray(EVAL_SCALEOUTS, dtype=float))
+    assert np.array_equal(after, serial)
+
+
+def test_refresh_versions_and_warm_cache_invalidation(drifted_setup):
+    scenario, session, online = drifted_setup
+    context = scenario.context
+    for machines, runtime in scenario.stream[:4]:
+        online.observe(context, machines, runtime)
+    v1 = session.serving_overrides[context.context_id]
+    assert v1.endswith("--v1")
+    # Serve once through the named path so v1 sits in the warm cache.
+    session.predict(context, [4])
+    assert ("named", v1) in session.model_cache
+
+    second = online.refresh(context)
+    assert second.version == 2
+    v2 = session.serving_overrides[context.context_id]
+    assert v2.endswith("--v2")
+    # The swapped-out version was invalidated from the warm cache.
+    assert ("named", v1) not in session.model_cache
+    assert online.versions()[context.context_id] == 2
+    # Both versions remain in the store (audit trail), newest serves.
+    assert v1 in session.models() and v2 in session.models()
+
+
+def test_no_refresh_without_store_falls_back_to_in_memory_override(step_scenario):
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config())
+    online = OnlineSession(session, _policy())
+    for machines, runtime in step_scenario.stream:
+        online.observe(step_scenario.context, machines, runtime)
+    assert online.stats()["refreshes"] >= 1
+    override = session.serving_overrides[step_scenario.context.context_id]
+    from repro.core.model import BellamyModel
+
+    assert isinstance(override, BellamyModel)  # no store: the object itself
+    machines, truths = step_scenario.evaluation_set(EVAL_SCALEOUTS)
+    assert mre(session.predict(step_scenario.context, machines), truths) < 0.15
+
+
+def test_healthy_traffic_never_refreshes(step_scenario):
+    """Observations that match the training distribution leave models alone."""
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config())
+    online = OnlineSession(session, _policy())
+    generator = step_scenario.generator
+    for position in range(8):
+        machines = EVAL_SCALEOUTS[position % len(EVAL_SCALEOUTS)]
+        runtime = generator.expected_runtime(step_scenario.context, machines)
+        online.observe(step_scenario.context, machines, runtime)
+    assert online.stats()["refreshes"] == 0
+    assert session.serving_overrides == {}
+
+
+def test_refresh_without_observations_is_an_error(step_scenario):
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config())
+    online = OnlineSession(session, _policy())
+    with pytest.raises(ValueError, match="no buffered observations"):
+        online.refresh(step_scenario.context)
+
+
+def test_scan_reports_and_refreshes_offline(step_scenario, tmp_path):
+    """The CLI path: buffered observations only, no live observe calls."""
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config(), store=tmp_path / "store")
+    buffer = ObservationBuffer(capacity_per_group=64)
+    online = OnlineSession(session, _policy(auto_refresh=False), buffer=buffer)
+    from repro.online import Observation
+
+    for machines, runtime in step_scenario.stream:
+        buffer.add(Observation(step_scenario.context, machines, runtime))
+
+    dry = online.scan(refresh=False)
+    assert len(dry) == 1
+    assert dry[0].status.drifted
+    assert dry[0].refreshed is None
+    assert session.serving_overrides == {}
+
+    wet = online.scan(refresh=True)
+    assert wet[0].refreshed is not None
+    assert wet[0].refreshed.improved
+    assert step_scenario.context.context_id in session.serving_overrides
+
+
+def test_observations_persist_and_replay_through_online_session(step_scenario, tmp_path):
+    path = tmp_path / "observations.jsonl"
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config())
+    online = OnlineSession(
+        session, _policy(auto_refresh=False), buffer=ObservationBuffer(path=path)
+    )
+    for machines, runtime in step_scenario.stream[:5]:
+        online.observe(step_scenario.context, machines, runtime)
+
+    # A restarted lifecycle replays the buffer and can refresh from it.
+    session2 = Session(corpus, config=_config())
+    online2 = OnlineSession(
+        session2, _policy(auto_refresh=False), buffer=ObservationBuffer(path=path)
+    )
+    assert len(online2.buffer) == 5
+    result = online2.refresh(step_scenario.context)
+    assert result.n_samples == 5

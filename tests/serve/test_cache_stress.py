@@ -1,0 +1,191 @@
+"""Concurrency stress tests for LruTtlCache: counters, stampedes, deadlocks.
+
+N threads hammer ``get_or_load`` across overlapping keys while the clock
+jumps TTLs mid-flight. The invariants that must hold whatever the
+interleaving:
+
+* every lookup is counted exactly once: ``hits + misses + coalesced == calls``;
+* every loader execution corresponds to exactly one miss (the cache never
+  loads more often than it reports);
+* a stampede on a cold key runs the loader once, everyone else coalesces;
+* nothing deadlocks (all joins complete within a hard timeout).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+import pytest
+
+from repro.serve.cache import FakeClock, LruTtlCache
+
+pytestmark = pytest.mark.stress
+
+JOIN_TIMEOUT_S = 30.0
+
+
+def _join_all(threads):
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT_S)
+    alive = [t.name for t in threads if t.is_alive()]
+    assert not alive, f"deadlocked threads: {alive}"
+
+
+class _LoadCounter:
+    """Thread-safe per-key loader call counter."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.calls = defaultdict(int)
+
+    def loader_for(self, key):
+        def load():
+            with self.lock:
+                self.calls[key] += 1
+            return f"value-{key}"
+
+        return load
+
+    @property
+    def total(self) -> int:
+        with self.lock:
+            return sum(self.calls.values())
+
+
+def test_hammer_overlapping_keys_with_ttl_expiry_midflight():
+    n_threads = 16
+    iterations = 300
+    keys = [f"k{i}" for i in range(6)]  # overlapping: 16 threads, 6 keys
+    clock = FakeClock()
+    clock_lock = threading.Lock()
+    cache = LruTtlCache(capacity=4, ttl_s=5.0, clock=clock)  # capacity < keys
+    counter = _LoadCounter()
+    lookups_done = [0] * n_threads
+    errors = []
+
+    def worker(index: int) -> None:
+        try:
+            for i in range(iterations):
+                # Each thread cycles a 3-key working set (re-access distance
+                # < capacity → hits happen) that overlaps other threads'
+                # sets (6 keys total > capacity → eviction pressure).
+                key = keys[(index + i % 3) % len(keys)]
+                value, _hit = cache.get_or_load(key, counter.loader_for(key))
+                assert value == f"value-{key}"
+                lookups_done[index] += 1
+                if i % 50 == 25:
+                    # Jump time past the TTL mid-flight so entries expire
+                    # while other threads are loading/reading them.
+                    with clock_lock:
+                        clock.advance(6.0)
+        except BaseException as error:  # pragma: no cover - failure capture
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"hammer-{i}")
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    _join_all(threads)
+    assert not errors, errors
+
+    stats = cache.stats()
+    total_lookups = sum(lookups_done)
+    assert total_lookups == n_threads * iterations
+    # Every lookup resolved exactly one way.
+    assert stats["hits"] + stats["misses"] + stats["coalesced_loads"] == total_lookups
+    # Exactly one loader execution per reported miss — no duplicated loads.
+    assert counter.total == stats["misses"]
+    # The stress actually stressed: warm hits, TTL expiry mid-flight, and
+    # LRU eviction pressure all occurred.
+    assert stats["hits"] > 0
+    assert stats["expirations"] > 0
+    assert stats["evictions"] > 0
+    assert len(cache) <= cache.capacity
+
+
+def test_cold_key_stampede_single_load():
+    """A burst of concurrent misses on one cold key runs the loader once."""
+    import time
+
+    n_threads = 12
+    cache = LruTtlCache(capacity=4)
+    release = threading.Event()
+    started = threading.Event()
+    load_calls = []
+    results = []
+    barrier = threading.Barrier(n_threads)
+
+    def slow_loader():
+        load_calls.append(threading.current_thread().name)
+        started.set()
+        assert release.wait(timeout=JOIN_TIMEOUT_S), "loader never released"
+        return "warm"
+
+    def worker() -> None:
+        barrier.wait()
+        value, hit = cache.get_or_load("cold", slow_loader)
+        results.append((value, hit))
+
+    threads = [
+        threading.Thread(target=worker, name=f"stampede-{i}")
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    assert started.wait(timeout=JOIN_TIMEOUT_S)
+    # Only release the loader once every other thread is parked on the
+    # in-flight load — otherwise a late arrival would see a warm hit and
+    # the stampede would not be a stampede.
+    deadline = time.monotonic() + JOIN_TIMEOUT_S
+    while cache.stats()["coalesced_loads"] < n_threads - 1:
+        assert time.monotonic() < deadline, cache.stats()
+        time.sleep(0.001)
+    release.set()
+    _join_all(threads)
+
+    assert load_calls and len(load_calls) == 1  # single load per stampede
+    assert all(value == "warm" for value, _ in results)
+    assert all(hit is False for _, hit in results)  # miss + coalesced waiters
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["coalesced_loads"] == n_threads - 1
+    assert stats["hits"] + stats["misses"] + stats["coalesced_loads"] == n_threads
+
+
+def test_loader_exception_propagates_to_all_waiters_and_recovers():
+    """A failing stampede poisons nobody: every waiter sees the error and the
+    next lookup loads fresh."""
+    n_threads = 8
+    cache = LruTtlCache(capacity=2)
+    release = threading.Event()
+    barrier = threading.Barrier(n_threads)
+    outcomes = []
+
+    def exploding_loader():
+        assert release.wait(timeout=JOIN_TIMEOUT_S)
+        raise RuntimeError("store down")
+
+    def worker() -> None:
+        barrier.wait()
+        try:
+            cache.get_or_load("bad", exploding_loader)
+            outcomes.append("ok")
+        except RuntimeError:
+            outcomes.append("error")
+
+    threads = [
+        threading.Thread(target=worker, name=f"fail-{i}") for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    release.set()
+    _join_all(threads)
+
+    assert outcomes == ["error"] * n_threads
+    assert "bad" not in cache  # nothing cached
+    # The key is not poisoned: a healthy loader succeeds afterwards.
+    value, hit = cache.get_or_load("bad", lambda: "recovered")
+    assert (value, hit) == ("recovered", False)

@@ -1,0 +1,166 @@
+"""The /observe endpoint: routing, validation, drift wiring, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.data.dataset import ExecutionDataset
+from repro.online import OnlineSession, RefreshPolicy
+from repro.serve import (
+    HttpServeClient,
+    PredictionServer,
+    ServeApp,
+    ServeClient,
+    ServeError,
+)
+from repro.simulator import DriftSpec, generate_drift_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0, n_stream=12
+    )
+
+
+@pytest.fixture()
+def online_app(scenario):
+    corpus = ExecutionDataset(list(scenario.history))
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+    session = Session(corpus, config=config)
+    online = OnlineSession(
+        session,
+        RefreshPolicy(min_observations=3, window=6, refresh_samples=8, max_epochs=250),
+    )
+    app = ServeApp(session, online=online)
+    yield app
+    app.close()
+
+
+def test_observe_records_and_reports_drift_state(online_app, scenario):
+    client = ServeClient(online_app)
+    machines, runtime = scenario.stream[0]
+    body = client.observe(scenario.context, machines, runtime)
+    assert body["recorded"] is True
+    assert body["group"] == scenario.context.context_id
+    assert body["runtime_s"] == runtime
+    assert body["predicted_s"] > 0
+    assert body["relative_error"] >= 0
+    assert body["drifted"] is False  # too few observations yet
+    assert body["refreshed"] is None
+
+
+def test_observe_stream_triggers_refresh_and_stats(online_app, scenario):
+    client = ServeClient(online_app)
+    refreshed = None
+    for machines, runtime in scenario.stream:
+        body = client.observe(scenario.context, machines, runtime)
+        if body["refreshed"] is not None and refreshed is None:
+            refreshed = body["refreshed"]
+    assert refreshed is not None
+    assert refreshed["refreshed_error"] < refreshed["stale_error"]
+    assert refreshed["version"] == 1
+    assert refreshed["model_name"] is None  # session has no store
+
+    stats = client.stats()["online"]
+    assert stats["observations"] == len(scenario.stream)
+    assert stats["refreshes"] >= 1
+    assert stats["buffered"] == len(scenario.stream)
+    assert stats["drift"]["drift_flags"] >= 1
+    # The request log kept the observe traffic.
+    paths = {entry["path"] for entry in online_app.request_log()}
+    assert "/observe" in paths
+
+
+def test_observe_malformed_payloads_get_structured_400(online_app):
+    for payload, field in (
+        (None, "body"),
+        ({"machines": 8, "runtime_s": 1.0}, "context"),
+        ({"context": {"node_type": "n", "dataset_mb": 1},
+          "machines": 8, "runtime_s": 1.0}, "context.algorithm"),
+        ({"context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+          "machines": -2, "runtime_s": 1.0}, "machines"),
+        ({"context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+          "machines": 2, "runtime_s": float("nan")}, "runtime_s"),
+        ({"context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+          "machines": 2, "runtime_s": 1.0, "bogus": True}, "body"),
+    ):
+        status, body = online_app.handle("POST", "/observe", payload)
+        assert status == 400, (payload, body)
+        assert body["error"] == "bad_request"
+        assert body["field"] == field
+
+
+def test_observe_without_online_lifecycle_is_a_structured_404(scenario):
+    corpus = ExecutionDataset(list(scenario.history))
+    session = Session(
+        corpus,
+        config=BellamyConfig(seed=0).with_overrides(pretrain_epochs=20),
+    )
+    app = ServeApp(session)
+    try:
+        client = ServeClient(app)
+        with pytest.raises(ServeError) as excinfo:
+            client.observe(scenario.context, 4, 100.0)
+        assert excinfo.value.status == 404
+        assert excinfo.value.payload["error"] == "online_disabled"
+        assert client.stats()["online"] is None
+    finally:
+        app.close()
+
+
+def test_observe_method_not_allowed(online_app):
+    status, body = online_app.handle("GET", "/observe", None)
+    assert status == 405
+
+
+def test_observe_during_drain_is_503(online_app, scenario):
+    online_app.close()
+    status, body = online_app.handle(
+        "POST",
+        "/observe",
+        {
+            "context": {"algorithm": "sgd", "node_type": "m4.2xlarge",
+                        "dataset_mb": 1000},
+            "machines": 4,
+            "runtime_s": 100.0,
+        },
+    )
+    assert status == 503
+    assert body["error"] == "shutting_down"
+
+
+def test_mismatched_online_session_is_rejected(online_app, scenario):
+    corpus = ExecutionDataset(list(scenario.history))
+    other = Session(corpus, config=BellamyConfig(seed=0))
+    with pytest.raises(ValueError, match="must wrap the session"):
+        ServeApp(other, online=online_app.online)
+
+
+def test_observe_over_http(scenario, tmp_path):
+    corpus = ExecutionDataset(list(scenario.history))
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+    session = Session(corpus, config=config, store=tmp_path / "store")
+    online = OnlineSession(
+        session,
+        RefreshPolicy(min_observations=3, window=6, refresh_samples=8, max_epochs=250),
+    )
+    with PredictionServer(session, port=0, online=online) as server:
+        client = HttpServeClient(server.url)
+        refreshed = None
+        for machines, runtime in scenario.stream:
+            body = client.observe(scenario.context, machines, runtime)
+            refreshed = body["refreshed"] or refreshed
+        assert refreshed is not None
+        assert refreshed["model_name"].startswith("online--")
+        served = client.predict(scenario.context, [2, 4, 8])
+    # Bit-identical to serial prediction after the refresh swap.
+    serial = session.predict(scenario.context, [2, 4, 8])
+    assert np.array_equal(served, serial)

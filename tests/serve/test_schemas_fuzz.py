@@ -1,0 +1,204 @@
+"""Property-based fuzzing of the serve wire schemas.
+
+Every randomized payload — wrong types, NaN/inf numbers, huge arrays, deep
+nesting, surprise keys — must either parse cleanly or raise a structured
+:class:`SchemaError`; through the app it must yield 200 or a structured 400,
+**never** a 500 and never an unhandled exception. This is the contract that
+keeps the public endpoint unkillable by malformed traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.schemas import (
+    MAX_JOB_PARAMS,
+    MAX_LIST_ITEMS,
+    SchemaError,
+    parse_observe_payload,
+    parse_predict_payload,
+)
+from repro.serve.server import ServeApp
+
+pytestmark = pytest.mark.fuzz
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.text(max_size=40),
+)
+
+#: Arbitrary JSON-shaped values, nested up to 6 levels deep.
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=8),
+        st.dictionaries(st.text(max_size=12), children, max_size=8),
+    ),
+    max_leaves=40,
+)
+
+_context_like = st.fixed_dictionaries(
+    {},
+    optional={
+        "algorithm": _json_values,
+        "node_type": _json_values,
+        "dataset_mb": _json_values,
+        "dataset_characteristics": _json_values,
+        "environment": _json_values,
+        "software": _json_values,
+        "job_params": _json_values,
+        "surprise": _json_values,
+    },
+)
+
+_valid_context = st.just(
+    {"algorithm": "sgd", "node_type": "m4.2xlarge", "dataset_mb": 1000}
+)
+
+_predict_like = st.fixed_dictionaries(
+    {},
+    optional={
+        "context": st.one_of(_json_values, _context_like, _valid_context),
+        "machines": _json_values,
+        "samples": _json_values,
+        "model": _json_values,
+        "extra": _json_values,
+    },
+)
+
+_observe_like = st.fixed_dictionaries(
+    {},
+    optional={
+        "context": st.one_of(_json_values, _context_like, _valid_context),
+        "machines": _json_values,
+        "runtime_s": _json_values,
+        "extra": _json_values,
+    },
+)
+
+_any_payload = st.one_of(_json_values, _predict_like, _observe_like)
+
+
+# --------------------------------------------------------------------- #
+# Parser level: SchemaError or success, nothing else
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=_any_payload)
+def test_parse_predict_never_raises_unstructured(payload):
+    try:
+        request = parse_predict_payload(payload)
+    except SchemaError as error:
+        assert error.field
+        assert error.payload()["error"] == "bad_request"
+    else:
+        # Parsed values are bounded, positive, and finite.
+        assert 0 < len(request.machines) <= MAX_LIST_ITEMS
+        assert all(math.isfinite(m) and m > 0 for m in request.machines)
+        if request.train_machines is not None:
+            assert len(request.train_machines) <= MAX_LIST_ITEMS
+            assert all(math.isfinite(m) and m > 0 for m in request.train_machines)
+            assert all(
+                math.isfinite(r) and r > 0 for r in (request.train_runtimes or ())
+            )
+        assert len(request.context.job_params) <= MAX_JOB_PARAMS
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=_any_payload)
+def test_parse_observe_never_raises_unstructured(payload):
+    try:
+        context, machines, runtime = parse_observe_payload(payload)
+    except SchemaError as error:
+        assert error.field
+        assert error.payload()["error"] == "bad_request"
+    else:
+        assert math.isfinite(machines) and machines > 0
+        assert math.isfinite(runtime) and runtime > 0
+        assert context.context_id
+
+
+def test_nan_and_inf_machines_are_rejected():
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(SchemaError):
+            parse_predict_payload(
+                {
+                    "context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+                    "machines": [bad],
+                }
+            )
+
+
+def test_huge_machine_list_is_rejected_structured():
+    with pytest.raises(SchemaError) as excinfo:
+        parse_predict_payload(
+            {
+                "context": {"algorithm": "a", "node_type": "n", "dataset_mb": 1},
+                "machines": [1.0] * (MAX_LIST_ITEMS + 1),
+            }
+        )
+    assert "at most" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------- #
+# App level: every payload gets 200 or a structured 400 — never a 500
+# --------------------------------------------------------------------- #
+
+
+class _StubSession:
+    """Just enough Session surface for ServeApp routing tests.
+
+    Predictions are canned, so the fuzz run exercises the request path
+    (parsing, batching, error mapping) without training any model.
+    """
+
+    def __init__(self) -> None:
+        self.model_cache = None
+        self.last_batch_stats = {}
+        self.batch_hooks = []
+
+    def predict_batch(self, requests, model=None, max_epochs=None, exact=True):
+        return [np.ones(len(r.machines)) for r in requests]
+
+    def load(self, name):
+        raise FileNotFoundError(f"no model named {name!r}")
+
+
+@pytest.fixture(scope="module")
+def fuzz_app():
+    app = ServeApp(_StubSession(), cache=False, batch_wait_ms=0.0)
+    yield app
+    app.close()
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=_any_payload)
+def test_predict_endpoint_never_500s(fuzz_app, payload):
+    status, body = fuzz_app.handle("POST", "/predict", payload)
+    assert status in (200, 400, 404), body
+    if status == 400:
+        assert body["error"] == "bad_request"
+        assert "field" in body and "detail" in body
+    if status == 404:
+        assert body["error"] == "unknown_model"
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=_any_payload)
+def test_observe_endpoint_never_500s_when_disabled(fuzz_app, payload):
+    status, body = fuzz_app.handle("POST", "/observe", payload)
+    # This app has no online lifecycle: every payload gets the structured 404.
+    assert status == 404
+    assert body["error"] == "online_disabled"

@@ -1,0 +1,98 @@
+"""The drift scenario generator: reproducibility and drift semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import DRIFT_KINDS, DriftScenario, DriftSpec, generate_drift_scenario
+
+
+def test_same_seed_reproduces_the_exact_stream():
+    spec = DriftSpec(kind="step", magnitude=0.5, start=0.5)
+    a = generate_drift_scenario(spec, seed=3, n_stream=16)
+    b = generate_drift_scenario(spec, seed=3, n_stream=16)
+    assert a.stream == b.stream
+    assert [e.runtime_s for e in a.history] == [e.runtime_s for e in b.history]
+
+
+def test_different_seeds_differ():
+    spec = DriftSpec(kind="step", magnitude=0.5)
+    a = generate_drift_scenario(spec, seed=1, n_stream=8)
+    b = generate_drift_scenario(spec, seed=2, n_stream=8)
+    assert a.stream != b.stream
+
+
+def test_step_jumps_at_the_configured_position():
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.4, start=0.5), seed=0, n_stream=10
+    )
+    factors = [scenario.drift_factor(i) for i in range(10)]
+    assert factors[:5] == [1.0] * 5
+    assert factors[5:] == [pytest.approx(1.4)] * 5
+
+
+def test_slope_grows_monotonically_to_full_magnitude():
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="slope", magnitude=0.6), seed=0, n_stream=12
+    )
+    factors = [scenario.drift_factor(i) for i in range(12)]
+    assert all(b > a for a, b in zip(factors, factors[1:]))
+    assert factors[-1] == pytest.approx(1.6)
+
+
+def test_noise_burst_preserves_the_mean_but_boosts_sigma():
+    spec = DriftSpec(kind="noise-burst", magnitude=1.0, start=0.25, end=0.75)
+    scenario = generate_drift_scenario(spec, seed=0, n_stream=16, noise_sigma=0.02)
+    assert all(scenario.drift_factor(i) == 1.0 for i in range(16))
+    assert scenario.noise_sigma(0, 0.02) == pytest.approx(0.02)
+    assert scenario.noise_sigma(8, 0.02) == pytest.approx(0.04)   # inside burst
+    assert scenario.noise_sigma(15, 0.02) == pytest.approx(0.02)  # after it
+
+
+def test_stream_runtimes_track_the_drifted_law():
+    """Observed runtimes stay within noise of factor x expected runtime."""
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0,
+        n_stream=12, noise_sigma=0.02,
+    )
+    for position, (machines, runtime) in enumerate(scenario.stream):
+        expected = scenario.expected_runtime(machines, position=position)
+        assert runtime == pytest.approx(expected, rel=0.12)  # lognormal noise
+
+
+def test_evaluation_set_reflects_end_of_stream_drift():
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.5, start=0.0), seed=0, n_stream=8
+    )
+    machines, truths = scenario.evaluation_set([4, 8])
+    undrifted = np.array([scenario.expected_runtime(4), scenario.expected_runtime(8)])
+    assert np.allclose(truths, undrifted * 1.5)
+
+
+def test_history_spans_the_scaleout_grid():
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="slope"), seed=0,
+        history_scaleouts=(2, 4, 8), history_repeats=2, n_stream=4,
+    )
+    assert len(scenario.history) == 6
+    assert sorted({e.machines for e in scenario.history}) == [2, 4, 8]
+    assert all(e.context == scenario.context for e in scenario.history)
+
+
+def test_invalid_specs_are_rejected():
+    with pytest.raises(ValueError, match="unknown drift kind"):
+        DriftSpec(kind="wobble")
+    with pytest.raises(ValueError, match="magnitude"):
+        DriftSpec(kind="step", magnitude=-0.1)
+    with pytest.raises(ValueError, match="fractions"):
+        DriftSpec(kind="noise-burst", start=1.5)
+    with pytest.raises(ValueError, match="n_stream"):
+        generate_drift_scenario(DriftSpec(), n_stream=0)
+
+
+def test_all_kinds_generate():
+    for kind in DRIFT_KINDS:
+        scenario = generate_drift_scenario(DriftSpec(kind=kind), seed=0, n_stream=4)
+        assert isinstance(scenario, DriftScenario)
+        assert len(scenario.stream) == 4
