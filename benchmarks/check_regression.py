@@ -28,6 +28,9 @@ GATED_RATIOS = (
     ("op_level", "linear_selu_speedup"),
     ("op_level", "huber_speedup"),
     ("step_level", "speedup_vs_seed"),
+    # Index-backed names() vs. a full directory walk of the sharded store —
+    # same machine, same run, so the ratio travels across runners.
+    ("runtime_level", "sharded_store", "names_speedup_vs_scan"),
 )
 
 #: Hard floors: the optimized path must stay at least this much faster
@@ -53,18 +56,19 @@ def main() -> int:
     current = json.loads(args.current.read_text())
 
     failures = []
-    for section, metric in GATED_RATIOS:
-        base = _lookup(baseline, (section, metric))
-        now = _lookup(current, (section, metric))
+    for path in GATED_RATIOS:
+        label = ".".join(path)
+        base = _lookup(baseline, path)
+        now = _lookup(current, path)
         floor = base / args.factor
         status = "ok" if now >= floor else "REGRESSION"
         print(
-            f"{section}.{metric}: baseline {base:.2f}x -> current {now:.2f}x "
+            f"{label}: baseline {base:.2f}x -> current {now:.2f}x "
             f"(floor {floor:.2f}x) [{status}]"
         )
         if status != "ok":
             failures.append(
-                f"{section}.{metric} fell from {base:.2f}x to {now:.2f}x "
+                f"{label} fell from {base:.2f}x to {now:.2f}x "
                 f"(> {args.factor}x regression)"
             )
 

@@ -531,6 +531,163 @@ def bench_online() -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Runtime level (the repro.runtime execution + artifact substrate)
+# --------------------------------------------------------------------- #
+
+
+def _bench_seeded_unit(seed: int) -> float:
+    """Deterministic per-item work for the executor benches (picklable)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(24, 24))
+    return float(np.linalg.norm(matrix @ matrix.T))
+
+
+def _bench_tune_objective(config, budget=None):
+    """Deterministic, CPU-bound tune objective (picklable): enough work per
+    trial (~tens of ms) that fanning trials out actually pays."""
+    rng = np.random.default_rng(int(config["width"]))
+    a = rng.normal(size=(160, 24))
+    b = rng.normal(size=160)
+    residual = 0.0
+    for _ in range(250):
+        solution, *_ = np.linalg.lstsq(a, b * config["lr"], rcond=None)
+        residual = float(np.linalg.norm(a @ solution - b * config["lr"]))
+    return residual
+
+
+def bench_runtime(n_store_entries: int = 10_000) -> dict:
+    """The runtime substrate: executor dispatch overhead, sharded-store
+    lookups at 10k entries, and the parallel tune speedup.
+
+    Identity is asserted before anything is reported: mapped results must be
+    bit-identical across serial/thread/process executors, the sharded
+    store's ``names()`` must agree exactly with a full directory walk, and
+    parallel tune trials must score bit-identically to serial ones.
+    """
+    import tempfile
+
+    from repro.runtime import (
+        ArtifactStore,
+        ProcessExecutor,
+        SerialExecutor,
+        ThreadExecutor,
+    )
+    from repro.tune import RandomSearch, SearchSpace, IntRange, LogUniform, run_search
+
+    out = {}
+
+    # -- executor dispatch overhead ------------------------------------ #
+    items = list(range(256))
+    reference = SerialExecutor().map(_bench_seeded_unit, items)  # + warm-up
+
+    def _time_map(run, repeats: int = 3) -> float:
+        """Best per-item microseconds over ``repeats`` runs (noise filter:
+        the workload is deterministic, min is the honest statistic)."""
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            results = run()
+            best = min(best, (time.perf_counter() - started) / len(items))
+            if results != reference:
+                raise SystemExit("FATAL: executor results diverge from serial")
+        return best * 1e6
+
+    timings = {
+        "inline_loop_us": _time_map(lambda: [_bench_seeded_unit(i) for i in items]),
+        "serial_us_per_item": _time_map(
+            lambda: SerialExecutor().map(_bench_seeded_unit, items)
+        ),
+    }
+    with ThreadExecutor(2) as thread_exec:
+        timings["thread2_us_per_item"] = _time_map(
+            lambda: thread_exec.map(_bench_seeded_unit, items)
+        )
+    with ProcessExecutor(2) as process_exec:
+        timings["process2_us_per_item"] = _time_map(
+            lambda: process_exec.map(_bench_seeded_unit, items)
+        )
+    timings["serial_dispatch_overhead_us"] = max(
+        0.0, timings["serial_us_per_item"] - timings["inline_loop_us"]
+    )
+    out["executor_dispatch"] = {"n_items": len(items), **timings}
+
+    # -- sharded-store lookup at 10k entries --------------------------- #
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root)
+        started = time.perf_counter()
+        for i in range(n_store_entries):
+            name = f"model-{i:05d}"
+            shard = store.shard_dir(name)
+            shard.mkdir(parents=True, exist_ok=True)
+            (shard / f"{name}.npz").write_bytes(b"x")
+        populate_s = time.perf_counter() - started
+        started = time.perf_counter()
+        indexed = store.rebuild_index()
+        index_build_s = time.perf_counter() - started
+
+        scan_names = sorted(p.stem for p in Path(root).rglob("*.npz"))
+        if indexed != scan_names or store.names() != scan_names:
+            raise SystemExit("FATAL: store index disagrees with the directory walk")
+
+        probes = [f"model-{i:05d}" for i in range(0, n_store_entries, 97)]
+        probes += [f"missing-{i}" for i in range(64)]
+        started = time.perf_counter()
+        for name in probes:
+            store.exists(name, "npz")
+        exists_us = (time.perf_counter() - started) / len(probes) * 1e6
+        started = time.perf_counter()
+        names = store.names()
+        names_ms = (time.perf_counter() - started) * 1e3
+        started = time.perf_counter()
+        scanned = sorted(p.stem for p in Path(root).rglob("*.npz"))
+        scan_ms = (time.perf_counter() - started) * 1e3
+        if names != scanned:
+            raise SystemExit("FATAL: names() diverged from the directory walk")
+        out["sharded_store"] = {
+            "entries": n_store_entries,
+            "populate_s": populate_s,
+            "index_build_s": index_build_s,
+            "exists_us_per_lookup": exists_us,
+            "names_ms": names_ms,
+            "full_scan_ms": scan_ms,
+            "names_speedup_vs_scan": scan_ms / max(names_ms, 1e-9),
+        }
+
+    # -- parallel tune speedup ----------------------------------------- #
+    space = SearchSpace({"lr": LogUniform(1e-4, 1e-1), "width": IntRange(4, 64)})
+    n_trials = 16
+    started = time.perf_counter()
+    serial_result = run_search(
+        RandomSearch(space, seed=0), _bench_tune_objective, n_trials, jobs=0
+    )
+    tune_serial_s = time.perf_counter() - started
+    with ProcessExecutor(2) as executor:
+        started = time.perf_counter()
+        parallel_result = run_search(
+            RandomSearch(space, seed=0), _bench_tune_objective, n_trials,
+            executor=executor,
+        )
+        tune_parallel_s = time.perf_counter() - started
+    identical = [
+        (t.config, t.score) for t in serial_result.trials
+    ] == [(t.config, t.score) for t in parallel_result.trials]
+    if not identical:
+        raise SystemExit("FATAL: parallel tune trials diverge from serial")
+    out["parallel_tune"] = {
+        "n_trials": n_trials,
+        "serial_s": tune_serial_s,
+        "process2_s": tune_parallel_s,
+        # Bounded by the machine: ~1.0x on a single-core container (the
+        # identity assertion is the invariant; the speedup is the bonus).
+        "speedup": tune_serial_s / tune_parallel_s,
+        "cpus": os.cpu_count(),
+        "scores_bit_identical": identical,
+        "best_score": serial_result.best.score,
+    }
+    return out
+
+
+# --------------------------------------------------------------------- #
 
 
 def main() -> int:
@@ -566,6 +723,9 @@ def main() -> int:
         },
         "op_level": bench_ops(repeats, inner),
         "step_level": bench_step(repeats, max(50, inner // 2)),
+        # Same entry count in quick mode: the gated names()-vs-scan ratio
+        # must be measured at the same scale as the committed baseline.
+        "runtime_level": bench_runtime(n_store_entries=10_000),
     }
     if not args.skip_experiments:
         payload["experiment_level"] = bench_experiments(timing_runs=2 if args.quick else 3)
@@ -579,6 +739,14 @@ def main() -> int:
         f"step: seed {step['seed_engine_us']:.0f}us -> "
         f"compiled {step['compiled_tape_us']:.0f}us "
         f"({step['speedup_vs_seed']:.2f}x)"
+    )
+    runtime = payload["runtime_level"]
+    print(
+        f"runtime: exists {runtime['sharded_store']['exists_us_per_lookup']:.1f}us "
+        f"at {runtime['sharded_store']['entries']} entries "
+        f"(names() {runtime['sharded_store']['names_speedup_vs_scan']:.1f}x vs scan), "
+        f"tune {runtime['parallel_tune']['speedup']:.2f}x on 2 workers, "
+        f"bit-identical"
     )
     if "experiment_level" in payload:
         experiment = payload["experiment_level"]

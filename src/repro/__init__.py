@@ -35,6 +35,11 @@ Subpackages
 ``repro.selection``
     CherryPick-style Bayesian-optimization comparator for resource
     selection and the profiling-cost experiment.
+``repro.runtime``
+    The shared execution + artifact substrate: serial/thread/process
+    executors behind one deterministic scheduling contract, and the
+    sharded, locked, index-backed artifact store every persistence path
+    builds on.
 ``repro.serve``
     The online prediction service: threaded HTTP endpoint, request
     micro-batching, warm-model LRU/TTL cache, in-process + HTTP clients.
@@ -56,7 +61,7 @@ Quickstart
 >>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import (
     api,
@@ -68,6 +73,7 @@ from repro import (
     eval,
     nn,
     online,
+    runtime,
     selection,
     serve,
     simulator,
@@ -86,6 +92,7 @@ __all__ = [
     "eval",
     "nn",
     "online",
+    "runtime",
     "selection",
     "serve",
     "simulator",

@@ -190,8 +190,16 @@ def cmd_select(args: argparse.Namespace) -> int:
 
 
 def cmd_models(args: argparse.Namespace) -> int:
-    """List registered estimators (and, with ``--store``, stored models)."""
+    """List registered estimators (and, with ``--store``, stored models).
+
+    ``--migrate`` re-homes pre-shard flat-layout models into the sharded
+    runtime store layout; ``--gc`` sweeps orphaned temp files left behind
+    by crashed writers. Both require ``--store``.
+    """
     from repro.api import available_estimators, estimator_class
+
+    if (args.migrate or args.gc) and args.store is None:
+        raise ValueError("--migrate/--gc need --store to point at a model store")
 
     rows = []
     for name in available_estimators():
@@ -206,8 +214,19 @@ def cmd_models(args: argparse.Namespace) -> int:
         )
     )
     if args.store is not None:
-        session = _session(args)
-        names = session.models()
+        from repro.core.persistence import ModelStore
+
+        store = ModelStore(args.store)
+        if args.migrate:
+            migrated = store.migrate()
+            print(
+                f"migrated {len(migrated)} flat-layout model(s) into the "
+                f"sharded store" + (f": {', '.join(migrated)}" if migrated else "")
+            )
+        if args.gc:
+            removed = store.gc(max_age_s=args.gc_age)
+            print(f"swept {len(removed)} orphaned temp file(s)")
+        names = store.names()
         print()
         print(
             ascii_table(

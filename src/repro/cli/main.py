@@ -103,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
     models.add_argument(
         "--store", type=Path, default=None, help="also list this model store's contents"
     )
+    models.add_argument(
+        "--migrate", action="store_true",
+        help="re-home pre-shard flat-layout models into the sharded store "
+        "(requires --store)",
+    )
+    models.add_argument(
+        "--gc", action="store_true",
+        help="sweep orphaned temp files left by crashed writers "
+        "(requires --store)",
+    )
+    models.add_argument(
+        "--gc-age", type=float, default=3600.0, metavar="SECONDS",
+        help="minimum age before a temp file counts as orphaned",
+    )
     models.set_defaults(handler=commands.cmd_models)
 
     # ------------------------------ serve ------------------------------ #

@@ -138,7 +138,7 @@ def run_cross_algorithm_experiment(
     negative = all cores, ``None`` = the ``REPRO_JOBS`` default); records
     are identical for every worker count.
     """
-    from repro.eval.parallel import experiment_map
+    from repro.runtime import executor_map
 
     started = time.perf_counter()
     n_contexts = contexts_per_algorithm or scale.contexts_per_algorithm
@@ -149,7 +149,7 @@ def run_cross_algorithm_experiment(
         targets = select_target_contexts(dataset, algorithm, n_contexts, seed=seed)
         tasks.extend((dataset, algorithm, target, scale, seed) for target in targets)
 
-    for records, pretrain_seconds in experiment_map(
+    for records, pretrain_seconds in executor_map(
         _evaluate_cross_algorithm_target, tasks, jobs=n_workers
     ):
         result.records.extend(records)

@@ -7,7 +7,18 @@ one ``.npz`` (weights + scaler + runtime scale + an embedded copy of the
 config/metadata JSON) and one ``.json`` sidecar (the same config + metadata,
 kept human-readable) per model.
 
-Saves are **crash-safe**: the ``.npz`` is self-contained and written via
+Since the runtime refactor, :class:`ModelStore` is a **typed facade over**
+:class:`repro.runtime.ArtifactStore`: model files live in a two-level
+hash-fan-out layout (``root/ab/cd/<name>.npz``) that stays fast at 10k+
+stored models, every save holds the artifact's cross-process file lock (two
+processes saving the same name serialize instead of interleaving), and
+``names()``/``exists()`` answer from the store index instead of scanning
+the directory. Models written by the old flat layout
+(``root/<name>.npz``) keep loading transparently and are re-homed into
+their shard the next time they are saved (or wholesale via
+:meth:`ModelStore.migrate`).
+
+Saves are **crash-safe**: the ``.npz`` is self-contained and committed via
 temp-file + ``os.replace``, and it is the single commit point — a model
 exists exactly when its ``.npz`` does, and any ``.npz`` that exists loads to
 a complete, consistent model. An interruption at any instant leaves either
@@ -18,7 +29,6 @@ from __future__ import annotations
 
 import json
 import os
-import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -26,11 +36,10 @@ import numpy as np
 
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
+from repro.runtime.store import ArtifactStore
 from repro.utils.serialization import load_json, load_npz_dict, save_json, save_npz_dict
 
 PathLike = Union[str, os.PathLike]
-
-_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 
 def model_class_registry() -> Dict[str, type]:
@@ -49,18 +58,33 @@ _META_KEY = "__meta_json__"
 
 
 class ModelStore:
-    """A directory of named, pre-trained Bellamy models."""
+    """A directory of named, pre-trained Bellamy models.
 
-    def __init__(self, root: PathLike) -> None:
+    A typed facade: naming, serialization format, and model-class
+    round-tripping live here; sharding, locking, indexing, and migration
+    live in the underlying :class:`~repro.runtime.ArtifactStore`
+    (reachable as :attr:`artifacts` for maintenance operations).
+    """
+
+    def __init__(self, root: PathLike, artifacts: Optional[ArtifactStore] = None) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.artifacts = artifacts if artifacts is not None else ArtifactStore(self.root)
 
-    def _paths(self, name: str) -> Tuple[Path, Path]:
-        if not _NAME_RE.match(name):
+    def _check_name(self, name: str) -> str:
+        # One validation rule for the whole stack: the artifact store's.
+        try:
+            return ArtifactStore.check_name(name)
+        except ValueError:
             raise ValueError(
                 f"model name {name!r} must match [A-Za-z0-9._-]+ (got unsafe characters)"
-            )
-        return self.root / f"{name}.npz", self.root / f"{name}.json"
+            ) from None
+
+    def weights_path(self, name: str) -> Optional[Path]:
+        """The resolved on-disk ``.npz`` path of ``name`` (``None`` when the
+        model is not stored). Layout-aware: prefers the sharded location,
+        falls back to the pre-shard flat file."""
+        self._check_name(name)
+        return self.artifacts.find(name, "npz")
 
     def save(
         self,
@@ -72,14 +96,16 @@ class ModelStore:
 
         The concrete model class is recorded so graph-aware variants
         round-trip (see :func:`model_class_registry`). The config/metadata
-        JSON is embedded *inside* the ``.npz``, which is written via
+        JSON is embedded *inside* the ``.npz``, which is committed via
         temp-file + ``os.replace`` — the single atomic commit point. The
         ``.json`` sidecar is written afterwards purely for human inspection;
-        a crash between the two replaces still leaves a loadable,
+        a crash between the two commits still leaves a loadable,
         self-consistent model (the online refresh path relies on this to
-        swap models under live traffic).
+        swap models under live traffic). The whole save runs under the
+        artifact's cross-process file lock, so concurrent saves of one name
+        serialize instead of interleaving their files.
         """
-        weights_path, meta_path = self._paths(name)
+        self._check_name(name)
         payload = {
             "config": model.config.to_dict(),
             "model_class": type(model).__name__,
@@ -89,11 +115,12 @@ class ModelStore:
         if _META_KEY in state:
             raise ValueError(f"model state may not use the reserved key {_META_KEY!r}")
         state[_META_KEY] = np.array(json.dumps(payload, sort_keys=True))
-        save_npz_dict(weights_path, state)
-        save_json(meta_path, payload)
+        with self.artifacts.transaction(name) as txn:
+            txn.write("npz", lambda path: save_npz_dict(path, state))
+            txn.write("json", lambda path: save_json(path, payload))
 
     @staticmethod
-    def _split_state(state: Dict, meta_path: Path) -> Tuple[Dict, Dict]:
+    def _split_state(state: Dict, meta_path: Optional[Path]) -> Tuple[Dict, Dict]:
         """(weights, config/metadata payload) of a loaded ``.npz`` state.
 
         Stores written before the embedded-metadata format fall back to the
@@ -102,14 +129,20 @@ class ModelStore:
         meta_array = state.pop(_META_KEY, None)
         if meta_array is not None:
             return state, json.loads(str(meta_array))
+        if meta_path is None:
+            raise FileNotFoundError(
+                "model has no embedded metadata and no .json sidecar"
+            )
         return state, load_json(meta_path)
 
     def load(self, name: str) -> BellamyModel:
         """Load the model saved under ``name`` (restoring its concrete class)."""
-        weights_path, meta_path = self._paths(name)
-        if not weights_path.exists():
+        weights_path = self.weights_path(name)
+        if weights_path is None:
             raise FileNotFoundError(f"no model named {name!r} in {self.root}")
-        state, payload = self._split_state(load_npz_dict(weights_path), meta_path)
+        state, payload = self._split_state(
+            load_npz_dict(weights_path), self.artifacts.find(name, "json")
+        )
         registry = model_class_registry()
         class_name = payload.get("model_class", "BellamyModel")
         try:
@@ -132,27 +165,46 @@ class ModelStore:
         archive is read lazily — only the embedded metadata member is
         decompressed, never the weights.
         """
-        weights_path, meta_path = self._paths(name)
-        if weights_path.exists():
+        weights_path = self.weights_path(name)
+        meta_path = self.artifacts.find(name, "json")
+        if weights_path is not None:
             with np.load(weights_path, allow_pickle=False) as archive:
                 if _META_KEY in archive.files:
                     return json.loads(str(archive[_META_KEY]))["metadata"]
+            if meta_path is None:
+                raise FileNotFoundError(
+                    f"model {name!r} has neither embedded metadata nor a sidecar"
+                )
             return load_json(meta_path)["metadata"]
-        if not meta_path.exists():
+        if meta_path is None:
             raise FileNotFoundError(f"no model named {name!r} in {self.root}")
         return load_json(meta_path)["metadata"]
 
     def exists(self, name: str) -> bool:
-        """Whether a model named ``name`` is stored."""
-        weights_path, _ = self._paths(name)
-        return weights_path.exists()
+        """Whether a model named ``name`` is stored (index lookup + O(1)
+        ``stat`` fallback — never a directory scan)."""
+        self._check_name(name)
+        return self.artifacts.exists(name, "npz")
 
     def names(self) -> List[str]:
-        """All stored model names (sorted)."""
-        return sorted(path.stem for path in self.root.glob("*.npz"))
+        """All stored model names (sorted), answered from the store index
+        plus any not-yet-migrated flat-layout files."""
+        return self.artifacts.names(member="npz")
 
     def delete(self, name: str) -> None:
         """Remove a stored model (no error if absent)."""
-        for path in self._paths(name):
-            if path.exists():
-                path.unlink()
+        self._check_name(name)
+        self.artifacts.delete(name)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance passthrough
+    # ------------------------------------------------------------------ #
+
+    def migrate(self) -> List[str]:
+        """Re-home every pre-shard flat-layout model into the sharded
+        layout and rebuild the index; returns the migrated names."""
+        return self.artifacts.migrate_flat()
+
+    def gc(self, max_age_s: float = 3600.0) -> List[Path]:
+        """Sweep orphaned temp files left by crashed writers."""
+        return self.artifacts.gc_temp(max_age_s=max_age_s)

@@ -50,7 +50,7 @@ from repro.eval.experiments.common import (
     QUICK_SCALE,
     select_target_contexts,
 )
-from repro.eval.parallel import experiment_map
+from repro.runtime import executor_map
 from repro.eval.protocol import (
     EvaluationRecord,
     MethodSpec,
@@ -301,7 +301,7 @@ def run_ablation_experiment(
             for target in targets
         )
 
-    for records, pretrain_seconds in experiment_map(
+    for records, pretrain_seconds in executor_map(
         _evaluate_ablation_target, tasks, jobs=n_workers
     ):
         result.records.extend(records)

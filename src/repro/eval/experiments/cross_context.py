@@ -29,7 +29,7 @@ from repro.eval.protocol import (
     ProtocolConfig,
     evaluate_context,
 )
-from repro.eval.parallel import experiment_map
+from repro.runtime import executor_map
 from repro.utils.rng import derive_seed
 
 
@@ -124,7 +124,7 @@ def run_cross_context_experiment(
         )
         tasks.extend((dataset, target, scale, seed, base_config) for target in targets)
 
-    outcomes = experiment_map(_evaluate_target, tasks, jobs=n_workers)
+    outcomes = executor_map(_evaluate_target, tasks, jobs=n_workers)
 
     result = CrossContextResult(scale_name=scale.name)
     by_variant: Dict[str, List[float]] = {}

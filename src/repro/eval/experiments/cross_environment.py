@@ -20,7 +20,7 @@ from repro.core.model import BellamyModel
 from repro.core.pretraining import pretrain
 from repro.data.dataset import ExecutionDataset
 from repro.eval.experiments.common import ExperimentScale, QUICK_SCALE
-from repro.eval.parallel import experiment_map
+from repro.runtime import executor_map
 from repro.eval.protocol import (
     EvaluationRecord,
     MethodSpec,
@@ -157,7 +157,7 @@ def run_cross_environment_experiment(
         if algorithm in bell_algorithms
     ]
 
-    for algorithm, pretrain_seconds, records in experiment_map(
+    for algorithm, pretrain_seconds, records in executor_map(
         _evaluate_algorithm, tasks, jobs=n_workers
     ):
         result.pretrain_seconds[algorithm] = pretrain_seconds

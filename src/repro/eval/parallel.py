@@ -1,10 +1,17 @@
 """Parallel execution of experiment tasks (the ``--jobs`` knob).
 
-The paper experiments are embarrassingly parallel across their work units:
-cross-context and ablation studies fan out over target contexts, the
-cross-environment study over algorithms. Every unit derives all of its
-randomness from per-unit seeds (:func:`repro.utils.rng.derive_seed`), so the
-records are **bit-identical for any worker count** — a property
+Since the runtime refactor this module is a thin shim over
+:mod:`repro.runtime` — worker-count resolution (:func:`jobs_from_env`,
+:func:`resolve_jobs`, the ``REPRO_JOBS`` environment variable) and the
+executor machinery live there, shared with ``tune``, ``serve``, and
+``online``. The names below stay importable because they are part of the
+public :mod:`repro.eval` surface; :func:`experiment_map` simply delegates
+to :func:`repro.runtime.executor_map` with the process executor the
+experiment workloads want (long-running GIL-holding NumPy compute).
+
+Every experiment work unit derives its randomness from per-unit seeds
+(:func:`repro.utils.rng.derive_seed`), so the records are **bit-identical
+for any worker count** — a property
 ``tests/eval/test_parallel_determinism.py`` asserts.
 
 Job-count resolution, in priority order:
@@ -15,59 +22,22 @@ Job-count resolution, in priority order:
    without any configuration).
 
 ``0`` (or ``None`` everywhere) means serial, negative values mean "all
-cores". The heavy lifting is a process pool
-(:func:`repro.utils.parallel.parallel_map`): the workload is long-running
-GIL-holding NumPy compute, so threads would not help.
+cores".
 """
 
 from __future__ import annotations
 
-import os
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro.utils.parallel import parallel_map, resolve_workers
+from repro.runtime.executor import (  # noqa: F401  (re-exported shim surface)
+    JOBS_ENV,
+    jobs_from_env,
+    resolve_jobs,
+)
+from repro.runtime.executor import executor_map as _executor_map
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-#: Environment variable supplying the default experiment job count.
-JOBS_ENV = "REPRO_JOBS"
-
-
-def jobs_from_env(default: Optional[int] = None) -> Optional[int]:
-    """The job count configured via ``REPRO_JOBS`` (``default`` if unset).
-
-    Unparsable values are ignored rather than raised — a misconfigured
-    environment must not break a long experiment run, only serialize it.
-
-    >>> import os
-    >>> os.environ["REPRO_JOBS"] = "3"
-    >>> jobs_from_env()
-    3
-    >>> del os.environ["REPRO_JOBS"]
-    >>> jobs_from_env(default=0)
-    0
-    """
-    raw = os.environ.get(JOBS_ENV, "").strip()
-    if not raw:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        return default
-
-
-def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
-    """Effective worker count for ``n_tasks`` units (env-aware).
-
-    >>> resolve_jobs(None, n_tasks=10)  # unset everywhere: serial
-    1
-    >>> resolve_jobs(8, n_tasks=3)      # never more workers than tasks
-    3
-    """
-    if jobs is None:
-        jobs = jobs_from_env()
-    return resolve_workers(jobs, n_tasks)
 
 
 def experiment_map(
@@ -80,11 +50,10 @@ def experiment_map(
     Results come back in task order regardless of completion order, which
     keeps the concatenated record stream identical to a serial run. ``fn``
     and the tasks must be picklable when more than one worker is used —
-    module-level functions, not closures.
+    module-level functions, not closures. Delegates to
+    :func:`repro.runtime.executor_map` (process kind).
 
     >>> experiment_map(len, ["ab", "c"], jobs=0)
     [2, 1]
     """
-    if jobs is None:
-        jobs = jobs_from_env()
-    return parallel_map(fn, tasks, n_workers=jobs)
+    return _executor_map(fn, tasks, jobs=jobs, kind="process")

@@ -49,6 +49,7 @@ from repro.data.schema import JobContext
 from repro.eval.metrics import mre, relative_errors
 from repro.online.drift import DriftDetector, DriftStatus
 from repro.online.observations import Observation, ObservationBuffer
+from repro.runtime import Executor, TaskHandle, ThreadExecutor
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,12 @@ class OnlineSession:
     detector:
         A :class:`~repro.online.DriftDetector`; built from the policy when
         omitted.
+    executor:
+        The :class:`~repro.runtime.Executor` behind :meth:`refresh_async`.
+        The serve app installs its shared executor here, so asynchronous
+        refreshes and the micro-batcher run on one scheduling primitive;
+        standalone sessions lazily create a single-worker thread executor
+        on first use.
 
     Example::
 
@@ -187,8 +194,14 @@ class OnlineSession:
         policy: Optional[RefreshPolicy] = None,
         buffer: Optional[ObservationBuffer] = None,
         detector: Optional[DriftDetector] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.session = session
+        self.executor = executor
+        #: Whether this session created :attr:`executor` itself (lazily, in
+        #: :meth:`refresh_async`) and therefore shuts it down in
+        #: :meth:`close`; injected executors belong to their injector.
+        self._owns_executor = False
         self.policy = policy if policy is not None else RefreshPolicy()
         # Explicit None checks: an *empty* ObservationBuffer is falsy
         # (``__len__`` == 0), and a caller-supplied buffer must be kept
@@ -278,6 +291,41 @@ class OnlineSession:
             status=status,
             refreshed=refreshed,
         )
+
+    def refresh_async(self, context: JobContext) -> TaskHandle:
+        """Schedule a :meth:`refresh` on the executor; returns its handle.
+
+        The refresh runs under the session lock like any other, so it
+        serializes against concurrent :meth:`observe` calls; the caller
+        collects the :class:`RefreshResult` (or the refresh's exception)
+        via ``handle.result()``. Serving is never blocked — the swap
+        happens inside the background refresh exactly as in the
+        synchronous path::
+
+            handle = online.refresh_async(context)
+            ...  # keep serving
+            result = handle.result(timeout=60.0)
+
+        A lazily-created executor is owned by this session — call
+        :meth:`close` when done with a standalone ``OnlineSession``.
+        """
+        with self._lock:  # concurrent first callers must share one executor
+            if self.executor is None:
+                self.executor = ThreadExecutor(max_workers=1, name="repro-online")
+                self._owns_executor = True
+            executor = self.executor
+        return executor.submit(self.refresh, context)
+
+    def close(self) -> None:
+        """Release the session's owned executor (queued refreshes drain).
+
+        A no-op when no executor was ever created here — in particular
+        when the serve app injected its shared one, which the app owns.
+        """
+        if self._owns_executor and self.executor is not None:
+            self.executor.shutdown()
+            self.executor = None
+            self._owns_executor = False
 
     def refresh(self, context: JobContext) -> RefreshResult:
         """Re-fit a group from buffer + history and swap the model in.

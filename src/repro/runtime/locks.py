@@ -1,0 +1,150 @@
+"""Cross-process file locking for the artifact store.
+
+POSIX ``flock`` serializes *processes*, but a second thread of the same
+process would acquire the same ``flock`` successfully (the lock is held per
+open-file, granted per process). :class:`FileLock` therefore layers two
+locks: a process-local :class:`threading.Lock` shared by every
+:class:`FileLock` instance pointing at the same path, and an ``flock`` on
+the lock file for other processes. Acquisition order is thread lock first, so
+at most one thread per process ever contends on the file lock.
+
+Lock files are never deleted: unlinking a lock file while another process
+holds (or is blocked on) its inode silently splits the lock into two — the
+classic ``flock``-on-unlinked-inode race — so the store leaves its small
+``*.lock`` files in place.
+
+On platforms without ``fcntl`` (Windows), :class:`FileLock` degrades to
+the in-process lock — single-process correctness is kept, cross-process
+exclusion is not (the reference deployment platform is Linux).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, os.PathLike]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a :class:`FileLock` cannot be acquired in time.
+
+    >>> issubclass(LockTimeout, TimeoutError)
+    True
+    """
+
+
+#: Process-wide thread locks, one per resolved lock-file path. The map is
+#: keyed by PID so a ``fork()`` taken while a parent held a lock does not
+#: leave the child with a permanently-locked inherited copy.
+_THREAD_LOCKS: Dict[str, threading.Lock] = {}
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_PID = os.getpid()
+
+
+def _thread_lock_for(path: str) -> threading.Lock:
+    global _THREAD_LOCKS, _REGISTRY_PID
+    with _REGISTRY_LOCK:
+        if _REGISTRY_PID != os.getpid():  # forked child: locks start fresh
+            _THREAD_LOCKS = {}
+            _REGISTRY_PID = os.getpid()
+        lock = _THREAD_LOCKS.get(path)
+        if lock is None:
+            lock = _THREAD_LOCKS[path] = threading.Lock()
+        return lock
+
+
+class FileLock:
+    """An exclusive lock honored across threads *and* processes.
+
+    Non-reentrant: a thread acquiring the same lock twice deadlocks until
+    the timeout — callers hold the lock across one save/delete, never
+    nested. Usable as a context manager::
+
+        lock = FileLock(store_root / "ab" / "cd" / "model.lock")
+        with lock:
+            ...  # exclusive across every process sharing the store
+
+    Parameters
+    ----------
+    path:
+        The lock file (created on first acquisition, never deleted).
+    timeout:
+        Seconds to wait before raising :class:`LockTimeout`.
+    poll_s:
+        Cross-process contention poll interval.
+    """
+
+    def __init__(self, path: PathLike, timeout: float = 30.0, poll_s: float = 0.005) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_s = poll_s
+        self._key = str(self.path.resolve().parent / self.path.name)
+        # Resolved per-acquire (not here) so an instance carried across a
+        # fork() binds to the child's fresh lock registry.
+        self._thread_lock: Optional[threading.Lock] = None
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        """Take the lock (thread lock, then ``flock``), honoring the timeout."""
+        deadline = time.monotonic() + self.timeout
+        self._thread_lock = _thread_lock_for(self._key)
+        if not self._thread_lock.acquire(timeout=self.timeout):
+            raise LockTimeout(f"thread contention on {self.path} after {self.timeout}s")
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._fd = -1
+            return self
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except (BlockingIOError, PermissionError):
+                        if time.monotonic() >= deadline:
+                            raise LockTimeout(
+                                f"another process holds {self.path} "
+                                f"(waited {self.timeout}s)"
+                            ) from None
+                        time.sleep(self.poll_s)
+            except BaseException:
+                os.close(fd)
+                raise
+            self._fd = fd
+            return self
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        """Drop the lock (no-op when not held)."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            if fcntl is not None and fd >= 0:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+        finally:
+            self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

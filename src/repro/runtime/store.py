@@ -1,0 +1,453 @@
+"""The artifact substrate: a sharded, locked, index-backed file store.
+
+A flat directory of ``<name>.npz`` files works for ten models and falls
+over at ten thousand: every ``names()`` walks the whole directory, every
+``exists()`` competes with it, and nothing stops two processes from saving
+the same name at once. :class:`ArtifactStore` is the storage contract the
+:class:`~repro.core.persistence.ModelStore` (and anything else that
+persists named artifacts) builds on:
+
+* **Sharding** — artifact files live under a two-level fan-out
+  ``root/ab/cd/<name>.<member>`` derived from ``sha256(name)``, keeping
+  every directory small at 10k+ artifacts.
+* **Locking** — one :class:`~repro.runtime.locks.FileLock` per artifact
+  (plus one for the index) serializes writers across threads *and*
+  processes; concurrent saves of the same name can never interleave their
+  member files.
+* **Index** — ``index.json`` maps ``name -> [members]``, so ``names()``
+  and ``exists()`` are index lookups (with an O(1) ``stat`` fallback),
+  not directory scans. The in-memory copy is invalidated by file
+  signature, so other processes' writes are picked up.
+* **Migration** — artifacts written by the old flat layout are still
+  found (read path falls back to ``root/<name>.<member>``) and are
+  re-homed into their shard the next time they are saved, or wholesale
+  via :meth:`migrate_flat`.
+* **GC** — interrupted writers leave only ``*.tmp`` files, which
+  :meth:`gc_temp` sweeps once they are demonstrably orphaned.
+
+Writes go through a :meth:`transaction`, which holds the artifact lock for
+its whole body; each :meth:`ArtifactTransaction.write` commits one member
+atomically (temp file + ``os.replace``), so a crash mid-transaction leaves
+every member either at its previous or its new content — never torn::
+
+    store = ArtifactStore("artifacts/")
+    with store.transaction("sgd-base") as txn:
+        txn.write("npz", lambda path: save_npz_dict(path, state))
+        txn.write("json", lambda path: save_json(path, payload))
+    store.exists("sgd-base", "npz")     # index-backed, no directory scan
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.runtime.locks import FileLock
+from repro.utils.serialization import load_json, save_json
+
+PathLike = Union[str, os.PathLike]
+
+#: Artifact names: filesystem-safe, no path separators.
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+#: Member suffixes: one dot-free token (``npz``, ``json``, ...).
+_MEMBER_RE = re.compile(r"^[A-Za-z0-9_]+$")
+#: Suffix tokens that are store infrastructure, never artifact members.
+_RESERVED_MEMBERS = frozenset({"lock", "tmp"})
+#: Two lowercase hex characters — a shard directory name.
+_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
+
+INDEX_NAME = "index.json"
+
+
+def _parse_member_file(filename: str) -> Optional[Tuple[str, str]]:
+    """``(artifact, member)`` encoded by a store file name, else ``None``."""
+    if filename == INDEX_NAME or filename.endswith(".tmp"):
+        return None
+    name, dot, member = filename.rpartition(".")
+    if not dot or not name:
+        return None
+    if not _MEMBER_RE.match(member) or member in _RESERVED_MEMBERS:
+        return None
+    if not _NAME_RE.match(name):
+        return None
+    return name, member
+
+
+class ArtifactTransaction:
+    """One locked write against a named artifact (see
+    :meth:`ArtifactStore.transaction`).
+
+    Members commit individually: each :meth:`write` lands atomically the
+    moment it returns, so an interrupted transaction leaves a prefix of
+    its members committed (the caller orders them so any prefix is
+    consistent — the model store writes the self-contained ``npz`` first)::
+
+        with store.transaction("name") as txn:
+            txn.write("npz", write_weights)     # the commit point
+            txn.write("json", write_sidecar)    # human-readable extra
+    """
+
+    def __init__(self, store: "ArtifactStore", name: str, shard: Path) -> None:
+        self._store = store
+        self.name = name
+        self._shard = shard
+        self._counter = 0
+        self._tmp_paths: List[Path] = []
+        self.committed: List[str] = []
+
+    def write(self, member: str, writer: Callable[[Path], None]) -> Path:
+        """Write one member via ``writer(tmp_path)`` and commit it atomically.
+
+        Returns the member's final path. A failing writer leaves no trace;
+        a crash after the internal ``os.replace`` leaves the member fully
+        committed.
+        """
+        if not _MEMBER_RE.match(member) or member in _RESERVED_MEMBERS:
+            raise ValueError(
+                f"member {member!r} must match [A-Za-z0-9_]+ and not be reserved"
+            )
+        tmp = self._shard / f"{self.name}.{member}.{os.getpid()}.{self._counter}.tmp"
+        self._counter += 1
+        self._tmp_paths.append(tmp)
+        try:
+            writer(tmp)
+            if not tmp.exists():
+                raise FileNotFoundError(
+                    f"writer for member {member!r} did not produce {tmp}"
+                )
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        final = self._store.member_path(self.name, member)
+        os.replace(tmp, final)
+        # Re-home: a pre-shard flat copy of this member is now stale.
+        flat = self._store.flat_path(self.name, member)
+        if flat is not None:
+            flat.unlink(missing_ok=True)
+        self.committed.append(member)
+        return final
+
+    def _cleanup(self) -> None:
+        for tmp in self._tmp_paths:
+            tmp.unlink(missing_ok=True)
+
+
+class ArtifactStore:
+    """Sharded + locked + indexed directory of named, multi-file artifacts.
+
+    Layout: ``root/ab/cd/<name>.<member>`` with ``ab``/``cd`` taken from
+    ``sha256(name)``; ``root/index.json`` is the name index; ``*.lock``
+    files carry the cross-process locks; pre-shard flat files
+    (``root/<name>.<member>``) remain readable and are re-homed on save::
+
+        store = ArtifactStore(tmp_dir)
+        with store.transaction("model-a") as txn:
+            txn.write("json", lambda p: p.write_text("{}"))
+        assert store.names() == ["model-a"]
+        assert store.exists("model-a", "json")
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / INDEX_NAME
+        self._index_lock = FileLock(self.root / ".index.lock")
+        #: Cached index keyed by the index file's stat signature.
+        self._index_cache: Optional[Tuple[Tuple[int, int], Dict[str, List[str]]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def check_name(name: str) -> str:
+        """Validate an artifact name (filesystem-safe); returns it.
+
+        >>> ArtifactStore.check_name("sgd--full.v2")
+        'sgd--full.v2'
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"artifact name {name!r} must match [A-Za-z0-9._-]+ "
+                "(got unsafe characters)"
+            )
+        return name
+
+    def shard_dir(self, name: str) -> Path:
+        """The two-level shard directory owning ``name``
+        (``root/ab/cd`` with ``abcd`` taken from ``sha256(name)``)."""
+        digest = hashlib.sha256(self.check_name(name).encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / digest[2:4]
+
+    def member_path(self, name: str, member: str) -> Path:
+        """The sharded path of one member file (existing or not)."""
+        return self.shard_dir(name) / f"{name}.{member}"
+
+    def flat_path(self, name: str, member: str) -> Optional[Path]:
+        """The pre-shard flat-layout path, ``None`` when it would collide
+        with store infrastructure (the index file)."""
+        candidate = self.root / f"{self.check_name(name)}.{member}"
+        if candidate.name == INDEX_NAME:
+            return None
+        return candidate
+
+    def find(self, name: str, member: str) -> Optional[Path]:
+        """The existing path of a member — sharded first, then the legacy
+        flat layout — or ``None``.
+
+        Self-healing: a sharded member that the index does not know about
+        (a writer crashed between its member commit and the index
+        registration) is registered on sight, so ``names()`` converges
+        back to the files on disk without a manual
+        :meth:`rebuild_index`.
+        """
+        sharded = self.member_path(name, member)
+        if sharded.exists():
+            index = self._read_index()
+            if index is not None and member not in index.get(name, ()):
+                self._register(name, [member])
+            return sharded
+        flat = self.flat_path(name, member)
+        if flat is not None and flat.exists():
+            return flat
+        return None
+
+    def lock(self, name: str) -> FileLock:
+        """The cross-process lock serializing writers of ``name``."""
+        return FileLock(self.shard_dir(name) / f"{name}.lock")
+
+    # ------------------------------------------------------------------ #
+    # Index
+    # ------------------------------------------------------------------ #
+
+    def _read_index(self) -> Optional[Dict[str, List[str]]]:
+        """The ``name -> members`` map, cached by file signature."""
+        try:
+            stat = self._index_path.stat()
+        except FileNotFoundError:
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cache = self._index_cache
+        if cache is not None and cache[0] == signature:
+            return cache[1]
+        try:
+            payload = load_json(self._index_path)
+        except (OSError, ValueError):  # racing replace or corrupt index
+            return None
+        artifacts = payload.get("artifacts", {})
+        self._index_cache = (signature, artifacts)
+        return artifacts
+
+    def _mutate_index(
+        self, mutate: Callable[[Dict[str, List[str]]], None]
+    ) -> None:
+        """Read-modify-write the index atomically under the index lock."""
+        with self._index_lock:
+            artifacts = dict(self._read_index() or {})
+            mutate(artifacts)
+            save_json(self._index_path, {"version": 1, "artifacts": artifacts})
+            self._index_cache = None  # next read picks up the fresh file
+
+    def _register(self, name: str, members: List[str]) -> None:
+        def mutate(artifacts: Dict[str, List[str]]) -> None:
+            merged = set(artifacts.get(name, ())) | set(members)
+            artifacts[name] = sorted(merged)
+
+        self._mutate_index(mutate)
+
+    def _scan_flat(self) -> Dict[str, Set[str]]:
+        """Artifacts still in the pre-shard flat layout (top level only)."""
+        found: Dict[str, Set[str]] = {}
+        for path in self.root.iterdir():
+            if not path.is_file():
+                continue
+            parsed = _parse_member_file(path.name)
+            if parsed is not None:
+                found.setdefault(parsed[0], set()).add(parsed[1])
+        return found
+
+    def _scan_shards(self) -> Dict[str, Set[str]]:
+        """Every sharded artifact, by walking the two-level fan-out."""
+        found: Dict[str, Set[str]] = {}
+        for level1 in self.root.iterdir():
+            if not level1.is_dir() or not _SHARD_RE.match(level1.name):
+                continue
+            for level2 in level1.iterdir():
+                if not level2.is_dir() or not _SHARD_RE.match(level2.name):
+                    continue
+                for path in level2.iterdir():
+                    if not path.is_file():
+                        continue
+                    parsed = _parse_member_file(path.name)
+                    if parsed is not None:
+                        found.setdefault(parsed[0], set()).add(parsed[1])
+        return found
+
+    def rebuild_index(self) -> List[str]:
+        """Re-derive the index from the files on disk (recovery tool).
+
+        Returns the indexed names. Use after external surgery on the store
+        directory or a crash between a member commit and its index update.
+        """
+        found = self._scan_shards()
+        for name, members in self._scan_flat().items():
+            found.setdefault(name, set()).update(members)
+
+        def mutate(artifacts: Dict[str, List[str]]) -> None:
+            artifacts.clear()
+            for name, members in found.items():
+                artifacts[name] = sorted(members)
+
+        self._mutate_index(mutate)
+        return sorted(found)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def exists(self, name: str, member: Optional[str] = None) -> bool:
+        """Whether ``name`` is stored (optionally: with ``member``).
+
+        Index lookup first; a miss falls back to two ``stat`` calls
+        (sharded then flat) so a concurrent writer's just-committed
+        artifact is never reported absent. Never scans a directory.
+        """
+        self.check_name(name)
+        index = self._read_index()
+        if index is not None:
+            members = index.get(name)
+            if members is not None and (member is None or member in members):
+                return True
+        if member is not None:
+            return self.find(name, member) is not None
+        return bool(self.members(name))
+
+    def members(self, name: str) -> List[str]:
+        """The member suffixes stored for ``name`` (empty when absent)."""
+        index = self._read_index() or {}
+        members = set(index.get(name, ()))
+        shard = self.shard_dir(name)
+        if shard.exists():
+            for path in shard.glob(f"{name}.*"):
+                parsed = _parse_member_file(path.name)
+                if parsed is not None and parsed[0] == name:
+                    members.add(parsed[1])
+        for member in list(self._scan_flat().get(name, ())):
+            members.add(member)
+        return sorted(members)
+
+    def names(self, member: Optional[str] = None) -> List[str]:
+        """All stored artifact names (sorted), optionally filtered to those
+        carrying ``member``.
+
+        Index-backed: cost is one cached index read plus a top-level
+        ``iterdir`` for not-yet-migrated flat artifacts — independent of
+        the artifact count, unlike the pre-runtime full-directory glob.
+        """
+        out: Set[str] = set()
+        for name, members in (self._read_index() or {}).items():
+            if member is None or member in members:
+                out.add(name)
+        for name, members in self._scan_flat().items():
+            if member is None or member in members:
+                out.add(name)
+        return sorted(out)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def transaction(self, name: str) -> Iterator[ArtifactTransaction]:
+        """Exclusive write access to ``name`` across threads and processes.
+
+        The artifact lock is held for the whole ``with`` body; members
+        committed before an exception stay committed (and indexed), exactly
+        like the pre-runtime crash semantics of ``ModelStore.save``.
+        """
+        self.check_name(name)
+        shard = self.shard_dir(name)
+        shard.mkdir(parents=True, exist_ok=True)
+        with self.lock(name):
+            txn = ArtifactTransaction(self, name, shard)
+            try:
+                yield txn
+            finally:
+                txn._cleanup()
+                if txn.committed:
+                    self._register(name, txn.committed)
+
+    def delete(self, name: str) -> None:
+        """Remove an artifact — every member, sharded and flat, plus its
+        index entry (no error if absent)."""
+        self.check_name(name)
+        with self.lock(name):
+            candidates: Set[str] = set((self._read_index() or {}).get(name, ()))
+            shard = self.shard_dir(name)
+            if shard.exists():
+                for path in shard.glob(f"{name}.*"):
+                    parsed = _parse_member_file(path.name)
+                    if parsed is not None and parsed[0] == name:
+                        candidates.add(parsed[1])
+            for member in candidates | self._scan_flat().get(name, set()):
+                self.member_path(name, member).unlink(missing_ok=True)
+                flat = self.flat_path(name, member)
+                if flat is not None:
+                    flat.unlink(missing_ok=True)
+
+            def mutate(artifacts: Dict[str, List[str]]) -> None:
+                artifacts.pop(name, None)
+
+            self._mutate_index(mutate)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def migrate_flat(self) -> List[str]:
+        """Re-home every pre-shard flat-layout artifact into its shard.
+
+        Returns the migrated names. Idempotent; the index is rebuilt from
+        disk afterwards so it reflects exactly what the store now holds.
+        """
+        migrated = []
+        for name, members in sorted(self._scan_flat().items()):
+            shard = self.shard_dir(name)
+            shard.mkdir(parents=True, exist_ok=True)
+            with self.lock(name):
+                for member in sorted(members):
+                    flat = self.flat_path(name, member)
+                    if flat is None or not flat.exists():
+                        continue
+                    target = self.member_path(name, member)
+                    if target.exists():
+                        # A sharded save already superseded this flat copy.
+                        flat.unlink(missing_ok=True)
+                    else:
+                        os.replace(flat, target)
+            migrated.append(name)
+        self.rebuild_index()
+        return migrated
+
+    def gc_temp(self, max_age_s: float = 3600.0) -> List[Path]:
+        """Delete orphaned ``*.tmp`` files older than ``max_age_s`` seconds.
+
+        Temp files are only ever mid-write for the duration of one member
+        commit; anything old belongs to a crashed writer. Returns the
+        removed paths.
+        """
+        removed = []
+        cutoff = time.time() - max_age_s
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed.append(path)
+            except FileNotFoundError:  # pragma: no cover - concurrent sweep
+                continue
+        return removed

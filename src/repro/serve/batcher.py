@@ -7,7 +7,10 @@ estimator per request; :meth:`Session.predict_batch
 ``(context, training samples)`` fingerprint — the batcher's job is to get
 concurrent requests **into the same call**.
 
-:class:`MicroBatcher` runs a single flusher thread over a queue. A request
+:class:`MicroBatcher` runs a single flusher loop over a queue, scheduled on
+a :class:`repro.runtime.Executor` (by default a private single-worker
+thread executor; the serve app shares one executor between the batcher and
+the online refresh path). A request
 waits at most ``max_wait_ms`` for company; the flusher drains whatever has
 accumulated (up to ``max_batch``) into one ``predict_batch`` call and wakes
 the waiting callers with their results. Under load, requests that share a
@@ -36,6 +39,7 @@ import numpy as np
 
 from repro.api.estimator import PredictionRequest
 from repro.api.session import Session
+from repro.runtime import Executor, TaskHandle, ThreadExecutor
 
 
 class BatcherClosedError(RuntimeError):
@@ -77,6 +81,12 @@ class MicroBatcher:
     model:
         Optional base-model override forwarded to ``predict_batch``
         (a store name or a :class:`~repro.core.model.BellamyModel`).
+    executor:
+        The :class:`~repro.runtime.Executor` the flusher loop runs on.
+        ``None`` creates a private single-worker
+        :class:`~repro.runtime.ThreadExecutor` (owned, shut down on
+        :meth:`close`); the serve app passes its shared executor so the
+        batcher and the online refresh path schedule on one primitive.
 
     Example::
 
@@ -95,6 +105,7 @@ class MicroBatcher:
         exact: bool = True,
         model: Any = None,
         max_epochs: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -121,10 +132,11 @@ class MicroBatcher:
             "largest_group": 0,
             "errors": 0,
         }
-        self._thread = threading.Thread(
-            target=self._run, name="repro-serve-batcher", daemon=True
+        self._owns_executor = executor is None
+        self._executor = executor if executor is not None else ThreadExecutor(
+            max_workers=1, name="repro-serve-batcher"
         )
-        self._thread.start()
+        self._task: TaskHandle = self._executor.submit(self._run)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -230,14 +242,17 @@ class MicroBatcher:
         """Stop accepting work, drain queued requests, join the flusher.
 
         Every request submitted before ``close`` is still answered — the
-        flusher keeps flushing until the queue is empty, then exits.
+        flusher keeps flushing until the queue is empty, then exits. An
+        owned executor is shut down; a shared one is left to its owner.
         """
         with self._wake:
             if self._closed:
                 return
             self._closed = True
             self._wake.notify_all()
-        self._thread.join(timeout=timeout)
+        self._task.wait(timeout=timeout)
+        if self._owns_executor:
+            self._executor.shutdown(wait=False)
 
     @property
     def closed(self) -> bool:

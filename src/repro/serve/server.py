@@ -49,6 +49,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, IO, Optional, Tuple
 
 from repro.api.session import Session
+from repro.runtime import Executor, ThreadExecutor
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
 from repro.serve.cache import LruTtlCache
 from repro.serve.schemas import (
@@ -86,6 +87,13 @@ class ServeApp:
         ``POST /observe`` endpoint and the ``/stats`` drift counters. It
         must wrap the same ``session`` this app serves, so a drift-triggered
         refresh swaps the model every request path sees.
+    executor:
+        The :class:`~repro.runtime.Executor` scheduling the app's
+        background work — the micro-batcher's flusher loop and the online
+        session's asynchronous refreshes both run here, on one shared
+        primitive. ``None`` creates an owned two-worker
+        :class:`~repro.runtime.ThreadExecutor`, shut down on
+        :meth:`close`.
 
     Example::
 
@@ -107,18 +115,32 @@ class ServeApp:
         log_stream: Optional[IO[str]] = None,
         log_size: int = 1000,
         online: Any = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.session = session
         if online is not None and online.session is not session:
             raise ValueError("the OnlineSession must wrap the session this app serves")
         self.online = online
+        self._owns_executor = executor is None
+        # One scheduling primitive for all of the app's background work:
+        # one worker runs the batcher's flusher loop, the other absorbs
+        # asynchronous online refreshes.
+        self.executor = executor if executor is not None else ThreadExecutor(
+            max_workers=2, name="repro-serve"
+        )
+        if online is not None and getattr(online, "executor", None) is None:
+            online.executor = self.executor
         if cache is None:
             cache = LruTtlCache(capacity=cache_size, ttl_s=cache_ttl_s)
         if cache is not False and session.model_cache is None:
             session.model_cache = cache
         self.cache = session.model_cache if cache is not False else None
         self.batcher = batcher or MicroBatcher(
-            session, max_batch=batch_max, max_wait_ms=batch_wait_ms, exact=exact
+            session,
+            max_batch=batch_max,
+            max_wait_ms=batch_wait_ms,
+            exact=exact,
+            executor=self.executor,
         )
         self._log_stream = log_stream
         self._log: "deque[JsonDict]" = deque(maxlen=log_size)
@@ -321,8 +343,13 @@ class ServeApp:
         """Drain the batch queue and stop serving predictions.
 
         Requests already submitted are answered; later predicts get 503.
+        An owned executor is shut down after the drain (without waiting on
+        in-flight online refreshes, whose results still land — the workers
+        are daemonic).
         """
         self.batcher.close()
+        if self._owns_executor:
+            self.executor.shutdown(wait=False)
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -1,12 +1,21 @@
 """Trial runner: evaluate configurations and keep the best.
 
-A tiny, sequential stand-in for Ray Tune's trial executor, with optional
+A tiny stand-in for Ray Tune's trial executor, with optional
 successive-halving early stopping for budgeted objectives. Model
 hyperparameters are tuned against the unified estimator API: build an
 objective with :func:`estimator_objective` (models resolved by registry name,
 base models injected by a :class:`repro.api.Session`) and hand it to
 :func:`run_search` / :func:`run_successive_halving`, or use the
 :func:`tune_estimator` convenience wrapper.
+
+Trials run on the shared :mod:`repro.runtime` execution substrate: pass
+``jobs=`` (or set ``REPRO_JOBS``) to fan independent trials out, or inject
+any :class:`repro.runtime.Executor`. Configurations are drawn up front and
+every trial is independent, so **scores are bit-identical for any executor
+kind and worker count** — only the wall-clock changes. The default thread
+executor works with closure objectives (like those from
+:func:`estimator_objective`); a :class:`repro.runtime.ProcessExecutor`
+additionally requires the objective to be picklable.
 """
 
 from __future__ import annotations
@@ -14,10 +23,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime import Executor, get_executor
 from repro.tune.search import Searcher
 
 #: Objective: configuration (+ optional budget) -> score (lower is better).
@@ -130,8 +140,15 @@ def tune_estimator(
     session=None,
     base_params: Optional[Dict[str, Any]] = None,
     metric: str = "mae",
+    jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> TuneResult:
-    """Search estimator hyperparameters through the registry/Session."""
+    """Search estimator hyperparameters through the registry/Session.
+
+    ``jobs``/``executor`` fan independent trials out on the runtime
+    substrate (see :func:`run_search`); scores are identical for any
+    worker count.
+    """
     objective = estimator_objective(
         name,
         context,
@@ -143,22 +160,68 @@ def tune_estimator(
         base_params=base_params,
         metric=metric,
     )
-    return run_search(searcher, objective, n_trials)
+    return run_search(searcher, objective, n_trials, jobs=jobs, executor=executor)
+
+
+def _evaluate_trial(task: Tuple[Objective, Dict[str, Any], Optional[int]]) -> Trial:
+    """One trial, run inside whatever executor the runner chose.
+
+    Module-level (not a closure) so trials stay picklable whenever the
+    objective itself is — the requirement for process-backed tuning.
+    """
+    objective, config, budget = task
+    started = time.perf_counter()
+    if budget is None:
+        score = float(objective(config))
+    else:
+        score = float(objective(config, budget=budget))
+    return Trial(
+        config=config,
+        score=score,
+        wall_seconds=time.perf_counter() - started,
+        budget=budget,
+    )
+
+
+def _run_trials(
+    objective: Objective,
+    configs: Sequence[Dict[str, Any]],
+    budget: Optional[int],
+    jobs: Optional[int],
+    executor: Optional[Executor],
+) -> List[Trial]:
+    """Fan one rung of trials out on the runtime substrate (ordered)."""
+    tasks = [(objective, config, budget) for config in configs]
+    if executor is not None:
+        return executor.map(_evaluate_trial, tasks)
+    # Threads by default: objectives are usually closures over a Session,
+    # which never pickle; NumPy's BLAS-heavy fits still overlap usefully.
+    owned = get_executor(jobs, n_tasks=len(tasks), kind="thread")
+    try:
+        return owned.map(_evaluate_trial, tasks)
+    finally:
+        owned.shutdown()
 
 
 def run_search(
     searcher: Searcher,
     objective: Objective,
     n_trials: int,
+    jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> TuneResult:
-    """Evaluate ``n_trials`` configurations sequentially."""
+    """Evaluate ``n_trials`` configurations, optionally in parallel.
+
+    ``jobs`` resolves through the shared ``REPRO_JOBS``-aware rule
+    (``None``/0 = serial, negative = all cores); alternatively pass an
+    :class:`~repro.runtime.Executor` to control scheduling directly.
+    Configurations are suggested up front and trials are independent, so
+    the scores — and therefore ``result.best`` — are bit-identical for any
+    worker count.
+    """
     result = TuneResult()
-    for config in searcher.suggest(n_trials):
-        started = time.perf_counter()
-        score = float(objective(config))
-        result.trials.append(
-            Trial(config=config, score=score, wall_seconds=time.perf_counter() - started)
-        )
+    configs = searcher.suggest(n_trials)
+    result.trials.extend(_run_trials(objective, configs, None, jobs, executor))
     return result
 
 
@@ -169,11 +232,16 @@ def run_successive_halving(
     min_budget: int,
     max_budget: int,
     eta: int = 3,
+    jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> TuneResult:
     """Successive halving: evaluate many configs cheaply, promote the best.
 
     ``objective(config, budget=...)`` is called with increasing budgets;
-    after each rung, only the top ``1/eta`` fraction advances.
+    after each rung, only the top ``1/eta`` fraction advances. Trials
+    *within* a rung are independent and fan out via ``jobs``/``executor``
+    (rungs themselves are inherently sequential); promotion ties are broken
+    by rung order, which is deterministic for any worker count.
     """
     if not 0 < min_budget <= max_budget:
         raise ValueError("need 0 < min_budget <= max_budget")
@@ -183,22 +251,12 @@ def run_successive_halving(
     survivors = searcher.suggest(n_trials)
     budget = min_budget
     while survivors:
-        rung: List[Trial] = []
-        for config in survivors:
-            started = time.perf_counter()
-            score = float(objective(config, budget=budget))
-            trial = Trial(
-                config=config,
-                score=score,
-                wall_seconds=time.perf_counter() - started,
-                budget=budget,
-            )
-            rung.append(trial)
-            result.trials.append(trial)
+        rung = _run_trials(objective, survivors, budget, jobs, executor)
+        result.trials.extend(rung)
         if budget >= max_budget or len(rung) == 1:
             break
-        rung.sort(key=lambda trial: trial.score)
+        order = sorted(range(len(rung)), key=lambda i: (rung[i].score, i))
         keep = max(1, math.floor(len(rung) / eta))
-        survivors = [trial.config for trial in rung[:keep]]
+        survivors = [rung[i].config for i in order[:keep]]
         budget = min(max_budget, budget * eta)
     return result

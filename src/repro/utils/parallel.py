@@ -1,41 +1,38 @@
-"""Process-based parallel mapping for the experiment harness.
+"""Deprecated shim over :mod:`repro.runtime` (the execution substrate).
 
-The evaluation experiments are embarrassingly parallel across target
-contexts (every target pre-trains and fine-tunes its own models from
-seed-derived state), so a process pool gives near-linear speed-ups on
-multi-core machines without touching any numerical code. Determinism is
-preserved by construction: all randomness is derived from per-target seeds,
-so the records are identical for any worker count — a property the tests
-assert.
-
-Processes (not threads) are the right tool here: the workload is pure
-NumPy compute holding the GIL for long stretches, and each task is seconds
-to minutes, dwarfing the fork/pickle overhead the profile shows.
+This module used to own process-pool mapping and worker-count resolution;
+both now live in :mod:`repro.runtime.executor`, which adds thread
+executors, cancellation, progress callbacks, and deterministic error
+propagation on top. The two public names are kept importable so existing
+call sites and notebooks keep working, but new code should use
+:func:`repro.runtime.executor_map` / :func:`repro.runtime.resolve_workers`
+directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.runtime.executor import executor_map as _executor_map
+from repro.runtime.executor import resolve_workers as _resolve_workers
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
 def resolve_workers(n_workers: Optional[int], n_tasks: int) -> int:
-    """The effective worker count.
+    """Deprecated alias of :func:`repro.runtime.resolve_workers`.
 
     ``None`` or 0 selects serial execution; negative values mean "all
     cores"; the result never exceeds the number of tasks.
     """
-    if n_tasks <= 0:
-        return 1
-    if n_workers is None or n_workers == 0:
-        return 1
-    if n_workers < 0:
-        n_workers = os.cpu_count() or 1
-    return max(1, min(n_workers, n_tasks))
+    warnings.warn(
+        "repro.utils.parallel.resolve_workers moved to repro.runtime.resolve_workers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _resolve_workers(n_workers, n_tasks)
 
 
 def parallel_map(
@@ -43,18 +40,19 @@ def parallel_map(
     items: Sequence[T],
     n_workers: Optional[int] = None,
 ) -> List[R]:
-    """Map ``fn`` over ``items``, optionally across processes.
+    """Deprecated alias of :func:`repro.runtime.executor_map` (process kind).
 
-    Results come back in input order regardless of completion order. With
-    one effective worker the map runs inline (no pool, no pickling), which
-    keeps debugging and profiling simple.
-
-    ``fn`` and the items must be picklable when ``n_workers`` exceeds 1 —
-    use module-level functions, not closures.
+    Results come back in input order regardless of completion order; with
+    one effective worker the map runs inline. ``fn`` and the items must be
+    picklable when ``n_workers`` exceeds 1.
     """
+    warnings.warn(
+        "repro.utils.parallel.parallel_map moved to repro.runtime.executor_map",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     items = list(items)
-    workers = resolve_workers(n_workers, len(items))
-    if workers == 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    # Unlike experiment_map, this legacy entry point never consulted
+    # REPRO_JOBS — resolve the explicit argument only.
+    workers = _resolve_workers(n_workers, len(items))
+    return _executor_map(fn, items, jobs=workers, kind="process")

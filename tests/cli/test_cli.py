@@ -203,3 +203,46 @@ class TestPretrainPredictSelect:
             ]
         )
         assert rc == 2
+
+
+class TestModelsCommand:
+    def test_lists_estimators_and_store(self, store_with_model, capsys):
+        rc = main(["models", "--store", str(store_with_model)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bellamy-ft" in out
+        assert "sgd-quick" in out
+
+    def test_migrate_rehomes_flat_models(self, tmp_path, capsys):
+        # Fabricate a pre-shard flat-layout store, then migrate it.
+        import numpy as np
+
+        from repro.core.config import BellamyConfig
+        from repro.core.model import BellamyModel
+        from repro.data.schema import JobContext
+        from repro.utils.serialization import save_json, save_npz_dict
+
+        model = BellamyModel(BellamyConfig(seed=0))
+        context = JobContext("sgd", "m4.xlarge", 1000, "dense")
+        raw, _ = model.featurizer.build_context_arrays(context, [2, 4, 8])
+        model.fit_scaler(raw)
+        model.set_runtime_scale(np.array([100.0, 300.0]))
+        save_npz_dict(tmp_path / "flat-model.npz", model.full_state_dict())
+        save_json(
+            tmp_path / "flat-model.json",
+            {"config": model.config.to_dict(), "model_class": "BellamyModel",
+             "metadata": {}},
+        )
+        rc = main(["models", "--store", str(tmp_path), "--migrate", "--gc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migrated 1 flat-layout model(s)" in out
+        assert "swept 0 orphaned temp file(s)" in out
+        assert "flat-model" in out
+        assert not (tmp_path / "flat-model.npz").exists()
+        assert ModelStore(tmp_path).exists("flat-model")
+
+    def test_migrate_without_store_is_an_error(self, capsys):
+        rc = main(["models", "--migrate"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

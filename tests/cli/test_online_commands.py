@@ -80,7 +80,7 @@ def test_refresh_scans_buffer_and_refreshes_drifted_group(tmp_path, scenario, ca
     assert "refreshed 1 of 1 group(s)" in out
     assert "yes" in out  # the drifted column
     # The refreshed model landed in the store.
-    assert any(p.name.startswith("online--") for p in store.glob("*.npz"))
+    assert any(p.name.startswith("online--") for p in store.rglob("*.npz"))
 
 
 def test_refresh_dry_run_touches_nothing(tmp_path, scenario, capsys):
@@ -102,7 +102,7 @@ def test_refresh_dry_run_touches_nothing(tmp_path, scenario, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "refreshed 0 of 1 group(s)" in out
-    assert not any(p.name.startswith("online--") for p in store.glob("*.npz"))
+    assert not any(p.name.startswith("online--") for p in store.rglob("*.npz"))
 
 
 def test_refresh_empty_buffer_is_a_noop(tmp_path, capsys):

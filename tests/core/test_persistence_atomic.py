@@ -26,7 +26,16 @@ def _states_equal(a: BellamyModel, b: BellamyModel) -> bool:
 
 
 def _stray_files(store: ModelStore) -> list:
-    return [p.name for p in store.root.iterdir() if p.suffix not in (".npz", ".json")]
+    """Files that are neither model members nor store infrastructure.
+
+    The sharded layout adds two-level fan-out directories, ``*.lock``
+    files, and ``index.json`` — all expected; anything else (``*.tmp``
+    leftovers in particular) is a leak."""
+    return [
+        p.name
+        for p in store.root.rglob("*")
+        if p.is_file() and p.suffix not in (".npz", ".json", ".lock")
+    ]
 
 
 class _Crash(RuntimeError):

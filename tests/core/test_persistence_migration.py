@@ -1,0 +1,137 @@
+"""ModelStore over the sharded ArtifactStore: migration + concurrency.
+
+Covers the runtime-refactor contract: pre-shard flat-layout models keep
+loading (and are re-homed on save or via ``migrate()``), lookups are
+index-backed, and concurrent cross-process saves of the same name are
+serialized by the store lock — never corrupted or interleaved.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.config import BellamyConfig
+from repro.core.model import BellamyModel
+from repro.core.persistence import ModelStore
+from repro.data.schema import JobContext
+from repro.utils.serialization import save_json, save_npz_dict
+
+
+def _make_model(seed: int = 0) -> BellamyModel:
+    model = BellamyModel(BellamyConfig(seed=seed))
+    context = JobContext("sgd", "m4.xlarge", 1000, "dense")
+    raw, _ = model.featurizer.build_context_arrays(context, [2, 4, 8, 12])
+    model.fit_scaler(raw)
+    model.set_runtime_scale(np.array([100.0, 300.0]))
+    model.eval()
+    return model
+
+
+def _states_equal(a: BellamyModel, b: BellamyModel) -> bool:
+    sa, sb = a.full_state_dict(), b.full_state_dict()
+    return set(sa) == set(sb) and all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+def _write_flat_legacy(root, name: str, model: BellamyModel, metadata: dict) -> None:
+    """Reproduce the pre-shard flat layout exactly as old stores wrote it."""
+    save_npz_dict(root / f"{name}.npz", model.full_state_dict())
+    save_json(
+        root / f"{name}.json",
+        {
+            "config": model.config.to_dict(),
+            "model_class": "BellamyModel",
+            "metadata": metadata,
+        },
+    )
+
+
+class TestFlatMigration:
+    def test_flat_models_visible_and_loadable(self, tmp_path):
+        model = _make_model()
+        _write_flat_legacy(tmp_path, "old", model, {"era": "flat"})
+        store = ModelStore(tmp_path)
+        assert store.exists("old")
+        assert store.names() == ["old"]
+        assert _states_equal(model, store.load("old"))
+        assert store.metadata("old") == {"era": "flat"}
+
+    def test_save_rehomes_flat_model(self, tmp_path):
+        model = _make_model()
+        _write_flat_legacy(tmp_path, "old", model, {"era": "flat"})
+        store = ModelStore(tmp_path)
+        store.save("old", model, metadata={"era": "sharded"})
+        assert not (tmp_path / "old.npz").exists()  # re-homed into its shard
+        assert not (tmp_path / "old.json").exists()
+        assert store.names() == ["old"]
+        assert store.metadata("old") == {"era": "sharded"}
+        assert store.weights_path("old").parent != tmp_path
+
+    def test_migrate_moves_all_flat_models(self, tmp_path):
+        model = _make_model()
+        for name in ("a", "b"):
+            _write_flat_legacy(tmp_path, name, model, {"name": name})
+        store = ModelStore(tmp_path)
+        store.save("c", model)  # one already-sharded neighbor
+        assert sorted(store.migrate()) == ["a", "b"]
+        assert list(tmp_path.glob("*.npz")) == []
+        assert store.names() == ["a", "b", "c"]
+        for name in ("a", "b"):
+            assert _states_equal(model, store.load(name))
+            assert store.metadata(name) == {"name": name}
+
+    def test_names_and_exists_are_index_backed(self, tmp_path):
+        store = ModelStore(tmp_path)
+        model = _make_model()
+        for i in range(5):
+            store.save(f"m{i}", model)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert sorted(index["artifacts"]) == store.names()
+        # A second instance answers from the same index file.
+        fresh = ModelStore(tmp_path)
+        assert fresh.names() == [f"m{i}" for i in range(5)]
+        assert fresh.exists("m3") and not fresh.exists("m9")
+
+    def test_gc_passthrough(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("m", _make_model())
+        assert store.gc(max_age_s=0.0) == []  # a clean store has no orphans
+
+
+def _save_tagged(args):
+    """Worker: repeatedly save a model whose weights and metadata carry the
+    same tag; the lock must keep them consistent."""
+    root, seed, rounds = args
+    store = ModelStore(root)
+    model = _make_model(seed=seed)
+    for i in range(rounds):
+        tag = seed * 1000 + i
+        model.set_runtime_scale(np.array([float(tag), float(tag) + 1.0]))
+        store.save("shared", model, metadata={"tag": tag})
+    return seed
+
+
+@pytest.mark.stress
+def test_concurrent_cross_process_saves_stay_consistent(tmp_path):
+    """Two processes hammering one model name: the final artifact is one
+    writer's save, whole — embedded metadata, sidecar, and weights agree."""
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(_save_tagged, (str(tmp_path), seed, 8)) for seed in (1, 2)
+        ]
+        for future in futures:
+            future.result(timeout=120)
+    store = ModelStore(tmp_path)
+    tag = store.metadata("shared")["tag"]
+    loaded = store.load("shared")
+    # The runtime scale encodes the writer's tag: weights match metadata.
+    expected = _make_model(seed=tag // 1000)
+    expected.set_runtime_scale(np.array([float(tag), float(tag) + 1.0]))
+    assert loaded.runtime_scale == expected.runtime_scale
+    # The sidecar matches the committed npz payload too.
+    sidecar = json.loads(store.artifacts.find("shared", "json").read_text())
+    assert sidecar["metadata"]["tag"] == tag
+    assert store.names() == ["shared"]

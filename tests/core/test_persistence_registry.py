@@ -79,11 +79,12 @@ class TestRegistry:
 
         from repro.utils.serialization import load_npz_dict, save_npz_dict
 
-        state = load_npz_dict(tmp_path / "weird.npz")
+        weights_path = store.weights_path("weird")  # layout-aware (sharded)
+        state = load_npz_dict(weights_path)
         payload = json.loads(str(state["__meta_json__"]))
         payload["model_class"] = "EvilModel"
         state["__meta_json__"] = np.array(json.dumps(payload))
-        save_npz_dict(tmp_path / "weird.npz", state)
+        save_npz_dict(weights_path, state)
         with pytest.raises(ValueError, match="unknown class"):
             store.load("weird")
 

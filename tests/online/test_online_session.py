@@ -203,3 +203,42 @@ def test_observations_persist_and_replay_through_online_session(step_scenario, t
     assert len(online2.buffer) == 5
     result = online2.refresh(step_scenario.context)
     assert result.n_samples == 5
+
+
+def test_refresh_async_runs_on_runtime_executor(step_scenario, tmp_path):
+    """refresh_async schedules the refresh on the shared runtime executor:
+    the handle resolves to the same RefreshResult a sync refresh produces,
+    and the serving override swaps exactly as in the synchronous path."""
+    from repro.runtime import TaskHandle
+
+    scenario = step_scenario
+    corpus = ExecutionDataset(list(scenario.history))
+    session = Session(corpus, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy(auto_refresh=False))
+    for machines, runtime in scenario.stream[:8]:
+        online.observe(scenario.context, machines, runtime)
+    assert online.stats()["refreshes"] == 0  # auto-refresh disabled
+
+    handle = online.refresh_async(scenario.context)
+    assert isinstance(handle, TaskHandle)
+    result = handle.result(timeout=120.0)
+    assert result.group == scenario.context.context_id
+    assert result.version == 1
+    assert online.executor is not None  # lazily created, reused next time
+    assert session.serving_overrides[scenario.context.context_id] == result.model_name
+    online.close()  # shuts the owned executor down
+    assert online.executor is None
+
+
+def test_serve_app_shares_executor_with_online_session(step_scenario, tmp_path):
+    """The app installs its executor into the online session, so batcher
+    flushes and async refreshes run on one scheduling primitive."""
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy())
+    app = ServeApp(session, online=online, batch_wait_ms=1.0)
+    try:
+        assert online.executor is app.executor
+        assert app.batcher._executor is app.executor
+    finally:
+        app.close()

@@ -1,0 +1,268 @@
+"""Executor semantics: ordering, bit-identity, errors, cancellation."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CancelledError,
+    CancelToken,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_map,
+    get_executor,
+    jobs_from_env,
+    resolve_jobs,
+    resolve_workers,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _seeded_draw(seed: int) -> np.ndarray:
+    """Deterministic per-item work: the bit-identity reference."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=16) @ rng.normal(size=(16, 4))
+
+
+def _fail_on(x: int) -> int:
+    if x in (2, 5):
+        raise ValueError(f"item {x} failed")
+    return x
+
+
+# --------------------------------------------------------------------- #
+# Worker-count resolution
+# --------------------------------------------------------------------- #
+
+
+class TestResolution:
+    def test_none_and_zero_are_serial(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(0, 10) == 1
+
+    def test_negative_means_all_cores(self):
+        assert resolve_workers(-1, 1000) == (os.cpu_count() or 1)
+
+    def test_capped_by_tasks(self):
+        assert resolve_workers(16, 3) == 3
+        assert resolve_workers(8, 0) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert jobs_from_env() == 3
+        assert resolve_jobs(None, n_tasks=10) == 3
+        assert resolve_jobs(2, n_tasks=10) == 2  # explicit wins
+        monkeypatch.setenv("REPRO_JOBS", "soon")
+        assert jobs_from_env() is None  # unparsable: ignored, not raised
+
+    def test_get_executor_kinds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert get_executor(jobs=0).kind == "serial"
+        assert get_executor(jobs=None).kind == "serial"
+        thread = get_executor(jobs=2, n_tasks=8, kind="thread")
+        assert (thread.kind, thread.workers) == ("thread", 2)
+        thread.shutdown()
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            get_executor(jobs=2, n_tasks=8, kind="fiber")
+
+
+# --------------------------------------------------------------------- #
+# Ordering and bit-identity
+# --------------------------------------------------------------------- #
+
+
+class TestDeterminism:
+    def test_results_in_input_order(self):
+        for executor in (SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)):
+            with executor:
+                assert executor.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_serial_thread_process_bit_identical(self):
+        seeds = list(range(12))
+        reference = SerialExecutor().map(_seeded_draw, seeds)
+        for make in (
+            lambda: ThreadExecutor(2),
+            lambda: ThreadExecutor(5),
+            lambda: ProcessExecutor(2),
+            lambda: ProcessExecutor(3),
+        ):
+            with make() as executor:
+                results = executor.map(_seeded_draw, seeds)
+            assert len(results) == len(reference)
+            for got, want in zip(results, reference):
+                assert got.tobytes() == want.tobytes()  # bitwise, not allclose
+
+    def test_executor_map_jobs_values_identical(self):
+        seeds = list(range(8))
+        reference = executor_map(_seeded_draw, seeds, jobs=0)
+        for jobs, kind in ((2, "process"), (3, "thread"), (-1, "thread")):
+            results = executor_map(_seeded_draw, seeds, jobs=jobs, kind=kind)
+            for got, want in zip(results, reference):
+                assert got.tobytes() == want.tobytes()
+
+    def test_empty_map(self):
+        for executor in (SerialExecutor(), ThreadExecutor(2)):
+            with executor:
+                assert executor.map(_square, []) == []
+
+
+# --------------------------------------------------------------------- #
+# Error propagation
+# --------------------------------------------------------------------- #
+
+
+class TestErrors:
+    def test_lowest_index_error_wins_everywhere(self):
+        """Items 2 and 5 both fail; every executor raises item 2's error."""
+        items = list(range(8))
+        for make in (
+            lambda: SerialExecutor(),
+            lambda: ThreadExecutor(1),
+            lambda: ThreadExecutor(4),
+            lambda: ProcessExecutor(2),
+        ):
+            with make() as executor:
+                with pytest.raises(ValueError, match="item 2 failed"):
+                    executor.map(_fail_on, items)
+
+    def test_failure_cancels_pending_work(self):
+        """After a failure, queued (unstarted) items never run."""
+        executed = set()
+        lock = threading.Lock()
+
+        def work(x):
+            with lock:
+                executed.add(x)
+            if x == 0:
+                raise ValueError("item 0 failed")
+            time.sleep(0.01)
+            return x
+
+        with ThreadExecutor(2) as executor:
+            with pytest.raises(ValueError, match="item 0 failed"):
+                executor.map(work, list(range(50)))
+        assert len(executed) < 50  # the tail was cancelled, not executed
+
+    def test_submit_propagates_exception(self):
+        with ThreadExecutor(1) as executor:
+            handle = executor.submit(_fail_on, 2)
+            with pytest.raises(ValueError, match="item 2 failed"):
+                handle.result(timeout=5.0)
+            assert isinstance(handle.exception(timeout=5.0), ValueError)
+
+
+# --------------------------------------------------------------------- #
+# Cancellation and progress
+# --------------------------------------------------------------------- #
+
+
+class TestCancellation:
+    def test_cancel_mid_fanout(self):
+        """Cancelling mid-flight: running items finish, queued items are
+        skipped, and map raises CancelledError."""
+        token = CancelToken()
+        started = threading.Event()
+        release = threading.Event()
+        executed = []
+        lock = threading.Lock()
+
+        def work(x):
+            with lock:
+                executed.append(x)
+            started.set()
+            release.wait(timeout=10.0)
+            return x
+
+        outcome = {}
+
+        def run():
+            try:
+                with ThreadExecutor(2) as executor:
+                    outcome["result"] = executor.map(work, list(range(20)), cancel=token)
+            except BaseException as error:  # noqa: BLE001 - recorded for assertion
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10.0)
+        token.cancel()
+        # Let the collector's cancellation sweep land while both workers
+        # are still blocked — only then release them, so the queued tail is
+        # deterministically cancelled before any worker could pick it up.
+        time.sleep(0.5)
+        release.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert isinstance(outcome.get("error"), CancelledError)
+        assert len(executed) <= 2  # only the in-flight items ever ran
+
+    def test_serial_cancellation_before_start(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(CancelledError):
+            SerialExecutor().map(_square, [1, 2, 3], cancel=token)
+        with pytest.raises(CancelledError):
+            token.raise_if_cancelled()
+
+    def test_progress_callback(self):
+        ticks = []
+        for executor in (SerialExecutor(), ThreadExecutor(3)):
+            ticks.clear()
+            with executor:
+                executor.map(_square, list(range(7)), progress=lambda done, total: ticks.append((done, total)))
+            assert ticks == [(i + 1, 7) for i in range(7)]
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestLifecycle:
+    def test_thread_executor_rejects_after_shutdown(self):
+        executor = ThreadExecutor(2)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            executor.submit(_square, 2)
+
+    def test_thread_executor_drains_queue_on_shutdown(self):
+        executor = ThreadExecutor(1)
+        handles = [executor.submit(_square, i) for i in range(10)]
+        executor.shutdown(wait=True)
+        assert [h.result(timeout=5.0) for h in handles] == [i * i for i in range(10)]
+
+    def test_long_running_loop_coexists_with_submits(self):
+        """A service loop (the batcher pattern) occupies one worker while
+        short tasks flow through the other — one scheduling primitive."""
+        stop = threading.Event()
+        executor = ThreadExecutor(2, name="serve-like")
+        loop = executor.submit(stop.wait, 10.0)
+        short = [executor.submit(_square, i) for i in range(5)]
+        assert [h.result(timeout=5.0) for h in short] == [0, 1, 4, 9, 16]
+        stop.set()
+        assert loop.result(timeout=5.0) is True
+        executor.shutdown()
+
+    def test_serial_submit_is_eager(self):
+        handle = SerialExecutor().submit(_square, 4)
+        assert handle.done() and handle.result() == 16
+
+    def test_reused_executor_scales_back_up(self):
+        """A map() on an executor with an idle leftover worker still fans
+        out to max_workers — the barrier only releases if all three items
+        run concurrently (regression: idle==0 spawn condition capped a
+        reused executor at one thread)."""
+        executor = ThreadExecutor(3)
+        executor.submit(_square, 1).result(timeout=5.0)  # leaves an idle worker
+        gate = threading.Barrier(3, timeout=10.0)
+        assert executor.map(lambda _: gate.wait() >= 0, range(3)) == [True] * 3
+        executor.shutdown()

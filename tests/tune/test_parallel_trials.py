@@ -1,0 +1,85 @@
+"""Parallel tune trials: bit-identical scores for any executor/worker count."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.tune import (
+    IntRange,
+    LogUniform,
+    RandomSearch,
+    SearchSpace,
+    run_search,
+    run_successive_halving,
+)
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        {"lr": LogUniform(1e-4, 1e-1), "width": IntRange(4, 32)}
+    )
+
+
+def _objective(config, budget=None):
+    """Deterministic, CPU-cheap stand-in for an estimator fit."""
+    rng = np.random.default_rng(int(config["width"]))
+    noise = float(rng.normal())
+    score = abs(np.log10(config["lr"]) + 2.5) + 0.01 * noise
+    if budget is not None:
+        score /= np.sqrt(budget)
+    return score
+
+
+def _key(result):
+    return [(tuple(sorted(t.config.items())), t.score, t.budget) for t in result.trials]
+
+
+class TestParallelSearch:
+    def test_scores_identical_across_executors(self):
+        reference = run_search(RandomSearch(_space(), seed=0), _objective, 12)
+        for executor in (SerialExecutor(), ThreadExecutor(3), ProcessExecutor(2)):
+            with executor:
+                result = run_search(
+                    RandomSearch(_space(), seed=0), _objective, 12, executor=executor
+                )
+            assert _key(result) == _key(reference)
+            assert result.best.config == reference.best.config
+            assert result.best.score == reference.best.score  # bitwise
+
+    def test_jobs_knob_identical(self, monkeypatch):
+        reference = run_search(RandomSearch(_space(), seed=1), _objective, 8)
+        threaded = run_search(RandomSearch(_space(), seed=1), _objective, 8, jobs=4)
+        assert _key(threaded) == _key(reference)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        env_driven = run_search(RandomSearch(_space(), seed=1), _objective, 8)
+        assert _key(env_driven) == _key(reference)
+
+    def test_successive_halving_identical_across_workers(self):
+        def run(executor=None, jobs=None):
+            return run_successive_halving(
+                RandomSearch(_space(), seed=2),
+                _objective,
+                n_trials=9,
+                min_budget=1,
+                max_budget=9,
+                eta=3,
+                jobs=jobs,
+                executor=executor,
+            )
+
+        reference = run()
+        with ThreadExecutor(4) as executor:
+            assert _key(run(executor=executor)) == _key(reference)
+        assert _key(run(jobs=3)) == _key(reference)
+        # Rung structure (budget progression + survivor promotion) is also
+        # worker-count independent.
+        assert [t.budget for t in reference.trials] == [t.budget for t in run(jobs=2).trials]
+
+    def test_trial_errors_propagate(self):
+        def exploding(config, budget=None):
+            raise RuntimeError("objective blew up")
+
+        with pytest.raises(RuntimeError, match="objective blew up"):
+            run_search(RandomSearch(_space(), seed=0), exploding, 4, jobs=2)
