@@ -37,6 +37,18 @@ GATED_RATIOS = (
 #: than the seed engine on the current machine, whatever the baseline says.
 RATIO_FLOORS = ((("step_level", "speedup_vs_seed"), 1.5),)
 
+#: Absolute per-operation ceilings (nanoseconds) on the metric primitives.
+#: Unlike wall-clock timings these are gated absolutely: a lock plus an
+#: add should cost well under a microsecond on any runner, and crossing
+#: these bounds means instrumentation became a tax on every request.
+ABSOLUTE_CEILINGS_NS = (
+    (("metrics_level", "counter_inc_ns"), 1000.0),
+    (("metrics_level", "counter_labels_inc_ns"), 3000.0),
+    (("metrics_level", "gauge_set_ns"), 1000.0),
+    (("metrics_level", "histogram_observe_ns"), 2000.0),
+    (("metrics_level", "timed_overhead_ns"), 5000.0),
+)
+
 
 def _lookup(payload: dict, path) -> float:
     node = payload
@@ -78,6 +90,20 @@ def main() -> int:
         print(f"{'.'.join(path)}: {now:.2f}x (hard floor {floor}x) [{status}]")
         if status != "ok":
             failures.append(f"{'.'.join(path)} fell to {now:.2f}x (< {floor}x)")
+
+    for path, ceiling in ABSOLUTE_CEILINGS_NS:
+        label = ".".join(path)
+        try:
+            now = _lookup(current, path)
+        except KeyError:
+            # Baselines predating the metrics subsystem lack the section;
+            # the fresh run must still have it.
+            failures.append(f"{label} missing from the current run")
+            continue
+        status = "ok" if now <= ceiling else "REGRESSION"
+        print(f"{label}: {now:.0f}ns (ceiling {ceiling:.0f}ns) [{status}]")
+        if status != "ok":
+            failures.append(f"{label} is {now:.0f}ns (> {ceiling:.0f}ns ceiling)")
 
     if failures:
         print("\n".join(["", "FAILED:"] + failures), file=sys.stderr)

@@ -313,6 +313,53 @@ def bench_experiments(timing_runs: int = 2) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Metrics level (the repro.metrics instrumentation primitives)
+# --------------------------------------------------------------------- #
+
+
+def bench_metrics(repeats: int, inner: int) -> dict:
+    """Per-operation cost of the metric primitives, in nanoseconds.
+
+    These bound the overhead instrumentation adds to every hot path
+    (request handling, batch flushes, executor tasks); the counter-inc
+    ceiling is gated absolutely in ``check_regression.py`` — if a lock
+    plus an add ever costs a microsecond, instrumentation has become a
+    tax on serving.
+    """
+    from repro.metrics import MetricsRegistry, timed
+
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_ops_total", "Bench counter.")
+    family = registry.counter(
+        "bench_routed_total", "Bench labeled counter.", labelnames=("route",)
+    )
+    family.labels(route="/predict")  # create outside the timed loop
+    gauge = registry.gauge("bench_depth", "Bench gauge.")
+    histogram = registry.histogram("bench_seconds", "Bench histogram.")
+    timer = timed(histogram)
+
+    def timed_block() -> None:
+        with timer:
+            pass
+
+    out = {
+        "counter_inc_ns": _best_of(counter.inc, repeats, inner) * 1e9,
+        "counter_labels_inc_ns": _best_of(
+            lambda: family.labels(route="/predict").inc(), repeats, inner
+        )
+        * 1e9,
+        "gauge_set_ns": _best_of(lambda: gauge.set(3.0), repeats, inner) * 1e9,
+        "histogram_observe_ns": _best_of(
+            lambda: histogram.observe(0.012), repeats, inner
+        )
+        * 1e9,
+        "timed_overhead_ns": _best_of(timed_block, repeats, inner) * 1e9,
+        "render_us": _best_of(registry.render, max(3, repeats // 2), 50) * 1e6,
+    }
+    return out
+
+
+# --------------------------------------------------------------------- #
 # Serving level
 # --------------------------------------------------------------------- #
 
@@ -434,6 +481,10 @@ def bench_serve(concurrency: int = 200) -> dict:
             f"FATAL: micro-batching did not engage under load: {batcher}"
         )
     ordered = sorted(latencies)
+    # Server-side percentiles from the /metrics request histogram — the
+    # same numbers a Prometheus scrape would report (client-side numbers
+    # above include connection time, so the two views bracket reality).
+    hist_latency = stats["latency"].get("POST /predict", {})
     return {
         "concurrent_zero_shot": {
             "concurrency": concurrency,
@@ -441,6 +492,9 @@ def bench_serve(concurrency: int = 200) -> dict:
             "requests_per_s": concurrency / wall,
             "latency_p50_ms": ordered[len(ordered) // 2] * 1e3,
             "latency_p95_ms": ordered[int(len(ordered) * 0.95)] * 1e3,
+            "latency_hist_p50_ms": hist_latency.get("p50_ms"),
+            "latency_hist_p95_ms": hist_latency.get("p95_ms"),
+            "latency_hist_p99_ms": hist_latency.get("p99_ms"),
             "serial_predict_s": serial_wall,
             "predict_batch_calls": batcher["batches"],
             "mean_batch_size": batcher["mean_batch_size"],
@@ -722,6 +776,7 @@ def main() -> int:
             "cpus": os.cpu_count(),
         },
         "op_level": bench_ops(repeats, inner),
+        "metrics_level": bench_metrics(repeats, max(2000, inner * 10)),
         "step_level": bench_step(repeats, max(50, inner // 2)),
         # Same entry count in quick mode: the gated names()-vs-scan ratio
         # must be measured at the same scale as the committed baseline.
@@ -739,6 +794,13 @@ def main() -> int:
         f"step: seed {step['seed_engine_us']:.0f}us -> "
         f"compiled {step['compiled_tape_us']:.0f}us "
         f"({step['speedup_vs_seed']:.2f}x)"
+    )
+    metrics = payload["metrics_level"]
+    print(
+        f"metrics: counter inc {metrics['counter_inc_ns']:.0f}ns, "
+        f"labeled inc {metrics['counter_labels_inc_ns']:.0f}ns, "
+        f"observe {metrics['histogram_observe_ns']:.0f}ns, "
+        f"timed {metrics['timed_overhead_ns']:.0f}ns"
     )
     runtime = payload["runtime_level"]
     print(

@@ -46,6 +46,10 @@ Subpackages
 ``repro.online``
     Drift-aware online learning: observation intake, rolling-residual
     drift detection, and atomic model refresh over a live session.
+``repro.metrics``
+    Dependency-free observability: counters, gauges, log-bucketed
+    latency histograms, and the Prometheus text exposition behind
+    ``GET /metrics``.
 ``repro.cli``
     The ``repro-bellamy`` command-line interface.
 
@@ -61,7 +65,7 @@ Quickstart
 >>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro import (
     api,
@@ -71,6 +75,7 @@ from repro import (
     dataflow,
     encoding,
     eval,
+    metrics,
     nn,
     online,
     runtime,
@@ -90,6 +95,7 @@ __all__ = [
     "dataflow",
     "encoding",
     "eval",
+    "metrics",
     "nn",
     "online",
     "runtime",

@@ -309,10 +309,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             health = client.healthz()
             context = dataset.contexts()[0]
             prediction = client.predict(context, [4, 8])
+            problems = _check_metrics_scrape(client, online=args.online)
+            if problems:
+                for problem in problems:
+                    print(f"smoke FAILED: {problem}")
+                return 1
             print(
                 f"smoke ok: {server.url} status={health['status']} "
                 f"predicted {[round(p, 1) for p in prediction.tolist()]}s "
-                f"for {context.algorithm}"
+                f"for {context.algorithm}; /metrics scrape valid"
             )
             return 0
         print(f"serving on {server.url}  (Ctrl-C to stop)")
@@ -341,6 +346,129 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.close()
         if log_stream is not None:
             log_stream.close()
+
+
+#: Metric families every healthy server must expose after one prediction.
+#: ``serve --smoke`` fails the scrape when any is missing or NaN.
+REQUIRED_METRIC_FAMILIES = (
+    "repro_serve_handled_total",
+    "repro_serve_http_requests_total",
+    "repro_serve_request_seconds_count",
+    "repro_serve_inflight_requests",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_entries",
+    "repro_batch_submitted_total",
+    "repro_batch_size_count",
+    "repro_batch_flush_seconds_count",
+    "repro_executor_tasks_total",
+    "repro_executor_queue_depth",
+)
+
+#: Additional families required when the server runs with ``--online``.
+REQUIRED_ONLINE_METRIC_FAMILIES = (
+    "repro_online_observations_total",
+    "repro_online_drift_flags_total",
+    "repro_online_observe_seconds_count",
+)
+
+
+def _check_metrics_scrape(client, online: bool = False) -> list:
+    """Scrape ``/metrics`` and return a list of problems (empty = healthy).
+
+    Used by ``serve --smoke`` (and CI): the scrape must parse as Prometheus
+    text, expose every family in :data:`REQUIRED_METRIC_FAMILIES` (plus the
+    online families with ``--online``), and contain no NaN samples anywhere.
+    """
+    from repro.metrics import parse_text
+
+    try:
+        series = parse_text(client.metrics())
+    except ValueError as error:
+        return [f"/metrics is not valid Prometheus text: {error}"]
+    problems = []
+    required = REQUIRED_METRIC_FAMILIES
+    if online:
+        required = required + REQUIRED_ONLINE_METRIC_FAMILIES
+    for name in required:
+        if name not in series:
+            problems.append(f"/metrics is missing required series {name}")
+    for name, samples in series.items():
+        for labels, value in samples:
+            if value != value:  # NaN
+                problems.append(f"/metrics sample {name}{labels} is NaN")
+    return problems
+
+
+# --------------------------------------------------------------------- #
+# stats
+# --------------------------------------------------------------------- #
+
+
+def _render_stats(snapshot: dict, url: str) -> str:
+    """Render a ``GET /stats`` snapshot as a stack of ascii tables."""
+    blocks = []
+    requests = snapshot.get("requests", {})
+    if requests:
+        rows = [[key, str(value)] for key, value in sorted(requests.items())]
+        blocks.append(ascii_table(["outcome", "count"], rows, title=f"[stats] {url}"))
+    latency = snapshot.get("latency", {})
+    if latency:
+        rows = [
+            [
+                route,
+                str(values.get("count", 0)),
+                f"{values.get('p50_ms', 0.0):.3f}",
+                f"{values.get('p95_ms', 0.0):.3f}",
+                f"{values.get('p99_ms', 0.0):.3f}",
+            ]
+            for route, values in sorted(latency.items())
+        ]
+        blocks.append(
+            ascii_table(
+                ["route", "count", "p50 [ms]", "p95 [ms]", "p99 [ms]"],
+                rows,
+                title="[stats] request latency",
+            )
+        )
+    for section in ("cache", "batcher", "session", "online"):
+        values = snapshot.get(section)
+        if not values:
+            continue
+        rows = [
+            [key, f"{value:.3f}" if isinstance(value, float) else str(value)]
+            for key, value in sorted(values.items())
+        ]
+        blocks.append(ascii_table(["field", "value"], rows, title=f"[stats] {section}"))
+    return "\n\n".join(blocks)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Show a running server's live metrics (``GET /stats``).
+
+    One snapshot by default; ``--watch`` redraws every ``--interval``
+    seconds until Ctrl-C (or after ``--iterations`` refreshes).
+    """
+    import time
+
+    from repro.serve import HttpServeClient
+
+    client = HttpServeClient(args.url)
+    shown = 0
+    try:
+        while True:
+            snapshot = client.stats()
+            if args.watch and shown:
+                print()
+            print(_render_stats(snapshot, args.url))
+            shown += 1
+            if not args.watch:
+                return 0
+            if args.iterations is not None and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 # --------------------------------------------------------------------- #

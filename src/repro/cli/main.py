@@ -201,6 +201,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=commands.cmd_serve)
 
+    # ------------------------------ stats ------------------------------ #
+    stats = subparsers.add_parser(
+        "stats", help="show a running prediction server's live metrics"
+    )
+    stats.add_argument(
+        "--url", default="http://127.0.0.1:8265",
+        help="base URL of a running `repro-bellamy serve` server",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="refresh the view every --interval seconds until Ctrl-C",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period with --watch",
+    )
+    stats.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="with --watch, stop after N refreshes instead of running "
+        "until Ctrl-C (used by tests and scripts)",
+    )
+    stats.set_defaults(handler=commands.cmd_stats)
+
     # ------------------------------ observe ---------------------------- #
     observe = subparsers.add_parser(
         "observe", help="report a completed job to the online-learning lifecycle"

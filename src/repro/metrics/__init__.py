@@ -1,0 +1,58 @@
+"""Unified observability substrate: metric primitives + Prometheus text.
+
+``repro.metrics`` is the dependency-free bottom layer every other
+subsystem records into: the serving stack (request latency, cache,
+micro-batcher), the online lifecycle (drift flags, refresh durations),
+and the runtime executors (queue depth, task latency) all share one
+:class:`MetricsRegistry`, which ``PredictionServer`` renders at
+``GET /metrics`` and mirrors through ``GET /stats``.
+
+Quick start::
+
+    >>> from repro.metrics import MetricsRegistry, timed
+    >>> registry = MetricsRegistry()
+    >>> hits = registry.counter("demo_cache_hits_total", "Cache hits.")
+    >>> hits.inc()
+    >>> latency = registry.histogram("demo_request_seconds", "Latency.")
+    >>> with timed(latency):
+    ...     _ = 2 + 2
+    >>> latency.count
+    1
+    >>> "demo_cache_hits_total 1" in registry.render()
+    True
+
+See ``docs/observability.md`` for naming conventions and the scrape
+endpoint.
+"""
+
+from __future__ import annotations
+
+from .exposition import CONTENT_TYPE, parse_text, render_text
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    fanout_progress,
+    log_buckets,
+    timed,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "default_registry",
+    "fanout_progress",
+    "log_buckets",
+    "parse_text",
+    "render_text",
+    "timed",
+]

@@ -1,0 +1,164 @@
+"""Prometheus text exposition: render a registry, parse a scrape.
+
+``render_text`` produces text-format 0.0.4 — ``# HELP`` / ``# TYPE``
+headers, one sample per line, histograms expanded into cumulative
+``_bucket{le=...}`` samples plus ``_sum`` and ``_count``. ``parse_text``
+is the inverse used by tests and the ``serve --smoke`` scrape check: it
+maps every sample name to its ``(labels, value)`` pairs.
+
+Example::
+
+    >>> from repro.metrics import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("demo_total", "Things.", ("kind",)).labels(
+    ...     kind="a"
+    ... ).inc(3)
+    >>> text = render_text(registry)
+    >>> print(text.strip())
+    # HELP demo_total Things.
+    # TYPE demo_total counter
+    demo_total{kind="a"} 3
+    >>> parse_text(text)["demo_total"]
+    [({'kind': 'a'}, 3.0)]
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .registry import Histogram, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "parse_text", "render_text"]
+
+#: HTTP ``Content-Type`` of the Prometheus text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Render ``registry`` as Prometheus text exposition (format 0.0.4).
+
+    Families are emitted in name order, each with its ``# HELP`` and
+    ``# TYPE`` header; label sets render in sorted order so output is
+    deterministic (golden-testable). Example::
+
+        body = render_text(registry)   # serve as text/plain (CONTENT_TYPE)
+    """
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labelvalues, child in metric._series():
+            if isinstance(child, Histogram):
+                with child._lock:
+                    bucket_counts = list(child._bucket_counts)
+                    total_sum = child._sum
+                    total_count = child._count
+                cumulative = 0
+                bounds = [_format_value(b) for b in child.buckets] + ["+Inf"]
+                for bound, bucket_count in zip(bounds, bucket_counts):
+                    cumulative += bucket_count
+                    labels = _format_labels(
+                        metric.labelnames + ("le",), labelvalues + (bound,)
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{labels} {cumulative}"
+                    )
+                labels = _format_labels(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}_sum{labels} {_format_value(total_sum)}"
+                )
+                lines.append(f"{metric.name}_count{labels} {total_count}")
+            else:
+                labels = _format_labels(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(text: str) -> str:
+    return (
+        text.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # float("NaN") handles NaN
+
+Sample = Tuple[Dict[str, str], float]
+
+
+def parse_text(text: str) -> Dict[str, List[Sample]]:
+    """Parse Prometheus text exposition into ``name -> [(labels, value)]``.
+
+    Histogram families appear under their expanded sample names
+    (``*_bucket`` with an ``le`` label, ``*_sum``, ``*_count``); comment
+    and blank lines are skipped; malformed sample lines raise
+    ``ValueError``. Example::
+
+        series = parse_text(body)
+        served = series["repro_serve_handled_total"]
+    """
+    out: Dict[str, List[Sample]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for label_match in _LABEL_RE.finditer(raw_labels):
+                labels[label_match.group(1)] = _unescape_label_value(
+                    label_match.group(2)
+                )
+        out.setdefault(match.group("name"), []).append(
+            (labels, _parse_value(match.group("value")))
+        )
+    return out

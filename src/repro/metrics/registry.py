@@ -1,0 +1,661 @@
+"""Thread-safe metric primitives and the registry that owns them.
+
+The subsystem is dependency-free (stdlib only) and sits *below* every
+other ``repro`` layer: ``repro.runtime``, ``repro.serve``, and
+``repro.online`` all record into a :class:`MetricsRegistry`, and the
+serving layer renders the registry as Prometheus text exposition
+(:mod:`repro.metrics.exposition`).
+
+Three primitives, mirroring the Prometheus data model:
+
+- :class:`Counter` — monotonically increasing totals,
+- :class:`Gauge` — a value that can go up and down (queue depths,
+  in-flight requests),
+- :class:`Histogram` — fixed log-spaced buckets with exact ``count`` /
+  ``sum`` and streaming quantile estimates (p50/p95/p99 by linear
+  interpolation inside the containing bucket).
+
+Metrics with ``labelnames`` act as *families*: call
+``metric.labels(route="/predict")`` to get (or lazily create) the child
+series for that label set. Families cap their cardinality — once
+``max_label_sets`` distinct children exist, further label sets collapse
+into a single ``_other_`` child instead of growing without bound.
+
+Example::
+
+    >>> registry = MetricsRegistry()
+    >>> requests = registry.counter(
+    ...     "demo_requests_total", "Requests served.", labelnames=("route",)
+    ... )
+    >>> requests.labels(route="/predict").inc()
+    >>> requests.labels(route="/predict").inc(2)
+    >>> int(requests.labels(route="/predict").value)
+    3
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "default_registry",
+    "fanout_progress",
+    "log_buckets",
+    "timed",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Label value every over-cap label set collapses into (see ``labels``).
+OVERFLOW_LABEL_VALUE = "_other_"
+
+#: Default per-family cap on distinct label sets.
+DEFAULT_MAX_LABEL_SETS = 64
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> Tuple[float, ...]:
+    """Geometric (log-spaced) histogram bucket bounds from ``lo`` to ``hi``.
+
+    Produces ``per_decade`` bounds per factor of ten, rounded to three
+    significant digits so the rendered ``le`` labels stay readable, and
+    always includes a final bound ``>= hi``. The implicit ``+Inf`` bucket
+    is added by :class:`Histogram` itself.
+
+    >>> log_buckets(0.001, 1.0, per_decade=1)
+    (0.001, 0.01, 0.1, 1.0)
+    >>> log_buckets(1, 10, per_decade=3)
+    (1.0, 2.15, 4.64, 10.0)
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("log_buckets requires 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    bounds: List[float] = []
+    i = 0
+    while True:
+        raw = lo * 10.0 ** (i / per_decade)
+        digits = -int(math.floor(math.log10(abs(raw)))) + 2
+        value = round(raw, digits)
+        if not bounds or value > bounds[-1]:
+            bounds.append(value)
+        if value >= hi:
+            break
+        i += 1
+    return tuple(bounds)
+
+
+#: Default latency buckets: 1 ms .. 30 s, three bounds per decade.
+DEFAULT_LATENCY_BUCKETS = log_buckets(0.001, 30.0, per_decade=3)
+
+
+class _Metric:
+    """Shared family/child machinery of all three primitives."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        if len(set(labelnames)) != len(tuple(labelnames)):
+            raise ValueError(f"duplicate label names: {tuple(labelnames)!r}")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self.max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+        self._labelvalues: Tuple[str, ...] = ()
+        self._is_child = False
+        self._dropped_label_sets = 0
+        self._init_value()
+
+    # -- family machinery ---------------------------------------------- #
+
+    def _init_value(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _check_writable(self) -> None:
+        if self.labelnames and not self._is_child:
+            raise ValueError(
+                f"{self.name} is a labeled family; call "
+                f".labels({', '.join(n + '=...' for n in self.labelnames)}) first"
+            )
+
+    def labels(self, **labelvalues: object) -> "_Metric":
+        """Return the child series for one label set, creating it lazily.
+
+        Label values are coerced with ``str``. Once ``max_label_sets``
+        distinct children exist, every *new* label set maps to a shared
+        child whose values are all ``"_other_"`` — bounded cardinality
+        beats silently unbounded memory. Usage::
+
+            child = family.labels(route="/predict")
+            child.inc()
+        """
+        if self._is_child:
+            raise ValueError(f"{self.name}: labels() on a child series")
+        if not self.labelnames:
+            raise ValueError(f"{self.name} was created without labelnames")
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if len(self._children) >= self.max_label_sets:
+                    self._dropped_label_sets += 1
+                    key = tuple(
+                        OVERFLOW_LABEL_VALUE for _ in self.labelnames
+                    )
+                    child = self._children.get(key)
+                    if child is not None:
+                        return child
+                child = self._spawn(key)
+                self._children[key] = child
+        return child
+
+    def _spawn(self, labelvalues: Tuple[str, ...]) -> "_Metric":
+        child = type(self).__new__(type(self))
+        child.name = self.name
+        child.help = self.help
+        child.labelnames = self.labelnames
+        child.max_label_sets = self.max_label_sets
+        child._lock = threading.Lock()
+        child._children = {}
+        child._labelvalues = labelvalues
+        child._is_child = True
+        child._dropped_label_sets = 0
+        self._copy_config(child)
+        child._init_value()
+        return child
+
+    def _copy_config(self, child: "_Metric") -> None:
+        pass
+
+    def _series(self) -> Iterator[Tuple[Tuple[str, ...], "_Metric"]]:
+        """Yield ``(labelvalues, series)`` pairs in sorted label order."""
+        if not self.labelnames:
+            yield (), self
+            return
+        with self._lock:
+            children = sorted(self._children.items())
+        for key, child in children:
+            yield key, child
+
+    @property
+    def dropped_label_sets(self) -> int:
+        """How many ``labels()`` calls were collapsed into ``_other_``."""
+        with self._lock:
+            return self._dropped_label_sets
+
+
+class Counter(_Metric):
+    """A monotonically increasing total.
+
+    >>> errors = Counter("demo_errors_total", "Errors seen.")
+    >>> errors.inc()
+    >>> errors.inc(4)
+    >>> int(errors.value)
+    5
+    >>> errors.inc(-1)
+    Traceback (most recent call last):
+        ...
+    ValueError: counter demo_errors_total cannot decrease (amount=-1)
+    """
+
+    kind = "counter"
+
+    def _init_value(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter; negative raises."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (amount={amount})"
+            )
+        self._check_writable()
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total (exact under concurrent ``inc``)."""
+        with self._lock:
+            return self._value
+
+    def _absorb(self, other: "Counter") -> None:
+        with self._lock:
+            self._value += other.value
+
+
+class Gauge(_Metric):
+    """A value that can move both ways — depths, sizes, in-flight counts.
+
+    >>> depth = Gauge("demo_queue_depth", "Queued items.")
+    >>> depth.set(3)
+    >>> depth.dec()
+    >>> depth.value
+    2.0
+    >>> with depth.track_inflight():
+    ...     depth.value
+    3.0
+    >>> depth.value
+    2.0
+    """
+
+    kind = "gauge"
+
+    def _init_value(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._check_writable()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the gauge."""
+        self._check_writable()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (default 1) from the gauge."""
+        self.inc(-amount)
+
+    def track_inflight(self) -> "_InflightTracker":
+        """Context manager: +1 on entry, -1 on exit (even on error)."""
+        return _InflightTracker(self)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+    def _absorb(self, other: "Gauge") -> None:
+        self.set(other.value)
+
+
+class _InflightTracker:
+    def __init__(self, gauge: Gauge) -> None:
+        self._gauge = gauge
+
+    def __enter__(self) -> Gauge:
+        self._gauge.inc()
+        return self._gauge
+
+    def __exit__(self, *exc: object) -> bool:
+        self._gauge.dec()
+        return False
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with exact totals and streaming quantiles.
+
+    Buckets are cumulative upper bounds (Prometheus ``le`` semantics)
+    plus an implicit ``+Inf`` bucket; ``count`` and ``sum`` are exact,
+    quantiles are estimated by linear interpolation inside the bucket
+    that contains the target rank.
+
+    >>> h = Histogram("demo_seconds", "Latency.", buckets=(0.1, 1.0, 10.0))
+    >>> for v in (0.05, 0.2, 0.3, 5.0):
+    ...     h.observe(v)
+    >>> h.count
+    4
+    >>> round(h.sum, 2)
+    5.55
+    >>> 0.1 <= h.quantile(0.5) <= 1.0
+    True
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"{name}: buckets must be strictly increasing")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames, max_label_sets)
+
+    def _init_value(self) -> None:
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def _copy_config(self, child: "_Metric") -> None:
+        assert isinstance(child, Histogram)
+        child.buckets = self.buckets
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._check_writable()
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Exact number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of observations."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
+        with self._lock:
+            return tuple(self._bucket_counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Returns ``nan`` when empty; observations beyond the largest
+        finite bound clamp to that bound (the ``+Inf`` bucket has no
+        upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        target = q * total
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count > 0:
+                if index == len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = self.buckets[index]
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        return self.buckets[-1]
+
+    def percentiles(self) -> Dict[str, float]:
+        """The conventional trio: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def _absorb(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(f"{self.name}: cannot absorb mismatched buckets")
+        with other._lock:
+            counts = list(other._bucket_counts)
+            total_sum = other._sum
+            total_count = other._count
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._bucket_counts[index] += bucket_count
+            self._sum += total_sum
+            self._count += total_count
+
+
+class timed:
+    """Time a block (or function) into a :class:`Histogram`, in seconds.
+
+    Works as a context manager and as a decorator; concurrent and nested
+    use is safe (starts live on a per-thread stack). Example:
+
+    >>> h = Histogram("demo_timed_seconds", "Block latency.")
+    >>> with timed(h):
+    ...     _ = sum(range(100))
+    >>> @timed(h)
+    ... def work():
+    ...     return 7
+    >>> work()
+    7
+    >>> h.count
+    2
+    """
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._local = threading.local()
+
+    def __enter__(self) -> "timed":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._histogram.observe(time.perf_counter() - self._local.stack.pop())
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> object:
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create home for a process's metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name is already registered (so independent modules can
+    share series) and raise on type/label/bucket mismatches. Rendering
+    and snapshotting walk every family atomically enough for a scrape:
+    each series is read under its own lock.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("demo_total", "Things.").inc(2)
+    >>> registry.counter("demo_total").value
+    2.0
+    >>> sorted(registry.names())
+    ['demo_total']
+    >>> registry.snapshot()["demo_total"]["series"][0]["value"]
+    2.0
+    """
+
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        self.max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"{name} is already registered as a {existing.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"{name} is already registered with labels "
+                        f"{existing.labelnames}, requested {tuple(labelnames)}"
+                    )
+                requested_buckets = kwargs.get("buckets")
+                if requested_buckets is not None and tuple(
+                    float(b) for b in requested_buckets
+                ) != getattr(existing, "buckets", None):
+                    raise ValueError(
+                        f"{name} is already registered with different buckets"
+                    )
+                return existing
+            metric = cls(
+                name, help, labelnames, max_label_sets=self.max_label_sets, **kwargs
+            )
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` called ``name``."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The registered metric called ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered metric family."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def collect(self) -> List[_Metric]:
+        """Every registered family, sorted by name (for rendering)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """This registry as Prometheus text exposition (format 0.0.4)."""
+        from .exposition import render_text
+
+        return render_text(self)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One consistent, JSON-friendly read of every series.
+
+        Counters/gauges report ``{"labels", "value"}``; histograms report
+        ``{"labels", "count", "sum", "p50", "p95", "p99"}`` so callers
+        (e.g. ``/stats``) never reach into live metric internals.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.collect():
+            series: List[Dict[str, object]] = []
+            for labelvalues, child in metric._series():
+                labels = dict(zip(metric.labelnames, labelvalues))
+                if isinstance(child, Histogram):
+                    with child._lock:
+                        count = child._count
+                        total = child._sum
+                    entry: Dict[str, object] = {
+                        "labels": labels,
+                        "count": count,
+                        "sum": total,
+                    }
+                    entry.update(child.percentiles())
+                else:
+                    entry = {"labels": labels, "value": child.value}
+                series.append(entry)
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+
+#: Process-wide default registry, for code without an obvious owner.
+REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`.
+
+    Components owned by a server use that server's registry; free-standing
+    scripts can fall back to this shared one::
+
+        from repro.metrics import default_registry
+        default_registry().counter("demo_runs_total", "Script runs.").inc()
+    """
+    return REGISTRY
+
+
+def fanout_progress(
+    registry: MetricsRegistry, total: int, name: str = "fanout"
+) -> Callable[[int, int], None]:
+    """A ``progress`` callback (for ``Executor.map``) that feeds metrics.
+
+    Maintains ``repro_fanout_remaining{fanout=name}`` (gauge) and
+    ``repro_fanout_completed_total{fanout=name}`` (counter) from the
+    ``(completed, total)`` pairs the runtime layer reports::
+
+        executor.map(fn, items, progress=fanout_progress(registry, len(items)))
+    """
+    remaining = registry.gauge(
+        "repro_fanout_remaining",
+        "Tasks not yet completed in an instrumented fan-out.",
+        labelnames=("fanout",),
+    ).labels(fanout=name)
+    completed_total = registry.counter(
+        "repro_fanout_completed_total",
+        "Tasks completed in an instrumented fan-out.",
+        labelnames=("fanout",),
+    ).labels(fanout=name)
+    remaining.set(total)
+    state = {"completed": 0}
+    state_lock = threading.Lock()
+
+    def progress(completed: int, total_now: int) -> None:
+        with state_lock:
+            delta = completed - state["completed"]
+            state["completed"] = completed
+        if delta > 0:
+            completed_total.inc(delta)
+        remaining.set(max(0, total_now - completed))
+
+    return progress

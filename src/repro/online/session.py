@@ -47,6 +47,7 @@ from repro.api.session import Session, _safe
 from repro.core.finetuning import finetune
 from repro.data.schema import JobContext
 from repro.eval.metrics import mre, relative_errors
+from repro.metrics import MetricsRegistry
 from repro.online.drift import DriftDetector, DriftStatus
 from repro.online.observations import Observation, ObservationBuffer
 from repro.runtime import Executor, TaskHandle, ThreadExecutor
@@ -179,6 +180,12 @@ class OnlineSession:
         refreshes and the micro-batcher run on one scheduling primitive;
         standalone sessions lazily create a single-worker thread executor
         on first use.
+    registry:
+        The :class:`~repro.metrics.MetricsRegistry` receiving the
+        lifecycle's live metrics (``repro_online_*`` counters plus
+        observe/detect/refresh duration histograms); a private registry
+        is created when omitted, and the serve app rebinds an injected
+        online session onto its own registry (:meth:`rebind_metrics`).
 
     Example::
 
@@ -195,6 +202,7 @@ class OnlineSession:
         buffer: Optional[ObservationBuffer] = None,
         detector: Optional[DriftDetector] = None,
         executor: Optional[Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.session = session
         self.executor = executor
@@ -214,7 +222,64 @@ class OnlineSession:
         self.detector = detector if detector is not None else self.policy.detector()
         self._versions: Dict[str, int] = {}
         self._lock = threading.Lock()
-        self._counts = {"observations": 0, "refreshes": 0, "failed_refreshes": 0}
+        self._bind_metrics(registry if registry is not None else MetricsRegistry())
+
+    # ------------------------------------------------------------------ #
+    # Metrics (the live counters; ``stats()`` is a compatibility shim)
+    # ------------------------------------------------------------------ #
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._m_observations = registry.counter(
+            "repro_online_observations_total", "Completed jobs ingested."
+        )
+        self._m_refreshes = registry.counter(
+            "repro_online_refreshes_total", "Model refreshes swapped in."
+        )
+        self._m_failed_refreshes = registry.counter(
+            "repro_online_failed_refreshes_total", "Refresh attempts that raised."
+        )
+        self._m_drift_flags = registry.counter(
+            "repro_online_drift_flags_total", "Observations that flagged drift."
+        )
+        self._m_observe_seconds = registry.histogram(
+            "repro_online_observe_seconds", "Wall time of one observe() call."
+        )
+        self._m_detect_seconds = registry.histogram(
+            "repro_online_detect_seconds", "Wall time of one drift-detector update."
+        )
+        self._m_refresh_seconds = registry.histogram(
+            "repro_online_refresh_seconds",
+            "Wall time of one refresh (fine-tune + save + swap).",
+        )
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Move this lifecycle's metrics into ``registry``, totals carried
+        over.
+
+        The serve app calls this on an injected online session so one
+        registry backs both ``/stats`` and ``/metrics``::
+
+            online.rebind_metrics(app.registry)
+        """
+        if registry is self.registry:
+            return
+        with self._lock:
+            old = {
+                name: getattr(self, name)
+                for name in (
+                    "_m_observations",
+                    "_m_refreshes",
+                    "_m_failed_refreshes",
+                    "_m_drift_flags",
+                    "_m_observe_seconds",
+                    "_m_detect_seconds",
+                    "_m_refresh_seconds",
+                )
+            }
+            self._bind_metrics(registry)
+            for name, previous in old.items():
+                getattr(self, name)._absorb(previous)
 
     # ------------------------------------------------------------------ #
     # Baselines
@@ -264,6 +329,7 @@ class OnlineSession:
         deterministic).
         """
         observation = Observation(context, float(machines), float(runtime_s))
+        observe_started = time.perf_counter()
         with self._lock:
             self._ensure_baseline(context)
             if predicted_s is None:
@@ -274,14 +340,19 @@ class OnlineSession:
                     context, observation.machines, observation.runtime_s, predicted_s
                 )
             )
-            self._counts["observations"] += 1
+            self._m_observations.inc()
             # The outcome carries the verdict *this* observation produced —
             # a refresh resets the detector window, but the caller should
             # still see drifted=True on the observation that triggered it.
+            detect_started = time.perf_counter()
             status = self.detector.observe(observation.group, error)
+            self._m_detect_seconds.observe(time.perf_counter() - detect_started)
+            if status.drifted:
+                self._m_drift_flags.inc()
             refreshed = None
             if status.drifted and self.policy.auto_refresh:
                 refreshed = self._refresh_locked(context)
+        self._m_observe_seconds.observe(time.perf_counter() - observe_started)
         return ObservationOutcome(
             group=observation.group,
             machines=observation.machines,
@@ -356,7 +427,7 @@ class OnlineSession:
                 base, context, machines, runtimes, max_epochs=self.policy.max_epochs
             )
         except Exception:
-            self._counts["failed_refreshes"] += 1
+            self._m_failed_refreshes.inc()
             raise
         model = result.model
         version = self._versions.get(group, 0) + 1
@@ -390,7 +461,8 @@ class OnlineSession:
         # fine-tune + atomic store save + override swap + cache invalidation.
         wall = time.perf_counter() - started
         self._versions[group] = version
-        self._counts["refreshes"] += 1
+        self._m_refreshes.inc()
+        self._m_refresh_seconds.observe(wall)
 
         refreshed_predictions = self.session.predict(context, machines)
         refreshed_error = mre(refreshed_predictions, runtimes)
@@ -460,18 +532,23 @@ class OnlineSession:
             return dict(self._versions)
 
     def stats(self) -> Dict:
-        """Counter snapshot (the server's ``/stats`` online section)."""
+        """Counter snapshot (the server's ``/stats`` online section).
+
+        The scalar counters are read from the live ``repro_online_*``
+        registry metrics, so ``/stats`` and ``/metrics`` always agree.
+        """
         drift = self.detector.stats()
         with self._lock:
             # Buffer reads stay under the lock: a concurrent observe() may
             # be inserting a first-seen group, and iterating the group dict
             # during that insertion would raise.
-            counts = dict(self._counts)
             versions = dict(self._versions)
             buffered = len(self.buffer)
             by_group = self.buffer.counts()
         return {
-            **counts,
+            "observations": int(self._m_observations.value),
+            "refreshes": int(self._m_refreshes.value),
+            "failed_refreshes": int(self._m_failed_refreshes.value),
             "buffered": buffered,
             "buffered_by_group": by_group,
             "versions": versions,

@@ -39,7 +39,12 @@ import numpy as np
 
 from repro.api.estimator import PredictionRequest
 from repro.api.session import Session
+from repro.metrics import MetricsRegistry
 from repro.runtime import Executor, TaskHandle, ThreadExecutor
+
+#: Batch-size histogram bounds: powers of two up to the largest max_batch
+#: anyone sensibly configures.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 
 
 class BatcherClosedError(RuntimeError):
@@ -87,6 +92,12 @@ class MicroBatcher:
         :class:`~repro.runtime.ThreadExecutor` (owned, shut down on
         :meth:`close`); the serve app passes its shared executor so the
         batcher and the online refresh path schedule on one primitive.
+    registry:
+        The :class:`~repro.metrics.MetricsRegistry` receiving the
+        batcher's live metrics (``repro_batch_*`` counters plus
+        batch-size and flush-latency histograms); a private registry is
+        created when omitted, and the serve app rebinds an injected
+        batcher onto its own registry (:meth:`rebind_metrics`).
 
     Example::
 
@@ -106,6 +117,7 @@ class MicroBatcher:
         model: Any = None,
         max_epochs: Optional[int] = None,
         executor: Optional[Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -121,22 +133,94 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
-        self._stats: Dict[str, int] = {
-            "submitted": 0,
-            "batches": 0,
-            "batched_requests": 0,
-            "groups": 0,
-            "finetune_fits": 0,
-            "zero_shot_groups": 0,
-            "largest_batch": 0,
-            "largest_group": 0,
-            "errors": 0,
-        }
+        #: Consistent copy of the session's per-flush grouping record,
+        #: captured right after each ``predict_batch`` under this
+        #: batcher's lock — the ``/stats`` "session" section reads this,
+        #: never the live ``session.last_batch_stats`` a concurrent flush
+        #: may be rebinding.
+        self._last_batch: Dict[str, int] = {}
+        self._bind_metrics(registry if registry is not None else MetricsRegistry())
         self._owns_executor = executor is None
         self._executor = executor if executor is not None else ThreadExecutor(
             max_workers=1, name="repro-serve-batcher"
         )
         self._task: TaskHandle = self._executor.submit(self._run)
+
+    # ------------------------------------------------------------------ #
+    # Metrics (the live counters; ``stats()`` is a compatibility shim)
+    # ------------------------------------------------------------------ #
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._m_submitted = registry.counter(
+            "repro_batch_submitted_total", "Requests submitted to the batcher."
+        )
+        self._m_batches = registry.counter(
+            "repro_batch_batches_total", "Batches flushed."
+        )
+        self._m_batched_requests = registry.counter(
+            "repro_batch_requests_total", "Requests served through batches."
+        )
+        self._m_groups = registry.counter(
+            "repro_batch_groups_total", "Fingerprint groups across batches."
+        )
+        self._m_finetune_fits = registry.counter(
+            "repro_batch_finetune_fits_total", "Groups that fine-tuned."
+        )
+        self._m_zero_shot = registry.counter(
+            "repro_batch_zero_shot_groups_total", "Groups served zero-shot."
+        )
+        self._m_errors = registry.counter(
+            "repro_batch_errors_total", "Requests failed by a batch error."
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_batch_queue_depth", "Requests waiting for the next flush."
+        )
+        self._m_largest_batch = registry.gauge(
+            "repro_batch_largest_batch", "Largest batch flushed so far."
+        )
+        self._m_largest_group = registry.gauge(
+            "repro_batch_largest_group", "Largest fingerprint group so far."
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_batch_size", "Requests per flushed batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._m_flush_seconds = registry.histogram(
+            "repro_batch_flush_seconds", "Wall time of one batch flush."
+        )
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Move this batcher's metrics into ``registry``, totals carried over.
+
+        The serve app calls this on injected batchers so one registry backs
+        both ``/stats`` and ``/metrics``::
+
+            batcher.rebind_metrics(app.registry)
+        """
+        if registry is self.registry:
+            return
+        with self._lock:
+            old = {
+                name: getattr(self, name)
+                for name in (
+                    "_m_submitted",
+                    "_m_batches",
+                    "_m_batched_requests",
+                    "_m_groups",
+                    "_m_finetune_fits",
+                    "_m_zero_shot",
+                    "_m_errors",
+                    "_m_largest_batch",
+                    "_m_largest_group",
+                    "_m_batch_size",
+                    "_m_flush_seconds",
+                )
+            }
+            self._bind_metrics(registry)
+            for name, previous in old.items():
+                getattr(self, name)._absorb(previous)
+            self._m_queue_depth.set(len(self._queue))
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -155,7 +239,8 @@ class MicroBatcher:
             if self._closed:
                 raise BatcherClosedError("MicroBatcher is closed")
             self._queue.append(pending)
-            self._stats["submitted"] += 1
+            self._m_submitted.inc()
+            self._m_queue_depth.inc()
             self._wake.notify_all()
         pending.done.wait()
         if pending.error is not None:
@@ -185,9 +270,11 @@ class MicroBatcher:
                     self._wake.wait(timeout=remaining)
             batch = self._queue[: self.max_batch]
             del self._queue[: len(batch)]
+            self._m_queue_depth.dec(len(batch))
             return batch
 
     def _flush(self, batch: List[_Pending]) -> None:
+        started = time.perf_counter()
         try:
             results = self.session.predict_batch(
                 [p.request for p in batch],
@@ -196,8 +283,8 @@ class MicroBatcher:
                 exact=self.exact,
             )
         except BaseException as error:  # pragma: no cover - exercised in tests
-            with self._lock:
-                self._stats["errors"] += len(batch)
+            self._m_errors.inc(len(batch))
+            self._m_flush_seconds.observe(time.perf_counter() - started)
             for pending in batch:
                 pending.error = error
                 pending.done.set()
@@ -213,16 +300,19 @@ class MicroBatcher:
             if key not in group_sizes and pending.request.train_machines is not None:
                 finetune_groups += 1
             group_sizes[key] = group_sizes.get(key, 0) + 1
+        self._m_batches.inc()
+        self._m_batched_requests.inc(len(batch))
+        self._m_groups.inc(len(group_sizes))
+        self._m_finetune_fits.inc(finetune_groups)
+        self._m_zero_shot.inc(len(group_sizes) - finetune_groups)
+        if len(batch) > self._m_largest_batch.value:
+            self._m_largest_batch.set(len(batch))
+        if max(group_sizes.values()) > self._m_largest_group.value:
+            self._m_largest_group.set(max(group_sizes.values()))
+        self._m_batch_size.observe(len(batch))
+        self._m_flush_seconds.observe(time.perf_counter() - started)
         with self._lock:
-            self._stats["batches"] += 1
-            self._stats["batched_requests"] += len(batch)
-            self._stats["groups"] += len(group_sizes)
-            self._stats["finetune_fits"] += finetune_groups
-            self._stats["zero_shot_groups"] += len(group_sizes) - finetune_groups
-            self._stats["largest_batch"] = max(self._stats["largest_batch"], len(batch))
-            self._stats["largest_group"] = max(
-                self._stats["largest_group"], max(group_sizes.values())
-            )
+            self._last_batch = dict(self.session.last_batch_stats)
         for pending, result in zip(batch, results):
             pending.result = result
             pending.done.set()
@@ -259,15 +349,45 @@ class MicroBatcher:
         """Whether :meth:`close` has been called."""
         return self._closed
 
+    def last_batch_stats(self) -> Dict[str, int]:
+        """The session's grouping record for the *last flushed* batch.
+
+        A consistent copy captured under the batcher's lock right after
+        the flush — unlike reading ``session.last_batch_stats`` directly,
+        this can never observe a record another thread is mid-rebind on.
+        Empty before the first flush::
+
+            app.stats()["session"] == app.batcher.last_batch_stats()
+        """
+        with self._lock:
+            return dict(self._last_batch)
+
     def stats(self) -> Dict[str, float]:
         """Counter snapshot (the server's ``/stats`` batcher section).
 
         ``mean_batch_size`` > 1 (and ``largest_group`` >= 2) are the
         observable proof that micro-batching coalesced concurrent traffic.
+
+        .. deprecated:: 1.4
+            This dict is a compatibility shim over the live
+            ``repro_batch_*`` metrics in :attr:`registry`; prefer the
+            registry (``registry.snapshot()`` or ``GET /metrics``). The
+            shim is kept for one release.
         """
         with self._lock:
-            out: Dict[str, float] = dict(self._stats)
-        out["queued"] = float(len(self._queue))
-        batches = out["batches"] or 1
-        out["mean_batch_size"] = out["batched_requests"] / batches
-        return out
+            queued = float(len(self._queue))
+        batched_requests = int(self._m_batched_requests.value)
+        batches = int(self._m_batches.value)
+        return {
+            "submitted": int(self._m_submitted.value),
+            "batches": batches,
+            "batched_requests": batched_requests,
+            "groups": int(self._m_groups.value),
+            "finetune_fits": int(self._m_finetune_fits.value),
+            "zero_shot_groups": int(self._m_zero_shot.value),
+            "largest_batch": int(self._m_largest_batch.value),
+            "largest_group": int(self._m_largest_group.value),
+            "errors": int(self._m_errors.value),
+            "queued": queued,
+            "mean_batch_size": batched_requests / (batches or 1),
+        }

@@ -40,6 +40,8 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.metrics import MetricsRegistry
+
 
 class FakeClock:
     """A manually advanced clock for deterministic TTL tests.
@@ -80,6 +82,11 @@ class LruTtlCache:
         Seconds an entry stays valid; ``None`` disables expiry.
     clock:
         Monotonic time source (injectable for tests, e.g. :class:`FakeClock`).
+    registry:
+        The :class:`~repro.metrics.MetricsRegistry` receiving the cache's
+        live counters (``repro_cache_*``); a private registry is created
+        when omitted, and the serve app rebinds an injected cache onto its
+        own registry (:meth:`rebind_metrics`).
 
     Example::
 
@@ -92,6 +99,7 @@ class LruTtlCache:
         capacity: int = 16,
         ttl_s: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -104,11 +112,65 @@ class LruTtlCache:
         #: key -> (value, loaded_at)
         self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
         self._loading: Dict[Hashable, _InFlight] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
-        self._coalesced = 0
+        self._bind_metrics(registry if registry is not None else MetricsRegistry())
+
+    # ------------------------------------------------------------------ #
+    # Metrics (the live counters; ``stats()`` is a compatibility shim)
+    # ------------------------------------------------------------------ #
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total", "Warm-model cache hits."
+        )
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total", "Warm-model cache misses (loader ran)."
+        )
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total", "Entries evicted by LRU capacity."
+        )
+        self._m_expirations = registry.counter(
+            "repro_cache_expirations_total", "Entries expired by TTL on access."
+        )
+        self._m_coalesced = registry.counter(
+            "repro_cache_coalesced_loads_total",
+            "Concurrent misses that shared another caller's load.",
+        )
+        self._m_entries = registry.gauge(
+            "repro_cache_entries", "Resident warm-model cache entries."
+        )
+
+    def rebind_metrics(self, registry: MetricsRegistry) -> None:
+        """Move this cache's metrics into ``registry``, totals carried over.
+
+        The serve app calls this on injected caches so one registry backs
+        both ``/stats`` and ``/metrics``::
+
+            cache.rebind_metrics(app.registry)
+        """
+        if registry is self.registry:
+            return
+        with self._lock:
+            old = (
+                self._m_hits,
+                self._m_misses,
+                self._m_evictions,
+                self._m_expirations,
+                self._m_coalesced,
+            )
+            self._bind_metrics(registry)
+            for new, previous in zip(
+                (
+                    self._m_hits,
+                    self._m_misses,
+                    self._m_evictions,
+                    self._m_expirations,
+                    self._m_coalesced,
+                ),
+                old,
+            ):
+                new._absorb(previous)
+            self._m_entries.set(len(self._entries))
 
     # ------------------------------------------------------------------ #
 
@@ -132,18 +194,19 @@ class LruTtlCache:
                 value, loaded_at = entry
                 if not self._expired(loaded_at):
                     self._entries.move_to_end(key)
-                    self._hits += 1
+                    self._m_hits.inc()
                     return value, True
                 del self._entries[key]
-                self._expirations += 1
+                self._m_entries.dec()
+                self._m_expirations.inc()
             in_flight = self._loading.get(key)
             if in_flight is None:
                 in_flight = _InFlight()
                 self._loading[key] = in_flight
-                self._misses += 1
+                self._m_misses.inc()
                 owner = True
             else:
-                self._coalesced += 1
+                self._m_coalesced.inc()
                 owner = False
         if not owner:
             # Coalesced waiter: adopt the owner's result as-is (it is at
@@ -172,19 +235,24 @@ class LruTtlCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._m_evictions.inc()
+        self._m_entries.set(len(self._entries))
 
     # ------------------------------------------------------------------ #
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it was resident."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            dropped = self._entries.pop(key, None) is not None
+            if dropped:
+                self._m_entries.dec()
+            return dropped
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._m_entries.set(0)
 
     def keys(self) -> List[Hashable]:
         """Resident keys, least recently used first."""
@@ -205,15 +273,22 @@ class LruTtlCache:
 
         Keys: ``size``, ``capacity``, ``ttl_s``, ``hits``, ``misses``,
         ``evictions``, ``expirations``, ``coalesced_loads``.
+
+        .. deprecated:: 1.4
+            This dict is a compatibility shim over the live
+            ``repro_cache_*`` metrics in :attr:`registry`; prefer the
+            registry (``registry.snapshot()`` or ``GET /metrics``). The
+            shim is kept for one release.
         """
         with self._lock:
-            return {
-                "size": len(self._entries),
-                "capacity": self.capacity,
-                "ttl_s": self.ttl_s,
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "expirations": self._expirations,
-                "coalesced_loads": self._coalesced,
-            }
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "ttl_s": self.ttl_s,
+            "hits": int(self._m_hits.value),
+            "misses": int(self._m_misses.value),
+            "evictions": int(self._m_evictions.value),
+            "expirations": int(self._m_expirations.value),
+            "coalesced_loads": int(self._m_coalesced.value),
+        }

@@ -117,6 +117,19 @@ class _BaseClient:
         """The server's counter snapshot (``GET /stats``)."""
         return self._checked("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``).
+
+        The raw scrape body; parse it with
+        :func:`repro.metrics.parse_text` when you need values::
+
+            series = parse_text(client.metrics())
+        """
+        status, body = self._request("GET", "/metrics", None)
+        if status >= 300:
+            raise ServeError(status, body if isinstance(body, dict) else {"error": body})
+        return body
+
 
 class ServeClient(_BaseClient):
     """In-process client: calls the app's ``handle`` directly (no sockets).
@@ -161,7 +174,11 @@ class HttpServeClient(_BaseClient):
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return response.status, json.loads(response.read().decode("utf-8"))
+                raw = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+                if "application/json" not in content_type:
+                    return response.status, raw  # e.g. /metrics: Prometheus text
+                return response.status, json.loads(raw)
         except urllib.error.HTTPError as error:
             body = error.read().decode("utf-8", errors="replace")
             try:

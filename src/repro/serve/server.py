@@ -25,7 +25,10 @@ method     path        body / response
                        "runtime_s": 412.5}`` → drift/refresh outcome
                        (requires the app's online-learning lifecycle)
 ``GET``    /healthz    liveness: ``{"status": "ok", ...}``
-``GET``    /stats      counters: requests, cache, batcher, online sections
+``GET``    /stats      counters: requests, latency, cache, batcher,
+                       session, online sections
+``GET``    /metrics    Prometheus text exposition of the app's
+                       :class:`~repro.metrics.MetricsRegistry`
 =========  ==========  ====================================================
 
 Responses are deterministic under a fixed session seed: batching runs in
@@ -49,6 +52,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, IO, Optional, Tuple
 
 from repro.api.session import Session
+from repro.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.metrics import MetricsRegistry
 from repro.runtime import Executor, ThreadExecutor
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
 from repro.serve.cache import LruTtlCache
@@ -61,6 +66,11 @@ from repro.serve.schemas import (
 )
 
 JsonDict = Dict[str, Any]
+
+#: Routes the request-latency histogram labels individually; anything
+#: else (scanners, typos) shares one ``_other_`` series so label
+#: cardinality stays bounded.
+_KNOWN_ROUTES = ("/predict", "/observe", "/healthz", "/stats", "/metrics")
 
 
 class ServeApp:
@@ -94,6 +104,12 @@ class ServeApp:
         primitive. ``None`` creates an owned two-worker
         :class:`~repro.runtime.ThreadExecutor`, shut down on
         :meth:`close`.
+    registry:
+        The :class:`~repro.metrics.MetricsRegistry` behind ``GET
+        /metrics`` and ``GET /stats``. ``None`` creates a private one
+        (each app's counters start at zero). Injected components — the
+        batcher, the cache, the online session — are rebound onto this
+        registry, so one registry observes the whole request path.
 
     Example::
 
@@ -116,38 +132,77 @@ class ServeApp:
         log_size: int = 1000,
         online: Any = None,
         executor: Optional[Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.session = session
         if online is not None and online.session is not session:
             raise ValueError("the OnlineSession must wrap the session this app serves")
         self.online = online
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._bind_metrics()
+        if online is not None and hasattr(online, "rebind_metrics"):
+            online.rebind_metrics(self.registry)
         self._owns_executor = executor is None
         # One scheduling primitive for all of the app's background work:
         # one worker runs the batcher's flusher loop, the other absorbs
         # asynchronous online refreshes.
         self.executor = executor if executor is not None else ThreadExecutor(
-            max_workers=2, name="repro-serve"
+            max_workers=2, name="repro-serve", registry=self.registry
         )
         if online is not None and getattr(online, "executor", None) is None:
             online.executor = self.executor
         if cache is None:
-            cache = LruTtlCache(capacity=cache_size, ttl_s=cache_ttl_s)
+            cache = LruTtlCache(
+                capacity=cache_size, ttl_s=cache_ttl_s, registry=self.registry
+            )
         if cache is not False and session.model_cache is None:
             session.model_cache = cache
         self.cache = session.model_cache if cache is not False else None
+        if self.cache is not None and hasattr(self.cache, "rebind_metrics"):
+            self.cache.rebind_metrics(self.registry)
         self.batcher = batcher or MicroBatcher(
             session,
             max_batch=batch_max,
             max_wait_ms=batch_wait_ms,
             exact=exact,
             executor=self.executor,
+            registry=self.registry,
         )
+        if batcher is not None:
+            self.batcher.rebind_metrics(self.registry)
         self._log_stream = log_stream
         self._log: "deque[JsonDict]" = deque(maxlen=log_size)
         self._log_lock = threading.Lock()
         self._seq = 0
         self._started = time.monotonic()
-        self._counts = {"served": 0, "client_errors": 0, "server_errors": 0}
+
+    def _bind_metrics(self) -> None:
+        registry = self.registry
+        self._m_request_seconds = registry.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end latency of one handled request.",
+            labelnames=("route", "method"),
+        )
+        self._m_http_requests = registry.counter(
+            "repro_serve_http_requests_total",
+            "Handled requests by route, method, and status code.",
+            labelnames=("route", "method", "code"),
+        )
+        handled = registry.counter(
+            "repro_serve_handled_total",
+            "Request outcomes (served / client_errors / server_errors).",
+            labelnames=("outcome",),
+        )
+        # Pre-created outcome children: /metrics and /stats expose zeros
+        # before the first request instead of missing series.
+        self._handled = {
+            key: handled.labels(outcome=key)
+            for key in ("served", "client_errors", "server_errors")
+        }
+        self._m_inflight = registry.gauge(
+            "repro_serve_inflight_requests",
+            "Requests currently inside handle().",
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -155,42 +210,54 @@ class ServeApp:
 
     def handle(
         self, method: str, path: str, payload: Any
-    ) -> Tuple[int, JsonDict]:
+    ) -> Tuple[int, Any]:
         """Serve one request; returns ``(status, response_body)``.
 
         Unknown routes give 404, wrong methods 405, malformed bodies a
         structured 400, serving after :meth:`close` 503 — every outcome is
-        JSON and lands in the request log.
+        JSON and lands in the request log. The one non-JSON response is
+        ``GET /metrics``, whose body is a Prometheus text string.
         """
         started = time.perf_counter()
         path = path.partition("?")[0].partition("#")[0]  # probes may add queries
-        route = (method.upper(), path.rstrip("/") or "/")
-        if route == ("POST", "/predict"):
-            status, body, context_id = self._predict(payload)
-        elif route == ("POST", "/observe"):
-            status, body, context_id = self._observe(payload)
-        elif route == ("GET", "/healthz"):
-            status, body, context_id = (200, self.healthz(), None)
-        elif route == ("GET", "/stats"):
-            status, body, context_id = (200, self.stats(), None)
-        elif path.rstrip("/") in ("/predict", "/observe", "/healthz", "/stats"):
-            status, body, context_id = (
-                405,
-                {"error": "method_not_allowed", "detail": f"{method} {path}"},
-                None,
-            )
-        else:
-            status, body, context_id = (
-                404,
-                {"error": "not_found", "detail": f"no route {path!r}"},
-                None,
-            )
+        normalized = path.rstrip("/") or "/"
+        route = (method.upper(), normalized)
+        with self._m_inflight.track_inflight():
+            if route == ("POST", "/predict"):
+                status, body, context_id = self._predict(payload)
+            elif route == ("POST", "/observe"):
+                status, body, context_id = self._observe(payload)
+            elif route == ("GET", "/healthz"):
+                status, body, context_id = (200, self.healthz(), None)
+            elif route == ("GET", "/stats"):
+                status, body, context_id = (200, self.stats(), None)
+            elif route == ("GET", "/metrics"):
+                status, body, context_id = (200, self.metrics_text(), None)
+            elif normalized in _KNOWN_ROUTES:
+                status, body, context_id = (
+                    405,
+                    {"error": "method_not_allowed", "detail": f"{method} {path}"},
+                    None,
+                )
+            else:
+                status, body, context_id = (
+                    404,
+                    {"error": "not_found", "detail": f"no route {path!r}"},
+                    None,
+                )
+        route_label = normalized if normalized in _KNOWN_ROUTES else "_other_"
+        elapsed = time.perf_counter() - started
+        self._m_request_seconds.labels(
+            route=route_label, method=method.upper()
+        ).observe(elapsed)
+        self._m_http_requests.labels(
+            route=route_label, method=method.upper(), code=str(status)
+        ).inc()
         self._record(method, path, status, started, context_id)
         return status, body
 
     def _bump(self, key: str) -> None:
-        with self._log_lock:
-            self._counts[key] += 1
+        self._handled[key].inc()
 
     def _predict(self, payload: Any) -> Tuple[int, JsonDict, Optional[str]]:
         try:
@@ -291,18 +358,51 @@ class ServeApp:
         return {
             "status": "draining" if self.batcher.closed else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
-            "served": self._counts["served"],
+            "served": int(self._handled["served"].value),
         }
 
+    def metrics_text(self) -> str:
+        """The app's registry as Prometheus text (the ``/metrics`` body)."""
+        return self.registry.render()
+
     def stats(self) -> JsonDict:
-        """Counter snapshot (the ``/stats`` body): requests, cache, batcher,
-        session, and — when online learning is enabled — the drift/refresh
-        counters."""
+        """Counter snapshot (the ``/stats`` body), read from the registry.
+
+        Sections: ``requests`` (outcome counters), ``latency`` (per-route
+        p50/p95/p99 in milliseconds, from the request histograms),
+        ``cache``, ``batcher``, ``session`` (the last flushed batch's
+        grouping record, captured consistently by the batcher), and —
+        when online learning is enabled — ``online``. Every number is
+        derived from the same :class:`~repro.metrics.MetricsRegistry`
+        that backs ``GET /metrics``, so the two endpoints always agree.
+        """
+        snapshot = self.registry.snapshot()
+        handled = {
+            series["labels"]["outcome"]: int(series["value"])
+            for series in snapshot["repro_serve_handled_total"]["series"]
+        }
+        latency: Dict[str, JsonDict] = {}
+        for series in snapshot.get("repro_serve_request_seconds", {}).get(
+            "series", []
+        ):
+            if not series["count"]:
+                continue
+            key = f"{series['labels']['method']} {series['labels']['route']}"
+            latency[key] = {
+                "count": series["count"],
+                "p50_ms": round(series["p50"] * 1000.0, 3),
+                "p95_ms": round(series["p95"] * 1000.0, 3),
+                "p99_ms": round(series["p99"] * 1000.0, 3),
+            }
         return {
-            "requests": dict(self._counts),
+            "requests": {
+                key: handled.get(key, 0)
+                for key in ("served", "client_errors", "server_errors")
+            },
+            "latency": latency,
             "cache": self.cache.stats() if self.cache is not None else None,
             "batcher": self.batcher.stats(),
-            "session": dict(self.session.last_batch_stats),
+            "session": self.batcher.last_batch_stats(),
             "online": self.online.stats() if self.online is not None else None,
         }
 
@@ -358,10 +458,15 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
 
-    def _respond(self, status: int, body: JsonDict) -> None:
-        data = json.dumps(body, sort_keys=True).encode("utf-8")
+    def _respond(self, status: int, body: Any) -> None:
+        if isinstance(body, str):  # GET /metrics: Prometheus text, not JSON
+            data = body.encode("utf-8")
+            content_type = METRICS_CONTENT_TYPE
+        else:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

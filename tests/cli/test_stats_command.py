@@ -1,0 +1,93 @@
+"""The `repro-bellamy stats` command against a live prediction server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.cli import build_parser, main
+from repro.core.config import BellamyConfig
+from repro.serve import HttpServeClient, PredictionServer
+
+
+@pytest.fixture(scope="module")
+def running_server(c3o_dataset):
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=20, finetune_max_epochs=60, finetune_patience=30
+    )
+    session = Session(c3o_dataset, config=config)
+    with PredictionServer(session, port=0, batch_wait_ms=5.0) as server:
+        context = c3o_dataset.for_algorithm("sgd").contexts()[0]
+        HttpServeClient(server.url).predict(context, [4, 8])
+        yield server
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.url == "http://127.0.0.1:8265"
+        assert args.watch is False
+        assert args.interval == 2.0
+        assert args.iterations is None
+
+
+class TestStatsCommand:
+    def test_one_snapshot(self, running_server, capsys):
+        assert main(["stats", "--url", running_server.url]) == 0
+        out = capsys.readouterr().out
+        assert f"[stats] {running_server.url}" in out
+        assert "served" in out
+        assert "[stats] request latency" in out
+        assert "POST /predict" in out
+        assert "[stats] cache" in out
+        assert "[stats] batcher" in out
+
+    def test_watch_stops_after_iterations(self, running_server, capsys):
+        rc = main(
+            [
+                "stats",
+                "--url", running_server.url,
+                "--watch",
+                "--interval", "0.01",
+                "--iterations", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("[stats] request latency") == 3
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        rc = main(["stats", "--url", "http://127.0.0.1:9"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSmokeScrapeCheck:
+    """The scrape gate behind `serve --smoke` (and the CI smoke step)."""
+
+    def test_healthy_server_has_no_problems(self, running_server):
+        from repro.cli.commands import _check_metrics_scrape
+
+        client = HttpServeClient(running_server.url)
+        assert _check_metrics_scrape(client) == []
+
+    def test_missing_and_nan_series_are_reported(self):
+        from repro.cli.commands import _check_metrics_scrape
+
+        class FakeClient:
+            def metrics(self):
+                return "repro_serve_handled_total 1\nbroken_gauge NaN\n"
+
+        problems = _check_metrics_scrape(FakeClient())
+        assert any("missing required series" in p for p in problems)
+        assert any("broken_gauge" in p and "NaN" in p for p in problems)
+
+    def test_invalid_exposition_is_reported(self):
+        from repro.cli.commands import _check_metrics_scrape
+
+        class FakeClient:
+            def metrics(self):
+                return "this is { not prometheus\n"
+
+        problems = _check_metrics_scrape(FakeClient())
+        assert problems and "not valid Prometheus text" in problems[0]

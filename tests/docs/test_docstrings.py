@@ -1,7 +1,7 @@
 """Docstring quality gates for the consumer-facing packages.
 
 Two guarantees over ``repro.api``, ``repro.serve``, ``repro.online``,
-``repro.eval``, and ``repro.runtime``:
+``repro.metrics``, ``repro.eval``, and ``repro.runtime``:
 
 1. every public symbol (``__all__``) has a non-empty, example-bearing
    docstring — an example is a doctest (``>>>``) or a literal code block
@@ -20,7 +20,14 @@ import re
 
 import pytest
 
-PACKAGES = ("repro.api", "repro.serve", "repro.online", "repro.eval", "repro.runtime")
+PACKAGES = (
+    "repro.api",
+    "repro.serve",
+    "repro.online",
+    "repro.metrics",
+    "repro.eval",
+    "repro.runtime",
+)
 
 _EXAMPLE_RE = re.compile(r"::\s*$", re.M)
 

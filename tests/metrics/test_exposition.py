@@ -1,0 +1,112 @@
+"""Prometheus text exposition: golden rendering and parser round-trips."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics import CONTENT_TYPE, MetricsRegistry, parse_text, render_text
+
+
+def _demo_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "demo_requests_total", "Requests served.", labelnames=("route",)
+    )
+    requests.labels(route="/predict").inc(3)
+    requests.labels(route="/healthz").inc()
+    registry.gauge("demo_queue_depth", "Queued items.").set(2)
+    latency = registry.histogram(
+        "demo_latency_seconds", "Request latency.", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 0.5, 7.0):
+        latency.observe(value)
+    return registry
+
+
+GOLDEN = """\
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 1
+demo_latency_seconds_bucket{le="1"} 3
+demo_latency_seconds_bucket{le="+Inf"} 4
+demo_latency_seconds_sum 8.05
+demo_latency_seconds_count 4
+# HELP demo_queue_depth Queued items.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{route="/healthz"} 1
+demo_requests_total{route="/predict"} 3
+"""
+
+
+class TestRenderText:
+    def test_golden_output(self):
+        assert render_text(_demo_registry()) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert render_text(MetricsRegistry()) == ""
+
+    def test_content_type_pins_format_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_help_and_label_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "demo_total", 'multi\nline \\ help', labelnames=("path",)
+        )
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_text(registry)
+        assert '# HELP demo_total multi\\nline \\\\ help' in text
+        assert 'demo_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integral_floats_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.gauge("demo_value").set(5.0)
+        assert "demo_value 5\n" in render_text(registry)
+
+
+class TestParseText:
+    def test_round_trip_preserves_every_sample(self):
+        registry = _demo_registry()
+        series = parse_text(render_text(registry))
+        assert series["demo_requests_total"] == [
+            ({"route": "/healthz"}, 1.0),
+            ({"route": "/predict"}, 3.0),
+        ]
+        assert series["demo_queue_depth"] == [({}, 2.0)]
+        assert series["demo_latency_seconds_bucket"] == [
+            ({"le": "0.1"}, 1.0),
+            ({"le": "1"}, 3.0),
+            ({"le": "+Inf"}, 4.0),
+        ]
+        assert series["demo_latency_seconds_sum"] == [({}, 8.05)]
+        assert series["demo_latency_seconds_count"] == [({}, 4.0)]
+
+    def test_escaped_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        tricky = 'a"b\\c\nd'
+        registry.counter("demo_total", labelnames=("path",)).labels(
+            path=tricky
+        ).inc()
+        series = parse_text(render_text(registry))
+        assert series["demo_total"] == [({"path": tricky}, 1.0)]
+
+    def test_special_values(self):
+        series = parse_text("a NaN\nb +Inf\nc -Inf\n")
+        assert math.isnan(series["a"][0][1])
+        assert series["b"][0][1] == math.inf
+        assert series["c"][0][1] == -math.inf
+
+    def test_comments_and_blanks_are_skipped(self):
+        series = parse_text("# HELP a help\n\n# TYPE a counter\na 1\n")
+        assert series == {"a": [({}, 1.0)]}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_text("demo_total{route= 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_text("not a sample line\n")

@@ -1,0 +1,355 @@
+"""The metric primitives and registry: values, labels, quantiles, safety."""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+
+import pytest
+
+from repro.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    fanout_progress,
+    log_buckets,
+    timed,
+)
+from repro.metrics.registry import OVERFLOW_LABEL_VALUE
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("t_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_raises(self):
+        counter = Counter("t_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_labeled_family_is_not_writable(self):
+        family = Counter("t_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="labels"):
+            family.inc()
+        family.labels(kind="a").inc(2)
+        assert family.labels(kind="a").value == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("t_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+    def test_track_inflight_restores_on_error(self):
+        gauge = Gauge("t_inflight")
+        with pytest.raises(RuntimeError):
+            with gauge.track_inflight():
+                assert gauge.value == 1.0
+                raise RuntimeError("boom")
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_exact_count_and_sum(self):
+        hist = Histogram("t_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 14.0
+        assert hist.bucket_counts() == (1, 1, 1, 1)
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        # Prometheus `le` semantics: an observation equal to a bound
+        # belongs to that bound's bucket.
+        hist = Histogram("t_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts() == (1, 0, 0)
+
+    def test_empty_quantile_is_nan(self):
+        hist = Histogram("t_seconds", buckets=(1.0,))
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_clamps_to_largest_finite_bound(self):
+        hist = Histogram("t_seconds", buckets=(1.0, 2.0))
+        hist.observe(100.0)  # +Inf bucket
+        assert hist.quantile(0.5) == 2.0
+
+    def test_quantile_out_of_range_raises(self):
+        hist = Histogram("t_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_non_increasing_buckets_raise(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("t_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("t_seconds", buckets=())
+
+    def test_default_buckets_are_the_latency_ladder(self):
+        hist = Histogram("t_seconds")
+        assert hist.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_percentiles_keys(self):
+        hist = Histogram("t_seconds", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        assert set(hist.percentiles()) == {"p50", "p95", "p99"}
+
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_quantile_accuracy_vs_sorted_sample(self, q):
+        """Streaming estimates stay within the bucket of the true quantile."""
+        rng = random.Random(7)
+        buckets = log_buckets(0.001, 30.0, per_decade=3)
+        hist = Histogram("t_seconds", buckets=buckets)
+        samples = [rng.lognormvariate(-3.0, 1.2) for _ in range(5000)]
+        for value in samples:
+            hist.observe(value)
+        samples.sort()
+        reference = samples[min(len(samples) - 1, int(q * len(samples)))]
+        estimate = hist.quantile(q)
+        # The estimate can never leave the bucket containing the true
+        # quantile, so its error is bounded by that bucket's width.
+        bounds = (0.0,) + buckets
+        for lower, upper in zip(bounds, bounds[1:]):
+            if lower < reference <= upper:
+                assert lower <= estimate <= upper
+                break
+        else:
+            assert estimate == buckets[-1]  # reference beyond last bound
+
+
+class TestLogBuckets:
+    def test_doc_examples(self):
+        assert log_buckets(1, 10, per_decade=3) == (1.0, 2.15, 4.64, 10.0)
+        assert log_buckets(0.001, 1.0, per_decade=1) == (0.001, 0.01, 0.1, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_buckets(0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 0.5)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestLabels:
+    def test_same_label_set_returns_same_child(self):
+        family = Counter("t_total", labelnames=("route", "method"))
+        child = family.labels(route="/predict", method="POST")
+        assert family.labels(method="POST", route="/predict") is child
+
+    def test_values_are_str_coerced(self):
+        family = Gauge("t_depth", labelnames=("shard",))
+        family.labels(shard=3).set(1)
+        assert family.labels(shard="3").value == 1.0
+
+    def test_wrong_label_keys_raise(self):
+        family = Counter("t_total", labelnames=("route",))
+        with pytest.raises(ValueError, match="expects labels"):
+            family.labels(path="/predict")
+        with pytest.raises(ValueError, match="expects labels"):
+            family.labels(route="/predict", method="GET")
+
+    def test_labels_on_unlabeled_metric_raises(self):
+        with pytest.raises(ValueError, match="without labelnames"):
+            Counter("t_total").labels(route="x")
+
+    def test_labels_on_child_raises(self):
+        family = Counter("t_total", labelnames=("route",))
+        child = family.labels(route="/predict")
+        with pytest.raises(ValueError, match="child"):
+            child.labels(route="/other")
+
+    def test_invalid_names_raise(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("0bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("t_total", labelnames=("bad-label",))
+        with pytest.raises(ValueError, match="duplicate"):
+            Counter("t_total", labelnames=("a", "a"))
+
+    def test_cardinality_cap_collapses_into_other(self):
+        family = Counter("t_total", labelnames=("user",), max_label_sets=3)
+        for index in range(10):
+            family.labels(user=f"u{index}").inc()
+        overflow = family.labels(user="u999")
+        assert overflow._labelvalues == (OVERFLOW_LABEL_VALUE,)
+        # 3 real children + the shared overflow child; 7 of the first 10
+        # label sets collapsed, plus u999 resolving to the existing child.
+        assert family.dropped_label_sets == 8
+        assert overflow.value == 7.0
+        # Established children keep their own series.
+        assert family.labels(user="u0").value == 1.0
+
+
+class TestTimed:
+    def test_context_manager_observes_once(self):
+        hist = Histogram("t_seconds", buckets=(10.0,))
+        with timed(hist):
+            pass
+        assert hist.count == 1
+        assert 0.0 <= hist.sum < 10.0
+
+    def test_decorator_preserves_function(self):
+        hist = Histogram("t_seconds", buckets=(10.0,))
+
+        @timed(hist)
+        def work(x):
+            """Docstring survives."""
+            return x * 2
+
+        assert work(21) == 42
+        assert work.__doc__ == "Docstring survives."
+        assert hist.count == 1
+
+    def test_observes_even_when_block_raises(self):
+        hist = Histogram("t_seconds", buckets=(10.0,))
+        with pytest.raises(RuntimeError):
+            with timed(hist):
+                raise RuntimeError("boom")
+        assert hist.count == 1
+
+    def test_nested_use_is_balanced(self):
+        hist = Histogram("t_seconds", buckets=(10.0,))
+        timer = timed(hist)
+        with timer:
+            with timer:
+                pass
+        assert hist.count == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_existing(self):
+        registry = MetricsRegistry()
+        first = registry.counter("t_total", "help text")
+        assert registry.counter("t_total") is first
+        assert registry.get("t_total") is first
+        assert registry.get("absent") is None
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_metric")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("t_metric")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.histogram("t_metric")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", labelnames=("route",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("t_total", labelnames=("method",))
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("t_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("t_seconds", buckets=(1.0, 4.0))
+        # Re-requesting without explicit buckets accepts the existing ones.
+        assert registry.histogram("t_seconds").buckets == (1.0, 2.0)
+
+    def test_names_and_collect_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("t_b_total")
+        registry.gauge("t_a_depth")
+        assert registry.names() == ["t_a_depth", "t_b_total"]
+        assert [m.name for m in registry.collect()] == ["t_a_depth", "t_b_total"]
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "Things.").inc(2)
+        registry.histogram("t_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["t_total"]["type"] == "counter"
+        assert snapshot["t_total"]["series"] == [{"labels": {}, "value": 2.0}]
+        series = snapshot["t_seconds"]["series"][0]
+        assert series["count"] == 1 and series["sum"] == 0.5
+        assert set(series) == {"labels", "count", "sum", "p50", "p95", "p99"}
+
+    def test_default_registry_is_process_wide(self):
+        assert default_registry() is default_registry()
+
+
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, fn):
+        start = threading.Barrier(self.THREADS)
+
+        def run():
+            start.wait()
+            for _ in range(self.PER_THREAD):
+                fn()
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_total_is_exact(self):
+        counter = Counter("t_total")
+        self._hammer(counter.inc)
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_labeled_counter_totals_are_exact(self):
+        family = Counter("t_total", labelnames=("worker",))
+        ident = threading.local()
+        counter = iter(range(10**6))
+
+        def inc():
+            if not hasattr(ident, "child"):
+                ident.child = family.labels(worker=next(counter))
+            ident.child.inc()
+
+        self._hammer(inc)
+        total = sum(child.value for _, child in family._series())
+        assert total == self.THREADS * self.PER_THREAD
+
+    def test_histogram_count_and_sum_are_exact(self):
+        # Integer-valued observations so the float sum is exact.
+        hist = Histogram("t_seconds", buckets=(1.0, 4.0, 16.0))
+        self._hammer(lambda: hist.observe(2.0))
+        expected = self.THREADS * self.PER_THREAD
+        assert hist.count == expected
+        assert hist.sum == 2.0 * expected
+        assert sum(hist.bucket_counts()) == expected
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def create():
+            metric = registry.counter("t_total")
+            with lock:
+                seen.append(metric)
+
+        self._hammer(create)
+        assert all(metric is seen[0] for metric in seen)
+
+
+class TestFanoutProgress:
+    def test_tracks_remaining_and_completed(self):
+        registry = MetricsRegistry()
+        progress = fanout_progress(registry, total=4, name="trial")
+        remaining = registry.get("repro_fanout_remaining").labels(fanout="trial")
+        completed = registry.get("repro_fanout_completed_total").labels(fanout="trial")
+        assert remaining.value == 4.0
+        progress(1, 4)
+        progress(3, 4)
+        assert remaining.value == 1.0
+        assert completed.value == 3.0
+        progress(3, 4)  # duplicate report: counter must not double-count
+        assert completed.value == 3.0

@@ -1,0 +1,171 @@
+"""GET /metrics: valid Prometheus text, agreeing with /stats, end to end."""
+
+from __future__ import annotations
+
+import math
+import urllib.request
+
+import pytest
+
+from repro.metrics import CONTENT_TYPE, parse_text
+from repro.serve import HttpServeClient, PredictionServer, ServeApp, ServeClient
+
+#: Families every served app must expose (bind-time registration: they are
+#: present — at zero — before any traffic arrives).
+EXPECTED_FAMILIES = (
+    "repro_serve_handled_total",
+    "repro_serve_http_requests_total",
+    "repro_serve_request_seconds_count",
+    "repro_serve_inflight_requests",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_entries",
+    "repro_batch_submitted_total",
+    "repro_batch_queue_depth",
+    "repro_batch_size_count",
+    "repro_batch_flush_seconds_count",
+    "repro_executor_tasks_total",
+    "repro_executor_task_seconds_count",
+    "repro_executor_queue_depth",
+)
+
+
+def _sample(series, name, **labels):
+    for sample_labels, value in series[name]:
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            return value
+    raise AssertionError(f"no sample {name} with labels {labels}")
+
+
+@pytest.fixture()
+def app(serve_session):
+    app = ServeApp(serve_session, batch_wait_ms=5.0)
+    yield app
+    app.close()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_covers_every_subsystem(self, app, serve_session):
+        client = ServeClient(app)
+        context = serve_session.corpus.for_algorithm("sgd").contexts()[0]
+        client.predict(context, [4, 8])
+        series = parse_text(client.metrics())
+        for family in EXPECTED_FAMILIES:
+            assert family in series, family
+        assert _sample(series, "repro_serve_handled_total", outcome="served") == 1.0
+        assert (
+            _sample(
+                series,
+                "repro_serve_http_requests_total",
+                route="/predict",
+                method="POST",
+                code="200",
+            )
+            == 1.0
+        )
+        assert _sample(series, "repro_batch_submitted_total") == 1.0
+        # The scrape itself is in flight while the body is rendered.
+        assert _sample(series, "repro_serve_inflight_requests") == 1.0
+
+    def test_no_nan_samples_anywhere(self, app, serve_session):
+        client = ServeClient(app)
+        client.predict(serve_session.corpus.for_algorithm("sgd").contexts()[0], [4])
+        client.healthz()
+        client.stats()
+        for name, samples in parse_text(client.metrics()).items():
+            for labels, value in samples:
+                assert not math.isnan(value), f"{name}{labels} is NaN"
+
+    def test_stats_and_metrics_agree_on_shared_counters(self, app, serve_session):
+        client = ServeClient(app)
+        context = serve_session.corpus.for_algorithm("sgd").contexts()[0]
+        for _ in range(3):
+            client.predict(context, [4])
+        with pytest.raises(Exception):
+            client.predict(context, [0])  # 400: client error
+        stats = client.stats()
+        series = parse_text(client.metrics())
+        assert stats["requests"]["served"] == _sample(
+            series, "repro_serve_handled_total", outcome="served"
+        )
+        assert stats["requests"]["client_errors"] == _sample(
+            series, "repro_serve_handled_total", outcome="client_errors"
+        )
+        assert stats["cache"]["hits"] == _sample(series, "repro_cache_hits_total")
+        assert stats["cache"]["misses"] == _sample(
+            series, "repro_cache_misses_total"
+        )
+        assert stats["batcher"]["submitted"] == _sample(
+            series, "repro_batch_submitted_total"
+        )
+        assert stats["batcher"]["batches"] == _sample(
+            series, "repro_batch_batches_total"
+        )
+        latency = stats["latency"]["POST /predict"]
+        assert latency["count"] == _sample(
+            series,
+            "repro_serve_request_seconds_count",
+            route="/predict",
+            method="POST",
+        )
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+    def test_unknown_routes_collapse_into_other_label(self, app):
+        client = ServeClient(app)
+        status, _ = app.handle("GET", "/bogus", None)
+        assert status == 404
+        series = parse_text(client.metrics())
+        assert (
+            _sample(
+                series,
+                "repro_serve_http_requests_total",
+                route="_other_",
+                method="GET",
+                code="404",
+            )
+            == 1.0
+        )
+        # Unknown routes never count as handled outcomes.
+        assert _sample(series, "repro_serve_handled_total", outcome="served") == 0.0
+
+    def test_metrics_requests_are_themselves_metered(self, app):
+        client = ServeClient(app)
+        client.metrics()
+        series = parse_text(client.metrics())
+        assert (
+            _sample(
+                series,
+                "repro_serve_http_requests_total",
+                route="/metrics",
+                method="GET",
+                code="200",
+            )
+            >= 1.0
+        )
+
+
+class TestMetricsOverHttp:
+    def test_scrape_through_prediction_server(self, serve_session):
+        with PredictionServer(serve_session, port=0, batch_wait_ms=5.0) as server:
+            client = HttpServeClient(server.url)
+            context = serve_session.corpus.for_algorithm("sgd").contexts()[0]
+            client.predict(context, [4, 8])
+            body = client.metrics()
+            assert isinstance(body, str)
+            series = parse_text(body)
+            for family in EXPECTED_FAMILIES:
+                assert family in series, family
+            assert (
+                _sample(series, "repro_serve_handled_total", outcome="served")
+                == 1.0
+            )
+            # /stats over the same wire agrees with the scrape.
+            stats = client.stats()
+            assert stats["requests"]["served"] == 1
+
+    def test_content_type_is_prometheus_text(self, serve_session):
+        with PredictionServer(serve_session, port=0, batch_wait_ms=5.0) as server:
+            with urllib.request.urlopen(server.url + "/metrics", timeout=30) as resp:
+                assert resp.status == 200
+                assert resp.headers.get("Content-Type") == CONTENT_TYPE
+                parse_text(resp.read().decode("utf-8"))
