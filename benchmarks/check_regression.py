@@ -47,6 +47,12 @@ ABSOLUTE_CEILINGS_NS = (
     (("metrics_level", "gauge_set_ns"), 1000.0),
     (("metrics_level", "histogram_observe_ns"), 2000.0),
     (("metrics_level", "timed_overhead_ns"), 5000.0),
+    # The fault-injection guard on instrumented hot paths must stay free
+    # when no chaos run is active (the ISSUE's acceptance bound).
+    (("resilience_level", "hook_disabled_guard_ns"), 100.0),
+    (("resilience_level", "fault_point_noop_ns"), 1000.0),
+    (("resilience_level", "breaker_allow_ns"), 5000.0),
+    (("resilience_level", "deadline_check_ns"), 5000.0),
 )
 
 

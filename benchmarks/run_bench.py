@@ -360,6 +360,91 @@ def bench_metrics(repeats: int, inner: int) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Resilience level
+# --------------------------------------------------------------------- #
+
+
+def bench_resilience(repeats: int, inner: int) -> dict:
+    """Cost of the resilience primitives, in nanoseconds.
+
+    The headline number is ``hook_disabled_guard_ns``: the per-site cost
+    instrumented hot paths pay when *no* chaos run is active — one module
+    attribute load plus an ``is not None`` test, measured inline with an
+    empty-loop baseline subtracted so the loop machinery itself is not
+    billed to the guard. Its absolute ceiling in ``check_regression.py``
+    is what keeps fault injection free in production.
+    """
+    from repro.resilience import (
+        CircuitBreaker,
+        Deadline,
+        FaultInjector,
+        FaultPlan,
+        FaultSpec,
+        RetryPolicy,
+        SITE_SERVE_PREDICT,
+    )
+    from repro.resilience import faults as _faults
+    from repro.resilience.faults import fault_point
+
+    def guard_loop(n: int) -> None:
+        for _ in range(n):
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire(SITE_SERVE_PREDICT)
+
+    def empty_loop(n: int) -> None:
+        for _ in range(n):
+            pass
+
+    def inline_delta_ns(loop, baseline, n: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            loop(n)
+            with_guard = time.perf_counter() - started
+            started = time.perf_counter()
+            baseline(n)
+            without = time.perf_counter() - started
+            best = min(best, (with_guard - without) / n)
+        return max(0.0, best) * 1e9
+
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(site=SITE_SERVE_PREDICT, kind="raise", max_fires=0),),
+    )
+    injector = FaultInjector(plan)
+    breaker = CircuitBreaker(failure_threshold=3)
+    deadline = Deadline(3600.0)
+    policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+
+    def retry_success() -> None:
+        policy.call(_noop)
+
+    def active_fire() -> None:
+        injector.fire(SITE_SERVE_PREDICT)  # spec exhausted: schedule lookup only
+
+    n = max(inner * 10, 100_000)
+    out = {
+        "hook_disabled_guard_ns": inline_delta_ns(guard_loop, empty_loop, n),
+        "fault_point_noop_ns": _best_of(
+            lambda: fault_point(SITE_SERVE_PREDICT), repeats, inner
+        )
+        * 1e9,
+        "injector_fire_exhausted_ns": _best_of(active_fire, repeats, inner) * 1e9,
+        "breaker_allow_ns": _best_of(breaker.allow, repeats, inner) * 1e9,
+        "deadline_check_ns": _best_of(
+            lambda: deadline.check("bench"), repeats, inner
+        )
+        * 1e9,
+        "retry_success_overhead_ns": _best_of(retry_success, repeats, inner) * 1e9,
+    }
+    return out
+
+
+def _noop() -> None:
+    return None
+
+
+# --------------------------------------------------------------------- #
 # Serving level
 # --------------------------------------------------------------------- #
 
@@ -777,6 +862,7 @@ def main() -> int:
         },
         "op_level": bench_ops(repeats, inner),
         "metrics_level": bench_metrics(repeats, max(2000, inner * 10)),
+        "resilience_level": bench_resilience(repeats, max(2000, inner * 10)),
         "step_level": bench_step(repeats, max(50, inner // 2)),
         # Same entry count in quick mode: the gated names()-vs-scan ratio
         # must be measured at the same scale as the committed baseline.

@@ -50,6 +50,10 @@ Subpackages
     Dependency-free observability: counters, gauges, log-bucketed
     latency histograms, and the Prometheus text exposition behind
     ``GET /metrics``.
+``repro.resilience``
+    Deterministic fault injection (seeded plans behind near-free hooks)
+    and degradation policies: retry with backoff + jitter, propagated
+    deadlines, per-group circuit breakers.
 ``repro.cli``
     The ``repro-bellamy`` command-line interface.
 
@@ -65,7 +69,7 @@ Quickstart
 >>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro import (
     api,
@@ -78,6 +82,7 @@ from repro import (
     metrics,
     nn,
     online,
+    resilience,
     runtime,
     selection,
     serve,
@@ -98,6 +103,7 @@ __all__ = [
     "metrics",
     "nn",
     "online",
+    "resilience",
     "runtime",
     "selection",
     "serve",

@@ -301,6 +301,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.cache_ttl,
         log_stream=log_stream,
         online=online,
+        request_deadline_s=args.request_deadline,
+        max_queue_depth=args.max_queue_depth,
+        retry_after_s=args.retry_after,
     )
     try:
         if args.smoke:
@@ -370,6 +373,7 @@ REQUIRED_ONLINE_METRIC_FAMILIES = (
     "repro_online_observations_total",
     "repro_online_drift_flags_total",
     "repro_online_observe_seconds_count",
+    "repro_online_refresh_failures_total",
 )
 
 
@@ -594,8 +598,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import reporting
 
     scale = get_scale(args.scale)
-    # online-drift builds its own scenario corpora; don't pay for a full
-    # C3O generation it never reads.
+    if args.which == "chaos":
+        from repro.simulator.chaos import run_chaos_scenario
+
+        report = run_chaos_scenario(seed=args.seed)
+        text = report.summary()
+        print(text)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / "chaos.txt").write_text(text + "\n", encoding="utf-8")
+            print(f"wrote 1 table(s) to {args.out}")
+        return 0 if report.passed else 1
+    # online-drift and chaos build their own scenario corpora; don't pay
+    # for a full C3O generation they never read.
     dataset = None if args.which == "online-drift" else generate_c3o_dataset(seed=args.seed)
     sections: Tuple[Tuple[str, str], ...]
 

@@ -199,6 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh-epochs", type=int, default=None,
         help="fine-tuning epoch cap of drift refreshes",
     )
+    serve.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request time budget on /predict: requests that cannot be "
+        "served inside it get a structured 504 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="shed /predict requests with a structured 503 + Retry-After "
+        "once the batch queue is this deep (default: never shed)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="back-off hint carried by shed responses",
+    )
     serve.set_defaults(handler=commands.cmd_serve)
 
     # ------------------------------ stats ------------------------------ #
@@ -302,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation",
             "cross-algorithm",
             "online-drift",
+            "chaos",
         ),
     )
     experiment.add_argument(

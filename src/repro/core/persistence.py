@@ -36,10 +36,28 @@ import numpy as np
 
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
+from repro.resilience.policy import RetryPolicy
+from repro.runtime.locks import LockTimeout
 from repro.runtime.store import ArtifactStore
 from repro.utils.serialization import load_json, load_npz_dict, save_json, save_npz_dict
 
 PathLike = Union[str, os.PathLike]
+
+
+def default_lock_retry() -> RetryPolicy:
+    """The retry policy :class:`ModelStore` applies to lock acquisition.
+
+    A contended artifact lock that times out is usually transient (another
+    writer mid-save); three attempts with a short seeded backoff ride it
+    out without changing any exception type callers see — a persistently
+    held lock still surfaces as ``LockTimeout``.
+
+    >>> default_lock_retry().retry_on
+    (<class 'repro.runtime.locks.LockTimeout'>,)
+    """
+    return RetryPolicy(
+        max_attempts=3, base_delay_s=0.05, multiplier=2.0, retry_on=(LockTimeout,)
+    )
 
 
 def model_class_registry() -> Dict[str, type]:
@@ -66,9 +84,18 @@ class ModelStore:
     (reachable as :attr:`artifacts` for maintenance operations).
     """
 
-    def __init__(self, root: PathLike, artifacts: Optional[ArtifactStore] = None) -> None:
+    def __init__(
+        self,
+        root: PathLike,
+        artifacts: Optional[ArtifactStore] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.root = Path(root)
-        self.artifacts = artifacts if artifacts is not None else ArtifactStore(self.root)
+        self.artifacts = (
+            artifacts
+            if artifacts is not None
+            else ArtifactStore(self.root, retry=retry or default_lock_retry())
+        )
 
     def _check_name(self, name: str) -> str:
         # One validation rule for the whole stack: the artifact store's.

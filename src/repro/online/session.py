@@ -50,6 +50,8 @@ from repro.eval.metrics import mre, relative_errors
 from repro.metrics import MetricsRegistry
 from repro.online.drift import DriftDetector, DriftStatus
 from repro.online.observations import Observation, ObservationBuffer
+from repro.resilience import faults as _faults
+from repro.resilience.policy import CircuitBreaker
 from repro.runtime import Executor, TaskHandle, ThreadExecutor
 
 
@@ -83,6 +85,14 @@ class RefreshPolicy:
     auto_refresh: bool = True
     #: In-memory observations retained per group.
     buffer_capacity: int = 256
+    #: Consecutive refresh failures before a group is quarantined (its
+    #: circuit breaker opens and drift flags stop triggering refreshes;
+    #: the stale model keeps serving).
+    quarantine_after: int = 3
+    #: Seconds a quarantined group sits out before the next drift flag is
+    #: allowed through as the half-open probe. The default (0) probes on
+    #: the very next flag.
+    quarantine_reset_s: float = 0.0
 
     def detector(self) -> DriftDetector:
         """A :class:`DriftDetector` configured by this policy."""
@@ -222,6 +232,12 @@ class OnlineSession:
         self.detector = detector if detector is not None else self.policy.detector()
         self._versions: Dict[str, int] = {}
         self._lock = threading.Lock()
+        #: One circuit breaker per group; opens after
+        #: ``policy.quarantine_after`` consecutive refresh failures.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: The most recent refresh failure, as ``"TypeName: message"``
+        #: (surfaced by :meth:`stats`; ``None`` until a refresh fails).
+        self._last_refresh_error: Optional[str] = None
         self._bind_metrics(registry if registry is not None else MetricsRegistry())
 
     # ------------------------------------------------------------------ #
@@ -236,8 +252,20 @@ class OnlineSession:
         self._m_refreshes = registry.counter(
             "repro_online_refreshes_total", "Model refreshes swapped in."
         )
-        self._m_failed_refreshes = registry.counter(
-            "repro_online_failed_refreshes_total", "Refresh attempts that raised."
+        self._m_refresh_failures = registry.counter(
+            "repro_online_refresh_failures_total", "Refresh attempts that raised."
+        )
+        self._m_quarantines = registry.counter(
+            "repro_online_quarantines_total",
+            "Groups quarantined after consecutive refresh failures.",
+        )
+        self._m_quarantined_skips = registry.counter(
+            "repro_online_quarantined_skips_total",
+            "Drift flags skipped because the group's breaker was open.",
+        )
+        self._m_quarantined_groups = registry.gauge(
+            "repro_online_quarantined_groups",
+            "Groups whose refresh breaker is currently open.",
         )
         self._m_drift_flags = registry.counter(
             "repro_online_drift_flags_total", "Observations that flagged drift."
@@ -270,16 +298,20 @@ class OnlineSession:
                 for name in (
                     "_m_observations",
                     "_m_refreshes",
-                    "_m_failed_refreshes",
+                    "_m_refresh_failures",
+                    "_m_quarantines",
+                    "_m_quarantined_skips",
                     "_m_drift_flags",
                     "_m_observe_seconds",
                     "_m_detect_seconds",
                     "_m_refresh_seconds",
                 )
             }
+            quarantined = self._m_quarantined_groups.value
             self._bind_metrics(registry)
             for name, previous in old.items():
                 getattr(self, name)._absorb(previous)
+            self._m_quarantined_groups.set(quarantined)
 
     # ------------------------------------------------------------------ #
     # Baselines
@@ -351,7 +383,7 @@ class OnlineSession:
                 self._m_drift_flags.inc()
             refreshed = None
             if status.drifted and self.policy.auto_refresh:
-                refreshed = self._refresh_locked(context)
+                refreshed = self._refresh_guarded(context)
         self._m_observe_seconds.observe(time.perf_counter() - observe_started)
         return ObservationOutcome(
             group=observation.group,
@@ -371,7 +403,10 @@ class OnlineSession:
         collects the :class:`RefreshResult` (or the refresh's exception)
         via ``handle.result()``. Serving is never blocked — the swap
         happens inside the background refresh exactly as in the
-        synchronous path::
+        synchronous path. The handle is swallow-proof: a refresh that
+        raises is recorded (failure counter, breaker, and the
+        ``last_refresh_error`` field of :meth:`stats`) even if nobody
+        ever calls ``handle.result()``::
 
             handle = online.refresh_async(context)
             ...  # keep serving
@@ -407,28 +442,114 @@ class OnlineSession:
         override flips, and the previous version's warm-cache entry is
         invalidated. Raises ``ValueError`` when the group has no buffered
         observations.
+
+        Failures propagate to the caller, but never silently: every raise
+        past the buffer check is recorded first (the
+        ``repro_online_refresh_failures_total`` counter, the group's
+        circuit breaker, and the ``last_refresh_error`` field of
+        :meth:`stats`).
         """
         with self._lock:
             return self._refresh_locked(context)
+
+    # ------------------------------------------------------------------ #
+    # Failure bookkeeping + quarantine
+    # ------------------------------------------------------------------ #
+
+    def _breaker(self, group: str) -> CircuitBreaker:
+        breaker = self._breakers.get(group)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.policy.quarantine_after,
+                reset_after_s=self.policy.quarantine_reset_s,
+            )
+            self._breakers[group] = breaker
+        return breaker
+
+    def _record_refresh_failure(self, group: str, error: BaseException) -> None:
+        """Count a failed refresh and trip the group's breaker if due."""
+        self._m_refresh_failures.inc()
+        self._last_refresh_error = f"{type(error).__name__}: {error}"
+        breaker = self._breaker(group)
+        was_open = breaker.state == CircuitBreaker.OPEN
+        breaker.record_failure()
+        if breaker.state == CircuitBreaker.OPEN and not was_open:
+            self._m_quarantines.inc()
+        self._sync_quarantine_gauge()
+
+    def _record_refresh_success(self, group: str) -> None:
+        breaker = self._breakers.get(group)
+        if breaker is not None:
+            breaker.record_success()
+            self._sync_quarantine_gauge()
+
+    def _sync_quarantine_gauge(self) -> None:
+        self._m_quarantined_groups.set(
+            sum(
+                1
+                for breaker in self._breakers.values()
+                if breaker.state != CircuitBreaker.CLOSED
+            )
+        )
+
+    def quarantined(self) -> List[str]:
+        """Groups whose refresh breaker is currently open or probing.
+
+        A quarantined group keeps serving its stale model; drift flags are
+        skipped until the breaker admits a half-open probe (by default the
+        next flag, see ``RefreshPolicy.quarantine_reset_s``)::
+
+            "ctx-1" in online.quarantined()
+        """
+        with self._lock:
+            return sorted(
+                group
+                for group, breaker in self._breakers.items()
+                if breaker.state != CircuitBreaker.CLOSED
+            )
+
+    def _refresh_guarded(self, context: JobContext) -> Optional[RefreshResult]:
+        """The observe() path's refresh: degrade instead of propagating.
+
+        A failed auto-refresh must not fail the observation that triggered
+        it — the stale model keeps serving, the failure is recorded, and a
+        quarantined group's flags stop attempting refreshes until its
+        breaker admits the half-open probe.
+        """
+        group = context.context_id
+        if not self._breaker(group).allow():
+            self._m_quarantined_skips.inc()
+            return None
+        try:
+            return self._refresh_locked(context)
+        except Exception:
+            return None  # already recorded by _refresh_locked
 
     def _refresh_locked(self, context: JobContext) -> RefreshResult:
         group = context.context_id
         machines, runtimes = self.buffer.samples(group, newest=self.policy.refresh_samples)
         if machines.size == 0:
             raise ValueError(f"group {group!r} has no buffered observations to refresh from")
+        try:
+            return self._refresh_attempt(context, group, machines, runtimes)
+        except Exception as error:
+            self._record_refresh_failure(group, error)
+            raise
+
+    def _refresh_attempt(
+        self, context: JobContext, group: str, machines, runtimes
+    ) -> RefreshResult:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire(_faults.SITE_ONLINE_REFRESH)
 
         stale_predictions = self.session.predict(context, machines)
         stale_error = mre(stale_predictions, runtimes)
 
         started = time.perf_counter()
         base = self.session.base_model(context.algorithm)
-        try:
-            result = finetune(
-                base, context, machines, runtimes, max_epochs=self.policy.max_epochs
-            )
-        except Exception:
-            self._m_failed_refreshes.inc()
-            raise
+        result = finetune(
+            base, context, machines, runtimes, max_epochs=self.policy.max_epochs
+        )
         model = result.model
         version = self._versions.get(group, 0) + 1
 
@@ -463,6 +584,7 @@ class OnlineSession:
         self._versions[group] = version
         self._m_refreshes.inc()
         self._m_refresh_seconds.observe(wall)
+        self._record_refresh_success(group)
 
         refreshed_predictions = self.session.predict(context, machines)
         refreshed_error = mre(refreshed_predictions, runtimes)
@@ -545,10 +667,18 @@ class OnlineSession:
             versions = dict(self._versions)
             buffered = len(self.buffer)
             by_group = self.buffer.counts()
+            last_refresh_error = self._last_refresh_error
+            quarantined = sorted(
+                group
+                for group, breaker in self._breakers.items()
+                if breaker.state != CircuitBreaker.CLOSED
+            )
         return {
             "observations": int(self._m_observations.value),
             "refreshes": int(self._m_refreshes.value),
-            "failed_refreshes": int(self._m_failed_refreshes.value),
+            "refresh_failures": int(self._m_refresh_failures.value),
+            "last_refresh_error": last_refresh_error,
+            "quarantined": quarantined,
             "buffered": buffered,
             "buffered_by_group": by_group,
             "versions": versions,

@@ -1,0 +1,72 @@
+"""Deterministic fault injection and degradation policies.
+
+Two halves, built to make the stack's failure behaviour both *provable*
+and *cheap*:
+
+:mod:`repro.resilience.faults`
+    Seed-deterministic fault injection behind a module-level hook that
+    instrumented sites guard with one ``is not None`` test — the five
+    named points (``store.commit``, ``store.lock``, ``executor.task``,
+    ``online.refresh``, ``serve.predict``) cost nothing while no chaos
+    run is active.
+:mod:`repro.resilience.policy`
+    :class:`RetryPolicy` (exponential backoff + seeded jitter),
+    :class:`Deadline` (a propagated time budget), and
+    :class:`CircuitBreaker` (closed → open → half-open), all with
+    injectable clocks and sleeps.
+
+The chaos suite in :mod:`repro.simulator` drives serve + online + store
+through a :class:`FaultPlan` and asserts the invariants these policies
+buy: structured errors only, stale-but-served models during refresh
+failure, bit-identical predictions once faults clear.
+
+>>> from repro.resilience import FaultPlan, FaultSpec, FaultInjector
+>>> plan = FaultPlan(seed=1, specs=[FaultSpec(site="online.refresh", max_fires=1)])
+>>> with FaultInjector(plan) as injector:
+...     injector.fired()["online.refresh"]
+0
+"""
+
+from repro.resilience.faults import (
+    ACTIVE,
+    SITE_EXECUTOR_TASK,
+    SITE_ONLINE_REFRESH,
+    SITE_SERVE_PREDICT,
+    SITE_STORE_COMMIT,
+    SITE_STORE_LOCK,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_point,
+    fault_point,
+)
+from repro.resilience.policy import (
+    BreakerOpenError,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ACTIVE",
+    "SITES",
+    "SITE_EXECUTOR_TASK",
+    "SITE_ONLINE_REFRESH",
+    "SITE_SERVE_PREDICT",
+    "SITE_STORE_COMMIT",
+    "SITE_STORE_LOCK",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "corrupt_point",
+    "fault_point",
+]

@@ -1,0 +1,383 @@
+"""Seed-deterministic fault injection behind a near-free module hook.
+
+The serving stack earns its resilience claims by *proving* them under
+injected failure, and that is only honest if (a) the injected schedule is
+reproducible bit-for-bit and (b) the instrumentation costs nothing when no
+chaos run is active. Both live here:
+
+**Named injection points.** Instrumented call sites across the stack fire
+a site name from :data:`SITES` — the store's commit and lock paths, the
+executors' task launch, the online refresh, and the serve predict path.
+A :class:`FaultSpec` targets one site and describes *what* happens there
+(``raise`` an exception, ``delay`` the call, or ``corrupt`` the value
+flowing through) and *when* (a per-site call-index window, an optional
+probability, a cap on total fires).
+
+**Determinism.** A :class:`FaultPlan` is ``(seed, specs)``; every
+probabilistic decision draws from a generator derived from
+``(seed, site, spec index)`` and the site's call counter, so two runs of
+the same workload under the same plan inject byte-identical fault
+schedules — which is what lets the chaos suite assert the post-fault run
+is bit-identical to a fault-free one.
+
+**The disabled path.** Instrumented sites do not call into this module at
+all unless a chaos run is active; they guard on the module attribute
+:data:`ACTIVE`::
+
+    from repro.resilience import faults as _faults
+    ...
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire(_faults.SITE_STORE_COMMIT)
+
+One global load and an ``is not None`` test — a few tens of nanoseconds,
+enforced by an absolute ceiling in the benchmark gate
+(``resilience_level.hook_disabled_guard_ns``).
+
+Example (everything deterministic, nothing sleeps):
+
+>>> plan = FaultPlan(seed=7, specs=[FaultSpec(site=SITE_ONLINE_REFRESH, max_fires=2)])
+>>> injector = FaultInjector(plan)
+>>> with injector:
+...     for _ in range(4):
+...         try:
+...             fault_point(SITE_ONLINE_REFRESH)
+...         except InjectedFault:
+...             pass
+>>> injector.fired()[SITE_ONLINE_REFRESH]
+2
+>>> fault_point(SITE_ONLINE_REFRESH)  # deactivated: a no-op again
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+#: Store member commit (the ``os.replace`` in ``ArtifactTransaction.write``).
+SITE_STORE_COMMIT = "store.commit"
+#: Artifact-lock acquisition inside ``ArtifactStore.transaction``.
+SITE_STORE_LOCK = "store.lock"
+#: Task launch inside the serial/thread executors.
+SITE_EXECUTOR_TASK = "executor.task"
+#: Entry of ``OnlineSession._refresh_locked`` (before anything mutates).
+SITE_ONLINE_REFRESH = "online.refresh"
+#: The serve app's ``/predict`` path (fire before, corrupt after).
+SITE_SERVE_PREDICT = "serve.predict"
+
+#: Every named injection point wired through the stack.
+SITES = (
+    SITE_STORE_COMMIT,
+    SITE_STORE_LOCK,
+    SITE_EXECUTOR_TASK,
+    SITE_ONLINE_REFRESH,
+    SITE_SERVE_PREDICT,
+)
+
+#: The installed injector, or ``None`` (the common case). Instrumented
+#: sites guard on this attribute; see the module docstring for the idiom.
+ACTIVE: Optional["FaultInjector"] = None
+
+_ACTIVATION_LOCK = threading.Lock()
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by a firing ``raise``-kind fault.
+
+    >>> issubclass(InjectedFault, RuntimeError)
+    True
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault at one site: what happens, and on which calls.
+
+    A spec is eligible on per-site call indices ``start <= i < stop``
+    (``stop=None`` means forever), fires at most ``max_fires`` times
+    (``None`` means unbounded), and — when ``probability < 1`` — flips a
+    coin from the plan's derived generator, so the schedule is a pure
+    function of ``(plan seed, site, call index)``.
+
+    >>> spec = FaultSpec(site=SITE_STORE_LOCK, kind="raise", max_fires=2)
+    >>> spec.eligible(0), spec.eligible(10)
+    (True, True)
+    >>> FaultSpec(site=SITE_STORE_LOCK, start=3, stop=5).eligible(2)
+    False
+    """
+
+    site: str
+    #: ``"raise"``, ``"delay"``, or ``"corrupt"``.
+    kind: str = "raise"
+    #: Chance a call in the eligible window fires (1.0 = every call).
+    probability: float = 1.0
+    #: First per-site call index (0-based) this spec applies to.
+    start: int = 0
+    #: Per-site call index the spec stops applying at (``None`` = never).
+    stop: Optional[int] = None
+    #: Total fires allowed across the run (``None`` = unbounded).
+    max_fires: Optional[int] = None
+    #: Sleep injected by a ``delay`` fault, in seconds.
+    delay_s: float = 0.001
+    #: Exception type a ``raise`` fault instantiates (message-only ctor).
+    exception: Type[BaseException] = InjectedFault
+    #: Message passed to the raised exception.
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown injection site {self.site!r}; expected one of {SITES}"
+            )
+        if self.kind not in ("raise", "delay", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop < self.start:
+            raise ValueError(f"stop ({self.stop}) precedes start ({self.start})")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def eligible(self, call_index: int) -> bool:
+        """Whether the per-site ``call_index`` falls in this spec's window."""
+        if call_index < self.start:
+            return False
+        return self.stop is None or call_index < self.stop
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault specs it schedules — the whole chaos input.
+
+    Two injectors built from equal plans produce identical schedules; the
+    chaos suite relies on this to rerun the exact same failure history.
+
+    >>> plan = FaultPlan(seed=3, specs=[FaultSpec(site=SITE_SERVE_PREDICT)])
+    >>> [spec.site for spec in plan.specs]
+    ['serve.predict']
+    """
+
+    seed: int = 0
+    specs: Sequence[FaultSpec] = field(default_factory=tuple)
+
+    def for_site(self, site: str) -> List[Tuple[int, FaultSpec]]:
+        """The ``(spec index, spec)`` pairs targeting ``site``."""
+        return [(i, spec) for i, spec in enumerate(self.specs) if spec.site == site]
+
+
+class _SiteState:
+    """Per-site mutable schedule state (counter + per-spec RNG/fires)."""
+
+    __slots__ = ("calls", "fires", "rngs")
+
+    def __init__(self, seed: int, site: str, specs: List[Tuple[int, FaultSpec]]) -> None:
+        self.calls = 0
+        self.fires: Dict[int, int] = {index: 0 for index, _ in specs}
+        self.rngs: Dict[int, np.random.Generator] = {
+            index: np.random.default_rng(derive_seed(seed, "fault", site, index))
+            for index, _ in specs
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`: thread-safe, reproducible, installable.
+
+    ``fire(site)`` raises or sleeps per the plan; ``corrupt(site, value)``
+    returns ``value`` or a deterministically mutated copy. Installing the
+    injector (``with injector:`` or :meth:`activate`) publishes it as
+    :data:`ACTIVE`, which is what arms the instrumented sites; injectors
+    nest (the previous one is restored on exit).
+
+    ``sleep`` and the per-spec generators are injectable/derived so tests
+    never wait on a wall clock.
+
+    >>> plan = FaultPlan(seed=0, specs=[
+    ...     FaultSpec(site=SITE_STORE_COMMIT, kind="delay", delay_s=0.5, max_fires=1)])
+    >>> naps = []
+    >>> injector = FaultInjector(plan, sleep=naps.append)
+    >>> with injector:
+    ...     fault_point(SITE_STORE_COMMIT)
+    ...     fault_point(SITE_STORE_COMMIT)
+    >>> naps
+    [0.5]
+    >>> injector.counts()[SITE_STORE_COMMIT]
+    2
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._specs: Dict[str, List[Tuple[int, FaultSpec]]] = {}
+        self._state: Dict[str, _SiteState] = {}
+        sites = {spec.site for spec in plan.specs}
+        for site in sites:
+            targeting = plan.for_site(site)
+            self._specs[site] = targeting
+            self._state[site] = _SiteState(plan.seed, site, targeting)
+        self._previous: List[Optional["FaultInjector"]] = []
+
+    # ------------------------------------------------------------------ #
+    # Schedule evaluation
+    # ------------------------------------------------------------------ #
+
+    def _due(self, site: str, kinds: Tuple[str, ...]) -> List[FaultSpec]:
+        """Advance the site counter once; return the specs that fire now."""
+        specs = self._specs.get(site)
+        if specs is None:
+            return []
+        with self._lock:
+            state = self._state[site]
+            call_index = state.calls
+            state.calls += 1
+            firing: List[FaultSpec] = []
+            for index, spec in specs:
+                if spec.kind not in kinds or not spec.eligible(call_index):
+                    continue
+                if spec.max_fires is not None and state.fires[index] >= spec.max_fires:
+                    continue
+                if spec.probability < 1.0:
+                    # One draw per eligible call keeps the stream aligned
+                    # with the call index, whatever other sites do.
+                    if state.rngs[index].random() >= spec.probability:
+                        continue
+                state.fires[index] += 1
+                firing.append(spec)
+        return firing
+
+    def fire(self, site: str) -> None:
+        """Apply ``delay``/``raise`` faults due at ``site`` (one call tick).
+
+        Delays apply before a raise, so a spec pair can model a slow
+        failure. Unknown sites are free no-ops (the site simply has no
+        specs)::
+
+            injector.fire("store.commit")
+        """
+        firing = self._due(site, ("delay", "raise"))
+        if not firing:
+            return
+        for spec in firing:
+            if spec.kind == "delay":
+                self._sleep(spec.delay_s)
+        for spec in firing:
+            if spec.kind == "raise":
+                raise spec.exception(f"{spec.message} [{site}]")
+
+    def corrupt(self, site: str, value: Any) -> Any:
+        """Return ``value``, mutated deterministically if a ``corrupt``
+        fault is due at ``site`` (its own call tick).
+
+        Floats and float arrays are doubled (unmistakably wrong, still
+        finite); bytes/str are reversed; anything else passes through::
+
+            prediction = injector.corrupt("serve.predict", prediction)
+        """
+        firing = self._due(site, ("corrupt",))
+        if not firing:
+            return value
+        if isinstance(value, np.ndarray):
+            return value * 2.0
+        if isinstance(value, float):
+            return value * 2.0
+        if isinstance(value, bytes):
+            return value[::-1]
+        if isinstance(value, str):
+            return value[::-1]
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> Dict[str, int]:
+        """Calls observed per site (fired or not) — the schedule clock."""
+        with self._lock:
+            return {site: state.calls for site, state in self._state.items()}
+
+    def fired(self) -> Dict[str, int]:
+        """Total fires per site, summed across that site's specs."""
+        with self._lock:
+            return {
+                site: sum(state.fires.values())
+                for site, state in self._state.items()
+            }
+
+    def exhausted(self) -> bool:
+        """Whether every capped spec has burned its ``max_fires`` budget.
+
+        Uncapped specs never exhaust; the chaos suite uses this to know
+        the injected failure window is over.
+        """
+        with self._lock:
+            for site, specs in self._specs.items():
+                state = self._state[site]
+                for index, spec in specs:
+                    if spec.max_fires is None or state.fires[index] < spec.max_fires:
+                        return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Activation
+    # ------------------------------------------------------------------ #
+
+    def activate(self) -> "FaultInjector":
+        """Install this injector as :data:`ACTIVE` (stacking); returns self."""
+        global ACTIVE
+        with _ACTIVATION_LOCK:
+            self._previous.append(ACTIVE)
+            ACTIVE = self
+        return self
+
+    def deactivate(self) -> None:
+        """Restore whatever was :data:`ACTIVE` before :meth:`activate`."""
+        global ACTIVE
+        with _ACTIVATION_LOCK:
+            previous = self._previous.pop() if self._previous else None
+            ACTIVE = previous
+
+    def __enter__(self) -> "FaultInjector":
+        return self.activate()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.deactivate()
+
+
+def fault_point(site: str) -> None:
+    """Fire the active injector at ``site``; free no-op when none is active.
+
+    This is the readable form of the hook; hot paths inline the guard
+    instead (see the module docstring) so the disabled cost is one
+    attribute load::
+
+        fault_point("online.refresh")
+    """
+    injector = ACTIVE
+    if injector is not None:
+        injector.fire(site)
+
+
+def corrupt_point(site: str, value: Any) -> Any:
+    """Pass ``value`` through the active injector's ``corrupt`` faults.
+
+    Identity when no injector is active::
+
+        prediction = corrupt_point("serve.predict", prediction)
+    """
+    injector = ACTIVE
+    if injector is None:
+        return value
+    return injector.corrupt(site, value)

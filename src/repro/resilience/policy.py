@@ -1,0 +1,344 @@
+"""Retry, deadline, and circuit-breaker policies for the serving stack.
+
+Three small, composable mechanisms — each deterministic under a seed or an
+injected clock, so resilience behaviour is as testable as the math:
+
+:class:`RetryPolicy`
+    A bounded retry budget with exponential backoff and *seeded* jitter.
+    ``call(fn)`` retries the listed exception types, sleeping a
+    deterministic schedule between attempts; an optional
+    :class:`Deadline` caps the whole budget.
+:class:`Deadline`
+    A propagated time budget: created once at the edge (e.g. per HTTP
+    request), checked at each hop (``check()`` raises
+    :class:`DeadlineExceeded`), and converted to per-wait timeouts via
+    ``remaining()``.
+:class:`CircuitBreaker`
+    The closed → open → half-open state machine. After
+    ``failure_threshold`` consecutive failures the breaker opens and
+    ``allow()`` answers ``False`` (callers skip the doomed work and keep
+    serving stale results); once ``reset_after_s`` has passed the next
+    ``allow()`` admits exactly one half-open probe — its success closes
+    the breaker, its failure reopens it.
+
+All sleeps and clocks are injectable, so the full lifecycle runs in
+microseconds under test:
+
+>>> naps = []
+>>> policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0, sleep=naps.append)
+>>> calls = []
+>>> def flaky():
+...     calls.append(1)
+...     if len(calls) < 3:
+...         raise OSError("transient")
+...     return "ok"
+>>> policy.call(flaky)
+'ok'
+>>> naps
+[0.1, 0.2]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+R = TypeVar("R")
+
+
+class DeadlineExceeded(TimeoutError):
+    """A :class:`Deadline` ran out (the request should stop, not queue).
+
+    >>> issubclass(DeadlineExceeded, TimeoutError)
+    True
+    """
+
+
+class BreakerOpenError(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.call` while the breaker is open.
+
+    >>> issubclass(BreakerOpenError, RuntimeError)
+    True
+    """
+
+
+class Deadline:
+    """A time budget created at the edge and checked at every hop.
+
+    ``None`` budgets are representable by simply not creating a deadline;
+    a created one is always finite. The clock is injectable for tests.
+
+    >>> ticks = iter([0.0, 0.4, 1.2]).__next__
+    >>> deadline = Deadline(1.0, clock=ticks)
+    >>> round(deadline.remaining(), 2)
+    0.6
+    >>> deadline.expired
+    True
+    """
+
+    __slots__ = ("budget_s", "_clock", "_t0")
+
+    def __init__(
+        self, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._t0 = clock()
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0.0) — use as a per-wait timeout."""
+        return max(0.0, self.budget_s - (self._clock() - self._t0))
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        Call at each hop so a doomed request fails at the next boundary
+        instead of consuming downstream capacity::
+
+            deadline.check("before finetune")
+        """
+        if self.expired:
+            where = f" at {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:.3f}s exceeded{where}"
+            )
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    The backoff schedule for attempt ``i`` (0-based) is
+    ``min(base_delay_s * multiplier**i, max_delay_s)`` stretched by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` using
+    a generator derived from ``seed`` — the whole schedule is a pure
+    function of the policy's parameters, never of wall time.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (the first call plus retries); at least 1.
+    base_delay_s / multiplier / max_delay_s:
+        The exponential backoff curve.
+    jitter:
+        Relative jitter width in ``[0, 1)``; 0 disables jitter.
+    seed:
+        Root seed of the jitter stream.
+    retry_on:
+        Exception types worth retrying; anything else propagates
+        immediately.
+    sleep:
+        Injectable sleep (tests pass a recorder; chaos passes a no-op).
+
+    Example::
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.05,
+                             retry_on=(LockTimeout,))
+        result = policy.call(lambda: store.save(name, model))
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.seed = seed
+        self.retry_on = retry_on
+        self._sleep = sleep
+
+    def delays(self) -> List[float]:
+        """The deterministic backoff schedule (one delay per retry).
+
+        A fresh jitter stream per call — two ``call()`` invocations sleep
+        the same schedule::
+
+            RetryPolicy(max_attempts=3, jitter=0.0).delays()
+        """
+        rng = np.random.default_rng(derive_seed(self.seed, "retry-jitter"))
+        delays: List[float] = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(
+                self.base_delay_s * self.multiplier**attempt, self.max_delay_s
+            )
+            if self.jitter > 0.0:
+                delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            delays.append(delay)
+        return delays
+
+    def call(
+        self,
+        fn: Callable[..., R],
+        *args: Any,
+        deadline: Optional[Deadline] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        **kwargs: Any,
+    ) -> R:
+        """Run ``fn`` under this policy; returns its result.
+
+        Retries exceptions matching ``retry_on`` until the attempt budget
+        or the ``deadline`` runs out, then re-raises the *last* failure
+        unchanged — wiring a policy around existing code never changes
+        the exception types callers handle.
+        ``on_retry(attempt, error)`` observes each scheduled retry::
+
+            policy.call(client.stats, deadline=Deadline(2.0))
+        """
+        delays = self.delays()
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check(f"retry attempt {attempt}")
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as error:
+                last = error
+                if attempt == self.max_attempts - 1:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                delay = delays[attempt]
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        break
+                    delay = min(delay, remaining)
+                if delay > 0.0:
+                    self._sleep(delay)
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """The closed → open → half-open failure gate, one per protected group.
+
+    Thread-safe; the clock is injectable. ``reset_after_s=0`` makes the
+    very next ``allow()`` after opening a half-open probe — the online
+    session uses this so a quarantined group probes on its next drift
+    flag rather than on a wall-clock schedule.
+
+    >>> t = [0.0]
+    >>> breaker = CircuitBreaker(failure_threshold=2, reset_after_s=10.0,
+    ...                          clock=lambda: t[0])
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state, breaker.allow()
+    ('open', False)
+    >>> t[0] = 11.0
+    >>> breaker.allow(), breaker.state        # the half-open probe
+    (True, 'half_open')
+    >>> breaker.record_success(); breaker.state
+    'closed'
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (what trips the breaker)."""
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether the protected call may proceed right now.
+
+        Closed: always. Open: only once ``reset_after_s`` has elapsed, and
+        then exactly one caller wins the half-open probe; everyone else
+        keeps getting ``False`` until the probe reports::
+
+            if breaker.allow():
+                ...  # attempt, then record_success()/record_failure()
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.reset_after_s:
+                    self._state = self.HALF_OPEN
+                    return True
+                return False
+            return False  # half-open: the probe is already in flight
+
+    def record_success(self) -> None:
+        """The protected call worked: close and clear the failure streak."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """The protected call failed: count it; trip or re-open as due."""
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def call(self, fn: Callable[..., R], *args: Any, **kwargs: Any) -> R:
+        """Run ``fn`` through the breaker (convenience wrapper).
+
+        Raises :class:`BreakerOpenError` without calling ``fn`` when
+        :meth:`allow` refuses; otherwise records the outcome::
+
+            breaker.call(refresh, context)
+        """
+        if not self.allow():
+            raise BreakerOpenError(
+                f"circuit open ({self._failures} consecutive failures)"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

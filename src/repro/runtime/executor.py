@@ -40,6 +40,8 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.resilience import faults as _faults
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -386,6 +388,8 @@ class SerialExecutor(Executor):
         handle = TaskHandle()
         handle._start()
         try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire(_faults.SITE_EXECUTOR_TASK)
             handle._finish(fn(*args, **kwargs), None)
         except BaseException as error:
             handle._finish(None, error)
@@ -405,6 +409,8 @@ class SerialExecutor(Executor):
         for index, item in enumerate(items):
             if cancel is not None and cancel.cancelled:
                 raise CancelledError("fan-out cancelled")
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire(_faults.SITE_EXECUTOR_TASK)
             results.append(fn(item))
             if progress is not None:
                 progress(index + 1, len(items))
@@ -514,6 +520,8 @@ class ThreadExecutor(Executor):
                 continue
             started = time.perf_counter()
             try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire(_faults.SITE_EXECUTOR_TASK)
                 handle._finish(fn(*args, **kwargs), None)
             except BaseException as error:
                 handle._finish(None, error)

@@ -47,8 +47,12 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.resilience import faults as _faults
 from repro.runtime.locks import FileLock
 from repro.utils.serialization import load_json, save_json
+
+if False:  # pragma: no cover - import for type checkers only, no cycle at runtime
+    from repro.resilience.policy import RetryPolicy
 
 PathLike = Union[str, os.PathLike]
 
@@ -123,6 +127,8 @@ class ArtifactTransaction:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire(_faults.SITE_STORE_COMMIT)
         final = self._store.member_path(self.name, member)
         os.replace(tmp, final)
         # Re-home: a pre-shard flat copy of this member is now stale.
@@ -152,11 +158,17 @@ class ArtifactStore:
         assert store.exists("model-a", "json")
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, retry: Optional["RetryPolicy"] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / INDEX_NAME
         self._index_lock = FileLock(self.root / ".index.lock")
+        #: Optional :class:`~repro.resilience.RetryPolicy` applied to
+        #: artifact-lock acquisition: a contended/failed acquire
+        #: (``LockTimeout``) is retried under its backoff budget instead
+        #: of failing the write outright. ``None`` keeps the historical
+        #: fail-fast behaviour.
+        self.retry = retry
         #: Cached index keyed by the index file's stat signature.
         self._index_cache: Optional[Tuple[Tuple[int, int], Dict[str, List[str]]]] = None
 
@@ -368,12 +380,16 @@ class ArtifactStore:
 
         The artifact lock is held for the whole ``with`` body; members
         committed before an exception stay committed (and indexed), exactly
-        like the pre-runtime crash semantics of ``ModelStore.save``.
+        like the pre-runtime crash semantics of ``ModelStore.save``. With a
+        :attr:`retry` policy installed, a lock acquisition that times out
+        (``LockTimeout``) is retried under the policy's backoff budget.
         """
         self.check_name(name)
         shard = self.shard_dir(name)
         shard.mkdir(parents=True, exist_ok=True)
-        with self.lock(name):
+        lock = self.lock(name)
+        self._acquire(lock)
+        try:
             txn = ArtifactTransaction(self, name, shard)
             try:
                 yield txn
@@ -381,6 +397,21 @@ class ArtifactStore:
                 txn._cleanup()
                 if txn.committed:
                     self._register(name, txn.committed)
+        finally:
+            lock.release()
+
+    def _acquire(self, lock: FileLock) -> None:
+        """Acquire an artifact lock, retrying under :attr:`retry` if set."""
+
+        def attempt() -> None:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire(_faults.SITE_STORE_LOCK)
+            lock.acquire()
+
+        if self.retry is None:
+            attempt()
+        else:
+            self.retry.call(attempt)
 
     def delete(self, name: str) -> None:
         """Remove an artifact — every member, sharded and flat, plus its

@@ -38,7 +38,12 @@ Start the same service from the command line with
 
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
 from repro.serve.cache import FakeClock, LruTtlCache
-from repro.serve.client import HttpServeClient, ServeClient, ServeError
+from repro.serve.client import (
+    HttpServeClient,
+    ServeClient,
+    ServeError,
+    ServeUnavailableError,
+)
 from repro.serve.schemas import (
     SchemaError,
     context_from_payload,
@@ -61,6 +66,7 @@ __all__ = [
     "ServeApp",
     "ServeClient",
     "ServeError",
+    "ServeUnavailableError",
     "context_from_payload",
     "context_to_payload",
     "observe_payload",

@@ -40,6 +40,7 @@ import numpy as np
 from repro.api.estimator import PredictionRequest
 from repro.api.session import Session
 from repro.metrics import MetricsRegistry
+from repro.resilience.policy import DeadlineExceeded
 from repro.runtime import Executor, TaskHandle, ThreadExecutor
 
 #: Batch-size histogram bounds: powers of two up to the largest max_batch
@@ -226,11 +227,20 @@ class MicroBatcher:
     # Submission
     # ------------------------------------------------------------------ #
 
-    def submit(self, request: PredictionRequest) -> np.ndarray:
+    def submit(
+        self, request: PredictionRequest, timeout: Optional[float] = None
+    ) -> np.ndarray:
         """Enqueue one request and block until its batch is served.
 
         Raises :class:`BatcherClosedError` if the batcher is closed, and
         re-raises (per waiter) whatever exception the batch call raised.
+
+        ``timeout`` bounds the wait (the serve app passes the request
+        deadline's remaining budget): a request whose window runs out
+        while still *queued* is withdrawn — it never consumes a flush —
+        and :class:`~repro.resilience.DeadlineExceeded` is raised; one
+        already riding an in-flight flush raises without waiting for the
+        result it no longer wants.
         """
         if request.context is None:
             raise ValueError("serve requests need a context")
@@ -242,11 +252,29 @@ class MicroBatcher:
             self._m_submitted.inc()
             self._m_queue_depth.inc()
             self._wake.notify_all()
-        pending.done.wait()
+        if not pending.done.wait(timeout):
+            with self._wake:
+                if pending in self._queue:
+                    self._queue.remove(pending)
+                    self._m_queue_depth.dec()
+            raise DeadlineExceeded(
+                f"request not served within its {timeout:.3f}s budget"
+            )
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None
         return pending.result
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting for the next flush (load signal).
+
+        The serve app sheds new predicts when this crosses its
+        ``max_queue_depth``::
+
+            if batcher.queue_depth() >= limit: ...  # 503 + Retry-After
+        """
+        with self._lock:
+            return len(self._queue)
 
     # ------------------------------------------------------------------ #
     # Flusher thread

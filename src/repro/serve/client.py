@@ -24,6 +24,7 @@ Non-2xx responses raise :class:`ServeError` carrying the structured body::
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -31,6 +32,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.schema import JobContext
+from repro.resilience.policy import RetryPolicy
 from repro.serve.schemas import observe_payload, predict_payload
 from repro.serve.server import ServeApp
 
@@ -49,6 +51,24 @@ class ServeError(RuntimeError):
         self.payload = payload
 
 
+class ServeUnavailableError(ConnectionError):
+    """The server could not be reached at all (no HTTP response).
+
+    Raised by :class:`HttpServeClient` for connection refusals, DNS
+    failures, and socket timeouts — carrying the URL that was attempted,
+    which the raw ``URLError`` it replaces never did.
+
+    >>> error = ServeUnavailableError("http://127.0.0.1:9/predict", "refused")
+    >>> error.url
+    'http://127.0.0.1:9/predict'
+    """
+
+    def __init__(self, url: str, reason: Any) -> None:
+        super().__init__(f"server unreachable at {url}: {reason}")
+        self.url = url
+        self.reason = reason
+
+
 def _samples_payload(
     samples: Optional[Tuple[Sequence[float], Sequence[float]]],
 ) -> Optional[Dict[str, Sequence[float]]]:
@@ -60,11 +80,23 @@ def _samples_payload(
 class _BaseClient:
     """Shared request surface; subclasses provide ``_request``."""
 
-    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
         raise NotImplementedError
 
-    def _checked(self, method: str, path: str, payload: Any = None) -> Dict[str, Any]:
-        status, body = self._request(method, path, payload)
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        status, body = self._request(method, path, payload, timeout_s=timeout_s)
         if status >= 300:
             raise ServeError(status, body)
         return body
@@ -109,23 +141,36 @@ class _BaseClient:
         """
         return self._checked("POST", "/observe", observe_payload(context, machines, runtime_s))
 
-    def healthz(self) -> Dict[str, Any]:
-        """The server's liveness summary (``GET /healthz``)."""
-        return self._checked("GET", "/healthz")
+    def healthz(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """The server's liveness summary (``GET /healthz``).
 
-    def stats(self) -> Dict[str, Any]:
-        """The server's counter snapshot (``GET /stats``)."""
-        return self._checked("GET", "/stats")
+        ``timeout_s`` overrides the client's default for this probe —
+        liveness checks usually want a much tighter budget::
 
-    def metrics(self) -> str:
+            client.healthz(timeout_s=1.0)
+        """
+        return self._checked("GET", "/healthz", timeout_s=timeout_s)
+
+    def stats(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """The server's counter snapshot (``GET /stats``).
+
+        ``timeout_s`` overrides the client's default for this call::
+
+            client.stats(timeout_s=2.0)
+        """
+        return self._checked("GET", "/stats", timeout_s=timeout_s)
+
+    def metrics(self, timeout_s: Optional[float] = None) -> str:
         """The server's Prometheus text exposition (``GET /metrics``).
 
         The raw scrape body; parse it with
-        :func:`repro.metrics.parse_text` when you need values::
+        :func:`repro.metrics.parse_text` when you need values.
+        ``timeout_s`` overrides the client's default — scrapers run on
+        their own deadline::
 
-            series = parse_text(client.metrics())
+            series = parse_text(client.metrics(timeout_s=5.0))
         """
-        status, body = self._request("GET", "/metrics", None)
+        status, body = self._request("GET", "/metrics", None, timeout_s=timeout_s)
         if status >= 300:
             raise ServeError(status, body if isinstance(body, dict) else {"error": body})
         return body
@@ -145,44 +190,126 @@ class ServeClient(_BaseClient):
     def __init__(self, app: ServeApp) -> None:
         self.app = app
 
-    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
         return self.app.handle(method, path, payload)
 
 
 class HttpServeClient(_BaseClient):
     """HTTP client of a running :class:`PredictionServer` (stdlib only).
 
+    Connection failures (refused, DNS, socket timeout) raise
+    :class:`ServeUnavailableError` with the attempted URL. An optional
+    :class:`~repro.resilience.RetryPolicy` makes the client ride out
+    transient trouble: unreachable servers are retried under the policy's
+    backoff, and 503 responses are retried honoring the server's
+    ``Retry-After`` (load shedding tells the client exactly when to come
+    back).
+
     Example::
 
         with PredictionServer(session, port=0) as server:
-            client = HttpServeClient(server.url)
+            client = HttpServeClient(server.url, retry=RetryPolicy(max_attempts=3))
             runtimes = client.predict(context, [4, 8])
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Any = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry
+        self._sleep = sleep
 
-    def _request(self, method: str, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        if self.retry is None:
+            status, body, _ = self._request_once(method, path, payload, timeout_s)
+            return status, body
+        delays = self.retry.delays()
+        last_error: Optional[ServeUnavailableError] = None
+        for attempt in range(self.retry.max_attempts):
+            final = attempt == self.retry.max_attempts - 1
+            try:
+                status, body, headers = self._request_once(
+                    method, path, payload, timeout_s
+                )
+            except ServeUnavailableError as error:
+                last_error = error
+                if final:
+                    raise
+                self._sleep(delays[attempt])
+                continue
+            if status == 503 and not final:
+                self._sleep(self._retry_after(headers, body, delays[attempt]))
+                continue
+            return status, body
+        assert last_error is not None  # pragma: no cover - loop always returns/raises
+        raise last_error
+
+    @staticmethod
+    def _retry_after(headers: Any, body: Any, fallback: float) -> float:
+        """The server's back-off hint, else the policy's backoff delay."""
+        header = headers.get("Retry-After") if headers is not None else None
+        if header is not None:
+            try:
+                return max(0.0, float(header))
+            except ValueError:
+                pass
+        if isinstance(body, dict) and "retry_after_s" in body:
+            try:
+                return max(0.0, float(body["retry_after_s"]))
+            except (TypeError, ValueError):
+                pass
+        return fallback
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, Any, Any]:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        url = self.base_url + path
         request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
+            url, data=data, headers=headers, method=method
         )
+        timeout = timeout_s if timeout_s is not None else self.timeout_s
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 raw = response.read().decode("utf-8")
                 content_type = response.headers.get("Content-Type", "")
                 if "application/json" not in content_type:
-                    return response.status, raw  # e.g. /metrics: Prometheus text
-                return response.status, json.loads(raw)
+                    # e.g. /metrics: Prometheus text
+                    return response.status, raw, response.headers
+                return response.status, json.loads(raw), response.headers
         except urllib.error.HTTPError as error:
             body = error.read().decode("utf-8", errors="replace")
             try:
-                payload = json.loads(body)
+                parsed = json.loads(body)
             except json.JSONDecodeError:
-                payload = {"error": "non_json_response", "detail": body}
-            return error.code, payload
+                parsed = {"error": "non_json_response", "detail": body}
+            return error.code, parsed, error.headers
+        except urllib.error.URLError as error:
+            raise ServeUnavailableError(url, error.reason) from error
+        except (TimeoutError, OSError) as error:
+            raise ServeUnavailableError(url, error) from error

@@ -54,6 +54,8 @@ from typing import Any, Dict, IO, Optional, Tuple
 from repro.api.session import Session
 from repro.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.metrics import MetricsRegistry
+from repro.resilience import faults as _faults
+from repro.resilience.policy import Deadline, DeadlineExceeded
 from repro.runtime import Executor, ThreadExecutor
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
 from repro.serve.cache import LruTtlCache
@@ -110,6 +112,20 @@ class ServeApp:
         (each app's counters start at zero). Injected components — the
         batcher, the cache, the online session — are rebound onto this
         registry, so one registry observes the whole request path.
+    request_deadline_s:
+        Optional per-request time budget on ``/predict``: a request that
+        cannot be served inside it is answered with a structured 504
+        (``deadline_exceeded``) and — if still queued — withdrawn from
+        the batcher, so expired work never consumes a flush. ``None``
+        (default) keeps waits unbounded.
+    max_queue_depth:
+        Optional load-shedding threshold: a ``/predict`` arriving while
+        the batcher queue is at least this deep is refused immediately
+        with a structured 503 (``overloaded``) carrying
+        ``retry_after_s`` — the HTTP front-end turns that into a
+        ``Retry-After`` header. ``None`` (default) never sheds.
+    retry_after_s:
+        The back-off hint shed responses carry.
 
     Example::
 
@@ -133,8 +149,18 @@ class ServeApp:
         online: Any = None,
         executor: Optional[Executor] = None,
         registry: Optional[MetricsRegistry] = None,
+        request_deadline_s: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
+        retry_after_s: float = 1.0,
     ) -> None:
         self.session = session
+        self.request_deadline_s = request_deadline_s
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = retry_after_s
+        #: Last successfully loaded model per store name — the stale copy
+        #: served when a reload fails mid-flight (cache/store hiccup).
+        self._last_good: Dict[str, Any] = {}
+        self._stale_lock = threading.Lock()
         if online is not None and online.session is not session:
             raise ValueError("the OnlineSession must wrap the session this app serves")
         self.online = online
@@ -203,6 +229,19 @@ class ServeApp:
             "repro_serve_inflight_requests",
             "Requests currently inside handle().",
         )
+        self._m_shed = registry.counter(
+            "repro_serve_shed_total",
+            "Predicts refused by queue-depth load shedding (503).",
+        )
+        self._m_deadline_exceeded = registry.counter(
+            "repro_serve_deadline_exceeded_total",
+            "Predicts that ran out of their request deadline (504).",
+        )
+        self._m_stale_served = registry.counter(
+            "repro_serve_stale_served_total",
+            "Named-model predicts served from the last-known-good copy "
+            "after a model (re)load failure.",
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -267,18 +306,60 @@ class ServeApp:
             self._bump("client_errors")
             return 400, error.payload(), None
         context_id = request.context.context_id if request.context else None
+        if (
+            self.max_queue_depth is not None
+            and self.batcher.queue_depth() >= self.max_queue_depth
+        ):
+            self._m_shed.inc()
+            self._bump("server_errors")
+            return (
+                503,
+                {
+                    "error": "overloaded",
+                    "detail": f"batch queue at {self.max_queue_depth}+ requests",
+                    "retry_after_s": self.retry_after_s,
+                },
+                context_id,
+            )
+        deadline = (
+            Deadline(self.request_deadline_s)
+            if self.request_deadline_s is not None
+            else None
+        )
         try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire(_faults.SITE_SERVE_PREDICT)
             if model is not None:
                 # Named-model requests skip the batcher (it serves the
                 # session's default base); drain semantics still apply.
                 if self.batcher.closed:
                     raise BatcherClosedError("server is draining")
-                base = self.session.load(model)
+                base = self._load_named(model)
+                if deadline is not None:
+                    deadline.check("named-model predict")
                 prediction = self.session.predict_batch(
                     [request], model=base, exact=self.batcher.exact
                 )[0]
             else:
-                prediction = self.batcher.submit(request)
+                prediction = self.batcher.submit(
+                    request,
+                    timeout=deadline.remaining() if deadline is not None else None,
+                )
+            if _faults.ACTIVE is not None:
+                prediction = _faults.ACTIVE.corrupt(
+                    _faults.SITE_SERVE_PREDICT, prediction
+                )
+        except DeadlineExceeded:
+            self._m_deadline_exceeded.inc()
+            self._bump("server_errors")
+            return (
+                504,
+                {
+                    "error": "deadline_exceeded",
+                    "detail": f"request exceeded its {self.request_deadline_s}s budget",
+                },
+                context_id,
+            )
         except BatcherClosedError:
             self._bump("server_errors")
             return 503, {"error": "shutting_down", "detail": "server is draining"}, context_id
@@ -293,6 +374,35 @@ class ServeApp:
             return 500, {"error": "internal", "detail": f"{type(error).__name__}: {error}"}, context_id
         self._bump("served")
         return 200, prediction_to_payload(prediction, request), context_id
+
+    def _load_named(self, model: str) -> Any:
+        """Load a stored model, degrading to the last-known-good copy.
+
+        An unknown model stays a 404 (``FileNotFoundError`` propagates);
+        any *other* load failure — a poisoned cache entry, a store
+        hiccup mid-refresh — falls back to the copy that served the name
+        last, so traffic survives a bad reload instead of turning into
+        500s. Served-stale responses are counted by
+        ``repro_serve_stale_served_total``.
+        """
+        try:
+            base = self.session.load(model)
+        except FileNotFoundError:
+            raise
+        except Exception:
+            with self._stale_lock:
+                stale = self._last_good.get(model)
+            if stale is None:
+                raise
+            self._m_stale_served.inc()
+            return stale
+        with self._stale_lock:
+            self._last_good[model] = base
+            # Bound the fallback map: drop the oldest entries well before
+            # it could rival the warm cache in size.
+            while len(self._last_good) > 64:
+                self._last_good.pop(next(iter(self._last_good)))
+        return base
 
     def _observe(self, payload: Any) -> Tuple[int, JsonDict, Optional[str]]:
         if self.online is None:
@@ -468,6 +578,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if isinstance(body, dict) and "retry_after_s" in body:
+            # Shed responses carry their back-off hint as a real header
+            # too, so standards-following clients honor it without
+            # parsing the JSON body.
+            self.send_header(
+                "Retry-After", str(max(1, int(round(float(body["retry_after_s"])))))
+            )
         self.end_headers()
         self.wfile.write(data)
 

@@ -7,9 +7,18 @@ model: node-type catalog (:mod:`repro.simulator.nodes`), per-algorithm
 workload profiles (:mod:`repro.simulator.algorithms`), the runtime law with
 memory pressure, scheduling waves, synchronization, context latents and noise
 (:mod:`repro.simulator.runtime_law`), and trace generation
-(:mod:`repro.simulator.traces`).
+(:mod:`repro.simulator.traces`). :mod:`repro.simulator.chaos` turns the
+generated drift streams into end-to-end fault drills for the serving
+stack (see :mod:`repro.resilience`).
 """
 
+from repro.simulator.chaos import (
+    CHAOS_EVAL_SCALEOUTS,
+    ChaosReport,
+    ChaosScenario,
+    build_fault_plan,
+    run_chaos_scenario,
+)
 from repro.simulator.drift import (
     DRIFT_KINDS,
     DriftScenario,
@@ -50,6 +59,9 @@ __all__ = [
     "BELL_ALGORITHMS",
     "C3O_ALGORITHMS",
     "CACHE_FRACTION",
+    "CHAOS_EVAL_SCALEOUTS",
+    "ChaosReport",
+    "ChaosScenario",
     "CLOUD_NODE_TYPES",
     "CLUSTER_NODE_TYPES",
     "DRIFT_KINDS",
@@ -63,11 +75,13 @@ __all__ = [
     "SPLIT_MB",
     "StageSpec",
     "TraceGenerator",
+    "build_fault_plan",
     "cloud_node_names",
     "expected_runtime",
     "generate_drift_scenario",
     "get_algorithm_profile",
     "get_node_type",
+    "run_chaos_scenario",
     "sample_runtime",
     "work_factor_from_params",
 ]

@@ -85,3 +85,47 @@ class TestExperimentCommand:
         records = load_records(records_path)
         assert len(records) == 4
         assert {r.method for r in records} == {"NNLS", "Bellamy (full)"}
+
+
+class TestChaosExperiment:
+    @pytest.fixture
+    def stub_chaos(self, monkeypatch):
+        """Replace the full chaos drill with a canned report."""
+        import repro.simulator.chaos as chaos
+
+        calls = {}
+
+        def fake_runner(seed=0, **kwargs):
+            calls["seed"] = seed
+            return chaos.ChaosReport(
+                seed=seed, responses=24, status_counts={"200": 22, "500": 2},
+                unstructured_500s=0, injected={"online.refresh": 2},
+                refresh_failures=2, quarantines=1, refreshes=1,
+                quarantined_at_end=[], recovered=True,
+                executor_fault_seen=True, executor_retry_ok=True,
+                bit_identical=True, max_abs_delta_s=0.0,
+                failures=list(calls.get("failures", [])),
+            )
+
+        monkeypatch.setattr(chaos, "run_chaos_scenario", fake_runner)
+        return calls
+
+    def test_chaos_prints_summary_and_passes(self, stub_chaos, capsys):
+        rc = main(["experiment", "chaos", "--seed", "5"])
+        assert rc == 0
+        assert stub_chaos["seed"] == 5
+        out = capsys.readouterr().out
+        assert "chaos seed=5: PASS" in out
+        assert "bit_identical=True" in out
+
+    def test_chaos_failure_is_nonzero_exit(self, stub_chaos, capsys):
+        stub_chaos["failures"] = ["bit-identity broke"]
+        rc = main(["experiment", "chaos"])
+        assert rc == 1
+        assert "FAIL: bit-identity broke" in capsys.readouterr().out
+
+    def test_chaos_table_written_to_out(self, stub_chaos, tmp_path):
+        rc = main(["experiment", "chaos", "--out", str(tmp_path / "reports")])
+        assert rc == 0
+        text = (tmp_path / "reports" / "chaos.txt").read_text(encoding="utf-8")
+        assert "chaos seed=0" in text

@@ -27,6 +27,7 @@ PACKAGES = (
     "repro.metrics",
     "repro.eval",
     "repro.runtime",
+    "repro.resilience",
 )
 
 _EXAMPLE_RE = re.compile(r"::\s*$", re.M)

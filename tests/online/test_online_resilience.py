@@ -1,0 +1,194 @@
+"""OnlineSession under refresh failures: quarantine, probes, stale serving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.data.dataset import ExecutionDataset
+from repro.online import OnlineSession, RefreshPolicy
+from repro.resilience import (
+    SITE_ONLINE_REFRESH,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.simulator import DriftSpec, generate_drift_scenario
+
+
+def _config(seed: int = 0) -> BellamyConfig:
+    return BellamyConfig(seed=seed).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+
+
+def _policy(**overrides) -> RefreshPolicy:
+    defaults = dict(
+        min_observations=3, window=6, refresh_samples=8, max_epochs=250,
+        quarantine_after=2, quarantine_reset_s=0.0,
+    )
+    defaults.update(overrides)
+    return RefreshPolicy(**defaults)
+
+
+def _refresh_plan(failures: int, seed: int = 0) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(site=SITE_ONLINE_REFRESH, kind="raise", max_fires=failures),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def step_scenario():
+    return generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0, n_stream=12
+    )
+
+
+@pytest.fixture()
+def online_setup(step_scenario, tmp_path):
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy())
+    return step_scenario, session, online
+
+
+def _drive(scenario, online):
+    """Feed the whole drift stream; return the observation outcomes."""
+    return [
+        online.observe(scenario.context, machines, runtime)
+        for machines, runtime in scenario.stream
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Failure accounting + stale serving
+# --------------------------------------------------------------------- #
+
+
+def test_refresh_failure_keeps_serving_stale_model(online_setup):
+    scenario, session, online = online_setup
+    group = scenario.context.context_id
+    with FaultInjector(_refresh_plan(failures=1)):
+        outcomes = _drive(scenario, online)
+
+    stats = online.stats()
+    assert stats["refresh_failures"] == 1
+    assert stats["last_refresh_error"].startswith("InjectedFault")
+    # The failed auto-refresh degraded gracefully: the observation that
+    # triggered it still returned (refreshed=None), and serving continued
+    # on the stale model throughout.
+    assert all(outcome.predicted_s > 0 for outcome in outcomes)
+    prediction = session.predict(scenario.context, [4, 8])
+    assert np.all(np.isfinite(prediction))
+    # One failure is under quarantine_after=2: the group is not quarantined
+    # and a later flag refreshes successfully (the fault is spent).
+    assert group not in online.quarantined()
+    assert stats["refreshes"] >= 1
+
+
+def test_consecutive_failures_quarantine_then_half_open_probe_recovers(online_setup):
+    scenario, session, online = online_setup
+    group = scenario.context.context_id
+    with FaultInjector(_refresh_plan(failures=2)) as injector:
+        _drive(scenario, online)
+
+    stats = online.stats()
+    assert injector.fired()[SITE_ONLINE_REFRESH] == 2
+    assert stats["refresh_failures"] == 2
+    # Both injected failures hit one group: it tripped into quarantine...
+    assert int(online._m_quarantines.value) == 1
+    # ...and with quarantine_reset_s=0 the next drift flag was let through
+    # as the half-open probe, which succeeded and closed the breaker.
+    assert stats["refreshes"] >= 1
+    assert online.quarantined() == []
+    assert stats["quarantined"] == []
+    assert session.serving_overrides  # the probe's refresh is serving
+
+
+def test_quarantined_group_skips_refreshes_until_reset_elapses(online_setup):
+    scenario, session, online = online_setup
+    # A reset window far in the future: once open, flags are skipped
+    # instead of probed.
+    online.policy = _policy(quarantine_reset_s=3600.0)
+    group = scenario.context.context_id
+    with FaultInjector(_refresh_plan(failures=2)):
+        _drive(scenario, online)
+
+    stats = online.stats()
+    assert online.quarantined() == [group]
+    assert stats["quarantined"] == [group]
+    assert stats["refreshes"] == 0  # every post-quarantine flag was skipped
+    assert int(online._m_quarantined_skips.value) >= 1
+    assert int(online._m_quarantined_groups.value) == 1
+    # Serving still works on the stale model while quarantined.
+    assert np.all(np.isfinite(session.predict(scenario.context, [4, 8])))
+
+
+def test_empty_buffer_refresh_error_is_not_a_recorded_failure(step_scenario, tmp_path):
+    corpus = ExecutionDataset(list(step_scenario.history))
+    session = Session(corpus, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy())
+    with pytest.raises(ValueError, match="[Nn]o buffered observations"):
+        online.refresh(step_scenario.context)
+    stats = online.stats()
+    assert stats["refresh_failures"] == 0  # misuse, not a lifecycle failure
+    assert stats["last_refresh_error"] is None
+    assert online.quarantined() == []
+
+
+# --------------------------------------------------------------------- #
+# Swallow-proof asynchronous refreshes
+# --------------------------------------------------------------------- #
+
+
+def test_refresh_raises_through_and_records(online_setup):
+    scenario, _, online = online_setup
+    online.policy = _policy(auto_refresh=False)  # buffer without refreshing
+    for machines, runtime in scenario.stream[:4]:
+        online.observe(scenario.context, machines, runtime)
+    with FaultInjector(_refresh_plan(failures=1)):
+        with pytest.raises(InjectedFault):
+            online.refresh(scenario.context)
+    assert online.stats()["refresh_failures"] == 1
+
+
+def test_refresh_async_failure_is_recorded_without_collecting_result(online_setup):
+    scenario, _, online = online_setup
+    for machines, runtime in scenario.stream[:4]:
+        online.observe(scenario.context, machines, runtime)
+    failures_before = online.stats()["refresh_failures"]
+    injector = FaultInjector(_refresh_plan(failures=1))
+    injector.activate()
+    try:
+        handle = online.refresh_async(scenario.context)
+        # Wait for completion via the handle, but never ask for the result:
+        # the error must be recorded anyway (swallow-proof).
+        with pytest.raises(InjectedFault):
+            handle.result(timeout=60.0)
+    finally:
+        injector.deactivate()
+        online.close()
+    stats = online.stats()
+    assert stats["refresh_failures"] == failures_before + 1
+    assert stats["last_refresh_error"].startswith("InjectedFault")
+
+
+# --------------------------------------------------------------------- #
+# Breaker wiring details
+# --------------------------------------------------------------------- #
+
+
+def test_breakers_are_per_group_and_configured_from_policy(online_setup):
+    _, _, online = online_setup
+    breaker = online._breaker("group-a")
+    assert breaker is online._breaker("group-a")  # cached per group
+    assert breaker is not online._breaker("group-b")
+    assert breaker.failure_threshold == online.policy.quarantine_after
+    assert breaker.state == CircuitBreaker.CLOSED

@@ -1,0 +1,224 @@
+"""The fault injector: deterministic schedules, windows, kinds, activation."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    SITE_ONLINE_REFRESH,
+    SITE_SERVE_PREDICT,
+    SITE_STORE_COMMIT,
+    SITE_STORE_LOCK,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience import faults as faults_module
+from repro.resilience.faults import corrupt_point, fault_point
+
+
+def _raise_plan(**spec_kwargs) -> FaultPlan:
+    return FaultPlan(seed=0, specs=(FaultSpec(site=SITE_STORE_COMMIT, **spec_kwargs),))
+
+
+# --------------------------------------------------------------------- #
+# Spec validation
+# --------------------------------------------------------------------- #
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="site"):
+        FaultSpec(site="nonexistent.site")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        FaultSpec(site=SITE_STORE_COMMIT, kind="explode")
+
+
+def test_bad_probability_rejected():
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec(site=SITE_STORE_COMMIT, probability=1.5)
+
+
+def test_bad_window_rejected():
+    with pytest.raises(ValueError, match="stop"):
+        FaultSpec(site=SITE_STORE_COMMIT, start=5, stop=2)
+
+
+def test_all_sites_are_instrumentable():
+    assert set(SITES) == {
+        "store.commit",
+        "store.lock",
+        "executor.task",
+        "online.refresh",
+        "serve.predict",
+    }
+
+
+# --------------------------------------------------------------------- #
+# Schedules: windows, caps, probability, determinism
+# --------------------------------------------------------------------- #
+
+
+def test_window_controls_which_calls_fire():
+    injector = FaultInjector(_raise_plan(kind="raise", start=2, stop=4))
+    outcomes = []
+    for _ in range(6):
+        try:
+            injector.fire(SITE_STORE_COMMIT)
+            outcomes.append("ok")
+        except InjectedFault:
+            outcomes.append("boom")
+    assert outcomes == ["ok", "ok", "boom", "boom", "ok", "ok"]
+
+
+def test_max_fires_caps_the_outage():
+    injector = FaultInjector(_raise_plan(kind="raise", max_fires=2))
+    fired = 0
+    for _ in range(5):
+        try:
+            injector.fire(SITE_STORE_COMMIT)
+        except InjectedFault:
+            fired += 1
+    assert fired == 2
+    assert injector.exhausted()
+    assert injector.fired()[SITE_STORE_COMMIT] == 2
+
+
+def test_probability_schedule_is_seed_deterministic():
+    def run(seed: int) -> list:
+        plan = FaultPlan(
+            seed=seed,
+            specs=(FaultSpec(site=SITE_STORE_COMMIT, kind="raise", probability=0.5),),
+        )
+        injector = FaultInjector(plan)
+        pattern = []
+        for _ in range(20):
+            try:
+                injector.fire(SITE_STORE_COMMIT)
+                pattern.append(0)
+            except InjectedFault:
+                pattern.append(1)
+        return pattern
+
+    assert run(0) == run(0)
+    assert run(0) != run(1)  # a different seed reshuffles the schedule
+    assert 0 < sum(run(0)) < 20  # and p=0.5 actually mixes outcomes
+
+
+def test_custom_exception_type_is_raised():
+    class StorageDown(OSError):
+        pass
+
+    injector = FaultInjector(
+        _raise_plan(kind="raise", exception=StorageDown, message="disk gone")
+    )
+    with pytest.raises(StorageDown, match="disk gone"):
+        injector.fire(SITE_STORE_COMMIT)
+
+
+def test_delay_faults_sleep_injected_clock():
+    naps = []
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(site=SITE_STORE_LOCK, kind="delay", delay_s=0.25, max_fires=2),
+        ),
+    )
+    injector = FaultInjector(plan, sleep=naps.append)
+    for _ in range(4):
+        injector.fire(SITE_STORE_LOCK)
+    assert naps == [0.25, 0.25]
+
+
+# --------------------------------------------------------------------- #
+# Corruption
+# --------------------------------------------------------------------- #
+
+
+def test_corrupt_doubles_arrays_and_reverses_strings():
+    plan = FaultPlan(
+        seed=0, specs=(FaultSpec(site=SITE_SERVE_PREDICT, kind="corrupt"),)
+    )
+    injector = FaultInjector(plan)
+    np.testing.assert_array_equal(
+        injector.corrupt(SITE_SERVE_PREDICT, np.array([1.0, 2.0])),
+        np.array([2.0, 4.0]),
+    )
+    assert injector.corrupt(SITE_SERVE_PREDICT, "abc") == "cba"
+
+
+def test_corrupt_passthrough_when_no_corrupt_spec():
+    injector = FaultInjector(_raise_plan(kind="raise", max_fires=1))
+    value = np.array([3.0])
+    assert injector.corrupt(SITE_SERVE_PREDICT, value) is value
+
+
+def test_raise_and_corrupt_specs_share_one_site_clock():
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(site=SITE_SERVE_PREDICT, kind="raise", start=0, stop=1),
+            FaultSpec(site=SITE_SERVE_PREDICT, kind="corrupt", start=1, stop=2),
+        ),
+    )
+    injector = FaultInjector(plan)
+    with pytest.raises(InjectedFault):
+        injector.fire(SITE_SERVE_PREDICT)  # call 0: the raise window
+    assert injector.corrupt(SITE_SERVE_PREDICT, 1.0) == 2.0  # call 1: corrupt
+    assert injector.counts()[SITE_SERVE_PREDICT] == 2
+
+
+# --------------------------------------------------------------------- #
+# Activation: module hook, nesting, thread safety
+# --------------------------------------------------------------------- #
+
+
+def test_module_hook_is_none_by_default_and_points_are_noops():
+    assert faults_module.ACTIVE is None
+    fault_point(SITE_ONLINE_REFRESH)  # must be a no-op without an injector
+    assert corrupt_point(SITE_SERVE_PREDICT, 7.0) == 7.0
+
+
+def test_context_manager_installs_and_restores_the_hook():
+    injector = FaultInjector(_raise_plan(kind="raise", max_fires=1))
+    with injector:
+        assert faults_module.ACTIVE is injector
+        with pytest.raises(InjectedFault):
+            fault_point(SITE_STORE_COMMIT)
+    assert faults_module.ACTIVE is None
+
+
+def test_activation_nests_and_restores_the_previous_injector():
+    outer = FaultInjector(_raise_plan(kind="raise", max_fires=0))
+    inner = FaultInjector(_raise_plan(kind="raise", max_fires=0))
+    with outer:
+        with inner:
+            assert faults_module.ACTIVE is inner
+        assert faults_module.ACTIVE is outer
+    assert faults_module.ACTIVE is None
+
+
+def test_concurrent_fires_keep_exact_counts():
+    plan = _raise_plan(kind="raise", probability=0.5)
+    injector = FaultInjector(plan)
+
+    def worker():
+        for _ in range(100):
+            try:
+                injector.fire(SITE_STORE_COMMIT)
+            except InjectedFault:
+                pass
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert injector.counts()[SITE_STORE_COMMIT] == 400

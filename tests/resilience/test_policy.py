@@ -1,0 +1,217 @@
+"""Retry, deadline, and circuit-breaker policies: the lifecycle contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    BreakerOpenError,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# --------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------- #
+
+
+def test_retry_succeeds_after_transient_failures():
+    naps = []
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0, sleep=naps.append)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise ConnectionError("transient")
+        return "ok"
+
+    assert policy.call(flaky) == "ok"
+    assert len(attempts) == 3
+    assert naps == pytest.approx([0.1, 0.2])  # exponential backoff
+
+
+def test_retry_reraises_the_original_exception():
+    policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, sleep=lambda _: None)
+
+    class StoreBroken(OSError):
+        pass
+
+    with pytest.raises(StoreBroken, match="permanent"):
+        policy.call(lambda: (_ for _ in ()).throw(StoreBroken("permanent")))
+
+
+def test_retry_only_catches_configured_exceptions():
+    policy = RetryPolicy(
+        max_attempts=3, base_delay_s=0.0, retry_on=(ConnectionError,),
+        sleep=lambda _: None,
+    )
+    attempts = []
+
+    def wrong_kind():
+        attempts.append(1)
+        raise ValueError("not retryable")
+
+    with pytest.raises(ValueError):
+        policy.call(wrong_kind)
+    assert len(attempts) == 1  # no retry burned on a non-matching error
+
+
+def test_retry_delays_are_seeded_and_capped():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay_s=0.1, multiplier=10.0, max_delay_s=1.0,
+        jitter=0.5, seed=42,
+    )
+    first = policy.delays()
+    second = policy.delays()
+    assert first == second  # same seed, same schedule
+    assert all(delay <= 1.0 * 1.5 for delay in first)  # cap + jitter bound
+    assert RetryPolicy(seed=1).delays() != RetryPolicy(seed=2).delays()
+
+
+def test_retry_stops_when_deadline_burns_out_mid_retry():
+    clock = FakeClock()
+    deadline = Deadline(0.5, clock=clock)
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.0, sleep=lambda _: None)
+    attempts = []
+
+    def failing():
+        attempts.append(1)
+        clock.advance(0.3)
+        raise ConnectionError("down")
+
+    # The budget covers two attempts; the policy then re-raises the last
+    # *original* error instead of burning all five attempts.
+    with pytest.raises(ConnectionError):
+        policy.call(failing, deadline=deadline)
+    assert len(attempts) == 2
+
+
+def test_retry_refuses_an_already_expired_deadline():
+    clock = FakeClock()
+    deadline = Deadline(0.5, clock=clock)
+    clock.advance(1.0)
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda _: None)
+    with pytest.raises(DeadlineExceeded):
+        policy.call(lambda: "never runs", deadline=deadline)
+
+
+def test_retry_on_retry_callback_sees_each_failure():
+    seen = []
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda _: None)
+
+    def flaky():
+        if len(seen) < 2:
+            raise ConnectionError("again")
+        return 7
+
+    assert policy.call(flaky, on_retry=lambda a, e: seen.append((a, str(e)))) == 7
+    assert [attempt for attempt, _ in seen] == [0, 1]  # 0-based attempt index
+
+
+# --------------------------------------------------------------------- #
+# Deadline
+# --------------------------------------------------------------------- #
+
+
+def test_deadline_remaining_counts_down():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    clock.advance(1.5)
+    assert deadline.remaining() == pytest.approx(0.5)
+    assert not deadline.expired
+    clock.advance(1.0)
+    assert deadline.remaining() == 0.0
+    assert deadline.expired
+
+
+def test_deadline_check_raises_with_label():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    deadline.check("early")  # within budget: no raise
+    clock.advance(2.0)
+    with pytest.raises(DeadlineExceeded, match="named-model"):
+        deadline.check("named-model predict")
+
+
+# --------------------------------------------------------------------- #
+# CircuitBreaker
+# --------------------------------------------------------------------- #
+
+
+def test_breaker_opens_after_threshold_failures():
+    breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # streak broken, never opened
+
+
+def test_breaker_half_open_allows_exactly_one_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=10.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()  # open, reset window not elapsed
+    clock.advance(11.0)
+    assert breaker.allow()  # the half-open probe
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert not breaker.allow()  # second caller must wait for the verdict
+
+
+def test_breaker_probe_success_closes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=0.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(6.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()  # fresh reset window
+    clock.advance(6.0)
+    assert breaker.allow()  # ... which elapses again
+
+
+def test_breaker_call_wraps_the_lifecycle():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=60.0, clock=clock)
+    with pytest.raises(ConnectionError):
+        breaker.call(lambda: (_ for _ in ()).throw(ConnectionError("down")))
+    with pytest.raises(BreakerOpenError):
+        breaker.call(lambda: "never runs")
+    clock.advance(61.0)
+    assert breaker.call(lambda: "recovered") == "recovered"
+    assert breaker.state == CircuitBreaker.CLOSED

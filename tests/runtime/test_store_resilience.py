@@ -1,0 +1,153 @@
+"""ArtifactStore under faults: lock retries, commit failures, degradation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.persistence import ModelStore, default_lock_retry
+from repro.resilience import (
+    SITE_STORE_COMMIT,
+    SITE_STORE_LOCK,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+)
+from repro.runtime import ArtifactStore, LockTimeout
+
+
+def _write_text(text: str):
+    return lambda path: Path(path).write_text(text)
+
+
+def _lock_fault_plan(timeouts: int) -> FaultPlan:
+    return FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(
+                site=SITE_STORE_LOCK,
+                kind="raise",
+                exception=LockTimeout,
+                max_fires=timeouts,
+            ),
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Lock acquisition retries
+# --------------------------------------------------------------------- #
+
+
+def test_injected_lock_timeouts_surface_without_a_retry_policy(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with FaultInjector(_lock_fault_plan(timeouts=1)):
+        with pytest.raises(LockTimeout):
+            with store.transaction("m") as txn:
+                txn.write("npz", _write_text("x"))
+    assert not store.exists("m")
+
+
+def test_retry_policy_absorbs_transient_lock_timeouts(tmp_path):
+    retry = RetryPolicy(
+        max_attempts=3, base_delay_s=0.0, retry_on=(LockTimeout,),
+        sleep=lambda _: None,
+    )
+    store = ArtifactStore(tmp_path, retry=retry)
+    with FaultInjector(_lock_fault_plan(timeouts=2)):
+        with store.transaction("m") as txn:
+            txn.write("npz", _write_text("x"))
+    assert store.exists("m", "npz")  # two timeouts retried, third try landed
+
+
+def test_retry_budget_exhaustion_reraises_lock_timeout(tmp_path):
+    retry = RetryPolicy(
+        max_attempts=2, base_delay_s=0.0, retry_on=(LockTimeout,),
+        sleep=lambda _: None,
+    )
+    store = ArtifactStore(tmp_path, retry=retry)
+    with FaultInjector(_lock_fault_plan(timeouts=5)):
+        with pytest.raises(LockTimeout):  # the original type, not a wrapper
+            with store.transaction("m") as txn:
+                txn.write("npz", _write_text("x"))
+
+
+def test_model_store_retries_lock_timeouts_by_default(tmp_path):
+    store = ModelStore(tmp_path)
+    assert store.artifacts.retry is not None
+    # Two injected timeouts sit inside the default three-attempt budget,
+    # so the save is transparent to the caller.
+    with FaultInjector(_lock_fault_plan(timeouts=2)):
+        with store.artifacts.transaction("base__sgd") as txn:
+            txn.write("json", _write_text("{}"))
+    assert store.artifacts.exists("base__sgd", "json")
+
+
+def test_default_lock_retry_only_catches_lock_timeouts():
+    retry = default_lock_retry()
+    assert retry.retry_on == (LockTimeout,)
+    assert retry.max_attempts == 3
+
+
+# --------------------------------------------------------------------- #
+# Commit faults: atomicity under a failing os.replace
+# --------------------------------------------------------------------- #
+
+
+def test_commit_fault_aborts_transaction_and_leaves_no_artifact(tmp_path):
+    store = ArtifactStore(tmp_path)
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(site=SITE_STORE_COMMIT, kind="raise", max_fires=1),),
+    )
+    with FaultInjector(plan):
+        with pytest.raises(InjectedFault):
+            with store.transaction("m") as txn:
+                txn.write("npz", _write_text("x"))
+    assert not store.exists("m")
+    # Crash-atomicity: the aborted commit's temp file was swept, and no
+    # member landed under the shard tree.
+    leftovers = [
+        path for path in tmp_path.rglob("*")
+        if path.is_file() and path.name != "index.json" and ".lock" not in path.name
+    ]
+    assert leftovers == []
+
+
+def test_commit_fault_on_second_member_leaves_a_consistent_prefix(tmp_path):
+    store = ArtifactStore(tmp_path)
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(site=SITE_STORE_COMMIT, kind="raise", start=1),),
+    )
+    with FaultInjector(plan):
+        with pytest.raises(InjectedFault):
+            with store.transaction("m") as txn:
+                txn.write("npz", _write_text("weights"))  # commit 0: fine
+                txn.write("json", _write_text("meta"))  # commit 1: injected
+    # Members commit individually (the store's documented contract): the
+    # interrupted transaction leaves exactly the committed prefix — the
+    # self-contained first member — and no temp files.
+    assert store.members("m") == ["npz"]
+    assert not store.exists("m", "json")
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+def test_commit_delay_faults_do_not_change_outcomes(tmp_path):
+    naps = []
+    store = ArtifactStore(tmp_path)
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(site=SITE_STORE_COMMIT, kind="delay", delay_s=0.2, max_fires=2),
+        ),
+    )
+    with FaultInjector(plan, sleep=naps.append):
+        with store.transaction("m") as txn:
+            txn.write("npz", _write_text("x"))
+            txn.write("json", _write_text("y"))
+    assert store.members("m") == ["json", "npz"]
+    assert naps == [0.2, 0.2]

@@ -1,0 +1,271 @@
+"""The serve layer's degradation paths: shedding, deadlines, stale models,
+structured 500s, and the HTTP client's retry/unavailable behavior."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.metrics import parse_text
+from repro.resilience import (
+    SITE_SERVE_PREDICT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.serve import (
+    HttpServeClient,
+    PredictionServer,
+    ServeApp,
+    ServeClient,
+    ServeError,
+    ServeUnavailableError,
+    predict_payload,
+)
+
+
+@pytest.fixture()
+def sgd_serving_context(serve_session):
+    return serve_session.corpus.for_algorithm("sgd").contexts()[0]
+
+
+def _predict_plan(**spec_kwargs) -> FaultPlan:
+    return FaultPlan(
+        seed=0, specs=(FaultSpec(site=SITE_SERVE_PREDICT, **spec_kwargs),)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Load shedding
+# --------------------------------------------------------------------- #
+
+
+def test_full_queue_sheds_with_structured_503(serve_session, sgd_serving_context):
+    app = ServeApp(
+        serve_session, cache=False, max_queue_depth=0, retry_after_s=2.5
+    )
+    client = ServeClient(app)
+    try:
+        with pytest.raises(ServeError) as excinfo:
+            client.predict(sgd_serving_context, [4])
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["error"] == "overloaded"
+        assert excinfo.value.payload["retry_after_s"] == 2.5
+        assert app.registry.get("repro_serve_shed_total").value == 1
+        # Shedding is pre-queue: nothing reached the batcher.
+        assert app.batcher.queue_depth() == 0
+    finally:
+        app.close()
+
+
+def test_shed_response_carries_retry_after_header_over_http(
+    serve_session, sgd_serving_context
+):
+    app = ServeApp(serve_session, cache=False, max_queue_depth=0, retry_after_s=3.0)
+    with PredictionServer(app) as server:
+        body = json.dumps(predict_payload(sgd_serving_context, [4])).encode()
+        request = urllib.request.Request(
+            server.url + "/predict", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 503
+        assert excinfo.value.headers["Retry-After"] == "3"
+        assert json.loads(excinfo.value.read())["error"] == "overloaded"
+
+
+# --------------------------------------------------------------------- #
+# Request deadlines
+# --------------------------------------------------------------------- #
+
+
+def test_expired_deadline_is_structured_504(serve_session, sgd_serving_context):
+    # A nanosecond budget cannot cover any batch wait: every default-path
+    # predict times out, is withdrawn from the queue, and becomes a 504.
+    app = ServeApp(serve_session, cache=False, request_deadline_s=1e-9)
+    client = ServeClient(app)
+    try:
+        with pytest.raises(ServeError) as excinfo:
+            client.predict(sgd_serving_context, [4])
+        assert excinfo.value.status == 504
+        assert excinfo.value.payload["error"] == "deadline_exceeded"
+        assert app.registry.get("repro_serve_deadline_exceeded_total").value == 1
+        # The expired request was withdrawn: the queue is empty again.
+        assert app.batcher.queue_depth() == 0
+    finally:
+        app.close()
+
+
+def test_generous_deadline_serves_normally(serve_session, sgd_serving_context):
+    app = ServeApp(serve_session, cache=False, request_deadline_s=30.0)
+    client = ServeClient(app)
+    try:
+        prediction = client.predict(sgd_serving_context, [4, 8])
+        assert np.all(np.isfinite(prediction))
+        assert app.registry.get("repro_serve_deadline_exceeded_total").value == 0
+    finally:
+        app.close()
+
+
+# --------------------------------------------------------------------- #
+# Stale-model fallback on load failure
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def named_model_app(c3o_dataset, tmp_path, small_config):
+    session = Session(c3o_dataset, config=small_config, store=tmp_path / "models")
+    session.pretrain("sgd", save_as="sgd-base")
+    app = ServeApp(session, batch_wait_ms=5.0)
+    yield app, session, c3o_dataset.for_algorithm("sgd").contexts()[0]
+    app.close()
+
+
+def test_load_failure_serves_last_good_model(named_model_app, monkeypatch):
+    app, session, context = named_model_app
+    client = ServeClient(app)
+    healthy = client.predict(context, [4, 8], model="sgd-base")
+
+    def poisoned_load(name):
+        raise RuntimeError("store hiccup mid-refresh")
+
+    monkeypatch.setattr(session, "load", poisoned_load)
+    stale = client.predict(context, [4, 8], model="sgd-base")
+    np.testing.assert_array_equal(stale, healthy)  # the last good copy
+    assert app.registry.get("repro_serve_stale_served_total").value == 1
+
+
+def test_load_failure_without_a_good_copy_is_500(named_model_app, monkeypatch):
+    app, session, context = named_model_app
+    monkeypatch.setattr(
+        session, "load", lambda name: (_ for _ in ()).throw(RuntimeError("cold"))
+    )
+    client = ServeClient(app)
+    with pytest.raises(ServeError) as excinfo:
+        client.predict(context, [4], model="sgd-base")
+    assert excinfo.value.status == 500
+    assert excinfo.value.payload["error"] == "internal"
+
+
+def test_unknown_model_stays_404_not_stale(named_model_app):
+    app, _, context = named_model_app
+    client = ServeClient(app)
+    client.predict(context, [4], model="sgd-base")  # a good copy exists
+    with pytest.raises(ServeError) as excinfo:
+        client.predict(context, [4], model="no-such-model")
+    assert excinfo.value.status == 404  # FileNotFoundError is not degraded
+    assert app.registry.get("repro_serve_stale_served_total").value == 0
+
+
+# --------------------------------------------------------------------- #
+# Injected predict faults: structured 500s, corruption, worker survival
+# --------------------------------------------------------------------- #
+
+
+def test_injected_predict_failure_is_structured_500_and_worker_survives(
+    serve_session, sgd_serving_context
+):
+    app = ServeApp(serve_session, cache=False, batch_wait_ms=5.0)
+    client = ServeClient(app)
+    try:
+        with FaultInjector(_predict_plan(kind="raise", max_fires=1)):
+            with pytest.raises(ServeError) as excinfo:
+                client.predict(sgd_serving_context, [4])
+            assert excinfo.value.status == 500
+            assert excinfo.value.payload["error"] == "internal"
+            assert "InjectedFault" in excinfo.value.payload["detail"]
+            # The worker survived: the very next request serves fine.
+            prediction = client.predict(sgd_serving_context, [4])
+            assert np.all(np.isfinite(prediction))
+    finally:
+        app.close()
+
+
+def test_server_500s_are_counted_by_code_over_http(serve_session, sgd_serving_context):
+    app = ServeApp(serve_session, cache=False, batch_wait_ms=5.0)
+    with PredictionServer(app) as server:
+        client = HttpServeClient(server.url)
+        with FaultInjector(_predict_plan(kind="raise", max_fires=1)):
+            with pytest.raises(ServeError) as excinfo:
+                client.predict(sgd_serving_context, [4])
+            assert excinfo.value.status == 500
+        # The 500 is visible in the scrape, labeled by code — and the HTTP
+        # worker survived to serve both the scrape and another predict.
+        series = parse_text(client.metrics())
+        by_code = {
+            labels.get("code"): value
+            for labels, value in series["repro_serve_http_requests_total"]
+        }
+        assert by_code.get("500") == 1
+        assert np.all(np.isfinite(client.predict(sgd_serving_context, [4])))
+
+
+def test_corrupt_fault_doubles_the_prediction(serve_session, sgd_serving_context):
+    app = ServeApp(serve_session, cache=False, batch_wait_ms=5.0)
+    client = ServeClient(app)
+    try:
+        honest = client.predict(sgd_serving_context, [4, 8])
+        with FaultInjector(_predict_plan(kind="corrupt", max_fires=1)):
+            corrupted = client.predict(sgd_serving_context, [4, 8])
+        np.testing.assert_allclose(corrupted, honest * 2.0)
+    finally:
+        app.close()
+
+
+# --------------------------------------------------------------------- #
+# HTTP client: unavailable errors, retries, per-call timeouts
+# --------------------------------------------------------------------- #
+
+
+def test_unreachable_server_raises_typed_error_with_url():
+    client = HttpServeClient("http://127.0.0.1:9", timeout_s=0.5)
+    with pytest.raises(ServeUnavailableError) as excinfo:
+        client.healthz()
+    assert excinfo.value.url == "http://127.0.0.1:9/healthz"
+    assert isinstance(excinfo.value, ConnectionError)  # except ConnectionError works
+
+
+def test_retry_policy_rides_out_unavailable_then_gives_up():
+    naps = []
+    client = HttpServeClient(
+        "http://127.0.0.1:9", timeout_s=0.5,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.05, jitter=0.0),
+        sleep=naps.append,
+    )
+    with pytest.raises(ServeUnavailableError):
+        client.healthz()
+    assert naps == pytest.approx([0.05, 0.1])  # backed off between attempts
+
+
+def test_client_retries_503_honoring_retry_after(serve_session, sgd_serving_context):
+    app = ServeApp(serve_session, cache=False, max_queue_depth=0, retry_after_s=0.0)
+    with PredictionServer(app) as server:
+        naps = []
+        client = HttpServeClient(
+            server.url,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=5.0, jitter=0.0),
+            sleep=naps.append,
+        )
+        with pytest.raises(ServeError) as excinfo:
+            client.predict(sgd_serving_context, [4])
+        assert excinfo.value.status == 503
+        # One retry happened, and it slept the server's Retry-After (0s,
+        # rounded up to 1 by the header), not the policy's 5s backoff.
+        assert len(naps) == 1
+        assert naps[0] < 5.0
+
+
+def test_timeout_override_reaches_the_probe_endpoints(serve_session):
+    app = ServeApp(serve_session, cache=False)
+    with PredictionServer(app) as server:
+        client = HttpServeClient(server.url, timeout_s=30.0)
+        assert client.healthz(timeout_s=2.0)["status"] == "ok"
+        assert "requests" in client.stats(timeout_s=2.0)
+        assert "repro_serve" in client.metrics(timeout_s=2.0)

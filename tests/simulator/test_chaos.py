@@ -1,0 +1,84 @@
+"""The chaos suite: the full serving stack survives a deterministic outage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, SITE_ONLINE_REFRESH
+from repro.simulator import (
+    ChaosReport,
+    ChaosScenario,
+    build_fault_plan,
+    run_chaos_scenario,
+)
+
+
+def test_fault_plan_covers_every_site_and_is_capped():
+    plan = build_fault_plan(seed=0)
+    assert {spec.site for spec in plan.specs} == {
+        "store.commit", "store.lock", "executor.task",
+        "online.refresh", "serve.predict",
+    }
+    assert all(spec.max_fires is not None for spec in plan.specs)
+    assert {spec.kind for spec in plan.specs} == {"raise", "delay", "corrupt"}
+
+
+def test_report_passed_tracks_failures():
+    kwargs = dict(
+        seed=0, responses=1, status_counts={"200": 1}, unstructured_500s=0,
+        injected={}, refresh_failures=1, quarantines=1, refreshes=1,
+        quarantined_at_end=[], recovered=True, executor_fault_seen=True,
+        executor_retry_ok=True, bit_identical=True, max_abs_delta_s=0.0,
+    )
+    assert ChaosReport(**kwargs).passed
+    assert not ChaosReport(**kwargs, failures=["an invariant broke"]).passed
+
+
+@pytest.mark.slow
+def test_chaos_scenario_end_to_end():
+    """The ISSUE's chaos acceptance: structured errors, quarantine with
+    half-open recovery, transparent lock retries, and bit-identity once
+    the injected outage clears."""
+    report = run_chaos_scenario(seed=0)
+    assert report.passed, report.summary()
+
+    # Zero unstructured 500s: every error response carried a JSON body
+    # with an "error" key.
+    assert report.unstructured_500s == 0
+    # Every site of the plan actually fired.
+    assert set(report.injected) == {
+        "store.commit", "store.lock", "executor.task",
+        "online.refresh", "serve.predict",
+    }
+    assert all(count >= 1 for count in report.injected.values())
+    # The two injected refresh failures quarantined the group, and the
+    # half-open probe on a later drift flag recovered it mid-stream.
+    assert report.refresh_failures == 2
+    assert report.quarantines == 1
+    assert report.recovered and not report.quarantined_at_end
+    assert report.refreshes >= 1
+    # The injected LockTimeouts were absorbed by the store's retry policy:
+    # they fired, yet no request or refresh surfaced them.
+    assert report.injected["store.lock"] >= 1
+    # Bit-identity: after the faults cleared and one reconciling refresh,
+    # the fault run predicts byte-for-byte what the clean run predicts.
+    assert report.bit_identical
+    assert report.max_abs_delta_s == 0.0
+
+
+@pytest.mark.slow
+def test_chaos_scenario_is_seed_deterministic():
+    first = run_chaos_scenario(seed=3)
+    second = run_chaos_scenario(seed=3)
+    assert first.status_counts == second.status_counts
+    assert first.injected == second.injected
+    assert first.refresh_failures == second.refresh_failures
+
+
+def test_custom_plan_is_used():
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(site=SITE_ONLINE_REFRESH, kind="raise", max_fires=1),),
+    )
+    scenario = ChaosScenario(seed=0, plan=plan)
+    assert scenario.plan is plan
