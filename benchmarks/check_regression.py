@@ -37,6 +37,22 @@ GATED_RATIOS = (
 #: than the seed engine on the current machine, whatever the baseline says.
 RATIO_FLOORS = ((("step_level", "speedup_vs_seed"), 1.5),)
 
+#: Same-run store-backend slowdown ratios (sqlite vs local FS at 10k
+#: entries; >1 = sqlite slower). Gated inversely to GATED_RATIOS: the
+#: current ratio must not *grow* past baseline * factor.
+GATED_SLOWDOWNS = (
+    ("store_backends", "sqlite_vs_local_fs", "exists_slowdown"),
+    ("store_backends", "sqlite_vs_local_fs", "names_slowdown"),
+    ("store_backends", "sqlite_vs_local_fs", "commit_slowdown"),
+)
+
+#: Hard ceilings on those slowdowns, whatever the baseline says. The
+#: commit bound is the backend's headline claim: one row-level upsert must
+#: beat the local backend's whole-index rewrite at 10k entries.
+SLOWDOWN_CEILINGS = (
+    (("store_backends", "sqlite_vs_local_fs", "commit_slowdown"), 1.0),
+)
+
 #: Absolute per-operation ceilings (nanoseconds) on the metric primitives.
 #: Unlike wall-clock timings these are gated absolutely: a lock plus an
 #: add should cost well under a microsecond on any runner, and crossing
@@ -96,6 +112,42 @@ def main() -> int:
         print(f"{'.'.join(path)}: {now:.2f}x (hard floor {floor}x) [{status}]")
         if status != "ok":
             failures.append(f"{'.'.join(path)} fell to {now:.2f}x (< {floor}x)")
+
+    for path in GATED_SLOWDOWNS:
+        label = ".".join(path)
+        try:
+            now = _lookup(current, path)
+        except KeyError:
+            failures.append(f"{label} missing from the current run")
+            continue
+        try:
+            base = _lookup(baseline, path)
+        except KeyError:
+            print(f"{label}: {now:.2f}x (no baseline yet) [ok]")
+            continue
+        ceiling = base * args.factor
+        status = "ok" if now <= ceiling else "REGRESSION"
+        print(
+            f"{label}: baseline {base:.2f}x -> current {now:.2f}x "
+            f"(ceiling {ceiling:.2f}x) [{status}]"
+        )
+        if status != "ok":
+            failures.append(
+                f"{label} grew from {base:.2f}x to {now:.2f}x "
+                f"(> {args.factor}x regression)"
+            )
+
+    for path, ceiling in SLOWDOWN_CEILINGS:
+        label = ".".join(path)
+        try:
+            now = _lookup(current, path)
+        except KeyError:
+            failures.append(f"{label} missing from the current run")
+            continue
+        status = "ok" if now <= ceiling else "REGRESSION"
+        print(f"{label}: {now:.2f}x (hard ceiling {ceiling}x) [{status}]")
+        if status != "ok":
+            failures.append(f"{label} is {now:.2f}x (> {ceiling}x ceiling)")
 
     for path, ceiling in ABSOLUTE_CEILINGS_NS:
         label = ".".join(path)

@@ -826,6 +826,80 @@ def bench_runtime(n_store_entries: int = 10_000) -> dict:
     return out
 
 
+def bench_store_backends(
+    n_entries: int = 10_000, commit_rounds: int = 100
+) -> dict:
+    """The pluggable store backends at 10k entries: ``exists()`` /
+    ``names()`` lookup latency and full transaction-commit latency per
+    backend, plus the sqlite-vs-local-FS slowdown ratios (same machine,
+    same run — the gateable numbers).
+
+    Identity is asserted before anything is reported: every backend must
+    answer ``names()`` with exactly the same listing over the same
+    population.
+    """
+    import tempfile
+
+    from repro.runtime import ArtifactStore
+    from repro.runtime.backends import MemoryBackend
+
+    out = {}
+    reference_names = None
+    for backend_name in ("local_fs", "sqlite", "memory"):
+        with tempfile.TemporaryDirectory() as root:
+            backend = MemoryBackend() if backend_name == "memory" else backend_name
+            store = ArtifactStore(root, backend=backend)
+            started = time.perf_counter()
+            for i in range(n_entries):
+                name = f"model-{i:05d}"
+                shard = store.shard_dir(name)
+                shard.mkdir(parents=True, exist_ok=True)
+                (shard / f"{name}.npz").write_bytes(b"x")
+            populate_s = time.perf_counter() - started
+            started = time.perf_counter()
+            indexed = store.rebuild_index()
+            index_build_s = time.perf_counter() - started
+            if reference_names is None:
+                reference_names = indexed
+            if indexed != reference_names or store.names() != reference_names:
+                raise SystemExit(
+                    f"FATAL: {backend_name} names() diverges across backends"
+                )
+
+            probes = [f"model-{i:05d}" for i in range(0, n_entries, 97)]
+            probes += [f"missing-{i}" for i in range(64)]
+            started = time.perf_counter()
+            for name in probes:
+                store.exists(name, "npz")
+            exists_us = (time.perf_counter() - started) / len(probes) * 1e6
+            started = time.perf_counter()
+            store.names()
+            names_ms = (time.perf_counter() - started) * 1e3
+            started = time.perf_counter()
+            for i in range(commit_rounds):
+                with store.transaction(f"bench-commit-{i:04d}") as txn:
+                    txn.write("npz", lambda path: path.write_bytes(b"x"))
+            commit_us = (time.perf_counter() - started) / commit_rounds * 1e6
+            out[backend_name] = {
+                "entries": n_entries,
+                "populate_s": populate_s,
+                "index_build_s": index_build_s,
+                "exists_us_per_lookup": exists_us,
+                "names_ms": names_ms,
+                "commit_us": commit_us,
+            }
+    out["sqlite_vs_local_fs"] = {
+        # >1 = sqlite slower than the local-FS reference on this machine.
+        "exists_slowdown": out["sqlite"]["exists_us_per_lookup"]
+        / max(out["local_fs"]["exists_us_per_lookup"], 1e-9),
+        "names_slowdown": out["sqlite"]["names_ms"]
+        / max(out["local_fs"]["names_ms"], 1e-9),
+        "commit_slowdown": out["sqlite"]["commit_us"]
+        / max(out["local_fs"]["commit_us"], 1e-9),
+    }
+    return out
+
+
 # --------------------------------------------------------------------- #
 
 
@@ -867,6 +941,9 @@ def main() -> int:
         # Same entry count in quick mode: the gated names()-vs-scan ratio
         # must be measured at the same scale as the committed baseline.
         "runtime_level": bench_runtime(n_store_entries=10_000),
+        # Same scale in quick mode too: the gated sqlite-vs-local ratios
+        # must be measured at the committed baseline's entry count.
+        "store_backends": bench_store_backends(n_entries=10_000),
     }
     if not args.skip_experiments:
         payload["experiment_level"] = bench_experiments(timing_runs=2 if args.quick else 3)
@@ -895,6 +972,16 @@ def main() -> int:
         f"(names() {runtime['sharded_store']['names_speedup_vs_scan']:.1f}x vs scan), "
         f"tune {runtime['parallel_tune']['speedup']:.2f}x on 2 workers, "
         f"bit-identical"
+    )
+    backends = payload["store_backends"]
+    print(
+        "store backends (exists us / names ms / commit us): "
+        + "  ".join(
+            f"{name} {backends[name]['exists_us_per_lookup']:.1f}/"
+            f"{backends[name]['names_ms']:.1f}/{backends[name]['commit_us']:.0f}"
+            for name in ("local_fs", "sqlite", "memory")
+        )
+        + f"  (sqlite commit {backends['sqlite_vs_local_fs']['commit_slowdown']:.2f}x local)"
     )
     if "experiment_level" in payload:
         experiment = payload["experiment_level"]

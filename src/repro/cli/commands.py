@@ -192,9 +192,11 @@ def cmd_select(args: argparse.Namespace) -> int:
 def cmd_models(args: argparse.Namespace) -> int:
     """List registered estimators (and, with ``--store``, stored models).
 
-    ``--migrate`` re-homes pre-shard flat-layout models into the sharded
-    runtime store layout; ``--gc`` sweeps orphaned temp files left behind
-    by crashed writers. Both require ``--store``.
+    ``--store`` accepts a directory or a store URI (``file://``,
+    ``sqlite://``, ``memory://``); ``--backend`` picks the backend for
+    plain paths. ``--migrate`` re-homes pre-shard flat-layout models into
+    the sharded runtime store layout; ``--gc`` sweeps orphaned temp files
+    left behind by crashed writers. Both require ``--store``.
     """
     from repro.api import available_estimators, estimator_class
 
@@ -216,7 +218,7 @@ def cmd_models(args: argparse.Namespace) -> int:
     if args.store is not None:
         from repro.core.persistence import ModelStore
 
-        store = ModelStore(args.store)
+        store = ModelStore(args.store, backend=getattr(args, "backend", None))
         if args.migrate:
             migrated = store.migrate()
             print(
@@ -601,7 +603,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "chaos":
         from repro.simulator.chaos import run_chaos_scenario
 
-        report = run_chaos_scenario(seed=args.seed)
+        report = run_chaos_scenario(
+            seed=args.seed,
+            store_backend=getattr(args, "store_backend", "local_fs"),
+        )
         text = report.summary()
         print(text)
         if args.out is not None:

@@ -55,7 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="plain Bellamy, graph-as-property, or learned graph code",
     )
     pretrain.add_argument(
-        "--store", type=Path, required=True, help="model store directory"
+        "--store", required=True,
+        help="model store directory or URI (file://, sqlite://, memory://)",
     )
     pretrain.add_argument("--name", required=True, help="model name in the store")
     pretrain.set_defaults(handler=commands.cmd_pretrain)
@@ -68,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--machines", type=int, nargs="+", required=True, help="scale-outs to predict"
     )
-    predict.add_argument("--store", type=Path, required=True)
+    predict.add_argument("--store", required=True)
     predict.add_argument("--name", required=True)
     predict.set_defaults(handler=commands.cmd_predict)
 
@@ -77,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "select", help="choose a scale-out meeting a runtime target"
     )
     _add_context_arguments(select)
-    select.add_argument("--store", type=Path, required=True)
+    select.add_argument("--store", required=True)
     select.add_argument("--name", required=True)
     select.add_argument(
         "--target", type=float, required=True, help="runtime target in seconds"
@@ -101,7 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         "models", help="list registered estimators and stored models"
     )
     models.add_argument(
-        "--store", type=Path, default=None, help="also list this model store's contents"
+        "--store", default=None,
+        help="also list this model store's contents (directory or "
+        "file://, sqlite://, memory:// URI)",
+    )
+    models.add_argument(
+        "--backend", choices=("local_fs", "sqlite", "memory"), default=None,
+        help="store backend for plain --store paths (default: the "
+        "REPRO_STORE_BACKEND environment variable, else local_fs; "
+        "URIs carry their own scheme)",
     )
     models.add_argument(
         "--migrate", action="store_true",
@@ -130,8 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0, help="session seed")
     serve.add_argument(
-        "--store", type=Path, default=None,
-        help="model store directory (pre-trained models persist across runs)",
+        "--store", default=None,
+        help="model store directory or URI (pre-trained models persist "
+        "across runs)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -275,8 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     refresh.add_argument("--seed", type=int, default=0, help="session seed")
     refresh.add_argument(
-        "--store", type=Path, default=None,
-        help="model store refreshed models are saved into",
+        "--store", default=None,
+        help="model store (directory or URI) refreshed models are saved into",
     )
     refresh.add_argument(
         "--pretrain-epochs", type=int, default=None,
@@ -331,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the experiment's work units "
         "(0 = serial, -1 = all cores; default: the REPRO_JOBS environment "
         "variable, else serial); results are worker-count independent",
+    )
+    experiment.add_argument(
+        "--store-backend", choices=("local_fs", "sqlite", "memory"),
+        default="local_fs",
+        help="store backend the chaos scenario runs its model store on "
+        "(chaos only; the invariants must hold on every backend)",
     )
     experiment.add_argument(
         "--records", type=Path, default=None,

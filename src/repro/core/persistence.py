@@ -23,6 +23,14 @@ temp-file + ``os.replace``, and it is the single commit point — a model
 exists exactly when its ``.npz`` does, and any ``.npz`` that exists loads to
 a complete, consistent model. An interruption at any instant leaves either
 the previous model (fully intact) or the new one, never a torn mix.
+
+Where the index and locks live is pluggable (see
+:mod:`repro.runtime.backends`): ``root`` may be a store URI
+(``file://``, ``sqlite://``, ``memory://``), or ``backend=`` may select
+one explicitly; plain paths honour the ``REPRO_STORE_BACKEND``
+environment variable and default to the historical local-FS layout. The
+crash-safety and locking contracts above hold on every backend — they
+are pinned by the conformance suite in ``tests/runtime/conformance/``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import numpy as np
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
 from repro.resilience.policy import RetryPolicy
+from repro.runtime.backends.base import StoreBackend
 from repro.runtime.locks import LockTimeout
 from repro.runtime.store import ArtifactStore
 from repro.utils.serialization import load_json, load_npz_dict, save_json, save_npz_dict
@@ -89,13 +98,27 @@ class ModelStore:
         root: PathLike,
         artifacts: Optional[ArtifactStore] = None,
         retry: Optional[RetryPolicy] = None,
+        backend: Union[None, str, "StoreBackend"] = None,
     ) -> None:
-        self.root = Path(root)
         self.artifacts = (
             artifacts
             if artifacts is not None
-            else ArtifactStore(self.root, retry=retry or default_lock_retry())
+            else ArtifactStore(
+                root, retry=retry or default_lock_retry(), backend=backend
+            )
         )
+        # The real directory model files live under (``root`` itself may
+        # have been a ``scheme://`` URI).
+        self.root = self.artifacts.root
+
+    def rebind_metrics(self, registry) -> None:
+        """Move the underlying store's metrics into ``registry`` (totals
+        carried over) — the serve app calls this so per-backend store op
+        counters land on the scraped registry::
+
+            session.store.rebind_metrics(app.registry)
+        """
+        self.artifacts.rebind_metrics(registry)
 
     def _check_name(self, name: str) -> str:
         # One validation rule for the whole stack: the artifact store's.

@@ -5,10 +5,10 @@ and *cheap*:
 
 :mod:`repro.resilience.faults`
     Seed-deterministic fault injection behind a module-level hook that
-    instrumented sites guard with one ``is not None`` test — the five
-    named points (``store.commit``, ``store.lock``, ``executor.task``,
-    ``online.refresh``, ``serve.predict``) cost nothing while no chaos
-    run is active.
+    instrumented sites guard with one ``is not None`` test — the six
+    named points (``store.commit``, ``store.lock``, ``store.index``,
+    ``executor.task``, ``online.refresh``, ``serve.predict``) cost
+    nothing while no chaos run is active.
 :mod:`repro.resilience.policy`
     :class:`RetryPolicy` (exponential backoff + seeded jitter),
     :class:`Deadline` (a propagated time budget), and
@@ -33,6 +33,7 @@ from repro.resilience.faults import (
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,
     SITE_STORE_COMMIT,
+    SITE_STORE_INDEX,
     SITE_STORE_LOCK,
     SITES,
     FaultInjector,
@@ -57,6 +58,7 @@ __all__ = [
     "SITE_ONLINE_REFRESH",
     "SITE_SERVE_PREDICT",
     "SITE_STORE_COMMIT",
+    "SITE_STORE_INDEX",
     "SITE_STORE_LOCK",
     "BreakerOpenError",
     "CircuitBreaker",

@@ -6,8 +6,9 @@ reproducible bit-for-bit and (b) the instrumentation costs nothing when no
 chaos run is active. Both live here:
 
 **Named injection points.** Instrumented call sites across the stack fire
-a site name from :data:`SITES` — the store's commit and lock paths, the
-executors' task launch, the online refresh, and the serve predict path.
+a site name from :data:`SITES` — the store's commit, lock, and index
+paths, the executors' task launch, the online refresh, and the serve
+predict path.
 A :class:`FaultSpec` targets one site and describes *what* happens there
 (``raise`` an exception, ``delay`` the call, or ``corrupt`` the value
 flowing through) and *when* (a per-site call-index window, an optional
@@ -69,11 +70,16 @@ SITE_EXECUTOR_TASK = "executor.task"
 SITE_ONLINE_REFRESH = "online.refresh"
 #: The serve app's ``/predict`` path (fire before, corrupt after).
 SITE_SERVE_PREDICT = "serve.predict"
+#: Store index mutation (registration / unregistration of artifact
+#: members), whatever the backend — ``index.json`` rewrite on local FS,
+#: the SQLite row upsert on ``sqlite``.
+SITE_STORE_INDEX = "store.index"
 
 #: Every named injection point wired through the stack.
 SITES = (
     SITE_STORE_COMMIT,
     SITE_STORE_LOCK,
+    SITE_STORE_INDEX,
     SITE_EXECUTOR_TASK,
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,

@@ -22,7 +22,11 @@ convention. ``repro.runtime`` is the shared substrate they all sit on now:
     cross-process locking, an index behind ``names()``/``exists()``
     (no directory scans), transparent reads of pre-shard flat layouts,
     and orphaned-temp GC. :class:`repro.core.persistence.ModelStore` is a
-    typed facade over it.
+    typed facade over it. Where the index, locks, and bytes live is a
+    pluggable :mod:`repro.runtime.backends` backend — local FS (default),
+    WAL-mode SQLite, or in-process memory — selected per store URI
+    (``file://`` / ``sqlite://`` / ``memory://``) and proven equivalent
+    by the conformance suite in ``tests/runtime/conformance/``.
 
 Example — the same fan-out, any executor::
 

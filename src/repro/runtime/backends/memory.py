@@ -1,0 +1,201 @@
+"""In-process backend: dict index plus a content-addressed blob map.
+
+The fast test double, and deliberately the *shape* of a future remote /
+object-store backend: every committed member is also recorded in a
+content-addressed blob map (``sha256(bytes) -> bytes``) with
+``put_blob`` / ``get_blob`` / ``list_blobs`` — exactly the primitive set
+an S3/GCS-style backend would implement over the network. Member files
+are still materialized under a private temp directory so the store's
+generic read, crash-window, and GC machinery behaves identically to the
+filesystem backends; what moves in-process is the index (a plain dict —
+no ``index.json``, no database) and therefore every index operation's
+cost.
+
+Two flavours, picked by URI:
+
+* ``memory://`` — a private anonymous instance per call;
+* ``memory://<key>`` — a process-wide named instance, so two stores
+  opened with the same key share state (the reopen semantics the
+  conformance suite exercises).
+
+Single-process by design: nothing is shared across processes, so the
+cross-process legs of the conformance suite cover the filesystem and
+SQLite backends only.
+
+>>> backend = MemoryBackend()
+>>> digest = backend.put_blob(b"weights")
+>>> backend.get_blob(digest)
+b'weights'
+>>> backend.list_blobs() == [digest]
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+import threading
+import weakref
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.runtime.backends.base import StoreBackend
+from repro.runtime.locks import FileLock
+
+__all__ = ["MemoryBackend"]
+
+#: Process-wide named instances (``memory://<key>`` URIs).
+_REGISTRY: Dict[str, "MemoryBackend"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class MemoryBackend(StoreBackend):
+    """Dict-indexed, content-addressed, in-process artifact backend.
+
+    Commits flow through the same staged-temp + ``os.replace`` path as
+    the filesystem backends (under a private temp root), then land a
+    second time in the blob map keyed by content hash — so the backend
+    doubles as an object-store prototype::
+
+        store = ArtifactStore("ignored", backend=MemoryBackend())
+        with store.transaction("model-a") as txn:
+            txn.write("json", lambda p: p.write_text("{}"))
+        store.exists("model-a", "json")      # True — dict index, no I/O
+
+    Named instances are process-global:
+
+    >>> a = MemoryBackend.named("shared-demo")
+    >>> b = MemoryBackend.named("shared-demo")
+    >>> a is b
+    True
+    """
+
+    scheme = "memory"
+
+    def __init__(self, key: Optional[str] = None) -> None:
+        root = tempfile.mkdtemp(prefix="repro-memstore-")
+        super().__init__(root)
+        self.key = key
+        self._state_lock = threading.RLock()
+        self._index: Dict[str, Set[str]] = {}
+        self._blobs: Dict[str, bytes] = {}
+        #: ``name -> member -> blob digest`` for committed members.
+        self._refs: Dict[str, Dict[str, str]] = {}
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, root, ignore_errors=True
+        )
+
+    @classmethod
+    def named(cls, key: str) -> "MemoryBackend":
+        """The process-wide instance registered under ``key`` (created on
+        first use) — what ``memory://<key>`` URIs resolve to.
+
+        >>> MemoryBackend.named("doc-demo") is MemoryBackend.named("doc-demo")
+        True
+        """
+        with _REGISTRY_LOCK:
+            backend = _REGISTRY.get(key)
+            if backend is None:
+                backend = _REGISTRY[key] = cls(key=key)
+            return backend
+
+    def describe(self) -> str:
+        """``memory://<key>`` (or the anonymous-instance placeholder)."""
+        return f"memory://{self.key or '<anonymous>'}"
+
+    # ------------------------------------------------------------------ #
+    # Blob plane (the object-store shape)
+    # ------------------------------------------------------------------ #
+
+    def put_blob(self, data: bytes) -> str:
+        """Store ``data`` content-addressed; returns its sha256 digest."""
+        digest = hashlib.sha256(data).hexdigest()
+        with self._state_lock:
+            self._blobs[digest] = data
+        return digest
+
+    def get_blob(self, digest: str) -> bytes:
+        """The bytes stored under ``digest`` (KeyError when absent)."""
+        with self._state_lock:
+            return self._blobs[digest]
+
+    def list_blobs(self) -> List[str]:
+        """Sorted digests of every resident blob."""
+        with self._state_lock:
+            return sorted(self._blobs)
+
+    def blob_digest(self, name: str, member: str) -> Optional[str]:
+        """The digest a committed member's bytes landed under, if any."""
+        with self._state_lock:
+            return self._refs.get(name, {}).get(member)
+
+    # ------------------------------------------------------------------ #
+    # Data plane (files + blob mirror)
+    # ------------------------------------------------------------------ #
+
+    def commit_member(self, name: str, member: str, tmp: Path) -> Path:
+        """Commit the staged file *and* mirror its bytes into the blob
+        map under their content hash."""
+        digest = self.put_blob(tmp.read_bytes())
+        final = super().commit_member(name, member, tmp)
+        with self._state_lock:
+            self._refs.setdefault(name, {})[member] = digest
+        return final
+
+    def delete_member(self, name: str, member: str) -> None:
+        """Remove the member file and drop now-unreferenced blobs."""
+        super().delete_member(name, member)
+        with self._state_lock:
+            refs = self._refs.get(name)
+            if refs is not None:
+                refs.pop(member, None)
+                if not refs:
+                    del self._refs[name]
+            live = {d for refs in self._refs.values() for d in refs.values()}
+            for digest in [d for d in self._blobs if d not in live]:
+                del self._blobs[digest]
+
+    # ------------------------------------------------------------------ #
+    # Index plane (a dict)
+    # ------------------------------------------------------------------ #
+
+    def read_index(self) -> Optional[Dict[str, List[str]]]:
+        """A fresh copy of the dict index (``{}`` when empty)."""
+        with self._state_lock:
+            return {
+                name: sorted(members) for name, members in self._index.items()
+            }
+
+    def index_members(self, name: str) -> Optional[List[str]]:
+        """Point query — one dict lookup, no full-index copy."""
+        with self._state_lock:
+            members = self._index.get(name)
+            return None if members is None else sorted(members)
+
+    def register(self, name: str, members: Iterable[str]) -> None:
+        """Merge ``members`` into ``name``'s index entry."""
+        new = set(members)
+        with self._state_lock:
+            self._index.setdefault(name, set()).update(new)
+
+    def unregister(self, name: str) -> None:
+        """Drop ``name``'s index entry (no error if absent)."""
+        with self._state_lock:
+            self._index.pop(name, None)
+
+    def replace_index(self, artifacts: Dict[str, List[str]]) -> None:
+        """Swap the whole dict index (rebuild path)."""
+        fresh = {name: set(members) for name, members in artifacts.items()}
+        with self._state_lock:
+            self._index = fresh
+
+    # ------------------------------------------------------------------ #
+    # Locking plane
+    # ------------------------------------------------------------------ #
+
+    def lock(self, name: str) -> FileLock:
+        """A file lock under the private temp root — same timeout and
+        contention semantics as the filesystem backends (the instance,
+        and therefore the lock, is process-local by construction)."""
+        return FileLock(self.shard_dir(name) / f"{name}.lock")

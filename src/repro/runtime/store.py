@@ -1,4 +1,4 @@
-"""The artifact substrate: a sharded, locked, index-backed file store.
+"""The artifact substrate: named, locked, crash-atomic multi-file artifacts.
 
 A flat directory of ``<name>.npz`` files works for ten models and falls
 over at ten thousand: every ``names()`` walks the whole directory, every
@@ -10,14 +10,12 @@ persists named artifacts) builds on:
 * **Sharding** — artifact files live under a two-level fan-out
   ``root/ab/cd/<name>.<member>`` derived from ``sha256(name)``, keeping
   every directory small at 10k+ artifacts.
-* **Locking** — one :class:`~repro.runtime.locks.FileLock` per artifact
-  (plus one for the index) serializes writers across threads *and*
-  processes; concurrent saves of the same name can never interleave their
-  member files.
-* **Index** — ``index.json`` maps ``name -> [members]``, so ``names()``
-  and ``exists()`` are index lookups (with an O(1) ``stat`` fallback),
-  not directory scans. The in-memory copy is invalidated by file
-  signature, so other processes' writes are picked up.
+* **Locking** — one exclusive lock per artifact serializes writers
+  across threads *and* processes; concurrent saves of the same name can
+  never interleave their member files.
+* **Index** — a ``name -> [members]`` index makes ``names()`` and
+  ``exists()`` lookups (with an O(1) ``stat`` fallback), not directory
+  scans.
 * **Migration** — artifacts written by the old flat layout are still
   found (read path falls back to ``root/<name>.<member>``) and are
   re-homed into their shard the next time they are saved, or wholesale
@@ -25,12 +23,22 @@ persists named artifacts) builds on:
 * **GC** — interrupted writers leave only ``*.tmp`` files, which
   :meth:`gc_temp` sweeps once they are demonstrably orphaned.
 
+*Where* the index, locks, and bytes live is delegated to a pluggable
+:class:`~repro.runtime.backends.StoreBackend` — the flock-guarded
+``index.json`` of :class:`~repro.runtime.backends.LocalFsBackend` (the
+default, bit-identical to every pre-backend release), the WAL-mode
+database of :class:`~repro.runtime.backends.SqliteBackend`, or the
+in-process :class:`~repro.runtime.backends.MemoryBackend`. Pick one with
+the ``backend`` argument or a store URI; the semantics here are
+backend-independent and pinned by ``tests/runtime/conformance/``.
+
 Writes go through a :meth:`transaction`, which holds the artifact lock for
 its whole body; each :meth:`ArtifactTransaction.write` commits one member
 atomically (temp file + ``os.replace``), so a crash mid-transaction leaves
 every member either at its previous or its new content — never torn::
 
-    store = ArtifactStore("artifacts/")
+    store = ArtifactStore("artifacts/")              # local FS (default)
+    store = ArtifactStore("sqlite:///srv/models")    # SQLite index+locks
     with store.transaction("sgd-base") as txn:
         txn.write("npz", lambda path: save_npz_dict(path, state))
         txn.write("json", lambda path: save_json(path, payload))
@@ -39,47 +47,31 @@ every member either at its previous or its new content — never torn::
 
 from __future__ import annotations
 
-import hashlib
 import os
-import re
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.resilience import faults as _faults
-from repro.runtime.locks import FileLock
-from repro.utils.serialization import load_json, save_json
+from repro.runtime.backends.base import (
+    _MEMBER_RE,
+    _NAME_RE,
+    _RESERVED_MEMBERS,
+    INDEX_NAME,
+    StoreBackend,
+    _parse_member_file,
+    make_backend,
+)
 
 if False:  # pragma: no cover - import for type checkers only, no cycle at runtime
+    from repro.metrics import MetricsRegistry
     from repro.resilience.policy import RetryPolicy
 
 PathLike = Union[str, os.PathLike]
 
-#: Artifact names: filesystem-safe, no path separators.
-_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
-#: Member suffixes: one dot-free token (``npz``, ``json``, ...).
-_MEMBER_RE = re.compile(r"^[A-Za-z0-9_]+$")
-#: Suffix tokens that are store infrastructure, never artifact members.
-_RESERVED_MEMBERS = frozenset({"lock", "tmp"})
-#: Two lowercase hex characters — a shard directory name.
-_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
-
-INDEX_NAME = "index.json"
-
-
-def _parse_member_file(filename: str) -> Optional[Tuple[str, str]]:
-    """``(artifact, member)`` encoded by a store file name, else ``None``."""
-    if filename == INDEX_NAME or filename.endswith(".tmp"):
-        return None
-    name, dot, member = filename.rpartition(".")
-    if not dot or not name:
-        return None
-    if not _MEMBER_RE.match(member) or member in _RESERVED_MEMBERS:
-        return None
-    if not _NAME_RE.match(name):
-        return None
-    return name, member
+#: Store operations carried as the ``op`` label on the store metrics.
+_METRIC_OPS = ("commit", "exists", "members", "names", "find", "delete")
 
 
 class ArtifactTransaction:
@@ -96,10 +88,9 @@ class ArtifactTransaction:
             txn.write("json", write_sidecar)    # human-readable extra
     """
 
-    def __init__(self, store: "ArtifactStore", name: str, shard: Path) -> None:
+    def __init__(self, store: "ArtifactStore", name: str) -> None:
         self._store = store
         self.name = name
-        self._shard = shard
         self._counter = 0
         self._tmp_paths: List[Path] = []
         self.committed: List[str] = []
@@ -108,14 +99,16 @@ class ArtifactTransaction:
         """Write one member via ``writer(tmp_path)`` and commit it atomically.
 
         Returns the member's final path. A failing writer leaves no trace;
-        a crash after the internal ``os.replace`` leaves the member fully
+        a crash after the internal commit leaves the member fully
         committed.
         """
         if not _MEMBER_RE.match(member) or member in _RESERVED_MEMBERS:
             raise ValueError(
                 f"member {member!r} must match [A-Za-z0-9_]+ and not be reserved"
             )
-        tmp = self._shard / f"{self.name}.{member}.{os.getpid()}.{self._counter}.tmp"
+        store = self._store
+        t0 = store._tick()
+        tmp = store.backend.stage_path(self.name, member, self._counter)
         self._counter += 1
         self._tmp_paths.append(tmp)
         try:
@@ -129,13 +122,9 @@ class ArtifactTransaction:
             raise
         if _faults.ACTIVE is not None:
             _faults.ACTIVE.fire(_faults.SITE_STORE_COMMIT)
-        final = self._store.member_path(self.name, member)
-        os.replace(tmp, final)
-        # Re-home: a pre-shard flat copy of this member is now stale.
-        flat = self._store.flat_path(self.name, member)
-        if flat is not None:
-            flat.unlink(missing_ok=True)
+        final = store.backend.commit_member(self.name, member, tmp)
         self.committed.append(member)
+        store._tock("commit", t0)
         return final
 
     def _cleanup(self) -> None:
@@ -144,33 +133,108 @@ class ArtifactTransaction:
 
 
 class ArtifactStore:
-    """Sharded + locked + indexed directory of named, multi-file artifacts.
+    """Sharded + locked + indexed collection of named, multi-file artifacts.
 
-    Layout: ``root/ab/cd/<name>.<member>`` with ``ab``/``cd`` taken from
+    The default backend keeps the historical on-disk layout:
+    ``root/ab/cd/<name>.<member>`` with ``ab``/``cd`` taken from
     ``sha256(name)``; ``root/index.json`` is the name index; ``*.lock``
     files carry the cross-process locks; pre-shard flat files
-    (``root/<name>.<member>``) remain readable and are re-homed on save::
+    (``root/<name>.<member>``) remain readable and are re-homed on save.
+    ``root`` may also be a store URI (``file://``, ``sqlite://``,
+    ``memory://``), or ``backend`` may name/carry a
+    :class:`~repro.runtime.backends.StoreBackend` explicitly::
 
         store = ArtifactStore(tmp_dir)
         with store.transaction("model-a") as txn:
             txn.write("json", lambda p: p.write_text("{}"))
         assert store.names() == ["model-a"]
         assert store.exists("model-a", "json")
+
+    With a :class:`~repro.metrics.MetricsRegistry` attached (``registry=``
+    or :meth:`rebind_metrics`), every operation lands in
+    ``repro_store_ops_total`` / ``repro_store_op_seconds`` labelled by
+    ``(backend, op)``.
     """
 
-    def __init__(self, root: PathLike, retry: Optional["RetryPolicy"] = None) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._index_path = self.root / INDEX_NAME
-        self._index_lock = FileLock(self.root / ".index.lock")
+    def __init__(
+        self,
+        root: PathLike,
+        retry: Optional["RetryPolicy"] = None,
+        backend: Union[None, str, StoreBackend] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.backend = make_backend(root, backend)
+        #: The real directory member files live under (every backend
+        #: materializes files; see :mod:`repro.runtime.backends`).
+        self.root = self.backend.root
         #: Optional :class:`~repro.resilience.RetryPolicy` applied to
         #: artifact-lock acquisition: a contended/failed acquire
         #: (``LockTimeout``) is retried under its backoff budget instead
         #: of failing the write outright. ``None`` keeps the historical
         #: fail-fast behaviour.
         self.retry = retry
-        #: Cached index keyed by the index file's stat signature.
-        self._index_cache: Optional[Tuple[Tuple[int, int], Dict[str, List[str]]]] = None
+        self._registry: Optional["MetricsRegistry"] = None
+        self._instruments: Dict[str, Tuple[object, object]] = {}
+        if registry is not None:
+            self._bind_metrics(registry)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def registry(self) -> Optional["MetricsRegistry"]:
+        """The metrics registry store ops record into (``None`` = off)."""
+        return self._registry
+
+    def _bind_metrics(self, registry: "MetricsRegistry") -> None:
+        ops_total = registry.counter(
+            "repro_store_ops_total",
+            "Artifact-store operations, by backend and operation.",
+            labelnames=("backend", "op"),
+        )
+        op_seconds = registry.histogram(
+            "repro_store_op_seconds",
+            "Artifact-store operation latency in seconds.",
+            labelnames=("backend", "op"),
+        )
+        scheme = self.backend.scheme
+        self._registry = registry
+        self._instruments = {
+            op: (
+                ops_total.labels(backend=scheme, op=op),
+                op_seconds.labels(backend=scheme, op=op),
+            )
+            for op in _METRIC_OPS
+        }
+
+    def rebind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Move the store's metrics into ``registry``, totals carried over.
+
+        The serve app calls this on the session's store so one registry
+        backs both ``/stats`` and ``/metrics``::
+
+            session.store.artifacts.rebind_metrics(app.registry)
+        """
+        if registry is self._registry:
+            return
+        old = self._instruments
+        self._bind_metrics(registry)
+        for op, (counter, histogram) in self._instruments.items():
+            if op in old:
+                counter._absorb(old[op][0])  # type: ignore[attr-defined]
+                histogram._absorb(old[op][1])  # type: ignore[attr-defined]
+
+    def _tick(self) -> float:
+        return time.perf_counter() if self._instruments else 0.0
+
+    def _tock(self, op: str, t0: float) -> None:
+        instruments = self._instruments
+        if not instruments:
+            return
+        counter, histogram = instruments[op]
+        counter.inc()  # type: ignore[attr-defined]
+        histogram.observe(time.perf_counter() - t0)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------ #
     # Layout
@@ -193,129 +257,77 @@ class ArtifactStore:
     def shard_dir(self, name: str) -> Path:
         """The two-level shard directory owning ``name``
         (``root/ab/cd`` with ``abcd`` taken from ``sha256(name)``)."""
-        digest = hashlib.sha256(self.check_name(name).encode("utf-8")).hexdigest()
-        return self.root / digest[:2] / digest[2:4]
+        return self.backend.shard_dir(self.check_name(name))
 
     def member_path(self, name: str, member: str) -> Path:
         """The sharded path of one member file (existing or not)."""
-        return self.shard_dir(name) / f"{name}.{member}"
+        return self.backend.member_path(self.check_name(name), member)
 
     def flat_path(self, name: str, member: str) -> Optional[Path]:
         """The pre-shard flat-layout path, ``None`` when it would collide
         with store infrastructure (the index file)."""
-        candidate = self.root / f"{self.check_name(name)}.{member}"
-        if candidate.name == INDEX_NAME:
-            return None
-        return candidate
+        return self.backend.flat_path(self.check_name(name), member)
 
     def find(self, name: str, member: str) -> Optional[Path]:
         """The existing path of a member — sharded first, then the legacy
         flat layout — or ``None``.
 
-        Self-healing: a sharded member that the index does not know about
-        (a writer crashed between its member commit and the index
+        Self-healing: a committed member that the index does not know
+        about (a writer crashed between its member commit and the index
         registration) is registered on sight, so ``names()`` converges
-        back to the files on disk without a manual
-        :meth:`rebuild_index`.
+        back to the stored bytes without a manual :meth:`rebuild_index`.
         """
-        sharded = self.member_path(name, member)
-        if sharded.exists():
-            index = self._read_index()
-            if index is not None and member not in index.get(name, ()):
-                self._register(name, [member])
-            return sharded
-        flat = self.flat_path(name, member)
-        if flat is not None and flat.exists():
-            return flat
-        return None
+        t0 = self._tick()
+        try:
+            sharded = self.member_path(name, member)
+            if sharded.exists():
+                index = self.backend.read_index()
+                if index is not None and member not in index.get(name, ()):
+                    self.backend.register(name, [member])
+                return sharded
+            flat = self.flat_path(name, member)
+            if flat is not None and flat.exists():
+                return flat
+            return None
+        finally:
+            self._tock("find", t0)
 
-    def lock(self, name: str) -> FileLock:
-        """The cross-process lock serializing writers of ``name``."""
-        return FileLock(self.shard_dir(name) / f"{name}.lock")
+    def lock(self, name: str):
+        """The exclusive lock serializing writers of ``name`` (a
+        :class:`~repro.runtime.locks.FileLock` or the backend's
+        equivalent — same context-manager and timeout protocol)."""
+        return self.backend.lock(self.check_name(name))
 
     # ------------------------------------------------------------------ #
     # Index
     # ------------------------------------------------------------------ #
 
     def _read_index(self) -> Optional[Dict[str, List[str]]]:
-        """The ``name -> members`` map, cached by file signature."""
-        try:
-            stat = self._index_path.stat()
-        except FileNotFoundError:
-            return None
-        signature = (stat.st_mtime_ns, stat.st_size)
-        cache = self._index_cache
-        if cache is not None and cache[0] == signature:
-            return cache[1]
-        try:
-            payload = load_json(self._index_path)
-        except (OSError, ValueError):  # racing replace or corrupt index
-            return None
-        artifacts = payload.get("artifacts", {})
-        self._index_cache = (signature, artifacts)
-        return artifacts
-
-    def _mutate_index(
-        self, mutate: Callable[[Dict[str, List[str]]], None]
-    ) -> None:
-        """Read-modify-write the index atomically under the index lock."""
-        with self._index_lock:
-            artifacts = dict(self._read_index() or {})
-            mutate(artifacts)
-            save_json(self._index_path, {"version": 1, "artifacts": artifacts})
-            self._index_cache = None  # next read picks up the fresh file
+        """The ``name -> members`` map (backend-delegated)."""
+        return self.backend.read_index()
 
     def _register(self, name: str, members: List[str]) -> None:
-        def mutate(artifacts: Dict[str, List[str]]) -> None:
-            merged = set(artifacts.get(name, ())) | set(members)
-            artifacts[name] = sorted(merged)
+        self.backend.register(name, members)
 
-        self._mutate_index(mutate)
-
-    def _scan_flat(self) -> Dict[str, Set[str]]:
-        """Artifacts still in the pre-shard flat layout (top level only)."""
-        found: Dict[str, Set[str]] = {}
-        for path in self.root.iterdir():
-            if not path.is_file():
-                continue
-            parsed = _parse_member_file(path.name)
-            if parsed is not None:
-                found.setdefault(parsed[0], set()).add(parsed[1])
-        return found
-
-    def _scan_shards(self) -> Dict[str, Set[str]]:
-        """Every sharded artifact, by walking the two-level fan-out."""
-        found: Dict[str, Set[str]] = {}
-        for level1 in self.root.iterdir():
-            if not level1.is_dir() or not _SHARD_RE.match(level1.name):
-                continue
-            for level2 in level1.iterdir():
-                if not level2.is_dir() or not _SHARD_RE.match(level2.name):
-                    continue
-                for path in level2.iterdir():
-                    if not path.is_file():
-                        continue
-                    parsed = _parse_member_file(path.name)
-                    if parsed is not None:
-                        found.setdefault(parsed[0], set()).add(parsed[1])
-        return found
+    def _fire_index(self) -> None:
+        """The ``store.index`` fault-injection point (writer paths only —
+        read-path self-heal must never raise)."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire(_faults.SITE_STORE_INDEX)
 
     def rebuild_index(self) -> List[str]:
-        """Re-derive the index from the files on disk (recovery tool).
+        """Re-derive the index from the stored bytes (recovery tool).
 
         Returns the indexed names. Use after external surgery on the store
         directory or a crash between a member commit and its index update.
         """
-        found = self._scan_shards()
-        for name, members in self._scan_flat().items():
+        found = self.backend.scan_shards()
+        for name, members in self.backend.scan_flat().items():
             found.setdefault(name, set()).update(members)
-
-        def mutate(artifacts: Dict[str, List[str]]) -> None:
-            artifacts.clear()
-            for name, members in found.items():
-                artifacts[name] = sorted(members)
-
-        self._mutate_index(mutate)
+        self._fire_index()
+        self.backend.replace_index(
+            {name: sorted(members) for name, members in found.items()}
+        )
         return sorted(found)
 
     # ------------------------------------------------------------------ #
@@ -330,45 +342,48 @@ class ArtifactStore:
         artifact is never reported absent. Never scans a directory.
         """
         self.check_name(name)
-        index = self._read_index()
-        if index is not None:
-            members = index.get(name)
+        t0 = self._tick()
+        try:
+            members = self.backend.index_members(name)
             if members is not None and (member is None or member in members):
                 return True
-        if member is not None:
-            return self.find(name, member) is not None
-        return bool(self.members(name))
+            if member is not None:
+                return self.find(name, member) is not None
+            return bool(self.members(name))
+        finally:
+            self._tock("exists", t0)
 
     def members(self, name: str) -> List[str]:
         """The member suffixes stored for ``name`` (empty when absent)."""
-        index = self._read_index() or {}
-        members = set(index.get(name, ()))
-        shard = self.shard_dir(name)
-        if shard.exists():
-            for path in shard.glob(f"{name}.*"):
-                parsed = _parse_member_file(path.name)
-                if parsed is not None and parsed[0] == name:
-                    members.add(parsed[1])
-        for member in list(self._scan_flat().get(name, ())):
-            members.add(member)
-        return sorted(members)
+        t0 = self._tick()
+        try:
+            members = set(self.backend.index_members(self.check_name(name)) or ())
+            members.update(self.backend.stored_members(name))
+            members.update(self.backend.scan_flat().get(name, ()))
+            return sorted(members)
+        finally:
+            self._tock("members", t0)
 
     def names(self, member: Optional[str] = None) -> List[str]:
         """All stored artifact names (sorted), optionally filtered to those
         carrying ``member``.
 
-        Index-backed: cost is one cached index read plus a top-level
-        ``iterdir`` for not-yet-migrated flat artifacts — independent of
-        the artifact count, unlike the pre-runtime full-directory glob.
+        Index-backed: cost is one index read plus a top-level scan for
+        not-yet-migrated flat artifacts — independent of the artifact
+        count, unlike the pre-runtime full-directory glob.
         """
-        out: Set[str] = set()
-        for name, members in (self._read_index() or {}).items():
-            if member is None or member in members:
-                out.add(name)
-        for name, members in self._scan_flat().items():
-            if member is None or member in members:
-                out.add(name)
-        return sorted(out)
+        t0 = self._tick()
+        try:
+            out: Set[str] = set()
+            for name, members in (self.backend.read_index() or {}).items():
+                if member is None or member in members:
+                    out.add(name)
+            for name, flat_members in self.backend.scan_flat().items():
+                if member is None or member in flat_members:
+                    out.add(name)
+            return sorted(out)
+        finally:
+            self._tock("names", t0)
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -385,22 +400,21 @@ class ArtifactStore:
         (``LockTimeout``) is retried under the policy's backoff budget.
         """
         self.check_name(name)
-        shard = self.shard_dir(name)
-        shard.mkdir(parents=True, exist_ok=True)
-        lock = self.lock(name)
+        lock = self.backend.lock(name)
         self._acquire(lock)
         try:
-            txn = ArtifactTransaction(self, name, shard)
+            txn = ArtifactTransaction(self, name)
             try:
                 yield txn
             finally:
                 txn._cleanup()
                 if txn.committed:
-                    self._register(name, txn.committed)
+                    self._fire_index()
+                    self.backend.register(name, txn.committed)
         finally:
             lock.release()
 
-    def _acquire(self, lock: FileLock) -> None:
+    def _acquire(self, lock) -> None:
         """Acquire an artifact lock, retrying under :attr:`retry` if set."""
 
         def attempt() -> None:
@@ -417,24 +431,18 @@ class ArtifactStore:
         """Remove an artifact — every member, sharded and flat, plus its
         index entry (no error if absent)."""
         self.check_name(name)
-        with self.lock(name):
-            candidates: Set[str] = set((self._read_index() or {}).get(name, ()))
-            shard = self.shard_dir(name)
-            if shard.exists():
-                for path in shard.glob(f"{name}.*"):
-                    parsed = _parse_member_file(path.name)
-                    if parsed is not None and parsed[0] == name:
-                        candidates.add(parsed[1])
-            for member in candidates | self._scan_flat().get(name, set()):
-                self.member_path(name, member).unlink(missing_ok=True)
-                flat = self.flat_path(name, member)
-                if flat is not None:
-                    flat.unlink(missing_ok=True)
-
-            def mutate(artifacts: Dict[str, List[str]]) -> None:
-                artifacts.pop(name, None)
-
-            self._mutate_index(mutate)
+        t0 = self._tick()
+        with self.backend.lock(name):
+            try:
+                candidates = set(self.backend.index_members(name) or ())
+                candidates.update(self.backend.stored_members(name))
+                candidates.update(self.backend.scan_flat().get(name, ()))
+                for member in candidates:
+                    self.backend.delete_member(name, member)
+                self._fire_index()
+                self.backend.unregister(name)
+            finally:
+                self._tock("delete", t0)
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -443,19 +451,19 @@ class ArtifactStore:
     def migrate_flat(self) -> List[str]:
         """Re-home every pre-shard flat-layout artifact into its shard.
 
-        Returns the migrated names. Idempotent; the index is rebuilt from
-        disk afterwards so it reflects exactly what the store now holds.
+        Returns the migrated names. Idempotent; the index is rebuilt
+        afterwards so it reflects exactly what the store now holds.
         """
         migrated = []
-        for name, members in sorted(self._scan_flat().items()):
-            shard = self.shard_dir(name)
+        for name, members in sorted(self.backend.scan_flat().items()):
+            shard = self.backend.shard_dir(name)
             shard.mkdir(parents=True, exist_ok=True)
-            with self.lock(name):
+            with self.backend.lock(name):
                 for member in sorted(members):
-                    flat = self.flat_path(name, member)
+                    flat = self.backend.flat_path(name, member)
                     if flat is None or not flat.exists():
                         continue
-                    target = self.member_path(name, member)
+                    target = self.backend.member_path(name, member)
                     if target.exists():
                         # A sharded save already superseded this flat copy.
                         flat.unlink(missing_ok=True)
@@ -472,13 +480,4 @@ class ArtifactStore:
         commit; anything old belongs to a crashed writer. Returns the
         removed paths.
         """
-        removed = []
-        cutoff = time.time() - max_age_s
-        for path in self.root.rglob("*.tmp"):
-            try:
-                if path.stat().st_mtime <= cutoff:
-                    path.unlink()
-                    removed.append(path)
-            except FileNotFoundError:  # pragma: no cover - concurrent sweep
-                continue
-        return removed
+        return self.backend.gc_temp(max_age_s)

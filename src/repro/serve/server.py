@@ -168,6 +168,11 @@ class ServeApp:
         self._bind_metrics()
         if online is not None and hasattr(online, "rebind_metrics"):
             online.rebind_metrics(self.registry)
+        # Per-backend store op counters/latency land on the scraped
+        # registry too (repro_store_ops_total / repro_store_op_seconds).
+        store = getattr(session, "store", None)
+        if store is not None and hasattr(store, "rebind_metrics"):
+            store.rebind_metrics(self.registry)
         self._owns_executor = executor is None
         # One scheduling primitive for all of the app's background work:
         # one worker runs the batcher's flusher loop, the other absorbs

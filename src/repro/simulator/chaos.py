@@ -43,6 +43,7 @@ from repro.resilience import (
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,
     SITE_STORE_COMMIT,
+    SITE_STORE_INDEX,
     SITE_STORE_LOCK,
     FaultInjector,
     FaultPlan,
@@ -69,6 +70,7 @@ def build_fault_plan(
     refresh_failures: int = 2,
     lock_timeouts: int = 2,
     commit_delays: int = 2,
+    index_delays: int = 1,
     predict_errors: int = 2,
     predict_corruptions: int = 1,
     executor_errors: int = 1,
@@ -76,12 +78,16 @@ def build_fault_plan(
     """The scenario's deterministic outage: every site, every fault kind.
 
     Each spec is ``max_fires``-capped so the outage clears mid-run —
-    recovery, not mere failure, is what the scenario asserts.
+    recovery, not mere failure, is what the scenario asserts. The
+    ``store.index`` site is stalled (``delay``) rather than failed in the
+    default plan — a *raised* index fault leaves a committed-but-unindexed
+    artifact, which is the store's self-heal contract and is pinned by the
+    backend conformance suite instead.
 
     >>> plan = build_fault_plan(seed=7)
     >>> sorted({spec.site for spec in plan.specs}) == sorted(
     ...     ["executor.task", "online.refresh", "serve.predict",
-    ...      "store.commit", "store.lock"])
+    ...      "store.commit", "store.index", "store.lock"])
     True
     """
     return FaultPlan(
@@ -105,6 +111,12 @@ def build_fault_plan(
                 kind="delay",
                 delay_s=0.001,
                 max_fires=commit_delays,
+            ),
+            FaultSpec(
+                site=SITE_STORE_INDEX,
+                kind="delay",
+                delay_s=0.001,
+                max_fires=index_delays,
             ),
             FaultSpec(
                 site=SITE_SERVE_PREDICT,
@@ -224,6 +236,7 @@ class ChaosScenario:
         finetune_patience: int = 120,
         plan: Optional[FaultPlan] = None,
         root: Optional[str] = None,
+        store_backend: str = "local_fs",
     ) -> None:
         self.seed = int(seed)
         self.n_stream = int(n_stream)
@@ -233,6 +246,9 @@ class ChaosScenario:
         self.finetune_patience = int(finetune_patience)
         self.plan = plan or build_fault_plan(seed=self.seed)
         self.root = root
+        #: Store backend (``local_fs`` / ``sqlite`` / ``memory``) both
+        #: runs persist models on — the invariants are backend-agnostic.
+        self.store_backend = store_backend
 
     # ------------------------------------------------------------------ #
     # Stack construction
@@ -269,12 +285,14 @@ class ChaosScenario:
         self, scenario: DriftScenario, store_root: str
     ) -> Tuple["ServeApp", "OnlineSession"]:
         from repro.api import Session
+        from repro.core.persistence import ModelStore
         from repro.data.dataset import ExecutionDataset
         from repro.online import OnlineSession
         from repro.serve import ServeApp
 
         corpus = ExecutionDataset(list(scenario.history))
-        session = Session(corpus, config=self._config(), store=store_root)
+        store = ModelStore(store_root, backend=self.store_backend)
+        session = Session(corpus, config=self._config(), store=store)
         online = OnlineSession(session, policy=self._policy())
         app = ServeApp(session, online=online, batch_max=8, batch_wait_ms=1.0)
         return app, online

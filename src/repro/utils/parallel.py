@@ -15,6 +15,7 @@ import warnings
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.runtime.executor import executor_map as _executor_map
+from repro.runtime.executor import resolve_jobs as _resolve_jobs
 from repro.runtime.executor import resolve_workers as _resolve_workers
 
 T = TypeVar("T")
@@ -44,7 +45,13 @@ def parallel_map(
 
     Results come back in input order regardless of completion order; with
     one effective worker the map runs inline. ``fn`` and the items must be
-    picklable when ``n_workers`` exceeds 1.
+    picklable when more than one worker resolves.
+
+    Worker resolution matches every other runtime entry point: an explicit
+    ``n_workers`` wins (0 = serial, negative = all cores), ``None`` falls
+    back to the ``REPRO_JOBS`` environment variable, and the default is
+    serial. (Historically this shim ignored ``REPRO_JOBS`` — the one
+    caller-visible inconsistency left by the runtime refactor.)
     """
     warnings.warn(
         "repro.utils.parallel.parallel_map moved to repro.runtime.executor_map",
@@ -52,7 +59,5 @@ def parallel_map(
         stacklevel=2,
     )
     items = list(items)
-    # Unlike experiment_map, this legacy entry point never consulted
-    # REPRO_JOBS — resolve the explicit argument only.
-    workers = _resolve_workers(n_workers, len(items))
+    workers = _resolve_jobs(n_workers, len(items))
     return _executor_map(fn, items, jobs=workers, kind="process")

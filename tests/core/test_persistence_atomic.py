@@ -29,12 +29,15 @@ def _stray_files(store: ModelStore) -> list:
     """Files that are neither model members nor store infrastructure.
 
     The sharded layout adds two-level fan-out directories, ``*.lock``
-    files, and ``index.json`` — all expected; anything else (``*.tmp``
-    leftovers in particular) is a leak."""
+    files, and ``index.json`` — all expected; the sqlite backend keeps
+    its index in ``store.sqlite3`` (plus WAL side files) instead.
+    Anything else (``*.tmp`` leftovers in particular) is a leak."""
     return [
         p.name
         for p in store.root.rglob("*")
-        if p.is_file() and p.suffix not in (".npz", ".json", ".lock")
+        if p.is_file()
+        and p.suffix not in (".npz", ".json", ".lock")
+        and not p.name.startswith("store.sqlite3")
     ]
 
 

@@ -84,14 +84,17 @@ class TestFlatMigration:
             assert store.metadata(name) == {"name": name}
 
     def test_names_and_exists_are_index_backed(self, tmp_path):
-        store = ModelStore(tmp_path)
+        # Pinned to local_fs: this test inspects the index.json file
+        # itself, which only that backend materializes. (Cross-backend
+        # index semantics live in tests/runtime/conformance/.)
+        store = ModelStore(tmp_path, backend="local_fs")
         model = _make_model()
         for i in range(5):
             store.save(f"m{i}", model)
         index = json.loads((tmp_path / "index.json").read_text())
         assert sorted(index["artifacts"]) == store.names()
         # A second instance answers from the same index file.
-        fresh = ModelStore(tmp_path)
+        fresh = ModelStore(tmp_path, backend="local_fs")
         assert fresh.names() == [f"m{i}" for i in range(5)]
         assert fresh.exists("m3") and not fresh.exists("m9")
 

@@ -27,6 +27,7 @@ PACKAGES = (
     "repro.metrics",
     "repro.eval",
     "repro.runtime",
+    "repro.runtime.backends",
     "repro.resilience",
 )
 

@@ -1,0 +1,49 @@
+"""The acceptance drill: serving on ``sqlite://`` equals ``file://``.
+
+Runs the full serve + online-refresh workload (the chaos scenario's clean
+drive — warm-up, observe/predict stream, forced reconciling refresh, final
+prediction sweep) once per backend and requires byte-for-byte identical
+responses and predictions. The store backend must be invisible to every
+number the stack produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import ChaosScenario
+
+
+def _scrub(value):
+    """Drop wall-clock timing fields — the one payload element that is
+    legitimately non-deterministic across runs."""
+    if isinstance(value, dict):
+        return {
+            key: _scrub(item)
+            for key, item in value.items()
+            if key != "wall_seconds"
+        }
+    if isinstance(value, (list, tuple)):
+        return [_scrub(item) for item in value]
+    return value
+
+
+@pytest.mark.slow
+def test_serve_and_refresh_bit_identical_across_backends(tmp_path):
+    runs = {}
+    for backend in ("local_fs", "sqlite", "memory"):
+        scenario = ChaosScenario(seed=0, store_backend=backend)
+        responses = []
+        predictions, stats, trips = scenario._drive(  # noqa: SLF001
+            scenario._scenario(), str(tmp_path / backend), None, responses
+        )
+        runs[backend] = (predictions, _scrub(responses), trips)
+
+    reference_predictions, reference_responses, reference_trips = runs["local_fs"]
+    assert all(status == 200 for status, _ in reference_responses)
+    for backend in ("sqlite", "memory"):
+        predictions, responses, trips = runs[backend]
+        assert np.array_equal(predictions, reference_predictions), backend
+        assert responses == reference_responses, backend
+        assert trips == reference_trips, backend

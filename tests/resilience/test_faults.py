@@ -55,6 +55,7 @@ def test_all_sites_are_instrumentable():
     assert set(SITES) == {
         "store.commit",
         "store.lock",
+        "store.index",
         "executor.task",
         "online.refresh",
         "serve.predict",

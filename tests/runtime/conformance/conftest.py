@@ -1,0 +1,85 @@
+"""Backend-conformance harness: one fixture body, every backend.
+
+Every test in this package takes the ``harness`` fixture, which is
+parametrized over all registered backends (``local_fs``, ``sqlite``,
+``memory``). Contract tests are written once against the harness and must
+pass identically on all three — no per-backend skips. Cross-process tests
+use ``xproc_harness``, which covers only the backends whose state is
+visible to other processes (``memory://`` is process-local by design, so
+it is excluded there by construction, not by skip).
+
+The harness opens stores through store URIs (``file://``, ``sqlite://``,
+``memory://``) so every conformance run also exercises the URI-based
+backend selection in :func:`repro.runtime.backends.make_backend`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import ArtifactStore
+
+#: Every registered backend; contract tests run on all of them.
+BACKENDS = ("local_fs", "sqlite", "memory")
+#: Backends whose state other processes can observe.
+CROSS_PROCESS_BACKENDS = ("local_fs", "sqlite")
+
+_SCHEMES = {"local_fs": "file", "sqlite": "sqlite", "memory": "memory"}
+
+
+def store_uri(backend: str, path: Path) -> str:
+    """The store URI selecting ``backend`` rooted at ``path``.
+
+    ``memory://`` URIs use the path purely as a process-wide key, so a
+    unique ``tmp_path`` gives each test its own named instance.
+    """
+    return f"{_SCHEMES[backend]}://{path}"
+
+
+def release_uri(backend: str, path: Path) -> None:
+    """Drop per-test global state a URI may have created (the named
+    ``memory://`` registry entry; the filesystem backends keep state only
+    under ``path``, which pytest reclaims)."""
+    if backend == "memory":
+        from repro.runtime.backends import memory
+
+        memory._REGISTRY.pop(str(path), None)
+
+
+@dataclasses.dataclass
+class StoreHarness:
+    """Opens (and re-opens) stores against one backend + root."""
+
+    backend: str
+    root: str
+
+    def open(self, **kwargs) -> ArtifactStore:
+        return ArtifactStore(self.root, **kwargs)
+
+    def reopen(self, **kwargs) -> ArtifactStore:
+        """A fresh store over the same root — what a second process (or a
+        later run) would construct. For ``memory://`` this resolves to
+        the same named instance, which *is* its reopen semantics."""
+        return self.open(**kwargs)
+
+
+@pytest.fixture(params=BACKENDS)
+def harness(request, tmp_path):
+    backend = request.param
+    yield StoreHarness(backend=backend, root=store_uri(backend, tmp_path))
+    release_uri(backend, tmp_path)
+
+
+@pytest.fixture(params=CROSS_PROCESS_BACKENDS)
+def xproc_harness(request, tmp_path):
+    backend = request.param
+    yield StoreHarness(backend=backend, root=store_uri(backend, tmp_path))
+    release_uri(backend, tmp_path)
+
+
+def write_text(text: str):
+    """A member writer committing ``text`` (the suite's payload helper)."""
+    return lambda path: Path(path).write_text(text)

@@ -1,0 +1,244 @@
+"""The backend contract, written once and run on every backend.
+
+Each test body takes the parametrized ``harness`` fixture and therefore
+runs verbatim on ``local_fs``, ``sqlite``, and ``memory``. A case that
+needed a per-backend branch or skip would mean the backends disagree on
+observable semantics — exactly what this suite exists to forbid. Crash
+windows are simulated through backend primitives (``unregister``,
+``replace_index``) rather than ``index.json`` surgery so the simulation
+itself is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from .conftest import write_text
+
+
+# --------------------------------------------------------------------- #
+# Transactions
+# --------------------------------------------------------------------- #
+
+
+class TestTransactions:
+    def test_commit_and_queries(self, harness):
+        store = harness.open()
+        with store.transaction("model-a") as txn:
+            txn.write("npz", write_text("weights"))
+            txn.write("json", write_text("meta"))
+        assert store.exists("model-a")
+        assert store.exists("model-a", "npz")
+        assert not store.exists("model-a", "bin")
+        assert store.names() == ["model-a"]
+        assert store.members("model-a") == ["json", "npz"]
+        # Members land in the two-level shard fan-out on every backend.
+        path = store.find("model-a", "npz")
+        assert path.read_text() == "weights"
+        assert path.parent.parent.parent == store.root
+        assert len(path.parent.name) == 2 and len(path.parent.parent.name) == 2
+
+    def test_reopen_sees_commits(self, harness):
+        writer = harness.open()
+        with writer.transaction("m") as txn:
+            txn.write("npz", write_text("x"))
+        reader = harness.reopen()
+        assert reader.exists("m", "npz")
+        assert reader.names() == ["m"]
+        assert reader.find("m", "npz").read_text() == "x"
+
+    def test_aborted_transaction_keeps_committed_prefix(self, harness):
+        """Prefix-crash semantics: members committed before the failure
+        stay committed; the failing member leaves no file and no temp."""
+        store = harness.open()
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with store.transaction("m") as txn:
+                txn.write("npz", write_text("x"))  # commits
+
+                def exploding(path):
+                    path.write_text("partial")
+                    raise Boom()
+
+                txn.write("json", exploding)
+        assert store.exists("m", "npz")
+        assert not store.exists("m", "json")
+        assert list(store.root.rglob("*.tmp")) == []
+
+    def test_failing_first_writer_commits_nothing(self, harness):
+        store = harness.open()
+        with pytest.raises(RuntimeError):
+            with store.transaction("m") as txn:
+                txn.write("npz", lambda path: (_ for _ in ()).throw(RuntimeError()))
+        assert not store.exists("m")
+        assert store.names() == []
+        assert list(store.root.rglob("*.tmp")) == []
+
+    def test_overwrite_is_atomic_per_member(self, harness):
+        store = harness.open()
+        for tag in ("one", "two"):
+            with store.transaction("m") as txn:
+                txn.write("npz", write_text(tag))
+        assert store.find("m", "npz").read_text() == "two"
+        assert store.names() == ["m"]
+
+    def test_transaction_holds_the_artifact_lock(self, harness):
+        from repro.runtime import LockTimeout
+
+        store = harness.open()
+        with store.transaction("m") as txn:
+            txn.write("npz", write_text("x"))
+            contender = store.backend.lock("m")
+            contender.timeout = 0.1
+            with pytest.raises(LockTimeout):
+                contender.acquire()
+        # Released on exit: the same lock acquires now.
+        with store.lock("m"):
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Names and members
+# --------------------------------------------------------------------- #
+
+
+class TestNaming:
+    def test_dotted_names_do_not_collide(self, harness):
+        """'m' and 'm.v2' are distinct artifacts; deleting one keeps the
+        other (member suffixes are dot-free, so parsing is unambiguous)."""
+        store = harness.open()
+        for name in ("m", "m.v2"):
+            with store.transaction(name) as txn:
+                txn.write("npz", write_text(name))
+        store.delete("m")
+        assert store.names() == ["m.v2"]
+        assert store.find("m.v2", "npz").read_text() == "m.v2"
+
+    def test_unsafe_names_rejected(self, harness):
+        store = harness.open()
+        for name in ("../escape", "a/b", ""):
+            with pytest.raises(ValueError):
+                with store.transaction(name):
+                    pass
+
+    def test_reserved_members_rejected(self, harness):
+        store = harness.open()
+        with pytest.raises(ValueError):
+            with store.transaction("m") as txn:
+                txn.write("lock", write_text("x"))
+
+    def test_queries_agree(self, harness):
+        """names(), exists(), members(), and find() tell one story."""
+        store = harness.open()
+        expected = {"a": ["json", "npz"], "a.v2": ["npz"], "b": ["bin", "json"]}
+        for name, members in expected.items():
+            with store.transaction(name) as txn:
+                for member in members:
+                    txn.write(member, write_text(f"{name}.{member}"))
+        assert store.names() == sorted(expected)
+        for name, members in expected.items():
+            assert store.exists(name)
+            assert store.members(name) == sorted(members)
+            for member in members:
+                assert store.exists(name, member)
+                assert store.find(name, member).read_text() == f"{name}.{member}"
+        assert not store.exists("absent")
+        assert store.members("absent") == []
+        assert store.find("a", "bin") is None
+        # The member filter of names() agrees with members().
+        assert store.names(member="json") == ["a", "b"]
+        assert store.names(member="bin") == ["b"]
+
+
+# --------------------------------------------------------------------- #
+# Deletion + GC
+# --------------------------------------------------------------------- #
+
+
+class TestMaintenance:
+    def test_delete_removes_members_and_index_entry(self, harness):
+        store = harness.open()
+        with store.transaction("m") as txn:
+            txn.write("npz", write_text("x"))
+            txn.write("json", write_text("y"))
+        store.delete("m")
+        assert not store.exists("m")
+        assert store.names() == []
+        assert store.find("m", "npz") is None
+        assert store.backend.stored_members("m") == set()
+        store.delete("m")  # absent: no error
+        # A reopened store agrees the artifact is gone.
+        assert not harness.reopen().exists("m")
+
+    def test_gc_temp_sweeps_only_orphans(self, harness):
+        store = harness.open()
+        shard = store.shard_dir("m")
+        shard.mkdir(parents=True, exist_ok=True)
+        old = shard / "m.npz.123.0.tmp"
+        old.write_text("orphan")
+        ancient = time.time() - 7200
+        os.utime(old, (ancient, ancient))
+        fresh = shard / "m.npz.123.1.tmp"
+        fresh.write_text("in-flight")
+        removed = store.gc_temp(max_age_s=3600.0)
+        assert removed == [old]
+        assert not old.exists() and fresh.exists()
+        # Temp files are never visible as members.
+        assert store.names() == []
+
+
+# --------------------------------------------------------------------- #
+# Index recovery: crash windows, self-heal, rebuild
+# --------------------------------------------------------------------- #
+
+
+class TestIndexRecovery:
+    def test_find_self_heals_unregistered_member(self, harness):
+        """A writer that crashed between committing bytes and registering
+        the index entry is healed by the next find()/exists() — names()
+        converges back to the stored bytes."""
+        store = harness.open()
+        with store.transaction("ok") as txn:
+            txn.write("npz", write_text("x"))
+        with store.transaction("orphan") as txn:
+            txn.write("npz", write_text("y"))
+        # Simulate the crash window through the backend's own primitive.
+        store.backend.unregister("orphan")
+        assert harness.reopen().names() == ["ok"]  # the regression
+        healer = harness.reopen()
+        assert healer.exists("orphan", "npz")  # stat fallback + self-heal
+        assert healer.names() == ["ok", "orphan"]
+        assert harness.reopen().names() == ["ok", "orphan"]  # persisted
+
+    def test_rebuild_index_recovers_lost_index(self, harness):
+        store = harness.open()
+        for name in ("a", "b"):
+            with store.transaction(name) as txn:
+                txn.write("npz", write_text(name))
+        store.backend.replace_index({})  # the index is lost wholesale
+        fresh = harness.reopen()
+        assert fresh.exists("a", "npz")  # stat fallback still answers
+        assert fresh.rebuild_index() == ["a", "b"]
+        assert fresh.names() == ["a", "b"]
+        assert harness.reopen().names() == ["a", "b"]
+
+    def test_index_never_points_at_missing_bytes(self, harness):
+        """After arbitrary commits and deletes, every index entry resolves
+        to committed bytes."""
+        store = harness.open()
+        for name in ("a", "b", "c"):
+            with store.transaction(name) as txn:
+                txn.write("npz", write_text(name))
+                txn.write("json", write_text(name))
+        store.delete("b")
+        index = store.backend.read_index() or {}
+        assert sorted(index) == ["a", "c"]
+        for name, members in index.items():
+            for member in members:
+                assert store.backend.member_path(name, member).is_file()

@@ -1,0 +1,96 @@
+"""Property test: concurrent commits and deletes never tear an artifact.
+
+Hypothesis draws the schedule — per-thread operation lists of tagged
+two-member commits and deletes against one artifact name — and the
+threads run it concurrently. Whatever interleaving the scheduler picks,
+the store's locking must guarantee:
+
+* the member pair is never torn: both files present with the same tag,
+  or both absent;
+* the index never points at missing bytes.
+
+Each example runs against a fresh root so examples cannot contaminate
+each other (hypothesis re-runs the body many times per test invocation,
+which is why the package's function-scoped ``harness`` fixture is not
+used here).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ArtifactStore
+
+from .conftest import BACKENDS, release_uri, store_uri, write_text
+
+pytestmark = pytest.mark.fuzz
+
+#: One thread's schedule: a few commits/deletes in order.
+_OPS = st.lists(st.sampled_from(["commit", "delete"]), min_size=1, max_size=4)
+#: Two to four concurrent threads, each with its own schedule.
+_SCHEDULES = st.lists(_OPS, min_size=2, max_size=4)
+
+
+def _run_schedule(store: ArtifactStore, ops, worker_id, errors):
+    try:
+        for step, op in enumerate(ops):
+            if op == "commit":
+                tag = f"{worker_id}-{step}"
+                with store.transaction("shared") as txn:
+                    txn.write("npz", write_text(tag))
+                    txn.write("json", write_text(tag))
+            else:
+                store.delete("shared")
+    except BaseException as exc:  # pragma: no cover - the failure we hunt
+        errors.append((worker_id, exc))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedules=_SCHEDULES)
+def test_interleaved_commits_and_deletes_never_tear(backend, schedules):
+    with tempfile.TemporaryDirectory(prefix="repro-conformance-") as tmp:
+        root = store_uri(backend, tmp)
+        try:
+            store = ArtifactStore(root)
+            errors = []
+            threads = [
+                threading.Thread(
+                    target=_run_schedule,
+                    args=(ArtifactStore(root), ops, worker_id, errors),
+                )
+                for worker_id, ops in enumerate(schedules)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert errors == []
+
+            # Invariant 1: the member pair is whole — both present with one
+            # writer's tag, or both absent.
+            npz = store.find("shared", "npz")
+            sidecar = store.find("shared", "json")
+            assert (npz is None) == (sidecar is None)
+            if npz is not None:
+                assert npz.read_text() == sidecar.read_text()
+
+            # Invariant 2: every index entry resolves to committed bytes.
+            index = store.backend.read_index() or {}
+            for name, members in index.items():
+                for member in members:
+                    assert store.backend.member_path(name, member).is_file()
+
+            # Invariant 3: no staged temp files survive the schedule.
+            assert list(store.root.rglob("*.tmp")) == []
+        finally:
+            release_uri(backend, tmp)

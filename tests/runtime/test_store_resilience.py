@@ -9,6 +9,7 @@ import pytest
 from repro.core.persistence import ModelStore, default_lock_retry
 from repro.resilience import (
     SITE_STORE_COMMIT,
+    SITE_STORE_INDEX,
     SITE_STORE_LOCK,
     FaultInjector,
     FaultPlan,
@@ -134,6 +135,62 @@ def test_commit_fault_on_second_member_leaves_a_consistent_prefix(tmp_path):
     assert store.members("m") == ["npz"]
     assert not store.exists("m", "json")
     assert list(tmp_path.rglob("*.tmp")) == []
+
+
+# --------------------------------------------------------------------- #
+# Index faults: the crash window between commit and registration
+# --------------------------------------------------------------------- #
+
+
+def _index_fault_plan(fires: int = 1) -> FaultPlan:
+    return FaultPlan(
+        seed=0,
+        specs=(FaultSpec(site=SITE_STORE_INDEX, kind="raise", max_fires=fires),),
+    )
+
+
+@pytest.mark.parametrize("backend", ["local_fs", "sqlite", "memory"])
+def test_index_fault_leaves_committed_bytes_and_self_heals(tmp_path, backend):
+    """A raise injected into the index registration reproduces the
+    commit-then-crash window exactly: the member bytes are committed, the
+    index entry is missing, and the next read self-heals — on every
+    backend."""
+    store = ArtifactStore(tmp_path, backend=backend)
+    with store.transaction("ok") as txn:  # the index exists before the fault
+        txn.write("npz", _write_text("seed"))
+    with FaultInjector(_index_fault_plan(fires=1)):
+        with pytest.raises(InjectedFault):
+            with store.transaction("m") as txn:
+                txn.write("npz", _write_text("x"))
+    # The bytes landed; the index entry did not.
+    assert store.backend.stored_members("m") == {"npz"}
+    assert store.backend.index_members("m") is None
+    # find() heals the entry, so names() converges back to the bytes.
+    assert store.exists("m", "npz")
+    assert store.names() == ["m", "ok"]
+    assert store.backend.index_members("m") == ["npz"]
+
+
+@pytest.mark.parametrize("backend", ["local_fs", "sqlite", "memory"])
+def test_index_fault_on_delete_is_recoverable(tmp_path, backend):
+    """A crash between delete()'s byte removal and its index update leaves
+    a dangling entry (the documented crash window, same as pre-backend
+    stores) — and retrying the delete converges the store on every
+    backend."""
+    store = ArtifactStore(tmp_path, backend=backend)
+    with store.transaction("m") as txn:
+        txn.write("npz", _write_text("x"))
+    with FaultInjector(_index_fault_plan(fires=1)):
+        with pytest.raises(InjectedFault):
+            store.delete("m")
+    # The bytes are gone; the index entry dangles until the next delete
+    # (or rebuild_index) converges it.
+    assert store.backend.stored_members("m") == set()
+    assert store.backend.index_members("m") == ["npz"]
+    store.delete("m")  # the fault cleared: delete completes
+    assert not store.exists("m")
+    assert store.names() == []
+    assert store.backend.index_members("m") is None
 
 
 def test_commit_delay_faults_do_not_change_outcomes(tmp_path):

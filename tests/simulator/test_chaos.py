@@ -16,7 +16,7 @@ from repro.simulator import (
 def test_fault_plan_covers_every_site_and_is_capped():
     plan = build_fault_plan(seed=0)
     assert {spec.site for spec in plan.specs} == {
-        "store.commit", "store.lock", "executor.task",
+        "store.commit", "store.lock", "store.index", "executor.task",
         "online.refresh", "serve.predict",
     }
     assert all(spec.max_fires is not None for spec in plan.specs)
@@ -47,7 +47,7 @@ def test_chaos_scenario_end_to_end():
     assert report.unstructured_500s == 0
     # Every site of the plan actually fired.
     assert set(report.injected) == {
-        "store.commit", "store.lock", "executor.task",
+        "store.commit", "store.lock", "store.index", "executor.task",
         "online.refresh", "serve.predict",
     }
     assert all(count >= 1 for count in report.injected.values())
@@ -64,6 +64,19 @@ def test_chaos_scenario_end_to_end():
     # the fault run predicts byte-for-byte what the clean run predicts.
     assert report.bit_identical
     assert report.max_abs_delta_s == 0.0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ["sqlite", "memory"])
+def test_chaos_scenario_passes_on_alternate_backends(backend):
+    """PR 7's invariants hold when the store index lives in SQLite (or in
+    memory): injected index faults are absorbed, every response stays
+    structured, and the post-outage stream is bit-identical."""
+    report = run_chaos_scenario(seed=0, store_backend=backend)
+    assert report.passed, report.summary()
+    assert report.unstructured_500s == 0
+    assert report.injected.get("store.index", 0) >= 1
+    assert report.bit_identical
 
 
 @pytest.mark.slow

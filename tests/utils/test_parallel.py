@@ -48,6 +48,58 @@ class TestParallelMap:
         )
 
 
+class TestWorkerResolutionOrder:
+    """Regression: parallel_map resolves workers like every other runtime
+    entry point — explicit argument (0 included) beats ``REPRO_JOBS``,
+    ``None`` falls back to the environment, and the default is serial.
+    Historically the shim ignored ``REPRO_JOBS`` entirely."""
+
+    def test_none_falls_back_to_repro_jobs(self, monkeypatch):
+        recorded = {}
+
+        def spy(fn, items, jobs=None, kind=None):
+            recorded["jobs"] = jobs
+            return [fn(item) for item in items]
+
+        monkeypatch.setattr("repro.utils.parallel._executor_map", spy)
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert parallel_map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert recorded["jobs"] == 3
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        recorded = {}
+
+        def spy(fn, items, jobs=None, kind=None):
+            recorded["jobs"] = jobs
+            return [fn(item) for item in items]
+
+        monkeypatch.setattr("repro.utils.parallel._executor_map", spy)
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        parallel_map(_square, [1, 2, 3, 4], n_workers=2)
+        assert recorded["jobs"] == 2
+        # Explicit 0 (serial) also wins over the environment.
+        parallel_map(_square, [1, 2, 3, 4], n_workers=0)
+        assert recorded["jobs"] == 1
+
+    def test_default_without_environment_is_serial(self, monkeypatch):
+        recorded = {}
+
+        def spy(fn, items, jobs=None, kind=None):
+            recorded["jobs"] = jobs
+            return [fn(item) for item in items]
+
+        monkeypatch.setattr("repro.utils.parallel._executor_map", spy)
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        parallel_map(_square, [1, 2, 3, 4])
+        assert recorded["jobs"] == 1
+
+    def test_repro_jobs_changes_real_execution(self, monkeypatch):
+        """End to end (no spy): REPRO_JOBS=2 actually runs and returns the
+        same ordered results as serial."""
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert parallel_map(_square, list(range(8))) == [x * x for x in range(8)]
+
+
 class TestExperimentDeterminismAcrossWorkers:
     @pytest.mark.slow
     def test_cross_context_records_identical(self):
