@@ -72,11 +72,92 @@ ABSOLUTE_CEILINGS_NS = (
 )
 
 
+#: The 4-worker fleet must clear this throughput multiple of 1 worker —
+#: but only on runners with the cores to scale onto (see the gate).
+FLEET_SCALING_FLOOR_AT_4 = 2.5
+
+#: Cross-worker refresh propagation must land within this many
+#: generation-check intervals plus slack (cross-runner scheduling noise).
+FLEET_PROPAGATION_INTERVALS = 4.0
+FLEET_PROPAGATION_SLACK_S = 1.0
+
+
 def _lookup(payload: dict, path) -> float:
     node = payload
     for key in path:
         node = node[key]
     return float(node)
+
+
+def _check_serve_fleet(current: dict, failures: list) -> None:
+    """Gate the pre-fork fleet section of the current run.
+
+    Correctness legs (bit-identity, zero dropped requests, refresh
+    propagation within a few generation-check intervals) are gated
+    unconditionally. The 4-worker scaling floor is gated **only when the
+    run's recorded CPU count is >= 4**: worker processes scale across
+    cores, and a 1-CPU runner serializes them — an honest ratio there
+    hovers near 1x and says nothing about the fleet.
+    """
+    fleet = current.get("serve_fleet")
+    if fleet is None:
+        failures.append("serve_fleet missing from the current run")
+        return
+    for workers in sorted(fleet.get("curves", {}), key=int):
+        entry = fleet["curves"][workers]
+        label = f"serve_fleet.curves.{workers}"
+        if not entry.get("bit_identical_to_serial"):
+            failures.append(f"{label} responses not bit-identical to serial")
+        dropped = int(entry.get("errors", 0)) + int(
+            entry.get("requests", 0) - entry.get("completed", 0)
+        )
+        status = "ok" if dropped == 0 else "REGRESSION"
+        print(
+            f"{label}: {entry.get('requests_per_s', 0):.0f} req/s, "
+            f"{dropped} dropped, bit-identical="
+            f"{bool(entry.get('bit_identical_to_serial'))} [{status}]"
+        )
+        if dropped:
+            failures.append(f"{label} dropped {dropped} request(s)")
+
+    interval = float(fleet.get("generation_check_s", 1.0))
+    ceiling = interval * FLEET_PROPAGATION_INTERVALS + FLEET_PROPAGATION_SLACK_S
+    propagation = float(fleet.get("refresh_propagation_s", float("inf")))
+    status = "ok" if propagation <= ceiling else "REGRESSION"
+    print(
+        f"serve_fleet.refresh_propagation_s: {propagation:.2f}s "
+        f"(ceiling {ceiling:.2f}s at {interval}s checks) [{status}]"
+    )
+    if status != "ok":
+        failures.append(
+            f"serve_fleet refresh propagation took {propagation:.2f}s "
+            f"(> {ceiling:.2f}s)"
+        )
+
+    cpus = int(fleet.get("cpus") or current.get("environment", {}).get("cpus") or 1)
+    scaling = fleet.get("scaling_vs_1_worker", {}).get("4")
+    if cpus < 4:
+        print(
+            f"serve_fleet.scaling_vs_1_worker.4: "
+            f"{'%.2fx' % scaling if scaling is not None else 'n/a'} "
+            f"(floor waived: only {cpus} cpu(s) on this runner) [skipped]"
+        )
+        return
+    if scaling is None:
+        failures.append(
+            "serve_fleet 4-worker scaling missing on a >=4-cpu runner"
+        )
+        return
+    status = "ok" if scaling >= FLEET_SCALING_FLOOR_AT_4 else "REGRESSION"
+    print(
+        f"serve_fleet.scaling_vs_1_worker.4: {scaling:.2f}x "
+        f"(hard floor {FLEET_SCALING_FLOOR_AT_4}x on {cpus} cpus) [{status}]"
+    )
+    if status != "ok":
+        failures.append(
+            f"serve_fleet 4-worker scaling fell to {scaling:.2f}x "
+            f"(< {FLEET_SCALING_FLOOR_AT_4}x on a {cpus}-cpu runner)"
+        )
 
 
 def main() -> int:
@@ -162,6 +243,8 @@ def main() -> int:
         print(f"{label}: {now:.0f}ns (ceiling {ceiling:.0f}ns) [{status}]")
         if status != "ok":
             failures.append(f"{label} is {now:.0f}ns (> {ceiling:.0f}ns ceiling)")
+
+    _check_serve_fleet(current, failures)
 
     if failures:
         print("\n".join(["", "FAILED:"] + failures), file=sys.stderr)

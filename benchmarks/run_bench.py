@@ -901,6 +901,177 @@ def bench_store_backends(
 
 
 # --------------------------------------------------------------------- #
+# Fleet level (pre-fork serving scale-out)
+# --------------------------------------------------------------------- #
+
+
+def bench_serve_fleet(
+    worker_counts=(1, 2, 4),
+    n_requests: int = 1500,
+    rps: float = 3000.0,
+    max_open: int = 600,
+) -> dict:
+    """Pre-fork fleet scaling curves under open-loop heavy-tailed load.
+
+    For each worker count, a :class:`FleetSupervisor` serves the same
+    warmed store and ``benchmarks/load_test.py`` fires a seeded Pareto
+    arrival process at the shared listener (the identical schedule per
+    worker count). The offered rate is deliberately far above aggregate
+    capacity, so the reported ``requests_per_s`` is the fleet's saturated
+    throughput rather than an echo of the arrival schedule. Before any throughput number is reported, **every**
+    captured response is asserted bit-identical to serial
+    ``Session.predict`` — scaling that changes predictions is a bug, not
+    a speedup. A final 2-worker fleet measures cross-worker refresh
+    propagation: the wall time from a store publish in the parent to
+    every worker's ``/healthz`` reporting the new store generation.
+
+    Throughput ratios only mean scale-out where cores exist to scale onto;
+    ``check_regression.py`` gates the 4-worker ratio only when the run's
+    recorded ``cpus`` >= 4 (a 1-CPU box serializes the workers and honest
+    ratios there hover near 1x).
+    """
+    import sys as _sys
+    import tempfile
+
+    _sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from load_test import run_load_test
+
+    from repro.api import Session
+    from repro.core.config import BellamyConfig
+    from repro.core.persistence import ModelStore
+    from repro.data import generate_c3o_dataset
+    from repro.serve import (
+        FleetSupervisor,
+        HttpServeClient,
+        ServeApp,
+        reuseport_available,
+    )
+    from repro.serve.schemas import predict_payload
+
+    generation_check_s = 0.25
+    dataset = generate_c3o_dataset(seed=0)
+    config = BellamyConfig(seed=0).with_overrides(pretrain_epochs=30)
+    store_root = tempfile.mkdtemp(prefix="bench-fleet-")
+    serial = Session(dataset, config=config, store=store_root)
+    serial.base_model("sgd")  # train once; every worker loads from the store
+
+    contexts = dataset.for_algorithm("sgd").contexts()[:8]
+    machine_lists = ([2, 4, 8], [4, 8], [6, 10, 12], [8])
+    combos = [
+        (contexts[i % len(contexts)], machine_lists[i % len(machine_lists)])
+        for i in range(16)
+    ]
+    payloads = [predict_payload(ctx, machines) for ctx, machines in combos]
+    expected = [
+        np.asarray(serial.predict(ctx, machines), dtype=np.float64)
+        for ctx, machines in combos
+    ]
+
+    def make_app() -> ServeApp:
+        session = Session(dataset, config=config, store=store_root)
+        return ServeApp(
+            session,
+            batch_max=256,
+            batch_wait_ms=10.0,
+            generation_check_s=generation_check_s,
+        )
+
+    curves = {}
+    for workers in worker_counts:
+        supervisor = FleetSupervisor(
+            make_app, port=0, workers=workers, stable_after_s=0.5
+        )
+        supervisor.start()
+        try:
+            # Warm every worker through its admin port so the load test
+            # measures steady state, not first-touch model loads.
+            for row in supervisor.worker_table():
+                client = HttpServeClient(f"http://127.0.0.1:{row['admin_port']}")
+                for ctx, machines in combos[:4]:
+                    client.predict(ctx, machines)
+            result = run_load_test(
+                supervisor.url,
+                payloads,
+                n_requests=n_requests,
+                rps=rps,
+                max_open=max_open,
+                seed=0,
+                capture=True,
+            )
+        finally:
+            supervisor.close()
+        if result.errors or result.completed != n_requests:
+            raise SystemExit(
+                f"FATAL: fleet load test at {workers} worker(s) dropped "
+                f"{n_requests - result.completed + result.errors} request(s)"
+            )
+        for i, body in enumerate(result.bodies):
+            got = np.asarray(body["predictions_s"], dtype=np.float64)
+            if not np.array_equal(got, expected[i % len(expected)]):
+                raise SystemExit(
+                    f"FATAL: fleet response {i} at {workers} worker(s) is "
+                    "not bit-identical to serial predict"
+                )
+        entry = result.to_dict()
+        entry["workers"] = workers
+        entry["bit_identical_to_serial"] = True
+        curves[str(workers)] = entry
+
+    # Refresh propagation: publish in the parent, poll each worker's admin
+    # endpoint (a predict drives the rate-limited generation probe; the
+    # healthz body reports the generation the watcher has applied).
+    supervisor = FleetSupervisor(make_app, port=0, workers=2, stable_after_s=0.5)
+    supervisor.start()
+    try:
+        clients = [
+            HttpServeClient(f"http://127.0.0.1:{row['admin_port']}")
+            for row in supervisor.worker_table()
+        ]
+        for client in clients:
+            client.predict(*combos[0])  # settle each watcher's baseline
+        store = ModelStore(store_root)
+        store.publish_serving_overrides({"bench-refresh-probe": "bench-refresh-probe"})
+        target = store.generation()
+        published = time.perf_counter()
+        while True:
+            generations = []
+            for client in clients:
+                client.predict(*combos[0])
+                generations.append(client.healthz().get("store_generation"))
+            if all(g is not None and g >= target for g in generations):
+                break
+            if time.perf_counter() - published > 30.0:
+                raise SystemExit(
+                    f"FATAL: refresh propagation timed out; workers at "
+                    f"{generations}, store at {target}"
+                )
+            time.sleep(0.02)
+        propagation_s = time.perf_counter() - published
+    finally:
+        supervisor.close()
+
+    base_rps = curves[str(worker_counts[0])]["requests_per_s"]
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "rps_target": rps,
+            "max_open": max_open,
+            "arrivals": "pareto(shape=1.5), seed 0, open-loop",
+            "payload_variants": len(payloads),
+        },
+        "curves": curves,
+        "scaling_vs_1_worker": {
+            str(w): curves[str(w)]["requests_per_s"] / max(base_rps, 1e-9)
+            for w in worker_counts
+        },
+        "refresh_propagation_s": propagation_s,
+        "generation_check_s": generation_check_s,
+        "reuseport": reuseport_available(),
+        "cpus": os.cpu_count(),
+    }
+
+
+# --------------------------------------------------------------------- #
 
 
 def main() -> int:
@@ -950,6 +1121,9 @@ def main() -> int:
         payload["serving_level"] = bench_serving()
         payload["serve_level"] = bench_serve(concurrency=200)
         payload["online_level"] = bench_online()
+        payload["serve_fleet"] = bench_serve_fleet(
+            n_requests=400 if args.quick else 1500
+        )
 
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     step = payload["step_level"]
@@ -1005,6 +1179,18 @@ def main() -> int:
             f"online: drift flagged after {online['observations_to_flag']} "
             f"observations, refresh {online['refresh_latency_s'] * 1e3:.0f} ms, "
             f"MRE {online['stale_mre']:.3f} -> {online['refreshed_mre']:.3f}"
+        )
+    if "serve_fleet" in payload:
+        fleet = payload["serve_fleet"]
+        curve = "  ".join(
+            f"{w}w {fleet['curves'][w]['requests_per_s']:.0f} req/s "
+            f"({fleet['scaling_vs_1_worker'][w]:.2f}x)"
+            for w in sorted(fleet["curves"], key=int)
+        )
+        print(
+            f"fleet: {curve}  refresh propagation "
+            f"{fleet['refresh_propagation_s'] * 1e3:.0f} ms on "
+            f"{fleet['cpus']} cpu(s), bit-identical"
         )
     print(f"wrote {args.out}")
     return 0

@@ -252,9 +252,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     it in a :class:`repro.serve.PredictionServer` (micro-batching + warm
     -model cache), optionally pre-warms per-algorithm base models, and
     serves until interrupted — draining the batch queue on shutdown.
+
+    ``--workers N`` (N > 1) switches to the pre-fork fleet: a
+    :class:`repro.serve.FleetSupervisor` forks N workers over one listen
+    port, each running its own full serving stack over the shared model
+    store (see :mod:`repro.serve.fleet`).
     """
     from repro.api import Session
-    from repro.serve import HttpServeClient, PredictionServer
+    from repro.serve import HttpServeClient, PredictionServer, serve_foreground
+
+    if args.workers > 1:
+        return _serve_fleet(args)
 
     dataset = _load_traces(args.traces, args.seed)
     config = None
@@ -325,27 +333,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"for {context.algorithm}; /metrics scrape valid"
             )
             return 0
-        print(f"serving on {server.url}  (Ctrl-C to stop)")
-        print(
-            f"batching: <= {args.batch_max} requests / "
-            f"{args.batch_window_ms:.1f} ms window; cache: "
-            f"{args.cache_size} models"
-            + (f", TTL {args.cache_ttl:.0f}s" if args.cache_ttl else "")
-        )
         # SIGTERM (the container-orchestrator stop signal) drains exactly
-        # like Ctrl-C instead of killing in-flight requests.
+        # like Ctrl-C instead of killing in-flight requests — both route
+        # through PredictionServer.close() inside serve_foreground. The
+        # handlers go in *before* the banner so a stop signal arriving the
+        # moment the address is printed is already graceful.
         import signal
 
-        def _terminate(signum, frame):
+        def _trip(signum, frame):
             raise KeyboardInterrupt
 
-        previous = signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGTERM, _trip)
+        signal.signal(signal.SIGINT, _trip)
         try:
-            server.serve_forever()
+            print(f"serving on {server.url}  (Ctrl-C to stop)")
+            print(
+                f"batching: <= {args.batch_max} requests / "
+                f"{args.batch_window_ms:.1f} ms window; cache: "
+                f"{args.cache_size} models"
+                + (f", TTL {args.cache_ttl:.0f}s" if args.cache_ttl else "")
+            )
+            serve_foreground(server)
         except KeyboardInterrupt:
-            print("\nshutting down (draining batch queue) ...")
-        finally:
-            signal.signal(signal.SIGTERM, previous)
+            pass  # signal landed outside serve_forever; close() runs below
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        print("\nshut down (batch queue drained)")
         return 0
     finally:
         server.close()
@@ -403,6 +416,189 @@ def _check_metrics_scrape(client, online: bool = False) -> list:
         for labels, value in samples:
             if value != value:  # NaN
                 problems.append(f"/metrics sample {name}{labels} is NaN")
+    return problems
+
+
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --workers N``: pre-fork fleet over a shared model store.
+
+    The supervisor binds the listen port once; each forked worker builds
+    its *own* serving stack (session, executor, micro-batcher, warm
+    cache) after fork via ``app_factory`` and coordinates with its peers
+    only through the store — online refreshes publish serving overrides
+    there, and every worker's generation watcher picks them up.
+    """
+    import json
+    import urllib.request
+
+    from repro.core.persistence import ModelStore
+    from repro.serve import FleetSupervisor, HttpServeClient, ensure_fleet_store
+
+    if args.store is None:
+        raise ValueError(
+            "--workers > 1 forks processes that coordinate through the "
+            "model store; pass --store with a file:// or sqlite:// backend"
+        )
+    # Fail before forking anything: memory:// is process-private.
+    ensure_fleet_store(ModelStore(args.store))
+
+    dataset = _load_traces(args.traces, args.seed)
+    config = None
+    if args.pretrain_epochs is not None:
+        from repro.core.config import BellamyConfig
+
+        config = BellamyConfig(seed=args.seed).with_overrides(
+            pretrain_epochs=args.pretrain_epochs
+        )
+    if args.warm:
+        # Train in the parent, once; workers then load from the store.
+        from repro.api import Session
+
+        warm_session = Session(dataset, config=config, store=args.store, seed=args.seed)
+        for algorithm in args.warm:
+            print(f"warming base model for {algorithm!r} ...")
+            warm_session.base_model(algorithm)
+
+    def app_factory():
+        # Runs after fork, once per worker: fresh threads, batcher, and
+        # warm cache — only the store is shared between workers.
+        from repro.api import Session
+        from repro.serve import ServeApp
+
+        session = Session(dataset, config=config, store=args.store, seed=args.seed)
+        online = None
+        if args.online:
+            from repro.online import ObservationBuffer, OnlineSession, RefreshPolicy
+
+            policy = RefreshPolicy(
+                tolerance=args.drift_tolerance,
+                refresh_samples=args.refresh_samples,
+                max_epochs=args.refresh_epochs,
+            )
+            buffer = ObservationBuffer(
+                capacity_per_group=policy.buffer_capacity, path=args.observations
+            )
+            online = OnlineSession(
+                session, policy, buffer=buffer, publish_overrides=True
+            )
+        log_stream = None
+        if args.log is not None:
+            log_stream = args.log.open("a", encoding="utf-8", buffering=1)
+        return ServeApp(
+            session,
+            batch_max=args.batch_max,
+            batch_wait_ms=args.batch_window_ms,
+            exact=not args.vectorized,
+            cache_size=args.cache_size,
+            cache_ttl_s=args.cache_ttl,
+            log_stream=log_stream,
+            online=online,
+            request_deadline_s=args.request_deadline,
+            max_queue_depth=args.max_queue_depth,
+            retry_after_s=args.retry_after,
+            generation_check_s=args.generation_check,
+        )
+
+    supervisor = FleetSupervisor(
+        app_factory,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        fleet_port=args.fleet_port,
+    )
+    if args.smoke:
+        supervisor.start()
+        try:
+            health = json.loads(
+                urllib.request.urlopen(
+                    supervisor.fleet_url + "/fleet/healthz", timeout=10
+                ).read()
+            )
+            context = dataset.contexts()[0]
+            prediction = HttpServeClient(supervisor.url).predict(context, [4, 8])
+            problems = []
+            if health["alive"] != args.workers:
+                problems.append(
+                    f"only {health['alive']}/{args.workers} workers alive"
+                )
+            problems += _check_fleet_metrics_scrape(
+                supervisor, workers=args.workers, online=args.online
+            )
+            if problems:
+                for problem in problems:
+                    print(f"smoke FAILED: {problem}")
+                return 1
+            print(
+                f"smoke ok: {supervisor.url} x{args.workers} workers "
+                f"status={health['status']} "
+                f"predicted {[round(p, 1) for p in prediction.tolist()]}s "
+                f"for {context.algorithm}; /fleet/metrics scrape valid"
+            )
+            return 0
+        finally:
+            supervisor.close()
+    # Handlers before the banner (see cmd_serve): a SIGTERM arriving the
+    # moment the address is printed must already take the drain path.
+    import signal
+
+    def _trip(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _trip)
+    signal.signal(signal.SIGINT, _trip)
+    try:
+        supervisor.start()
+        print(
+            f"serving on {supervisor.url} with {args.workers} workers "
+            f"(Ctrl-C to stop)"
+        )
+        print(f"fleet endpoint: {supervisor.fleet_url}/fleet/healthz")
+        supervisor.run_forever()
+    except KeyboardInterrupt:
+        pass  # signal landed outside run_forever's own window
+    finally:
+        supervisor.close()
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    print("\nshut down (workers drained)")
+    return 0
+
+
+def _check_fleet_metrics_scrape(supervisor, workers: int, online: bool = False) -> list:
+    """Gate ``serve --workers N --smoke`` on the aggregated scrape.
+
+    The merged ``/fleet/metrics`` text must parse, carry every family of
+    :data:`REQUIRED_METRIC_FAMILIES` (plus the online families with
+    ``--online``), show every worker index on the always-present in-flight
+    gauge, and contain no NaN samples.
+    """
+    from repro.metrics import parse_text
+
+    try:
+        series = parse_text(supervisor.fleet_metrics_text())
+    except ValueError as error:
+        return [f"/fleet/metrics is not valid Prometheus text: {error}"]
+    problems = []
+    required = REQUIRED_METRIC_FAMILIES
+    if online:
+        required = required + REQUIRED_ONLINE_METRIC_FAMILIES
+    for name in required:
+        if name not in series:
+            problems.append(f"/fleet/metrics is missing required series {name}")
+    # Counters with dynamic labels only exist on workers that served
+    # traffic; the in-flight gauge exists from app construction, so it is
+    # the one family every live worker must contribute.
+    gauge = "repro_serve_inflight_requests"
+    seen = {labels.get("worker") for labels, _ in series.get(gauge, [])}
+    missing = {str(index) for index in range(workers)} - seen
+    if missing:
+        problems.append(
+            f"/fleet/metrics gauge {gauge} lacks worker label(s) {sorted(missing)}"
+        )
+    for name, samples in series.items():
+        for labels, value in samples:
+            if value != value:  # NaN
+                problems.append(f"/fleet/metrics sample {name}{labels} is NaN")
     return problems
 
 

@@ -148,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8265, help="TCP port (0 picks a free one)"
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-fork this many worker processes sharing the listen port "
+        "(1 = classic in-process serving; >1 needs --store on a file:// or "
+        "sqlite:// backend the workers coordinate through)",
+    )
+    serve.add_argument(
+        "--fleet-port", type=int, default=0,
+        help="TCP port of the supervisor's aggregation endpoint "
+        "(/fleet/healthz, /fleet/stats, /fleet/metrics; 0 picks a free one)",
+    )
+    serve.add_argument(
+        "--generation-check", type=float, default=1.0, metavar="SECONDS",
+        help="minimum interval between store-generation checks a worker "
+        "uses to notice model refreshes committed by its peers "
+        "(--workers > 1)",
+    )
+    serve.add_argument(
         "--warm", action="append", default=[], metavar="ALGORITHM",
         help="resolve this algorithm's base model before accepting traffic "
         "(repeatable)",

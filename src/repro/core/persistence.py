@@ -83,6 +83,11 @@ def model_class_registry() -> Dict[str, type]:
 #: Reserved ``.npz`` member holding the embedded config/metadata JSON.
 _META_KEY = "__meta_json__"
 
+#: The artifact carrying the published serving-overrides document
+#: (``group -> refreshed model name``); json-only, so it is never
+#: reported by ``names()`` and never loadable as a model.
+OVERRIDES_NAME = "online--serving-overrides"
+
 
 class ModelStore:
     """A directory of named, pre-trained Bellamy models.
@@ -240,6 +245,54 @@ class ModelStore:
         """All stored model names (sorted), answered from the store index
         plus any not-yet-migrated flat-layout files."""
         return self.artifacts.names(member="npz")
+
+    def generation(self) -> int:
+        """The store's monotonic generation — bumped (in whichever
+        process) by every save, delete, and index rebuild. Serving
+        caches poll this to learn that another worker refreshed a
+        model."""
+        return self.artifacts.generation()
+
+    # ------------------------------------------------------------------ #
+    # Serving overrides (the cross-process refresh hand-off document)
+    # ------------------------------------------------------------------ #
+
+    def publish_serving_overrides(self, overrides: Dict[str, str]) -> None:
+        """Persist the ``group -> model name`` serving-overrides map.
+
+        The online refresh path publishes here after committing a
+        refreshed model; the committed transaction bumps the store
+        generation, which is what other processes' generation watchers
+        poll. The document is a plain JSON artifact
+        (:data:`OVERRIDES_NAME`) — ``names()`` never reports it as a
+        model because it carries no ``npz`` member.
+        """
+        payload = {
+            "version": 1,
+            "overrides": {
+                str(group): self._check_name(name)
+                for group, name in sorted(overrides.items())
+            },
+        }
+        with self.artifacts.transaction(OVERRIDES_NAME) as txn:
+            txn.write("json", lambda path: save_json(path, payload))
+
+    def load_serving_overrides(self) -> Dict[str, str]:
+        """The published ``group -> model name`` map (``{}`` when never
+        published). A concurrent publish is retried once: the document
+        is swapped via ``os.replace``, so a read can race the swap but
+        never observes a half-written file."""
+        for _ in range(2):
+            path = self.artifacts.find(OVERRIDES_NAME, "json")
+            if path is None:
+                return {}
+            try:
+                payload = load_json(path)
+            except (OSError, ValueError):
+                continue  # racing replace: re-resolve and re-read
+            overrides = payload.get("overrides", {})
+            return {str(group): str(name) for group, name in overrides.items()}
+        return {}
 
     def delete(self, name: str) -> None:
         """Remove a stored model (no error if absent)."""

@@ -213,9 +213,16 @@ class OnlineSession:
         detector: Optional[DriftDetector] = None,
         executor: Optional[Executor] = None,
         registry: Optional[MetricsRegistry] = None,
+        publish_overrides: bool = False,
     ) -> None:
         self.session = session
         self.executor = executor
+        #: Publish the serving-overrides document after every swap so
+        #: *other processes* (fleet workers polling the store generation)
+        #: pick the refreshed model up. Off by default: a single-process
+        #: deployment needs no document, and the extra committed artifact
+        #: would surprise store-content assertions.
+        self.publish_overrides = publish_overrides
         #: Whether this session created :attr:`executor` itself (lazily, in
         #: :meth:`refresh_async`) and therefore shuts it down in
         #: :meth:`close`; injected executors belong to their injector.
@@ -573,6 +580,16 @@ class OnlineSession:
                 },
             )
             self.session.serving_overrides[group] = model_name
+            if self.publish_overrides:
+                # Hand the swap to other processes: the document commit
+                # bumps the store generation their watchers poll.
+                self.session.store.publish_serving_overrides(
+                    {
+                        g: name
+                        for g, name in self.session.serving_overrides.items()
+                        if isinstance(name, str)
+                    }
+                )
         else:
             self.session.serving_overrides[group] = model
         # The swapped-out version must not keep serving from the warm cache.

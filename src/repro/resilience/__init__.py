@@ -30,6 +30,7 @@ failure, bit-identical predictions once faults clear.
 from repro.resilience.faults import (
     ACTIVE,
     SITE_EXECUTOR_TASK,
+    SITE_FLEET_WORKER,
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,
     SITE_STORE_COMMIT,
@@ -55,6 +56,7 @@ __all__ = [
     "ACTIVE",
     "SITES",
     "SITE_EXECUTOR_TASK",
+    "SITE_FLEET_WORKER",
     "SITE_ONLINE_REFRESH",
     "SITE_SERVE_PREDICT",
     "SITE_STORE_COMMIT",

@@ -74,6 +74,10 @@ SITE_SERVE_PREDICT = "serve.predict"
 #: members), whatever the backend — ``index.json`` rewrite on local FS,
 #: the SQLite row upsert on ``sqlite``.
 SITE_STORE_INDEX = "store.index"
+#: Fleet worker bootstrap (after fork, before the worker starts serving)
+#: — a ``raise`` here kills the worker process, exercising the
+#: supervisor's crash-restart path.
+SITE_FLEET_WORKER = "fleet.worker"
 
 #: Every named injection point wired through the stack.
 SITES = (
@@ -83,6 +87,7 @@ SITES = (
     SITE_EXECUTOR_TASK,
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,
+    SITE_FLEET_WORKER,
 )
 
 #: The installed injector, or ``None`` (the common case). Instrumented

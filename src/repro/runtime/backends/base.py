@@ -278,6 +278,24 @@ class StoreBackend(abc.ABC):
         """Atomically replace the whole index with ``artifacts``
         (the rebuild path)."""
 
+    @abc.abstractmethod
+    def generation(self) -> int:
+        """The store's monotonic **generation** counter.
+
+        Starts at 0 for a fresh store and is bumped by every index
+        mutation — :meth:`register` (i.e. every committed transaction),
+        :meth:`unregister`, and :meth:`replace_index`. Readers in *other
+        processes* observe the bump (for the filesystem and SQLite
+        backends), which is what lets a serve fleet detect that one worker
+        committed an online refresh and invalidate its stale warm-cache
+        entries: cheap to poll, impossible to miss a change (two
+        mutations can never leave the counter where it started).
+
+        Implementations must make the bump atomic with the index mutation
+        it reports (same lock / same transaction), so a generation read
+        never claims an index state that is yet to land.
+        """
+
     # ------------------------------------------------------------------ #
     # Locking plane (abstract)
     # ------------------------------------------------------------------ #

@@ -15,6 +15,7 @@ processes' writes are picked up without re-reading an unchanged file::
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -23,6 +24,9 @@ from repro.runtime.locks import FileLock
 from repro.utils.serialization import load_json, save_json
 
 __all__ = ["LocalFsBackend"]
+
+#: The monotonic store-generation counter, one integer in a tiny file.
+GENERATION_NAME = ".generation"
 
 
 class LocalFsBackend(StoreBackend):
@@ -45,6 +49,7 @@ class LocalFsBackend(StoreBackend):
     def __init__(self, root: PathLike) -> None:
         super().__init__(root)
         self._index_path = self.root / INDEX_NAME
+        self._generation_path = self.root / GENERATION_NAME
         self._index_lock = FileLock(self.root / ".index.lock")
         #: Cached index keyed by the index file's stat signature.
         self._index_cache: Optional[
@@ -75,12 +80,37 @@ class LocalFsBackend(StoreBackend):
         return artifacts
 
     def _mutate_index(self, mutate) -> None:
-        """Read-modify-write the index atomically under the index lock."""
+        """Read-modify-write the index atomically under the index lock.
+
+        The generation counter is bumped under the same lock, after the
+        index lands: a reader that observes the new generation is
+        guaranteed to observe (at least) the index state it reports.
+        """
         with self._index_lock:
             artifacts = dict(self.read_index() or {})
             mutate(artifacts)
             save_json(self._index_path, {"version": 1, "artifacts": artifacts})
             self._index_cache = None  # next read picks up the fresh file
+            self._bump_generation()
+
+    def generation(self) -> int:
+        """The counter in ``.generation`` (0 before the first mutation)."""
+        try:
+            return int(self._generation_path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, ValueError):
+            # Absent on a fresh store; unparsable mid-replace is
+            # impossible (writes are temp + os.replace) but treated as 0
+            # rather than raised on a corrupted store.
+            return 0
+
+    def _bump_generation(self) -> None:
+        """Increment ``.generation`` atomically (caller holds the index
+        lock, so read-increment-write cannot race another writer)."""
+        tmp = self._generation_path.with_name(
+            f"{GENERATION_NAME}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(str(self.generation() + 1), encoding="utf-8")
+        os.replace(tmp, self._generation_path)
 
     def register(self, name: str, members: Iterable[str]) -> None:
         """Merge ``members`` into ``name``'s index entry (lock-serialized)."""

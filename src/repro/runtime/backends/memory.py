@@ -33,6 +33,7 @@ True
 from __future__ import annotations
 
 import hashlib
+import os
 import shutil
 import tempfile
 import threading
@@ -82,6 +83,11 @@ class MemoryBackend(StoreBackend):
         self._blobs: Dict[str, bytes] = {}
         #: ``name -> member -> blob digest`` for committed members.
         self._refs: Dict[str, Dict[str, str]] = {}
+        self._generation = 0
+        #: PID this instance was built in — state is process-private, so
+        #: generation checks from a forked child must fail loudly rather
+        #: than silently diverge from the parent's index.
+        self._pid = os.getpid()
         self._finalizer = weakref.finalize(
             self, shutil.rmtree, root, ignore_errors=True
         )
@@ -178,17 +184,40 @@ class MemoryBackend(StoreBackend):
         new = set(members)
         with self._state_lock:
             self._index.setdefault(name, set()).update(new)
+            self._generation += 1
 
     def unregister(self, name: str) -> None:
         """Drop ``name``'s index entry (no error if absent)."""
         with self._state_lock:
             self._index.pop(name, None)
+            self._generation += 1
 
     def replace_index(self, artifacts: Dict[str, List[str]]) -> None:
         """Swap the whole dict index (rebuild path)."""
         fresh = {name: set(members) for name, members in artifacts.items()}
         with self._state_lock:
             self._index = fresh
+            self._generation += 1
+
+    def generation(self) -> int:
+        """The in-process generation counter (bumped on every mutation).
+
+        Raises :class:`RuntimeError` when called from a process other
+        than the one that built the instance: memory stores are
+        process-private, so a forked worker polling this counter would
+        never see the parent's commits — the fleet requires a shared
+        backend (``file://`` or ``sqlite://``), and this error says so
+        instead of silently serving stale models forever.
+        """
+        if os.getpid() != self._pid:
+            raise RuntimeError(
+                f"{self.describe()} is process-private: its generation "
+                "counter (and index) cannot be observed from a forked "
+                "process. Multi-process serving needs a shared backend — "
+                "use a file:// or sqlite:// store."
+            )
+        with self._state_lock:
+            return self._generation
 
     # ------------------------------------------------------------------ #
     # Locking plane

@@ -59,6 +59,22 @@ _SCHEMA = (
         expires_ns INTEGER NOT NULL
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value INTEGER NOT NULL
+    )
+    """,
+)
+
+#: ``meta`` row carrying the monotonic store generation.
+_GENERATION_KEY = "generation"
+
+#: Executed inside every index-mutating transaction: insert-or-increment
+#: the generation row atomically with the mutation it reports.
+_BUMP_SQL = (
+    "INSERT INTO meta (key, value) VALUES (?, 1) "
+    "ON CONFLICT(key) DO UPDATE SET value = value + 1"
 )
 
 
@@ -279,6 +295,7 @@ class SqliteBackend(StoreBackend):
                 "VALUES (?, ?)",
                 [(name, member) for member in members],
             )
+            conn.execute(_BUMP_SQL, (_GENERATION_KEY,))
             conn.execute("COMMIT")
 
     def unregister(self, name: str) -> None:
@@ -287,6 +304,7 @@ class SqliteBackend(StoreBackend):
         with conn:
             conn.execute("BEGIN IMMEDIATE")
             conn.execute("DELETE FROM artifacts WHERE name = ?", (name,))
+            conn.execute(_BUMP_SQL, (_GENERATION_KEY,))
             conn.execute("COMMIT")
 
     def replace_index(self, artifacts: Dict[str, List[str]]) -> None:
@@ -305,7 +323,20 @@ class SqliteBackend(StoreBackend):
                 "VALUES (?, ?)",
                 rows,
             )
+            conn.execute(_BUMP_SQL, (_GENERATION_KEY,))
             conn.execute("COMMIT")
+
+    def generation(self) -> int:
+        """The ``meta`` generation row (0 before the first mutation).
+
+        Bumped inside the same transaction as every index mutation, so a
+        reader in any process observing generation N observes at least
+        the index state that produced N (WAL readers never block on the
+        writer)."""
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = ?", (_GENERATION_KEY,)
+        ).fetchone()
+        return 0 if row is None else int(row[0])
 
     # ------------------------------------------------------------------ #
     # Locking plane

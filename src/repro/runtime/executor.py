@@ -454,6 +454,9 @@ class ThreadExecutor(Executor):
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.workers = max_workers
         self.name = name
+        #: Worker threads die in fork() children; stamp the construction
+        #: PID so post-fork submits fail fast instead of queueing forever.
+        self._pid = os.getpid()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._work: "deque[Tuple[TaskHandle, Callable, tuple, dict]]" = deque()
@@ -482,6 +485,14 @@ class ThreadExecutor(Executor):
 
     def submit(self, fn: Callable[..., R], *args: Any, **kwargs: Any) -> TaskHandle:
         """Queue one call; a daemon worker picks it up in FIFO order."""
+        if os.getpid() != self._pid:
+            raise RuntimeError(
+                f"ThreadExecutor {self.name!r} crossed a fork(): its worker "
+                "threads only exist in the parent process, so tasks "
+                "submitted here would queue forever. Construct the "
+                "executor (and the ServeApp holding it) after fork() — "
+                "see repro.serve.fleet."
+            )
         handle = TaskHandle()
         with self._wake:
             if self._shutdown:

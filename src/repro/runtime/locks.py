@@ -13,6 +13,17 @@ holds (or is blocked on) its inode silently splits the lock into two — the
 classic ``flock``-on-unlinked-inode race — so the store leaves its small
 ``*.lock`` files in place.
 
+``fork()`` safety: a lock fd is duplicated into every forked child, and
+``flock`` locks belong to the *open file description* those duplicates
+share — a child calling ``release()`` on an inherited :class:`FileLock`
+would ``LOCK_UN`` the shared description and silently drop the **parent's**
+lock. Every instance is therefore PID-stamped at acquisition: in a forked
+child, :attr:`FileLock.held` is ``False``, ``release()`` only closes the
+inherited duplicate (never ``LOCK_UN``), and ``acquire()`` discards the
+stale fd and opens a fresh one. Lock fds are opened ``O_CLOEXEC`` so an
+``exec()`` in a child never leaks the descriptor into an unrelated
+program.
+
 On platforms without ``fcntl`` (Windows), :class:`FileLock` degrades to
 the in-process lock — single-process correctness is kept, cross-process
 exclusion is not (the reference deployment platform is Linux).
@@ -92,24 +103,58 @@ class FileLock:
         # fork() binds to the child's fresh lock registry.
         self._thread_lock: Optional[threading.Lock] = None
         self._fd: Optional[int] = None
+        #: PID that performed the acquisition — a forked child inheriting
+        #: the fd must never be treated as the lock's owner.
+        self._pid: Optional[int] = None
 
     @property
     def held(self) -> bool:
-        """Whether this instance currently holds the lock."""
-        return self._fd is not None
+        """Whether this instance currently holds the lock.
+
+        ``False`` in a forked child even when the parent acquired before
+        the fork: the child inherited a duplicate fd, not ownership.
+        """
+        return self._fd is not None and self._pid == os.getpid()
+
+    def _discard_inherited(self) -> None:
+        """Drop a fd inherited across ``fork()`` without touching the lock.
+
+        Closing one duplicate never releases the parent's ``flock`` (the
+        lock lives until *every* fd of the open file description closes),
+        whereas ``LOCK_UN`` would release it instantly — so the child only
+        closes.
+        """
+        fd, self._fd = self._fd, None
+        self._pid = None
+        self._thread_lock = None  # the parent's object; the child's registry is fresh
+        if fcntl is not None and fd is not None and fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed elsewhere
+                pass
 
     def acquire(self) -> "FileLock":
         """Take the lock (thread lock, then ``flock``), honoring the timeout."""
+        if self._fd is not None and self._pid != os.getpid():
+            self._discard_inherited()  # instance carried across fork(): start clean
         deadline = time.monotonic() + self.timeout
         self._thread_lock = _thread_lock_for(self._key)
         if not self._thread_lock.acquire(timeout=self.timeout):
             raise LockTimeout(f"thread contention on {self.path} after {self.timeout}s")
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             self._fd = -1
+            self._pid = os.getpid()
             return self
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            # O_CLOEXEC: an exec() in a forked child must not leak the fd
+            # (a leaked duplicate would keep the open file description --
+            # and therefore the flock -- alive in an unrelated program).
+            fd = os.open(
+                self.path,
+                os.O_RDWR | os.O_CREAT | getattr(os, "O_CLOEXEC", 0),
+                0o644,
+            )
             try:
                 while True:
                     try:
@@ -126,16 +171,27 @@ class FileLock:
                 os.close(fd)
                 raise
             self._fd = fd
+            self._pid = os.getpid()
             return self
         except BaseException:
             self._thread_lock.release()
             raise
 
     def release(self) -> None:
-        """Drop the lock (no-op when not held)."""
+        """Drop the lock (no-op when not held).
+
+        In a forked child this only closes the inherited duplicate fd —
+        never ``LOCK_UN`` — so a child releasing (or exiting with) an
+        inherited :class:`FileLock` cannot drop the lock its parent still
+        holds.
+        """
         if self._fd is None:
             return
+        if self._pid != os.getpid():
+            self._discard_inherited()
+            return
         fd, self._fd = self._fd, None
+        self._pid = None
         try:
             if fcntl is not None and fd >= 0:
                 fcntl.flock(fd, fcntl.LOCK_UN)

@@ -385,6 +385,17 @@ class ArtifactStore:
         finally:
             self._tock("names", t0)
 
+    def generation(self) -> int:
+        """The backend's monotonic store generation.
+
+        Bumped by every committed transaction, delete, and index rebuild
+        — in any process sharing the store — so a cached reader can
+        detect "something changed" with one cheap call instead of
+        re-reading the index (see
+        :class:`~repro.serve.cache.StoreGenerationWatcher`).
+        """
+        return self.backend.generation()
+
     # ------------------------------------------------------------------ #
     # Writes
     # ------------------------------------------------------------------ #

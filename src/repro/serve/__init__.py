@@ -37,7 +37,8 @@ Start the same service from the command line with
 """
 
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
-from repro.serve.cache import FakeClock, LruTtlCache
+from repro.serve.cache import FakeClock, LruTtlCache, StoreGenerationWatcher
+from repro.serve.fleet import FleetSupervisor, ensure_fleet_store, reuseport_available
 from repro.serve.client import (
     HttpServeClient,
     ServeClient,
@@ -53,11 +54,12 @@ from repro.serve.schemas import (
     parse_predict_payload,
     predict_payload,
 )
-from repro.serve.server import PredictionServer, ServeApp
+from repro.serve.server import PredictionServer, ServeApp, serve_foreground
 
 __all__ = [
     "BatcherClosedError",
     "FakeClock",
+    "FleetSupervisor",
     "HttpServeClient",
     "LruTtlCache",
     "MicroBatcher",
@@ -67,10 +69,14 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "ServeUnavailableError",
+    "StoreGenerationWatcher",
     "context_from_payload",
+    "ensure_fleet_store",
     "context_to_payload",
     "observe_payload",
     "parse_observe_payload",
     "parse_predict_payload",
     "predict_payload",
+    "reuseport_available",
+    "serve_foreground",
 ]

@@ -31,6 +31,7 @@ Typical use (the server owns the batcher; tests drive it directly)::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -141,6 +142,9 @@ class MicroBatcher:
         #: may be rebinding.
         self._last_batch: Dict[str, int] = {}
         self._bind_metrics(registry if registry is not None else MetricsRegistry())
+        #: The flusher loop runs on a thread that does not survive fork();
+        #: stamp the construction PID so post-fork submits fail fast.
+        self._pid = os.getpid()
         self._owns_executor = executor is None
         self._executor = executor if executor is not None else ThreadExecutor(
             max_workers=1, name="repro-serve-batcher"
@@ -242,6 +246,13 @@ class MicroBatcher:
         already riding an in-flight flush raises without waiting for the
         result it no longer wants.
         """
+        if os.getpid() != self._pid:
+            raise RuntimeError(
+                "MicroBatcher crossed a fork(): its flusher thread only "
+                "exists in the parent process, so this request would "
+                "queue forever. Build the batcher (and its ServeApp) "
+                "after fork() — see repro.serve.fleet."
+            )
         if request.context is None:
             raise ValueError("serve requests need a context")
         pending = _Pending(request)

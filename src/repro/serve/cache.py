@@ -42,6 +42,8 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.metrics import MetricsRegistry
 
+__all__ = ["FakeClock", "LruTtlCache", "StoreGenerationWatcher"]
+
 
 class FakeClock:
     """A manually advanced clock for deterministic TTL tests.
@@ -292,3 +294,147 @@ class LruTtlCache:
             "expirations": int(self._m_expirations.value),
             "coalesced_loads": int(self._m_coalesced.value),
         }
+
+
+class StoreGenerationWatcher:
+    """Invalidate warm-cache entries when *another process* moves the store.
+
+    One serve worker's online refresh commits a new model and publishes a
+    ``group -> model name`` serving-overrides document
+    (:meth:`~repro.core.persistence.ModelStore.publish_serving_overrides`);
+    every committed transaction bumps the store's monotonic
+    **generation**. Other workers cannot see the refresher's in-process
+    invalidation — this watcher is their half of the hand-off: each
+    request path calls :meth:`maybe_check`, which at most every
+    ``interval_s`` seconds compares ``store.generation()`` against the
+    last value seen. On a change it reloads the overrides document,
+    rebinds ``session.serving_overrides``, and drops the superseded
+    ``("named", ...)`` entries from the warm cache — so no worker serves
+    a stale model for longer than one check interval.
+
+    The generation probe is one tiny read (a counter file, or a one-row
+    SQLite point query) — cheap enough for the request path at the
+    default 1 s interval. A ``memory://`` store raises
+    :class:`RuntimeError` from a forked worker rather than silently
+    never observing anything (process-private state).
+
+    Parameters
+    ----------
+    session:
+        The serving :class:`~repro.api.Session`; the watcher reads
+        ``session.store`` and rebinds ``session.serving_overrides``.
+    cache:
+        The worker's warm :class:`LruTtlCache` (``("named", name)``
+        entries are invalidated on override changes).
+    interval_s:
+        Minimum seconds between generation probes (0 probes every call).
+    clock:
+        Monotonic time source (injectable for tests).
+    registry:
+        Optional :class:`~repro.metrics.MetricsRegistry` receiving
+        ``repro_generation_*`` counters and the last-seen generation
+        gauge.
+
+    Example::
+
+        watcher = StoreGenerationWatcher(session, cache, interval_s=1.0)
+        watcher.maybe_check()        # on the request path
+    """
+
+    def __init__(
+        self,
+        session: Any,
+        cache: LruTtlCache,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        self.session = session
+        self.cache = cache
+        self.interval_s = interval_s
+        self._clock = clock
+        self._check_lock = threading.Lock()
+        self._m_checks = self._m_changes = self._m_generation = None
+        if registry is not None:
+            self._m_checks = registry.counter(
+                "repro_generation_checks_total",
+                "Store-generation probes performed.",
+            )
+            self._m_changes = registry.counter(
+                "repro_generation_changes_total",
+                "Probes that observed a new store generation.",
+            )
+            self._m_generation = registry.gauge(
+                "repro_store_generation", "Last store generation observed."
+            )
+        # Baseline *before* the first sync so a pre-existing overrides
+        # document is applied immediately (worker started after a refresh).
+        self._generation = -1
+        self._last_check = float("-inf")
+        self.check()
+
+    @property
+    def generation(self) -> int:
+        """The last store generation this watcher observed."""
+        return self._generation
+
+    def maybe_check(self) -> bool:
+        """Probe the store generation if ``interval_s`` has elapsed.
+
+        Non-blocking under contention: when another thread is already
+        probing, this returns immediately (the request proceeds against
+        the current cache — at worst one interval stale, the guarantee
+        unchanged). Returns whether a change was observed and applied.
+        """
+        if self._clock() - self._last_check < self.interval_s:
+            return False
+        if not self._check_lock.acquire(blocking=False):
+            return False
+        try:
+            return self._check_locked()
+        finally:
+            self._check_lock.release()
+
+    def check(self) -> bool:
+        """Probe unconditionally (blocking); returns whether the store
+        moved and the overrides were (re)applied."""
+        with self._check_lock:
+            return self._check_locked()
+
+    def _check_locked(self) -> bool:
+        self._last_check = self._clock()
+        generation = self.session.store.generation()
+        if self._m_checks is not None:
+            self._m_checks.inc()
+            self._m_generation.set(generation)
+        if generation == self._generation:
+            return False
+        self._generation = generation
+        changed = self._apply_overrides()
+        if changed and self._m_changes is not None:
+            self._m_changes.inc()
+        return changed
+
+    def _apply_overrides(self) -> bool:
+        """Merge the published overrides document into the session,
+        invalidating superseded warm-cache entries."""
+        published = self.session.store.load_serving_overrides()
+        current = self.session.serving_overrides
+        changed = False
+        for group, name in published.items():
+            previous = current.get(group)
+            if previous != name:
+                current[group] = name
+                changed = True
+                if isinstance(previous, str):
+                    self.cache.invalidate(("named", previous))
+            # Drop the warm copy of the published name itself too: two
+            # workers refreshing the same group race to the same
+            # versioned name (per-process version counters), so an
+            # *unchanged* name can still mean replaced bytes. The store
+            # moved — reload from the last writer on next use.
+            if self.cache.invalidate(("named", name)):
+                changed = True
+        return changed

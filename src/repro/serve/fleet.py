@@ -1,0 +1,726 @@
+"""Pre-fork multi-worker serving: one listener, N processes, one store.
+
+The single-process :class:`~repro.serve.server.PredictionServer` tops out
+at one Python process' worth of request handling; the paper's workload
+(many tenants, read-heavy prediction traffic) scales by **process
+fan-out** over a shared :class:`~repro.core.persistence.ModelStore`.
+:class:`FleetSupervisor` is that fan-out:
+
+* **One listener address.** Where the kernel offers ``SO_REUSEPORT``
+  (Linux), every worker binds its own socket to the shared address and
+  the kernel load-balances connections between them. Elsewhere the
+  supervisor binds and listens one socket before forking, and the
+  workers ``accept()`` on the inherited descriptor.
+* **Fork, then build.** Each worker constructs its own
+  :class:`~repro.serve.server.ServeApp` *after* ``fork()`` — a fresh
+  :class:`~repro.runtime.ThreadExecutor`, a fresh
+  :class:`~repro.serve.batcher.MicroBatcher` flusher, a private warm
+  :class:`~repro.serve.cache.LruTtlCache` — because threads never
+  survive a fork (the executor/batcher PID stamps fail fast if anyone
+  tries). Only the *store* is shared, through the filesystem or SQLite.
+* **Cross-process invalidation.** An online refresh in one worker
+  commits the model and the serving-overrides document; the committed
+  transaction bumps the store's monotonic generation
+  (:meth:`StoreBackend.generation()
+  <repro.runtime.backends.StoreBackend.generation>`). Every other
+  worker's :class:`~repro.serve.cache.StoreGenerationWatcher` notices on
+  its next check and drops the superseded warm-cache entries — no worker
+  serves a stale model for longer than one check interval.
+* **Crash restarts.** The supervisor reaps dead workers and respawns
+  them under a :class:`~repro.resilience.RetryPolicy` backoff schedule;
+  a slot that keeps crashing faster than ``stable_after_s`` is abandoned
+  after ``restart_limit`` consecutive fast crashes instead of burning
+  CPU in a fork loop.
+* **Fleet introspection.** Each worker opens a loopback admin server
+  (same app, private ephemeral port) and reports it to the supervisor
+  over a pipe; the supervisor's own endpoint aggregates them —
+  ``GET /fleet/healthz`` (worker table), ``GET /fleet/stats``
+  (per-worker ``/stats``), and ``GET /fleet/metrics`` (every worker's
+  Prometheus exposition, relabeled with ``worker="<index>"``).
+
+``memory://`` stores are process-private and are refused up front
+(:func:`ensure_fleet_store`) — a fleet over one would silently serve
+stale models forever.
+
+CLI: ``repro-bellamy serve --store models/ --workers 4``. Library::
+
+    supervisor = FleetSupervisor(app_factory, port=8080, workers=4)
+    supervisor.start()
+    ...                          # point clients at supervisor.url
+    supervisor.close()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import signal
+import socket
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.request import urlopen
+
+from repro.resilience import faults as _faults
+from repro.resilience.policy import RetryPolicy
+from repro.serve.server import ServeApp, _Handler, _ThreadingServer
+
+__all__ = [
+    "FleetSupervisor",
+    "WorkerInfo",
+    "ensure_fleet_store",
+    "merge_metrics_texts",
+    "reuseport_available",
+]
+
+#: Seconds the supervisor waits for a freshly forked worker to report
+#: its admin port before treating the spawn as failed.
+REPORT_TIMEOUT_S = 30.0
+
+
+def reuseport_available() -> bool:
+    """Whether this kernel accepts ``SO_REUSEPORT`` on a TCP socket.
+
+    Probed by actually setting the option — some platforms define the
+    constant but reject it at set time.
+
+    >>> isinstance(reuseport_available(), bool)
+    True
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+def ensure_fleet_store(store: Any) -> None:
+    """Refuse process-private stores before forking a fleet over them.
+
+    ``memory://`` backends hold their index, blobs, and generation
+    counter in one process' heap: forked workers would each see a frozen
+    private copy and an online refresh would never propagate. Raises
+    ``ValueError`` naming the fix; any other (or absent) store passes.
+
+    >>> from repro.core.persistence import ModelStore
+    >>> ensure_fleet_store(ModelStore("memory://doc"))
+    Traceback (most recent call last):
+        ...
+    ValueError: cannot serve a multi-worker fleet over memory://doc: \
+memory stores are process-private, so workers would never observe each \
+other's refreshes. Use a file:// or sqlite:// store.
+    """
+    backend = getattr(store, "backend", None)
+    if backend is None:
+        backend = getattr(getattr(store, "artifacts", None), "backend", None)
+    if backend is not None and getattr(backend, "scheme", None) == "memory":
+        raise ValueError(
+            f"cannot serve a multi-worker fleet over {backend.describe()}: "
+            "memory stores are process-private, so workers would never "
+            "observe each other's refreshes. Use a file:// or sqlite:// "
+            "store."
+        )
+
+
+@dataclass
+class WorkerInfo:
+    """The supervisor's view of one worker slot."""
+
+    index: int
+    pid: int
+    #: Loopback port of the worker's admin server (``None`` when the
+    #: worker died before reporting).
+    admin_port: Optional[int] = None
+    #: Times this slot has been respawned after a crash.
+    restarts: int = 0
+    #: Monotonic time of the last (re)spawn.
+    spawned_at: float = 0.0
+    alive: bool = True
+    #: Set when the slot crashed ``restart_limit`` times in a row faster
+    #: than ``stable_after_s`` and was given up on.
+    abandoned: bool = False
+    #: Consecutive crashes faster than ``stable_after_s``.
+    fast_crashes: int = field(default=0, repr=False)
+
+
+class _SocketServer(_ThreadingServer):
+    """The worker-side HTTP server over an externally created socket.
+
+    ``bind_and_activate=False`` skips the stdlib bind; the placeholder
+    socket the base constructor makes is swapped for the prepared one
+    (fresh ``SO_REUSEPORT`` bind, or the listener inherited across
+    ``fork()``) and only ``listen()`` runs — idempotent on a socket the
+    supervisor already listened on.
+    """
+
+    def __init__(self, sock: socket.socket, handler: type) -> None:
+        host, port = sock.getsockname()[:2]
+        super().__init__((str(host), int(port)), handler, bind_and_activate=False)
+        self.socket.close()  # the unbound placeholder
+        self.socket = sock
+        self.server_address = sock.getsockname()[:2]
+        self.server_name = str(host)
+        self.server_port = int(port)
+        self.server_activate()
+
+
+def _relabel_sample(line: str, worker: str) -> str:
+    """Insert ``worker="<i>"`` into one exposition sample line."""
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        return f'{line[: brace + 1]}worker="{worker}",{line[brace + 1 :]}'
+    name, _, value = line.partition(" ")
+    return f'{name}{{worker="{worker}"}} {value}'
+
+
+def merge_metrics_texts(texts: List[Tuple[str, str]]) -> str:
+    """Merge per-worker Prometheus expositions into one fleet scrape.
+
+    Sample lines gain a ``worker="<index>"`` label (concatenating
+    unlabeled texts would collide every series); each family keeps one
+    ``# HELP`` / ``# TYPE`` header and its samples stay grouped under
+    it, so the merged text round-trips through
+    :func:`repro.metrics.parse_text`.
+
+    >>> merged = merge_metrics_texts([
+    ...     ("0", "# HELP up U.\\n# TYPE up gauge\\nup 1\\n"),
+    ...     ("1", "# HELP up U.\\n# TYPE up gauge\\nup 1\\n"),
+    ... ])
+    >>> print(merged.strip())
+    # HELP up U.
+    # TYPE up gauge
+    up{worker="0"} 1
+    up{worker="1"} 1
+    """
+    order: List[str] = []
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+    for worker, text in texts:
+        current: Optional[str] = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                current = line.split()[2]
+                if current not in headers:
+                    headers[current] = []
+                    samples[current] = []
+                    order.append(current)
+                if line not in headers[current]:
+                    headers[current].append(line)
+            else:
+                family = current if current is not None else line.split("{")[0].split()[0]
+                if family not in headers:
+                    headers[family] = []
+                    samples[family] = []
+                    order.append(family)
+                samples[family].append(_relabel_sample(line, worker))
+    lines: List[str] = []
+    for family in order:
+        lines.extend(headers[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class _FleetHandler(_Handler):
+    """The supervisor's aggregation endpoint (no app behind it)."""
+
+    def _dispatch(self, payload: Any) -> None:
+        supervisor: "FleetSupervisor" = self.server.supervisor  # type: ignore[attr-defined]
+        path = self.path.partition("?")[0].rstrip("/") or "/"
+        if self.command != "GET":
+            self._respond(405, {"error": "method_not_allowed", "detail": self.command})
+            return
+        if path in ("/fleet/healthz", "/healthz"):
+            self._respond(200, supervisor.fleet_healthz())
+        elif path in ("/fleet/stats", "/stats"):
+            self._respond(200, supervisor.fleet_stats())
+        elif path in ("/fleet/metrics", "/metrics"):
+            self._respond(200, supervisor.fleet_metrics_text())
+        else:
+            self._respond(404, {"error": "not_found", "detail": f"no route {path!r}"})
+
+
+class FleetSupervisor:
+    """Pre-fork supervisor: one shared listener, N serving processes.
+
+    Parameters
+    ----------
+    app_factory:
+        Zero-argument callable building the worker's
+        :class:`~repro.serve.server.ServeApp`. Runs **in the child,
+        after fork** — everything thread-backed (executor, batcher,
+        cache, session) must be created here, never captured from the
+        parent. Pass ``generation_check_s`` to the app so workers
+        observe each other's refreshes.
+    host / port:
+        The shared serving address (``port=0`` picks a free port at
+        :meth:`start`; read :attr:`address` / :attr:`url` afterwards).
+    workers:
+        Processes to fork (>= 1).
+    fleet_host / fleet_port:
+        The aggregation endpoint's bind (defaults: ``host``, ephemeral).
+    restart_policy:
+        :class:`~repro.resilience.RetryPolicy` whose deterministic
+        ``delays()`` schedule paces crash restarts (consecutive fast
+        crashes walk down the schedule; a stable run resets it).
+    restart_limit:
+        Consecutive crashes faster than ``stable_after_s`` before a
+        slot is abandoned.
+    stable_after_s:
+        Seconds a worker must survive for its crash counter to reset.
+    poll_s:
+        Monitor loop reap interval.
+    use_reuseport:
+        Force the listener strategy (``None`` probes the kernel).
+
+    Example::
+
+        supervisor = FleetSupervisor(make_app, port=0, workers=2)
+        supervisor.start()
+        urlopen(supervisor.fleet_url + "/fleet/healthz")
+        supervisor.close()
+    """
+
+    def __init__(
+        self,
+        app_factory: Callable[[], ServeApp],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        fleet_host: Optional[str] = None,
+        fleet_port: int = 0,
+        restart_policy: Optional[RetryPolicy] = None,
+        restart_limit: int = 5,
+        stable_after_s: float = 5.0,
+        poll_s: float = 0.2,
+        use_reuseport: Optional[bool] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.app_factory = app_factory
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.fleet_host = fleet_host if fleet_host is not None else host
+        self.fleet_port = fleet_port
+        self.restart_policy = (
+            restart_policy
+            if restart_policy is not None
+            else RetryPolicy(
+                max_attempts=restart_limit + 1,
+                base_delay_s=0.1,
+                multiplier=2.0,
+                max_delay_s=5.0,
+                jitter=0.0,
+            )
+        )
+        self.restart_limit = restart_limit
+        self.stable_after_s = stable_after_s
+        self.poll_s = poll_s
+        self.reuseport = (
+            use_reuseport if use_reuseport is not None else reuseport_available()
+        )
+        self._listener: Optional[socket.socket] = None
+        self._fleet_srv: Optional[_ThreadingServer] = None
+        self._fleet_thread: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._workers: Dict[int, WorkerInfo] = {}
+        self._state_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Addresses
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound serving ``(host, port)`` (concrete after bind)."""
+        if self._listener is None:
+            return self.host, self.port
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the shared serving address."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def fleet_url(self) -> str:
+        """Base URL of the aggregation endpoint (after :meth:`start`)."""
+        if self._fleet_srv is None:
+            raise RuntimeError("fleet endpoint not started")
+        host, port = self._fleet_srv.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _bind(self) -> None:
+        if self._listener is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.reuseport:
+                # Bound but never listening: it only reserves the address
+                # (the kernel delivers connections to *listening* reuseport
+                # sockets, i.e. the workers), and it keeps the port stable
+                # across every worker restart.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((self.host, self.port))
+            else:
+                # Inherited-fd fallback: one listening socket, forked into
+                # every worker; their accept loops share the queue.
+                sock.bind((self.host, self.port))
+                sock.listen(_ThreadingServer.request_queue_size)
+        except BaseException:
+            sock.close()
+            raise
+        self._listener = sock
+
+    def start(self) -> "FleetSupervisor":
+        """Bind, fork the workers, start the monitor and fleet endpoint."""
+        if self._started:
+            return self
+        self._bind()
+        for index in range(self.workers):
+            self._workers[index] = self._spawn(index)
+        self._fleet_srv = _ThreadingServer(
+            (self.fleet_host, self.fleet_port), _FleetHandler
+        )
+        self._fleet_srv.supervisor = self  # type: ignore[attr-defined]
+        self._fleet_thread = threading.Thread(
+            target=self._fleet_srv.serve_forever,
+            name="repro-fleet-endpoint",
+            daemon=True,
+        )
+        self._fleet_thread.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        self._started = True
+        return self
+
+    def run_forever(self) -> None:
+        """:meth:`start`, then block until SIGTERM/SIGINT; drain on exit.
+
+        Both signals route through :meth:`close` — workers get SIGTERM,
+        each drains its batch queue through ``ServeApp.close()``, and the
+        supervisor reaps them before returning.
+        """
+
+        def _trip(signum: int, frame: Any) -> None:
+            raise KeyboardInterrupt
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _trip)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        self.start()
+        try:
+            while not self._shutdown.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.close()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the fleet: SIGTERM every worker, reap, release sockets."""
+        self._shutdown.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+            self._monitor = None
+        with self._state_lock:
+            workers = [info for info in self._workers.values() if info.alive]
+        for info in workers:
+            try:
+                os.kill(info.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + timeout
+        for info in workers:
+            remaining = deadline - time.monotonic()
+            if not self._reap(info, timeout=max(0.0, remaining)):
+                try:  # drain took too long: the slot dies hard
+                    os.kill(info.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                self._reap(info, timeout=5.0)
+            info.alive = False
+        if self._fleet_srv is not None:
+            self._fleet_srv.shutdown()
+            self._fleet_srv.server_close()
+            if self._fleet_thread is not None:
+                self._fleet_thread.join(timeout=5.0)
+                self._fleet_thread = None
+            self._fleet_srv = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        self._started = False
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @staticmethod
+    def _reap(info: WorkerInfo, timeout: float) -> bool:
+        """Wait up to ``timeout`` for ``info.pid`` to exit; True if it did."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                pid, _status = os.waitpid(info.pid, os.WNOHANG)
+            except ChildProcessError:
+                return True  # already reaped elsewhere
+            if pid == info.pid:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, index: int, restarts: int = 0, fast_crashes: int = 0) -> WorkerInfo:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # ---- child: serve, then _exit; never return ----
+            os.close(read_fd)
+            code = 1
+            try:
+                self._worker_main(index, write_fd)
+                code = 0
+            except BaseException:
+                traceback.print_exc()
+            finally:
+                sys.stderr.flush()
+                os._exit(code)
+        os.close(write_fd)
+        info = WorkerInfo(
+            index=index,
+            pid=pid,
+            restarts=restarts,
+            spawned_at=time.monotonic(),
+            fast_crashes=fast_crashes,
+        )
+        info.admin_port = self._read_report(read_fd)
+        return info
+
+    @staticmethod
+    def _read_report(read_fd: int) -> Optional[int]:
+        """The worker's ``{"pid", "admin_port"}`` line (None on crash).
+
+        A worker that dies before reporting closes its pipe end, so the
+        read sees EOF instead of blocking — the monitor restarts it.
+        """
+        try:
+            buf = b""
+            deadline = time.monotonic() + REPORT_TIMEOUT_S
+            while b"\n" not in buf:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                ready, _, _ = select.select([read_fd], [], [], remaining)
+                if not ready:
+                    return None
+                chunk = os.read(read_fd, 4096)
+                if not chunk:  # EOF: the child died mid-bootstrap
+                    return None
+                buf += chunk
+            report = json.loads(buf.partition(b"\n")[0].decode("utf-8"))
+            return int(report["admin_port"])
+        except (OSError, ValueError, KeyError):
+            return None
+        finally:
+            os.close(read_fd)
+
+    def _worker_main(self, index: int, report_fd: int) -> None:
+        """One worker process: build the app post-fork and serve."""
+
+        def _trip(signum: int, frame: Any) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _trip)
+        signal.signal(signal.SIGINT, _trip)
+        if _faults.ACTIVE is not None:
+            # The chaos harness's worker-crash site: a ``raise`` here
+            # kills this process and exercises the restart path.
+            _faults.ACTIVE.fire(_faults.SITE_FLEET_WORKER)
+        if self.reuseport:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind(self.address)
+        else:
+            assert self._listener is not None
+            sock = self._listener
+        # Everything thread-backed is born here, in this process: the
+        # parent's executors/batchers would be dead weight (their PID
+        # stamps make any accidental use fail fast).
+        app = self.app_factory()
+        main_srv = _SocketServer(sock, _Handler)
+        main_srv.app = app  # type: ignore[attr-defined]
+        admin_srv = _ThreadingServer(("127.0.0.1", 0), _Handler)
+        admin_srv.app = app  # type: ignore[attr-defined]
+        admin_thread = threading.Thread(
+            target=admin_srv.serve_forever,
+            name=f"repro-fleet-admin-{index}",
+            daemon=True,
+        )
+        admin_thread.start()
+        report = {"pid": os.getpid(), "admin_port": int(admin_srv.server_address[1])}
+        os.write(report_fd, (json.dumps(report) + "\n").encode("utf-8"))
+        os.close(report_fd)
+        try:
+            main_srv.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            # SIGTERM drain: stop accepting, answer everything accepted,
+            # release the app (batcher drain + executor shutdown).
+            admin_srv.shutdown()
+            admin_thread.join(timeout=5.0)
+            main_srv.server_close()
+            admin_srv.server_close()
+            app.close()
+
+    # ------------------------------------------------------------------ #
+    # Monitor (reap + restart)
+    # ------------------------------------------------------------------ #
+
+    def _monitor_loop(self) -> None:
+        delays = self.restart_policy.delays()
+        while not self._shutdown.wait(self.poll_s):
+            for index in range(self.workers):
+                with self._state_lock:
+                    info = self._workers[index]
+                if not info.alive or info.abandoned:
+                    continue
+                try:
+                    pid, _status = os.waitpid(info.pid, os.WNOHANG)
+                except ChildProcessError:
+                    pid = info.pid  # reaped elsewhere: treat as exited
+                if pid != info.pid:
+                    continue
+                if self._shutdown.is_set():
+                    info.alive = False
+                    break
+                lived = time.monotonic() - info.spawned_at
+                fast_crashes = (
+                    info.fast_crashes + 1 if lived < self.stable_after_s else 1
+                )
+                if fast_crashes > self.restart_limit:
+                    info.alive = False
+                    info.abandoned = True
+                    print(
+                        f"[fleet] worker {index} crashed {self.restart_limit} "
+                        "times in a row; giving up on the slot",
+                        file=sys.stderr,
+                    )
+                    continue
+                if delays:
+                    delay = delays[min(fast_crashes - 1, len(delays) - 1)]
+                    if self._shutdown.wait(delay):
+                        info.alive = False
+                        break
+                replacement = self._spawn(
+                    index,
+                    restarts=info.restarts + 1,
+                    fast_crashes=fast_crashes,
+                )
+                with self._state_lock:
+                    self._workers[index] = replacement
+
+    # ------------------------------------------------------------------ #
+    # Aggregation endpoint bodies
+    # ------------------------------------------------------------------ #
+
+    def worker_table(self) -> List[Dict[str, Any]]:
+        """A snapshot row per worker slot (the ``/fleet/healthz`` table)."""
+        with self._state_lock:
+            return [
+                {
+                    "index": info.index,
+                    "pid": info.pid,
+                    "admin_port": info.admin_port,
+                    "restarts": info.restarts,
+                    "alive": info.alive and not info.abandoned,
+                    "abandoned": info.abandoned,
+                }
+                for _, info in sorted(self._workers.items())
+            ]
+
+    def fleet_healthz(self) -> Dict[str, Any]:
+        """Supervisor-local liveness: no worker scraping, always fast."""
+        table = self.worker_table()
+        alive = sum(1 for row in table if row["alive"])
+        return {
+            "status": "ok" if alive == self.workers else "degraded",
+            "workers": self.workers,
+            "alive": alive,
+            "reuseport": self.reuseport,
+            "table": table,
+        }
+
+    def _scrape(self, admin_port: int, path: str) -> str:
+        return (
+            urlopen(f"http://127.0.0.1:{admin_port}{path}", timeout=5.0)
+            .read()
+            .decode("utf-8")
+        )
+
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Every worker's ``/stats`` (and health), keyed by slot index."""
+        workers: Dict[str, Any] = {}
+        for row in self.worker_table():
+            key = str(row["index"])
+            if not row["alive"] or row["admin_port"] is None:
+                workers[key] = {**row, "error": "worker not serving"}
+                continue
+            try:
+                workers[key] = {
+                    **row,
+                    "healthz": json.loads(self._scrape(row["admin_port"], "/healthz")),
+                    "stats": json.loads(self._scrape(row["admin_port"], "/stats")),
+                }
+            except Exception as error:
+                workers[key] = {**row, "error": f"{type(error).__name__}: {error}"}
+        return {"fleet": self.fleet_healthz(), "workers": workers}
+
+    def fleet_metrics_text(self) -> str:
+        """Every worker's Prometheus exposition, ``worker``-relabeled."""
+        texts: List[Tuple[str, str]] = []
+        for row in self.worker_table():
+            if not row["alive"] or row["admin_port"] is None:
+                continue
+            try:
+                texts.append(
+                    (str(row["index"]), self._scrape(row["admin_port"], "/metrics"))
+                )
+            except Exception:
+                continue  # a worker mid-restart just misses this scrape
+        return merge_metrics_texts(texts)

@@ -45,6 +45,7 @@ In-process example (no sockets; see ``docs/serving.md`` for the HTTP way)::
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from collections import deque
@@ -58,7 +59,7 @@ from repro.resilience import faults as _faults
 from repro.resilience.policy import Deadline, DeadlineExceeded
 from repro.runtime import Executor, ThreadExecutor
 from repro.serve.batcher import BatcherClosedError, MicroBatcher
-from repro.serve.cache import LruTtlCache
+from repro.serve.cache import LruTtlCache, StoreGenerationWatcher
 from repro.serve.schemas import (
     SchemaError,
     parse_model_name,
@@ -126,6 +127,15 @@ class ServeApp:
         ``Retry-After`` header. ``None`` (default) never sheds.
     retry_after_s:
         The back-off hint shed responses carry.
+    generation_check_s:
+        Enable the cross-process invalidation watcher: at most every this
+        many seconds a ``/predict`` probes ``session.store.generation()``
+        and, when another process moved the store (a fleet worker's
+        online refresh), applies the published serving overrides and
+        drops superseded warm-cache entries
+        (:class:`~repro.serve.cache.StoreGenerationWatcher`). Requires a
+        session with a store and a warm cache. ``None`` (default)
+        disables the watcher — single-process behavior is unchanged.
 
     Example::
 
@@ -152,6 +162,7 @@ class ServeApp:
         request_deadline_s: Optional[float] = None,
         max_queue_depth: Optional[int] = None,
         retry_after_s: float = 1.0,
+        generation_check_s: Optional[float] = None,
     ) -> None:
         self.session = session
         self.request_deadline_s = request_deadline_s
@@ -201,6 +212,20 @@ class ServeApp:
         )
         if batcher is not None:
             self.batcher.rebind_metrics(self.registry)
+        self.generation_watcher: Optional[StoreGenerationWatcher] = None
+        if generation_check_s is not None:
+            if getattr(session, "store", None) is None or self.cache is None:
+                raise ValueError(
+                    "generation_check_s needs a session with a store and a "
+                    "warm cache (the watcher polls the store and "
+                    "invalidates cache entries)"
+                )
+            self.generation_watcher = StoreGenerationWatcher(
+                session,
+                self.cache,
+                interval_s=generation_check_s,
+                registry=self.registry,
+            )
         self._log_stream = log_stream
         self._log: "deque[JsonDict]" = deque(maxlen=log_size)
         self._log_lock = threading.Lock()
@@ -332,6 +357,11 @@ class ServeApp:
             else None
         )
         try:
+            if self.generation_watcher is not None:
+                # Cheap rate-limited probe; a memory:// store polled from
+                # a forked worker raises here (500 with the real reason)
+                # instead of silently serving stale models forever.
+                self.generation_watcher.maybe_check()
             if _faults.ACTIVE is not None:
                 _faults.ACTIVE.fire(_faults.SITE_SERVE_PREDICT)
             if model is not None:
@@ -470,11 +500,14 @@ class ServeApp:
 
     def healthz(self) -> JsonDict:
         """Liveness summary (the ``/healthz`` body)."""
-        return {
+        body = {
             "status": "draining" if self.batcher.closed else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
             "served": int(self._handled["served"].value),
         }
+        if self.generation_watcher is not None:
+            body["store_generation"] = self.generation_watcher.generation
+        return body
 
     def metrics_text(self) -> str:
         """The app's registry as Prometheus text (the ``/metrics`` body)."""
@@ -710,3 +743,36 @@ class PredictionServer:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def serve_foreground(server: PredictionServer) -> None:
+    """Serve on the calling thread until SIGTERM/SIGINT, then drain.
+
+    Both signals unwind ``serve_forever`` (a handler raising
+    ``KeyboardInterrupt`` — calling ``shutdown()`` from a signal handler
+    on the serving thread would deadlock on its own exit event), and the
+    shutdown routes through :meth:`PredictionServer.close`: stop
+    accepting, drain the batch queue so every accepted request is
+    answered, release the app. The previous handlers are restored before
+    returning, so embedding callers (tests, notebooks) keep theirs::
+
+        serve_foreground(PredictionServer(session, port=8080))
+    """
+
+    def _trip(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _trip)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.close()

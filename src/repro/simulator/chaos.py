@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.resilience import (
     SITE_EXECUTOR_TASK,
+    SITE_FLEET_WORKER,
     SITE_ONLINE_REFRESH,
     SITE_SERVE_PREDICT,
     SITE_STORE_COMMIT,
@@ -74,6 +75,7 @@ def build_fault_plan(
     predict_errors: int = 2,
     predict_corruptions: int = 1,
     executor_errors: int = 1,
+    worker_crashes: int = 0,
 ) -> FaultPlan:
     """The scenario's deterministic outage: every site, every fault kind.
 
@@ -84,15 +86,32 @@ def build_fault_plan(
     artifact, which is the store's self-heal contract and is pinned by the
     backend conformance suite instead.
 
+    ``worker_crashes`` arms the ``fleet.worker`` site — a fault fired at
+    worker bootstrap, which kills the forked process outright and puts the
+    :class:`~repro.serve.FleetSupervisor`'s crash-restart loop under test.
+    It defaults to 0 because the in-process :class:`ChaosScenario` never
+    forks; the fleet test-suite passes a plan with it armed.
+
     >>> plan = build_fault_plan(seed=7)
     >>> sorted({spec.site for spec in plan.specs}) == sorted(
     ...     ["executor.task", "online.refresh", "serve.predict",
     ...      "store.commit", "store.index", "store.lock"])
     True
     """
+    fleet_specs: Tuple[FaultSpec, ...] = ()
+    if worker_crashes:
+        fleet_specs = (
+            FaultSpec(
+                site=SITE_FLEET_WORKER,
+                kind="raise",
+                max_fires=worker_crashes,
+                message="injected worker crash",
+            ),
+        )
     return FaultPlan(
         seed=seed,
-        specs=(
+        specs=fleet_specs
+        + (
             FaultSpec(
                 site=SITE_ONLINE_REFRESH,
                 kind="raise",

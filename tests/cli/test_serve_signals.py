@@ -1,0 +1,119 @@
+"""Signal handling of foreground ``repro-bellamy serve`` (and the fleet).
+
+SIGTERM — what a container orchestrator sends on stop — must route
+through the graceful path: stop accepting, drain the batch queue so every
+accepted request is answered, release the store, exit 0. The regression
+pinned here: the old inline handler only covered SIGTERM on the serial
+path and bypassed :func:`repro.serve.serve_foreground`; both entry points
+now share it (the fleet supervisor forwards the signal to every worker).
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _spawn_serve(*extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli.main", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+
+
+def _read_until(process: subprocess.Popen, needle: str, timeout_s: float = 120.0) -> str:
+    """Collect stdout lines until one contains ``needle``."""
+    collected = []
+    deadline = time.monotonic() + timeout_s
+    fd = process.stdout.fileno()
+    buf = ""
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            break
+        ready, _, _ = select.select([fd], [], [], 0.2)
+        if not ready:
+            continue
+        chunk = os.read(fd, 4096).decode("utf-8", "replace")
+        if not chunk:
+            break
+        buf += chunk
+        while "\n" in buf:
+            line, _, buf = buf.partition("\n")
+            collected.append(line)
+            if needle in line:
+                return "\n".join(collected)
+    raise AssertionError(
+        f"never saw {needle!r}; output so far:\n" + "\n".join(collected + [buf])
+    )
+
+
+def _finish(process: subprocess.Popen, timeout_s: float = 60.0) -> str:
+    try:
+        remainder, _ = process.communicate(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.communicate()
+        raise AssertionError("serve did not exit after SIGTERM")
+    return remainder or ""
+
+
+@pytest.mark.slow
+def test_sigterm_drains_single_worker_serve():
+    process = _spawn_serve()
+    try:
+        _read_until(process, "serving on http://")
+        process.send_signal(signal.SIGTERM)
+        tail = _finish(process)
+        assert process.returncode == 0
+        assert "shut down (batch queue drained)" in tail
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+
+@pytest.mark.slow
+def test_sigterm_drains_fleet(tmp_path):
+    process = _spawn_serve("--workers", "2", "--store", str(tmp_path / "models"))
+    try:
+        banner = _read_until(process, "fleet endpoint:")
+        assert "with 2 workers" in banner
+        process.send_signal(signal.SIGTERM)
+        tail = _finish(process)
+        assert process.returncode == 0
+        assert "shut down (workers drained)" in tail
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+
+@pytest.mark.slow
+def test_sigint_equivalent_to_sigterm():
+    process = _spawn_serve()
+    try:
+        _read_until(process, "serving on http://")
+        process.send_signal(signal.SIGINT)
+        tail = _finish(process)
+        assert process.returncode == 0
+        assert "shut down (batch queue drained)" in tail
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()

@@ -59,6 +59,7 @@ def test_all_sites_are_instrumentable():
         "executor.task",
         "online.refresh",
         "serve.predict",
+        "fleet.worker",
     }
 
 

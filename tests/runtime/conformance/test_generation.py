@@ -1,0 +1,131 @@
+"""Conformance: the monotonic store generation every backend must expose.
+
+The fleet's cross-worker cache invalidation rides on one number: a
+counter that moves with *every* index mutation (register, unregister,
+rebuild), atomically with the mutation itself, and — for the shareable
+backends — is visible to a fresh store handle as another process would
+open one. ``memory://`` keeps the same in-process contract but must
+*refuse* (not silently mis-answer) a cross-process read.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from .conftest import write_text
+
+
+class TestGenerationContract:
+    def test_fresh_store_starts_at_zero(self, harness):
+        assert harness.open().generation() == 0
+
+    def test_commit_bumps(self, harness):
+        store = harness.open()
+        before = store.generation()
+        with store.transaction("model") as txn:
+            txn.write("npz", write_text("payload"))
+        assert store.generation() > before
+
+    def test_every_mutation_bumps_monotonically(self, harness):
+        store = harness.open()
+        observed = [store.generation()]
+        for name in ("a", "b"):
+            with store.transaction(name) as txn:
+                txn.write("npz", write_text(name))
+            observed.append(store.generation())
+        store.delete("a")
+        observed.append(store.generation())
+        store.rebuild_index()
+        observed.append(store.generation())
+        assert observed == sorted(observed)
+        assert len(set(observed)) == len(observed)  # strictly increasing
+
+    def test_aborted_transaction_does_not_bump(self, harness):
+        """No member committed → nothing registered → generation still.
+
+        (A transaction that dies *after* committing members keeps them —
+        and their index entry, and hence the bump — by the store's crash
+        semantics; only a commit-less abort must leave the counter alone.)
+        """
+        store = harness.open()
+        before = store.generation()
+
+        def exploding_writer(path: Path) -> None:
+            raise RuntimeError("abort before commit")
+
+        with pytest.raises(RuntimeError):
+            with store.transaction("doomed") as txn:
+                txn.write("npz", exploding_writer)
+        assert store.generation() == before
+
+    def test_read_only_operations_do_not_bump(self, harness):
+        store = harness.open()
+        with store.transaction("model") as txn:
+            txn.write("npz", write_text("payload"))
+        before = store.generation()
+        store.names()
+        store.members("model")
+        store.exists("model", "npz")
+        store.find("model", "npz")
+        assert store.generation() == before
+
+
+class TestGenerationCrossHandle:
+    def test_reopened_handle_sees_the_bump(self, xproc_harness):
+        """A fresh handle (what another process constructs) observes the
+        writer's generation — the signal fleet workers poll on."""
+        writer = xproc_harness.open()
+        reader = xproc_harness.reopen()
+        start = reader.generation()
+        with writer.transaction("model") as txn:
+            txn.write("npz", write_text("payload"))
+        assert reader.generation() > start
+
+    def test_generation_moves_with_the_index(self, xproc_harness):
+        """Once the reader sees the new generation, the index mutation
+        that bumped it is visible too (bump happens with, not after, the
+        commit)."""
+        writer = xproc_harness.open()
+        reader = xproc_harness.reopen()
+        before = reader.generation()
+        with writer.transaction("fresh-model") as txn:
+            txn.write("npz", write_text("payload"))
+        assert reader.generation() > before
+        assert "fresh-model" in reader.names()
+
+
+def test_memory_backend_refuses_cross_process_generation(tmp_path):
+    """``memory://`` raises a diagnosis, not a stale answer, from a fork."""
+    from repro.runtime import ArtifactStore
+
+    from .conftest import release_uri, store_uri
+
+    uri = store_uri("memory", tmp_path)
+    try:
+        store = ArtifactStore(uri)
+        assert store.generation() == 0  # in-process reads stay fine
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child process
+            os.close(read_fd)
+            try:
+                store.generation()
+                os.write(write_fd, b"no-error")
+            except RuntimeError as error:
+                message = str(error).encode()
+                os.write(write_fd, b"raised:" + message[:200])
+            except BaseException:
+                os.write(write_fd, b"wrong-error")
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        with os.fdopen(read_fd, "rb") as pipe:
+            outcome = pipe.read().decode()
+        os.waitpid(pid, 0)
+        assert outcome.startswith("raised:")
+        assert "process-private" in outcome
+    finally:
+        release_uri("memory", tmp_path)

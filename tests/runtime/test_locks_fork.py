@@ -1,0 +1,136 @@
+"""Fork-safety of :class:`repro.runtime.locks.FileLock`.
+
+``flock`` locks belong to the open file *description*, which every fd
+duplicated by ``fork()`` shares. The regression pinned here: a forked
+child calling ``release()`` on an inherited lock used to ``LOCK_UN`` that
+shared description — silently dropping the lock its **parent** still
+held, the exact window in which two fleet workers can tear one artifact.
+The fix is PID-stamped ownership: children only ever *close* their
+duplicate.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+
+import pytest
+
+from repro.runtime.locks import FileLock, LockTimeout
+
+
+def _flock_would_block(path) -> bool:
+    """Whether some process still holds the exclusive flock on ``path``."""
+    probe = os.open(path, os.O_RDWR)
+    try:
+        try:
+            fcntl.flock(probe, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except (BlockingIOError, PermissionError):
+            return True
+        fcntl.flock(probe, fcntl.LOCK_UN)
+        return False
+    finally:
+        os.close(probe)
+
+
+def _run_in_child(fn) -> int:
+    """fork(), run ``fn()`` in the child, return its exit status code."""
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child process
+        code = 1
+        try:
+            code = int(fn() or 0)
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+class TestForkedChild:
+    def test_lock_fd_is_cloexec(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            flags = fcntl.fcntl(lock._fd, fcntl.F_GETFD)
+            assert flags & fcntl.FD_CLOEXEC
+
+    def test_parent_holds_child_exits_lock_survives(self, tmp_path):
+        """The ISSUE's sequence: parent acquires, child exits, parent must
+        still hold — the inherited duplicate dies with the child without
+        releasing the shared description."""
+        path = tmp_path / "a.lock"
+        lock = FileLock(path)
+        with lock:
+            assert _run_in_child(lambda: 0) == 0
+            assert _flock_would_block(path)
+            assert lock.held
+
+    def test_child_release_never_unlocks_parent(self, tmp_path):
+        """An explicit ``release()`` in the child (the old bug's trigger)
+        only closes the duplicate; the parent's flock stays."""
+        path = tmp_path / "a.lock"
+        lock = FileLock(path)
+        with lock:
+
+            def child() -> int:
+                lock.release()  # must be a close, not a LOCK_UN
+                return 0 if _flock_would_block(path) else 7
+
+            assert _run_in_child(child) == 0
+            assert _flock_would_block(path)
+
+    def test_held_is_false_in_child(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            assert lock.held
+            assert _run_in_child(lambda: 0 if not lock.held else 7) == 0
+
+    def test_child_acquire_discards_inherited_fd_and_blocks(self, tmp_path):
+        """A child re-acquiring an inherited held lock opens a *fresh* fd
+        and then times out against the parent — it does not sneak in
+        through the shared description."""
+        path = tmp_path / "a.lock"
+        lock = FileLock(path)
+        with lock:
+
+            def child() -> int:
+                lock.timeout = 0.2
+                try:
+                    lock.acquire()
+                except LockTimeout:
+                    return 0
+                return 7
+
+            assert _run_in_child(child) == 0
+            assert _flock_would_block(path)
+
+    def test_child_acquires_after_parent_releases(self, tmp_path):
+        """Once the parent lets go, the inherited instance is fully usable
+        in the child: acquire, exclude others, release."""
+        path = tmp_path / "a.lock"
+        lock = FileLock(path)
+        lock.acquire()
+        lock.release()
+
+        def child() -> int:
+            with lock:
+                if not lock.held:
+                    return 7
+                if not _flock_would_block(path):
+                    return 8
+            return 0 if not _flock_would_block(path) else 9
+
+        assert _run_in_child(child) == 0
+
+
+def test_parent_release_unaffected_by_forked_child(tmp_path):
+    """After a child inherited (and discarded) the fd, the parent's own
+    release still works and frees the file for the next process."""
+    path = tmp_path / "a.lock"
+    lock = FileLock(path)
+    lock.acquire()
+    assert _run_in_child(lambda: 0) == 0
+    lock.release()
+    assert not lock.held
+    assert not _flock_would_block(path)
+    with FileLock(path, timeout=1.0):
+        pass

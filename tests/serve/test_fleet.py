@@ -1,0 +1,409 @@
+"""End-to-end tests of :mod:`repro.serve.fleet`.
+
+A real pre-fork fleet per module: forked worker processes, a shared
+on-disk store, HTTP over the shared listener. Covers the tentpole
+contract — bit-identity with serial serving, crash restarts, the
+aggregation endpoint — plus the cross-process invalidation legs (an
+override published by one process observed by another within one
+generation check) for both shareable backends, and the ``memory://``
+refusals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.core.persistence import ModelStore
+from repro.resilience import FaultInjector, FaultPlan, RetryPolicy, SITE_FLEET_WORKER
+from repro.serve import (
+    FleetSupervisor,
+    HttpServeClient,
+    LruTtlCache,
+    ServeApp,
+    StoreGenerationWatcher,
+    ensure_fleet_store,
+    reuseport_available,
+)
+from repro.serve.fleet import merge_metrics_texts
+
+
+def _small_config(seed: int = 0) -> BellamyConfig:
+    return BellamyConfig(seed=seed).with_overrides(
+        pretrain_epochs=20, finetune_max_epochs=60, finetune_patience=30
+    )
+
+
+def _get_json(url: str):
+    return json.loads(urllib.request.urlopen(url, timeout=10).read())
+
+
+def _wait_for(predicate, timeout_s: float = 60.0, poll_s: float = 0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    raise AssertionError("condition not met within the deadline")
+
+
+def _run_in_child(fn) -> int:
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child process
+        code = 1
+        try:
+            code = int(fn() or 0)
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+# --------------------------------------------------------------------- #
+# Pure units
+# --------------------------------------------------------------------- #
+
+
+class TestMergeMetricsTexts:
+    def test_families_keep_one_header_and_grouped_samples(self):
+        text = (
+            "# HELP a A.\n# TYPE a counter\na 1\n"
+            "# HELP b B.\n# TYPE b gauge\nb{x=\"y\"} 2\n"
+        )
+        merged = merge_metrics_texts([("0", text), ("1", text)])
+        assert merged.count("# HELP a A.") == 1
+        assert merged.count("# TYPE b gauge") == 1
+        lines = merged.strip().splitlines()
+        # Samples stay under their family's header block.
+        assert lines.index('a{worker="0"} 1') < lines.index("# HELP b B.")
+        assert 'b{worker="1",x="y"} 2' in lines
+
+    def test_parses_back(self):
+        from repro.metrics import parse_text
+
+        text = "# HELP a A.\n# TYPE a counter\na 1\n"
+        series = parse_text(merge_metrics_texts([("0", text), ("1", text)]))
+        assert {labels["worker"] for labels, _ in series["a"]} == {"0", "1"}
+
+    def test_empty(self):
+        assert merge_metrics_texts([]) == ""
+
+
+def test_reuseport_probe_returns_bool():
+    assert reuseport_available() in (True, False)
+
+
+def test_worker_count_validated():
+    with pytest.raises(ValueError):
+        FleetSupervisor(lambda: None, workers=0)
+
+
+def test_build_fault_plan_gains_fleet_site_on_request():
+    from repro.simulator.chaos import build_fault_plan
+
+    default_sites = {spec.site for spec in build_fault_plan().specs}
+    assert SITE_FLEET_WORKER not in default_sites
+    armed_sites = {spec.site for spec in build_fault_plan(worker_crashes=1).specs}
+    assert SITE_FLEET_WORKER in armed_sites
+
+
+# --------------------------------------------------------------------- #
+# memory:// refusals
+# --------------------------------------------------------------------- #
+
+
+class TestMemoryRefusal:
+    def test_ensure_fleet_store_rejects_memory(self):
+        with pytest.raises(ValueError, match="process-private"):
+            ensure_fleet_store(ModelStore("memory://fleet-reject-test"))
+
+    def test_ensure_fleet_store_accepts_file(self, tmp_path):
+        ensure_fleet_store(ModelStore(str(tmp_path)))
+
+    def test_watcher_raises_from_forked_process(self, c3o_dataset):
+        """Across a fork, a ``memory://`` watcher diagnoses instead of
+        silently diverging (the index it polls is the parent's heap)."""
+        session = Session(
+            c3o_dataset, config=_small_config(), store="memory://fleet-fork-test"
+        )
+        watcher = StoreGenerationWatcher(session, LruTtlCache(capacity=4))
+
+        def child() -> int:
+            try:
+                watcher.check()
+            except RuntimeError as error:
+                return 0 if "process-private" in str(error) else 8
+            return 7
+
+        assert _run_in_child(child) == 0
+        watcher.check()  # the parent keeps working
+
+
+# --------------------------------------------------------------------- #
+# Cross-process invalidation (the generation hand-off, no HTTP)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scheme", ["file", "sqlite"])
+def test_override_published_by_another_process_is_observed(
+    scheme, tmp_path, c3o_dataset
+):
+    """Process A commits a serving-overrides document; process B's next
+    generation check applies it and drops the superseded cache entry."""
+    uri = f"{scheme}://{tmp_path / 'store'}"
+    session = Session(c3o_dataset, config=_small_config(), store=uri)
+    session.serving_overrides["group-a"] = "old-model"
+    cache = LruTtlCache(capacity=8)
+    cache.get_or_load(("named", "old-model"), lambda: "stale-bytes")
+    watcher = StoreGenerationWatcher(session, cache, interval_s=0.0)
+    generation_before = watcher.generation
+
+    def child() -> int:
+        other = ModelStore(uri)  # what a peer worker holds
+        other.publish_serving_overrides({"group-a": "new-model"})
+        return 0
+
+    assert _run_in_child(child) == 0
+    assert watcher.check() is True  # one check interval is enough
+    assert watcher.generation > generation_before
+    assert session.serving_overrides["group-a"] == "new-model"
+    assert ("named", "old-model") not in cache
+
+
+# --------------------------------------------------------------------- #
+# The fleet itself
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory, c3o_dataset):
+    """A running 2-worker fleet over a warmed shared store, plus the
+    serial session it must agree with bit-for-bit."""
+    store_root = str(tmp_path_factory.mktemp("fleet-store"))
+    serial = Session(c3o_dataset, config=_small_config(), store=store_root)
+    serial.base_model("sgd")  # train once; workers load from the store
+
+    def make_app() -> ServeApp:
+        session = Session(c3o_dataset, config=_small_config(), store=store_root)
+        return ServeApp(session, generation_check_s=0.1)
+
+    supervisor = FleetSupervisor(
+        make_app,
+        port=0,
+        workers=2,
+        poll_s=0.05,
+        restart_policy=RetryPolicy(
+            max_attempts=6, base_delay_s=0.05, multiplier=1.0, jitter=0.0
+        ),
+    )
+    supervisor.start()
+    try:
+        yield supervisor, serial, c3o_dataset.contexts()[0]
+    finally:
+        supervisor.close()
+
+
+class TestFleetServing:
+    def test_bit_identical_to_serial(self, fleet):
+        supervisor, serial, context = fleet
+        machines = [2, 4, 8, 12]
+        expected = np.asarray(serial.predict(context, machines), dtype=np.float64)
+        client = HttpServeClient(supervisor.url)
+        for _ in range(4):  # several requests so both workers likely answer
+            got = np.asarray(client.predict(context, machines), dtype=np.float64)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_every_worker_answers_identically(self, fleet):
+        """Per-admin-port predictions (one per worker, no load-balancer
+        ambiguity) must agree bit-for-bit with the serial session."""
+        supervisor, serial, context = fleet
+        machines = [2, 4, 8]
+        expected = np.asarray(serial.predict(context, machines), dtype=np.float64)
+        for row in supervisor.worker_table():
+            client = HttpServeClient(f"http://127.0.0.1:{row['admin_port']}")
+            got = np.asarray(client.predict(context, machines), dtype=np.float64)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_fleet_healthz(self, fleet):
+        supervisor, _, _ = fleet
+        body = _get_json(supervisor.fleet_url + "/fleet/healthz")
+        assert body["status"] == "ok"
+        assert body["workers"] == 2
+        assert body["alive"] == 2
+        assert len(body["table"]) == 2
+        for row in body["table"]:
+            assert row["alive"] is True
+            assert isinstance(row["admin_port"], int)
+
+    def test_fleet_stats_keyed_by_slot(self, fleet):
+        supervisor, _, context = fleet
+        HttpServeClient(supervisor.url).predict(context, [4])
+        body = _get_json(supervisor.fleet_url + "/fleet/stats")
+        assert set(body["workers"]) == {"0", "1"}
+        for entry in body["workers"].values():
+            assert entry["healthz"]["status"] == "ok"
+            assert "store_generation" in entry["healthz"]
+            assert "requests" in entry["stats"]
+
+    def test_fleet_metrics_relabeled_per_worker(self, fleet):
+        from repro.metrics import parse_text
+
+        supervisor, _, _ = fleet
+        with urllib.request.urlopen(
+            supervisor.fleet_url + "/fleet/metrics", timeout=10
+        ) as response:
+            series = parse_text(response.read().decode("utf-8"))
+        gauge = series["repro_serve_inflight_requests"]
+        assert {labels["worker"] for labels, _ in gauge} == {"0", "1"}
+
+    def test_sigkilled_worker_is_restarted_and_serves(self, fleet):
+        supervisor, serial, context = fleet
+        victim = supervisor.worker_table()[0]
+        os.kill(victim["pid"], signal.SIGKILL)
+
+        def respawned():
+            table = supervisor.worker_table()
+            fresh = table[0]
+            return (
+                fresh["alive"]
+                and fresh["pid"] != victim["pid"]
+                and fresh["admin_port"] is not None
+            ) and fresh
+        replacement = _wait_for(respawned)
+        assert replacement["restarts"] == victim["restarts"] + 1
+        expected = np.asarray(serial.predict(context, [4, 8]), dtype=np.float64)
+        client = HttpServeClient(f"http://127.0.0.1:{replacement['admin_port']}")
+        np.testing.assert_array_equal(
+            np.asarray(client.predict(context, [4, 8]), dtype=np.float64), expected
+        )
+        assert _get_json(supervisor.fleet_url + "/fleet/healthz")["alive"] == 2
+
+
+def test_injected_bootstrap_crash_is_restarted(c3o_dataset):
+    """The chaos ``fleet.worker`` site: a fault armed at worker bootstrap
+    kills the first spawn; once the outage clears, the monitor's backoff
+    respawns the slot and it serves."""
+    from repro.simulator.chaos import build_fault_plan
+
+    plan = FaultPlan(
+        seed=0,
+        specs=tuple(
+            spec
+            for spec in build_fault_plan(worker_crashes=1).specs
+            if spec.site == SITE_FLEET_WORKER
+        ),
+    )
+
+    def make_app() -> ServeApp:
+        return ServeApp(Session(c3o_dataset, config=_small_config()))
+
+    supervisor = FleetSupervisor(
+        make_app,
+        port=0,
+        workers=1,
+        poll_s=0.05,
+        restart_policy=RetryPolicy(
+            max_attempts=6, base_delay_s=0.05, multiplier=1.0, jitter=0.0
+        ),
+    )
+    try:
+        with FaultInjector(plan):
+            supervisor.start()
+            # The injected crash killed the first spawn before it reported.
+            assert supervisor.worker_table()[0]["admin_port"] is None
+        # Outage over (respawns fork from the parent, where ACTIVE is now
+        # cleared): the slot comes back and serves.
+        row = _wait_for(
+            lambda: (
+                (table := supervisor.worker_table())[0]["alive"]
+                and table[0]["admin_port"] is not None
+                and table[0]
+            )
+        )
+        assert row["restarts"] >= 1
+        context = c3o_dataset.contexts()[0]
+        prediction = HttpServeClient(supervisor.url).predict(context, [4])
+        assert prediction.shape == (1,)
+    finally:
+        supervisor.close()
+
+
+@pytest.mark.slow
+def test_online_refresh_in_one_worker_reaches_all_workers(tmp_path):
+    """The acceptance path end-to-end: drift traffic triggers a refresh in
+    whichever worker received it; the refresh publishes overrides through
+    the shared store, and *every* worker serves the refreshed model (bit-
+    identically) within one generation-check interval."""
+    from repro.data.dataset import ExecutionDataset
+    from repro.online import OnlineSession, RefreshPolicy
+    from repro.simulator import DriftSpec, generate_drift_scenario
+
+    scenario = generate_drift_scenario(
+        DriftSpec(kind="step", magnitude=0.9, start=0.0), seed=0, n_stream=12
+    )
+    config = BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=300, finetune_max_epochs=250, finetune_patience=120
+    )
+    store_root = str(tmp_path / "models")
+    check_s = 0.05
+
+    def make_app() -> ServeApp:
+        corpus = ExecutionDataset(list(scenario.history))
+        session = Session(corpus, config=config, store=store_root)
+        online = OnlineSession(
+            session,
+            RefreshPolicy(
+                min_observations=3, window=6, refresh_samples=8, max_epochs=250
+            ),
+            publish_overrides=True,
+        )
+        return ServeApp(session, online=online, generation_check_s=check_s)
+
+    # Warm the base model once so the workers load instead of racing to train.
+    Session(
+        ExecutionDataset(list(scenario.history)), config=config, store=store_root
+    ).base_model(scenario.context.algorithm)
+
+    supervisor = FleetSupervisor(
+        make_app, port=0, workers=2, use_reuseport=False, poll_s=0.05
+    )
+    supervisor.start()
+    try:
+        client = HttpServeClient(supervisor.url)
+        context = scenario.context
+        stale = client.predict(context, [4, 8])
+
+        refreshed = None
+        for machines, runtime_s in scenario.stream:
+            body = client.observe(context, machines, runtime_s)
+            if body["refreshed"] is not None and refreshed is None:
+                refreshed = body["refreshed"]
+        assert refreshed is not None, "the drift stream never triggered a refresh"
+
+        time.sleep(2 * check_s)  # one generation-check interval (plus slack)
+        predictions = []
+        for row in supervisor.worker_table():
+            worker = HttpServeClient(f"http://127.0.0.1:{row['admin_port']}")
+            predictions.append(
+                np.asarray(worker.predict(context, [4, 8]), dtype=np.float64)
+            )
+            health = worker.healthz()
+            assert health["store_generation"] == supervisor_generation(store_root)
+        np.testing.assert_array_equal(predictions[0], predictions[1])
+        assert not np.array_equal(predictions[0], stale)
+    finally:
+        supervisor.close()
+
+
+def supervisor_generation(store_root: str) -> int:
+    """The store generation an outside observer (the test) sees."""
+    return ModelStore(store_root).generation()

@@ -1,0 +1,165 @@
+"""Unit tests of :class:`repro.serve.cache.StoreGenerationWatcher`.
+
+The watcher is the reader half of the fleet's cross-worker invalidation:
+it compares the store's monotonic generation against the last value seen
+and, on movement, re-applies the published serving-overrides document and
+drops superseded warm-cache entries. These tests drive it against a stub
+store so every leg — rate limiting, initial sync, the version-collision
+invalidation — is deterministic and instant.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.serve.cache import FakeClock, LruTtlCache, StoreGenerationWatcher
+
+
+class _StubStore:
+    """A store exposing exactly what the watcher reads."""
+
+    def __init__(self) -> None:
+        self._generation = 0
+        self._overrides = {}
+        self.generation_calls = 0
+
+    def generation(self) -> int:
+        self.generation_calls += 1
+        return self._generation
+
+    def load_serving_overrides(self):
+        return dict(self._overrides)
+
+    def publish(self, overrides) -> None:
+        """What a committed refresh does: new doc, bumped generation."""
+        self._overrides = dict(overrides)
+        self._generation += 1
+
+
+def _session(store=None):
+    return SimpleNamespace(store=store or _StubStore(), serving_overrides={})
+
+
+def _loaded_cache(*names):
+    cache = LruTtlCache(capacity=8)
+    for name in names:
+        cache.get_or_load(("named", name), lambda name=name: f"model:{name}")
+    return cache
+
+
+class TestRateLimiting:
+    def test_maybe_check_probes_at_most_once_per_interval(self):
+        clock = FakeClock()
+        session = _session()
+        watcher = StoreGenerationWatcher(
+            session, LruTtlCache(capacity=4), interval_s=1.0, clock=clock
+        )
+        baseline = session.store.generation_calls  # the constructor's sync
+        for _ in range(10):
+            watcher.maybe_check()
+        assert session.store.generation_calls == baseline  # interval not up
+        clock.advance(1.0)
+        watcher.maybe_check()
+        assert session.store.generation_calls == baseline + 1
+
+    def test_zero_interval_probes_every_call(self):
+        clock = FakeClock()
+        session = _session()
+        watcher = StoreGenerationWatcher(
+            session, LruTtlCache(capacity=4), interval_s=0.0, clock=clock
+        )
+        baseline = session.store.generation_calls
+        for _ in range(3):
+            watcher.maybe_check()
+        assert session.store.generation_calls == baseline + 3
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StoreGenerationWatcher(
+                _session(), LruTtlCache(capacity=4), interval_s=-1.0
+            )
+
+
+class TestInitialSync:
+    def test_pre_existing_overrides_applied_at_construction(self):
+        """A worker forked *after* a refresh must serve the refreshed
+        model from its very first request — the constructor syncs."""
+        session = _session()
+        session.store.publish({"group-a": "model-v2"})
+        watcher = StoreGenerationWatcher(
+            session, LruTtlCache(capacity=4), interval_s=1.0, clock=FakeClock()
+        )
+        assert session.serving_overrides == {"group-a": "model-v2"}
+        assert watcher.generation == 1
+
+
+class TestInvalidation:
+    def test_override_change_drops_superseded_entry(self):
+        session = _session()
+        session.serving_overrides["group-a"] = "model-v1"
+        cache = _loaded_cache("model-v1")
+        clock = FakeClock()
+        watcher = StoreGenerationWatcher(session, cache, interval_s=1.0, clock=clock)
+
+        session.store.publish({"group-a": "model-v2"})
+        clock.advance(1.0)
+        assert watcher.maybe_check() is True
+        assert session.serving_overrides["group-a"] == "model-v2"
+        assert ("named", "model-v1") not in cache
+
+    def test_unchanged_name_still_drops_the_published_entry(self):
+        """The version-collision leg: two workers refreshing one group
+        race to the *same* versioned name, so a generation bump with an
+        unchanged override name can still mean replaced bytes — the warm
+        copy of the published name itself must go."""
+        session = _session()
+        session.serving_overrides["group-a"] = "model-v1"
+        cache = _loaded_cache("model-v1")
+        clock = FakeClock()
+        watcher = StoreGenerationWatcher(session, cache, interval_s=1.0, clock=clock)
+
+        # Same name re-published (peer overwrote the bytes underneath).
+        session.store.publish({"group-a": "model-v1"})
+        clock.advance(1.0)
+        assert watcher.maybe_check() is True
+        assert ("named", "model-v1") not in cache
+
+    def test_no_generation_movement_means_no_invalidation(self):
+        session = _session()
+        session.serving_overrides["group-a"] = "model-v1"
+        cache = _loaded_cache("model-v1")
+        clock = FakeClock()
+        watcher = StoreGenerationWatcher(session, cache, interval_s=0.0, clock=clock)
+        assert watcher.check() is False
+        assert ("named", "model-v1") in cache
+
+    def test_unrelated_entries_survive(self):
+        session = _session()
+        cache = _loaded_cache("model-v1", "other-model")
+        clock = FakeClock()
+        watcher = StoreGenerationWatcher(session, cache, interval_s=0.0, clock=clock)
+        session.store.publish({"group-a": "model-v2"})
+        watcher.check()
+        assert ("named", "other-model") in cache
+
+
+class TestMetrics:
+    def test_counters_and_gauge(self):
+        registry = MetricsRegistry()
+        session = _session()
+        clock = FakeClock()
+        watcher = StoreGenerationWatcher(
+            session,
+            LruTtlCache(capacity=4),
+            interval_s=0.0,
+            clock=clock,
+            registry=registry,
+        )
+        session.store.publish({"group-a": "model-v2"})
+        watcher.check()
+        assert watcher._m_checks.value == 2  # constructor sync + explicit
+        assert watcher._m_changes.value == 1
+        assert watcher._m_generation.value == 1

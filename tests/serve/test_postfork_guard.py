@@ -1,0 +1,81 @@
+"""Fail-fast guards for serving components carried across ``fork()``.
+
+A :class:`ThreadExecutor`'s worker threads and a :class:`MicroBatcher`'s
+flusher thread exist only in the process that constructed them — a forked
+child inherits the objects but not the threads, so a submit there would
+queue forever (the silent-hang regression pinned here). Both components
+PID-stamp themselves at construction and raise immediately from the wrong
+process; the fleet constructs its :class:`ServeApp` after fork precisely
+to stay on the right side of these guards.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime.executor import ThreadExecutor
+from repro.serve.batcher import MicroBatcher
+
+
+def _run_in_child(fn) -> int:
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child process
+        code = 1
+        try:
+            code = int(fn() or 0)
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+def _expect_fork_error(submit) -> int:
+    """0 when ``submit`` raises the diagnostic RuntimeError, else 7/8."""
+    try:
+        submit()
+    except RuntimeError as error:
+        return 0 if "fork()" in str(error) else 8
+    except BaseException:
+        return 8
+    return 7
+
+
+class TestExecutorGuard:
+    def test_submit_after_fork_raises(self):
+        executor = ThreadExecutor(max_workers=1, name="guarded")
+        try:
+            assert executor.submit(lambda: 41 + 1).result(timeout=5.0) == 42
+            child = lambda: _expect_fork_error(
+                lambda: executor.submit(lambda: None)
+            )
+            assert _run_in_child(child) == 0
+        finally:
+            executor.shutdown()
+
+    def test_parent_keeps_working_after_child_probe(self):
+        executor = ThreadExecutor(max_workers=1, name="guarded")
+        try:
+            _run_in_child(lambda: 0)
+            assert executor.submit(lambda: "ok").result(timeout=5.0) == "ok"
+        finally:
+            executor.shutdown()
+
+
+class TestBatcherGuard:
+    def test_submit_after_fork_raises(self, serve_session):
+        from repro.serve.schemas import PredictionRequest
+
+        batcher = MicroBatcher(serve_session, max_batch=4, max_wait_ms=1.0)
+        try:
+            context = serve_session.corpus.contexts()[0]
+            request = PredictionRequest(context=context, machines=(2.0,))
+            assert batcher.submit(request).shape == (1,)
+
+            child = lambda: _expect_fork_error(lambda: batcher.submit(request))
+            assert _run_in_child(child) == 0
+            # The guard fired in the child only; the parent still serves.
+            assert batcher.submit(request).shape == (1,)
+        finally:
+            batcher.close()
