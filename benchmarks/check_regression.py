@@ -76,6 +76,10 @@ ABSOLUTE_CEILINGS_NS = (
 #: but only on runners with the cores to scale onto (see the gate).
 FLEET_SCALING_FLOOR_AT_4 = 2.5
 
+#: The fused batched fine-tune must beat the serial per-group loop by this
+#: factor at 50 groups — on runners with cores for the stacked BLAS calls.
+BATCHED_REFRESH_FLOOR_AT_50 = 5.0
+
 #: Cross-worker refresh propagation must land within this many
 #: generation-check intervals plus slack (cross-runner scheduling noise).
 FLEET_PROPAGATION_INTERVALS = 4.0
@@ -157,6 +161,59 @@ def _check_serve_fleet(current: dict, failures: list) -> None:
         failures.append(
             f"serve_fleet 4-worker scaling fell to {scaling:.2f}x "
             f"(< {FLEET_SCALING_FLOOR_AT_4}x on a {cpus}-cpu runner)"
+        )
+
+
+def _check_batched_refresh(current: dict, failures: list) -> None:
+    """Gate the fused multi-group fine-tuning section of the current run.
+
+    The correctness leg — every group's batched weights bit-identical to
+    its serial fine-tune — is gated unconditionally; the bench already
+    refuses to report a speedup without it, so a missing or false flag
+    means the identity discipline broke. The >=5x-at-50-groups floor is
+    gated **only when the run's recorded CPU count is >= 4** (like the
+    fleet scaling floor): the stacked ``(50, batch, features)`` matmuls
+    lean on BLAS threading, and a 1-CPU runner honestly measuring 3x says
+    nothing about the fused pass.
+    """
+    batched = current.get("batched_refresh")
+    if batched is None:
+        failures.append("batched_refresh missing from the current run")
+        return
+    for n_groups in sorted(batched.get("curves", {}), key=int):
+        entry = batched["curves"][n_groups]
+        label = f"batched_refresh.curves.{n_groups}"
+        status = "ok" if entry.get("bit_identical") else "REGRESSION"
+        print(
+            f"{label}: {entry.get('speedup', 0.0):.2f}x vs serial, "
+            f"bit-identical={bool(entry.get('bit_identical'))} [{status}]"
+        )
+        if status != "ok":
+            failures.append(f"{label} not bit-identical to the serial loop")
+
+    cpus = int(batched.get("cpus") or current.get("environment", {}).get("cpus") or 1)
+    speedup = batched.get("speedup_at_50")
+    if cpus < 4:
+        print(
+            f"batched_refresh.speedup_at_50: "
+            f"{'%.2fx' % speedup if speedup is not None else 'n/a'} "
+            f"(floor waived: only {cpus} cpu(s) on this runner) [skipped]"
+        )
+        return
+    if speedup is None:
+        failures.append(
+            "batched_refresh 50-group speedup missing on a >=4-cpu runner"
+        )
+        return
+    status = "ok" if speedup >= BATCHED_REFRESH_FLOOR_AT_50 else "REGRESSION"
+    print(
+        f"batched_refresh.speedup_at_50: {speedup:.2f}x "
+        f"(hard floor {BATCHED_REFRESH_FLOOR_AT_50}x on {cpus} cpus) [{status}]"
+    )
+    if status != "ok":
+        failures.append(
+            f"batched_refresh 50-group speedup fell to {speedup:.2f}x "
+            f"(< {BATCHED_REFRESH_FLOOR_AT_50}x on a {cpus}-cpu runner)"
         )
 
 
@@ -245,6 +302,7 @@ def main() -> int:
             failures.append(f"{label} is {now:.0f}ns (> {ceiling:.0f}ns ceiling)")
 
     _check_serve_fleet(current, failures)
+    _check_batched_refresh(current, failures)
 
     if failures:
         print("\n".join(["", "FAILED:"] + failures), file=sys.stderr)

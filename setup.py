@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bellamy",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Reproduction of 'Bellamy: Reusing Performance Models for "
         "Distributed Dataflow Jobs Across Contexts' (IEEE CLUSTER 2021)"

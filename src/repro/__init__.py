@@ -69,7 +69,7 @@ Quickstart
 >>> runtime_tuned = est.predict([8])
 """
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 from repro import (
     api,

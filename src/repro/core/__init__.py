@@ -30,9 +30,11 @@ from repro.core.graph_model import (
     pretrain_gnn,
 )
 from repro.core.finetuning import (
+    FinetuneFailure,
     FinetuneResult,
     FinetuneStrategy,
     finetune,
+    finetune_batch,
     train_local,
     unfreeze_epoch_for,
 )
@@ -43,6 +45,8 @@ from repro.core.pretraining import (
     PretrainResult,
     filter_distinct_contexts,
     pretrain,
+    pretrain_batch,
+    pretrain_population_objective,
     pretrain_with_search,
 )
 from repro.core.resource_selection import (
@@ -60,6 +64,7 @@ __all__ = [
     "BellamyRuntimeModel",
     "CandidateEvaluation",
     "CrossAlgorithmResult",
+    "FinetuneFailure",
     "FinetuneResult",
     "FinetuneStrategy",
     "GnnBellamyModel",
@@ -77,9 +82,12 @@ __all__ = [
     "evaluate_candidates",
     "filter_distinct_contexts",
     "finetune",
+    "finetune_batch",
     "pretrain",
+    "pretrain_batch",
     "pretrain_cross_algorithm",
     "pretrain_gnn",
+    "pretrain_population_objective",
     "pretrain_with_search",
     "run_cross_algorithm_experiment",
     "select_scaleout",

@@ -21,23 +21,31 @@ reaches 5 seconds or no improvement was seen for 1000 epochs (2500 max).
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import BellamyConfig
 from repro.core.model import BellamyModel
 from repro.data.schema import JobContext
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedModelBank,
+    GroupProgress,
+    ParamSnapshots,
+    huber_loss_batched,
+)
 from repro.nn.losses import HuberLoss
 from repro.nn.optim import Adam
 from repro.nn.schedulers import CyclicLR
-from repro.nn.tape import GraphCompiler
+from repro.nn.tape import GraphCompiler, legacy_engine
 from repro.nn.tensor import Tensor
 from repro.nn.trainer import TrainResult, Trainer, TrainerConfig, unfreeze_after
-from repro.utils.rng import derive_seed
+from repro.utils.rng import derive_seed, new_rng
 
 
 class FinetuneStrategy(str, Enum):
@@ -74,6 +82,20 @@ class FinetuneResult:
     train_result: TrainResult
 
 
+@dataclass
+class FinetuneFailure:
+    """Per-group failure marker returned by :func:`finetune_batch`.
+
+    One group's bad data (empty samples, shape mismatch, a featurizer error)
+    must not sink the other groups of a batched refresh; the failing slot
+    gets this marker while the rest train normally.
+    """
+
+    context: Optional[JobContext]
+    strategy: str
+    error: str
+
+
 def unfreeze_epoch_for(n_samples: int, max_epochs: int = 2500) -> int:
     """Epoch at which ``f`` is unlocked during partial fine-tuning.
 
@@ -102,6 +124,49 @@ def _clone_model(model: BellamyModel) -> BellamyModel:
     clone = type(model)(model.config)
     clone.load_full_state_dict(model.full_state_dict())
     return clone
+
+
+def _prepare_model(
+    base_model: BellamyModel,
+    context: JobContext,
+    n_samples: int,
+    strategy: FinetuneStrategy,
+    max_epochs: Optional[int],
+    copy: bool,
+) -> Tuple[BellamyModel, BellamyConfig, Optional[int]]:
+    """Clone/reset/freeze a model for fine-tuning (shared serial/batched prep).
+
+    Returns the prepared model, its config, and the epoch at which ``f``
+    unlocks (``None`` when the strategy adapts ``f`` from the start).
+    """
+    model = _clone_model(base_model) if copy else base_model
+    config = model.config
+
+    # Dropout is disabled during fine-tuning (Table I: Dropout 0 %).
+    model.autoencoder.encoder.set_dropout(0.0)
+    model.autoencoder.decoder.set_dropout(0.0)
+
+    reset_seed = derive_seed(config.seed, "finetune-reset", context.context_id)
+    if strategy.resets_z():
+        model.z.reset_parameters(reset_seed)
+    if strategy.resets_f():
+        model.f.reset_parameters(derive_seed(reset_seed, "f"))
+
+    # The auto-encoder is never adapted; z always is; f depends on strategy.
+    # A graph encoder (GnnBellamyModel) is a structural prior and is frozen
+    # like the auto-encoder.
+    model.autoencoder.freeze()
+    if hasattr(model, "graph_encoder"):
+        model.graph_encoder.freeze()
+    model.z.unfreeze()
+    unfreeze_epoch = None
+    if strategy.delays_f():
+        model.f.freeze()
+        budget = max_epochs or config.finetune_max_epochs
+        unfreeze_epoch = unfreeze_epoch_for(n_samples, budget)
+    else:
+        model.f.unfreeze()
+    return model, config, unfreeze_epoch
 
 
 def _run_finetune_loop(
@@ -201,36 +266,13 @@ def finetune(
     if machines.shape != runtimes.shape:
         raise ValueError("machines and runtimes must have equal length")
 
-    model = _clone_model(base_model) if copy else base_model
-    config = model.config
     started = time.perf_counter()
-
-    # Dropout is disabled during fine-tuning (Table I: Dropout 0 %).
-    model.autoencoder.encoder.set_dropout(0.0)
-    model.autoencoder.decoder.set_dropout(0.0)
-
-    reset_seed = derive_seed(config.seed, "finetune-reset", context.context_id)
-    if strategy.resets_z():
-        model.z.reset_parameters(reset_seed)
-    if strategy.resets_f():
-        model.f.reset_parameters(derive_seed(reset_seed, "f"))
-
-    # The auto-encoder is never adapted; z always is; f depends on strategy.
-    # A graph encoder (GnnBellamyModel) is a structural prior and is frozen
-    # like the auto-encoder.
-    model.autoencoder.freeze()
-    if hasattr(model, "graph_encoder"):
-        model.graph_encoder.freeze()
-    model.z.unfreeze()
+    model, config, unfreeze_epoch = _prepare_model(
+        base_model, context, machines.size, strategy, max_epochs, copy
+    )
     callbacks = []
-    if strategy.delays_f():
-        model.f.freeze()
-        budget = max_epochs or config.finetune_max_epochs
-        callbacks.append(
-            unfreeze_after(model.f, unfreeze_epoch_for(machines.size, budget))
-        )
-    else:
-        model.f.unfreeze()
+    if unfreeze_epoch is not None:
+        callbacks.append(unfreeze_after(model.f, unfreeze_epoch))
 
     result = _run_finetune_loop(
         model,
@@ -252,6 +294,329 @@ def finetune(
         stop_reason=result.stop_reason,
         train_result=result,
     )
+
+
+@dataclass
+class _BatchEntry:
+    """One prepared group of a batched fine-tune."""
+
+    index: int
+    model: BellamyModel
+    context: JobContext
+    machines: np.ndarray
+    runtimes: np.ndarray
+    config: BellamyConfig
+    unfreeze_epoch: Optional[int]
+    scaled_features: np.ndarray = field(default=None, repr=False)
+    properties: np.ndarray = field(default=None, repr=False)
+    scaled_targets: np.ndarray = field(default=None, repr=False)
+
+    def arch_key(self) -> tuple:
+        """Groups are batchable together iff this key matches."""
+        return (
+            tuple((n, p.data.shape) for n, p in self.model.named_parameters()),
+            self.properties.shape[1:],
+            self.config.n_essential,
+            self.config.encoding_dim,
+            self.config.use_optional,
+        )
+
+
+class _LrHolder:
+    """Minimal optimizer stand-in so serial LR schedulers drive one group."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+
+def _run_finetune_loop_batch(
+    entries: List[_BatchEntry],
+    strategy: FinetuneStrategy,
+    max_epochs: Optional[int],
+) -> List[TrainResult]:
+    """Lockstep Huber-only optimization of N prepared groups on one tape.
+
+    A direct transliteration of :func:`_run_finetune_loop` +
+    :meth:`repro.nn.trainer.Trainer.fit` with the group axis vectorized:
+    per-epoch scheduler step, per-group shuffled batch order (each group's
+    trainer RNG drawn only while that group is active), fused forward/
+    backward over ``(group, batch, features)`` with ragged batches expressed
+    as padding + counts, a masked per-group Adam step, best-state snapshots,
+    and the serial stop order (target, patience, max-epochs) per group.
+    """
+    n_groups = len(entries)
+    models = [e.model for e in entries]
+    configs = [e.config for e in entries]
+    bank = BatchedModelBank(models)
+    delta = np.array([c.huber_delta for c in configs], dtype=np.float64)
+
+    ns = [int(e.machines.size) for e in entries]
+    batch_sizes = [int(c.batch_size) for c in configs]
+    max_epochs_list = [
+        int(max_epochs or c.finetune_max_epochs) for c in configs
+    ]
+    width = max(min(bs, n) for bs, n in zip(batch_sizes, ns))
+    n_props, vec_size = entries[0].properties.shape[1:]
+
+    feats_buf = np.zeros((n_groups, width, 3), dtype=np.float64)
+    props_buf = np.zeros((n_groups, width, n_props, vec_size), dtype=np.float64)
+    targ_buf = np.zeros((n_groups, width), dtype=np.float64)
+    counts = np.zeros(n_groups, dtype=np.float64)
+    dirty = [False] * n_groups
+
+    def build(features_t: Tensor, properties_t: Tensor, targets_t: Tensor, counts_t: Tensor):
+        prediction, _, _ = bank.forward(features_t, properties_t, counts=counts_t)
+        loss = huber_loss_batched(prediction, targets_t, delta=delta, counts=counts_t)
+        return loss, prediction
+
+    compiler = GraphCompiler(build, params=bank.parameters)
+
+    f_params = bank.f.params()
+    z_params = bank.z.params()
+    opt_params = f_params + z_params
+    optimizer = BatchedAdam(
+        opt_params,
+        n_groups,
+        lr=np.array([c.finetune_lr_max for c in configs], dtype=np.float64),
+        weight_decay=np.array(
+            [c.finetune_weight_decay for c in configs], dtype=np.float64
+        ),
+    )
+    holders = [_LrHolder(c.finetune_lr_max) for c in configs]
+    schedulers = [
+        CyclicLR(
+            holder,
+            min_lr=c.finetune_lr_min,
+            max_lr=c.finetune_lr_max,
+            cycle_length=c.finetune_lr_cycle,
+        )
+        for holder, c in zip(holders, configs)
+    ]
+    progress = GroupProgress(
+        n_groups,
+        monitor="mae",
+        targets=[c.finetune_target_mae for c in configs],
+        patiences=[c.finetune_patience for c in configs],
+        max_epochs=max_epochs_list,
+    )
+    snapshots = ParamSnapshots(opt_params)
+    trainer_rngs = [
+        new_rng(
+            derive_seed(
+                c.seed, "finetune-loop", e.context.context_id, strategy.value
+            )
+        )
+        for c, e in zip(configs, entries)
+    ]
+    indices_list = [np.arange(n) for n in ns]
+    f_unfrozen = [e.unfreeze_epoch is None for e in entries]
+    lrs = np.array([c.finetune_lr_max for c in configs], dtype=np.float64)
+    z_mask = np.zeros(n_groups, dtype=bool)
+
+    for model in models:
+        model.train()
+    bank.train()
+
+    epoch = 0
+    while progress.any_active:
+        epoch_active = [g for g in range(n_groups) if progress.active[g]]
+        for g in epoch_active:
+            lrs[g] = schedulers[g].step()
+        optimizer.set_lr(lrs)
+        orders = {g: trainer_rngs[g].permutation(indices_list[g]) for g in epoch_active}
+        n_batches = {
+            g: math.ceil(ns[g] / batch_sizes[g]) for g in epoch_active
+        }
+        total_loss = [0.0] * n_groups
+        total_mae = [0.0] * n_groups
+        seen = [0] * n_groups
+
+        for b in range(max(n_batches.values())):
+            z_mask[:] = False
+            for g in range(n_groups):
+                if g in n_batches and b < n_batches[g]:
+                    bs = batch_sizes[g]
+                    idx = orders[g][b * bs : b * bs + bs]
+                    c = idx.size
+                    feats_buf[g, :c] = entries[g].scaled_features[idx]
+                    props_buf[g, :c] = entries[g].properties[idx]
+                    targ_buf[g, :c] = entries[g].scaled_targets[idx]
+                    if c < width:
+                        feats_buf[g, c:] = 0.0
+                        props_buf[g, c:] = 0.0
+                        targ_buf[g, c:] = 0.0
+                    counts[g] = float(c)
+                    z_mask[g] = True
+                    dirty[g] = True
+                else:
+                    counts[g] = 0.0
+                    if dirty[g]:
+                        feats_buf[g] = 0.0
+                        props_buf[g] = 0.0
+                        targ_buf[g] = 0.0
+                        dirty[g] = False
+
+            optimizer.zero_grad()
+            loss_t, prediction = compiler.run(feats_buf, props_buf, targ_buf, counts)
+            if loss_t.requires_grad:
+                compiler.backward()
+                f_mask = z_mask & np.asarray(f_unfrozen, dtype=bool)
+                masks = [f_mask] * len(f_params) + [z_mask] * len(z_params)
+                optimizer.step(masks)
+
+            for g in range(n_groups):
+                if not z_mask[g]:
+                    continue
+                c = int(counts[g])
+                residual = models[g].denormalize_runtimes(
+                    prediction.data[g, :c] - targ_buf[g, :c]
+                )
+                total_loss[g] += float(loss_t.data[g]) * c
+                total_mae[g] += float(np.abs(residual).mean()) * c
+                seen[g] += c
+
+        metrics_map = {}
+        for g in epoch_active:
+            epoch_metrics = {
+                "loss": total_loss[g] / seen[g],
+                "mae": total_mae[g] / seen[g],
+                "lr": lrs[g],
+            }
+            metrics_map[g] = epoch_metrics
+            if progress.record(g, epoch, epoch_metrics):
+                snapshots.save(g)
+        for g in epoch_active:
+            unfreeze_epoch = entries[g].unfreeze_epoch
+            if unfreeze_epoch is not None and epoch + 1 == unfreeze_epoch:
+                f_unfrozen[g] = True
+                models[g].f.unfreeze()
+                if not bank.f.weight1.requires_grad:
+                    # First group to unlock f: the stacked parameters become
+                    # trainable and the compiler re-records on the next run.
+                    bank.f.set_trainable(True)
+        for g in epoch_active:
+            progress.check_stop(g, epoch, metrics_map[g])
+        epoch += 1
+
+    for g in range(n_groups):
+        snapshots.restore(g)
+    bank.write_back()
+    for model in models:
+        model.eval()
+    return [progress.result(g) for g in range(n_groups)]
+
+
+def finetune_batch(
+    items: Sequence[Tuple[BellamyModel, JobContext, Sequence[float], Sequence[float]]],
+    strategy: FinetuneStrategy = FinetuneStrategy.PARTIAL_UNFREEZE,
+    max_epochs: Optional[int] = None,
+    copy: bool = True,
+) -> List[Union[FinetuneResult, FinetuneFailure]]:
+    """Fine-tune N groups in one fused batched pass.
+
+    Each item is ``(base_model, context, machines, runtimes)`` — the exact
+    arguments of :func:`finetune`. Groups with identical architectures (and
+    property-matrix shapes) are stacked into a
+    :class:`~repro.nn.batched.BatchedModelBank` and trained together on one
+    compiled tape; the result per group is bit-identical to running
+    :func:`finetune` on it alone (same seeds, same shuffled batch orders,
+    same stop epochs). Groups that cannot batch — architecture mismatch,
+    graph-aware models, the legacy engine, or a lone leftover — fall back to
+    the serial loop transparently.
+
+    Returns one entry per item, position-aligned: a
+    :class:`FinetuneResult` on success or a :class:`FinetuneFailure` when
+    that group's inputs were unusable (other groups are unaffected).
+    """
+    results: List[Optional[Union[FinetuneResult, FinetuneFailure]]] = [None] * len(items)
+    serial_items: List[int] = []
+    prepared: Dict[int, _BatchEntry] = {}
+    started = time.perf_counter()
+
+    for i, item in enumerate(items):
+        try:
+            base_model, context, machines, runtimes = item
+            machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+            runtimes = np.asarray(runtimes, dtype=np.float64).reshape(-1)
+            if machines.size == 0:
+                raise ValueError(
+                    "fine-tuning requires at least one sample; use the "
+                    "pre-trained model directly for zero-shot prediction"
+                )
+            if machines.shape != runtimes.shape:
+                raise ValueError("machines and runtimes must have equal length")
+            if legacy_engine() or hasattr(base_model, "pending_contexts"):
+                serial_items.append(i)
+                continue
+            model, config, unfreeze_epoch = _prepare_model(
+                base_model, context, machines.size, strategy, max_epochs, copy
+            )
+            scaleout_raw, properties = model.featurizer.build_context_arrays(
+                context, machines
+            )
+            entry = _BatchEntry(
+                index=i,
+                model=model,
+                context=context,
+                machines=machines,
+                runtimes=runtimes,
+                config=config,
+                unfreeze_epoch=unfreeze_epoch,
+                scaled_features=model.scaler.transform(scaleout_raw),
+                properties=properties,
+                scaled_targets=model.normalize_runtimes(runtimes),
+            )
+            prepared[i] = entry
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            context = item[1] if isinstance(item, (tuple, list)) and len(item) > 1 else None
+            results[i] = FinetuneFailure(
+                context=context,
+                strategy=strategy.value,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    subgroups: Dict[tuple, List[int]] = {}
+    for i, entry in prepared.items():
+        subgroups.setdefault(entry.arch_key(), []).append(i)
+
+    for key, members in subgroups.items():
+        if len(members) < 2:
+            serial_items.extend(members)
+            continue
+        entries = [prepared[i] for i in members]
+        train_results = _run_finetune_loop_batch(entries, strategy, max_epochs)
+        wall = time.perf_counter() - started
+        for entry, train_result in zip(entries, train_results):
+            results[entry.index] = FinetuneResult(
+                model=entry.model,
+                strategy=strategy.value,
+                epochs_trained=train_result.epochs_trained,
+                wall_seconds=wall,
+                final_mae=train_result.best_metric,
+                stop_reason=train_result.stop_reason,
+                train_result=train_result,
+            )
+
+    for i in serial_items:
+        try:
+            base_model, context, machines, runtimes = items[i]
+            results[i] = finetune(
+                base_model,
+                context,
+                machines,
+                runtimes,
+                strategy=strategy,
+                max_epochs=max_epochs,
+                copy=copy,
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            results[i] = FinetuneFailure(
+                context=items[i][1],
+                strategy=strategy.value,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    return results
 
 
 def train_local(

@@ -8,6 +8,20 @@ Bellamy architecture requires, and a generic training loop
 """
 
 from repro.nn import functional
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedAdamW,
+    BatchedFeedForward,
+    BatchedModelBank,
+    GroupProgress,
+    ParamSnapshots,
+    alpha_dropout_batched,
+    group_mean,
+    group_sum,
+    huber_loss_batched,
+    linear_act_batched,
+    mse_loss_batched,
+)
 from repro.nn.gradcheck import gradcheck, numerical_gradient
 from repro.nn.init import (
     get_initializer,
@@ -66,6 +80,10 @@ __all__ = [
     "AdamW",
     "AlphaDropout",
     "BatchLossFn",
+    "BatchedAdam",
+    "BatchedAdamW",
+    "BatchedFeedForward",
+    "BatchedModelBank",
     "CompiledLoss",
     "ConstantLR",
     "CosineAnnealingLR",
@@ -73,6 +91,7 @@ __all__ = [
     "Dropout",
     "FeedForward",
     "GraphCompiler",
+    "GroupProgress",
     "HuberLoss",
     "Identity",
     "JointLoss",
@@ -82,6 +101,7 @@ __all__ = [
     "MSELoss",
     "Module",
     "Optimizer",
+    "ParamSnapshots",
     "Parameter",
     "SELU",
     "SGD",
@@ -94,16 +114,22 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "active_tape",
+    "alpha_dropout_batched",
     "cat",
     "functional",
+    "group_mean",
+    "group_sum",
     "get_initializer",
     "gradcheck",
     "he_normal",
     "he_uniform",
+    "huber_loss_batched",
     "is_grad_enabled",
     "lecun_normal",
+    "linear_act_batched",
     "maximum",
     "mlp",
+    "mse_loss_batched",
     "no_grad",
     "numerical_gradient",
     "ones",

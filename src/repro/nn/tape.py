@@ -282,11 +282,20 @@ class GraphCompiler:
     __call__ = run
 
     def backward(self) -> None:
-        """Backward for the most recent :meth:`run`."""
+        """Backward for the most recent :meth:`run`.
+
+        Non-scalar heads (e.g. a per-group ``(G,)`` loss vector from a
+        batched pass) are seeded with ones in the eager fallback, matching
+        the seed a compiled tape captures at finalize time.
+        """
         if self._last_tape is not None:
             self._last_tape.backward()
         elif self._last_loss is not None:
-            self._last_loss.backward()
+            loss = self._last_loss
+            if loss.data.size == 1:
+                loss.backward()
+            else:
+                loss.backward(np.ones_like(loss.data))
         else:
             raise RuntimeError("GraphCompiler.backward() before run()")
 

@@ -39,12 +39,12 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.session import Session, _safe
-from repro.core.finetuning import finetune
+from repro.core.finetuning import FinetuneFailure, finetune, finetune_batch
 from repro.data.schema import JobContext
 from repro.eval.metrics import mre, relative_errors
 from repro.metrics import MetricsRegistry
@@ -287,6 +287,19 @@ class OnlineSession:
             "repro_online_refresh_seconds",
             "Wall time of one refresh (fine-tune + save + swap).",
         )
+        self._m_refresh_serial = registry.counter(
+            "repro_online_refresh_serial_total",
+            "Refreshes fine-tuned one group at a time.",
+        )
+        self._m_refresh_batched = registry.counter(
+            "repro_online_refresh_batched_total",
+            "Refreshes fine-tuned in a fused multi-group batch.",
+        )
+        self._m_batched_refresh_groups = registry.histogram(
+            "repro_online_batched_refresh_groups",
+            "Group count of each fused batched refresh pass.",
+            buckets=(2.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+        )
 
     def rebind_metrics(self, registry: MetricsRegistry) -> None:
         """Move this lifecycle's metrics into ``registry``, totals carried
@@ -312,6 +325,9 @@ class OnlineSession:
                     "_m_observe_seconds",
                     "_m_detect_seconds",
                     "_m_refresh_seconds",
+                    "_m_refresh_serial",
+                    "_m_refresh_batched",
+                    "_m_batched_refresh_groups",
                 )
             }
             quarantined = self._m_quarantined_groups.value
@@ -459,6 +475,30 @@ class OnlineSession:
         with self._lock:
             return self._refresh_locked(context)
 
+    def refresh_many(
+        self, contexts: Sequence[JobContext]
+    ) -> List[Optional[RefreshResult]]:
+        """Refresh several groups in one fused fine-tuning pass.
+
+        The groups' base models are fine-tuned *together* through
+        :func:`repro.core.finetuning.finetune_batch` — one compiled tape
+        stepping every group in lockstep — then unstacked and installed
+        individually: each group gets its own atomic ``online--<group>--vN``
+        store save, serving-override swap, cache invalidation, and
+        re-baseline, and the installed weights are bit-identical to what a
+        serial :meth:`refresh` loop would have produced.
+
+        Unlike :meth:`refresh`, failures never propagate and are isolated
+        per group: one group's bad data (or an injected fault) fails only
+        that group — recorded exactly like a serial refresh failure
+        (failure counter, circuit breaker, ``last_refresh_error``) — while
+        the remaining groups still refresh and swap. The returned list is
+        position-aligned with ``contexts``; a failed group, or one with no
+        buffered observations, maps to ``None``.
+        """
+        with self._lock:
+            return self._refresh_many_locked(list(contexts))
+
     # ------------------------------------------------------------------ #
     # Failure bookkeeping + quarantine
     # ------------------------------------------------------------------ #
@@ -475,8 +515,18 @@ class OnlineSession:
 
     def _record_refresh_failure(self, group: str, error: BaseException) -> None:
         """Count a failed refresh and trip the group's breaker if due."""
+        self._record_refresh_failure_message(group, f"{type(error).__name__}: {error}")
+
+    def _record_refresh_failure_message(self, group: str, message: str) -> None:
+        """Failure bookkeeping from an already-formatted ``TypeName: message``.
+
+        The batched path receives failures as :class:`FinetuneFailure`
+        markers whose ``error`` field is already in the serial format; going
+        through this entry point keeps ``last_refresh_error`` identical to
+        what the serial loop would have recorded.
+        """
         self._m_refresh_failures.inc()
-        self._last_refresh_error = f"{type(error).__name__}: {error}"
+        self._last_refresh_error = message
         breaker = self._breaker(group)
         was_open = breaker.state == CircuitBreaker.OPEN
         breaker.record_failure()
@@ -557,6 +607,28 @@ class OnlineSession:
         result = finetune(
             base, context, machines, runtimes, max_epochs=self.policy.max_epochs
         )
+        self._m_refresh_serial.inc()
+        return self._install_refreshed(
+            context, group, machines, runtimes, result, stale_error, started
+        )
+
+    def _install_refreshed(
+        self,
+        context: JobContext,
+        group: str,
+        machines: np.ndarray,
+        runtimes: np.ndarray,
+        result,
+        stale_error: float,
+        started: float,
+    ) -> RefreshResult:
+        """Install one fine-tuned model: save → swap → invalidate → re-baseline.
+
+        Shared by the serial and batched refresh paths. ``started`` is when
+        the caller began the work ``wall_seconds`` should cover — for a
+        batched pass that is the pass start, so every group's wall reports
+        the shared fused fine-tune plus its own install.
+        """
         model = result.model
         version = self._versions.get(group, 0) + 1
 
@@ -619,6 +691,78 @@ class OnlineSession:
             refreshed_error=refreshed_error,
         )
 
+    def _refresh_many_locked(
+        self, contexts: Sequence[JobContext]
+    ) -> List[Optional[RefreshResult]]:
+        """The batched refresh body (lock already held by the caller)."""
+        results: List[Optional[RefreshResult]] = [None] * len(contexts)
+        started = time.perf_counter()
+        # (slot, context, group, machines, runtimes, stale_error, base)
+        attempts: List[Tuple] = []
+        for slot, context in enumerate(contexts):
+            group = context.context_id
+            machines, runtimes = self.buffer.samples(
+                group, newest=self.policy.refresh_samples
+            )
+            if machines.size == 0:
+                # Mirrors the serial buffer check, which raises *before*
+                # failure bookkeeping: no counter, no breaker trip — there
+                # was simply nothing to refresh from.
+                continue
+            try:
+                if _faults.ACTIVE is not None:
+                    # One injection point per group, exactly like a serial
+                    # loop over refresh() — fault budgets and per-group
+                    # failure isolation behave the same either way.
+                    _faults.ACTIVE.fire(_faults.SITE_ONLINE_REFRESH)
+                stale_predictions = self.session.predict(context, machines)
+                stale_error = mre(stale_predictions, runtimes)
+                base = self.session.base_model(context.algorithm)
+            except Exception as error:
+                self._record_refresh_failure(group, error)
+                continue
+            attempts.append(
+                (slot, context, group, machines, runtimes, stale_error, base)
+            )
+        if not attempts:
+            return results
+        if len(attempts) == 1:
+            # A single survivor gains nothing from stacking; run the plain
+            # serial fine-tune (the weights are identical either way).
+            slot, context, group, machines, runtimes, stale_error, base = attempts[0]
+            try:
+                result = finetune(
+                    base, context, machines, runtimes, max_epochs=self.policy.max_epochs
+                )
+                self._m_refresh_serial.inc()
+                results[slot] = self._install_refreshed(
+                    context, group, machines, runtimes, result, stale_error, started
+                )
+            except Exception as error:
+                self._record_refresh_failure(group, error)
+            return results
+        self._m_batched_refresh_groups.observe(float(len(attempts)))
+        outcomes = finetune_batch(
+            [
+                (base, context, machines, runtimes)
+                for _, context, _, machines, runtimes, _, base in attempts
+            ],
+            max_epochs=self.policy.max_epochs,
+        )
+        for attempt, outcome in zip(attempts, outcomes):
+            slot, context, group, machines, runtimes, stale_error, _ = attempt
+            if isinstance(outcome, FinetuneFailure):
+                self._record_refresh_failure_message(group, outcome.error)
+                continue
+            try:
+                results[slot] = self._install_refreshed(
+                    context, group, machines, runtimes, outcome, stale_error, started
+                )
+                self._m_refresh_batched.inc()
+            except Exception as error:
+                self._record_refresh_failure(group, error)
+        return results
+
     # ------------------------------------------------------------------ #
     # Offline reconciliation (the CLI's `refresh` subcommand)
     # ------------------------------------------------------------------ #
@@ -634,9 +778,23 @@ class OnlineSession:
 
             reports = online.scan(refresh=True)
             drifted = [r.group for r in reports if r.status.drifted]
+
+        When two or more groups need a refresh in one sweep, they are
+        fine-tuned together through the fused batched path
+        (:meth:`refresh_many` semantics: bit-identical weights, per-group
+        atomic saves, per-group failure isolation — a failed group's report
+        carries ``refreshed=None`` while the rest still swap). A single
+        flagged group refreshes serially exactly as before, including
+        propagating its failure.
         """
         reports: List[GroupReport] = []
         with self._lock:
+            # Phase 1: judge every group against the current serving model.
+            # Detector state and serving overrides are per group, so judging
+            # everything before refreshing anything yields the same verdicts
+            # as the old interleaved loop — and exposes the full set of
+            # flagged groups to one fused fine-tuning pass.
+            verdicts: List[Tuple[str, JobContext, int, DriftStatus]] = []
             for group in self.buffer.group_ids():
                 context = self.buffer.context_for(group)
                 observations = self.buffer.for_group(group)
@@ -648,15 +806,28 @@ class OnlineSession:
                 predictions = self.session.predict(context, machines)
                 errors = relative_errors(predictions, actuals)
                 status = self.detector.evaluate(group, errors)
-                result = None
-                if refresh and (status.drifted or force):
-                    result = self._refresh_locked(context)
+                verdicts.append((group, context, len(observations), status))
+            # Phase 2: refresh the flagged groups — fused when ≥ 2 need it.
+            flagged = [
+                index
+                for index, (_, _, _, status) in enumerate(verdicts)
+                if refresh and (status.drifted or force)
+            ]
+            refreshed: Dict[int, Optional[RefreshResult]] = {}
+            if len(flagged) >= 2:
+                outcomes = self._refresh_many_locked(
+                    [verdicts[index][1] for index in flagged]
+                )
+                refreshed = dict(zip(flagged, outcomes))
+            elif flagged:
+                refreshed[flagged[0]] = self._refresh_locked(verdicts[flagged[0]][1])
+            for index, (group, _, n_observations, status) in enumerate(verdicts):
                 reports.append(
                     GroupReport(
                         group=group,
-                        observations=len(observations),
+                        observations=n_observations,
                         status=status,
-                        refreshed=result,
+                        refreshed=refreshed.get(index),
                     )
                 )
         return reports
@@ -693,6 +864,8 @@ class OnlineSession:
         return {
             "observations": int(self._m_observations.value),
             "refreshes": int(self._m_refreshes.value),
+            "refresh_batched": int(self._m_refresh_batched.value),
+            "refresh_serial": int(self._m_refresh_serial.value),
             "refresh_failures": int(self._m_refresh_failures.value),
             "last_refresh_error": last_refresh_error,
             "quarantined": quarantined,

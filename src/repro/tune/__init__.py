@@ -4,6 +4,7 @@ from repro.tune.runner import (
     Trial,
     TuneResult,
     estimator_objective,
+    run_population,
     run_search,
     run_successive_halving,
     tune_estimator,
@@ -31,6 +32,7 @@ __all__ = [
     "TuneResult",
     "Uniform",
     "estimator_objective",
+    "run_population",
     "run_search",
     "run_successive_halving",
     "tune_estimator",

@@ -225,6 +225,41 @@ def run_search(
     return result
 
 
+def run_population(
+    searcher: Searcher,
+    population_objective: Callable[[Sequence[Dict[str, Any]]], Sequence[float]],
+    n_trials: int,
+) -> TuneResult:
+    """Evaluate a whole population of configurations in one fused call.
+
+    Where :func:`run_search` scores trials one objective call at a time,
+    a *population objective* receives every suggested configuration at
+    once and returns their scores in order — the entry point for batched
+    trial evaluation, e.g.
+    :func:`repro.core.pretraining.pretrain_population_objective`, which
+    trains all trial models together on one compiled tape. Scores (and
+    therefore ``result.best``) are identical to evaluating the same
+    configurations serially; only the wall-clock changes. The shared
+    wall time is split evenly across the recorded trials.
+    """
+    configs = searcher.suggest(n_trials)
+    started = time.perf_counter()
+    scores = list(population_objective(configs))
+    wall = time.perf_counter() - started
+    if len(scores) != len(configs):
+        raise ValueError(
+            f"population objective returned {len(scores)} scores "
+            f"for {len(configs)} configurations"
+        )
+    per_trial = wall / max(len(configs), 1)
+    return TuneResult(
+        trials=[
+            Trial(config=config, score=float(score), wall_seconds=per_trial)
+            for config, score in zip(configs, scores)
+        ]
+    )
+
+
 def run_successive_halving(
     searcher: Searcher,
     objective: Objective,

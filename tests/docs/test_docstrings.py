@@ -28,6 +28,7 @@ PACKAGES = (
     "repro.eval",
     "repro.runtime",
     "repro.runtime.backends",
+    "repro.nn.batched",
     "repro.resilience",
 )
 
@@ -51,7 +52,8 @@ def _all_modules():
     for package in PACKAGES:
         pkg = importlib.import_module(package)
         names.append(package)
-        for info in pkgutil.walk_packages(pkg.__path__, prefix=package + "."):
+        # Plain modules (e.g. repro.nn.batched) have no __path__ to walk.
+        for info in pkgutil.walk_packages(getattr(pkg, "__path__", []), prefix=package + "."):
             names.append(info.name)
     return sorted(set(names))
 

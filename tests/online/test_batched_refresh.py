@@ -1,0 +1,205 @@
+"""Multi-group batched refresh: scan routing, isolation, metrics.
+
+The tentpole wiring under test: when two or more groups need a refresh in
+one reconciliation sweep, ``OnlineSession`` fine-tunes them together in one
+fused batched pass (``finetune_batch``) and then installs each group
+individually — atomic per-group ``online--<group>--vN`` saves, per-group
+breaker semantics, per-group failure isolation — producing models
+bit-identical to the serial per-group refresh loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.config import BellamyConfig
+from repro.metrics import MetricsRegistry
+from repro.online import OnlineSession, RefreshPolicy
+from repro.resilience import SITE_ONLINE_REFRESH, FaultInjector, FaultPlan, FaultSpec
+
+
+def _config() -> BellamyConfig:
+    return BellamyConfig(seed=0).with_overrides(
+        pretrain_epochs=20, finetune_max_epochs=60, finetune_patience=30
+    )
+
+
+def _policy(**overrides) -> RefreshPolicy:
+    defaults = dict(auto_refresh=False, refresh_samples=8, max_epochs=25)
+    defaults.update(overrides)
+    return RefreshPolicy(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sgd_contexts(request):
+    dataset = request.getfixturevalue("c3o_dataset")
+    return [c for c in dataset.contexts() if c.algorithm == "sgd"][:3]
+
+
+@pytest.fixture()
+def online_setup(c3o_dataset, sgd_contexts, tmp_path):
+    session = Session(c3o_dataset, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy())
+    for i, context in enumerate(sgd_contexts):
+        records = c3o_dataset.for_context(context.context_id)
+        machines = records.machines_array()
+        runtimes = records.runtimes_array()
+        for j in range(4 + i):  # ragged buffered counts per group
+            online.observe(
+                context,
+                float(machines[j % machines.size]),
+                float(runtimes[j % runtimes.size]) * 3.0,
+            )
+    return session, online
+
+
+def test_scan_routes_multiple_stale_groups_through_batched_path(
+    online_setup, sgd_contexts, c3o_dataset, tmp_path
+):
+    """Satellite regression test: >= 2 stale groups refresh in one fused
+    pass, and the installed models are bit-identical to serial refreshes."""
+    session, online = online_setup
+
+    # Twin setup refreshed serially, group by group.
+    serial_session = Session(
+        c3o_dataset, config=_config(), store=tmp_path / "serial-store"
+    )
+    serial_online = OnlineSession(serial_session, _policy())
+    for i, context in enumerate(sgd_contexts):
+        records = c3o_dataset.for_context(context.context_id)
+        machines = records.machines_array()
+        runtimes = records.runtimes_array()
+        for j in range(4 + i):
+            serial_online.observe(
+                context,
+                float(machines[j % machines.size]),
+                float(runtimes[j % runtimes.size]) * 3.0,
+            )
+    serial_results = [serial_online.refresh(c) for c in sgd_contexts]
+
+    reports = online.scan(refresh=True, force=True)
+
+    by_group = {report.group: report.refreshed for report in reports}
+    grid = np.array([2.0, 4.0, 8.0, 16.0])
+    for context, serial_result in zip(sgd_contexts, serial_results):
+        batched_result = by_group[context.context_id]
+        assert batched_result is not None
+        assert batched_result.model_name == serial_result.model_name
+        assert batched_result.version == serial_result.version == 1
+        assert batched_result.n_samples == serial_result.n_samples
+        assert batched_result.stale_error == serial_result.stale_error
+        assert batched_result.refreshed_error == serial_result.refreshed_error
+        # The swapped-in models serve bit-identical predictions.
+        assert np.array_equal(
+            session.predict(context, grid), serial_session.predict(context, grid)
+        )
+
+    stats = online.stats()
+    assert stats["refreshes"] == 3
+    assert stats["refresh_batched"] == 3
+    assert stats["refresh_serial"] == 0
+    assert online._m_batched_refresh_groups.count == 1
+    assert online._m_batched_refresh_groups.sum == 3.0
+    assert serial_online.stats()["refresh_batched"] == 0
+    assert serial_online.stats()["refresh_serial"] == 3
+
+
+def test_scan_with_one_stale_group_stays_serial(online_setup, sgd_contexts):
+    session, online = online_setup
+    target = sgd_contexts[0].context_id
+    reports = online.scan(refresh=False)  # detect-only sweep never refreshes
+    assert all(report.refreshed is None for report in reports)
+
+    # Force exactly one group through the explicit single-group path.
+    online.refresh(sgd_contexts[0])
+    stats = online.stats()
+    assert stats["refresh_serial"] == 1
+    assert stats["refresh_batched"] == 0
+    assert online._m_batched_refresh_groups.count == 0
+    assert session.serving_overrides[target].endswith("--v1")
+
+
+def test_refresh_many_matches_scan_and_skips_unbuffered_groups(
+    online_setup, sgd_contexts
+):
+    session, online = online_setup
+    # Drop the last group's buffer coverage by asking for a context that
+    # was never observed: its slot maps to None without a recorded failure.
+    from dataclasses import replace
+
+    ghost = replace(sgd_contexts[0], dataset_mb=123_456, context_id="")
+    results = online.refresh_many([sgd_contexts[0], ghost, sgd_contexts[1]])
+    assert results[1] is None
+    assert results[0] is not None and results[2] is not None
+    assert results[0].group == sgd_contexts[0].context_id
+    stats = online.stats()
+    assert stats["refresh_failures"] == 0
+    assert stats["refreshes"] == 2
+    assert stats["refresh_batched"] == 2
+
+
+def test_refresh_many_isolates_an_injected_failure(online_setup, sgd_contexts):
+    """One group's refresh fault fails only that group; the rest swap."""
+    session, online = online_setup
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(site=SITE_ONLINE_REFRESH, kind="raise", start=0, stop=1, max_fires=1),
+        ),
+    )
+    with FaultInjector(plan):
+        results = online.refresh_many(sgd_contexts)
+
+    assert results[0] is None
+    assert results[1] is not None and results[2] is not None
+    stats = online.stats()
+    assert stats["refresh_failures"] == 1
+    assert stats["last_refresh_error"].startswith("InjectedFault")
+    assert stats["refreshes"] == 2
+    # The two survivors still went through the fused pass together.
+    assert stats["refresh_batched"] == 2
+    assert online._m_batched_refresh_groups.sum == 2.0
+    # Only the failed group is missing a serving override.
+    assert sgd_contexts[0].context_id not in session.serving_overrides
+    assert sgd_contexts[1].context_id in session.serving_overrides
+    # One failure is under quarantine_after=3: no quarantine.
+    assert online.quarantined() == []
+
+
+def test_refresh_many_failures_trip_the_per_group_breaker(
+    c3o_dataset, sgd_contexts, tmp_path
+):
+    session = Session(c3o_dataset, config=_config(), store=tmp_path / "store")
+    online = OnlineSession(session, _policy(quarantine_after=1, quarantine_reset_s=3600.0))
+    for context in sgd_contexts[:2]:
+        records = c3o_dataset.for_context(context.context_id)
+        online.observe(context, float(records.machines_array()[0]),
+                       float(records.runtimes_array()[0]) * 3.0)
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(site=SITE_ONLINE_REFRESH, kind="raise", start=0, stop=1, max_fires=1),
+        ),
+    )
+    with FaultInjector(plan):
+        results = online.refresh_many(sgd_contexts[:2])
+    assert results[0] is None and results[1] is not None
+    assert online.quarantined() == [sgd_contexts[0].context_id]
+    assert int(online._m_quarantines.value) == 1
+
+
+def test_rebind_metrics_carries_batched_counters(online_setup, sgd_contexts):
+    session, online = online_setup
+    online.scan(refresh=True, force=True)
+    assert online.stats()["refresh_batched"] == 3
+
+    registry = MetricsRegistry()
+    online.rebind_metrics(registry)
+    assert online.stats()["refresh_batched"] == 3
+    assert int(online._m_refresh_batched.value) == 3
+    assert online._m_batched_refresh_groups.count == 1
+    assert registry.get("repro_online_refresh_batched_total") is not None
+    assert registry.get("repro_online_refresh_serial_total") is not None
+    assert registry.get("repro_online_batched_refresh_groups") is not None

@@ -1,0 +1,37 @@
+"""run_population: fused population scoring equals per-trial run_search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tune import RandomSearch, run_population, run_search
+from repro.tune.space import Categorical, LogUniform, SearchSpace
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        {"lr": LogUniform(1e-4, 1e-1), "width": Categorical([4, 8, 16])}
+    )
+
+
+def _objective(config):
+    return float(config["lr"]) * float(config["width"])
+
+
+def test_run_population_scores_match_run_search():
+    serial = run_search(RandomSearch(_space(), seed=7), _objective, 6)
+    fused = run_population(
+        RandomSearch(_space(), seed=7),
+        lambda configs: [_objective(c) for c in configs],
+        6,
+    )
+    assert [t.config for t in fused.trials] == [t.config for t in serial.trials]
+    assert [t.score for t in fused.trials] == [t.score for t in serial.trials]
+    assert fused.best.config == serial.best.config
+
+
+def test_run_population_rejects_mismatched_score_count():
+    with pytest.raises(ValueError, match="returned 2 scores for 3"):
+        run_population(
+            RandomSearch(_space(), seed=0), lambda configs: [1.0, 2.0], 3
+        )
